@@ -1,0 +1,12 @@
+#!/bin/bash
+# Final deliverable check: counts, artifacts, headline numbers.
+set -e
+cd /root/repo
+echo "=== LoC ==="
+wc -l $(find crates src tests examples -name "*.rs") | tail -1
+echo "=== tests ==="
+grep -E "test result:" test_output.txt | awk '{ok+=$4; fail+=$6} END {print "passed:", ok, "failed:", fail}'
+echo "=== benches ==="
+grep -c "time:" bench_output.txt
+echo "=== artifacts ==="
+find out -type f | wc -l

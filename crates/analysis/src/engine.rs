@@ -1,0 +1,604 @@
+//! The analysis engine: blackboard wiring of the stock knowledge sources.
+//!
+//! Data flow (Figures 4 and 5):
+//!
+//! ```text
+//! raw block ──▶ KS dispatcher ──▶ <level>/pack ──▶ KS unpacker ──▶ <level>/events
+//!                (creates the level's KSs                      ├──▶ KS profiler
+//!                 on first sight of an app)                    ├──▶ KS topology
+//!                                                              └──▶ KS timeline
+//! ```
+//!
+//! Each instrumented application gets its own blackboard *level* (type ids
+//! are hashed over the level name), so identical knowledge sources coexist
+//! per application and one engine concurrently profiles any number of
+//! programs into a single multi-chapter report.
+
+use crate::density::DensityMap;
+use crate::profiler::{Metric, MpiProfile};
+use crate::timeline::{AdaptiveTimeline, Timeline};
+use crate::topology::Topology;
+use crate::trace_proxy::{Selection, TraceProxy};
+use crate::waitstate::{WaitStateAnalysis, WaitStats};
+use bytes::Bytes;
+use opmr_blackboard::{type_id, Blackboard, BlackboardConfig, DataEntry, KnowledgeSource};
+use opmr_events::{codec, EventKind, EventPack};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Engine sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Blackboard worker threads.
+    pub workers: usize,
+    /// Lock-striped job FIFOs.
+    pub queues: usize,
+    /// Temporal-map bins.
+    pub timeline_bins: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            queues: 8,
+            timeline_bins: 64,
+        }
+    }
+}
+
+#[derive(Default)]
+struct AppData {
+    profile: MpiProfile,
+    topology: Topology,
+    timeline: Option<AdaptiveTimeline>,
+    waitstate: Option<WaitStateAnalysis>,
+    proxy: Option<TraceProxy>,
+    packs: u64,
+    wire_bytes: u64,
+    decode_errors: u64,
+}
+
+struct AppSlot {
+    app_id: u16,
+    name: Mutex<String>,
+    data: Mutex<AppData>,
+    /// Set once the level's stock KSs have been registered.
+    wired: std::sync::atomic::AtomicBool,
+}
+
+/// The per-application chapter of a finished report.
+pub struct AppReport {
+    pub app_id: u16,
+    pub name: String,
+    pub ranks: u32,
+    pub events: u64,
+    pub packs: u64,
+    /// Encoded event bytes received (the "trace volume that never touched
+    /// the file system").
+    pub wire_bytes: u64,
+    pub decode_errors: u64,
+    pub profile: MpiProfile,
+    pub topology: Topology,
+    pub timeline: Option<Timeline>,
+    pub density: Vec<DensityMap>,
+    /// Wait-state analysis results, when enabled.
+    pub waitstate: Option<WaitStats>,
+    /// Selective-trace proxy outcome `(path, seen, written)`, when enabled.
+    pub proxy: Option<(std::path::PathBuf, u64, u64)>,
+}
+
+/// A multi-application report (one chapter per instrumented program).
+pub struct MultiReport {
+    pub apps: Vec<AppReport>,
+}
+
+impl MultiReport {
+    /// Extracts the merge-able partial aggregates of every application
+    /// (what a distributed analyzer rank ships to the merge root).
+    pub fn to_partials(&self) -> Vec<crate::wire::AppPartial> {
+        self.apps
+            .iter()
+            .map(|a| crate::wire::AppPartial {
+                app_id: a.app_id,
+                packs: a.packs,
+                wire_bytes: a.wire_bytes,
+                decode_errors: a.decode_errors,
+                profile: a.profile.clone(),
+                topology: a.topology.clone(),
+                waitstate: a.waitstate.clone(),
+            })
+            .collect()
+    }
+
+    /// Rebuilds a report by merging partial aggregates from several
+    /// analyzer ranks (Section VI's distributed analysis). Temporal maps
+    /// are a per-rank view and are not merged.
+    pub fn from_partials(
+        partial_sets: Vec<Vec<crate::wire::AppPartial>>,
+        names: &HashMap<u16, String>,
+    ) -> MultiReport {
+        let mut merged: HashMap<u16, crate::wire::AppPartial> = HashMap::new();
+        for set in partial_sets {
+            for p in set {
+                match merged.entry(p.app_id) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(p);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let into = e.get_mut();
+                        into.packs += p.packs;
+                        into.wire_bytes += p.wire_bytes;
+                        into.decode_errors += p.decode_errors;
+                        into.profile.merge(&p.profile);
+                        into.topology.merge(&p.topology);
+                        match (&mut into.waitstate, p.waitstate) {
+                            (Some(a), Some(b)) => crate::wire::merge_waitstats(a, &b),
+                            (slot @ None, Some(b)) => *slot = Some(b),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        let mut apps: Vec<crate::wire::AppPartial> = merged.into_values().collect();
+        apps.sort_by_key(|p| p.app_id);
+        MultiReport {
+            apps: apps
+                .into_iter()
+                .map(|p| {
+                    let density = stock_density_maps(&p.profile);
+                    AppReport {
+                        app_id: p.app_id,
+                        name: names
+                            .get(&p.app_id)
+                            .cloned()
+                            .unwrap_or_else(|| level_name(p.app_id)),
+                        ranks: p.profile.ranks(),
+                        events: p.profile.events(),
+                        packs: p.packs,
+                        wire_bytes: p.wire_bytes,
+                        decode_errors: p.decode_errors,
+                        profile: p.profile,
+                        topology: p.topology,
+                        timeline: None,
+                        density,
+                        waitstate: p.waitstate,
+                        proxy: None,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct EngineExtras {
+    /// Register the wait-state KS on every level.
+    waitstate: bool,
+    /// Attach a selective-trace proxy per level, writing under this dir.
+    proxy: Option<(std::path::PathBuf, Selection)>,
+}
+
+/// The distributed analysis engine of one analyzer rank.
+#[derive(Clone)]
+pub struct AnalysisEngine {
+    bb: Blackboard,
+    apps: Arc<Mutex<HashMap<u16, Arc<AppSlot>>>>,
+    cfg: EngineConfig,
+    extras: Arc<Mutex<EngineExtras>>,
+}
+
+fn level_name(app_id: u16) -> String {
+    format!("app{app_id}")
+}
+
+/// Type id of the raw (undispatched) block entries.
+fn raw_ty() -> u64 {
+    type_id("engine", "raw_block")
+}
+
+impl AnalysisEngine {
+    /// Builds the engine and registers the dispatcher KS.
+    pub fn new(cfg: EngineConfig) -> AnalysisEngine {
+        let bb = Blackboard::new(BlackboardConfig {
+            queues: cfg.queues,
+            workers: cfg.workers,
+        });
+        let engine = AnalysisEngine {
+            bb,
+            apps: Arc::new(Mutex::new(HashMap::new())),
+            cfg,
+            extras: Arc::new(Mutex::new(EngineExtras::default())),
+        };
+        engine.register_dispatcher();
+        engine
+    }
+
+    /// Enables online wait-state analysis (Section VI: late-sender /
+    /// late-receiver attribution) on every application level. Call before
+    /// any packs arrive.
+    pub fn enable_waitstate(&self) {
+        self.extras.lock().waitstate = true;
+    }
+
+    /// Attaches a selective-trace IO proxy: events surviving `selection`
+    /// are re-encoded into `dir/app<N>_selected.opmr`. Call before any
+    /// packs arrive.
+    pub fn attach_trace_proxy(&self, dir: impl Into<std::path::PathBuf>, selection: Selection) {
+        self.extras.lock().proxy = Some((dir.into(), selection));
+    }
+
+    /// Names an application (otherwise reports say "app\<N\>").
+    pub fn set_app_name(&self, app_id: u16, name: &str) {
+        let slot = self.slot(app_id);
+        *slot.name.lock() = name.to_string();
+    }
+
+    /// Underlying blackboard (for custom knowledge sources).
+    pub fn blackboard(&self) -> &Blackboard {
+        &self.bb
+    }
+
+    /// Starts the worker pool.
+    pub fn start(&self) {
+        self.bb.start();
+    }
+
+    /// Posts one received stream block (exactly one encoded event pack).
+    pub fn post_block(&self, block: Bytes) {
+        self.bb.post(DataEntry::bytes(raw_ty(), block));
+    }
+
+    fn slot(&self, app_id: u16) -> Arc<AppSlot> {
+        let mut apps = self.apps.lock();
+        if let Some(slot) = apps.get(&app_id) {
+            return Arc::clone(slot);
+        }
+        let slot = Arc::new(AppSlot {
+            app_id,
+            name: Mutex::new(level_name(app_id)),
+            data: Mutex::new(AppData {
+                timeline: Some(AdaptiveTimeline::new(
+                    self.cfg.timeline_bins,
+                    EventKind::is_mpi,
+                )),
+                ..AppData::default()
+            }),
+            wired: std::sync::atomic::AtomicBool::new(false),
+        });
+        apps.insert(app_id, Arc::clone(&slot));
+        slot
+    }
+
+    fn register_dispatcher(&self) {
+        let engine = self.clone();
+        self.bb.register(KnowledgeSource::new(
+            "dispatcher",
+            vec![raw_ty()],
+            move |bb, entries| {
+                let Some(bytes) = entries[0].payload().as_bytes() else {
+                    return;
+                };
+                let mut view: &[u8] = bytes;
+                let Ok(header) = codec::decode_header(&mut view) else {
+                    // Unparseable block: account it to app 0's error count.
+                    engine.slot(0).data.lock().decode_errors += 1;
+                    return;
+                };
+                engine.ensure_level(header.app_id);
+                let level = level_name(header.app_id);
+                bb.post(DataEntry::bytes(type_id(&level, "pack"), bytes.clone()));
+            },
+        ));
+    }
+
+    /// Registers the per-level stock KSs once per application
+    /// (the multi-level blackboard of Figure 5).
+    fn ensure_level(&self, app_id: u16) {
+        let slot = self.slot(app_id);
+        // Exactly-once wiring, even when two dispatcher jobs race on the
+        // first packs of a new application.
+        if slot
+            .wired
+            .swap(true, std::sync::atomic::Ordering::SeqCst)
+        {
+            return;
+        }
+        let level = level_name(app_id);
+        let ty_pack = type_id(&level, "pack");
+        let ty_events = type_id(&level, "events");
+        // Unpacker: pack bytes → decoded EventPack entry.
+        let uslot = Arc::clone(&slot);
+        let unpacker = KnowledgeSource::new(
+            &format!("unpacker/{level}"),
+            vec![ty_pack],
+            move |bb, entries| {
+                let Some(bytes) = entries[0].payload().as_bytes() else {
+                    return;
+                };
+                match EventPack::decode(bytes) {
+                    Ok(pack) => {
+                        {
+                            let mut data = uslot.data.lock();
+                            data.packs += 1;
+                            data.wire_bytes += bytes.len() as u64;
+                        }
+                        bb.post(DataEntry::value(ty_events, pack));
+                    }
+                    Err(_) => {
+                        uslot.data.lock().decode_errors += 1;
+                    }
+                }
+            },
+        );
+        // Profiler: events → per-call aggregates.
+        let pslot = Arc::clone(&slot);
+        let profiler = KnowledgeSource::new(
+            &format!("profiler/{level}"),
+            vec![ty_events],
+            move |_bb, entries| {
+                if let Some(pack) = entries[0].downcast_ref::<EventPack>() {
+                    pslot.data.lock().profile.add_all(&pack.events);
+                }
+            },
+        );
+        // Topology: events → communication matrix.
+        let tslot = Arc::clone(&slot);
+        let topology = KnowledgeSource::new(
+            &format!("topology/{level}"),
+            vec![ty_events],
+            move |_bb, entries| {
+                if let Some(pack) = entries[0].downcast_ref::<EventPack>() {
+                    tslot.data.lock().topology.add_all(&pack.events);
+                }
+            },
+        );
+        // Timeline: events → temporal map.
+        let lslot = Arc::clone(&slot);
+        let timeline = KnowledgeSource::new(
+            &format!("timeline/{level}"),
+            vec![ty_events],
+            move |_bb, entries| {
+                if let Some(pack) = entries[0].downcast_ref::<EventPack>() {
+                    let mut data = lslot.data.lock();
+                    if let Some(tl) = data.timeline.as_mut() {
+                        for e in &pack.events {
+                            tl.add(e);
+                        }
+                    }
+                }
+            },
+        );
+
+        self.bb.register(unpacker);
+        self.bb.register(profiler);
+        self.bb.register(topology);
+        self.bb.register(timeline);
+
+        let extras = self.extras.lock();
+        if extras.waitstate {
+            slot.data.lock().waitstate = Some(WaitStateAnalysis::new());
+            let wslot = Arc::clone(&slot);
+            self.bb.register(KnowledgeSource::new(
+                &format!("waitstate/{level}"),
+                vec![ty_events],
+                move |_bb, entries| {
+                    if let Some(pack) = entries[0].downcast_ref::<EventPack>() {
+                        let mut data = wslot.data.lock();
+                        if let Some(ws) = data.waitstate.as_mut() {
+                            for e in &pack.events {
+                                ws.add(e);
+                            }
+                        }
+                    }
+                },
+            ));
+        }
+        if let Some((dir, selection)) = extras.proxy.clone() {
+            let path = dir.join(format!("app{app_id}_selected.opmr"));
+            if let Ok(proxy) = TraceProxy::create(&path, selection) {
+                let handle = proxy.handle();
+                slot.data.lock().proxy = Some(proxy);
+                self.bb.register(KnowledgeSource::new(
+                    &format!("trace-proxy/{level}"),
+                    vec![ty_events],
+                    move |_bb, entries| {
+                        if let Some(pack) = entries[0].downcast_ref::<EventPack>() {
+                            handle.offer(pack.header.app_id, &pack.events);
+                        }
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Waits for quiescence, stops the workers and assembles the report.
+    pub fn finish(self) -> MultiReport {
+        self.bb.stop();
+        let mut apps: Vec<Arc<AppSlot>> = self.apps.lock().values().cloned().collect();
+        apps.sort_by_key(|s| s.app_id);
+        let reports = apps
+            .into_iter()
+            .map(|slot| {
+                let name = slot.name.lock().clone();
+                let mut data = slot.data.lock();
+                let density = stock_density_maps(&data.profile);
+                let waitstate = data.waitstate.as_mut().map(|ws| ws.finish().clone());
+                let proxy = data.proxy.take().map(|p| {
+                    let path = p.path().to_path_buf();
+                    let (seen, written) = p.finish(slot.app_id).unwrap_or((0, 0));
+                    (path, seen, written)
+                });
+                AppReport {
+                    app_id: slot.app_id,
+                    name,
+                    ranks: data.profile.ranks(),
+                    events: data.profile.events(),
+                    packs: data.packs,
+                    wire_bytes: data.wire_bytes,
+                    decode_errors: data.decode_errors,
+                    profile: data.profile.clone(),
+                    topology: data.topology.clone(),
+                    timeline: data.timeline.as_ref().map(|t| t.snapshot()),
+                    density,
+                    waitstate,
+                    proxy,
+                }
+            })
+            .collect();
+        MultiReport { apps: reports }
+    }
+}
+
+/// The report's standard density-map set (Figure 18's kinds).
+fn stock_density_maps(profile: &MpiProfile) -> Vec<DensityMap> {
+    let mut maps = Vec::new();
+    if profile.ranks() == 0 {
+        return maps;
+    }
+    let mk = |title: &str, values: Vec<f64>| DensityMap::new(title, values);
+    for (kind, metric, title) in [
+        (EventKind::Send, Metric::Hits, "MPI_Send hits"),
+        (EventKind::Send, Metric::Bytes, "MPI_Send total size"),
+        (EventKind::Isend, Metric::Hits, "MPI_Isend hits"),
+        (EventKind::Wait, Metric::TimeNs, "MPI_Wait time"),
+    ] {
+        let v = profile.rank_metric(kind, metric);
+        if v.iter().any(|&x| x > 0.0) {
+            maps.push(mk(title, v));
+        }
+    }
+    let coll = profile.rank_class_time(|k| k.is_collective());
+    if coll.iter().any(|&x| x > 0.0) {
+        maps.push(mk("collective time", coll));
+    }
+    let p2p_bytes = {
+        let mut v = vec![0.0; profile.ranks() as usize];
+        for kind in [EventKind::Send, EventKind::Isend, EventKind::Sendrecv] {
+            for (i, x) in profile.rank_metric(kind, Metric::Bytes).iter().enumerate() {
+                v[i] += x;
+            }
+        }
+        v
+    };
+    if p2p_bytes.iter().any(|&x| x > 0.0) {
+        maps.push(mk("point-to-point total size", p2p_bytes));
+    }
+    let posix = profile.rank_class_time(|k| k.is_posix());
+    if posix.iter().any(|&x| x > 0.0) {
+        maps.push(mk("POSIX time", posix));
+    }
+    maps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opmr_events::Event;
+
+    fn pack(app: u16, rank: u32, seq: u32, events: Vec<Event>) -> Bytes {
+        EventPack::new(app, rank, seq, events).encode()
+    }
+
+    fn send(rank: u32, peer: i32, bytes: u64) -> Event {
+        Event {
+            time_ns: 1000 * rank as u64,
+            duration_ns: 10,
+            kind: EventKind::Send,
+            rank,
+            peer,
+            tag: 0,
+            comm: 0,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn single_app_pipeline_end_to_end() {
+        let engine = AnalysisEngine::new(EngineConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        engine.set_app_name(3, "cg");
+        engine.start();
+        for rank in 0..4u32 {
+            engine.post_block(pack(
+                3,
+                rank,
+                0,
+                vec![send(rank, ((rank + 1) % 4) as i32, 64)],
+            ));
+        }
+        let report = engine.finish();
+        assert_eq!(report.apps.len(), 1);
+        let app = &report.apps[0];
+        assert_eq!(app.app_id, 3);
+        assert_eq!(app.name, "cg");
+        assert_eq!(app.ranks, 4);
+        assert_eq!(app.events, 4);
+        assert_eq!(app.packs, 4);
+        assert_eq!(app.topology.edge_count(), 4);
+        assert!(app.timeline.is_some());
+        assert!(!app.density.is_empty());
+        assert_eq!(app.decode_errors, 0);
+    }
+
+    #[test]
+    fn multi_app_levels_stay_separate() {
+        let engine = AnalysisEngine::new(EngineConfig::default());
+        engine.start();
+        engine.post_block(pack(1, 0, 0, vec![send(0, 1, 10)]));
+        engine.post_block(pack(2, 0, 0, vec![send(0, 1, 20), send(0, 2, 30)]));
+        let report = engine.finish();
+        assert_eq!(report.apps.len(), 2);
+        assert_eq!(report.apps[0].app_id, 1);
+        assert_eq!(report.apps[0].events, 1);
+        assert_eq!(report.apps[1].app_id, 2);
+        assert_eq!(report.apps[1].events, 2);
+        assert_eq!(
+            report.apps[1].profile.total_mpi_bytes(),
+            50,
+            "apps must not leak into each other"
+        );
+    }
+
+    #[test]
+    fn corrupt_blocks_are_counted_not_fatal() {
+        let engine = AnalysisEngine::new(EngineConfig::default());
+        engine.start();
+        engine.post_block(Bytes::from_static(b"not a pack at all"));
+        engine.post_block(pack(1, 0, 0, vec![send(0, 1, 10)]));
+        let report = engine.finish();
+        let errors: u64 = report.apps.iter().map(|a| a.decode_errors).sum();
+        assert_eq!(errors, 1);
+        assert!(report.apps.iter().any(|a| a.events == 1));
+    }
+
+    #[test]
+    fn many_packs_under_parallel_workers() {
+        let engine = AnalysisEngine::new(EngineConfig {
+            workers: 4,
+            queues: 8,
+            timeline_bins: 16,
+        });
+        engine.start();
+        for seq in 0..200u32 {
+            for rank in 0..8u32 {
+                engine.post_block(pack(
+                    0,
+                    rank,
+                    seq,
+                    vec![send(rank, ((rank + 1) % 8) as i32, 128); 10],
+                ));
+            }
+        }
+        let report = engine.finish();
+        let app = &report.apps[0];
+        assert_eq!(app.events, 200 * 8 * 10);
+        assert_eq!(app.packs, 1600);
+        assert_eq!(app.profile.kind(EventKind::Send).unwrap().hits, 16_000);
+        assert_eq!(app.topology.edge_count(), 8);
+    }
+}

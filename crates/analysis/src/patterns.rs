@@ -1,0 +1,301 @@
+//! Communication-pattern detection.
+//!
+//! The paper motivates online analysis with inter-process analyses such as
+//! "pattern detection in communications \[11\] which requires an
+//! inter-processes context". With every event reaching the engine, the
+//! communication matrix is available online; this module classifies it
+//! against the canonical parallel patterns so the report can *name* what a
+//! topology figure shows:
+//!
+//! * **Ring** — every rank talks to `rank ± 1 (mod n)`;
+//! * **Grid2D** — open-boundary 4-neighbour mesh (halo exchange);
+//! * **Wavefront** — directed mesh traffic toward one corner and back
+//!   (LU-style pipelines);
+//! * **Transpose** — pairwise `i↔σ(i)` with an involution σ (CG);
+//! * **AllToAll** — (near-)complete directed graph (FT);
+//! * **Irregular** — none of the above.
+
+use crate::topology::Topology;
+
+/// Detected pattern with a confidence score (fraction of edges explained).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternMatch {
+    pub pattern: Pattern,
+    /// Fraction of observed edges the pattern explains, 0..1.
+    pub coverage: f64,
+}
+
+/// The canonical pattern taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    Ring,
+    Grid2D { cols: u32, rows: u32 },
+    Wavefront { cols: u32, rows: u32 },
+    Transpose,
+    AllToAll,
+    Irregular,
+}
+
+impl Pattern {
+    /// Human-readable name for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Pattern::Ring => "ring (nearest neighbour ±1)".to_string(),
+            Pattern::Grid2D { cols, rows } => {
+                format!("2-D halo-exchange grid ({cols}×{rows})")
+            }
+            Pattern::Wavefront { cols, rows } => {
+                format!("2-D wavefront pipeline ({cols}×{rows})")
+            }
+            Pattern::Transpose => "pairwise transpose exchange".to_string(),
+            Pattern::AllToAll => "all-to-all".to_string(),
+            Pattern::Irregular => "irregular".to_string(),
+        }
+    }
+}
+
+/// Fraction of observed edges contained in the candidate edge set, combined
+/// with the fraction of candidate edges actually observed (harmonic mean,
+/// so both missing and surplus edges hurt).
+fn score(topo: &Topology, candidate: &dyn Fn(u32, u32) -> bool) -> f64 {
+    let n = topo.ranks();
+    if n == 0 || topo.edge_count() == 0 {
+        return 0.0;
+    }
+    let observed = topo.edge_count() as f64;
+    let mut explained = 0usize;
+    for ((s, d), _w) in topo.sorted_edges() {
+        if candidate(s, d) {
+            explained += 1;
+        }
+    }
+    let mut expected = 0usize;
+    let mut expected_present = 0usize;
+    for s in 0..n {
+        for d in 0..n {
+            if s != d && candidate(s, d) {
+                expected += 1;
+                if topo.edge(s, d).is_some() {
+                    expected_present += 1;
+                }
+            }
+        }
+    }
+    if expected == 0 {
+        return 0.0;
+    }
+    let precision = explained as f64 / observed;
+    let recall = expected_present as f64 / expected as f64;
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Plausible 2-D factorizations of `n`, most square first.
+fn factorizations(n: u32) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push((d, n / d));
+            if d != n / d {
+                out.push((n / d, d));
+            }
+        }
+        d += 1;
+    }
+    out.sort_by_key(|&(a, b)| a.abs_diff(b));
+    out.truncate(6);
+    out
+}
+
+/// Classifies a topology, returning matches sorted by coverage (best
+/// first); always ends with the best guess ≥ the `Irregular` floor.
+pub fn classify(topo: &Topology) -> PatternMatch {
+    let n = topo.ranks();
+    if n < 2 || topo.edge_count() == 0 {
+        return PatternMatch {
+            pattern: Pattern::Irregular,
+            coverage: 0.0,
+        };
+    }
+    let mut best = PatternMatch {
+        pattern: Pattern::Irregular,
+        coverage: 0.35, // a pattern must beat this floor to be claimed
+    };
+    let mut consider = |pattern: Pattern, cov: f64| {
+        if cov > best.coverage {
+            best = PatternMatch {
+                pattern,
+                coverage: cov,
+            };
+        }
+    };
+
+    // Ring.
+    consider(
+        Pattern::Ring,
+        score(topo, &|s, d| d == (s + 1) % n || (d + 1) % n == s),
+    );
+
+    // Grid candidates (halo + wavefront) over plausible factorizations.
+    for (cols, rows) in factorizations(n) {
+        if cols < 2 || rows < 2 {
+            continue;
+        }
+        let coords = |r: u32| (r % cols, r / cols);
+        let halo = |s: u32, d: u32| {
+            let (sx, sy) = coords(s);
+            let (dx, dy) = coords(d);
+            (sx.abs_diff(dx) + sy.abs_diff(dy)) == 1
+        };
+        consider(Pattern::Grid2D { cols, rows }, score(topo, &halo));
+        // Wavefront: mesh neighbours plus diagonals (BT/SP's third sweep
+        // direction) — still local traffic, directed both ways over the
+        // iteration.
+        let wavefront = |s: u32, d: u32| {
+            let (sx, sy) = coords(s);
+            let (dx, dy) = coords(d);
+            sx.abs_diff(dx) <= 1 && sy.abs_diff(dy) <= 1 && s != d
+        };
+        consider(Pattern::Wavefront { cols, rows }, score(topo, &wavefront));
+    }
+
+    // Transpose: the observed p2p graph is a perfect matching (every
+    // communicating rank has exactly one partner, symmetric).
+    {
+        let edges = topo.sorted_edges();
+        let mut partner: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut is_matching = true;
+        for ((s, d), _) in &edges {
+            if *partner.entry(*s).or_insert(*d) != *d {
+                is_matching = false;
+                break;
+            }
+        }
+        if is_matching && !edges.is_empty() {
+            let symmetric = edges
+                .iter()
+                .all(|((s, d), _)| partner.get(d).is_some_and(|p| p == s));
+            if symmetric {
+                consider(Pattern::Transpose, 0.99);
+            }
+        }
+    }
+
+    // All-to-all: edge count close to n(n-1).
+    let density = topo.edge_count() as f64 / (n as f64 * (n as f64 - 1.0));
+    if density > 0.8 {
+        consider(Pattern::AllToAll, density);
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo_from(edges: &[(u32, u32)]) -> Topology {
+        let mut t = Topology::new();
+        for &(s, d) in edges {
+            t.add_weighted(s, d, 1, 10, 1);
+        }
+        t
+    }
+
+    #[test]
+    fn detects_ring() {
+        let n = 8u32;
+        let edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|r| [(r, (r + 1) % n), (r, (r + n - 1) % n)])
+            .collect();
+        let m = classify(&topo_from(&edges));
+        assert_eq!(m.pattern, Pattern::Ring);
+        assert!(m.coverage > 0.9);
+    }
+
+    #[test]
+    fn detects_grid() {
+        // 4×4 open-boundary halo.
+        let mut edges = Vec::new();
+        for y in 0..4u32 {
+            for x in 0..4u32 {
+                let r = y * 4 + x;
+                if x + 1 < 4 {
+                    edges.push((r, r + 1));
+                    edges.push((r + 1, r));
+                }
+                if y + 1 < 4 {
+                    edges.push((r, r + 4));
+                    edges.push((r + 4, r));
+                }
+            }
+        }
+        let m = classify(&topo_from(&edges));
+        assert_eq!(m.pattern, Pattern::Grid2D { cols: 4, rows: 4 });
+        assert!(m.coverage > 0.95);
+    }
+
+    #[test]
+    fn detects_transpose() {
+        let edges = [(0u32, 3u32), (3, 0), (1, 2), (2, 1), (4, 5), (5, 4)];
+        let m = classify(&topo_from(&edges));
+        assert_eq!(m.pattern, Pattern::Transpose);
+    }
+
+    #[test]
+    fn detects_alltoall() {
+        let n = 6u32;
+        let edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|s| (0..n).filter(move |&d| d != s).map(move |d| (s, d)))
+            .collect();
+        let m = classify(&topo_from(&edges));
+        assert_eq!(m.pattern, Pattern::AllToAll);
+    }
+
+    #[test]
+    fn random_sparse_is_irregular() {
+        let edges = [(0u32, 5u32), (2, 7), (3, 1), (6, 0)];
+        let m = classify(&topo_from(&edges));
+        assert_eq!(m.pattern, Pattern::Irregular);
+    }
+
+    #[test]
+    fn empty_topology_is_irregular() {
+        let m = classify(&Topology::new());
+        assert_eq!(m.pattern, Pattern::Irregular);
+        assert_eq!(m.coverage, 0.0);
+    }
+
+    #[test]
+    fn real_workload_topologies_classify_sensibly() {
+        use opmr_events::{Event, EventKind};
+        // Build an euler-like 3×3 halo from events.
+        let mut t = Topology::new();
+        for y in 0..3i32 {
+            for x in 0..3i32 {
+                let r = (y * 3 + x) as u32;
+                for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+                    let (nx, ny) = (x + dx, y + dy);
+                    if (0..3).contains(&nx) && (0..3).contains(&ny) {
+                        t.add(&Event {
+                            time_ns: 0,
+                            duration_ns: 1,
+                            kind: EventKind::Sendrecv,
+                            rank: r,
+                            peer: (ny * 3 + nx),
+                            tag: 0,
+                            comm: 0,
+                            bytes: 100,
+                        });
+                    }
+                }
+            }
+        }
+        let m = classify(&t);
+        assert_eq!(m.pattern, Pattern::Grid2D { cols: 3, rows: 3 });
+    }
+}

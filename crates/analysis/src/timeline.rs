@@ -1,0 +1,278 @@
+//! Temporal maps: time-binned per-rank MPI activity.
+//!
+//! The paper's report includes "temporal and spatial maps for MPI and
+//! POSIX calls"; the temporal map bins the instrumented window into fixed
+//! slots and accumulates, per rank, the time spent inside matching calls —
+//! a coarse Vampir-like view without storing a trace.
+
+use opmr_events::{Event, EventKind};
+
+/// Per-rank × per-bin accumulated busy time.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    bins: usize,
+    span_ns: u64,
+    /// `values[rank][bin]` = ns spent in matching calls.
+    values: Vec<Vec<f64>>,
+    filter: fn(EventKind) -> bool,
+}
+
+impl Timeline {
+    /// A timeline of `bins` slots covering `[0, span_ns)` for calls
+    /// matching `filter`.
+    pub fn new(ranks: usize, bins: usize, span_ns: u64, filter: fn(EventKind) -> bool) -> Timeline {
+        assert!(bins > 0);
+        Timeline {
+            bins,
+            span_ns: span_ns.max(1),
+            values: vec![vec![0.0; bins]; ranks],
+            filter,
+        }
+    }
+
+    /// Folds an event, spreading its duration over the bins it overlaps.
+    pub fn add(&mut self, e: &Event) {
+        if !(self.filter)(e.kind) {
+            return;
+        }
+        let rank = e.rank as usize;
+        if rank >= self.values.len() {
+            self.values.resize(rank + 1, vec![0.0; self.bins]);
+        }
+        let bin_ns = self.span_ns as f64 / self.bins as f64;
+        let (mut start, end) = (e.time_ns as f64, e.end_ns() as f64);
+        while start < end {
+            let bin = ((start / bin_ns) as usize).min(self.bins - 1);
+            // The last bin absorbs anything past the span (clamping).
+            let bin_end = if bin == self.bins - 1 {
+                end
+            } else {
+                (bin as f64 + 1.0) * bin_ns
+            };
+            let chunk = end.min(bin_end) - start;
+            self.values[rank][bin] += chunk;
+            start = bin_end.max(start + 1.0); // always progress
+        }
+    }
+
+    /// Folds a batch.
+    pub fn add_all<'a>(&mut self, events: impl IntoIterator<Item = &'a Event>) {
+        for e in events {
+            self.add(e);
+        }
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Busy fraction of one rank in one bin (0..1, may exceed 1 when
+    /// overlapping non-blocking calls are counted).
+    pub fn fraction(&self, rank: usize, bin: usize) -> f64 {
+        let bin_ns = self.span_ns as f64 / self.bins as f64;
+        self.values[rank][bin] / bin_ns
+    }
+
+    /// Mean busy fraction per bin across ranks (the report's activity
+    /// curve).
+    pub fn mean_activity(&self) -> Vec<f64> {
+        if self.values.is_empty() {
+            return vec![0.0; self.bins];
+        }
+        let mut out = vec![0.0; self.bins];
+        for rank in 0..self.values.len() {
+            for (b, acc) in out.iter_mut().enumerate() {
+                *acc += self.fraction(rank, b);
+            }
+        }
+        for acc in &mut out {
+            *acc /= self.values.len() as f64;
+        }
+        out
+    }
+
+    /// Text rendering: one row per rank, one glyph per bin.
+    pub fn ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut out = String::new();
+        for rank in 0..self.values.len() {
+            for bin in 0..self.bins {
+                let f = self.fraction(rank, bin).min(1.0);
+                let idx = ((f * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A timeline that does not need the span up front: the span doubles (and
+/// bins merge pairwise) whenever an event lands beyond it. Used by the
+/// online engine, where events stream in before the wall time is known.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTimeline {
+    bins: usize,
+    span_ns: u64,
+    values: Vec<Vec<f64>>,
+    filter: fn(EventKind) -> bool,
+}
+
+impl AdaptiveTimeline {
+    /// `bins` must be even (pairwise merging halves them on rescale).
+    pub fn new(bins: usize, filter: fn(EventKind) -> bool) -> AdaptiveTimeline {
+        assert!(bins >= 2 && bins.is_multiple_of(2), "need an even bin count");
+        AdaptiveTimeline {
+            bins,
+            span_ns: 1_000_000, // 1 ms initial span
+            values: Vec::new(),
+            filter,
+        }
+    }
+
+    fn rescale(&mut self) {
+        for row in &mut self.values {
+            for i in 0..self.bins / 2 {
+                row[i] = row[2 * i] + row[2 * i + 1];
+            }
+            for v in row.iter_mut().skip(self.bins / 2) {
+                *v = 0.0;
+            }
+        }
+        self.span_ns *= 2;
+    }
+
+    /// Folds one event, growing the span as needed.
+    pub fn add(&mut self, e: &Event) {
+        if !(self.filter)(e.kind) {
+            return;
+        }
+        while e.end_ns() > self.span_ns {
+            self.rescale();
+        }
+        let rank = e.rank as usize;
+        if rank >= self.values.len() {
+            self.values.resize(rank + 1, vec![0.0; self.bins]);
+        }
+        let bin_ns = self.span_ns as f64 / self.bins as f64;
+        let (mut start, end) = (e.time_ns as f64, e.end_ns() as f64);
+        while start < end {
+            let bin = ((start / bin_ns) as usize).min(self.bins - 1);
+            let bin_end = (bin as f64 + 1.0) * bin_ns;
+            self.values[rank][bin] += end.min(bin_end) - start;
+            start = bin_end;
+        }
+    }
+
+    /// Current span, ns.
+    pub fn span_ns(&self) -> u64 {
+        self.span_ns
+    }
+
+    /// Snapshot as a fixed [`Timeline`]-compatible view.
+    pub fn snapshot(&self) -> Timeline {
+        Timeline {
+            bins: self.bins,
+            span_ns: self.span_ns,
+            values: self.values.clone(),
+            filter: self.filter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rank: u32, t: u64, d: u64, kind: EventKind) -> Event {
+        Event {
+            time_ns: t,
+            duration_ns: d,
+            kind,
+            rank,
+            peer: -1,
+            tag: 0,
+            comm: 0,
+            bytes: 0,
+        }
+    }
+
+    #[test]
+    fn event_lands_in_its_bin() {
+        let mut tl = Timeline::new(1, 10, 1000, |k| k.is_mpi());
+        tl.add(&ev(0, 250, 50, EventKind::Send));
+        assert!((tl.fraction(0, 2) - 0.5).abs() < 1e-9);
+        assert_eq!(tl.fraction(0, 3), 0.0);
+    }
+
+    #[test]
+    fn event_spanning_bins_is_split() {
+        let mut tl = Timeline::new(1, 10, 1000, |k| k.is_mpi());
+        tl.add(&ev(0, 150, 200, EventKind::Recv)); // covers bins 1..3
+        assert!((tl.fraction(0, 1) - 0.5).abs() < 1e-9);
+        assert!((tl.fraction(0, 2) - 1.0).abs() < 1e-9);
+        assert!((tl.fraction(0, 3) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filter_excludes_other_kinds() {
+        let mut tl = Timeline::new(1, 4, 400, |k| k.is_collective());
+        tl.add(&ev(0, 0, 100, EventKind::Send));
+        tl.add(&ev(0, 100, 100, EventKind::Barrier));
+        assert_eq!(tl.fraction(0, 0), 0.0);
+        assert!((tl.fraction(0, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_activity_averages_ranks() {
+        let mut tl = Timeline::new(2, 2, 200, |k| k.is_mpi());
+        tl.add(&ev(0, 0, 100, EventKind::Send)); // rank 0 fully busy bin 0
+        let mean = tl.mean_activity();
+        assert!((mean[0] - 0.5).abs() < 1e-9);
+        assert_eq!(mean[1], 0.0);
+    }
+
+    #[test]
+    fn ascii_has_one_row_per_rank() {
+        let mut tl = Timeline::new(3, 5, 500, |k| k.is_mpi());
+        tl.add(&ev(2, 0, 500, EventKind::Wait));
+        let a = tl.ascii();
+        assert_eq!(a.lines().count(), 3);
+        assert_eq!(a.lines().last().unwrap(), "@@@@@");
+    }
+
+    #[test]
+    fn late_event_clamps_to_last_bin() {
+        let mut tl = Timeline::new(1, 4, 400, |k| k.is_mpi());
+        tl.add(&ev(0, 395, 50, EventKind::Send)); // runs past the span
+        assert!(tl.fraction(0, 3) > 0.0);
+    }
+
+    #[test]
+    fn adaptive_grows_span_preserving_mass() {
+        let mut at = AdaptiveTimeline::new(8, |k| k.is_mpi());
+        at.add(&ev(0, 0, 500_000, EventKind::Send));
+        let before: f64 = at.snapshot().values[0].iter().sum();
+        // An event far beyond the initial 1 ms span forces rescales.
+        at.add(&ev(0, 7_900_000, 100_000, EventKind::Send));
+        assert!(at.span_ns() >= 8_000_000);
+        let after: f64 = at.snapshot().values[0].iter().sum();
+        assert!(
+            (after - (before + 100_000.0)).abs() < 1.0,
+            "mass conserved across rescales"
+        );
+    }
+
+    #[test]
+    fn adaptive_snapshot_fractions() {
+        let mut at = AdaptiveTimeline::new(4, |k| k.is_mpi());
+        at.add(&ev(0, 0, 250_000, EventKind::Send)); // first quarter of 1 ms
+        let tl = at.snapshot();
+        assert!((tl.fraction(0, 0) - 1.0).abs() < 1e-9);
+        assert_eq!(tl.fraction(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Wait-state analysis: matching sends with receives to attribute blocking
+//! time (the paper's Section VI future work — "we are working on a
+//! wait-state analysis which will take advantage of a distributed
+//! blackboard").
+//!
+//! Because *all* events of an application reach the analysis engine, the
+//! classic Scalasca-style patterns can be detected online without a trace:
+//!
+//! * **Late sender** — a receive posted before its matching send started:
+//!   the receiver's wait is attributable to the sender
+//!   (`send.start − recv.start`);
+//! * **Late receiver** — a (synchronous) send that had to wait for the
+//!   receive to be posted (`recv.start − send.start` charged to the
+//!   receiver side).
+//!
+//! Matching follows MPI ordering: per `(sender, receiver)` pair, the k-th
+//! send matches the k-th receive (the generators use one tag per channel,
+//! so tag-aware refinement is unnecessary; ANY_SOURCE receives carry their
+//! matched source in the event record already).
+
+use opmr_events::{Event, EventKind};
+use std::collections::{HashMap, VecDeque};
+
+/// One matched transfer with its wait attribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchedTransfer {
+    pub src: u32,
+    pub dst: u32,
+    pub bytes: u64,
+    /// Receiver-side blocking attributable to the sender, ns.
+    pub late_sender_ns: u64,
+    /// Sender-side blocking attributable to the receiver, ns.
+    pub late_receiver_ns: u64,
+}
+
+/// Aggregated wait-state statistics.
+#[derive(Debug, Clone, Default)]
+pub struct WaitStats {
+    /// Matched transfers.
+    pub matched: u64,
+    /// Sends still waiting for a receive (or vice versa) at `finish`.
+    pub unmatched: u64,
+    /// Per-rank late-sender wait suffered (receiver side), ns.
+    pub late_sender_by_victim: HashMap<u32, u64>,
+    /// Per-rank late-sender wait *caused* (sender side), ns.
+    pub late_sender_by_culprit: HashMap<u32, u64>,
+    /// Per-rank late-receiver wait suffered (sender side), ns.
+    pub late_receiver_by_victim: HashMap<u32, u64>,
+    /// Total late-sender time, ns.
+    pub total_late_sender_ns: u64,
+    /// Total late-receiver time, ns.
+    pub total_late_receiver_ns: u64,
+}
+
+impl WaitStats {
+    /// Per-rank late-sender victim map as a dense vector (density-map
+    /// input).
+    pub fn victim_map(&self, ranks: u32) -> Vec<f64> {
+        (0..ranks)
+            .map(|r| *self.late_sender_by_victim.get(&r).unwrap_or(&0) as f64)
+            .collect()
+    }
+
+    /// Ranks sorted by caused late-sender time, worst first.
+    pub fn worst_culprits(&self, top: usize) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self
+            .late_sender_by_culprit
+            .iter()
+            .map(|(&r, &t)| (r, t))
+            .collect();
+        v.sort_by_key(|&(r, t)| (std::cmp::Reverse(t), r));
+        v.truncate(top);
+        v
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SendSide {
+    start_ns: u64,
+    end_ns: u64,
+    bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RecvSide {
+    start_ns: u64,
+}
+
+/// Online send/receive matcher.
+#[derive(Debug, Default)]
+pub struct WaitStateAnalysis {
+    /// Pending sends per (src, dst) channel.
+    sends: HashMap<(u32, u32), VecDeque<SendSide>>,
+    /// Pending receives per (src, dst) channel.
+    recvs: HashMap<(u32, u32), VecDeque<RecvSide>>,
+    pub stats: WaitStats,
+}
+
+impl WaitStateAnalysis {
+    pub fn new() -> WaitStateAnalysis {
+        WaitStateAnalysis::default()
+    }
+
+    /// Feeds one event; returns the matched transfer when it completes one.
+    ///
+    /// `Sendrecv` decomposes into its send and receive halves, so stencil
+    /// codes written with `MPI_Sendrecv` are analyzed too (the send-side
+    /// match is returned when both halves complete one).
+    pub fn add(&mut self, e: &Event) -> Option<MatchedTransfer> {
+        if e.peer < 0 {
+            return None;
+        }
+        match e.kind {
+            EventKind::Send | EventKind::Isend => self.feed_send(
+                e.rank,
+                e.peer as u32,
+                SendSide {
+                    start_ns: e.time_ns,
+                    end_ns: e.end_ns(),
+                    bytes: e.bytes,
+                },
+            ),
+            EventKind::Recv => self.feed_recv(
+                e.peer as u32,
+                e.rank,
+                RecvSide { start_ns: e.time_ns },
+            ),
+            EventKind::Sendrecv => {
+                let send_half = self.feed_send(
+                    e.rank,
+                    e.peer as u32,
+                    SendSide {
+                        start_ns: e.time_ns,
+                        end_ns: e.end_ns(),
+                        // The event's byte count covers both directions.
+                        bytes: e.bytes / 2,
+                    },
+                );
+                let recv_half = self.feed_recv(
+                    e.peer as u32,
+                    e.rank,
+                    RecvSide { start_ns: e.time_ns },
+                );
+                send_half.or(recv_half)
+            }
+            _ => None,
+        }
+    }
+
+    fn feed_send(&mut self, src: u32, dst: u32, send: SendSide) -> Option<MatchedTransfer> {
+        let key = (src, dst);
+        if let Some(recv) = self.recvs.get_mut(&key).and_then(|q| q.pop_front()) {
+            Some(self.matched(key, send, recv))
+        } else {
+            self.sends.entry(key).or_default().push_back(send);
+            None
+        }
+    }
+
+    fn feed_recv(&mut self, src: u32, dst: u32, recv: RecvSide) -> Option<MatchedTransfer> {
+        let key = (src, dst);
+        if let Some(send) = self.sends.get_mut(&key).and_then(|q| q.pop_front()) {
+            Some(self.matched(key, send, recv))
+        } else {
+            self.recvs.entry(key).or_default().push_back(recv);
+            None
+        }
+    }
+
+    fn matched(&mut self, key: (u32, u32), send: SendSide, recv: RecvSide) -> MatchedTransfer {
+        let (src, dst) = key;
+        let late_sender_ns = send.start_ns.saturating_sub(recv.start_ns);
+        let late_receiver_ns = recv.start_ns.saturating_sub(send.end_ns);
+        self.stats.matched += 1;
+        if late_sender_ns > 0 {
+            *self.stats.late_sender_by_victim.entry(dst).or_default() += late_sender_ns;
+            *self.stats.late_sender_by_culprit.entry(src).or_default() += late_sender_ns;
+            self.stats.total_late_sender_ns += late_sender_ns;
+        }
+        if late_receiver_ns > 0 {
+            *self.stats.late_receiver_by_victim.entry(src).or_default() += late_receiver_ns;
+            self.stats.total_late_receiver_ns += late_receiver_ns;
+        }
+        MatchedTransfer {
+            src,
+            dst,
+            bytes: send.bytes,
+            late_sender_ns,
+            late_receiver_ns,
+        }
+    }
+
+    /// Closes the analysis: counts dangling unmatched halves.
+    pub fn finish(&mut self) -> &WaitStats {
+        let dangling: u64 = self.sends.values().map(|q| q.len() as u64).sum::<u64>()
+            + self.recvs.values().map(|q| q.len() as u64).sum::<u64>();
+        self.stats.unmatched = dangling;
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(rank: u32, peer: u32, t: u64, d: u64) -> Event {
+        Event {
+            time_ns: t,
+            duration_ns: d,
+            kind: EventKind::Send,
+            rank,
+            peer: peer as i32,
+            tag: 0,
+            comm: 0,
+            bytes: 100,
+        }
+    }
+
+    fn recv(rank: u32, peer: u32, t: u64, d: u64) -> Event {
+        Event {
+            kind: EventKind::Recv,
+            ..send(rank, peer, t, d)
+        }
+    }
+
+    #[test]
+    fn late_sender_detected() {
+        let mut ws = WaitStateAnalysis::new();
+        // Receiver posts at t=100, sender only starts at t=400.
+        assert!(ws.add(&recv(1, 0, 100, 350)).is_none());
+        let m = ws.add(&send(0, 1, 400, 50)).unwrap();
+        assert_eq!(m.late_sender_ns, 300);
+        assert_eq!(m.late_receiver_ns, 0);
+        assert_eq!(ws.stats.total_late_sender_ns, 300);
+        assert_eq!(*ws.stats.late_sender_by_victim.get(&1).unwrap(), 300);
+        assert_eq!(*ws.stats.late_sender_by_culprit.get(&0).unwrap(), 300);
+    }
+
+    #[test]
+    fn late_receiver_detected() {
+        let mut ws = WaitStateAnalysis::new();
+        // Sender finished at t=150, receiver only posts at t=500.
+        assert!(ws.add(&send(0, 1, 100, 50)).is_none());
+        let m = ws.add(&recv(1, 0, 500, 10)).unwrap();
+        assert_eq!(m.late_receiver_ns, 350);
+        assert_eq!(m.late_sender_ns, 0);
+    }
+
+    #[test]
+    fn synchronous_pair_has_no_wait() {
+        let mut ws = WaitStateAnalysis::new();
+        ws.add(&send(0, 1, 100, 50));
+        let m = ws.add(&recv(1, 0, 120, 30)).unwrap();
+        assert_eq!(m.late_sender_ns, 0);
+        assert_eq!(m.late_receiver_ns, 0);
+    }
+
+    #[test]
+    fn fifo_matching_per_channel() {
+        let mut ws = WaitStateAnalysis::new();
+        ws.add(&send(0, 1, 100, 10)); // first send
+        ws.add(&send(0, 1, 200, 10)); // second send
+        let m1 = ws.add(&recv(1, 0, 300, 5)).unwrap();
+        let m2 = ws.add(&recv(1, 0, 400, 5)).unwrap();
+        // First recv matches first send: late receiver 300-110.
+        assert_eq!(m1.late_receiver_ns, 190);
+        assert_eq!(m2.late_receiver_ns, 190);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut ws = WaitStateAnalysis::new();
+        ws.add(&send(0, 1, 100, 10));
+        ws.add(&send(2, 1, 500, 10));
+        // Recv from rank 2 must match rank 2's send, not rank 0's.
+        let m = ws.add(&recv(1, 2, 50, 460)).unwrap();
+        assert_eq!(m.src, 2);
+        assert_eq!(m.late_sender_ns, 450);
+    }
+
+    #[test]
+    fn unmatched_counted_at_finish() {
+        let mut ws = WaitStateAnalysis::new();
+        ws.add(&send(0, 1, 100, 10));
+        ws.add(&recv(3, 2, 100, 10));
+        let stats = ws.finish();
+        assert_eq!(stats.unmatched, 2);
+        assert_eq!(stats.matched, 0);
+    }
+
+    #[test]
+    fn victim_map_and_culprits() {
+        let mut ws = WaitStateAnalysis::new();
+        ws.add(&recv(1, 0, 0, 1000));
+        ws.add(&send(0, 1, 800, 10));
+        ws.add(&recv(2, 0, 0, 500));
+        ws.add(&send(0, 2, 200, 10));
+        let map = ws.stats.victim_map(3);
+        assert_eq!(map, vec![0.0, 800.0, 200.0]);
+        let culprits = ws.stats.worst_culprits(2);
+        assert_eq!(culprits, vec![(0, 1000)]);
+    }
+
+    #[test]
+    fn sendrecv_halves_match_each_other() {
+        let mut ws = WaitStateAnalysis::new();
+        let mut a = send(0, 1, 100, 50);
+        a.kind = EventKind::Sendrecv;
+        a.bytes = 200;
+        let mut b = send(1, 0, 400, 50);
+        b.kind = EventKind::Sendrecv;
+        b.bytes = 200;
+        assert!(ws.add(&a).is_none());
+        let m = ws.add(&b).unwrap();
+        // Both directions matched: 2 transfers, no dangling halves.
+        ws.finish();
+        assert_eq!(ws.stats.matched, 2);
+        assert_eq!(ws.stats.unmatched, 0);
+        // B arrived 300 ns late: A's receive half waited on B's send half.
+        assert_eq!(m.late_sender_ns + ws.stats.total_late_sender_ns, 600);
+        assert_eq!(m.bytes, 100, "per-direction half of the 200-byte total");
+    }
+
+    #[test]
+    fn collectives_ignored() {
+        let mut ws = WaitStateAnalysis::new();
+        let mut e = send(0, 1, 0, 10);
+        e.kind = EventKind::Barrier;
+        assert!(ws.add(&e).is_none());
+        assert_eq!(ws.finish().matched + ws.stats.unmatched, 0);
+    }
+}

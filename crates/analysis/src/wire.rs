@@ -1,0 +1,414 @@
+//! Wire serialization for analysis aggregates.
+//!
+//! The paper's Section VI plans "extending data-flow outside of nodes
+//! boundaries": analyzer ranks each reduce their share of the event stream
+//! and the partial aggregates travel over MPI to be merged. This module is
+//! that wire format — compact little-endian encodings for [`MpiProfile`],
+//! [`Topology`] and [`WaitStats`], with merge-compatible round-trips.
+
+use crate::profiler::{CallStats, MpiProfile};
+use crate::topology::Topology;
+use crate::waitstate::WaitStats;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use opmr_events::EventKind;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    Truncated,
+    BadTag(u8),
+    BadKind(u16),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated aggregate"),
+            WireError::BadTag(t) => write!(f, "unknown aggregate tag {t}"),
+            WireError::BadKind(k) => write!(f, "unknown event kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// MpiProfile.
+// ---------------------------------------------------------------------
+
+/// Encodes a profile as its `(rank, kind) → stats` table.
+pub fn encode_profile(p: &MpiProfile, out: &mut BytesMut) {
+    // Reconstructable view: per-rank-kind stats (per-kind is derivable).
+    let mut entries: Vec<(u32, EventKind, CallStats)> = Vec::new();
+    for rank in 0..p.ranks() {
+        for kind in p.kinds() {
+            if let Some(s) = p.rank_kind(rank, kind) {
+                entries.push((rank, kind, *s));
+            }
+        }
+    }
+    out.put_u32_le(entries.len() as u32);
+    out.put_u32_le(p.ranks());
+    out.put_u64_le(p.span_ns());
+    for (rank, kind, s) in entries {
+        out.put_u32_le(rank);
+        out.put_u16_le(kind as u16);
+        out.put_u64_le(s.hits);
+        out.put_u64_le(s.time_ns);
+        out.put_u64_le(s.bytes);
+        out.put_u64_le(s.min_ns);
+        out.put_u64_le(s.max_ns);
+    }
+}
+
+/// Decodes a profile; the result merges into any other profile.
+pub fn decode_profile(buf: &mut impl Buf) -> Result<MpiProfile, WireError> {
+    need(buf, 16)?;
+    let n = buf.get_u32_le() as usize;
+    let _ranks = buf.get_u32_le();
+    let span = buf.get_u64_le();
+    let mut p = MpiProfile::new();
+    for _ in 0..n {
+        need(buf, 4 + 2 + 5 * 8)?;
+        let rank = buf.get_u32_le();
+        let kind_raw = buf.get_u16_le();
+        let kind = EventKind::from_u16(kind_raw).ok_or(WireError::BadKind(kind_raw))?;
+        let hits = buf.get_u64_le();
+        let time_ns = buf.get_u64_le();
+        let bytes = buf.get_u64_le();
+        let min_ns = buf.get_u64_le();
+        let max_ns = buf.get_u64_le();
+        p.absorb_stats(rank, kind, hits, time_ns, bytes, min_ns, max_ns);
+    }
+    p.absorb_span(span);
+    Ok(p)
+}
+
+// ---------------------------------------------------------------------
+// Topology.
+// ---------------------------------------------------------------------
+
+/// Encodes a topology as its edge list.
+pub fn encode_topology(t: &Topology, out: &mut BytesMut) {
+    let edges = t.sorted_edges();
+    out.put_u32_le(edges.len() as u32);
+    out.put_u32_le(t.ranks());
+    for ((s, d), w) in edges {
+        out.put_u32_le(s);
+        out.put_u32_le(d);
+        out.put_u64_le(w.hits);
+        out.put_u64_le(w.bytes);
+        out.put_u64_le(w.time_ns);
+    }
+}
+
+/// Decodes a topology.
+pub fn decode_topology(buf: &mut impl Buf) -> Result<Topology, WireError> {
+    need(buf, 8)?;
+    let n = buf.get_u32_le() as usize;
+    let _ranks = buf.get_u32_le();
+    let mut t = Topology::new();
+    for _ in 0..n {
+        need(buf, 8 + 3 * 8)?;
+        let s = buf.get_u32_le();
+        let d = buf.get_u32_le();
+        let hits = buf.get_u64_le();
+        let bytes = buf.get_u64_le();
+        let time = buf.get_u64_le();
+        t.add_weighted(s, d, hits, bytes, time);
+    }
+    Ok(t)
+}
+
+// ---------------------------------------------------------------------
+// WaitStats.
+// ---------------------------------------------------------------------
+
+fn encode_map(m: &std::collections::HashMap<u32, u64>, out: &mut BytesMut) {
+    out.put_u32_le(m.len() as u32);
+    let mut items: Vec<(u32, u64)> = m.iter().map(|(&k, &v)| (k, v)).collect();
+    items.sort_unstable();
+    for (k, v) in items {
+        out.put_u32_le(k);
+        out.put_u64_le(v);
+    }
+}
+
+fn decode_map(buf: &mut impl Buf) -> Result<std::collections::HashMap<u32, u64>, WireError> {
+    need(buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    let mut m = std::collections::HashMap::with_capacity(n);
+    for _ in 0..n {
+        need(buf, 12)?;
+        let k = buf.get_u32_le();
+        let v = buf.get_u64_le();
+        m.insert(k, v);
+    }
+    Ok(m)
+}
+
+/// Encodes wait-state statistics.
+pub fn encode_waitstats(w: &WaitStats, out: &mut BytesMut) {
+    out.put_u64_le(w.matched);
+    out.put_u64_le(w.unmatched);
+    out.put_u64_le(w.total_late_sender_ns);
+    out.put_u64_le(w.total_late_receiver_ns);
+    encode_map(&w.late_sender_by_victim, out);
+    encode_map(&w.late_sender_by_culprit, out);
+    encode_map(&w.late_receiver_by_victim, out);
+}
+
+/// Decodes wait-state statistics.
+pub fn decode_waitstats(buf: &mut impl Buf) -> Result<WaitStats, WireError> {
+    need(buf, 32)?;
+    let matched = buf.get_u64_le();
+    let unmatched = buf.get_u64_le();
+    let total_late_sender_ns = buf.get_u64_le();
+    let total_late_receiver_ns = buf.get_u64_le();
+    Ok(WaitStats {
+        matched,
+        unmatched,
+        total_late_sender_ns,
+        total_late_receiver_ns,
+        late_sender_by_victim: decode_map(buf)?,
+        late_sender_by_culprit: decode_map(buf)?,
+        late_receiver_by_victim: decode_map(buf)?,
+    })
+}
+
+/// Merges wait-state partials (channel-local matching means partials from
+/// different analyzer ranks are disjoint).
+pub fn merge_waitstats(into: &mut WaitStats, other: &WaitStats) {
+    into.matched += other.matched;
+    into.unmatched += other.unmatched;
+    into.total_late_sender_ns += other.total_late_sender_ns;
+    into.total_late_receiver_ns += other.total_late_receiver_ns;
+    for (k, v) in &other.late_sender_by_victim {
+        *into.late_sender_by_victim.entry(*k).or_default() += v;
+    }
+    for (k, v) in &other.late_sender_by_culprit {
+        *into.late_sender_by_culprit.entry(*k).or_default() += v;
+    }
+    for (k, v) in &other.late_receiver_by_victim {
+        *into.late_receiver_by_victim.entry(*k).or_default() += v;
+    }
+}
+
+/// One application's complete partial aggregate (what an analyzer rank
+/// ships to the merge root).
+pub struct AppPartial {
+    pub app_id: u16,
+    pub packs: u64,
+    pub wire_bytes: u64,
+    pub decode_errors: u64,
+    pub profile: MpiProfile,
+    pub topology: Topology,
+    pub waitstate: Option<WaitStats>,
+}
+
+/// Encodes a set of per-application partials into one buffer.
+pub fn encode_partials(apps: &[AppPartial]) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u32_le(apps.len() as u32);
+    for a in apps {
+        out.put_u16_le(a.app_id);
+        out.put_u64_le(a.packs);
+        out.put_u64_le(a.wire_bytes);
+        out.put_u64_le(a.decode_errors);
+        encode_profile(&a.profile, &mut out);
+        encode_topology(&a.topology, &mut out);
+        match &a.waitstate {
+            Some(w) => {
+                out.put_u8(1);
+                encode_waitstats(w, &mut out);
+            }
+            None => out.put_u8(0),
+        }
+    }
+    out.freeze()
+}
+
+/// Decodes a partial set.
+pub fn decode_partials(mut buf: &[u8]) -> Result<Vec<AppPartial>, WireError> {
+    need(&buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(&buf, 2 + 24)?;
+        let app_id = buf.get_u16_le();
+        let packs = buf.get_u64_le();
+        let wire_bytes = buf.get_u64_le();
+        let decode_errors = buf.get_u64_le();
+        let profile = decode_profile(&mut buf)?;
+        let topology = decode_topology(&mut buf)?;
+        need(&buf, 1)?;
+        let waitstate = match buf.get_u8() {
+            0 => None,
+            1 => Some(decode_waitstats(&mut buf)?),
+            t => return Err(WireError::BadTag(t)),
+        };
+        out.push(AppPartial {
+            app_id,
+            packs,
+            wire_bytes,
+            decode_errors,
+            profile,
+            topology,
+            waitstate,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opmr_events::Event;
+
+    fn sample_profile() -> MpiProfile {
+        let mut p = MpiProfile::new();
+        for i in 0..40u32 {
+            p.add(&Event {
+                time_ns: i as u64 * 100,
+                duration_ns: 10 + i as u64,
+                kind: EventKind::ALL[(i % 9) as usize + 2],
+                rank: i % 4,
+                peer: ((i + 1) % 4) as i32,
+                tag: 0,
+                comm: 0,
+                bytes: i as u64 * 8,
+            });
+        }
+        p
+    }
+
+    #[test]
+    fn profile_roundtrip_preserves_aggregates() {
+        let p = sample_profile();
+        let mut buf = BytesMut::new();
+        encode_profile(&p, &mut buf);
+        let q = decode_profile(&mut buf.freeze()).unwrap();
+        assert_eq!(p.events(), q.events());
+        assert_eq!(p.ranks(), q.ranks());
+        assert_eq!(p.span_ns(), q.span_ns());
+        for kind in p.kinds() {
+            assert_eq!(p.kind(kind), q.kind(kind), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn decoded_profile_merges_like_the_original() {
+        let a = sample_profile();
+        let mut direct = MpiProfile::new();
+        direct.merge(&a);
+        direct.merge(&a);
+        let mut buf = BytesMut::new();
+        encode_profile(&a, &mut buf);
+        let decoded = decode_profile(&mut buf.freeze()).unwrap();
+        let mut via_wire = MpiProfile::new();
+        via_wire.merge(&decoded);
+        via_wire.merge(&decoded);
+        for kind in direct.kinds() {
+            assert_eq!(direct.kind(kind), via_wire.kind(kind));
+        }
+    }
+
+    #[test]
+    fn topology_roundtrip() {
+        let mut t = Topology::new();
+        t.add_weighted(0, 1, 3, 300, 30);
+        t.add_weighted(5, 2, 1, 100, 10);
+        let mut buf = BytesMut::new();
+        encode_topology(&t, &mut buf);
+        let q = decode_topology(&mut buf.freeze()).unwrap();
+        assert_eq!(q.edge_count(), 2);
+        assert_eq!(q.edge(0, 1).unwrap().bytes, 300);
+        assert_eq!(q.edge(5, 2).unwrap().hits, 1);
+        assert_eq!(q.ranks(), 6);
+    }
+
+    #[test]
+    fn waitstats_roundtrip_and_merge() {
+        let mut w = WaitStats::default();
+        w.matched = 10;
+        w.total_late_sender_ns = 500;
+        w.late_sender_by_victim.insert(3, 500);
+        w.late_sender_by_culprit.insert(1, 500);
+        let mut buf = BytesMut::new();
+        encode_waitstats(&w, &mut buf);
+        let q = decode_waitstats(&mut buf.freeze()).unwrap();
+        assert_eq!(q.matched, 10);
+        assert_eq!(q.late_sender_by_victim.get(&3), Some(&500));
+
+        let mut merged = WaitStats::default();
+        merge_waitstats(&mut merged, &w);
+        merge_waitstats(&mut merged, &q);
+        assert_eq!(merged.matched, 20);
+        assert_eq!(merged.late_sender_by_victim.get(&3), Some(&1000));
+    }
+
+    #[test]
+    fn partials_roundtrip() {
+        let apps = vec![
+            AppPartial {
+                app_id: 0,
+                packs: 7,
+                wire_bytes: 999,
+                decode_errors: 0,
+                profile: sample_profile(),
+                topology: Topology::new(),
+                waitstate: None,
+            },
+            AppPartial {
+                app_id: 3,
+                packs: 1,
+                wire_bytes: 48,
+                decode_errors: 1,
+                profile: MpiProfile::new(),
+                topology: {
+                    let mut t = Topology::new();
+                    t.add_weighted(1, 0, 5, 50, 5);
+                    t
+                },
+                waitstate: Some(WaitStats {
+                    matched: 4,
+                    ..WaitStats::default()
+                }),
+            },
+        ];
+        let enc = encode_partials(&apps);
+        let dec = decode_partials(&enc).unwrap();
+        assert_eq!(dec.len(), 2);
+        assert_eq!(dec[0].app_id, 0);
+        assert_eq!(dec[0].packs, 7);
+        assert_eq!(dec[0].profile.events(), 40);
+        assert_eq!(dec[1].decode_errors, 1);
+        assert_eq!(dec[1].topology.edge(1, 0).unwrap().hits, 5);
+        assert_eq!(dec[1].waitstate.as_ref().unwrap().matched, 4);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let apps = vec![AppPartial {
+            app_id: 0,
+            packs: 1,
+            wire_bytes: 1,
+            decode_errors: 0,
+            profile: sample_profile(),
+            topology: Topology::new(),
+            waitstate: None,
+        }];
+        let enc = encode_partials(&apps);
+        for cut in [0, 3, 10, enc.len() - 1] {
+            assert!(decode_partials(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

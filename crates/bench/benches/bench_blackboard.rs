@@ -1,0 +1,85 @@
+//! Ablation: blackboard job-FIFO striping and worker count — DESIGN.md's
+//! contention ablation ("jobs are randomly pushed in an array of FIFOs").
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use opmr_blackboard::{type_id, Blackboard, BlackboardConfig, DataEntry, KnowledgeSource};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const ENTRIES: u64 = 50_000;
+
+fn run(queues: usize, workers: usize) -> u64 {
+    let bb = Blackboard::new(BlackboardConfig { queues, workers });
+    let ty = type_id("bench", "x");
+    let count = Arc::new(AtomicU64::new(0));
+    let c2 = Arc::clone(&count);
+    bb.register(KnowledgeSource::new("sink", vec![ty], move |_bb, _es| {
+        c2.fetch_add(1, Ordering::Relaxed);
+    }));
+    bb.start();
+    for _ in 0..ENTRIES {
+        bb.post(DataEntry::bytes(ty, Bytes::new()));
+    }
+    bb.stop();
+    count.load(Ordering::Relaxed)
+}
+
+fn bench_striping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blackboard_fifo_striping");
+    g.throughput(Throughput::Elements(ENTRIES));
+    g.sample_size(10);
+    for queues in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(queues), &queues, |b, &q| {
+            b.iter(|| assert_eq!(run(q, 4), ENTRIES));
+        });
+    }
+    g.finish();
+}
+
+fn bench_workers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blackboard_workers");
+    g.throughput(Throughput::Elements(ENTRIES));
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| assert_eq!(run(8, w), ENTRIES));
+        });
+    }
+    g.finish();
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    // Unpack-style cascade: 1 pack entry fans out to 32 event entries.
+    let mut g = c.benchmark_group("blackboard_cascade");
+    g.sample_size(10);
+    g.bench_function("fanout_32", |b| {
+        b.iter(|| {
+            let bb = Blackboard::new(BlackboardConfig {
+                queues: 8,
+                workers: 4,
+            });
+            let (tp, te) = (type_id("b", "pack"), type_id("b", "event"));
+            let count = Arc::new(AtomicU64::new(0));
+            let c2 = Arc::clone(&count);
+            bb.register(KnowledgeSource::new("unpack", vec![tp], move |bb, _es| {
+                for _ in 0..32 {
+                    bb.post(DataEntry::bytes(te, Bytes::new()));
+                }
+            }));
+            bb.register(KnowledgeSource::new("sink", vec![te], move |_bb, _es| {
+                c2.fetch_add(1, Ordering::Relaxed);
+            }));
+            bb.start();
+            for _ in 0..500 {
+                bb.post(DataEntry::bytes(tp, Bytes::new()));
+            }
+            bb.stop();
+            assert_eq!(count.load(Ordering::Relaxed), 500 * 32);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_striping, bench_workers, bench_cascade);
+criterion_main!(benches);

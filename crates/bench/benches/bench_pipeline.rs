@@ -1,0 +1,99 @@
+//! End-to-end pipeline benches: full online sessions (instrumentation →
+//! streams → blackboard → report) and the analysis engine in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use opmr_analysis::{AnalysisEngine, EngineConfig};
+use opmr_core::{LiveOptions, Session};
+use opmr_events::{Event, EventKind, EventPack};
+use opmr_netsim::{simulate, tera100, ToolModel};
+use opmr_workloads::{Benchmark, Class};
+
+fn bench_online_session(c: &mut Criterion) {
+    let mut g = c.benchmark_group("online_session");
+    g.sample_size(10);
+    for (name, bench, ranks) in [
+        ("cg_s_16", Benchmark::Cg, 16usize),
+        ("euler_s_16", Benchmark::EulerMhd, 16),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &bench, |b, &bench| {
+            b.iter(|| {
+                let w = bench.build(Class::S, ranks, &tera100(), Some(3)).unwrap();
+                let outcome = Session::builder()
+                    .analyzer_ranks(4)
+                    .app_workload("app", w, LiveOptions::default())
+                    .run()
+                    .unwrap();
+                assert!(outcome.report.apps[0].events > 0);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_ingest(c: &mut Criterion) {
+    // Analysis engine alone: decode + profile + topology + timeline.
+    let packs: Vec<bytes::Bytes> = (0..200u32)
+        .map(|seq| {
+            let events: Vec<Event> = (0..100)
+                .map(|i| Event {
+                    time_ns: (seq as u64 * 100 + i) * 1000,
+                    duration_ns: 500,
+                    kind: if i % 3 == 0 {
+                        EventKind::Send
+                    } else {
+                        EventKind::Recv
+                    },
+                    rank: seq % 16,
+                    peer: ((seq + 1) % 16) as i32,
+                    tag: 0,
+                    comm: 0,
+                    bytes: 128,
+                })
+                .collect();
+            EventPack::new(0, seq % 16, seq / 16, events).encode()
+        })
+        .collect();
+    let mut g = c.benchmark_group("engine_ingest");
+    g.throughput(Throughput::Elements(200 * 100));
+    g.sample_size(10);
+    g.bench_function("20k_events", |b| {
+        b.iter(|| {
+            let engine = AnalysisEngine::new(EngineConfig::default());
+            engine.start();
+            for p in &packs {
+                engine.post_block(p.clone());
+            }
+            let report = engine.finish();
+            assert_eq!(report.apps[0].events, 20_000);
+        });
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_simulator");
+    g.sample_size(10);
+    let m = tera100();
+    for ranks in [256usize, 1024] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("sp_c_{ranks}")),
+            &ranks,
+            |b, &ranks| {
+                let w = Benchmark::Sp.build(Class::C, ranks, &m, Some(3)).unwrap();
+                b.iter(|| {
+                    let r = simulate(&w, &m, &ToolModel::online_coupling(1.0)).unwrap();
+                    assert!(r.elapsed_s > 0.0);
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_online_session,
+    bench_engine_ingest,
+    bench_simulator
+);
+criterion_main!(benches);

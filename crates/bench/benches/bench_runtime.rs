@@ -1,0 +1,80 @@
+//! Ablation: runtime point-to-point cost and the eager/rendezvous
+//! threshold — DESIGN.md's protocol ablation.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use opmr_runtime::collectives::ops;
+use opmr_runtime::{Launcher, Src, TagSel};
+
+fn pingpong(msgs: usize, bytes: usize, eager_limit: usize) {
+    Launcher::new()
+        .eager_limit(eager_limit)
+        .partition("p", 2, move |mpi| {
+            let w = mpi.world();
+            let payload = Bytes::from(vec![0u8; bytes]);
+            if w.local_rank() == 0 {
+                for _ in 0..msgs {
+                    mpi.send(&w, 1, 0, payload.clone()).unwrap();
+                    mpi.recv(&w, Src::Rank(1), TagSel::Tag(0)).unwrap();
+                }
+            } else {
+                for _ in 0..msgs {
+                    mpi.recv(&w, Src::Rank(0), TagSel::Tag(0)).unwrap();
+                    mpi.send(&w, 0, 0, payload.clone()).unwrap();
+                }
+            }
+        })
+        .run()
+        .unwrap();
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_pingpong_latency");
+    g.sample_size(10);
+    g.bench_function("empty_x1000", |b| {
+        b.iter(|| pingpong(1000, 0, 64 * 1024));
+    });
+    g.finish();
+}
+
+fn bench_eager_threshold(c: &mut Criterion) {
+    // 64 KiB messages under three protocol splits: always-eager,
+    // at-the-boundary, always-rendezvous.
+    let mut g = c.benchmark_group("runtime_eager_threshold");
+    g.throughput(Throughput::Bytes((200 * 64 * 1024) as u64));
+    g.sample_size(10);
+    for (name, limit) in [
+        ("eager", 1 << 20),
+        ("boundary", 64 * 1024),
+        ("rendezvous", 1),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &limit, |b, &limit| {
+            b.iter(|| pingpong(200, 64 * 1024, limit));
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_allreduce");
+    g.sample_size(10);
+    for ranks in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                Launcher::new()
+                    .partition("p", ranks, |mpi| {
+                        let w = mpi.world();
+                        for _ in 0..20 {
+                            mpi.allreduce_t(&w, &[1.0f64; 8], ops::sum).unwrap();
+                        }
+                    })
+                    .run()
+                    .unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_latency, bench_eager_threshold, bench_allreduce);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! In-text table — instrumentation-data bandwidth `Bi` and measurement
+//! volumes (Section IV-C).
+//!
+//! Paper anchors: `Bi(SP.C) = 2.37 GB/s` and `Bi(SP.D) = 334.99 MB/s` at
+//! 900 cores; online-coupling volumes for SP.D growing from 923.93 MB (64
+//! ranks) to 333.22 GB (4096 ranks).
+
+use opmr_bench::{out_dir, row};
+use opmr_netsim::{simulate, tera100, ToolModel};
+use opmr_workloads::{Benchmark, Class};
+use std::io::Write as _;
+
+fn main() {
+    let m = tera100();
+    let dir = out_dir("bi_table");
+    let mut csv = String::from("bench,class,ranks,bi_mbs,volume_gb,elapsed_s\n");
+
+    println!("In-text Bi table — SP on the Tera 100 model (online coupling, 1:1)\n");
+    row(
+        &[
+            "series".into(),
+            "ranks".into(),
+            "Bi".into(),
+            "volume(full)".into(),
+            "paper".into(),
+        ],
+        &[8, 8, 14, 14, 22],
+    );
+
+    let cases = [
+        (Class::C, 900usize, 10u32, "Bi=2.37 GB/s"),
+        (Class::D, 900, 10, "Bi=334.99 MB/s"),
+        (Class::D, 64, 10, "volume 923.93 MB"),
+        (Class::D, 1024, 10, "(interpolates)"),
+        (Class::D, 4096, 10, "volume 333.22 GB"),
+    ];
+    for (class, ranks, iters, paper) in cases {
+        let w = Benchmark::Sp
+            .build(class, ranks, &m, Some(iters))
+            .expect("SP builds on squares");
+        let r = simulate(&w, &m, &ToolModel::online_coupling(1.0)).expect("simulate");
+        let nominal = Benchmark::Sp.nominal_iters(class) as f64 / iters as f64;
+        let volume_gb = r.stats.event_bytes as f64 * nominal / 1e9;
+        let bi = r.bi_bps();
+        let bi_str = if bi >= 1e9 {
+            format!("{:.2} GB/s", bi / 1e9)
+        } else {
+            format!("{:.1} MB/s", bi / 1e6)
+        };
+        row(
+            &[
+                format!("SP.{class}"),
+                ranks.to_string(),
+                bi_str,
+                format!("{volume_gb:.2} GB"),
+                paper.to_string(),
+            ],
+            &[8, 8, 14, 14, 22],
+        );
+        csv.push_str(&format!(
+            "SP,{class},{ranks},{:.2},{volume_gb:.3},{:.4}\n",
+            bi / 1e6,
+            r.elapsed_s
+        ));
+    }
+
+    println!("\nBi(C)/Bi(D) ratio must exceed ~5 (paper: 2.37 GB / 335 MB ≈ 7.1).");
+    let path = dir.join("bi_table.csv");
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(csv.as_bytes()))
+        .expect("write bi_table.csv");
+    println!("wrote {}", path.display());
+}

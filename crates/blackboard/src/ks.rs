@@ -1,0 +1,86 @@
+//! Knowledge sources: sensitivities + operation.
+
+use crate::engine::Blackboard;
+use crate::entry::{DataEntry, TypeId};
+use std::sync::Arc;
+
+/// Identifier of a registered knowledge source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KsId(pub u64);
+
+/// The function triggered when a KS's sensitivities are satisfied.
+///
+/// Receives the blackboard handle (for posting new entries and for
+/// registering/removing knowledge sources — the paper's simplified
+/// opportunistic reasoning) and exactly one entry per declared sensitivity,
+/// in declaration order.
+pub type Operation = Arc<dyn Fn(&Blackboard, &[DataEntry]) + Send + Sync>;
+
+/// A knowledge source: `{{Sensitivities}, Operation}`.
+#[derive(Clone)]
+pub struct KnowledgeSource {
+    name: String,
+    sensitivities: Vec<TypeId>,
+    op: Operation,
+}
+
+impl KnowledgeSource {
+    /// Builds a KS triggered by one entry of each listed type.
+    /// Repeating a type requires that many entries of it per firing.
+    pub fn new(
+        name: &str,
+        sensitivities: Vec<TypeId>,
+        op: impl Fn(&Blackboard, &[DataEntry]) + Send + Sync + 'static,
+    ) -> KnowledgeSource {
+        assert!(
+            !sensitivities.is_empty(),
+            "a knowledge source needs at least one sensitivity"
+        );
+        KnowledgeSource {
+            name: name.to_string(),
+            sensitivities,
+            op: Arc::new(op),
+        }
+    }
+
+    /// Human-readable name (reports, diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared sensitivities, in order.
+    pub fn sensitivities(&self) -> &[TypeId] {
+        &self.sensitivities
+    }
+
+    pub(crate) fn operation(&self) -> Operation {
+        Arc::clone(&self.op)
+    }
+}
+
+impl std::fmt::Debug for KnowledgeSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KnowledgeSource")
+            .field("name", &self.name)
+            .field("sensitivities", &self.sensitivities.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ks_exposes_declaration() {
+        let ks = KnowledgeSource::new("k", vec![1, 2, 2], |_bb, _es| {});
+        assert_eq!(ks.name(), "k");
+        assert_eq!(ks.sensitivities(), &[1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sensitivity")]
+    fn empty_sensitivities_rejected() {
+        let _ = KnowledgeSource::new("bad", vec![], |_bb, _es| {});
+    }
+}

@@ -1,0 +1,33 @@
+//! # opmr-blackboard — the parallel multi-level blackboard engine
+//!
+//! Reproduction of the paper's distributed analysis engine core
+//! (Sections II-B and III-B). The blackboard is a data-centric task engine:
+//!
+//! * a **data entry** is a tuple `{Type, Size, Payload}` ([`DataEntry`]);
+//! * a **knowledge source** (KS) is `{{Sensitivities}, Operation}`
+//!   ([`KnowledgeSource`]): a set of entry types that *trigger* a function
+//!   over the collected inputs. A KS may carry several sensitivities of the
+//!   same type, may submit any entry, and may register or remove any KS —
+//!   including itself — giving the simplified opportunistic control the
+//!   paper describes;
+//! * when an entry is posted, matching sensitivities are looked up in the
+//!   **sensitivity hash table**; once a KS's *last unsatisfied sensitivity*
+//!   is filled, a **job** `{{Data entries}, Operation}` is created and
+//!   pushed onto one of an **array of individually-locked FIFOs** (chosen at
+//!   random to reduce contention);
+//! * a **worker pool** sweeps the FIFOs from random starting points, with a
+//!   progressive back-off when no job is available;
+//! * entries are read-mostly and reference-counted; payloads are writable
+//!   only while uniquely owned ([`DataEntry::payload_mut`] semantics come
+//!   from `Arc::get_mut`);
+//! * the **multi-level** blackboard of Figure 5 is obtained by hashing the
+//!   level name into the entry type id ([`type_id`]), so identical KS sets
+//!   can coexist per instrumented application.
+
+pub mod engine;
+pub mod entry;
+pub mod ks;
+
+pub use engine::{Blackboard, BlackboardConfig, BlackboardStats};
+pub use entry::{type_id, DataEntry, Payload, TypeId};
+pub use ks::{KnowledgeSource, KsId, Operation};

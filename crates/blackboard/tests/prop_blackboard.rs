@@ -1,0 +1,121 @@
+//! Property tests: the blackboard never loses or double-fires a job, for
+//! arbitrary KS topologies, entry orders and worker counts.
+
+use bytes::Bytes;
+use opmr_blackboard::{type_id, Blackboard, BlackboardConfig, DataEntry, KnowledgeSource};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Single-sensitivity KSs fire exactly once per posted entry of their
+    /// type, whatever the posting order and parallelism.
+    #[test]
+    fn exactly_once_per_entry(
+        counts in proptest::collection::vec(0usize..200, 1..5),
+        workers in 0usize..5,
+        queues in 1usize..10,
+    ) {
+        let bb = Blackboard::new(BlackboardConfig { queues, workers });
+        let hits: Vec<Arc<AtomicUsize>> =
+            (0..counts.len()).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+        let tys: Vec<u64> = (0..counts.len())
+            .map(|i| type_id("prop", &format!("t{i}")))
+            .collect();
+        for (i, ty) in tys.iter().enumerate() {
+            let h = Arc::clone(&hits[i]);
+            bb.register(KnowledgeSource::new(&format!("k{i}"), vec![*ty], move |_bb, es| {
+                assert_eq!(es.len(), 1);
+                h.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        if workers > 0 {
+            bb.start();
+        }
+        // Interleave posts across types.
+        let max = counts.iter().copied().max().unwrap_or(0);
+        for round in 0..max {
+            for (i, &c) in counts.iter().enumerate() {
+                if round < c {
+                    bb.post(DataEntry::bytes(tys[i], Bytes::new()));
+                }
+            }
+        }
+        if workers > 0 {
+            bb.stop();
+        } else {
+            bb.run_inline();
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(hits[i].load(Ordering::SeqCst), c, "type {}", i);
+        }
+        prop_assert_eq!(
+            bb.stats().jobs_executed,
+            counts.iter().map(|&c| c as u64).sum::<u64>()
+        );
+    }
+
+    /// Join KSs (one sensitivity per type) fire exactly
+    /// `min(posted_a, posted_b)` times.
+    #[test]
+    fn join_fires_min_of_inputs(
+        a in 0usize..60,
+        b in 0usize..60,
+        interleave in any::<bool>(),
+        workers in 0usize..4,
+    ) {
+        let bb = Blackboard::new(BlackboardConfig { queues: 4, workers });
+        let (ta, tb) = (type_id("p", "a"), type_id("p", "b"));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        bb.register(KnowledgeSource::new("join", vec![ta, tb], move |_bb, es| {
+            assert_eq!(es.len(), 2);
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        if workers > 0 {
+            bb.start();
+        }
+        if interleave {
+            for i in 0..a.max(b) {
+                if i < a { bb.post(DataEntry::bytes(ta, Bytes::new())); }
+                if i < b { bb.post(DataEntry::bytes(tb, Bytes::new())); }
+            }
+        } else {
+            for _ in 0..a { bb.post(DataEntry::bytes(ta, Bytes::new())); }
+            for _ in 0..b { bb.post(DataEntry::bytes(tb, Bytes::new())); }
+        }
+        if workers > 0 { bb.stop(); } else { bb.run_inline(); }
+        prop_assert_eq!(hits.load(Ordering::SeqCst), a.min(b));
+    }
+
+    /// Cascades conserve mass: N packs × fanout K = K·N leaf jobs, under
+    /// any worker count.
+    #[test]
+    fn cascade_conservation(
+        packs in 1usize..80,
+        fanout in 1usize..20,
+        workers in 1usize..5,
+    ) {
+        let bb = Blackboard::new(BlackboardConfig { queues: 8, workers });
+        let (tp, te) = (type_id("c", "pack"), type_id("c", "event"));
+        let leafs = Arc::new(AtomicUsize::new(0));
+        let l2 = Arc::clone(&leafs);
+        bb.register(KnowledgeSource::new("expand", vec![tp], move |bb, _es| {
+            for _ in 0..fanout {
+                bb.post(DataEntry::bytes(te, Bytes::new()));
+            }
+        }));
+        bb.register(KnowledgeSource::new("leaf", vec![te], move |_bb, _es| {
+            l2.fetch_add(1, Ordering::SeqCst);
+        }));
+        bb.start();
+        for _ in 0..packs {
+            bb.post(DataEntry::bytes(tp, Bytes::new()));
+        }
+        bb.stop();
+        prop_assert_eq!(leafs.load(Ordering::SeqCst), packs * fanout);
+        prop_assert_eq!(bb.stats().entries_dropped, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Live execution of simulator rank-programs on the instrumented runtime.
+//!
+//! The workload generators in `opmr-workloads` emit [`opmr_netsim::Op`]
+//! programs. At paper scale those are simulated; at laptop scale this
+//! driver *runs* them: every op becomes a real instrumented MPI call on
+//! the in-process runtime, so live sessions exercise the full chain
+//! (virtualization → streams → blackboard → report) with genuine NAS /
+//! EulerMHD communication patterns.
+
+use opmr_instrument::InstrumentedMpi;
+use opmr_netsim::{CollKind, Op, Phase, Workload};
+use opmr_runtime::{Comm, Src, TagSel};
+use opmr_vmpi::Result;
+use bytes::Bytes;
+use std::time::Duration;
+
+/// Live-run scaling knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveOptions {
+    /// Multiplier applied to simulated compute intervals (1.0 = real time;
+    /// live tests typically use 1e-3 or 0.0).
+    pub time_scale: f64,
+    /// Cap on per-message payload bytes (class-D faces would otherwise
+    /// allocate needlessly large buffers in-process).
+    pub max_message_bytes: usize,
+}
+
+impl Default for LiveOptions {
+    fn default() -> Self {
+        LiveOptions {
+            time_scale: 0.0,
+            max_message_bytes: 1 << 20,
+        }
+    }
+}
+
+const DRIVER_TAG: i32 = 0x0D17;
+
+/// Executes `workload.programs[rank]` on the instrumented handle.
+///
+/// All ranks of the application must call this with the same workload.
+/// Collective groups are materialized as deterministic sub-communicators.
+pub fn run_program(
+    imp: &InstrumentedMpi,
+    workload: &Workload,
+    rank: usize,
+    opts: &LiveOptions,
+) -> Result<()> {
+    assert_eq!(
+        workload.ranks(),
+        imp.size(),
+        "workload built for a different application size"
+    );
+    let world = imp.comm_world();
+    let first_world = imp.vmpi().my_partition().first_world_rank;
+
+    // Materialize collective groups as communicators (deterministic ids,
+    // no communication needed).
+    let comms: Vec<Option<Comm>> = workload
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(gi, members)| {
+            if members.contains(&(rank as u32)) {
+                let world_ranks: Vec<usize> = members
+                    .iter()
+                    .map(|&r| first_world + r as usize)
+                    .collect();
+                Some(
+                    imp.vmpi()
+                        .mpi()
+                        .comm_from_world_ranks(world_ranks, 0xC0_0000 + gi as u64)
+                        .expect("rank listed in group"),
+                )
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let prog = &workload.programs[rank];
+    let mut phase = Phase::start().normalize(prog);
+    while let Some(cur) = phase {
+        let op = prog.op_at(cur).expect("normalized phase is valid");
+        execute_op(imp, &world, &comms, rank, op, opts)?;
+        phase = cur.advance(prog);
+    }
+    Ok(())
+}
+
+fn payload(bytes: u64, opts: &LiveOptions, fill: u8) -> Bytes {
+    let len = (bytes as usize).min(opts.max_message_bytes).max(1);
+    Bytes::from(vec![fill; len])
+}
+
+fn execute_op(
+    imp: &InstrumentedMpi,
+    world: &Comm,
+    comms: &[Option<Comm>],
+    rank: usize,
+    op: Op,
+    opts: &LiveOptions,
+) -> Result<()> {
+    match op {
+        Op::Compute { ns } => {
+            let scaled = (ns * opts.time_scale) as u64;
+            if scaled > 0 {
+                imp.compute(Duration::from_nanos(scaled))?;
+            }
+            Ok(())
+        }
+        Op::Send { to, bytes } => imp.send(
+            world,
+            to as usize,
+            DRIVER_TAG,
+            payload(bytes, opts, rank as u8),
+        ),
+        Op::Recv { from } => {
+            imp.recv(world, Src::Rank(from as usize), TagSel::Tag(DRIVER_TAG))?;
+            Ok(())
+        }
+        Op::Exchange { peer, bytes } => {
+            imp.sendrecv(
+                world,
+                peer as usize,
+                DRIVER_TAG,
+                payload(bytes, opts, rank as u8),
+                Src::Rank(peer as usize),
+                TagSel::Tag(DRIVER_TAG),
+            )?;
+            Ok(())
+        }
+        Op::Coll { group, kind, bytes } => {
+            let comm = comms
+                .get(group as usize)
+                .and_then(|c| c.as_ref())
+                .expect("rank participates in its program's groups");
+            let local = comm
+                .local_of_world(imp.vmpi().my_partition().first_world_rank + rank)
+                .expect("rank in group comm");
+            match kind {
+                CollKind::Barrier => imp.barrier(comm),
+                CollKind::Bcast => {
+                    let data = if local == 0 {
+                        Some(payload(bytes, opts, 0xB0))
+                    } else {
+                        None
+                    };
+                    imp.bcast(comm, 0, data).map(|_| ())
+                }
+                CollKind::Reduce => {
+                    let n = ((bytes as usize / 8).clamp(1, 4096)).max(1);
+                    imp.reduce_sum(comm, 0, &vec![1.0f64; n]).map(|_| ())
+                }
+                CollKind::Allreduce => {
+                    let n = ((bytes as usize / 8).clamp(1, 4096)).max(1);
+                    imp.allreduce_sum(comm, &vec![1.0f64; n]).map(|_| ())
+                }
+                CollKind::Gather => imp.gather(comm, 0, payload(bytes, opts, 0x6A)).map(|_| ()),
+                CollKind::Allgather => imp.allgather(comm, payload(bytes, opts, 0xAC)).map(|_| ()),
+                CollKind::Alltoall => {
+                    let parts: Vec<Bytes> =
+                        (0..comm.size()).map(|_| payload(bytes, opts, 0xA2)).collect();
+                    imp.alltoall(comm, parts).map(|_| ())
+                }
+            }
+        }
+        // File-system ops are modelled as synthetic POSIX events (live runs
+        // must not touch a real shared FS).
+        Op::FsWrite { bytes } => imp.posix(
+            opmr_events::EventKind::PosixWrite,
+            bytes,
+            Duration::from_micros(5),
+        ),
+        Op::FsMeta => imp.posix(opmr_events::EventKind::PosixOpen, 0, Duration::from_micros(2)),
+    }
+}

@@ -1,0 +1,430 @@
+//! Online-coupling sessions: the end-to-end user façade.
+//!
+//! A session assembles one MPMD job (Figure 10): N instrumented
+//! application partitions and one "Analyzer" partition. Application ranks
+//! initialize the instrumented MPI façade, run their body, finalize;
+//! analyzer ranks additively map every application partition, open a read
+//! stream across all of them and feed each received block to the shared
+//! parallel blackboard engine. When the job ends, the engine is drained
+//! and the multi-application report returned — no trace file ever exists.
+
+use crate::driver::{run_program, LiveOptions};
+use opmr_analysis::{AnalysisEngine, EngineConfig, MultiReport};
+use opmr_instrument::{InstrumentedMpi, RecorderStats};
+use opmr_netsim::Workload;
+use opmr_runtime::{Launcher, Mpi};
+use opmr_vmpi::map::map_partitions;
+use opmr_vmpi::{Map, MapPolicy, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Session failure.
+#[derive(Debug)]
+pub enum SessionError {
+    /// One or more ranks panicked.
+    Launch(opmr_runtime::launch::LaunchError),
+    /// A coupling-layer failure before launch.
+    Vmpi(VmpiError),
+    /// Builder misuse.
+    Config(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Launch(e) => write!(f, "launch failed: {e}"),
+            SessionError::Vmpi(e) => write!(f, "coupling failed: {e}"),
+            SessionError::Config(what) => write!(f, "bad session config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+type AppBody = Arc<dyn Fn(&InstrumentedMpi) + Send + Sync + 'static>;
+type EngineSetup = Box<dyn FnOnce(&AnalysisEngine) + Send>;
+
+struct AppSpec {
+    name: String,
+    ranks: usize,
+    body: AppBody,
+}
+
+/// What a finished session returns.
+pub struct SessionOutcome {
+    /// The multi-application analysis report.
+    pub report: MultiReport,
+    /// Per-application recorder totals `(app name, stats)`.
+    pub recorders: Vec<(String, RecorderStats)>,
+    /// Wall time of the whole MPMD job, seconds.
+    pub wall_s: f64,
+}
+
+impl SessionOutcome {
+    /// Renders the report (Markdown, LaTeX, DOT graphs, matrices, PGM
+    /// density maps) under `dir`; returns the written paths.
+    pub fn write_artifacts(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Vec<std::path::PathBuf>> {
+        opmr_analysis::report::write_artifacts(&self.report, dir.as_ref())
+    }
+
+    /// The Markdown rendering of the report.
+    pub fn markdown(&self) -> String {
+        opmr_analysis::report::to_markdown(&self.report)
+    }
+
+    /// The LaTeX rendering of the report (the paper's output format).
+    pub fn latex(&self) -> String {
+        opmr_analysis::report::to_latex(&self.report)
+    }
+}
+
+/// Builder for an online-coupling session.
+pub struct SessionBuilder {
+    apps: Vec<AppSpec>,
+    analyzer_ranks: usize,
+    stream: StreamConfig,
+    engine: EngineConfig,
+    waitstate: bool,
+    proxy: Option<(std::path::PathBuf, opmr_analysis::Selection)>,
+    engine_setup: Option<EngineSetup>,
+    distributed: bool,
+}
+
+/// Entry point: `Session::builder()`.
+pub struct Session;
+
+impl Session {
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder {
+            apps: Vec::new(),
+            analyzer_ranks: 1,
+            stream: StreamConfig {
+                block_size: 64 * 1024,
+                ..StreamConfig::default()
+            },
+            engine: EngineConfig::default(),
+            waitstate: false,
+            proxy: None,
+            engine_setup: None,
+            distributed: false,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Number of analyzer ranks (the paper's writer/reader ratio knob).
+    pub fn analyzer_ranks(mut self, n: usize) -> Self {
+        self.analyzer_ranks = n.max(1);
+        self
+    }
+
+    /// Stream configuration used by every instrumented application.
+    pub fn stream_config(mut self, cfg: StreamConfig) -> Self {
+        self.stream = cfg;
+        self
+    }
+
+    /// Analysis-engine configuration.
+    pub fn engine_config(mut self, cfg: EngineConfig) -> Self {
+        self.engine = cfg;
+        self
+    }
+
+    /// Enables online wait-state analysis (late-sender / late-receiver
+    /// attribution) for every application.
+    pub fn waitstate(mut self) -> Self {
+        self.waitstate = true;
+        self
+    }
+
+    /// Distributed analysis (Section VI future work): every analyzer rank
+    /// runs its *own* blackboard engine over its share of the streams;
+    /// partial aggregates are merged over MPI at the analyzer root when
+    /// the job ends. Temporal maps and the trace proxy are per-engine
+    /// views and are disabled in this mode.
+    pub fn distributed(mut self) -> Self {
+        self.distributed = true;
+        self
+    }
+
+    /// Runs a setup callback against the analysis engine before launch —
+    /// the hook for registering custom knowledge sources (the paper's
+    /// plugin mechanism).
+    pub fn engine_setup(mut self, f: impl FnOnce(&AnalysisEngine) + Send + 'static) -> Self {
+        self.engine_setup = Some(Box::new(f));
+        self
+    }
+
+    /// Attaches the selective-trace IO proxy: events surviving `selection`
+    /// land in `dir/app<N>_selected.opmr` alongside the online analysis.
+    pub fn trace_proxy(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+        selection: opmr_analysis::Selection,
+    ) -> Self {
+        self.proxy = Some((dir.into(), selection));
+        self
+    }
+
+    /// Adds an instrumented application with a custom body.
+    pub fn app<F>(mut self, name: &str, ranks: usize, body: F) -> Self
+    where
+        F: Fn(&InstrumentedMpi) + Send + Sync + 'static,
+    {
+        assert!(ranks > 0, "application needs at least one rank");
+        self.apps.push(AppSpec {
+            name: name.to_string(),
+            ranks,
+            body: Arc::new(body),
+        });
+        self
+    }
+
+    /// Adds an application that live-runs a generated workload program.
+    pub fn app_workload(self, name: &str, workload: Workload, opts: LiveOptions) -> Self {
+        let ranks = workload.ranks();
+        let workload = Arc::new(workload);
+        self.app(name, ranks, move |imp| {
+            run_program(imp, &workload, imp.rank(), &opts).expect("workload body");
+        })
+    }
+
+    /// Runs the session to completion.
+    pub fn run(mut self) -> Result<SessionOutcome, SessionError> {
+        if self.apps.is_empty() {
+            return Err(SessionError::Config("no applications added".into()));
+        }
+        let names: std::collections::HashMap<u16, String> = self
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(id, s)| (id as u16, s.name.clone()))
+            .collect();
+        let distributed = self.distributed;
+        let waitstate = self.waitstate;
+        let engine_cfg = self.engine;
+
+        // Shared-engine mode keeps one engine for all analyzer ranks;
+        // distributed mode builds one per analyzer rank inside its closure.
+        let engine = if distributed {
+            None
+        } else {
+            let engine = AnalysisEngine::new(engine_cfg);
+            if waitstate {
+                engine.enable_waitstate();
+            }
+            if let Some((dir, selection)) = self.proxy.take() {
+                engine.attach_trace_proxy(dir, selection);
+            }
+            for (id, name) in &names {
+                engine.set_app_name(*id, name);
+            }
+            if let Some(setup) = self.engine_setup.take() {
+                setup(&engine);
+            }
+            engine.start();
+            Some(engine)
+        };
+        let merged_slot: Arc<Mutex<Option<MultiReport>>> = Arc::new(Mutex::new(None));
+
+        let recorders: Arc<Mutex<Vec<(String, RecorderStats)>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let stream_cfg = self.stream;
+        let analyzer_ranks = self.analyzer_ranks;
+
+        let mut launcher = Launcher::new();
+        for (app_id, spec) in self.apps.into_iter().enumerate() {
+            let body = spec.body;
+            let name = spec.name.clone();
+            let recs = Arc::clone(&recorders);
+            launcher = launcher.partition(&spec.name, spec.ranks, move |mpi: Mpi| {
+                let imp = InstrumentedMpi::init(mpi, "Analyzer", stream_cfg, 0, app_id as u16)
+                    .expect("instrumented init");
+                body(&imp);
+                let stats = imp.finalize().expect("instrumented finalize");
+                recs.lock().push((name.clone(), stats));
+            });
+        }
+        let engine_for_analyzer = engine.clone();
+        let names_for_analyzer = names.clone();
+        let slot_for_analyzer = Arc::clone(&merged_slot);
+        launcher = launcher.partition("Analyzer", analyzer_ranks, move |mpi: Mpi| {
+            match &engine_for_analyzer {
+                Some(engine) => analyzer_rank(mpi, engine, stream_cfg),
+                None => distributed_analyzer_rank(
+                    mpi,
+                    stream_cfg,
+                    engine_cfg,
+                    waitstate,
+                    &names_for_analyzer,
+                    &slot_for_analyzer,
+                ),
+            }
+        });
+
+        let t0 = std::time::Instant::now();
+        launcher.run().map_err(SessionError::Launch)?;
+        let wall_s = t0.elapsed().as_secs_f64();
+
+        let report = match engine {
+            Some(engine) => engine.finish(),
+            None => merged_slot
+                .lock()
+                .take()
+                .ok_or_else(|| SessionError::Config("distributed merge produced no report".into()))?,
+        };
+        let mut recorders = Arc::try_unwrap(recorders)
+            .map(|m| m.into_inner())
+            .unwrap_or_default();
+        recorders.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(SessionOutcome {
+            report,
+            recorders,
+            wall_s,
+        })
+    }
+}
+
+/// Distributed-analysis analyzer rank (Section VI): local engine per rank,
+/// partial aggregates gathered to the analyzer root and merged.
+fn distributed_analyzer_rank(
+    mpi: Mpi,
+    stream_cfg: StreamConfig,
+    engine_cfg: EngineConfig,
+    waitstate: bool,
+    names: &std::collections::HashMap<u16, String>,
+    slot: &Mutex<Option<MultiReport>>,
+) {
+    let engine = AnalysisEngine::new(engine_cfg);
+    if waitstate {
+        engine.enable_waitstate();
+    }
+    engine.start();
+    // Drain this rank's share of the streams into the local engine.
+    analyzer_rank(mpi.clone(), &engine, stream_cfg);
+    let local = engine.finish();
+    let partials = local.to_partials();
+    let encoded = opmr_analysis::wire::encode_partials(&partials);
+
+    // Gather every analyzer rank's partials at the analyzer-partition root.
+    let v = Vmpi::new(mpi);
+    let analyzer_world = v.comm_world();
+    let gathered = v
+        .mpi()
+        .gather(&analyzer_world, 0, encoded)
+        .expect("partial gather");
+    if let Some(parts) = gathered {
+        let sets: Vec<Vec<opmr_analysis::wire::AppPartial>> = parts
+            .iter()
+            .map(|p| opmr_analysis::wire::decode_partials(p).expect("partials decode"))
+            .collect();
+        let merged = MultiReport::from_partials(sets, names);
+        *slot.lock() = Some(merged);
+    }
+}
+
+/// Analyzer-rank body: additively map every application partition
+/// (Figure 10), then drain blocks into the engine until all writers close.
+fn analyzer_rank(mpi: Mpi, engine: &AnalysisEngine, stream_cfg: StreamConfig) {
+    let v = Vmpi::new(mpi);
+    let mut map = Map::new();
+    for pid in 0..v.partition_count() {
+        if pid != v.partition_id() {
+            map_partitions(&v, pid, MapPolicy::RoundRobin, &mut map)
+                .expect("analyzer mapping");
+        }
+    }
+    if map.is_empty() {
+        return;
+    }
+    let mut stream =
+        ReadStream::open_map(&v, &map, stream_cfg, 0).expect("analyzer read stream");
+    loop {
+        match stream.read(ReadMode::NonBlocking) {
+            Ok(Some(block)) => engine.post_block(block.data),
+            Ok(None) => break,
+            Err(VmpiError::Again) => std::thread::yield_now(),
+            Err(e) => panic!("analyzer stream failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opmr_events::EventKind;
+    use opmr_runtime::{Src, TagSel};
+
+    #[test]
+    fn single_app_report() {
+        let outcome = Session::builder()
+            .analyzer_ranks(1)
+            .app("ring", 4, |imp| {
+                let w = imp.comm_world();
+                let n = imp.size();
+                let r = imp.rank();
+                let req = imp
+                    .isend(&w, (r + 1) % n, 0, vec![1u8; 256])
+                    .unwrap();
+                imp.recv(&w, Src::Rank((r + n - 1) % n), TagSel::Tag(0)).unwrap();
+                imp.wait(req).unwrap();
+                imp.barrier(&w).unwrap();
+            })
+            .run()
+            .unwrap();
+        assert_eq!(outcome.report.apps.len(), 1);
+        let app = &outcome.report.apps[0];
+        assert_eq!(app.name, "ring");
+        assert_eq!(app.ranks, 4);
+        assert_eq!(app.profile.kind(EventKind::Isend).unwrap().hits, 4);
+        assert_eq!(app.profile.kind(EventKind::Recv).unwrap().hits, 4);
+        assert_eq!(app.topology.edge_count(), 4);
+        assert_eq!(outcome.recorders.len(), 4);
+        let events: u64 = outcome.recorders.iter().map(|(_, s)| s.events).sum();
+        assert_eq!(events, app.events);
+    }
+
+    #[test]
+    fn concurrent_apps_one_report() {
+        // The paper's headline capability: two different programs profiled
+        // concurrently into one report with separate chapters.
+        let outcome = Session::builder()
+            .analyzer_ranks(2)
+            .app("alpha", 3, |imp| {
+                let w = imp.comm_world();
+                imp.barrier(&w).unwrap();
+                imp.allreduce_sum(&w, &[imp.rank() as u64]).unwrap();
+            })
+            .app("beta", 2, |imp| {
+                let w = imp.comm_world();
+                if imp.rank() == 0 {
+                    imp.send(&w, 1, 9, vec![0u8; 64]).unwrap();
+                } else {
+                    imp.recv(&w, Src::Any, TagSel::Any).unwrap();
+                }
+            })
+            .run()
+            .unwrap();
+        assert_eq!(outcome.report.apps.len(), 2);
+        let alpha = &outcome.report.apps[0];
+        let beta = &outcome.report.apps[1];
+        assert_eq!(alpha.name, "alpha");
+        assert_eq!(alpha.ranks, 3);
+        assert_eq!(alpha.profile.kind(EventKind::Barrier).unwrap().hits, 3);
+        assert!(alpha.profile.kind(EventKind::Send).is_none());
+        assert_eq!(beta.name, "beta");
+        assert_eq!(beta.ranks, 2);
+        assert_eq!(beta.profile.kind(EventKind::Send).unwrap().hits, 1);
+    }
+
+    #[test]
+    fn empty_session_rejected() {
+        assert!(matches!(
+            Session::builder().run(),
+            Err(SessionError::Config(_))
+        ));
+    }
+}

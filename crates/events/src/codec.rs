@@ -1,0 +1,221 @@
+//! Little-endian wire codec for events and packs.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! Event (48 bytes):
+//!   0  u64 time_ns
+//!   8  u64 duration_ns
+//!  16  u64 bytes
+//!  24  u16 kind          26 u16 _pad
+//!  28  u32 rank
+//!  32  i32 peer
+//!  36  i32 tag
+//!  40  u32 comm          44 u32 _pad
+//!
+//! PackHeader (24 bytes):
+//!   0  u32 magic ("OPMR")
+//!   4  u16 version        6 u16 app_id
+//!   8  u32 rank
+//!  12  u32 seq
+//!  16  u32 count
+//!  20  u32 _pad
+//! ```
+
+use crate::event::{Event, EventKind};
+use crate::pack::{PackHeader, EVENT_WIRE_SIZE, PACK_HEADER_SIZE};
+use bytes::{Buf, BufMut};
+
+/// `"OPMR"` little-endian.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"OPMR");
+/// Current wire version.
+pub const VERSION: u16 = 1;
+
+/// Decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    Truncated { need: usize, have: usize },
+    BadMagic(u32),
+    BadVersion(u16),
+    BadKind(u16),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { need, have } => {
+                write!(f, "truncated buffer: need {need} bytes, have {have}")
+            }
+            CodecError::BadMagic(m) => write!(f, "bad pack magic {m:#x}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported pack version {v}"),
+            CodecError::BadKind(k) => write!(f, "unknown event kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends one event to `out`.
+pub fn encode_event(e: &Event, out: &mut impl BufMut) {
+    out.put_u64_le(e.time_ns);
+    out.put_u64_le(e.duration_ns);
+    out.put_u64_le(e.bytes);
+    out.put_u16_le(e.kind as u16);
+    out.put_u16_le(0);
+    out.put_u32_le(e.rank);
+    out.put_i32_le(e.peer);
+    out.put_i32_le(e.tag);
+    out.put_u32_le(e.comm);
+    out.put_u32_le(0);
+}
+
+/// Decodes one event from the front of `buf`.
+pub fn decode_event(buf: &mut impl Buf) -> Result<Event, CodecError> {
+    if buf.remaining() < EVENT_WIRE_SIZE {
+        return Err(CodecError::Truncated {
+            need: EVENT_WIRE_SIZE,
+            have: buf.remaining(),
+        });
+    }
+    let time_ns = buf.get_u64_le();
+    let duration_ns = buf.get_u64_le();
+    let bytes = buf.get_u64_le();
+    let kind_raw = buf.get_u16_le();
+    let _pad = buf.get_u16_le();
+    let rank = buf.get_u32_le();
+    let peer = buf.get_i32_le();
+    let tag = buf.get_i32_le();
+    let comm = buf.get_u32_le();
+    let _pad2 = buf.get_u32_le();
+    let kind = EventKind::from_u16(kind_raw).ok_or(CodecError::BadKind(kind_raw))?;
+    Ok(Event {
+        time_ns,
+        duration_ns,
+        kind,
+        rank,
+        peer,
+        tag,
+        comm,
+        bytes,
+    })
+}
+
+/// Appends a pack header to `out`.
+pub fn encode_header(h: &PackHeader, out: &mut impl BufMut) {
+    out.put_u32_le(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u16_le(h.app_id);
+    out.put_u32_le(h.rank);
+    out.put_u32_le(h.seq);
+    out.put_u32_le(h.count);
+    out.put_u32_le(0);
+}
+
+/// Decodes a pack header from the front of `buf`.
+pub fn decode_header(buf: &mut impl Buf) -> Result<PackHeader, CodecError> {
+    if buf.remaining() < PACK_HEADER_SIZE {
+        return Err(CodecError::Truncated {
+            need: PACK_HEADER_SIZE,
+            have: buf.remaining(),
+        });
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let app_id = buf.get_u16_le();
+    let rank = buf.get_u32_le();
+    let seq = buf.get_u32_le();
+    let count = buf.get_u32_le();
+    let _pad = buf.get_u32_le();
+    Ok(PackHeader {
+        app_id,
+        rank,
+        seq,
+        count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn event_wire_size_is_exact() {
+        let mut buf = BytesMut::new();
+        encode_event(&Event::basic(EventKind::Send, 1, 2, 3), &mut buf);
+        assert_eq!(buf.len(), EVENT_WIRE_SIZE);
+    }
+
+    #[test]
+    fn header_wire_size_is_exact() {
+        let mut buf = BytesMut::new();
+        encode_header(
+            &PackHeader {
+                app_id: 1,
+                rank: 2,
+                seq: 3,
+                count: 4,
+            },
+            &mut buf,
+        );
+        assert_eq!(buf.len(), PACK_HEADER_SIZE);
+    }
+
+    #[test]
+    fn event_roundtrip_all_fields() {
+        let e = Event {
+            time_ns: u64::MAX - 5,
+            duration_ns: 123_456_789,
+            kind: EventKind::Alltoall,
+            rank: 8280,
+            peer: -1,
+            tag: i32::MIN,
+            comm: 7,
+            bytes: 1 << 40,
+        };
+        let mut buf = BytesMut::new();
+        encode_event(&e, &mut buf);
+        let got = decode_event(&mut buf.freeze()).unwrap();
+        assert_eq!(got, e);
+    }
+
+    #[test]
+    fn truncated_event_detected() {
+        let mut buf = BytesMut::new();
+        encode_event(&Event::basic(EventKind::Recv, 0, 0, 0), &mut buf);
+        let mut short = buf.freeze().slice(0..EVENT_WIRE_SIZE - 1);
+        assert!(matches!(
+            decode_event(&mut short),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xBAD_F00D);
+        buf.extend_from_slice(&[0u8; PACK_HEADER_SIZE - 4]);
+        assert!(matches!(
+            decode_header(&mut buf.freeze()),
+            Err(CodecError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn bad_kind_detected() {
+        let mut buf = BytesMut::new();
+        encode_event(&Event::basic(EventKind::Send, 0, 0, 0), &mut buf);
+        buf[24] = 0xFF;
+        buf[25] = 0xFF;
+        assert_eq!(
+            decode_event(&mut buf.freeze()),
+            Err(CodecError::BadKind(0xFFFF))
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # opmr-events — performance event model and wire codec
+//!
+//! The paper streams *fine-grained events* — one record per intercepted MPI
+//! or POSIX call — from instrumented programs to the analyzer, noting that
+//! "our event representation structure is very simple as the C structure is
+//! directly sent". This crate is that structure, made explicit:
+//!
+//! * [`Event`] — one fixed-size (48-byte) record describing a single call:
+//!   start time, duration, kind, issuing rank, peer, tag, communicator and
+//!   byte volume.
+//! * [`EventKind`] — the intercepted call set (MPI point-to-point,
+//!   collectives, request completion, POSIX I/O, plus markers).
+//! * [`EventPack`] — the unit that travels through a VMPI stream: a small
+//!   header (application id, rank, sequence number) followed by a batch of
+//!   events, encoded with [`codec`].
+//!
+//! The codec is explicit little-endian rather than a struct memcpy so packs
+//! are valid across any producer/consumer pair and truncation is detected.
+
+pub mod codec;
+pub mod event;
+pub mod pack;
+
+pub use event::{Event, EventKind};
+pub use pack::{EventPack, PackHeader, EVENT_WIRE_SIZE, PACK_HEADER_SIZE};

@@ -1,0 +1,140 @@
+//! Event packs: the unit streamed from instrumented ranks to the analyzer.
+
+use crate::codec::{self, CodecError};
+use crate::event::Event;
+use bytes::{Bytes, BytesMut};
+
+/// Wire size of one encoded [`Event`].
+pub const EVENT_WIRE_SIZE: usize = 48;
+/// Wire size of an encoded [`PackHeader`].
+pub const PACK_HEADER_SIZE: usize = 24;
+
+/// Pack metadata: which application/rank produced it and its sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackHeader {
+    /// Application (blackboard level) identifier.
+    pub app_id: u16,
+    /// Partition-local rank of the producer.
+    pub rank: u32,
+    /// Per-producer pack sequence number (gap detection).
+    pub seq: u32,
+    /// Number of events in the pack.
+    pub count: u32,
+}
+
+/// A batch of events plus its header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventPack {
+    pub header: PackHeader,
+    pub events: Vec<Event>,
+}
+
+impl EventPack {
+    /// Builds a pack, filling `header.count` from the event list.
+    pub fn new(app_id: u16, rank: u32, seq: u32, events: Vec<Event>) -> EventPack {
+        EventPack {
+            header: PackHeader {
+                app_id,
+                rank,
+                seq,
+                count: events.len() as u32,
+            },
+            events,
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn wire_size(&self) -> usize {
+        PACK_HEADER_SIZE + self.events.len() * EVENT_WIRE_SIZE
+    }
+
+    /// How many events fit in a block of `block_size` bytes.
+    pub fn capacity_for_block(block_size: usize) -> usize {
+        block_size.saturating_sub(PACK_HEADER_SIZE) / EVENT_WIRE_SIZE
+    }
+
+    /// Serializes the pack to a standalone buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_size());
+        codec::encode_header(&self.header, &mut buf);
+        for e in &self.events {
+            codec::encode_event(e, &mut buf);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a pack from a buffer produced by [`EventPack::encode`].
+    pub fn decode(data: &[u8]) -> Result<EventPack, CodecError> {
+        let mut buf = data;
+        let header = codec::decode_header(&mut buf)?;
+        let mut events = Vec::with_capacity(header.count as usize);
+        for _ in 0..header.count {
+            events.push(codec::decode_event(&mut buf)?);
+        }
+        Ok(EventPack { header, events })
+    }
+
+    /// Total payload bytes carried by the pack's events.
+    pub fn total_event_bytes(&self) -> u64 {
+        self.events.iter().map(|e| e.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn sample(n: usize) -> EventPack {
+        let events = (0..n)
+            .map(|i| Event {
+                time_ns: i as u64 * 1000,
+                duration_ns: 10 + i as u64,
+                kind: EventKind::ALL[i % EventKind::ALL.len()],
+                rank: 3,
+                peer: (i % 5) as i32 - 1,
+                tag: i as i32,
+                comm: 0,
+                bytes: (i * i) as u64,
+            })
+            .collect();
+        EventPack::new(2, 3, 99, events)
+    }
+
+    #[test]
+    fn roundtrip_empty_pack() {
+        let p = EventPack::new(0, 0, 0, vec![]);
+        assert_eq!(EventPack::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn roundtrip_full_pack() {
+        let p = sample(257);
+        let enc = p.encode();
+        assert_eq!(enc.len(), p.wire_size());
+        assert_eq!(EventPack::decode(&enc).unwrap(), p);
+    }
+
+    #[test]
+    fn capacity_matches_wire_size() {
+        let cap = EventPack::capacity_for_block(1 << 20);
+        let p = sample(cap);
+        assert!(p.wire_size() <= 1 << 20);
+        let p2 = sample(cap + 1);
+        assert!(p2.wire_size() > 1 << 20);
+    }
+
+    #[test]
+    fn truncated_pack_rejected() {
+        let p = sample(4);
+        let enc = p.encode();
+        assert!(EventPack::decode(&enc[..enc.len() - 1]).is_err());
+        assert!(EventPack::decode(&enc[..PACK_HEADER_SIZE]).is_err());
+    }
+
+    #[test]
+    fn total_bytes_sums_events() {
+        let p = sample(5);
+        assert_eq!(p.total_event_bytes(), (0..5).map(|i| (i * i) as u64).sum());
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests: the wire codec is a lossless bijection on valid packs.
+
+use opmr_events::{Event, EventKind, EventPack};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = EventKind> {
+    (0..EventKind::ALL.len()).prop_map(|i| EventKind::ALL[i])
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        arb_kind(),
+        any::<u32>(),
+        any::<i32>(),
+        any::<i32>(),
+        any::<u32>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(time_ns, duration_ns, kind, rank, peer, tag, comm, bytes)| Event {
+                time_ns,
+                duration_ns,
+                kind,
+                rank,
+                peer,
+                tag,
+                comm,
+                bytes,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pack_roundtrip(
+        app_id in any::<u16>(),
+        rank in any::<u32>(),
+        seq in any::<u32>(),
+        events in proptest::collection::vec(arb_event(), 0..200),
+    ) {
+        let pack = EventPack::new(app_id, rank, seq, events);
+        let decoded = EventPack::decode(&pack.encode()).unwrap();
+        prop_assert_eq!(decoded, pack);
+    }
+
+    #[test]
+    fn every_truncation_is_detected(
+        events in proptest::collection::vec(arb_event(), 1..20),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let pack = EventPack::new(1, 2, 3, events);
+        let enc = pack.encode();
+        let cut_at = cut.index(enc.len().max(2) - 1); // strictly shorter
+        prop_assert!(EventPack::decode(&enc[..cut_at]).is_err());
+    }
+
+    #[test]
+    fn wire_size_is_linear(n in 0usize..500) {
+        let pack = EventPack::new(0, 0, 0,
+            (0..n).map(|i| Event::basic(EventKind::Send, 0, i as u64, 1)).collect());
+        prop_assert_eq!(pack.encode().len(),
+            opmr_events::PACK_HEADER_SIZE + n * opmr_events::EVENT_WIRE_SIZE);
+    }
+}

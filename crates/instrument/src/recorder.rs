@@ -1,0 +1,108 @@
+//! Event recorder: batches events into packs and streams them out.
+
+use crate::sink::PackSink;
+use opmr_events::{Event, EventPack};
+use opmr_vmpi::Result;
+
+/// Recorder sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct RecorderConfig {
+    /// Application id stamped into every pack (blackboard level selector).
+    pub app_id: u16,
+    /// Partition-local rank of the producer.
+    pub rank: u32,
+    /// Maximum events per pack. Must keep the encoded pack within the
+    /// stream's block size so one pack maps to one block.
+    pub events_per_pack: usize,
+}
+
+impl RecorderConfig {
+    /// Largest pack that fits one stream block.
+    pub fn for_block_size(app_id: u16, rank: u32, block_size: usize) -> RecorderConfig {
+        let cap = EventPack::capacity_for_block(block_size).max(1);
+        RecorderConfig {
+            app_id,
+            rank,
+            events_per_pack: cap,
+        }
+    }
+}
+
+/// Counters a finished recorder reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Events recorded.
+    pub events: u64,
+    /// Packs flushed downstream.
+    pub packs: u64,
+    /// Encoded bytes handed to the stream.
+    pub wire_bytes: u64,
+}
+
+/// Batches events and writes one pack per sink block.
+pub struct Recorder {
+    cfg: RecorderConfig,
+    sink: PackSink,
+    buf: Vec<Event>,
+    seq: u32,
+    stats: RecorderStats,
+}
+
+impl Recorder {
+    /// Wraps an open pack sink (stream for online coupling, file for the
+    /// classical trace baseline).
+    pub fn new(cfg: RecorderConfig, sink: PackSink) -> Recorder {
+        assert!(cfg.events_per_pack > 0);
+        Recorder {
+            buf: Vec::with_capacity(cfg.events_per_pack),
+            cfg,
+            sink,
+            seq: 0,
+            stats: RecorderStats::default(),
+        }
+    }
+
+    /// Records one event, flushing a pack when the batch is full.
+    pub fn record(&mut self, event: Event) -> Result<()> {
+        self.buf.push(event);
+        self.stats.events += 1;
+        if self.buf.len() >= self.cfg.events_per_pack {
+            self.flush_pack()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the current partial pack, if any, as one stream block.
+    pub fn flush_pack(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let events = std::mem::take(&mut self.buf);
+        let pack = EventPack::new(self.cfg.app_id, self.cfg.rank, self.seq, events);
+        self.seq += 1;
+        let encoded = pack.encode();
+        self.stats.packs += 1;
+        self.stats.wire_bytes += encoded.len() as u64;
+        self.sink.put(&encoded)?;
+        self.buf = Vec::with_capacity(self.cfg.events_per_pack);
+        Ok(())
+    }
+
+    /// Flushes and closes the sink, returning the final counters.
+    pub fn finish(mut self) -> Result<RecorderStats> {
+        self.flush_pack()?;
+        let stats = self.stats;
+        self.sink.close()?;
+        Ok(stats)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> RecorderStats {
+        self.stats
+    }
+
+    /// Events waiting in the current partial pack.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}

@@ -1,0 +1,136 @@
+//! Pack sinks: where encoded event packs go.
+//!
+//! The paper's point is precisely the difference between these two sinks:
+//! [`PackSink::Stream`] couples instrumentation to the online analyzer over
+//! the interconnect; [`PackSink::File`] is the classical trace-to-disk
+//! workflow kept as the comparison baseline (length-prefixed packs, one
+//! file per rank — the "task-local files" pattern whose metadata pressure
+//! the paper criticizes).
+
+use bytes::Bytes;
+use opmr_vmpi::{Result, VmpiError, WriteStream};
+use std::io::Write;
+
+/// Destination for encoded packs.
+#[allow(clippy::large_enum_variant)] // one sink per rank, size is irrelevant
+pub enum PackSink {
+    /// Online coupling: one pack per stream block.
+    Stream(WriteStream),
+    /// Classical trace file: `[u32 little-endian length][pack bytes]*`.
+    File {
+        writer: std::io::BufWriter<std::fs::File>,
+        path: std::path::PathBuf,
+    },
+    /// SIONlib-style shared container: all ranks multiplex into one file.
+    Sion {
+        file: crate::sion::SionFile,
+        rank: u32,
+    },
+}
+
+impl PackSink {
+    /// Opens a per-rank trace file sink.
+    pub fn file(path: impl Into<std::path::PathBuf>) -> std::io::Result<PackSink> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::File::create(&path)?;
+        Ok(PackSink::File {
+            writer: std::io::BufWriter::new(file),
+            path,
+        })
+    }
+
+    /// Writes one encoded pack.
+    pub fn put(&mut self, pack: &Bytes) -> Result<()> {
+        match self {
+            PackSink::Stream(stream) => {
+                stream.write(pack)?;
+                // One pack == one block.
+                stream.flush()
+            }
+            PackSink::File { writer, .. } => {
+                let len = (pack.len() as u32).to_le_bytes();
+                writer
+                    .write_all(&len)
+                    .and_then(|_| writer.write_all(pack))
+                    .map_err(|_| VmpiError::StreamClosed)
+            }
+            PackSink::Sion { file, rank } => file
+                .write(*rank, pack)
+                .map_err(|_| VmpiError::StreamClosed),
+        }
+    }
+
+    /// Closes the sink (EOF markers for streams, flush for files).
+    pub fn close(self) -> Result<()> {
+        match self {
+            PackSink::Stream(stream) => stream.close(),
+            PackSink::File { mut writer, .. } => {
+                writer.flush().map_err(|_| VmpiError::StreamClosed)
+            }
+            PackSink::Sion { file, .. } => {
+                file.close_rank().map_err(|_| VmpiError::StreamClosed)
+            }
+        }
+    }
+}
+
+/// Reads every length-prefixed pack back from a trace file.
+pub fn read_trace_file(path: &std::path::Path) -> std::io::Result<Vec<Bytes>> {
+    let data = std::fs::read(path)?;
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off + 4 <= data.len() {
+        let len = u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]])
+            as usize;
+        off += 4;
+        if off + len > data.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("truncated trace {path:?}"),
+            ));
+        }
+        out.push(Bytes::copy_from_slice(&data[off..off + len]));
+        off += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_sink_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("opmr_sink_{}", std::process::id()));
+        let path = dir.join("rank0.opmr");
+        let mut sink = PackSink::file(&path).unwrap();
+        let packs = [
+            Bytes::from_static(b"first"),
+            Bytes::from_static(b""),
+            Bytes::from(vec![7u8; 1000]),
+        ];
+        for p in &packs {
+            sink.put(p).unwrap();
+        }
+        sink.close().unwrap();
+        let back = read_trace_file(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], packs[0]);
+        assert_eq!(back[1], packs[1]);
+        assert_eq!(back[2], packs[2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_trace_detected() {
+        let dir = std::env::temp_dir().join(format!("opmr_sink_tr_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.opmr");
+        std::fs::write(&path, [10, 0, 0, 0, 1, 2]).unwrap();
+        assert!(read_trace_file(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,252 @@
+//! SIONlib-style multiplexed trace container.
+//!
+//! The paper's trace-based comparisons use SIONlib ("Scalable massively
+//! parallel I/O to task-local files"): all ranks write into *one* shared
+//! container file with per-rank chunks, so the file system sees one file
+//! instead of `P` — trading metadata pressure for coordination. This
+//! module implements that container for the trace baseline:
+//!
+//! ```text
+//! [magic u32 "OPSN"] [ranks u32]
+//! repeat: [rank u32] [len u32] [payload bytes]
+//! ```
+//!
+//! Writers share a handle; each `write` appends one framed chunk under a
+//! short lock (the in-process equivalent of SIONlib's pre-reserved block
+//! ranges). Readers demultiplex chunks back per rank, preserving each
+//! rank's write order.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const MAGIC: u32 = u32::from_le_bytes(*b"OPSN");
+
+/// Shared writer for one multiplexed container file.
+#[derive(Clone)]
+pub struct SionFile {
+    inner: Arc<SionInner>,
+}
+
+struct SionInner {
+    path: PathBuf,
+    state: Mutex<SionState>,
+}
+
+struct SionState {
+    file: Option<std::io::BufWriter<std::fs::File>>,
+    chunks: u64,
+    bytes: u64,
+    open_ranks: u32,
+}
+
+impl SionFile {
+    /// Creates the container for `ranks` writers.
+    pub fn create(path: impl Into<PathBuf>, ranks: u32) -> std::io::Result<SionFile> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        file.write_all(&MAGIC.to_le_bytes())?;
+        file.write_all(&ranks.to_le_bytes())?;
+        Ok(SionFile {
+            inner: Arc::new(SionInner {
+                path,
+                state: Mutex::new(SionState {
+                    file: Some(file),
+                    chunks: 0,
+                    bytes: 0,
+                    open_ranks: ranks,
+                }),
+            }),
+        })
+    }
+
+    /// Appends one chunk for `rank`.
+    pub fn write(&self, rank: u32, payload: &[u8]) -> std::io::Result<()> {
+        let mut st = self.inner.state.lock();
+        let file = st.file.as_mut().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::BrokenPipe, "sion container closed")
+        })?;
+        file.write_all(&rank.to_le_bytes())?;
+        file.write_all(&(payload.len() as u32).to_le_bytes())?;
+        file.write_all(payload)?;
+        st.chunks += 1;
+        st.bytes += payload.len() as u64 + 8;
+        Ok(())
+    }
+
+    /// One writer detaches; the container flushes and closes when the last
+    /// writer leaves.
+    pub fn close_rank(&self) -> std::io::Result<()> {
+        let mut st = self.inner.state.lock();
+        st.open_ranks = st.open_ranks.saturating_sub(1);
+        if st.open_ranks == 0 {
+            if let Some(mut f) = st.file.take() {
+                f.flush()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Container path.
+    pub fn path(&self) -> &Path {
+        &self.inner.path
+    }
+
+    /// `(chunks, payload+framing bytes)` written so far.
+    pub fn stats(&self) -> (u64, u64) {
+        let st = self.inner.state.lock();
+        (st.chunks, st.bytes)
+    }
+}
+
+/// Demultiplexes a container: per-rank chunk lists in write order.
+pub fn read_sion(path: &Path) -> std::io::Result<Vec<Vec<Bytes>>> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    if data.len() < 8 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "sion container too short",
+        ));
+    }
+    let magic = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    if magic != MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "bad sion magic",
+        ));
+    }
+    let ranks = u32::from_le_bytes([data[4], data[5], data[6], data[7]]) as usize;
+    let mut out = vec![Vec::new(); ranks];
+    let mut off = 8usize;
+    while off + 8 <= data.len() {
+        let rank = u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]])
+            as usize;
+        let len = u32::from_le_bytes([
+            data[off + 4],
+            data[off + 5],
+            data[off + 6],
+            data[off + 7],
+        ]) as usize;
+        off += 8;
+        if off + len > data.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "truncated sion chunk",
+            ));
+        }
+        if rank >= ranks {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("chunk for rank {rank} of {ranks}"),
+            ));
+        }
+        out[rank].push(Bytes::copy_from_slice(&data[off..off + len]));
+        off += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("opmr_sion_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn multiplex_roundtrip_preserves_per_rank_order() {
+        let path = tmp("order");
+        let sion = SionFile::create(&path, 3).unwrap();
+        // Interleaved writes from 3 "ranks".
+        for i in 0..10u8 {
+            for rank in 0..3u32 {
+                sion.write(rank, &[rank as u8, i]).unwrap();
+            }
+        }
+        for _ in 0..3 {
+            sion.close_rank().unwrap();
+        }
+        let per_rank = read_sion(&path).unwrap();
+        assert_eq!(per_rank.len(), 3);
+        for (rank, chunks) in per_rank.iter().enumerate() {
+            assert_eq!(chunks.len(), 10);
+            for (i, c) in chunks.iter().enumerate() {
+                assert_eq!(&c[..], &[rank as u8, i as u8]);
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_one_file() {
+        let path = tmp("concurrent");
+        let sion = SionFile::create(&path, 8).unwrap();
+        let mut handles = Vec::new();
+        for rank in 0..8u32 {
+            let s = sion.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u32 {
+                    s.write(rank, &i.to_le_bytes()).unwrap();
+                }
+                s.close_rank().unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (chunks, _bytes) = sion.stats();
+        assert_eq!(chunks, 400);
+        let per_rank = read_sion(&path).unwrap();
+        for chunks in &per_rank {
+            assert_eq!(chunks.len(), 50);
+            // Per-rank order preserved even under interleaving.
+            for (i, c) in chunks.iter().enumerate() {
+                assert_eq!(u32::from_le_bytes([c[0], c[1], c[2], c[3]]), i as u32);
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_after_close_fails() {
+        let path = tmp("closed");
+        let sion = SionFile::create(&path, 1).unwrap();
+        sion.write(0, b"x").unwrap();
+        sion.close_rank().unwrap();
+        assert!(sion.write(0, b"y").is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_containers_rejected() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, b"NOPE1234").unwrap();
+        assert!(read_sion(&path).is_err());
+        std::fs::write(&path, []).unwrap();
+        assert!(read_sion(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn one_file_many_ranks_is_the_point() {
+        // The metadata argument: 64 writers, still one inode.
+        let path = tmp("inode");
+        let sion = SionFile::create(&path, 64).unwrap();
+        for rank in 0..64u32 {
+            sion.write(rank, &[0u8; 100]).unwrap();
+        }
+        for _ in 0..64 {
+            sion.close_rank().unwrap();
+        }
+        assert!(path.is_file());
+        assert_eq!(read_sion(&path).unwrap().len(), 64);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

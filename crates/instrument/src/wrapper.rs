@@ -1,0 +1,524 @@
+//! The instrumented MPI façade (the PMPI wrapper stack equivalent).
+//!
+//! Every call: timestamp → delegate to the virtualized runtime → build an
+//! [`Event`] → run interceptor hooks → push into the [`Recorder`], which
+//! streams full packs to the analyzer. Instrumentation overhead is real
+//! here: when the analyzer cannot drain fast enough, the stream's bounded
+//! async window back-pressures the application exactly as in the paper.
+
+use crate::recorder::{Recorder, RecorderConfig, RecorderStats};
+use crate::sink::PackSink;
+use opmr_events::{Event, EventKind};
+use opmr_runtime::collectives::ops as reduce_ops;
+use opmr_runtime::{Comm, CommId, Mpi, Pod, Src, Status, TagSel};
+use opmr_vmpi::map::map_partitions;
+use opmr_vmpi::{Map, MapPolicy, Result, StreamConfig, Vmpi, VmpiError, WriteStream};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Interceptor hook: observes every recorded event (PNMPI-module analogue).
+pub type Hook = Box<dyn Fn(&Event) + Send>;
+
+/// Handle for an in-flight instrumented non-blocking operation.
+pub struct InstrRequest {
+    inner: opmr_runtime::Request,
+    peer: i32,
+    tag: i32,
+    comm: u32,
+    bytes: u64,
+}
+
+/// The instrumented, virtualized MPI handle handed to application code.
+pub struct InstrumentedMpi {
+    vmpi: Vmpi,
+    world: Comm,
+    rec: Mutex<Option<Recorder>>,
+    hooks: Mutex<Vec<Hook>>,
+    comms: Mutex<HashMap<CommId, u32>>,
+    t0: u64,
+}
+
+impl InstrumentedMpi {
+    /// Instruments a rank: virtualizes it, maps its partition onto the
+    /// analyzer partition (round-robin, as in Figure 10) and opens the
+    /// event stream. Records the `MPI_Init` event.
+    pub fn init(
+        mpi: Mpi,
+        analyzer_partition: &str,
+        stream_cfg: StreamConfig,
+        stream_id: u16,
+        app_id: u16,
+    ) -> Result<Self> {
+        let t_start = mpi.wtime_ns();
+        let vmpi = Vmpi::new(mpi);
+        let analyzer = vmpi
+            .partition_by_name(analyzer_partition)
+            .ok_or_else(|| VmpiError::UnknownPartition(analyzer_partition.to_string()))?
+            .clone();
+        let mut map = Map::new();
+        map_partitions(&vmpi, analyzer.id, MapPolicy::RoundRobin, &mut map)?;
+        let stream = WriteStream::open_map(&vmpi, &map, stream_cfg, stream_id)?;
+        Self::build(vmpi, PackSink::Stream(stream), app_id, stream_cfg.block_size, t_start)
+    }
+
+    /// Instruments a rank writing the classical per-rank trace file instead
+    /// of streaming (the baseline workflow of Figure 1). The trace lands in
+    /// `dir/app<id>_rank<r>.opmr`.
+    pub fn init_trace(
+        mpi: Mpi,
+        dir: &std::path::Path,
+        app_id: u16,
+        block_size: usize,
+    ) -> Result<Self> {
+        let t_start = mpi.wtime_ns();
+        let vmpi = Vmpi::new(mpi);
+        let path = dir.join(format!("app{app_id}_rank{}.opmr", vmpi.rank()));
+        let sink = PackSink::file(path).map_err(|_| VmpiError::StreamClosed)?;
+        Self::build(vmpi, sink, app_id, block_size, t_start)
+    }
+
+    /// Instruments a rank writing into a shared SIONlib-style container
+    /// (one file for the whole application — the reduced-metadata trace
+    /// baseline the paper's comparisons use via Score-P + SIONlib).
+    pub fn init_sion(
+        mpi: Mpi,
+        container: crate::sion::SionFile,
+        app_id: u16,
+        block_size: usize,
+    ) -> Result<Self> {
+        let t_start = mpi.wtime_ns();
+        let vmpi = Vmpi::new(mpi);
+        let rank = vmpi.rank() as u32;
+        let sink = PackSink::Sion {
+            file: container,
+            rank,
+        };
+        Self::build(vmpi, sink, app_id, block_size, t_start)
+    }
+
+    fn build(
+        vmpi: Vmpi,
+        sink: PackSink,
+        app_id: u16,
+        block_size: usize,
+        t_start: u64,
+    ) -> Result<Self> {
+        let rank = vmpi.rank() as u32;
+        let rec = Recorder::new(
+            RecorderConfig::for_block_size(app_id, rank, block_size),
+            sink,
+        );
+        let world = vmpi.comm_world();
+        let imp = InstrumentedMpi {
+            vmpi,
+            world,
+            rec: Mutex::new(Some(rec)),
+            hooks: Mutex::new(Vec::new()),
+            comms: Mutex::new(HashMap::new()),
+            t0: t_start,
+        };
+        let dur = imp.now_ns();
+        imp.record(Event::basic(EventKind::Init, rank, 0, dur))?;
+        Ok(imp)
+    }
+
+    /// Adds an interceptor layer observing every event.
+    pub fn add_hook(&self, hook: impl Fn(&Event) + Send + 'static) {
+        self.hooks.lock().push(Box::new(hook));
+    }
+
+    /// Nanoseconds since this rank's `init`.
+    pub fn now_ns(&self) -> u64 {
+        self.vmpi.mpi().wtime_ns().saturating_sub(self.t0)
+    }
+
+    /// The virtual world communicator of this application.
+    pub fn comm_world(&self) -> Comm {
+        self.world.clone()
+    }
+
+    /// The underlying virtualized handle.
+    pub fn vmpi(&self) -> &Vmpi {
+        &self.vmpi
+    }
+
+    /// Rank within the application.
+    pub fn rank(&self) -> usize {
+        self.vmpi.rank()
+    }
+
+    /// Application size.
+    pub fn size(&self) -> usize {
+        self.vmpi.size()
+    }
+
+    fn comm_index(&self, comm: &Comm) -> u32 {
+        let mut g = self.comms.lock();
+        let next = g.len() as u32;
+        *g.entry(comm.id()).or_insert(next)
+    }
+
+    fn record(&self, event: Event) -> Result<()> {
+        for hook in self.hooks.lock().iter() {
+            hook(&event);
+        }
+        let mut g = self.rec.lock();
+        match g.as_mut() {
+            Some(rec) => rec.record(event),
+            None => Err(VmpiError::StreamClosed),
+        }
+    }
+
+    fn event(
+        &self,
+        kind: EventKind,
+        start: u64,
+        peer: i32,
+        tag: i32,
+        comm: u32,
+        bytes: u64,
+    ) -> Event {
+        Event {
+            time_ns: start,
+            duration_ns: self.now_ns().saturating_sub(start),
+            kind,
+            rank: self.vmpi.rank() as u32,
+            peer,
+            tag,
+            comm,
+            bytes,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point.
+    // ------------------------------------------------------------------
+
+    /// Instrumented `MPI_Send`.
+    pub fn send(&self, comm: &Comm, dst: usize, tag: i32, data: impl Into<Bytes>) -> Result<()> {
+        let data = data.into();
+        let (ci, len) = (self.comm_index(comm), data.len() as u64);
+        let start = self.now_ns();
+        self.vmpi.mpi().send(comm, dst, tag, data)?;
+        self.record(self.event(EventKind::Send, start, dst as i32, tag, ci, len))
+    }
+
+    /// Instrumented `MPI_Recv`.
+    pub fn recv(&self, comm: &Comm, src: Src, tag: TagSel) -> Result<(Status, Bytes)> {
+        let ci = self.comm_index(comm);
+        let start = self.now_ns();
+        let (st, data) = self.vmpi.mpi().recv(comm, src, tag)?;
+        self.record(self.event(
+            EventKind::Recv,
+            start,
+            st.source as i32,
+            st.tag,
+            ci,
+            data.len() as u64,
+        ))?;
+        Ok((st, data))
+    }
+
+    /// Instrumented `MPI_Isend`.
+    pub fn isend(
+        &self,
+        comm: &Comm,
+        dst: usize,
+        tag: i32,
+        data: impl Into<Bytes>,
+    ) -> Result<InstrRequest> {
+        let data = data.into();
+        let (ci, len) = (self.comm_index(comm), data.len() as u64);
+        let start = self.now_ns();
+        let inner = self.vmpi.mpi().isend(comm, dst, tag, data)?;
+        self.record(self.event(EventKind::Isend, start, dst as i32, tag, ci, len))?;
+        Ok(InstrRequest {
+            inner,
+            peer: dst as i32,
+            tag,
+            comm: ci,
+            bytes: len,
+        })
+    }
+
+    /// Instrumented `MPI_Irecv`.
+    pub fn irecv(&self, comm: &Comm, src: Src, tag: TagSel) -> Result<InstrRequest> {
+        let ci = self.comm_index(comm);
+        let start = self.now_ns();
+        let inner = self.vmpi.mpi().irecv(comm, src, tag)?;
+        let peer = match src {
+            Src::Any => -1,
+            Src::Rank(r) => r as i32,
+        };
+        let tag_v = match tag {
+            TagSel::Any => -1,
+            TagSel::Tag(t) => t,
+        };
+        self.record(self.event(EventKind::Irecv, start, peer, tag_v, ci, 0))?;
+        Ok(InstrRequest {
+            inner,
+            peer,
+            tag: tag_v,
+            comm: ci,
+            bytes: 0,
+        })
+    }
+
+    /// Instrumented `MPI_Wait`.
+    pub fn wait(&self, req: InstrRequest) -> Result<Option<(Status, Bytes)>> {
+        let start = self.now_ns();
+        let out = req.inner.wait()?;
+        let bytes = out
+            .as_ref()
+            .map(|(_, d)| d.len() as u64)
+            .unwrap_or(req.bytes);
+        let peer = out.as_ref().map(|(s, _)| s.source as i32).unwrap_or(req.peer);
+        self.record(self.event(EventKind::Wait, start, peer, req.tag, req.comm, bytes))?;
+        Ok(out)
+    }
+
+    /// Instrumented `MPI_Waitall`.
+    pub fn waitall(&self, reqs: Vec<InstrRequest>) -> Result<Vec<Option<(Status, Bytes)>>> {
+        let start = self.now_ns();
+        let ci = reqs.first().map(|r| r.comm).unwrap_or(0);
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut total = 0u64;
+        for r in reqs {
+            let res = r.inner.wait()?;
+            total += res.as_ref().map(|(_, d)| d.len() as u64).unwrap_or(r.bytes);
+            out.push(res);
+        }
+        self.record(self.event(EventKind::Waitall, start, -1, -1, ci, total))?;
+        Ok(out)
+    }
+
+    /// Instrumented `MPI_Sendrecv`.
+    pub fn sendrecv(
+        &self,
+        comm: &Comm,
+        dst: usize,
+        send_tag: i32,
+        data: impl Into<Bytes>,
+        src: Src,
+        recv_tag: TagSel,
+    ) -> Result<(Status, Bytes)> {
+        let data = data.into();
+        let (ci, len) = (self.comm_index(comm), data.len() as u64);
+        let start = self.now_ns();
+        let (st, got) = self
+            .vmpi
+            .mpi()
+            .sendrecv(comm, dst, send_tag, data, src, recv_tag)?;
+        self.record(self.event(
+            EventKind::Sendrecv,
+            start,
+            dst as i32,
+            send_tag,
+            ci,
+            len + got.len() as u64,
+        ))?;
+        Ok((st, got))
+    }
+
+    /// Typed instrumented send.
+    pub fn send_t<T: Pod>(&self, comm: &Comm, dst: usize, tag: i32, data: &[T]) -> Result<()> {
+        self.send(comm, dst, tag, opmr_runtime::pod::bytes_of_slice(data))
+    }
+
+    /// Typed instrumented receive.
+    pub fn recv_t<T: Pod>(&self, comm: &Comm, src: Src, tag: TagSel) -> Result<(Status, Vec<T>)> {
+        let (st, data) = self.recv(comm, src, tag)?;
+        let v = opmr_runtime::pod::vec_from_bytes::<T>(&data).ok_or(VmpiError::Runtime(
+            opmr_runtime::RtError::TypeSize {
+                got: data.len(),
+                elem: std::mem::size_of::<T>(),
+            },
+        ))?;
+        Ok((st, v))
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives.
+    // ------------------------------------------------------------------
+
+    /// Instrumented `MPI_Barrier`.
+    pub fn barrier(&self, comm: &Comm) -> Result<()> {
+        let ci = self.comm_index(comm);
+        let start = self.now_ns();
+        self.vmpi.mpi().barrier(comm)?;
+        self.record(self.event(EventKind::Barrier, start, -1, -1, ci, 0))
+    }
+
+    /// Instrumented `MPI_Bcast`.
+    pub fn bcast(&self, comm: &Comm, root: usize, data: Option<Bytes>) -> Result<Bytes> {
+        let ci = self.comm_index(comm);
+        let start = self.now_ns();
+        let out = self.vmpi.mpi().bcast(comm, root, data)?;
+        self.record(self.event(
+            EventKind::Bcast,
+            start,
+            root as i32,
+            -1,
+            ci,
+            out.len() as u64,
+        ))?;
+        Ok(out)
+    }
+
+    /// Instrumented typed `MPI_Reduce`.
+    pub fn reduce_sum<T: Pod + std::ops::Add<Output = T>>(
+        &self,
+        comm: &Comm,
+        root: usize,
+        local: &[T],
+    ) -> Result<Option<Vec<T>>> {
+        let ci = self.comm_index(comm);
+        let bytes = std::mem::size_of_val(local) as u64;
+        let start = self.now_ns();
+        let out = self.vmpi.mpi().reduce_t(comm, root, local, reduce_ops::sum)?;
+        self.record(self.event(EventKind::Reduce, start, root as i32, -1, ci, bytes))?;
+        Ok(out)
+    }
+
+    /// Instrumented typed `MPI_Allreduce` (sum).
+    pub fn allreduce_sum<T: Pod + std::ops::Add<Output = T>>(
+        &self,
+        comm: &Comm,
+        local: &[T],
+    ) -> Result<Vec<T>> {
+        let ci = self.comm_index(comm);
+        let bytes = std::mem::size_of_val(local) as u64;
+        let start = self.now_ns();
+        let out = self.vmpi.mpi().allreduce_t(comm, local, reduce_ops::sum)?;
+        self.record(self.event(EventKind::Allreduce, start, -1, -1, ci, bytes))?;
+        Ok(out)
+    }
+
+    /// Instrumented typed `MPI_Allreduce` (max).
+    pub fn allreduce_max<T: Pod + PartialOrd>(&self, comm: &Comm, local: &[T]) -> Result<Vec<T>> {
+        let ci = self.comm_index(comm);
+        let bytes = std::mem::size_of_val(local) as u64;
+        let start = self.now_ns();
+        let out = self.vmpi.mpi().allreduce_t(comm, local, reduce_ops::max)?;
+        self.record(self.event(EventKind::Allreduce, start, -1, -1, ci, bytes))?;
+        Ok(out)
+    }
+
+    /// Instrumented `MPI_Gather`.
+    pub fn gather(&self, comm: &Comm, root: usize, local: Bytes) -> Result<Option<Vec<Bytes>>> {
+        let ci = self.comm_index(comm);
+        let bytes = local.len() as u64;
+        let start = self.now_ns();
+        let out = self.vmpi.mpi().gather(comm, root, local)?;
+        self.record(self.event(EventKind::Gather, start, root as i32, -1, ci, bytes))?;
+        Ok(out)
+    }
+
+    /// Instrumented `MPI_Allgather`.
+    pub fn allgather(&self, comm: &Comm, local: Bytes) -> Result<Vec<Bytes>> {
+        let ci = self.comm_index(comm);
+        let bytes = local.len() as u64;
+        let start = self.now_ns();
+        let out = self.vmpi.mpi().allgather(comm, local)?;
+        self.record(self.event(EventKind::Allgather, start, -1, -1, ci, bytes))?;
+        Ok(out)
+    }
+
+    /// Instrumented `MPI_Scatter`.
+    pub fn scatter(&self, comm: &Comm, root: usize, parts: Option<Vec<Bytes>>) -> Result<Bytes> {
+        let ci = self.comm_index(comm);
+        let start = self.now_ns();
+        let out = self.vmpi.mpi().scatter(comm, root, parts)?;
+        self.record(self.event(
+            EventKind::Scatter,
+            start,
+            root as i32,
+            -1,
+            ci,
+            out.len() as u64,
+        ))?;
+        Ok(out)
+    }
+
+    /// Instrumented `MPI_Alltoall`.
+    pub fn alltoall(&self, comm: &Comm, parts: Vec<Bytes>) -> Result<Vec<Bytes>> {
+        let ci = self.comm_index(comm);
+        let bytes: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        let start = self.now_ns();
+        let out = self.vmpi.mpi().alltoall(comm, parts)?;
+        self.record(self.event(EventKind::Alltoall, start, -1, -1, ci, bytes))?;
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Synthetic application activity.
+    // ------------------------------------------------------------------
+
+    /// Simulated computation: occupies the rank for `d` and records a
+    /// `Compute` event (workload kernels use this to reproduce their
+    /// compute/communication ratio at live scale).
+    pub fn compute(&self, d: Duration) -> Result<()> {
+        let start = self.now_ns();
+        if d >= Duration::from_micros(500) {
+            std::thread::sleep(d);
+        } else {
+            let until = self.now_ns() + d.as_nanos() as u64;
+            while self.now_ns() < until {
+                std::hint::spin_loop();
+            }
+        }
+        self.record(self.event(EventKind::Compute, start, -1, -1, 0, 0))
+    }
+
+    /// Records a simulated POSIX I/O call (density-map fodder).
+    pub fn posix(&self, kind: EventKind, bytes: u64, d: Duration) -> Result<()> {
+        assert!(kind.is_posix(), "posix() takes a POSIX event kind");
+        let start = self.now_ns();
+        let e = Event {
+            time_ns: start,
+            duration_ns: d.as_nanos() as u64,
+            kind,
+            rank: self.vmpi.rank() as u32,
+            peer: -1,
+            tag: -1,
+            comm: 0,
+            bytes,
+        };
+        self.record(e)
+    }
+
+    /// Records a user phase marker.
+    pub fn marker(&self, id: i32) -> Result<()> {
+        let now = self.now_ns();
+        let e = Event {
+            time_ns: now,
+            duration_ns: 0,
+            kind: EventKind::Marker,
+            rank: self.vmpi.rank() as u32,
+            peer: -1,
+            tag: id,
+            comm: 0,
+            bytes: 0,
+        };
+        self.record(e)
+    }
+
+    /// Records `MPI_Finalize`, flushes the last pack and closes the stream.
+    pub fn finalize(&self) -> Result<RecorderStats> {
+        let now = self.now_ns();
+        self.record(Event::basic(
+            EventKind::Finalize,
+            self.vmpi.rank() as u32,
+            now,
+            0,
+        ))?;
+        let rec = self
+            .rec
+            .lock()
+            .take()
+            .ok_or(VmpiError::StreamClosed)?;
+        rec.finish()
+    }
+}

@@ -1,0 +1,310 @@
+//! Rank-program representation consumed by the simulator.
+
+/// Collective operation kinds with distinct cost models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollKind {
+    Barrier,
+    Bcast,
+    Reduce,
+    Allreduce,
+    Gather,
+    Allgather,
+    Alltoall,
+}
+
+/// One step of a rank's program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Pure computation for `ns` nanoseconds of virtual time.
+    Compute { ns: f64 },
+    /// Blocking standard-mode send (eager below the machine's threshold,
+    /// rendezvous above).
+    Send { to: u32, bytes: u64 },
+    /// Blocking receive matching sends from `from` in FIFO order.
+    Recv { from: u32 },
+    /// Symmetric halo exchange with `peer` (both sides call it); models the
+    /// isend/irecv/waitall idiom of stencil codes.
+    Exchange { peer: u32, bytes: u64 },
+    /// Collective over registered group `group`.
+    Coll {
+        group: u32,
+        kind: CollKind,
+        bytes: u64,
+    },
+    /// File-system write of `bytes` (contended by every rank of the job).
+    FsWrite { bytes: u64 },
+    /// File-system metadata operation (open/create).
+    FsMeta,
+}
+
+impl Op {
+    /// Is this an MPI communication op (what instrumentation intercepts)?
+    pub fn is_comm(&self) -> bool {
+        matches!(
+            self,
+            Op::Send { .. } | Op::Recv { .. } | Op::Exchange { .. } | Op::Coll { .. }
+        )
+    }
+
+    /// Number of instrumentation events one op generates. A blocking
+    /// send/receive is two records (call + completion context); a halo
+    /// exchange expands to isend + irecv + waits + boundary copies
+    /// (calibrated against the paper's reported trace volumes); a
+    /// collective is a single record.
+    pub fn event_count(&self) -> u64 {
+        match self {
+            Op::Send { .. } | Op::Recv { .. } => 2,
+            Op::Exchange { .. } => 6,
+            Op::Coll { .. } => 1,
+            _ => 0,
+        }
+    }
+
+    /// Bytes this op moves from the caller's perspective.
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            Op::Send { bytes, .. }
+            | Op::Exchange { bytes, .. }
+            | Op::Coll { bytes, .. }
+            | Op::FsWrite { bytes } => bytes,
+            Op::Recv { .. } | Op::Compute { .. } | Op::FsMeta => 0,
+        }
+    }
+}
+
+/// One rank's program: prologue, body iterated `iters` times, epilogue.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub prologue: Vec<Op>,
+    pub body: Vec<Op>,
+    pub iters: u32,
+    pub epilogue: Vec<Op>,
+}
+
+impl Program {
+    /// Total number of ops the program will execute.
+    pub fn total_ops(&self) -> u64 {
+        self.prologue.len() as u64 + self.body.len() as u64 * self.iters as u64
+            + self.epilogue.len() as u64
+    }
+
+    /// Total communication ops (≈ events generated under instrumentation).
+    pub fn total_comm_ops(&self) -> u64 {
+        let count = |ops: &[Op]| ops.iter().filter(|o| o.is_comm()).count() as u64;
+        count(&self.prologue) + count(&self.body) * self.iters as u64 + count(&self.epilogue)
+    }
+
+    /// Op at a given linearized position, if any (prologue → body×iters →
+    /// epilogue).
+    pub fn op_at(&self, phase: Phase) -> Option<Op> {
+        match phase {
+            Phase::Prologue(i) => self.prologue.get(i).copied(),
+            Phase::Body(_, i) => self.body.get(i).copied(),
+            Phase::Epilogue(i) => self.epilogue.get(i).copied(),
+        }
+    }
+}
+
+/// Execution cursor within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Prologue(usize),
+    Body(u32, usize),
+    Epilogue(usize),
+}
+
+impl Phase {
+    /// First position.
+    pub fn start() -> Phase {
+        Phase::Prologue(0)
+    }
+
+    /// Next position, given the program shape; `None` when done.
+    pub fn advance(self, prog: &Program) -> Option<Phase> {
+        let next = match self {
+            Phase::Prologue(i) if i + 1 < prog.prologue.len() => Phase::Prologue(i + 1),
+            Phase::Prologue(_) => Phase::Body(0, 0),
+            Phase::Body(it, i) if i + 1 < prog.body.len() => Phase::Body(it, i + 1),
+            Phase::Body(it, _) if it + 1 < prog.iters => Phase::Body(it + 1, 0),
+            Phase::Body(..) => Phase::Epilogue(0),
+            Phase::Epilogue(i) => Phase::Epilogue(i + 1),
+        };
+        // Skip over empty segments.
+        match next {
+            Phase::Body(it, 0) if prog.body.is_empty() || it >= prog.iters => {
+                Phase::Epilogue(0).normalize(prog)
+            }
+            Phase::Body(..) => Some(next),
+            other => other.normalize(prog),
+        }
+    }
+
+    /// Resolves a position to the first non-empty segment at or after it.
+    pub fn normalize(self, prog: &Program) -> Option<Phase> {
+        match self {
+            Phase::Prologue(i) => {
+                if i < prog.prologue.len() {
+                    Some(Phase::Prologue(i))
+                } else if !prog.body.is_empty() && prog.iters > 0 {
+                    Some(Phase::Body(0, 0))
+                } else if !prog.epilogue.is_empty() {
+                    Some(Phase::Epilogue(0))
+                } else {
+                    None
+                }
+            }
+            Phase::Body(it, i) => {
+                if it < prog.iters && i < prog.body.len() {
+                    Some(Phase::Body(it, i))
+                } else if !prog.epilogue.is_empty() {
+                    Some(Phase::Epilogue(0))
+                } else {
+                    None
+                }
+            }
+            Phase::Epilogue(i) => {
+                if i < prog.epilogue.len() {
+                    Some(Phase::Epilogue(i))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// A whole job: one program per rank plus the collective-group table.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    pub programs: Vec<Program>,
+    /// Collective groups referenced by `Op::Coll::group` (rank lists).
+    pub groups: Vec<Vec<u32>>,
+}
+
+impl Workload {
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Registers a group, returning its id.
+    pub fn add_group(&mut self, members: Vec<u32>) -> u32 {
+        let id = self.groups.len() as u32;
+        self.groups.push(members);
+        id
+    }
+
+    /// The everyone group, creating it if necessary as group of all ranks.
+    pub fn world_group(&mut self) -> u32 {
+        let world: Vec<u32> = (0..self.ranks() as u32).collect();
+        if let Some(pos) = self.groups.iter().position(|g| *g == world) {
+            pos as u32
+        } else {
+            self.add_group(world)
+        }
+    }
+
+    /// Total communication ops over all ranks.
+    pub fn total_comm_ops(&self) -> u64 {
+        self.programs.iter().map(|p| p.total_comm_ops()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog() -> Program {
+        Program {
+            prologue: vec![Op::Compute { ns: 1.0 }],
+            body: vec![Op::Compute { ns: 2.0 }, Op::FsMeta],
+            iters: 3,
+            epilogue: vec![Op::Compute { ns: 3.0 }],
+        }
+    }
+
+    #[test]
+    fn linearization_visits_every_op() {
+        let p = prog();
+        let mut seen = Vec::new();
+        let mut ph = Phase::start().normalize(&p);
+        while let Some(cur) = ph {
+            seen.push(p.op_at(cur).unwrap());
+            ph = cur.advance(&p);
+        }
+        assert_eq!(seen.len() as u64, p.total_ops());
+        assert_eq!(seen[0], Op::Compute { ns: 1.0 });
+        assert_eq!(seen[seen.len() - 1], Op::Compute { ns: 3.0 });
+        assert_eq!(
+            seen.iter()
+                .filter(|o| matches!(o, Op::Compute { ns } if *ns == 2.0))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn empty_segments_are_skipped() {
+        let p = Program {
+            prologue: vec![],
+            body: vec![Op::FsMeta],
+            iters: 2,
+            epilogue: vec![],
+        };
+        let mut count = 0;
+        let mut ph = Phase::start().normalize(&p);
+        while let Some(cur) = ph {
+            count += 1;
+            ph = cur.advance(&p);
+        }
+        assert_eq!(count, 2);
+
+        let empty = Program::default();
+        assert_eq!(Phase::start().normalize(&empty), None);
+    }
+
+    #[test]
+    fn zero_iters_skips_body() {
+        let p = Program {
+            prologue: vec![Op::FsMeta],
+            body: vec![Op::Compute { ns: 1.0 }],
+            iters: 0,
+            epilogue: vec![Op::FsMeta],
+        };
+        let mut count = 0;
+        let mut ph = Phase::start().normalize(&p);
+        while let Some(cur) = ph {
+            assert_eq!(p.op_at(cur).unwrap(), Op::FsMeta);
+            count += 1;
+            ph = cur.advance(&p);
+        }
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn comm_op_census() {
+        let p = Program {
+            prologue: vec![Op::Send { to: 1, bytes: 4 }],
+            body: vec![
+                Op::Exchange { peer: 1, bytes: 8 },
+                Op::Compute { ns: 1.0 },
+            ],
+            iters: 5,
+            epilogue: vec![Op::Recv { from: 1 }],
+        };
+        assert_eq!(p.total_comm_ops(), 1 + 5 + 1);
+    }
+
+    #[test]
+    fn world_group_is_cached() {
+        let mut w = Workload {
+            programs: vec![Program::default(), Program::default()],
+            groups: vec![],
+        };
+        let a = w.world_group();
+        let b = w.world_group();
+        assert_eq!(a, b);
+        assert_eq!(w.groups.len(), 1);
+        assert_eq!(w.groups[0], vec![0, 1]);
+    }
+}

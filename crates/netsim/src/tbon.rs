@@ -1,0 +1,188 @@
+//! Tree-Based Overlay Network (TBON) capacity model — the related-work
+//! comparison of Section V.
+//!
+//! MRNet/GTI-style tools stream measurement data up a reduction tree: the
+//! instrumented ranks are the leaves, internal nodes apply reduction
+//! filters and forward the survivors toward the root (the front-end). The
+//! paper's approach instead maps applications to *all* analysis processes,
+//! "maximising the bisection bandwidth between partitions". This module
+//! models both so the claim becomes a measurable trade-off:
+//!
+//! * a TBON with fan-out `f` and per-hop reduction ratio `ρ` (fraction of
+//!   incoming data an internal node forwards) is capped by the most loaded
+//!   level: level `l` has `ceil(P / f^l)` nodes absorbing `P·r·ρ^(l-1)`
+//!   bytes/s of leaf traffic (where `r` is the per-leaf event rate);
+//! * the paper's direct mapping is capped by the writers' aggregate, the
+//!   analyzers' aggregate drain and the bisection (see
+//!   [`crate::stream_model`]).
+//!
+//! For *unreduced* event streams (ρ = 1, what full-event analysis needs)
+//! the TBON root becomes the bottleneck; with aggressive filtering
+//! (ρ ≪ 1) TBONs win on resources — exactly the trade-off the paper
+//! discusses.
+
+use crate::machine::Machine;
+use crate::stream_model::stream_throughput_bps;
+
+/// TBON shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TbonConfig {
+    /// Children per internal node.
+    pub fanout: usize,
+    /// Fraction of incoming bytes forwarded upward by each internal node
+    /// (1.0 = no reduction, event streaming; 0.0 = full local reduction).
+    pub reduction_ratio: f64,
+    /// Ingest bandwidth of one tree node, bytes/s.
+    pub node_bw: f64,
+}
+
+impl TbonConfig {
+    /// An MRNet-ish default on the given machine: internal nodes are
+    /// analysis processes with the machine's reader drain rate.
+    pub fn mrnet_like(m: &Machine, fanout: usize, reduction_ratio: f64) -> TbonConfig {
+        TbonConfig {
+            fanout: fanout.max(2),
+            reduction_ratio: reduction_ratio.clamp(0.0, 1.0),
+            node_bw: m.reader_drain_bw,
+        }
+    }
+
+    /// Tree depth over `leaves` leaf ranks (levels of internal nodes).
+    pub fn depth(&self, leaves: usize) -> usize {
+        let mut depth = 0;
+        let mut width = leaves;
+        while width > 1 {
+            width = width.div_ceil(self.fanout);
+            depth += 1;
+        }
+        depth.max(1)
+    }
+
+    /// Number of internal nodes the tree needs (analysis resources).
+    pub fn internal_nodes(&self, leaves: usize) -> usize {
+        let mut total = 0;
+        let mut width = leaves;
+        while width > 1 {
+            width = width.div_ceil(self.fanout);
+            total += width;
+        }
+        total.max(1)
+    }
+
+    /// Maximum aggregate *leaf* data rate (bytes/s) the tree sustains:
+    /// the per-leaf rate is limited by the most loaded level.
+    pub fn capacity_bps(&self, leaves: usize) -> f64 {
+        if leaves == 0 {
+            return 0.0;
+        }
+        let mut per_leaf: f64 = f64::INFINITY;
+        let mut width = leaves;
+        let mut level = 0usize;
+        while width > 1 {
+            width = width.div_ceil(self.fanout);
+            // Traffic arriving into this level, per unit of leaf rate.
+            let arriving = self.reduction_ratio.powi(level as i32);
+            let per_node = arriving * leaves as f64 / width as f64;
+            per_leaf = per_leaf.min(self.node_bw / per_node);
+            level += 1;
+        }
+        if level == 0 {
+            // Single leaf: direct link to the front-end.
+            per_leaf = self.node_bw;
+        }
+        leaves as f64 * per_leaf
+    }
+}
+
+/// Direct-mapping capacity for the same resource budget: the paper's
+/// partition mapping with as many analyzer ranks as the TBON uses internal
+/// nodes.
+pub fn direct_mapping_capacity_bps(m: &Machine, leaves: usize, analyzer_ranks: usize) -> f64 {
+    stream_throughput_bps(m, leaves, analyzer_ranks.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::tera100;
+
+    #[test]
+    fn depth_and_node_counts() {
+        let t = TbonConfig {
+            fanout: 4,
+            reduction_ratio: 1.0,
+            node_bw: 1e9,
+        };
+        assert_eq!(t.depth(64), 3); // 64 → 16 → 4 → 1
+        assert_eq!(t.internal_nodes(64), 16 + 4 + 1);
+        assert_eq!(t.depth(1), 1);
+    }
+
+    #[test]
+    fn unreduced_streams_bottleneck_at_the_root() {
+        // ρ=1: the root ingests everything, so capacity == node_bw
+        // regardless of leaf count.
+        let t = TbonConfig {
+            fanout: 8,
+            reduction_ratio: 1.0,
+            node_bw: 1e9,
+        };
+        assert!((t.capacity_bps(64) - 1e9).abs() < 1.0);
+        assert!((t.capacity_bps(4096) - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn strong_reduction_restores_scalability() {
+        // ρ=1/fanout: each level's output equals one child's input — the
+        // classic scalable TBON; the first level is then the cap.
+        let t = TbonConfig {
+            fanout: 8,
+            reduction_ratio: 0.125,
+            node_bw: 1e9,
+        };
+        let c64 = t.capacity_bps(64);
+        let c4096 = t.capacity_bps(4096);
+        assert!(c4096 / c64 > 32.0, "near-linear scaling: {c64} → {c4096}");
+    }
+
+    #[test]
+    fn paper_claim_direct_mapping_wins_for_full_event_streams() {
+        // Same resource budget, unreduced events: the direct partition
+        // mapping sustains far more than a TBON's root.
+        let m = tera100();
+        let leaves = 2560;
+        let tbon = TbonConfig::mrnet_like(&m, 16, 1.0);
+        let analyzers = tbon.internal_nodes(leaves);
+        let t_cap = tbon.capacity_bps(leaves);
+        let d_cap = direct_mapping_capacity_bps(&m, leaves, analyzers);
+        assert!(
+            d_cap > 10.0 * t_cap,
+            "direct {d_cap} should dwarf tbon {t_cap} for ρ=1"
+        );
+    }
+
+    #[test]
+    fn tbon_wins_on_resources_with_aggressive_filters() {
+        // With ρ = 0.01 (validation-style reductions) a modest TBON beats
+        // what a *single* analyzer rank could drain.
+        let m = tera100();
+        let tbon = TbonConfig::mrnet_like(&m, 16, 0.01);
+        let t_cap = tbon.capacity_bps(4096);
+        let d_cap = direct_mapping_capacity_bps(&m, 4096, 1);
+        assert!(t_cap > d_cap, "tbon {t_cap} vs single-analyzer {d_cap}");
+    }
+
+    #[test]
+    fn capacity_monotone_in_node_bandwidth() {
+        let slow = TbonConfig {
+            fanout: 4,
+            reduction_ratio: 0.5,
+            node_bw: 1e8,
+        };
+        let fast = TbonConfig {
+            node_bw: 1e9,
+            ..slow
+        };
+        assert!(fast.capacity_bps(256) > slow.capacity_bps(256));
+    }
+}

@@ -1,0 +1,350 @@
+//! Cost models of the measurement chains compared in Figure 16.
+//!
+//! Each model describes *where instrumentation time goes* for one tool
+//! family; the simulator invokes it after every communication op of every
+//! rank, so perturbation lands on the virtual timeline exactly where the
+//! real tool perturbs the application.
+
+use crate::machine::Machine;
+use std::collections::VecDeque;
+
+/// Wire size of one event record (matches `opmr_events::EVENT_WIRE_SIZE`).
+pub const EVENT_BYTES: u64 = 48;
+
+/// A measurement chain model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToolModel {
+    /// Uninstrumented reference run.
+    None,
+    /// The paper's online coupling: per-event interception cost plus event
+    /// packs shipped through a VMPI stream with a bounded asynchronous
+    /// window. When the analyzer side cannot drain fast enough the writer
+    /// stalls (real back-pressure).
+    OnlineCoupling {
+        /// Interception + pack-append cost per event, ns.
+        per_event_ns: f64,
+        /// Stream block size, bytes (≈1 MB in the paper).
+        block_size: u64,
+        /// Asynchronous buffers per writer (`NA`).
+        n_async: usize,
+        /// Instrumented processes per analysis process (the figure-15 runs
+        /// use 1; figure 16 uses 1 as well).
+        writers_per_reader: f64,
+    },
+    /// Profile-only tools (mpiP, Score-P profile mode): per-event update of
+    /// in-memory aggregates, no I/O until the final tiny report.
+    ProfileOnly {
+        per_event_ns: f64,
+    },
+    /// Trace-to-file tools (Score-P traces + SIONlib): per-event record
+    /// append plus buffer flushes through the shared file system, which is
+    /// where contention grows with scale.
+    TraceToFs {
+        per_event_ns: f64,
+        /// Local trace buffer flushed when full, bytes.
+        buffer_size: u64,
+    },
+    /// Profile plus post-processing at finalize (Scalasca summary mode).
+    ProfileWithReplay {
+        per_event_ns: f64,
+        /// Finalize-time reduction cost factor (ns × log2(ranks)).
+        finalize_ns_log: f64,
+    },
+}
+
+impl ToolModel {
+    /// The paper's online coupling with calibrated defaults.
+    pub fn online_coupling(writers_per_reader: f64) -> ToolModel {
+        ToolModel::OnlineCoupling {
+            per_event_ns: 2_200.0,
+            block_size: 1 << 20,
+            n_async: 3,
+            writers_per_reader,
+        }
+    }
+
+    /// Score-P profile-mode defaults.
+    pub fn scorep_profile() -> ToolModel {
+        ToolModel::ProfileOnly {
+            per_event_ns: 1_700.0,
+        }
+    }
+
+    /// Score-P trace-mode (+SIONlib) defaults.
+    pub fn scorep_trace() -> ToolModel {
+        ToolModel::TraceToFs {
+            per_event_ns: 2_000.0,
+            buffer_size: 16 << 20,
+        }
+    }
+
+    /// Scalasca summary-mode defaults.
+    pub fn scalasca() -> ToolModel {
+        ToolModel::ProfileWithReplay {
+            per_event_ns: 1_900.0,
+            finalize_ns_log: 2.5e6,
+        }
+    }
+
+    /// Bytes of measurement data produced per intercepted event.
+    pub fn event_bytes(&self) -> u64 {
+        match self {
+            ToolModel::None | ToolModel::ProfileOnly { .. } | ToolModel::ProfileWithReplay { .. } => 0,
+            ToolModel::OnlineCoupling { .. } | ToolModel::TraceToFs { .. } => EVENT_BYTES,
+        }
+    }
+}
+
+/// Per-rank mutable tool state during simulation.
+#[derive(Debug, Default)]
+pub struct ToolState {
+    /// Bytes accumulated toward the next block/flush.
+    pending_bytes: u64,
+    /// Completion times of in-flight stream blocks (online coupling).
+    in_flight: VecDeque<f64>,
+    /// Virtual time when the previous block finishes draining.
+    last_drain_end: f64,
+    /// Stall time accumulated by this rank, ns.
+    pub stall_ns: f64,
+    /// File-system time accumulated by this rank, ns.
+    pub fs_ns: f64,
+    /// Events intercepted.
+    pub events: u64,
+}
+
+impl ToolState {
+    /// Applies the tool's per-event cost after a communication op that
+    /// ended at `*t` and produced `count` events (an instrumented halo
+    /// exchange records isend + irecv + waits + copies, not one record);
+    /// advances `*t` accordingly.
+    pub fn after_comm(
+        &mut self,
+        tool: &ToolModel,
+        machine: &Machine,
+        job_ranks: usize,
+        t: &mut f64,
+        count: u64,
+    ) {
+        match tool {
+            ToolModel::None => {}
+            ToolModel::ProfileOnly { per_event_ns }
+            | ToolModel::ProfileWithReplay {
+                per_event_ns, ..
+            } => {
+                self.events += count;
+                *t += per_event_ns * count as f64;
+            }
+            ToolModel::OnlineCoupling {
+                per_event_ns,
+                block_size,
+                n_async,
+                writers_per_reader,
+            } => {
+                self.events += count;
+                *t += per_event_ns * count as f64;
+                self.pending_bytes += EVENT_BYTES * count;
+                while self.pending_bytes >= *block_size {
+                    self.pending_bytes -= *block_size;
+                    self.ship_block(machine, *block_size, *n_async, *writers_per_reader, t);
+                }
+            }
+            ToolModel::TraceToFs {
+                per_event_ns,
+                buffer_size,
+            } => {
+                self.events += count;
+                *t += per_event_ns * count as f64;
+                self.pending_bytes += EVENT_BYTES * count;
+                while self.pending_bytes >= *buffer_size {
+                    self.pending_bytes -= *buffer_size;
+                    let cost = machine.fs.write_ns(*buffer_size, job_ranks);
+                    self.fs_ns += cost;
+                    *t += cost;
+                }
+            }
+        }
+    }
+
+    fn ship_block(
+        &mut self,
+        machine: &Machine,
+        block_size: u64,
+        n_async: usize,
+        writers_per_reader: f64,
+        t: &mut f64,
+    ) {
+        // Effective per-writer stream bandwidth: writer NIC share capped by
+        // its share of the analyzer's drain rate.
+        let drain = machine
+            .writer_stream_bw
+            .min(machine.reader_drain_bw / writers_per_reader.max(1.0));
+        // Back-pressure: bounded asynchronous window.
+        while self.in_flight.len() >= n_async {
+            let head = self.in_flight.pop_front().expect("non-empty window");
+            if head > *t {
+                self.stall_ns += head - *t;
+                *t = head;
+            }
+        }
+        let start = self.last_drain_end.max(*t);
+        let done = start + block_size as f64 / drain * 1e9;
+        self.last_drain_end = done;
+        self.in_flight.push_back(done);
+        // The isend itself is cheap.
+        *t += 5_000.0;
+    }
+
+    /// Applies finalize-time costs once a rank's program completes.
+    pub fn finish(&mut self, tool: &ToolModel, machine: &Machine, job_ranks: usize, t: &mut f64) {
+        match tool {
+            ToolModel::None | ToolModel::ProfileOnly { .. } => {}
+            ToolModel::ProfileWithReplay {
+                finalize_ns_log, ..
+            } => {
+                let log = (job_ranks.max(2) as f64).log2();
+                *t += finalize_ns_log * log;
+            }
+            ToolModel::OnlineCoupling { .. } => {
+                // Drain the remaining window and the last partial pack.
+                if self.pending_bytes > 0 {
+                    let drain = machine.writer_stream_bw;
+                    let start = self.last_drain_end.max(*t);
+                    self.last_drain_end = start + self.pending_bytes as f64 / drain * 1e9;
+                    self.pending_bytes = 0;
+                    self.in_flight.push_back(self.last_drain_end);
+                }
+                while let Some(head) = self.in_flight.pop_front() {
+                    if head > *t {
+                        self.stall_ns += head - *t;
+                        *t = head;
+                    }
+                }
+            }
+            ToolModel::TraceToFs { buffer_size: _, .. } => {
+                if self.pending_bytes > 0 {
+                    let cost = machine.fs.write_ns(self.pending_bytes, job_ranks);
+                    self.fs_ns += cost;
+                    *t += cost;
+                    self.pending_bytes = 0;
+                }
+                // Trace-file finalization metadata.
+                let cost = machine.fs.meta_op_ns(job_ranks);
+                self.fs_ns += cost;
+                *t += cost;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::tera100;
+
+    #[test]
+    fn reference_model_costs_nothing() {
+        let m = tera100();
+        let mut ts = ToolState::default();
+        let mut t = 100.0;
+        ts.after_comm(&ToolModel::None, &m, 1000, &mut t, 1);
+        ts.finish(&ToolModel::None, &m, 1000, &mut t);
+        assert_eq!(t, 100.0);
+        assert_eq!(ts.events, 0);
+    }
+
+    #[test]
+    fn profile_adds_constant_per_event() {
+        let m = tera100();
+        let tool = ToolModel::scorep_profile();
+        let mut ts = ToolState::default();
+        let mut t = 0.0;
+        for _ in 0..100 {
+            ts.after_comm(&tool, &m, 1000, &mut t, 1);
+        }
+        assert_eq!(ts.events, 100);
+        assert!((t - 170_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn online_coupling_idle_when_event_rate_low() {
+        // Few events: never fills a block, so only per-event cost applies
+        // until the finalize drain.
+        let m = tera100();
+        let tool = ToolModel::online_coupling(1.0);
+        let mut ts = ToolState::default();
+        let mut t = 0.0;
+        for _ in 0..10 {
+            ts.after_comm(&tool, &m, 100, &mut t, 1);
+        }
+        assert_eq!(ts.stall_ns, 0.0);
+        let before = t;
+        ts.finish(&tool, &m, 100, &mut t);
+        // Final partial pack of 480 bytes drains almost instantly but the
+        // writer does wait for it.
+        assert!(t >= before);
+        assert_eq!(ts.pending_bytes, 0);
+    }
+
+    #[test]
+    fn online_coupling_backpressure_stalls_fast_producers() {
+        // Producing blocks back-to-back at rate >> drain rate must stall.
+        let m = tera100();
+        let tool = ToolModel::OnlineCoupling {
+            per_event_ns: 0.0,
+            block_size: 1 << 20,
+            n_async: 3,
+            writers_per_reader: 1.0,
+        };
+        let mut ts = ToolState::default();
+        let mut t = 0.0;
+        let events_for_blocks = (40u64 << 20) / EVENT_BYTES;
+        for _ in 0..events_for_blocks {
+            ts.after_comm(&tool, &m, 2, &mut t, 1);
+        }
+        ts.finish(&tool, &m, 2, &mut t);
+        // 40 MB at 38.5 MB/s ≈ 1.04 s.
+        assert!(ts.stall_ns > 0.8e9, "stall={}", ts.stall_ns);
+        assert!(t >= 1.0e9, "t={t}");
+    }
+
+    #[test]
+    fn trace_model_pays_fs_contention() {
+        let m = tera100();
+        let tool = ToolModel::scorep_trace();
+        let run = |ranks: usize| {
+            let mut ts = ToolState::default();
+            let mut t = 0.0;
+            for _ in 0..2_000_000 {
+                ts.after_comm(&tool, &m, ranks, &mut t, 1);
+            }
+            ts.finish(&tool, &m, ranks, &mut t);
+            (t, ts.fs_ns)
+        };
+        let (t_small, fs_small) = run(64);
+        let (t_big, fs_big) = run(4096);
+        assert!(fs_big > fs_small, "fs time grows with scale");
+        assert!(t_big > t_small);
+    }
+
+    #[test]
+    fn scalasca_finalize_scales_logarithmically() {
+        let m = tera100();
+        let tool = ToolModel::scalasca();
+        let fin = |ranks: usize| {
+            let mut ts = ToolState::default();
+            let mut t = 0.0;
+            ts.finish(&tool, &m, ranks, &mut t);
+            t
+        };
+        assert!(fin(4096) > fin(64));
+        assert!(fin(4096) < fin(64) * 3.0, "log growth, not linear");
+    }
+
+    #[test]
+    fn event_bytes_only_for_event_streams() {
+        assert_eq!(ToolModel::None.event_bytes(), 0);
+        assert_eq!(ToolModel::scorep_profile().event_bytes(), 0);
+        assert_eq!(ToolModel::online_coupling(1.0).event_bytes(), EVENT_BYTES);
+        assert_eq!(ToolModel::scorep_trace().event_bytes(), EVENT_BYTES);
+    }
+}

@@ -1,0 +1,179 @@
+//! Communicators.
+//!
+//! A [`Comm`] is a per-rank view of a process group: the ordered list of
+//! world ranks that belong to it, this rank's position inside it, and a
+//! 64-bit identifier shared by every member. Identifiers for derived
+//! communicators are computed *locally but deterministically* on every
+//! member (a hash of the parent id, a per-parent split sequence number and
+//! the split color), so no central registry is needed for message matching.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Globally-unique communicator identifier (same value on every member).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CommId(pub u64);
+
+/// Identifier of the initial world communicator.
+pub const WORLD_ID: CommId = CommId(1);
+
+struct CommInner {
+    id: CommId,
+    /// World ranks of the members, in communicator-rank order.
+    members: Arc<Vec<usize>>,
+    /// This rank's communicator-local rank.
+    my_local: usize,
+    /// Number of `split`/`dup` calls performed on this communicator by this
+    /// rank. Collective calls keep it consistent across members.
+    derive_seq: AtomicU64,
+    /// Number of collectives performed, used to give each collective a
+    /// private tag space.
+    coll_seq: AtomicU64,
+}
+
+/// A per-rank communicator handle (cheap to clone).
+#[derive(Clone)]
+pub struct Comm {
+    inner: Arc<CommInner>,
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("id", &self.inner.id)
+            .field("size", &self.size())
+            .field("local", &self.inner.my_local)
+            .finish()
+    }
+}
+
+/// SplitMix64 — small, well-distributed hash used to derive communicator ids.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Comm {
+    pub(crate) fn new(id: CommId, members: Arc<Vec<usize>>, my_local: usize) -> Self {
+        debug_assert!(my_local < members.len());
+        Comm {
+            inner: Arc::new(CommInner {
+                id,
+                members,
+                my_local,
+                derive_seq: AtomicU64::new(0),
+                coll_seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Builds the world communicator for a universe of `n` ranks.
+    pub(crate) fn world(n: usize, my_world: usize) -> Self {
+        Comm::new(WORLD_ID, Arc::new((0..n).collect()), my_world)
+    }
+
+    /// Identifier shared by all members.
+    pub fn id(&self) -> CommId {
+        self.inner.id
+    }
+
+    /// Number of member ranks.
+    pub fn size(&self) -> usize {
+        self.inner.members.len()
+    }
+
+    /// This rank's communicator-local rank.
+    pub fn local_rank(&self) -> usize {
+        self.inner.my_local
+    }
+
+    /// World ranks of all members, in communicator-rank order.
+    pub fn members(&self) -> &[usize] {
+        &self.inner.members
+    }
+
+    /// World rank of communicator-local rank `local`.
+    pub fn world_of(&self, local: usize) -> Option<usize> {
+        self.inner.members.get(local).copied()
+    }
+
+    /// Communicator-local rank of world rank `world` (linear scan).
+    pub fn local_of_world(&self, world: usize) -> Option<usize> {
+        self.inner.members.iter().position(|&w| w == world)
+    }
+
+    /// Derives the id of the next `split`/`dup` child for a given color.
+    ///
+    /// Every member calls this in the same collective call, with the same
+    /// parent state, so all members of one color compute the same id.
+    pub(crate) fn next_derived_id(&self, color: u64) -> CommId {
+        let seq = self.inner.derive_seq.fetch_add(1, Ordering::Relaxed);
+        CommId(splitmix64(
+            self.inner.id.0 ^ splitmix64(seq.wrapping_add(1)) ^ splitmix64(color ^ 0xC0FF_EE00),
+        ))
+    }
+
+    /// Reserves a private tag for one collective invocation.
+    pub(crate) fn next_coll_tag(&self) -> i32 {
+        let seq = self.inner.coll_seq.fetch_add(1, Ordering::Relaxed);
+        (seq % (i32::MAX as u64)) as i32
+    }
+
+    /// Builds a per-rank clone describing the same group from another rank's
+    /// point of view (used by the launcher when constructing worlds).
+    pub(crate) fn with_members(id: CommId, members: Arc<Vec<usize>>, my_local: usize) -> Self {
+        Comm::new(id, members, my_local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_layout() {
+        let c = Comm::world(4, 2);
+        assert_eq!(c.id(), WORLD_ID);
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.local_rank(), 2);
+        assert_eq!(c.members(), &[0, 1, 2, 3]);
+        assert_eq!(c.world_of(3), Some(3));
+        assert_eq!(c.local_of_world(1), Some(1));
+        assert_eq!(c.world_of(4), None);
+    }
+
+    #[test]
+    fn derived_ids_deterministic_and_distinct() {
+        let a = Comm::world(4, 0);
+        let b = Comm::world(4, 3);
+        // Same call sequence on two ranks yields the same ids.
+        let ids_a: Vec<_> = (0..5).map(|c| a.next_derived_id(c)).collect();
+        let ids_b: Vec<_> = (0..5).map(|c| b.next_derived_id(c)).collect();
+        assert_eq!(ids_a, ids_b);
+        // Different colors / sequence positions yield distinct ids.
+        let mut uniq = ids_a.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), ids_a.len());
+        assert!(!ids_a.contains(&WORLD_ID));
+    }
+
+    #[test]
+    fn coll_tags_advance() {
+        let c = Comm::world(2, 0);
+        let t0 = c.next_coll_tag();
+        let t1 = c.next_coll_tag();
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn subgroup_mapping() {
+        let c = Comm::new(CommId(9), Arc::new(vec![5, 1, 7]), 1);
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.world_of(0), Some(5));
+        assert_eq!(c.local_of_world(7), Some(2));
+        assert_eq!(c.local_of_world(2), None);
+    }
+}

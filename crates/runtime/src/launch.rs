@@ -1,0 +1,366 @@
+//! MPMD launcher and the shared [`Universe`].
+//!
+//! The paper runs instrumented applications *and* the analysis engine inside
+//! one MPI job in MPMD mode (`mpirun app1 : app2 : analyzer`). [`Launcher`]
+//! reproduces that: each [`Launcher::partition`] call contributes a named
+//! group of ranks running one entry point; `run` spawns one thread per rank,
+//! hands each a [`crate::Mpi`] handle and joins them all. Partition
+//! descriptions are visible from every rank (the paper's
+//! `VMPI_Partition_desc`), which is what makes opportunistic partition
+//! mapping possible.
+
+use crate::comm::Comm;
+use crate::mailbox::Mailbox;
+use crate::mpi::Mpi;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Description of one MPMD partition, queryable from every rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionInfo {
+    /// Dense partition identifier (launch order).
+    pub id: usize,
+    /// Partition name ("Analyzer", "app", ...). Names need not be unique,
+    /// but lookups by name return the first match.
+    pub name: String,
+    /// Pseudo command line, mirroring the paper's grouping by command line.
+    pub cmdline: String,
+    /// World rank of this partition's first process.
+    pub first_world_rank: usize,
+    /// Number of processes in the partition.
+    pub size: usize,
+}
+
+impl PartitionInfo {
+    /// World ranks covered by this partition.
+    pub fn world_ranks(&self) -> std::ops::Range<usize> {
+        self.first_world_rank..self.first_world_rank + self.size
+    }
+
+    /// World rank of this partition's root (its first process).
+    pub fn root_world_rank(&self) -> usize {
+        self.first_world_rank
+    }
+}
+
+/// Shared state of a running job: mailboxes, partition table, wall clock.
+pub struct Universe {
+    mailboxes: Vec<Arc<Mailbox>>,
+    partitions: Arc<Vec<PartitionInfo>>,
+    eager_limit: usize,
+    epoch: Instant,
+}
+
+impl Universe {
+    /// Default eager/rendezvous protocol switch-over, in bytes.
+    pub const DEFAULT_EAGER_LIMIT: usize = 64 * 1024;
+
+    pub(crate) fn new(partitions: Vec<PartitionInfo>, eager_limit: usize) -> Arc<Self> {
+        let total: usize = partitions.iter().map(|p| p.size).sum();
+        Arc::new(Universe {
+            mailboxes: (0..total).map(|_| Arc::new(Mailbox::default())).collect(),
+            partitions: Arc::new(partitions),
+            eager_limit,
+            epoch: Instant::now(),
+        })
+    }
+
+    /// Total number of ranks in the job.
+    pub fn world_size(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// All partition descriptions.
+    pub fn partitions(&self) -> &[PartitionInfo] {
+        &self.partitions
+    }
+
+    /// First partition whose name matches, if any.
+    pub fn partition_by_name(&self, name: &str) -> Option<&PartitionInfo> {
+        self.partitions.iter().find(|p| p.name == name)
+    }
+
+    /// Partition containing a given world rank.
+    pub fn partition_of(&self, world_rank: usize) -> &PartitionInfo {
+        self.partitions
+            .iter()
+            .find(|p| p.world_ranks().contains(&world_rank))
+            .expect("world rank belongs to a partition")
+    }
+
+    pub(crate) fn mailbox(&self, world_rank: usize) -> &Arc<Mailbox> {
+        &self.mailboxes[world_rank]
+    }
+
+    pub(crate) fn eager_limit(&self) -> usize {
+        self.eager_limit
+    }
+
+    /// Seconds since the universe started (the runtime's `MPI_Wtime`).
+    pub fn wtime(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Nanoseconds since the universe started (used by instrumentation).
+    pub fn wtime_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Wakes every blocked rank with [`crate::RtError::Shutdown`].
+    pub fn shutdown_all(&self) {
+        for mb in &self.mailboxes {
+            mb.shutdown();
+        }
+    }
+}
+
+type EntryPoint = Arc<dyn Fn(Mpi) + Send + Sync + 'static>;
+
+struct PartitionSpec {
+    name: String,
+    cmdline: String,
+    size: usize,
+    entry: EntryPoint,
+}
+
+/// Error reported when one or more ranks panicked.
+#[derive(Debug)]
+pub struct LaunchError {
+    /// `(partition name, world rank, panic message)` per failed rank.
+    pub failures: Vec<(String, usize, String)>,
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} rank(s) panicked:", self.failures.len())?;
+        for (part, rank, msg) in &self.failures {
+            write!(f, " [{part}/world:{rank}: {msg}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Builder for an MPMD job.
+pub struct Launcher {
+    specs: Vec<PartitionSpec>,
+    eager_limit: usize,
+    stack_size: Option<usize>,
+}
+
+impl Default for Launcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Launcher {
+    pub fn new() -> Self {
+        Launcher {
+            specs: Vec::new(),
+            eager_limit: Universe::DEFAULT_EAGER_LIMIT,
+            stack_size: None,
+        }
+    }
+
+    /// Overrides the eager/rendezvous switch-over (bytes).
+    pub fn eager_limit(mut self, bytes: usize) -> Self {
+        self.eager_limit = bytes;
+        self
+    }
+
+    /// Overrides the per-rank thread stack size.
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = Some(bytes);
+        self
+    }
+
+    /// Adds a partition of `size` ranks all running `entry`.
+    pub fn partition<F>(self, name: &str, size: usize, entry: F) -> Self
+    where
+        F: Fn(Mpi) + Send + Sync + 'static,
+    {
+        let cmdline = format!("./{name}");
+        self.partition_with_cmdline(name, &cmdline, size, entry)
+    }
+
+    /// Adds a partition with an explicit pseudo command line.
+    pub fn partition_with_cmdline<F>(
+        mut self,
+        name: &str,
+        cmdline: &str,
+        size: usize,
+        entry: F,
+    ) -> Self
+    where
+        F: Fn(Mpi) + Send + Sync + 'static,
+    {
+        assert!(size > 0, "partition must have at least one rank");
+        self.specs.push(PartitionSpec {
+            name: name.to_string(),
+            cmdline: cmdline.to_string(),
+            size,
+            entry: Arc::new(entry),
+        });
+        self
+    }
+
+    /// Spawns every rank, runs the job to completion and joins all threads.
+    pub fn run(self) -> Result<(), LaunchError> {
+        assert!(!self.specs.is_empty(), "no partitions configured");
+        let mut infos = Vec::with_capacity(self.specs.len());
+        let mut first = 0usize;
+        for (id, spec) in self.specs.iter().enumerate() {
+            infos.push(PartitionInfo {
+                id,
+                name: spec.name.clone(),
+                cmdline: spec.cmdline.clone(),
+                first_world_rank: first,
+                size: spec.size,
+            });
+            first += spec.size;
+        }
+        let universe = Universe::new(infos, self.eager_limit);
+
+        let mut handles = Vec::new();
+        for (pid, spec) in self.specs.into_iter().enumerate() {
+            for local in 0..spec.size {
+                let world_rank = universe.partitions()[pid].first_world_rank + local;
+                let entry = Arc::clone(&spec.entry);
+                let uni = Arc::clone(&universe);
+                let name = format!("{}#{}", spec.name, local);
+                let mut builder = std::thread::Builder::new().name(name);
+                if let Some(sz) = self.stack_size {
+                    builder = builder.stack_size(sz);
+                }
+                let handle = builder
+                    .spawn(move || {
+                        let world = Comm::world(uni.world_size(), world_rank);
+                        let mpi = Mpi::new(Arc::clone(&uni), world_rank, world, pid);
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            move || entry(mpi),
+                        ));
+                        if result.is_err() {
+                            // Unblock every other rank so the job tears down
+                            // instead of hanging on a dead peer.
+                            uni.shutdown_all();
+                        }
+                        result
+                    })
+                    .expect("spawn rank thread");
+                handles.push((pid, world_rank, handle));
+            }
+        }
+
+        let partitions = Arc::clone(&universe.partitions);
+        let mut failures = Vec::new();
+        for (pid, world_rank, handle) in handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(payload)) => {
+                    let msg = panic_message(payload.as_ref());
+                    failures.push((partitions[pid].name.clone(), world_rank, msg));
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    failures.push((partitions[pid].name.clone(), world_rank, msg));
+                }
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(LaunchError { failures })
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn partitions_are_laid_out_contiguously() {
+        let uni = Universe::new(
+            vec![
+                PartitionInfo {
+                    id: 0,
+                    name: "a".into(),
+                    cmdline: "./a".into(),
+                    first_world_rank: 0,
+                    size: 3,
+                },
+                PartitionInfo {
+                    id: 1,
+                    name: "b".into(),
+                    cmdline: "./b".into(),
+                    first_world_rank: 3,
+                    size: 2,
+                },
+            ],
+            1024,
+        );
+        assert_eq!(uni.world_size(), 5);
+        assert_eq!(uni.partition_of(0).name, "a");
+        assert_eq!(uni.partition_of(4).name, "b");
+        assert_eq!(uni.partition_by_name("b").unwrap().first_world_rank, 3);
+        assert!(uni.partition_by_name("c").is_none());
+    }
+
+    #[test]
+    fn every_rank_runs_once() {
+        static COUNT: AtomicUsize = AtomicUsize::new(0);
+        Launcher::new()
+            .partition("w", 7, |_mpi| {
+                COUNT.fetch_add(1, Ordering::Relaxed);
+            })
+            .run()
+            .unwrap();
+        assert_eq!(COUNT.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn panic_is_reported_not_hung() {
+        let err = Launcher::new()
+            .partition("ok", 1, |_mpi| {})
+            .partition("bad", 2, |mpi| {
+                if mpi.world_rank() == 2 {
+                    panic!("boom");
+                }
+            })
+            .run()
+            .unwrap_err();
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].0, "bad");
+        assert!(err.failures[0].2.contains("boom"));
+    }
+
+    #[test]
+    fn wtime_is_monotonic() {
+        let uni = Universe::new(
+            vec![PartitionInfo {
+                id: 0,
+                name: "x".into(),
+                cmdline: "./x".into(),
+                first_world_rank: 0,
+                size: 1,
+            }],
+            1024,
+        );
+        let a = uni.wtime();
+        let b = uni.wtime();
+        assert!(b >= a);
+    }
+}

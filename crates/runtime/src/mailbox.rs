@@ -1,0 +1,440 @@
+//! Per-rank mailboxes: the matching engine of the runtime.
+//!
+//! Each rank owns one [`Mailbox`]. Senders push into the destination's
+//! mailbox; the owning rank consumes from it. Two queues implement MPI
+//! semantics:
+//!
+//! * `offers` — messages that arrived before a matching receive
+//!   ("unexpected" messages in MPI parlance). Eager messages park here
+//!   complete; rendezvous messages park here with a completion handle the
+//!   sender blocks on, which is what gives large transfers real
+//!   back-pressure.
+//! * `posted` — receives posted before a matching message arrived. The
+//!   sender completes them directly at delivery time.
+//!
+//! Both queues are scanned in FIFO order, preserving MPI's non-overtaking
+//! guarantee for identical `(source, tag, communicator)` triples. All waits
+//! go through the mailbox's condition variable; receivers wait on their own
+//! mailbox, rendezvous senders wait on the destination's.
+
+use crate::comm::CommId;
+use crate::envelope::{Context, Envelope, Src, Status, TagSel};
+use crate::RtError;
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Completion flag a rendezvous sender blocks on.
+#[derive(Debug, Default)]
+pub struct SendHandle {
+    done: AtomicBool,
+}
+
+impl SendHandle {
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+    fn complete(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// Slot a posted receive is completed into.
+#[derive(Debug, Default)]
+pub struct RecvSlot {
+    filled: Mutex<Option<Envelope>>,
+}
+
+impl RecvSlot {
+    /// Takes the delivered envelope, if any.
+    pub fn take(&self) -> Option<Envelope> {
+        self.filled.lock().take()
+    }
+    /// True once a message has been delivered (without consuming it).
+    pub fn is_filled(&self) -> bool {
+        self.filled.lock().is_some()
+    }
+    fn fill(&self, env: Envelope) {
+        let mut g = self.filled.lock();
+        debug_assert!(g.is_none(), "recv slot filled twice");
+        *g = Some(env);
+    }
+}
+
+struct Offer {
+    env: Envelope,
+    /// `Some` for rendezvous messages: completed when a receive takes it.
+    done: Option<Arc<SendHandle>>,
+}
+
+struct Posted {
+    ctx: Context,
+    comm: CommId,
+    src: Src,
+    tag: TagSel,
+    slot: Arc<RecvSlot>,
+}
+
+#[derive(Default)]
+struct Inner {
+    offers: VecDeque<Offer>,
+    posted: VecDeque<Posted>,
+    shutdown: bool,
+}
+
+/// One rank's incoming-message state.
+pub struct Mailbox {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Mailbox {
+            inner: Mutex::new(Inner::default()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Outcome of [`Mailbox::deliver`].
+pub enum Delivery {
+    /// Message handed to a posted receive or parked eagerly: sender is done.
+    Complete,
+    /// Rendezvous message parked; sender must wait on the handle.
+    Pending(Arc<SendHandle>),
+}
+
+impl Mailbox {
+    /// Delivers a message into this mailbox, applying the eager/rendezvous
+    /// protocol split at `eager_limit` bytes.
+    pub fn deliver(&self, env: Envelope, eager_limit: usize) -> Result<Delivery, RtError> {
+        let mut g = self.inner.lock();
+        if g.shutdown {
+            return Err(RtError::Shutdown);
+        }
+        // Posted receives are matched in posting order.
+        if let Some(pos) = g.posted.iter().position(|p| {
+            env.matches(p.ctx, p.comm, p.src, p.tag)
+        }) {
+            let posted = g.posted.remove(pos).expect("position in bounds");
+            posted.slot.fill(env);
+            self.cv.notify_all();
+            return Ok(Delivery::Complete);
+        }
+        if env.payload.len() <= eager_limit {
+            g.offers.push_back(Offer { env, done: None });
+            self.cv.notify_all();
+            Ok(Delivery::Complete)
+        } else {
+            let handle = Arc::new(SendHandle::default());
+            g.offers.push_back(Offer {
+                env,
+                done: Some(Arc::clone(&handle)),
+            });
+            self.cv.notify_all();
+            Ok(Delivery::Pending(handle))
+        }
+    }
+
+    /// Blocks the (rendezvous) sender until its offer has been taken.
+    pub fn wait_send(&self, handle: &SendHandle) -> Result<(), RtError> {
+        let mut g = self.inner.lock();
+        loop {
+            if handle.is_done() {
+                return Ok(());
+            }
+            if g.shutdown {
+                return Err(RtError::Shutdown);
+            }
+            self.cv.wait(&mut g);
+        }
+    }
+
+    /// Non-destructive scan for a matching unexpected message.
+    pub fn probe(&self, ctx: Context, comm: CommId, src: Src, tag: TagSel) -> Option<Status> {
+        let g = self.inner.lock();
+        g.offers
+            .iter()
+            .find(|o| o.env.matches(ctx, comm, src, tag))
+            .map(|o| o.env.status())
+    }
+
+    /// Takes the first matching unexpected message, if any, completing the
+    /// sender when it was a rendezvous offer.
+    pub fn try_take(
+        &self,
+        ctx: Context,
+        comm: CommId,
+        src: Src,
+        tag: TagSel,
+    ) -> Result<Option<Envelope>, RtError> {
+        let mut g = self.inner.lock();
+        if g.shutdown {
+            return Err(RtError::Shutdown);
+        }
+        Ok(Self::take_locked(&mut g, &self.cv, ctx, comm, src, tag))
+    }
+
+    fn take_locked(
+        g: &mut Inner,
+        cv: &Condvar,
+        ctx: Context,
+        comm: CommId,
+        src: Src,
+        tag: TagSel,
+    ) -> Option<Envelope> {
+        let pos = g
+            .offers
+            .iter()
+            .position(|o| o.env.matches(ctx, comm, src, tag))?;
+        let offer = g.offers.remove(pos).expect("position in bounds");
+        if let Some(done) = offer.done {
+            done.complete();
+            // Wake the rendezvous sender parked on this mailbox.
+            cv.notify_all();
+        }
+        Some(offer.env)
+    }
+
+    /// Blocking receive: takes a matching unexpected message or posts a
+    /// receive and waits for delivery.
+    pub fn recv_blocking(
+        &self,
+        ctx: Context,
+        comm: CommId,
+        src: Src,
+        tag: TagSel,
+    ) -> Result<Envelope, RtError> {
+        let mut g = self.inner.lock();
+        if g.shutdown {
+            return Err(RtError::Shutdown);
+        }
+        if let Some(env) = Self::take_locked(&mut g, &self.cv, ctx, comm, src, tag) {
+            return Ok(env);
+        }
+        let slot = Arc::new(RecvSlot::default());
+        g.posted.push_back(Posted {
+            ctx,
+            comm,
+            src,
+            tag,
+            slot: Arc::clone(&slot),
+        });
+        loop {
+            self.cv.wait(&mut g);
+            if let Some(env) = slot.take() {
+                return Ok(env);
+            }
+            if g.shutdown {
+                return Err(RtError::Shutdown);
+            }
+        }
+    }
+
+    /// Posts a non-blocking receive. Returns the slot it will complete into;
+    /// if an unexpected message already matches, the slot is pre-filled.
+    pub fn post_recv(
+        &self,
+        ctx: Context,
+        comm: CommId,
+        src: Src,
+        tag: TagSel,
+    ) -> Result<Arc<RecvSlot>, RtError> {
+        let mut g = self.inner.lock();
+        if g.shutdown {
+            return Err(RtError::Shutdown);
+        }
+        let slot = Arc::new(RecvSlot::default());
+        if let Some(env) = Self::take_locked(&mut g, &self.cv, ctx, comm, src, tag) {
+            slot.fill(env);
+            return Ok(slot);
+        }
+        g.posted.push_back(Posted {
+            ctx,
+            comm,
+            src,
+            tag,
+            slot: Arc::clone(&slot),
+        });
+        Ok(slot)
+    }
+
+    /// Blocks until a posted receive completes.
+    pub fn wait_recv(&self, slot: &RecvSlot) -> Result<Envelope, RtError> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(env) = slot.take() {
+                return Ok(env);
+            }
+            if g.shutdown {
+                return Err(RtError::Shutdown);
+            }
+            self.cv.wait(&mut g);
+        }
+    }
+
+    /// Marks the mailbox as shut down and wakes every waiter.
+    pub fn shutdown(&self) {
+        let mut g = self.inner.lock();
+        g.shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// Number of unexpected messages currently parked (diagnostics).
+    pub fn backlog(&self) -> usize {
+        self.inner.lock().offers.len()
+    }
+}
+
+/// Convenience constructor for envelopes (used by `Mpi` and tests).
+pub fn make_envelope(
+    ctx: Context,
+    comm: CommId,
+    src_local: usize,
+    src_world: usize,
+    tag: i32,
+    payload: Bytes,
+) -> Envelope {
+    Envelope {
+        header: crate::envelope::EnvelopeHeader {
+            ctx,
+            comm,
+            src_local,
+            src_world,
+            tag,
+        },
+        payload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommId;
+
+    const C: CommId = CommId(7);
+
+    fn env(src: usize, tag: i32, len: usize) -> Envelope {
+        make_envelope(Context::Pt2pt, C, src, src, tag, Bytes::from(vec![0u8; len]))
+    }
+
+    #[test]
+    fn eager_then_take() {
+        let mb = Mailbox::default();
+        assert!(matches!(
+            mb.deliver(env(0, 1, 8), 64).unwrap(),
+            Delivery::Complete
+        ));
+        let got = mb
+            .try_take(Context::Pt2pt, C, Src::Rank(0), TagSel::Tag(1))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.payload.len(), 8);
+    }
+
+    #[test]
+    fn rendezvous_completes_on_take() {
+        let mb = Mailbox::default();
+        let Delivery::Pending(h) = mb.deliver(env(0, 1, 128), 64).unwrap() else {
+            panic!("expected rendezvous");
+        };
+        assert!(!h.is_done());
+        mb.try_take(Context::Pt2pt, C, Src::Any, TagSel::Any)
+            .unwrap()
+            .unwrap();
+        assert!(h.is_done());
+    }
+
+    #[test]
+    fn posted_recv_matched_at_delivery() {
+        let mb = Mailbox::default();
+        let slot = mb
+            .post_recv(Context::Pt2pt, C, Src::Rank(3), TagSel::Tag(9))
+            .unwrap();
+        assert!(!slot.is_filled());
+        mb.deliver(env(3, 9, 4), 64).unwrap();
+        assert!(slot.is_filled());
+        assert_eq!(slot.take().unwrap().payload.len(), 4);
+    }
+
+    #[test]
+    fn fifo_order_same_triple() {
+        let mb = Mailbox::default();
+        for i in 0..4 {
+            mb.deliver(env(0, 5, i + 1), 1024).unwrap();
+        }
+        for i in 0..4 {
+            let e = mb
+                .try_take(Context::Pt2pt, C, Src::Rank(0), TagSel::Tag(5))
+                .unwrap()
+                .unwrap();
+            assert_eq!(e.payload.len(), i + 1, "non-overtaking order violated");
+        }
+    }
+
+    #[test]
+    fn posted_order_respected() {
+        let mb = Mailbox::default();
+        let first = mb.post_recv(Context::Pt2pt, C, Src::Any, TagSel::Any).unwrap();
+        let second = mb.post_recv(Context::Pt2pt, C, Src::Any, TagSel::Any).unwrap();
+        mb.deliver(env(1, 1, 10), 64).unwrap();
+        assert!(first.is_filled());
+        assert!(!second.is_filled());
+    }
+
+    #[test]
+    fn probe_sees_without_consuming() {
+        let mb = Mailbox::default();
+        mb.deliver(env(2, 3, 6), 64).unwrap();
+        let st = mb.probe(Context::Pt2pt, C, Src::Any, TagSel::Any).unwrap();
+        assert_eq!(st.source, 2);
+        assert_eq!(st.bytes, 6);
+        assert!(mb
+            .try_take(Context::Pt2pt, C, Src::Rank(2), TagSel::Tag(3))
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn contexts_are_isolated() {
+        let mb = Mailbox::default();
+        let coll = make_envelope(Context::Coll, C, 0, 0, 1, Bytes::new());
+        mb.deliver(coll, 64).unwrap();
+        assert!(mb
+            .try_take(Context::Pt2pt, C, Src::Any, TagSel::Any)
+            .unwrap()
+            .is_none());
+        assert!(mb
+            .try_take(Context::Coll, C, Src::Any, TagSel::Any)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn shutdown_wakes_and_errors() {
+        let mb = Arc::new(Mailbox::default());
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || {
+            mb2.recv_blocking(Context::Pt2pt, C, Src::Any, TagSel::Any)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.shutdown();
+        assert_eq!(t.join().unwrap().unwrap_err(), RtError::Shutdown);
+    }
+
+    #[test]
+    fn cross_thread_blocking_recv() {
+        let mb = Arc::new(Mailbox::default());
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || {
+            mb2.recv_blocking(Context::Pt2pt, C, Src::Any, TagSel::Any)
+                .unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        mb.deliver(env(1, 2, 3), 64).unwrap();
+        assert_eq!(t.join().unwrap().payload.len(), 3);
+    }
+}

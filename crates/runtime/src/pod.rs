@@ -1,0 +1,115 @@
+//! Plain-old-data marker trait for typed message payloads.
+//!
+//! Messages travel through the runtime as [`bytes::Bytes`]. Typed helpers
+//! (`send_t`, `recv_t`, collectives over numeric slices) copy element slices
+//! to and from byte buffers. Because sender and receiver live in the same
+//! process, layout and endianness are trivially identical; the only safety
+//! requirements are the classic POD ones encoded by [`Pod`].
+
+use bytes::Bytes;
+
+/// Marker for types that can be copied byte-wise into messages.
+///
+/// # Safety
+///
+/// Implementors must be `Copy`, have no padding whose content matters, no
+/// pointers/references, and every bit pattern of the right size must be a
+/// valid value. All implementations in this crate are primitive numeric
+/// types, for which this trivially holds.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => { $( unsafe impl Pod for $t {} )* };
+}
+
+impl_pod!(u8, i8, u16, i16, u32, i32, u64, i64, u128, i128, usize, isize, f32, f64);
+
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+/// Copies a slice of POD elements into a standalone byte buffer.
+pub fn bytes_of_slice<T: Pod>(slice: &[T]) -> Bytes {
+    let len = std::mem::size_of_val(slice);
+    let mut out = Vec::<u8>::with_capacity(len);
+    // SAFETY: `T: Pod` guarantees the source is plain bytes; the destination
+    // has exactly `len` bytes of capacity and we set the length right after.
+    unsafe {
+        std::ptr::copy_nonoverlapping(slice.as_ptr().cast::<u8>(), out.as_mut_ptr(), len);
+        out.set_len(len);
+    }
+    Bytes::from(out)
+}
+
+/// Copies one POD value into a byte buffer.
+pub fn bytes_of<T: Pod>(value: &T) -> Bytes {
+    bytes_of_slice(std::slice::from_ref(value))
+}
+
+/// Reconstructs a vector of POD elements from raw bytes.
+///
+/// Returns `None` when `bytes.len()` is not a multiple of the element size.
+pub fn vec_from_bytes<T: Pod>(bytes: &[u8]) -> Option<Vec<T>> {
+    let elem = std::mem::size_of::<T>();
+    if elem == 0 || !bytes.len().is_multiple_of(elem) {
+        return None;
+    }
+    let n = bytes.len() / elem;
+    let mut out = Vec::<T>::with_capacity(n);
+    // SAFETY: destination is freshly allocated with capacity for `n` aligned
+    // elements; `T: Pod` makes any byte content a valid `T`.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), bytes.len());
+        out.set_len(n);
+    }
+    Some(out)
+}
+
+/// Reconstructs a single POD value from raw bytes (size must match exactly).
+pub fn from_bytes<T: Pod>(bytes: &[u8]) -> Option<T> {
+    let mut v = vec_from_bytes::<T>(bytes)?;
+    if v.len() == 1 {
+        v.pop()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64_slice() {
+        let data = [1.0f64, -2.5, 3.25, f64::MAX, f64::MIN_POSITIVE];
+        let b = bytes_of_slice(&data);
+        assert_eq!(b.len(), 40);
+        let back = vec_from_bytes::<f64>(&b).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrip_single_value() {
+        let b = bytes_of(&0xDEAD_BEEF_u64);
+        assert_eq!(from_bytes::<u64>(&b), Some(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn size_mismatch_is_none() {
+        assert!(vec_from_bytes::<u32>(&[1, 2, 3]).is_none());
+        assert!(from_bytes::<u32>(&[1, 2, 3, 4, 5, 6, 7, 8]).is_none());
+    }
+
+    #[test]
+    fn empty_slice_roundtrip() {
+        let b = bytes_of_slice::<u64>(&[]);
+        assert!(b.is_empty());
+        assert_eq!(vec_from_bytes::<u64>(&b).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn array_elements() {
+        let data = [[1u32, 2], [3, 4], [5, 6]];
+        let b = bytes_of_slice(&data);
+        let back = vec_from_bytes::<[u32; 2]>(&b).unwrap();
+        assert_eq!(back, data);
+    }
+}

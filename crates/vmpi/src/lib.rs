@@ -1,0 +1,69 @@
+//! # opmr-vmpi — MPI virtualization, partition mapping and data streams
+//!
+//! This crate reproduces the paper's online-coupling toolkit (Section III-A):
+//!
+//! * [`virt::Vmpi`] — **virtualization**: each program transparently runs in
+//!   its own partition communicator (its virtual `MPI_COMM_WORLD`) while the
+//!   real world communicator stays reachable as `MPI_COMM_UNIVERSE`.
+//!   Partition descriptions can be queried by name from any rank.
+//! * [`map::Map`] — **VMPI Map**: process-to-process mapping between two
+//!   partitions via the pivot protocol of Figure 7 (slave ranks send their
+//!   global rank to the master root, which assigns matches by policy and
+//!   returns associations both ways). Round-robin, random, fixed and
+//!   user-defined policies; maps are additive across several partitions.
+//! * [`stream::{WriteStream, ReadStream}`] — **VMPI Streams**: persistent
+//!   asynchronous block channels with UNIX-pipe-like semantics, `NA`
+//!   receive buffers per incoming stream, `NA` shared output buffers,
+//!   non-blocking reads (`EAGAIN`), per-endpoint load-balancing policies and
+//!   a close protocol under which a read returns end-of-stream only after
+//!   every writer has closed.
+//!
+//! Together these three components implement the coupling of Figures 10-12:
+//! N instrumented partitions stream event blocks into one analyzer
+//! partition without any file-system involvement.
+
+pub mod map;
+pub mod stream;
+pub mod virt;
+
+pub use map::{Map, MapPolicy};
+pub use stream::{Balance, Block, DuplexStream, ReadMode, ReadStream, StreamConfig, WriteStream};
+pub use virt::Vmpi;
+
+/// Errors produced by the coupling layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmpiError {
+    /// Underlying runtime failure.
+    Runtime(opmr_runtime::RtError),
+    /// Referenced partition does not exist.
+    UnknownPartition(String),
+    /// A mapping was requested against the caller's own partition.
+    SelfMapping,
+    /// Stream operated on after close.
+    StreamClosed,
+    /// Non-blocking read found no data (the paper's `EAGAIN`).
+    Again,
+}
+
+impl From<opmr_runtime::RtError> for VmpiError {
+    fn from(e: opmr_runtime::RtError) -> Self {
+        VmpiError::Runtime(e)
+    }
+}
+
+impl std::fmt::Display for VmpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmpiError::Runtime(e) => write!(f, "runtime error: {e}"),
+            VmpiError::UnknownPartition(name) => write!(f, "unknown partition {name:?}"),
+            VmpiError::SelfMapping => write!(f, "cannot map a partition onto itself"),
+            VmpiError::StreamClosed => write!(f, "stream already closed"),
+            VmpiError::Again => write!(f, "no data available (EAGAIN)"),
+        }
+    }
+}
+
+impl std::error::Error for VmpiError {}
+
+/// Result alias for the coupling layer.
+pub type Result<T> = std::result::Result<T, VmpiError>;

@@ -1,0 +1,534 @@
+//! VMPI Streams: persistent asynchronous block channels (Figure 9).
+//!
+//! Semantics follow the paper:
+//!
+//! * a stream moves fixed-size **blocks** (≈1 MB for instrumentation use);
+//! * the **write endpoint** owns `NA` shared output buffers: writing is
+//!   non-blocking until all asynchronous buffers are full, which preserves
+//!   an adaptation window between producer and consumer and then exerts real
+//!   back-pressure;
+//! * the **read endpoint** keeps `NA` pre-posted receive buffers *per
+//!   incoming stream*, so any arriving block finds a buffer waiting (no
+//!   unexpected messages on the hot path);
+//! * streams created from a [`crate::Map`] connect a process to all its
+//!   mapped peers; block distribution across multiple endpoints follows a
+//!   load-balancing policy (**none / random / round-robin**), independently
+//!   configurable at each end;
+//! * non-blocking reads return [`VmpiError::Again`] (the paper's `EAGAIN`);
+//! * writers close with an empty block; a read returns `None` (EOF) only
+//!   after **all** remote writers have closed.
+
+use crate::map::Map;
+use crate::virt::Vmpi;
+use crate::{Result, VmpiError};
+use bytes::{Bytes, BytesMut};
+use opmr_runtime::{Comm, Context, Mpi, Request, Src, TagSel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Load-balancing policy across a stream's endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Balance {
+    /// Always use the first endpoint.
+    None,
+    /// Uniform random endpoint per block (seeded, reproducible).
+    Random { seed: u64 },
+    /// Rotate endpoints per block.
+    RoundRobin,
+}
+
+/// Stream configuration (`VMPI_Stream_init` arguments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Block size in bytes (the paper uses ≈1 MB for instrumentation).
+    pub block_size: usize,
+    /// Number of asynchronous buffers per endpoint (`NA`, 3 in the paper).
+    pub n_async: usize,
+    /// Endpoint load-balancing policy.
+    pub balance: Balance,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            block_size: 1 << 20,
+            n_async: 3,
+            balance: Balance::RoundRobin,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Convenience constructor.
+    pub fn new(block_size: usize, n_async: usize, balance: Balance) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        assert!(n_async > 0, "need at least one async buffer");
+        StreamConfig {
+            block_size,
+            n_async,
+            balance,
+        }
+    }
+}
+
+/// Read behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Block until a block arrives or every writer closed.
+    Blocking,
+    /// Return [`VmpiError::Again`] when nothing is ready.
+    NonBlocking,
+}
+
+/// One received block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// World rank of the writer that produced the block.
+    pub source: usize,
+    /// Block payload (full or trailing partial block).
+    pub data: Bytes,
+}
+
+fn stream_tag(stream_id: u16) -> i32 {
+    0x0500_0000 | stream_id as i32
+}
+
+struct EndpointChooser {
+    n: usize,
+    next: usize,
+    rng: Option<StdRng>,
+    balance: Balance,
+}
+
+impl EndpointChooser {
+    fn new(n: usize, balance: Balance) -> Self {
+        let rng = match balance {
+            Balance::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        EndpointChooser {
+            n,
+            next: 0,
+            rng,
+            balance,
+        }
+    }
+
+    fn pick(&mut self) -> usize {
+        match self.balance {
+            Balance::None => 0,
+            Balance::RoundRobin => {
+                let i = self.next;
+                self.next = (self.next + 1) % self.n;
+                i
+            }
+            Balance::Random { .. } => self
+                .rng
+                .as_mut()
+                .expect("rng for random balance")
+                .gen_range(0..self.n),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Write endpoint.
+// ---------------------------------------------------------------------
+
+/// The writing end of a VMPI stream.
+pub struct WriteStream {
+    mpi: Mpi,
+    universe: Comm,
+    endpoints: Vec<usize>,
+    cfg: StreamConfig,
+    tag: i32,
+    chooser: EndpointChooser,
+    current: BytesMut,
+    /// Blocks in flight; bounded by `cfg.n_async` (the shared output
+    /// buffers of Figure 9).
+    in_flight: VecDeque<Request>,
+    closed: bool,
+    bytes_written: u64,
+    blocks_sent: u64,
+}
+
+impl WriteStream {
+    /// Opens a write stream to all peers of `map` (`VMPI_Stream_open_map`
+    /// with mode `"w"`).
+    pub fn open_map(vmpi: &Vmpi, map: &Map, cfg: StreamConfig, stream_id: u16) -> Result<Self> {
+        Self::open_to(vmpi, map.peers().to_vec(), cfg, stream_id)
+    }
+
+    /// Opens a write stream to an explicit list of world ranks.
+    pub fn open_to(
+        vmpi: &Vmpi,
+        endpoints: Vec<usize>,
+        cfg: StreamConfig,
+        stream_id: u16,
+    ) -> Result<Self> {
+        assert!(!endpoints.is_empty(), "write stream needs >= 1 endpoint");
+        Ok(WriteStream {
+            mpi: vmpi.mpi().clone(),
+            universe: vmpi.comm_universe(),
+            chooser: EndpointChooser::new(endpoints.len(), cfg.balance),
+            endpoints,
+            cfg,
+            tag: stream_tag(stream_id),
+            current: BytesMut::new(),
+            in_flight: VecDeque::new(),
+            closed: false,
+            bytes_written: 0,
+            blocks_sent: 0,
+        })
+    }
+
+    /// Appends bytes to the stream, sending full blocks as they fill
+    /// (`VMPI_Stream_write`). Non-blocking until all async buffers are full.
+    pub fn write(&mut self, mut data: &[u8]) -> Result<()> {
+        if self.closed {
+            return Err(VmpiError::StreamClosed);
+        }
+        self.bytes_written += data.len() as u64;
+        while !data.is_empty() {
+            let room = self.cfg.block_size - self.current.len();
+            let take = room.min(data.len());
+            self.current.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            if self.current.len() == self.cfg.block_size {
+                self.send_current()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends the current partial block, if any.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.closed {
+            return Err(VmpiError::StreamClosed);
+        }
+        if !self.current.is_empty() {
+            self.send_current()?;
+        }
+        Ok(())
+    }
+
+    fn send_current(&mut self) -> Result<()> {
+        let block = std::mem::take(&mut self.current).freeze();
+        self.send_block(block)
+    }
+
+    fn send_block(&mut self, block: Bytes) -> Result<()> {
+        // Reclaim completed buffers first, then block on the oldest if the
+        // window is exhausted (back-pressure point).
+        while let Some(front) = self.in_flight.front_mut() {
+            if front.is_complete() {
+                self.in_flight.pop_front().expect("front exists").wait()?;
+            } else {
+                break;
+            }
+        }
+        while self.in_flight.len() >= self.cfg.n_async {
+            self.in_flight
+                .pop_front()
+                .expect("window non-empty")
+                .wait()?;
+        }
+        let ep = self.endpoints[self.chooser.pick()];
+        let req = self
+            .mpi
+            .isend_ctx(Context::Stream, &self.universe, ep, self.tag, block)?;
+        self.in_flight.push_back(req);
+        self.blocks_sent += 1;
+        Ok(())
+    }
+
+    /// Flushes, signals EOF to every endpoint and drains the send window
+    /// (`VMPI_Stream_close`).
+    pub fn close(mut self) -> Result<()> {
+        self.close_inner()
+    }
+
+    fn close_inner(&mut self) -> Result<()> {
+        if self.closed {
+            return Ok(());
+        }
+        self.flush()?;
+        self.closed = true;
+        for &ep in &self.endpoints {
+            // Zero-length block = end-of-stream marker.
+            self.mpi
+                .send_ctx(Context::Stream, &self.universe, ep, self.tag, Bytes::new())?;
+        }
+        for req in self.in_flight.drain(..) {
+            req.wait()?;
+        }
+        Ok(())
+    }
+
+    /// Total payload bytes accepted so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Full/partial blocks sent so far.
+    pub fn blocks_sent(&self) -> u64 {
+        self.blocks_sent
+    }
+
+    /// Number of remote endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
+    }
+}
+
+impl Drop for WriteStream {
+    fn drop(&mut self) {
+        // Best-effort close so readers are never left waiting; errors are
+        // ignored because the universe may already be shutting down.
+        let _ = self.close_inner();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bidirectional streams.
+// ---------------------------------------------------------------------
+
+/// A bidirectional stream: the paper notes VMPI streams "can be either
+/// multi- or uni-directional". A duplex endpoint pairs a write stream and
+/// a read stream over two distinct stream ids derived from `stream_id`,
+/// so both directions coexist without tag collisions.
+pub struct DuplexStream {
+    tx: WriteStream,
+    rx: ReadStream,
+}
+
+impl DuplexStream {
+    /// Opens both directions against the same peer set.
+    pub fn open(
+        vmpi: &Vmpi,
+        peers: Vec<usize>,
+        cfg: StreamConfig,
+        stream_id: u16,
+    ) -> crate::Result<DuplexStream> {
+        // Directions are disambiguated by parity: lower world rank writes
+        // on 2k / reads on 2k+1; its peers do the opposite. The peer set
+        // must lie entirely on one side (true for partition-to-partition
+        // couplings, where rank ranges are contiguous).
+        let me = vmpi.mpi().world_rank();
+        assert!(
+            peers.iter().all(|&p| p > me) || peers.iter().all(|&p| p < me),
+            "duplex peers must all be in a remote partition"
+        );
+        let (tx_id, rx_id) = if peers.iter().all(|&p| p > me) {
+            (2 * stream_id, 2 * stream_id + 1)
+        } else {
+            (2 * stream_id + 1, 2 * stream_id)
+        };
+        Ok(DuplexStream {
+            tx: WriteStream::open_to(vmpi, peers.clone(), cfg, tx_id)?,
+            rx: ReadStream::open_from(vmpi, peers, cfg, rx_id)?,
+        })
+    }
+
+    /// Writes on the outbound direction.
+    pub fn write(&mut self, data: &[u8]) -> crate::Result<()> {
+        self.tx.write(data)
+    }
+
+    /// Flushes the outbound partial block.
+    pub fn flush(&mut self) -> crate::Result<()> {
+        self.tx.flush()
+    }
+
+    /// Reads from the inbound direction.
+    pub fn read(&mut self, mode: ReadMode) -> crate::Result<Option<Block>> {
+        self.rx.read(mode)
+    }
+
+    /// Closes the outbound direction and drains the inbound one.
+    pub fn close(mut self) -> crate::Result<Vec<Block>> {
+        self.tx.close()?;
+        let mut rest = Vec::new();
+        while let Some(b) = self.rx.read(ReadMode::Blocking)? {
+            rest.push(b);
+        }
+        Ok(rest)
+    }
+
+    /// Accessors for the two halves.
+    pub fn halves(&mut self) -> (&mut WriteStream, &mut ReadStream) {
+        (&mut self.tx, &mut self.rx)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Read endpoint.
+// ---------------------------------------------------------------------
+
+struct SourceState {
+    world: usize,
+    /// Pre-posted receives, completed in FIFO order (NA per source).
+    reqs: VecDeque<Request>,
+    eof: bool,
+}
+
+/// The reading end of a VMPI stream.
+pub struct ReadStream {
+    mpi: Mpi,
+    universe: Comm,
+    sources: Vec<SourceState>,
+    cfg: StreamConfig,
+    tag: i32,
+    chooser: EndpointChooser,
+    bytes_read: u64,
+    blocks_read: u64,
+}
+
+impl ReadStream {
+    /// Opens a read stream from all peers of `map` (`VMPI_Stream_open_map`
+    /// with mode `"r"`).
+    pub fn open_map(vmpi: &Vmpi, map: &Map, cfg: StreamConfig, stream_id: u16) -> Result<Self> {
+        Self::open_from(vmpi, map.peers().to_vec(), cfg, stream_id)
+    }
+
+    /// Opens a read stream from an explicit list of world ranks.
+    pub fn open_from(
+        vmpi: &Vmpi,
+        sources: Vec<usize>,
+        cfg: StreamConfig,
+        stream_id: u16,
+    ) -> Result<Self> {
+        assert!(!sources.is_empty(), "read stream needs >= 1 source");
+        let mpi = vmpi.mpi().clone();
+        let universe = vmpi.comm_universe();
+        let tag = stream_tag(stream_id);
+        let mut states = Vec::with_capacity(sources.len());
+        for world in sources {
+            let mut reqs = VecDeque::with_capacity(cfg.n_async);
+            for _ in 0..cfg.n_async {
+                reqs.push_back(mpi.irecv_ctx(
+                    Context::Stream,
+                    &universe,
+                    Src::Rank(world),
+                    TagSel::Tag(tag),
+                )?);
+            }
+            states.push(SourceState {
+                world,
+                reqs,
+                eof: false,
+            });
+        }
+        Ok(ReadStream {
+            mpi,
+            universe,
+            sources: states,
+            cfg,
+            tag,
+            chooser: EndpointChooser::new(0, cfg.balance), // n set per sweep
+            bytes_read: 0,
+            blocks_read: 0,
+        })
+    }
+
+    /// True once every writer has signalled EOF.
+    pub fn all_closed(&self) -> bool {
+        self.sources.iter().all(|s| s.eof)
+    }
+
+    /// One sweep over the sources from a policy-chosen start.
+    /// Returns a completed block if any front request is done.
+    fn sweep(&mut self) -> Result<Option<Block>> {
+        let n = self.sources.len();
+        self.chooser.n = n;
+        let start = match self.cfg.balance {
+            Balance::None => 0,
+            _ => self.chooser.pick().min(n - 1),
+        };
+        for off in 0..n {
+            let idx = (start + off) % n;
+            if self.sources[idx].eof {
+                continue;
+            }
+            let ready = match self.sources[idx].reqs.front_mut() {
+                Some(front) => front.is_complete(),
+                None => false,
+            };
+            if !ready {
+                continue;
+            }
+            let req = self.sources[idx].reqs.pop_front().expect("front exists");
+            let (_st, data) = req.wait()?.expect("recv request yields payload");
+            if data.is_empty() {
+                // EOF marker: stop reposting; leftover posted receives for
+                // this source can never match (the writer is gone) and are
+                // reclaimed when the job ends.
+                self.sources[idx].eof = true;
+                continue;
+            }
+            // Re-post to keep NA buffers outstanding for this source.
+            let world = self.sources[idx].world;
+            let req = self.mpi.irecv_ctx(
+                Context::Stream,
+                &self.universe,
+                Src::Rank(world),
+                TagSel::Tag(self.tag),
+            )?;
+            self.sources[idx].reqs.push_back(req);
+            self.bytes_read += data.len() as u64;
+            self.blocks_read += 1;
+            return Ok(Some(Block {
+                source: world,
+                data,
+            }));
+        }
+        Ok(None)
+    }
+
+    /// Reads the next block (`VMPI_Stream_read`).
+    ///
+    /// * `Ok(Some(block))` — a block arrived;
+    /// * `Ok(None)` — every writer closed (the paper's `read == 0`);
+    /// * `Err(VmpiError::Again)` — nothing ready in non-blocking mode.
+    pub fn read(&mut self, mode: ReadMode) -> Result<Option<Block>> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(block) = self.sweep()? {
+                return Ok(Some(block));
+            }
+            if self.all_closed() {
+                return Ok(None);
+            }
+            match mode {
+                ReadMode::NonBlocking => return Err(VmpiError::Again),
+                ReadMode::Blocking => {
+                    // Progressive back-off: spin, yield, then micro-sleep.
+                    spins += 1;
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else if spins < 256 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total payload bytes received so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Blocks received so far.
+    pub fn blocks_read(&self) -> u64 {
+        self.blocks_read
+    }
+
+    /// Number of writers feeding this endpoint.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+}

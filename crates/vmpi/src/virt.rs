@@ -1,0 +1,199 @@
+//! MPI virtualization.
+//!
+//! The paper replaces every reference to `MPI_COMM_WORLD` inside an
+//! instrumented program by a partition sub-communicator, by intercepting all
+//! MPI calls through the PMPI interface. Here the interception point is the
+//! [`Vmpi`] handle itself: programs written against it see their partition
+//! as the world ([`Vmpi::comm_world`]) while the real world remains
+//! available as [`Vmpi::comm_universe`] for inter-application traffic.
+
+use opmr_runtime::{Comm, Mpi, PartitionInfo};
+
+/// A virtualized per-rank MPI handle.
+#[derive(Clone)]
+pub struct Vmpi {
+    mpi: Mpi,
+    /// The partition sub-communicator standing in for `MPI_COMM_WORLD`.
+    world: Comm,
+    /// The real world communicator (`MPI_COMM_UNIVERSE`).
+    universe: Comm,
+}
+
+impl Vmpi {
+    /// Virtualizes a raw runtime handle: derives the partition communicator
+    /// deterministically from the partition table (no communication needed).
+    pub fn new(mpi: Mpi) -> Self {
+        let part = mpi.my_partition().clone();
+        let members: Vec<usize> = part.world_ranks().collect();
+        let world = mpi
+            .comm_from_world_ranks(members, 0x7A91_0000 + part.id as u64)
+            .expect("rank belongs to its own partition");
+        let universe = mpi.world();
+        Vmpi {
+            mpi,
+            world,
+            universe,
+        }
+    }
+
+    /// The virtual `MPI_COMM_WORLD`: this program's partition.
+    pub fn comm_world(&self) -> Comm {
+        self.world.clone()
+    }
+
+    /// The real world communicator (`MPI_COMM_UNIVERSE`).
+    pub fn comm_universe(&self) -> Comm {
+        self.universe.clone()
+    }
+
+    /// Rank within the virtual world.
+    pub fn rank(&self) -> usize {
+        self.world.local_rank()
+    }
+
+    /// Size of the virtual world.
+    pub fn size(&self) -> usize {
+        self.world.size()
+    }
+
+    /// Underlying runtime handle (the "PMPI" escape hatch).
+    pub fn mpi(&self) -> &Mpi {
+        &self.mpi
+    }
+
+    /// Number of partitions in the job (`VMPI_Get_partition_count`).
+    pub fn partition_count(&self) -> usize {
+        self.mpi.partitions().len()
+    }
+
+    /// This rank's partition id (`VMPI_Get_partition_id`).
+    pub fn partition_id(&self) -> usize {
+        self.mpi.my_partition().id
+    }
+
+    /// Partition description by id.
+    pub fn partition(&self, id: usize) -> Option<&PartitionInfo> {
+        self.mpi.partitions().get(id)
+    }
+
+    /// This rank's partition description.
+    pub fn my_partition(&self) -> &PartitionInfo {
+        self.mpi.my_partition()
+    }
+
+    /// Partition description by name (`VMPI_Get_desc_by_name`).
+    pub fn partition_by_name(&self, name: &str) -> Option<&PartitionInfo> {
+        self.mpi.universe().partition_by_name(name)
+    }
+
+    /// Partition description by command line (the paper's alternative
+    /// grouping key: "grouped in partitions either by names or command
+    /// lines").
+    pub fn partition_by_cmdline(&self, cmdline: &str) -> Option<&PartitionInfo> {
+        self.mpi.partitions().iter().find(|p| p.cmdline == cmdline)
+    }
+
+    /// All partition descriptions.
+    pub fn partitions(&self) -> &[PartitionInfo] {
+        self.mpi.partitions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opmr_runtime::{Launcher, Src, TagSel};
+
+    #[test]
+    fn virtual_world_is_the_partition() {
+        Launcher::new()
+            .partition("a", 3, |mpi| {
+                let v = Vmpi::new(mpi);
+                assert_eq!(v.size(), 3);
+                assert_eq!(v.rank(), v.mpi().world_rank());
+                assert_eq!(v.comm_universe().size(), 5);
+                assert_ne!(v.comm_world().id(), v.comm_universe().id());
+            })
+            .partition("b", 2, |mpi| {
+                let v = Vmpi::new(mpi);
+                assert_eq!(v.size(), 2);
+                assert_eq!(v.rank(), v.mpi().world_rank() - 3);
+                assert_eq!(v.partition_id(), 1);
+                assert_eq!(v.partition_count(), 2);
+                assert_eq!(v.partition_by_name("a").unwrap().size, 3);
+                assert!(v.partition_by_name("zz").is_none());
+            })
+            .run()
+            .unwrap();
+    }
+
+    #[test]
+    fn partition_worlds_are_isolated() {
+        // Same local ranks and tags in two partitions: traffic must not mix.
+        Launcher::new()
+            .partition("left", 2, |mpi| {
+                let v = Vmpi::new(mpi);
+                let w = v.comm_world();
+                if v.rank() == 0 {
+                    v.mpi().send_t(&w, 1, 0, &[111u8]).unwrap();
+                } else {
+                    let (_s, got) = v.mpi().recv_t::<u8>(&w, Src::Any, TagSel::Any).unwrap();
+                    assert_eq!(got, vec![111]);
+                }
+            })
+            .partition("right", 2, |mpi| {
+                let v = Vmpi::new(mpi);
+                let w = v.comm_world();
+                if v.rank() == 0 {
+                    v.mpi().send_t(&w, 1, 0, &[222u8]).unwrap();
+                } else {
+                    let (_s, got) = v.mpi().recv_t::<u8>(&w, Src::Any, TagSel::Any).unwrap();
+                    assert_eq!(got, vec![222]);
+                }
+            })
+            .run()
+            .unwrap();
+    }
+
+    #[test]
+    fn same_partition_ranks_agree_on_world_comm_id() {
+        use std::sync::{Arc, Mutex};
+        let ids = Arc::new(Mutex::new(Vec::new()));
+        let ids2 = Arc::clone(&ids);
+        Launcher::new()
+            .partition("p", 4, move |mpi| {
+                let v = Vmpi::new(mpi);
+                ids2.lock().unwrap().push(v.comm_world().id());
+            })
+            .run()
+            .unwrap();
+        let ids = ids.lock().unwrap();
+        assert_eq!(ids.len(), 4);
+        assert!(ids.iter().all(|&i| i == ids[0]));
+    }
+
+    #[test]
+    fn collectives_work_inside_virtual_world() {
+        Launcher::new()
+            .partition("compute", 4, |mpi| {
+                let v = Vmpi::new(mpi);
+                let w = v.comm_world();
+                let sum = v
+                    .mpi()
+                    .allreduce_t(&w, &[v.rank() as u64], opmr_runtime::collectives::ops::sum)
+                    .unwrap();
+                assert_eq!(sum, vec![6]);
+            })
+            .partition("other", 3, |mpi| {
+                let v = Vmpi::new(mpi);
+                let w = v.comm_world();
+                let sum = v
+                    .mpi()
+                    .allreduce_t(&w, &[v.rank() as u64], opmr_runtime::collectives::ops::sum)
+                    .unwrap();
+                assert_eq!(sum, vec![3]);
+            })
+            .run()
+            .unwrap();
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the coupling layer: mapping validity for arbitrary
+//! partition shapes and stream integrity for arbitrary traffic shapes.
+
+use opmr_runtime::Launcher;
+use opmr_vmpi::map::map_partitions;
+use opmr_vmpi::{
+    Balance, Map, MapPolicy, ReadMode, ReadStream, StreamConfig, Vmpi, WriteStream,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+type PeerLists = Vec<(usize, Vec<usize>)>;
+
+fn run_map(writers: usize, analyzers: usize, policy: MapPolicy) -> (PeerLists, PeerLists) {
+    let w_out = Arc::new(Mutex::new(Vec::new()));
+    let a_out = Arc::new(Mutex::new(Vec::new()));
+    let (w2, a2) = (Arc::clone(&w_out), Arc::clone(&a_out));
+    let (p1, p2) = (policy.clone(), policy);
+    Launcher::new()
+        .partition("w", writers, move |mpi| {
+            let v = Vmpi::new(mpi);
+            let mut map = Map::new();
+            map_partitions(&v, 1, p1.clone(), &mut map).unwrap();
+            w2.lock()
+                .unwrap()
+                .push((v.mpi().world_rank(), map.peers().to_vec()));
+        })
+        .partition("a", analyzers, move |mpi| {
+            let v = Vmpi::new(mpi);
+            let mut map = Map::new();
+            map_partitions(&v, 0, p2.clone(), &mut map).unwrap();
+            a2.lock()
+                .unwrap()
+                .push((v.mpi().world_rank(), map.peers().to_vec()));
+        })
+        .run()
+        .unwrap();
+    let w = w_out.lock().unwrap().clone();
+    let a = a_out.lock().unwrap().clone();
+    (w, a)
+}
+
+fn arb_policy() -> impl Strategy<Value = MapPolicy> {
+    prop_oneof![
+        Just(MapPolicy::RoundRobin),
+        Just(MapPolicy::Fixed),
+        any::<u64>().prop_map(|seed| MapPolicy::Random { seed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any partition sizes and policy: every process of both sides is
+    /// mapped, the views agree, and the master/slave split follows size.
+    #[test]
+    fn mapping_is_total_and_consistent(
+        writers in 1usize..10,
+        analyzers in 1usize..10,
+        policy in arb_policy(),
+    ) {
+        let (w, a) = run_map(writers, analyzers, policy);
+        prop_assert_eq!(w.len(), writers);
+        prop_assert_eq!(a.len(), analyzers);
+        // The larger side (the slave) has exactly one peer per process;
+        // the smaller side's peer lists partition the slave processes.
+        let (slave, master) = if (writers, 0) < (analyzers, 1) {
+            (&a, &w)
+        } else {
+            (&w, &a)
+        };
+        for (_, peers) in slave {
+            prop_assert_eq!(peers.len(), 1);
+        }
+        let mut all: Vec<usize> = master.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+        all.sort_unstable();
+        let mut expect: Vec<usize> = slave.iter().map(|(r, _)| *r).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(all, expect, "master lists cover each slave exactly once");
+        // Cross-consistency.
+        for (rank, peers) in slave {
+            let peer = peers[0];
+            let (_, back) = master.iter().find(|(r, _)| r == &peer).expect("peer exists");
+            prop_assert!(back.contains(rank));
+        }
+    }
+
+    /// Streams deliver every byte exactly once, in per-writer order, for
+    /// arbitrary block sizes, window depths and write-chunk patterns.
+    #[test]
+    fn stream_integrity_arbitrary_shapes(
+        block_pow in 6u32..14,            // 64 B .. 8 KiB blocks
+        n_async in 1usize..5,
+        chunks in proptest::collection::vec(1usize..3000, 1..12),
+        writers in 1usize..4,
+    ) {
+        let block = 1usize << block_pow;
+        let cfg = StreamConfig::new(block, n_async, Balance::RoundRobin);
+        let totals: Vec<usize> = (0..writers)
+            .map(|w| chunks.iter().map(|c| c + w).sum())
+            .collect();
+        let expect: HashMap<usize, usize> =
+            totals.iter().enumerate().map(|(w, t)| (w, *t)).collect();
+        let got = Arc::new(Mutex::new(HashMap::<usize, usize>::new()));
+        let got2 = Arc::clone(&got);
+        let chunks2 = chunks.clone();
+        Launcher::new()
+            .partition("w", writers, move |mpi| {
+                let v = Vmpi::new(mpi);
+                let me = v.rank();
+                let mut st =
+                    WriteStream::open_to(&v, vec![writers], cfg, 3).unwrap();
+                for &c in &chunks2 {
+                    st.write(&vec![me as u8; c + me]).unwrap();
+                }
+                st.close().unwrap();
+            })
+            .partition("r", 1, move |mpi| {
+                let v = Vmpi::new(mpi);
+                let sources: Vec<usize> = (0..writers).collect();
+                let mut st = ReadStream::open_from(&v, sources, cfg, 3).unwrap();
+                while let Some(b) = st.read(ReadMode::Blocking).unwrap() {
+                    assert!(b.data.iter().all(|&x| x as usize == b.source));
+                    *got2.lock().unwrap().entry(b.source).or_insert(0) += b.data.len();
+                }
+            })
+            .run()
+            .unwrap();
+        let got = Arc::try_unwrap(got).unwrap().into_inner().unwrap();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,153 @@
+//! Benchmark registry used by the figure harnesses.
+
+use crate::class::Class;
+use crate::euler::EulerParams;
+use crate::{cg, euler, ft, lu, sweep, Result, WlError};
+use opmr_netsim::{Machine, Workload};
+
+/// A named benchmark of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Benchmark {
+    Bt,
+    Sp,
+    Lu,
+    Cg,
+    Ft,
+    EulerMhd,
+}
+
+/// All benchmarks, in the order the paper lists them.
+pub const BENCHMARKS: [Benchmark; 6] = [
+    Benchmark::Bt,
+    Benchmark::Cg,
+    Benchmark::Ft,
+    Benchmark::Lu,
+    Benchmark::Sp,
+    Benchmark::EulerMhd,
+];
+
+impl Benchmark {
+    /// Canonical name ("BT", "CG", ... "EulerMHD").
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Bt => "BT",
+            Benchmark::Sp => "SP",
+            Benchmark::Lu => "LU",
+            Benchmark::Cg => "CG",
+            Benchmark::Ft => "FT",
+            Benchmark::EulerMhd => "EulerMHD",
+        }
+    }
+
+    /// Nominal (full-length) iteration count per class.
+    pub fn nominal_iters(self, class: Class) -> u32 {
+        match self {
+            Benchmark::Bt => class.bt_iters(),
+            Benchmark::Sp => class.sp_iters(),
+            Benchmark::Lu => class.lu_iters(),
+            Benchmark::Cg => class.cg_iters(),
+            Benchmark::Ft => class.ft_iters(),
+            Benchmark::EulerMhd => EulerParams::default().steps,
+        }
+    }
+
+    /// True when the benchmark can run on this rank count.
+    pub fn supports_ranks(self, class: Class, ranks: usize) -> bool {
+        self.build(class, ranks, &opmr_netsim::tera100(), Some(1)).is_ok()
+    }
+
+    /// Builds the workload. `iters_override` bounds simulated iterations.
+    pub fn build(
+        self,
+        class: Class,
+        ranks: usize,
+        machine: &Machine,
+        iters_override: Option<u32>,
+    ) -> Result<Workload> {
+        match self {
+            Benchmark::Bt => sweep::workload(sweep::SweepBench::Bt, class, ranks, machine, iters_override),
+            Benchmark::Sp => sweep::workload(sweep::SweepBench::Sp, class, ranks, machine, iters_override),
+            Benchmark::Lu => lu::workload(class, ranks, machine, iters_override),
+            Benchmark::Cg => cg::workload(class, ranks, machine, iters_override),
+            Benchmark::Ft => ft::workload(class, ranks, machine, iters_override),
+            Benchmark::EulerMhd => {
+                // Class scales the mesh: C → 2048², D → 4096².
+                let mesh = match class {
+                    Class::S => 256,
+                    Class::W => 512,
+                    Class::A => 1024,
+                    Class::B => 1536,
+                    Class::C => 2048,
+                    Class::D => 4096,
+                };
+                euler::workload(
+                    EulerParams {
+                        mesh,
+                        ..EulerParams::default()
+                    },
+                    ranks,
+                    machine,
+                    iters_override,
+                )
+            }
+        }
+    }
+}
+
+/// Looks a benchmark up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Result<Benchmark> {
+    let lower = name.to_ascii_lowercase();
+    BENCHMARKS
+        .iter()
+        .copied()
+        .find(|b| b.name().to_ascii_lowercase() == lower)
+        .ok_or_else(|| WlError::UnknownBenchmark(name.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opmr_netsim::{simulate, tera100, ToolModel};
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("sp").unwrap(), Benchmark::Sp);
+        assert_eq!(by_name("EULERMHD").unwrap(), Benchmark::EulerMhd);
+        assert!(by_name("mg").is_err());
+    }
+
+    #[test]
+    fn every_benchmark_simulates_on_a_valid_count() {
+        let m = tera100();
+        let counts = [
+            (Benchmark::Bt, 16),
+            (Benchmark::Sp, 16),
+            (Benchmark::Lu, 12),
+            (Benchmark::Cg, 16),
+            (Benchmark::Ft, 16),
+            (Benchmark::EulerMhd, 12),
+        ];
+        for (b, ranks) in counts {
+            let w = b.build(Class::S, ranks, &m, Some(2)).unwrap();
+            assert_eq!(w.ranks(), ranks);
+            let r = simulate(&w, &m, &ToolModel::None).unwrap();
+            assert!(r.elapsed_s > 0.0, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn rank_validation_is_surfaced() {
+        assert!(!Benchmark::Bt.supports_ranks(Class::S, 7));
+        assert!(Benchmark::Bt.supports_ranks(Class::S, 25));
+        assert!(!Benchmark::Cg.supports_ranks(Class::S, 24));
+    }
+
+    #[test]
+    fn paper_figure_rank_counts_are_supported() {
+        // CG.D @128, SP @2025, LU.D @1024, BT.D @8281 (figures 17-18).
+        assert!(Benchmark::Cg.supports_ranks(Class::D, 128));
+        assert!(Benchmark::Sp.supports_ranks(Class::D, 2025));
+        assert!(Benchmark::Lu.supports_ranks(Class::D, 1024));
+        assert!(Benchmark::Bt.supports_ranks(Class::D, 8281));
+    }
+}

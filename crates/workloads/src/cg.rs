@@ -1,0 +1,180 @@
+//! CG: conjugate gradient on a power-of-two process grid.
+//!
+//! NPB CG arranges `P = 2^m` ranks as `nprows × npcols` (npcols = nprows or
+//! 2×nprows) and, for each of the 25 inner CG steps per outer iteration,
+//! performs the sparse matrix-vector product's *transpose exchange* with a
+//! partner rank followed by a logarithmic fold along the row. This gives
+//! the characteristic banded/block communication matrix of Figure 17(a,b).
+
+use crate::class::Class;
+use crate::util::is_pow2;
+use crate::{Result, WlError};
+use opmr_netsim::{CollKind, Machine, Op, Program, Workload};
+
+/// Inner CG steps per outer iteration (NPB `cgitmax`).
+pub const INNER_STEPS: usize = 25;
+
+/// Grid shape for a power-of-two rank count.
+pub fn grid_shape(ranks: usize) -> Option<(usize, usize)> {
+    if !is_pow2(ranks) {
+        return None;
+    }
+    let m = ranks.trailing_zeros();
+    let nprows = 1usize << (m / 2);
+    let npcols = ranks / nprows;
+    Some((nprows, npcols))
+}
+
+/// Transpose-exchange partner of `rank` (the SpMV vector redistribution).
+pub fn transpose_partner(ranks: usize, rank: usize) -> usize {
+    let (nprows, npcols) = grid_shape(ranks).expect("power of two");
+    let row = rank / npcols;
+    let col = rank % npcols;
+    if nprows == npcols {
+        // Square grid: true transpose.
+        col * npcols + row
+    } else {
+        // npcols = 2 × nprows: pair (row, col) with the rank holding the
+        // transposed half-block, NPB-style.
+        let half = col / 2 * npcols + row * 2 + col % 2;
+        half % ranks
+    }
+}
+
+/// Builds a CG workload on a power-of-two rank count.
+pub fn workload(
+    class: Class,
+    ranks: usize,
+    machine: &Machine,
+    iters_override: Option<u32>,
+) -> Result<Workload> {
+    let (_nprows, npcols) = grid_shape(ranks).ok_or(WlError::InvalidRanks {
+        bench: "CG",
+        ranks,
+        need: "a power of two",
+    })?;
+    let na = class.cg_na();
+    let iters = iters_override.unwrap_or_else(|| class.cg_iters());
+    let nominal_iters = class.cg_iters() as f64;
+
+    // Vector segment exchanged with the transpose partner.
+    let seg_bytes = ((8 * na) / npcols).max(64) as u64;
+    let fold_steps = npcols.trailing_zeros() as usize;
+
+    let flops_rank_iter = class.cg_gops() * 1e9 / (nominal_iters * ranks as f64);
+    let step_ns = machine.compute_ns(flops_rank_iter / INNER_STEPS as f64);
+
+    let mut w = Workload {
+        programs: vec![Program::default(); ranks],
+        ..Workload::default()
+    };
+    let world = w.add_group((0..ranks as u32).collect());
+
+    for r in 0..ranks {
+        let partner = transpose_partner(ranks, r);
+        let col = r % npcols;
+        let mut body = Vec::new();
+        for _step in 0..INNER_STEPS {
+            body.push(Op::Compute { ns: step_ns });
+            if partner != r {
+                body.push(Op::Exchange {
+                    peer: partner as u32,
+                    bytes: seg_bytes,
+                });
+            }
+            // Logarithmic fold along the row: XOR partners are symmetric,
+            // so pairwise exchanges are deadlock-free.
+            for j in 0..fold_steps {
+                let fold_col = col ^ (1 << j);
+                let fold_peer = r - col + fold_col;
+                body.push(Op::Exchange {
+                    peer: fold_peer as u32,
+                    bytes: seg_bytes / (1 << j).max(1),
+                });
+            }
+        }
+        // Residual norm per outer iteration.
+        body.push(Op::Coll {
+            group: world,
+            kind: CollKind::Allreduce,
+            bytes: 8,
+        });
+
+        w.programs[r] = Program {
+            prologue: vec![Op::Coll {
+                group: world,
+                kind: CollKind::Barrier,
+                bytes: 0,
+            }],
+            body,
+            iters,
+            epilogue: vec![Op::Coll {
+                group: world,
+                kind: CollKind::Allreduce,
+                bytes: 8,
+            }],
+        };
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opmr_netsim::{simulate, tera100, ToolModel};
+
+    #[test]
+    fn rejects_non_pow2() {
+        let m = tera100();
+        assert!(workload(Class::S, 12, &m, None).is_err());
+        assert!(workload(Class::S, 16, &m, Some(2)).is_ok());
+    }
+
+    #[test]
+    fn grid_shapes() {
+        assert_eq!(grid_shape(16), Some((4, 4)));
+        assert_eq!(grid_shape(128), Some((8, 16)));
+        assert_eq!(grid_shape(2), Some((1, 2)));
+        assert_eq!(grid_shape(48), None);
+    }
+
+    #[test]
+    fn transpose_partner_is_an_involution_on_square_grids() {
+        for ranks in [4usize, 16, 64, 256] {
+            for r in 0..ranks {
+                let p = transpose_partner(ranks, r);
+                assert!(p < ranks);
+                assert_eq!(
+                    transpose_partner(ranks, p),
+                    r,
+                    "ranks={ranks} r={r} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulates_cleanly_across_scales() {
+        let m = tera100();
+        for ranks in [2usize, 8, 32, 128] {
+            let w = workload(Class::S, ranks, &m, Some(2)).unwrap();
+            let r = simulate(&w, &m, &ToolModel::None).unwrap();
+            assert!(r.elapsed_s > 0.0, "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn fold_depth_tracks_row_width() {
+        let m = tera100();
+        let w = workload(Class::S, 128, &m, Some(1)).unwrap();
+        // npcols = 16 → 4 fold exchanges + 1 transpose per inner step.
+        // Rank 2 has a distinct transpose partner (rank 0 pairs with
+        // itself, skipping the exchange).
+        let exchanges = w.programs[2]
+            .body
+            .iter()
+            .filter(|o| matches!(o, Op::Exchange { .. }))
+            .count();
+        assert_eq!(exchanges, INNER_STEPS * (1 + 4));
+    }
+}

@@ -1,0 +1,177 @@
+//! NAS problem classes and their published problem sizes.
+//!
+//! Grid sizes and iteration counts follow the official NPB tables; total
+//! flop counts are the published operation counts rounded (they only set
+//! the compute/communication ratio, which is what the overhead figures
+//! depend on).
+
+/// NAS problem class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Class {
+    S,
+    W,
+    A,
+    B,
+    C,
+    D,
+}
+
+impl Class {
+    /// All classes, smallest first.
+    pub const ALL: [Class; 6] = [Class::S, Class::W, Class::A, Class::B, Class::C, Class::D];
+
+    /// Parses "S" / "W" / "A" / "B" / "C" / "D".
+    pub fn parse(s: &str) -> Option<Class> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "S" => Some(Class::S),
+            "W" => Some(Class::W),
+            "A" => Some(Class::A),
+            "B" => Some(Class::B),
+            "C" => Some(Class::C),
+            "D" => Some(Class::D),
+            _ => None,
+        }
+    }
+
+    /// Class letter.
+    pub fn letter(self) -> char {
+        match self {
+            Class::S => 'S',
+            Class::W => 'W',
+            Class::A => 'A',
+            Class::B => 'B',
+            Class::C => 'C',
+            Class::D => 'D',
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Class::S => 0,
+            Class::W => 1,
+            Class::A => 2,
+            Class::B => 3,
+            Class::C => 4,
+            Class::D => 5,
+        }
+    }
+
+    /// Cubic grid edge for BT/SP/LU.
+    pub fn grid3(self) -> usize {
+        [12, 24, 64, 102, 162, 408][self.idx()]
+    }
+
+    /// BT iteration count.
+    pub fn bt_iters(self) -> u32 {
+        [60, 200, 200, 200, 200, 250][self.idx()]
+    }
+
+    /// SP iteration count.
+    pub fn sp_iters(self) -> u32 {
+        [100, 400, 400, 400, 400, 500][self.idx()]
+    }
+
+    /// LU iteration count.
+    pub fn lu_iters(self) -> u32 {
+        [50, 300, 250, 250, 250, 300][self.idx()]
+    }
+
+    /// CG matrix order `na`.
+    pub fn cg_na(self) -> usize {
+        [1_400, 7_000, 14_000, 75_000, 150_000, 1_500_000][self.idx()]
+    }
+
+    /// CG nonzeros per row.
+    pub fn cg_nonzer(self) -> usize {
+        [7, 8, 11, 13, 15, 21][self.idx()]
+    }
+
+    /// CG outer iterations.
+    pub fn cg_iters(self) -> u32 {
+        [15, 15, 15, 75, 75, 100][self.idx()]
+    }
+
+    /// FT grid (nx, ny, nz).
+    pub fn ft_grid(self) -> (usize, usize, usize) {
+        [
+            (64, 64, 64),
+            (128, 128, 32),
+            (256, 256, 128),
+            (512, 256, 256),
+            (512, 512, 512),
+            (2048, 1024, 1024),
+        ][self.idx()]
+    }
+
+    /// FT iteration count.
+    pub fn ft_iters(self) -> u32 {
+        [6, 6, 6, 20, 20, 25][self.idx()]
+    }
+
+    /// Approximate total flop counts, Gop (published NPB operation counts,
+    /// rounded; S/W extrapolated).
+    pub fn bt_gops(self) -> f64 {
+        [0.3, 7.0, 168.3, 721.5, 2_924.0, 58_000.0][self.idx()]
+    }
+
+    /// SP total flops, Gop.
+    pub fn sp_gops(self) -> f64 {
+        [0.2, 7.0, 85.0, 447.1, 2_900.0, 57_500.0][self.idx()]
+    }
+
+    /// LU total flops, Gop.
+    pub fn lu_gops(self) -> f64 {
+        [0.2, 6.0, 119.3, 544.5, 2_200.0, 41_000.0][self.idx()]
+    }
+
+    /// CG total flops, Gop.
+    pub fn cg_gops(self) -> f64 {
+        [0.07, 0.4, 1.5, 54.9, 143.3, 1_742.0][self.idx()]
+    }
+
+    /// FT total flops, Gop.
+    pub fn ft_gops(self) -> f64 {
+        [0.2, 0.6, 7.1, 92.8, 390.0, 4_500.0][self.idx()]
+    }
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for c in Class::ALL {
+            assert_eq!(Class::parse(&c.letter().to_string()), Some(c));
+            assert_eq!(Class::parse(&c.letter().to_lowercase().to_string()), Some(c));
+        }
+        assert_eq!(Class::parse("Z"), None);
+    }
+
+    #[test]
+    fn sizes_grow_with_class() {
+        for w in Class::ALL.windows(2) {
+            assert!(w[0].grid3() <= w[1].grid3());
+            assert!(w[0].cg_na() <= w[1].cg_na());
+            assert!(w[0].bt_gops() <= w[1].bt_gops());
+            assert!(w[0].ft_gops() <= w[1].ft_gops());
+        }
+    }
+
+    #[test]
+    fn paper_classes_match_npb_tables() {
+        assert_eq!(Class::C.grid3(), 162);
+        assert_eq!(Class::D.grid3(), 408);
+        assert_eq!(Class::C.cg_na(), 150_000);
+        assert_eq!(Class::D.cg_na(), 1_500_000);
+        assert_eq!(Class::C.ft_grid(), (512, 512, 512));
+        assert_eq!(Class::D.ft_grid(), (2048, 1024, 1024));
+        assert_eq!(Class::D.sp_iters(), 500);
+    }
+}

@@ -1,0 +1,171 @@
+//! EulerMHD: high-order ideal-MHD solver on a 2-D Cartesian mesh.
+//!
+//! The paper describes it as "a middle sized C++ MPI application which
+//! simulates Euler ideal magneto-hydrodynamic at high order on a 2D
+//! Cartesian mesh"; its communication kernel is a 4-neighbour halo
+//! exchange (two ghost layers, 9 conserved components) plus a global `dt`
+//! reduction every step — giving the regular grid topology of Figure 17(c).
+
+use crate::util::{near_square_factors, parity_exchange_order, Grid2};
+use crate::{Result, WlError};
+use opmr_netsim::{CollKind, Machine, Op, Program, Workload};
+
+/// EulerMHD problem description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EulerParams {
+    /// Global square mesh edge (cells).
+    pub mesh: usize,
+    /// Conserved components per cell (ρ, ρu⃗, B⃗, E, ψ).
+    pub components: usize,
+    /// Ghost-cell layers exchanged (high order ⇒ 2).
+    pub ghosts: usize,
+    /// Time steps.
+    pub steps: u32,
+    /// Flops per cell per step (high-order reconstruction + Riemann).
+    pub flops_per_cell: f64,
+}
+
+impl Default for EulerParams {
+    fn default() -> Self {
+        EulerParams {
+            mesh: 4096,
+            components: 9,
+            ghosts: 2,
+            steps: 500,
+            flops_per_cell: 8_000.0,
+        }
+    }
+}
+
+impl EulerParams {
+    /// A small instance for live in-process runs and tests.
+    pub fn small() -> EulerParams {
+        EulerParams {
+            mesh: 256,
+            components: 9,
+            ghosts: 2,
+            steps: 20,
+            flops_per_cell: 8_000.0,
+        }
+    }
+}
+
+/// Builds an EulerMHD workload on any factorable rank count.
+pub fn workload(
+    params: EulerParams,
+    ranks: usize,
+    machine: &Machine,
+    iters_override: Option<u32>,
+) -> Result<Workload> {
+    if ranks == 0 {
+        return Err(WlError::InvalidRanks {
+            bench: "EulerMHD",
+            ranks,
+            need: "at least one rank",
+        });
+    }
+    let (px, py) = near_square_factors(ranks);
+    let grid = Grid2::new(px, py);
+    let iters = iters_override.unwrap_or(params.steps);
+
+    let cells_x = params.mesh as f64 / px as f64;
+    let cells_y = params.mesh as f64 / py as f64;
+    // Halo strip: ghost layers × strip length × components × f64.
+    let halo_x = (8.0 * params.ghosts as f64 * cells_y * params.components as f64).max(64.0) as u64;
+    let halo_y = (8.0 * params.ghosts as f64 * cells_x * params.components as f64).max(64.0) as u64;
+
+    let flops_rank_iter = params.flops_per_cell * cells_x * cells_y;
+    let compute_ns = machine.compute_ns(flops_rank_iter);
+
+    let mut w = Workload {
+        programs: vec![Program::default(); ranks],
+        ..Workload::default()
+    };
+    let world = w.add_group((0..ranks as u32).collect());
+
+    for r in 0..ranks {
+        let (x, y) = grid.coords(r);
+        let mut body = Vec::new();
+        // Halo exchange, x axis then y axis, parity-ordered.
+        for peer in parity_exchange_order(x, grid.neighbor(r, 1, 0), grid.neighbor(r, -1, 0)) {
+            body.push(Op::Exchange {
+                peer,
+                bytes: halo_x,
+            });
+        }
+        for peer in parity_exchange_order(y, grid.neighbor(r, 0, 1), grid.neighbor(r, 0, -1)) {
+            body.push(Op::Exchange {
+                peer,
+                bytes: halo_y,
+            });
+        }
+        body.push(Op::Compute { ns: compute_ns });
+        // Global CFL time-step reduction.
+        body.push(Op::Coll {
+            group: world,
+            kind: CollKind::Allreduce,
+            bytes: 8,
+        });
+
+        w.programs[r] = Program {
+            prologue: vec![Op::Coll {
+                group: world,
+                kind: CollKind::Barrier,
+                bytes: 0,
+            }],
+            body,
+            iters,
+            epilogue: vec![Op::Coll {
+                group: world,
+                kind: CollKind::Allreduce,
+                bytes: 8,
+            }],
+        };
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opmr_netsim::{simulate, tera100, ToolModel};
+
+    #[test]
+    fn halo_pattern_is_deadlock_free() {
+        let m = tera100();
+        for ranks in [1usize, 2, 3, 6, 16, 48, 64] {
+            let w = workload(EulerParams::small(), ranks, &m, Some(3)).unwrap();
+            let r = simulate(&w, &m, &ToolModel::None).unwrap();
+            assert!(r.elapsed_s > 0.0, "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn exchange_counts_match_neighbour_degree() {
+        let m = tera100();
+        let w = workload(EulerParams::small(), 16, &m, Some(1)).unwrap();
+        let grid = Grid2::new(4, 4);
+        for r in 0..16 {
+            let n = w.programs[r]
+                .body
+                .iter()
+                .filter(|o| matches!(o, Op::Exchange { .. }))
+                .count();
+            assert_eq!(n, grid.degree(r), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn compute_dominates_at_default_size() {
+        // EulerMHD is compute-heavy: most virtual time must be computation,
+        // which is why its instrumentation overhead is low in Figure 15.
+        let m = tera100();
+        let w = workload(EulerParams::default(), 64, &m, Some(3)).unwrap();
+        let r = simulate(&w, &m, &ToolModel::None).unwrap();
+        let compute_s = m.compute_ns(8_000.0 * (4096.0 * 4096.0 / 64.0)) * 3.0 / 1e9;
+        assert!(
+            r.elapsed_s < compute_s * 1.3,
+            "communication should be a small fraction"
+        );
+    }
+}

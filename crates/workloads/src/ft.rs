@@ -1,0 +1,118 @@
+//! FT: transpose-based 3-D FFT — one all-to-all per iteration.
+
+use crate::class::Class;
+use crate::{Result, WlError};
+use opmr_netsim::{CollKind, Machine, Op, Program, Workload};
+
+/// Builds an FT workload (any rank count that divides the grid's z extent;
+/// practically: powers of two up to nz).
+pub fn workload(
+    class: Class,
+    ranks: usize,
+    machine: &Machine,
+    iters_override: Option<u32>,
+) -> Result<Workload> {
+    let (nx, ny, nz) = class.ft_grid();
+    if ranks == 0 || ranks > nz {
+        return Err(WlError::InvalidRanks {
+            bench: "FT",
+            ranks,
+            need: "1..=nz ranks (slab decomposition)",
+        });
+    }
+    let iters = iters_override.unwrap_or_else(|| class.ft_iters());
+    let nominal_iters = class.ft_iters() as f64;
+
+    // Complex grid: 16 bytes per point; the transpose moves each rank's
+    // slab to every peer: per-pair bytes = total / P².
+    let total_bytes = 16.0 * nx as f64 * ny as f64 * nz as f64;
+    let pair_bytes = (total_bytes / (ranks as f64 * ranks as f64)).max(64.0) as u64;
+
+    let flops_rank_iter = class.ft_gops() * 1e9 / (nominal_iters * ranks as f64);
+    let fft_ns = machine.compute_ns(flops_rank_iter / 2.0);
+
+    let mut w = Workload {
+        programs: vec![Program::default(); ranks],
+        ..Workload::default()
+    };
+    let world = w.add_group((0..ranks as u32).collect());
+
+    for r in 0..ranks {
+        w.programs[r] = Program {
+            prologue: vec![Op::Coll {
+                group: world,
+                kind: CollKind::Barrier,
+                bytes: 0,
+            }],
+            body: vec![
+                // Local FFTs along x/y, transpose, FFT along z, checksum.
+                Op::Compute { ns: fft_ns },
+                Op::Coll {
+                    group: world,
+                    kind: CollKind::Alltoall,
+                    bytes: pair_bytes,
+                },
+                Op::Compute { ns: fft_ns },
+                Op::Coll {
+                    group: world,
+                    kind: CollKind::Allreduce,
+                    bytes: 16,
+                },
+            ],
+            iters,
+            epilogue: vec![Op::Coll {
+                group: world,
+                kind: CollKind::Allreduce,
+                bytes: 16,
+            }],
+        };
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opmr_netsim::{simulate, tera100, ToolModel};
+
+    #[test]
+    fn validates_rank_range() {
+        let m = tera100();
+        assert!(workload(Class::S, 0, &m, None).is_err());
+        assert!(workload(Class::S, 65, &m, None).is_err(), "nz(S)=64");
+        assert!(workload(Class::S, 64, &m, Some(1)).is_ok());
+    }
+
+    #[test]
+    fn alltoall_dominates_communication() {
+        let m = tera100();
+        let w = workload(Class::S, 16, &m, Some(2)).unwrap();
+        let r = simulate(&w, &m, &ToolModel::None).unwrap();
+        assert!(r.elapsed_s > 0.0);
+        // 2 collectives per body iteration + barrier + final allreduce.
+        assert_eq!(r.stats.comm_ops, 16 * (2 * 2 + 2));
+    }
+
+    #[test]
+    fn pair_bytes_shrink_quadratically() {
+        let m = tera100();
+        let w4 = workload(Class::A, 4, &m, Some(1)).unwrap();
+        let w8 = workload(Class::A, 8, &m, Some(1)).unwrap();
+        let get = |w: &Workload| {
+            w.programs[0]
+                .body
+                .iter()
+                .find_map(|o| match o {
+                    Op::Coll {
+                        kind: CollKind::Alltoall,
+                        bytes,
+                        ..
+                    } => Some(*bytes),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        let (b4, b8) = (get(&w4), get(&w8));
+        assert!((b4 as f64 / b8 as f64 - 4.0).abs() < 0.1);
+    }
+}

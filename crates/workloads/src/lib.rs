@@ -1,0 +1,66 @@
+//! # opmr-workloads — NAS-MPI and EulerMHD communication-kernel generators
+//!
+//! The paper evaluates on NAS-MPI benchmarks (BT, CG, FT, LU, SP; classes C
+//! and D) and EulerMHD, a C++ MPI code solving ideal MHD at high order on a
+//! 2-D Cartesian mesh. This crate reproduces what the evaluation actually
+//! consumes from those codes: their **process topology**, per-iteration
+//! **message pattern and sizes**, and **compute/communication ratio**
+//! (which sets the instrumentation-data bandwidth `Bi`).
+//!
+//! Each generator builds an [`opmr_netsim::Workload`]: one op program per
+//! rank, plus collective groups. The same programs can be executed *live*
+//! on the in-process runtime (the `opmr-core` driver maps ops onto
+//! instrumented MPI calls) or *simulated* at paper scale by the
+//! discrete-event engine.
+//!
+//! Patterns implemented:
+//!
+//! * **BT / SP** — square process grids running 3-direction pipelined line
+//!   solves (the multi-partition scheme): per direction, `√P` wavefront
+//!   stages of small face messages; BT does fewer, heavier iterations than
+//!   SP.
+//! * **LU** — 2-D pipelined SSOR wavefront: receive from north/west, send
+//!   to south/east, per k-chunk, lower then upper sweep — giving corner,
+//!   edge and interior ranks distinct send counts (Figure 18a).
+//! * **CG** — power-of-two grid: transpose-exchange plus logarithmic
+//!   row-fold each sub-iteration (the banded matrix of Figure 17a/b).
+//! * **FT** — transpose-based 3-D FFT: one all-to-all per iteration.
+//! * **EulerMHD** — 2-D Cartesian 4-neighbour halo exchange with a global
+//!   `dt` reduction per step (Figure 17c).
+
+pub mod catalog;
+pub mod cg;
+pub mod class;
+pub mod euler;
+pub mod ft;
+pub mod lu;
+pub mod sweep;
+pub mod util;
+
+pub use catalog::{by_name, Benchmark, BENCHMARKS};
+pub use class::Class;
+
+/// Workload-construction errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WlError {
+    /// The benchmark cannot run on this many ranks.
+    InvalidRanks { bench: &'static str, ranks: usize, need: &'static str },
+    /// Unknown benchmark name in [`by_name`].
+    UnknownBenchmark(String),
+}
+
+impl std::fmt::Display for WlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WlError::InvalidRanks { bench, ranks, need } => {
+                write!(f, "{bench} cannot run on {ranks} ranks (needs {need})")
+            }
+            WlError::UnknownBenchmark(name) => write!(f, "unknown benchmark {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WlError {}
+
+/// Result alias for generators.
+pub type Result<T> = std::result::Result<T, WlError>;

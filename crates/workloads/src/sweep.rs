@@ -1,0 +1,233 @@
+//! BT and SP: square process grids with 3-direction pipelined line solves
+//! (the NPB multi-partition scheme).
+//!
+//! Both benchmarks decompose an `N³` grid over `P = k²` ranks and, each
+//! iteration, sweep the three spatial directions with wavefront pipelines:
+//! along x rows, along y columns, and along the grid diagonal (standing in
+//! for the multi-partition z direction, which gives SP its banded
+//! communication matrix — Figure 17d). Each sweep stage moves one cell
+//! face (`5 × (N/k)²` doubles) between line neighbours.
+
+use crate::class::Class;
+use crate::util::{exact_sqrt, Grid2};
+use crate::{Result, WlError};
+use opmr_netsim::{CollKind, Machine, Op, Program, Workload};
+
+/// Which of the two sweep benchmarks to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepBench {
+    Bt,
+    Sp,
+}
+
+impl SweepBench {
+    fn name(self) -> &'static str {
+        match self {
+            SweepBench::Bt => "BT",
+            SweepBench::Sp => "SP",
+        }
+    }
+
+    fn iters(self, class: Class) -> u32 {
+        match self {
+            SweepBench::Bt => class.bt_iters(),
+            SweepBench::Sp => class.sp_iters(),
+        }
+    }
+
+    fn gops(self, class: Class) -> f64 {
+        match self {
+            SweepBench::Bt => class.bt_gops(),
+            SweepBench::Sp => class.sp_gops(),
+        }
+    }
+
+    /// Face-message scale: BT lines carry block-tridiagonal systems
+    /// (5×5 blocks), SP scalar pentadiagonal ones.
+    fn face_factor(self) -> f64 {
+        match self {
+            SweepBench::Bt => 2.5,
+            SweepBench::Sp => 1.0,
+        }
+    }
+}
+
+/// Builds a BT or SP workload on `ranks = k²` processes.
+///
+/// `iters_override` replaces the NPB iteration count (used by the benches
+/// to bound simulation cost; per-iteration behaviour is steady-state, so
+/// relative overheads are unaffected).
+pub fn workload(
+    bench: SweepBench,
+    class: Class,
+    ranks: usize,
+    machine: &Machine,
+    iters_override: Option<u32>,
+) -> Result<Workload> {
+    let k = exact_sqrt(ranks).ok_or(WlError::InvalidRanks {
+        bench: bench.name(),
+        ranks,
+        need: "a perfect square",
+    })?;
+    let grid = Grid2::new(k, k);
+    let n = class.grid3();
+    let iters = iters_override.unwrap_or_else(|| bench.iters(class));
+    let nominal_iters = bench.iters(class) as f64;
+
+    // Face message: 5 solution components per cell of an (N/k)² face.
+    let cell = n as f64 / k as f64;
+    let face_bytes = (bench.face_factor() * 5.0 * 8.0 * cell * cell).max(64.0) as u64;
+
+    // Compute budget per rank per iteration, from the published totals.
+    let flops_rank_iter = bench.gops(class) * 1e9 / (nominal_iters * ranks as f64);
+    // Half the work is in the RHS/prefactor phase, half pipelined through
+    // the 6k sweep stages (3 directions × forward+backward × k cells).
+    let stages = 6 * k;
+    let pre_ns = machine.compute_ns(flops_rank_iter * 0.5);
+    let stage_ns = machine.compute_ns(flops_rank_iter * 0.5 / stages as f64);
+
+    let mut w = Workload {
+        programs: vec![Program::default(); ranks],
+        ..Workload::default()
+    };
+    let world = w.add_group((0..ranks as u32).collect());
+
+    for r in 0..ranks {
+        let mut body = Vec::new();
+        body.push(Op::Compute { ns: pre_ns });
+
+        // One wavefront sweep along an axis: `axis` selects the (dx,dy)
+        // direction; `fwd` its orientation.
+        let sweep = |body: &mut Vec<Op>, dx: isize, dy: isize, fwd: bool| {
+            let (dx, dy) = if fwd { (dx, dy) } else { (-dx, -dy) };
+            let upstream = grid.neighbor(r, -dx, -dy);
+            let downstream = grid.neighbor(r, dx, dy);
+            for _cell in 0..k {
+                if let Some(up) = upstream {
+                    body.push(Op::Recv { from: up });
+                }
+                body.push(Op::Compute { ns: stage_ns });
+                if let Some(down) = downstream {
+                    body.push(Op::Send {
+                        to: down,
+                        bytes: face_bytes,
+                    });
+                }
+            }
+        };
+
+        for (dx, dy) in [(1isize, 0isize), (0, 1), (1, 1)] {
+            sweep(&mut body, dx, dy, true);
+            sweep(&mut body, dx, dy, false);
+        }
+        // Residual norm once per iteration.
+        body.push(Op::Coll {
+            group: world,
+            kind: CollKind::Allreduce,
+            bytes: 40,
+        });
+
+        w.programs[r] = Program {
+            prologue: vec![Op::Coll {
+                group: world,
+                kind: CollKind::Barrier,
+                bytes: 0,
+            }],
+            body,
+            iters,
+            epilogue: vec![Op::Coll {
+                group: world,
+                kind: CollKind::Allreduce,
+                bytes: 40,
+            }],
+        };
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opmr_netsim::{simulate, tera100, ToolModel};
+
+    #[test]
+    fn requires_square_rank_count() {
+        let m = tera100();
+        assert!(workload(SweepBench::Sp, Class::A, 7, &m, None).is_err());
+        assert!(workload(SweepBench::Bt, Class::A, 9, &m, None).is_ok());
+    }
+
+    #[test]
+    fn runs_to_completion_without_deadlock() {
+        let m = tera100();
+        for bench in [SweepBench::Bt, SweepBench::Sp] {
+            let w = workload(bench, Class::S, 16, &m, Some(3)).unwrap();
+            let r = simulate(&w, &m, &ToolModel::None).unwrap();
+            assert!(r.elapsed_s > 0.0, "{:?}", bench);
+        }
+    }
+
+    #[test]
+    fn message_counts_follow_the_grid() {
+        let m = tera100();
+        let w = workload(SweepBench::Sp, Class::S, 9, &m, Some(1)).unwrap();
+        // Corner (0,0): downstream only in fwd x/y/diag, upstream only in
+        // backward sweeps. Sends per iteration = 3 sweeps × k.
+        let k = 3;
+        let corner_sends = w.programs[0]
+            .body
+            .iter()
+            .filter(|o| matches!(o, Op::Send { .. }))
+            .count();
+        assert_eq!(corner_sends, 3 * k, "corner sends fwd x, fwd y, fwd diag");
+        // Center (1,1) sends in all 6 sweeps.
+        let center_sends = w.programs[4]
+            .body
+            .iter()
+            .filter(|o| matches!(o, Op::Send { .. }))
+            .count();
+        assert_eq!(center_sends, 6 * k);
+    }
+
+    #[test]
+    fn class_d_is_heavier_than_class_c() {
+        let m = tera100();
+        let wc = workload(SweepBench::Sp, Class::C, 16, &m, Some(2)).unwrap();
+        let wd = workload(SweepBench::Sp, Class::D, 16, &m, Some(2)).unwrap();
+        let tc = simulate(&wc, &m, &ToolModel::None).unwrap().elapsed_s;
+        let td = simulate(&wd, &m, &ToolModel::None).unwrap().elapsed_s;
+        assert!(td > tc * 5.0, "C={tc} D={td}");
+    }
+
+    #[test]
+    fn bi_class_c_exceeds_class_d() {
+        // The paper's key observation: smaller classes have higher
+        // instrumentation-data bandwidth (more calls per unit time).
+        let m = tera100();
+        let tool = ToolModel::online_coupling(1.0);
+        let wc = workload(SweepBench::Sp, Class::C, 900, &m, Some(3)).unwrap();
+        let wd = workload(SweepBench::Sp, Class::D, 900, &m, Some(3)).unwrap();
+        let rc = simulate(&wc, &m, &tool).unwrap();
+        let rd = simulate(&wd, &m, &tool).unwrap();
+        assert!(
+            rc.bi_bps() > 3.0 * rd.bi_bps(),
+            "Bi(SP.C)={} Bi(SP.D)={}",
+            rc.bi_bps(),
+            rd.bi_bps()
+        );
+    }
+
+    #[test]
+    fn bi_sp_c_900_in_paper_range() {
+        // Paper: Bi(SP.C) = 2.37 GB/s at 900 cores. Accept the right order
+        // of magnitude (the substrate is a model, not Tera 100).
+        let m = tera100();
+        let w = workload(SweepBench::Sp, Class::C, 900, &m, Some(5)).unwrap();
+        let r = simulate(&w, &m, &ToolModel::online_coupling(1.0)).unwrap();
+        let bi = r.bi_bps() / 1e9;
+        assert!(
+            (0.5..10.0).contains(&bi),
+            "Bi(SP.C@900) = {bi} GB/s, expected ~2.4"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Process-grid helpers shared by the generators.
+
+/// Integer square root; `Some(k)` iff `n == k*k`.
+pub fn exact_sqrt(n: usize) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    let k = (n as f64).sqrt().round() as usize;
+    (k.saturating_sub(1)..=k + 1).find(|&cand| cand * cand == n)
+}
+
+/// True iff `n` is a power of two.
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Near-square factorization `(px, py)` with `px * py == n`, `px <= py`.
+pub fn near_square_factors(n: usize) -> (usize, usize) {
+    assert!(n > 0);
+    let mut best = (1, n);
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            best = (d, n / d);
+        }
+        d += 1;
+    }
+    best
+}
+
+/// 2-D process grid with row-major rank layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid2 {
+    pub px: usize,
+    pub py: usize,
+}
+
+impl Grid2 {
+    pub fn new(px: usize, py: usize) -> Grid2 {
+        Grid2 { px, py }
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// `(x, y)` coordinates of a rank.
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        (rank % self.px, rank / self.px)
+    }
+
+    /// Rank at coordinates.
+    pub fn rank(&self, x: usize, y: usize) -> usize {
+        y * self.px + x
+    }
+
+    /// Neighbour in ±x / ±y if inside the open boundary.
+    pub fn neighbor(&self, rank: usize, dx: isize, dy: isize) -> Option<u32> {
+        let (x, y) = self.coords(rank);
+        let nx = x as isize + dx;
+        let ny = y as isize + dy;
+        if nx < 0 || ny < 0 || nx >= self.px as isize || ny >= self.py as isize {
+            None
+        } else {
+            Some(self.rank(nx as usize, ny as usize) as u32)
+        }
+    }
+
+    /// Number of open-boundary 4-neighbours (2 at corners, 3 on edges,
+    /// 4 inside) — the gradient the LU density maps show.
+    pub fn degree(&self, rank: usize) -> usize {
+        [(1, 0), (-1, 0), (0, 1), (0, -1)]
+            .iter()
+            .filter(|&&(dx, dy)| self.neighbor(rank, dx, dy).is_some())
+            .count()
+    }
+}
+
+/// Emits the two halo-exchange ops along one axis in deadlock-free parity
+/// order: even-coordinate ranks talk `+` then `-`, odd ranks `-` then `+`.
+pub fn parity_exchange_order(coord: usize, plus: Option<u32>, minus: Option<u32>) -> Vec<u32> {
+    let mut order = Vec::with_capacity(2);
+    if coord.is_multiple_of(2) {
+        if let Some(p) = plus {
+            order.push(p);
+        }
+        if let Some(m) = minus {
+            order.push(m);
+        }
+    } else {
+        if let Some(m) = minus {
+            order.push(m);
+        }
+        if let Some(p) = plus {
+            order.push(p);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sqrt_detects_squares() {
+        assert_eq!(exact_sqrt(1), Some(1));
+        assert_eq!(exact_sqrt(4), Some(2));
+        assert_eq!(exact_sqrt(900), Some(30));
+        assert_eq!(exact_sqrt(2025), Some(45));
+        assert_eq!(exact_sqrt(8281), Some(91));
+        assert_eq!(exact_sqrt(2), None);
+        assert_eq!(exact_sqrt(0), None);
+        assert_eq!(exact_sqrt(8280), None);
+    }
+
+    #[test]
+    fn pow2_checks() {
+        assert!(is_pow2(1));
+        assert!(is_pow2(128));
+        assert!(!is_pow2(0));
+        assert!(!is_pow2(48));
+    }
+
+    #[test]
+    fn near_square_prefers_balance() {
+        assert_eq!(near_square_factors(16), (4, 4));
+        assert_eq!(near_square_factors(12), (3, 4));
+        assert_eq!(near_square_factors(1024), (32, 32));
+        assert_eq!(near_square_factors(7), (1, 7));
+    }
+
+    #[test]
+    fn grid_coords_roundtrip() {
+        let g = Grid2::new(4, 3);
+        for r in 0..g.ranks() {
+            let (x, y) = g.coords(r);
+            assert_eq!(g.rank(x, y), r);
+        }
+    }
+
+    #[test]
+    fn degrees_form_corner_edge_interior_gradient() {
+        let g = Grid2::new(4, 4);
+        assert_eq!(g.degree(g.rank(0, 0)), 2);
+        assert_eq!(g.degree(g.rank(1, 0)), 3);
+        assert_eq!(g.degree(g.rank(1, 1)), 4);
+        assert_eq!(g.degree(g.rank(3, 3)), 2);
+    }
+
+    #[test]
+    fn parity_order_matches_between_neighbors() {
+        // Rank with even x lists +x first; its +x neighbour (odd x) lists
+        // -x (i.e. us) first: the pairs line up without deadlock.
+        let g = Grid2::new(4, 1);
+        for x in 0..3usize {
+            let a = parity_exchange_order(
+                x,
+                g.neighbor(g.rank(x, 0), 1, 0),
+                g.neighbor(g.rank(x, 0), -1, 0),
+            );
+            let b = parity_exchange_order(
+                x + 1,
+                g.neighbor(g.rank(x + 1, 0), 1, 0),
+                g.neighbor(g.rank(x + 1, 0), -1, 0),
+            );
+            let pos_a = a.iter().position(|&p| p == g.rank(x + 1, 0) as u32).unwrap();
+            let pos_b = b.iter().position(|&p| p == g.rank(x, 0) as u32).unwrap();
+            assert_eq!(
+                pos_a, pos_b,
+                "x={x}: both sides must schedule the pair at the same step"
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Paper-scale simulation: what the figures harness does, in one page.
+//!
+//! ```sh
+//! cargo run --release --example paper_scale_sim
+//! ```
+//!
+//! Simulates SP.D on 1024 ranks of the Curie model under every measurement
+//! chain of Figure 16 and prints one overhead row, plus the Bi values the
+//! paper quotes in Section IV-C.
+
+use opmr::netsim::{curie, simulate, tera100, ToolModel};
+use opmr::workloads::{Benchmark, Class};
+
+fn main() {
+    let curie = curie();
+    let ranks = 1024;
+    let iters = Some(8);
+    let w = Benchmark::Sp
+        .build(Class::D, ranks, &curie, iters)
+        .expect("SP.D @1024");
+
+    let reference = simulate(&w, &curie, &ToolModel::None).expect("reference");
+    println!("SP.D on {ranks} ranks (Curie model): reference {:.2} s/iter-block", reference.elapsed_s);
+    for (name, tool) in [
+        ("Scalasca       ", ToolModel::scalasca()),
+        ("ScoreP profile ", ToolModel::scorep_profile()),
+        ("ScoreP trace   ", ToolModel::scorep_trace()),
+        ("Online coupling", ToolModel::online_coupling(1.0)),
+    ] {
+        let r = simulate(&w, &curie, &tool).expect("tool run");
+        let overhead = (r.elapsed_s - reference.elapsed_s) / reference.elapsed_s * 100.0;
+        println!(
+            "  {name} : {overhead:+6.1}%  (events {:>10}, stall {:.2} s, fs {:.2} s)",
+            r.stats.events,
+            r.stats.stall_ns / 1e9,
+            r.stats.fs_ns / 1e9
+        );
+    }
+
+    // Section IV-C's Bi anchors, on the Tera 100 model.
+    let tera = tera100();
+    for (class, paper) in [(Class::C, "2.37 GB/s"), (Class::D, "334.99 MB/s")] {
+        let w = Benchmark::Sp
+            .build(class, 900, &tera, Some(6))
+            .expect("SP @900");
+        let r = simulate(&w, &tera, &ToolModel::online_coupling(1.0)).expect("sim");
+        println!(
+            "Bi(SP.{class}) @900 ranks: {:.2} MB/s   (paper: {paper})",
+            r.bi_bps() / 1e6
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! `opmr` — command-line front end.
+//!
+//! ```text
+//! opmr demo                          run the multi-app online demo
+//! opmr simulate [options]            run one workload on the DES
+//! opmr report <trace-dir> [out]      post-mortem analysis of .opmr/.sion traces
+//! opmr stream-table                  print the Figure-14 throughput table
+//! opmr help
+//! ```
+
+use opmr::analysis::report;
+use opmr::core::{analyze_sion_dir, analyze_trace_dir, LiveOptions, Session};
+use opmr::netsim::{curie, simulate, stream_model, tera100, Machine, ToolModel};
+use opmr::workloads::{by_name, Class};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "opmr — online performance measurement reduction (ICPP 2013 reproduction)
+
+USAGE:
+    opmr demo
+        Profile CG + EulerMHD concurrently (threads as ranks) and print
+        the multi-application report.
+
+    opmr simulate [--bench BT|CG|FT|LU|SP|EulerMHD] [--class S..D]
+                  [--ranks N] [--iters N] [--machine tera100|curie]
+                  [--tool none|online|profile|trace|scalasca]
+        Run one workload on the discrete-event simulator and print timing,
+        overhead-relevant stats and Bi.
+
+    opmr report <trace-dir> [--out DIR]
+        Post-mortem analysis of a directory of .opmr / .sion traces
+        (the classical workflow, same engine as the online path).
+
+    opmr stream-table
+        Print the Figure-14 stream-throughput table on the Tera 100 model."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("demo") => demo(),
+        Some("simulate") => simulate_cmd(&args[1..]),
+        Some("report") => report_cmd(&args[1..]),
+        Some("stream-table") => stream_table(),
+        _ => usage(),
+    }
+}
+
+fn demo() -> ExitCode {
+    let m = tera100();
+    let cg = opmr::workloads::Benchmark::Cg
+        .build(Class::S, 8, &m, Some(3))
+        .expect("CG.S");
+    let euler = opmr::workloads::Benchmark::EulerMhd
+        .build(Class::S, 9, &m, Some(4))
+        .expect("EulerMHD");
+    let outcome = Session::builder()
+        .analyzer_ranks(3)
+        .waitstate()
+        .app_workload("cg", cg, LiveOptions::default())
+        .app_workload("euler_mhd", euler, LiveOptions::default())
+        .run()
+        .expect("demo session");
+    println!("{}", outcome.markdown());
+    ExitCode::SUCCESS
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn simulate_cmd(args: &[String]) -> ExitCode {
+    let bench = match by_name(flag(args, "--bench").unwrap_or("SP")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(class) = Class::parse(flag(args, "--class").unwrap_or("C")) else {
+        eprintln!("error: bad --class (use S, W, A, B, C or D)");
+        return ExitCode::from(2);
+    };
+    let ranks: usize = flag(args, "--ranks").unwrap_or("256").parse().unwrap_or(256);
+    let iters: u32 = flag(args, "--iters").unwrap_or("10").parse().unwrap_or(10);
+    let machine: Machine = match flag(args, "--machine").unwrap_or("tera100") {
+        "curie" => curie(),
+        _ => tera100(),
+    };
+    let tool = match flag(args, "--tool").unwrap_or("online") {
+        "none" => ToolModel::None,
+        "profile" => ToolModel::scorep_profile(),
+        "trace" => ToolModel::scorep_trace(),
+        "scalasca" => ToolModel::scalasca(),
+        _ => ToolModel::online_coupling(1.0),
+    };
+
+    let w = match bench.build(class, ranks, &machine, Some(iters)) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let reference = simulate(&w, &machine, &ToolModel::None).expect("reference run");
+    let run = simulate(&w, &machine, &tool).expect("instrumented run");
+    println!(
+        "{}.{class} on {ranks} ranks ({}), {iters} simulated iterations",
+        bench.name(),
+        machine.name
+    );
+    println!("  reference      : {:.4} s", reference.elapsed_s);
+    println!(
+        "  instrumented   : {:.4} s  ({:+.2}% overhead)",
+        run.elapsed_s,
+        (run.elapsed_s - reference.elapsed_s) / reference.elapsed_s * 100.0
+    );
+    println!(
+        "  events         : {} ({} comm ops)",
+        run.stats.events, run.stats.comm_ops
+    );
+    println!(
+        "  measurement    : {:.2} MB, Bi = {:.2} MB/s",
+        run.stats.event_bytes as f64 / 1e6,
+        run.bi_bps() / 1e6
+    );
+    println!(
+        "  stall / fs     : {:.3} s / {:.3} s (aggregate across ranks)",
+        run.stats.stall_ns / 1e9,
+        run.stats.fs_ns / 1e9
+    );
+    ExitCode::SUCCESS
+}
+
+fn report_cmd(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("error: report needs a trace directory");
+        return ExitCode::from(2);
+    };
+    let dir = std::path::PathBuf::from(dir);
+    let cfg = opmr::analysis::EngineConfig::default();
+    let has_sion = std::fs::read_dir(&dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .any(|e| e.path().extension().is_some_and(|x| x == "sion"))
+        })
+        .unwrap_or(false);
+    let result = if has_sion {
+        analyze_sion_dir(&dir, cfg)
+    } else {
+        analyze_trace_dir(&dir, cfg)
+    };
+    match result {
+        Ok(multi) => {
+            println!("{}", report::to_markdown(&multi));
+            if let Some(out) = flag(args, "--out") {
+                match report::write_artifacts(&multi, std::path::Path::new(out)) {
+                    Ok(paths) => eprintln!("wrote {} artifacts under {out}", paths.len()),
+                    Err(e) => {
+                        eprintln!("error writing artifacts: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn stream_table() -> ExitCode {
+    let m = tera100();
+    println!("VMPI stream throughput (GB/s), Tera 100 model — Figure 14");
+    print!("{:>8}", "writers");
+    let ratios = [1.0, 2.0, 5.0, 10.0, 25.0, 70.0];
+    for r in ratios {
+        print!("{:>8}", format!("1:{r:.0}"));
+    }
+    println!();
+    for writers in [64usize, 256, 1024, 2560] {
+        print!("{writers:>8}");
+        for ratio in ratios {
+            let p = stream_model::evaluate(&m, writers, ratio, 1 << 30);
+            print!("{:>8.1}", p.throughput_bps / 1e9);
+        }
+        println!();
+    }
+    println!(
+        "\nfile-system share @2560 cores: {:.1} GB/s; crossover ≈ 1:{:.0}",
+        m.fs_share_bps(2560) / 1e9,
+        stream_model::crossover_ratio(&m, 2560)
+    );
+    ExitCode::SUCCESS
+}

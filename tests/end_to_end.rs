@@ -1,0 +1,193 @@
+//! Cross-crate integration tests: the full online pipeline against ground
+//! truth, and the online-vs-post-mortem equivalence the paper claims
+//! ("streamed analysis is very close to post-mortem analysis").
+
+use opmr::analysis::report;
+use opmr::core::{LiveOptions, Session, TraceSession};
+use opmr::events::EventKind;
+use opmr::netsim::tera100;
+use opmr::runtime::{Src, TagSel};
+use opmr::workloads::{Benchmark, Class};
+
+#[test]
+fn online_profile_matches_ground_truth_counts() {
+    const ROUNDS: usize = 40;
+    let outcome = Session::builder()
+        .analyzer_ranks(2)
+        .app("counted", 6, move |imp| {
+            let w = imp.comm_world();
+            let (r, n) = (imp.rank(), imp.size());
+            for i in 0..ROUNDS {
+                let req = imp.isend(&w, (r + 1) % n, i as i32, vec![1u8; 100]).unwrap();
+                imp.recv(&w, Src::Rank((r + n - 1) % n), TagSel::Tag(i as i32))
+                    .unwrap();
+                imp.wait(req).unwrap();
+            }
+            imp.barrier(&w).unwrap();
+        })
+        .run()
+        .unwrap();
+
+    let app = &outcome.report.apps[0];
+    let p = &app.profile;
+    // Exact ground truth: 6 ranks × 40 rounds of isend/recv/wait + barrier
+    // + init + finalize.
+    assert_eq!(p.kind(EventKind::Isend).unwrap().hits, 6 * ROUNDS as u64);
+    assert_eq!(p.kind(EventKind::Recv).unwrap().hits, 6 * ROUNDS as u64);
+    assert_eq!(p.kind(EventKind::Wait).unwrap().hits, 6 * ROUNDS as u64);
+    assert_eq!(p.kind(EventKind::Barrier).unwrap().hits, 6);
+    assert_eq!(p.kind(EventKind::Init).unwrap().hits, 6);
+    assert_eq!(p.kind(EventKind::Finalize).unwrap().hits, 6);
+    assert_eq!(
+        p.kind(EventKind::Isend).unwrap().bytes,
+        6 * ROUNDS as u64 * 100
+    );
+    // Topology: a clean directed ring.
+    assert_eq!(app.topology.edge_count(), 6);
+    for r in 0..6u32 {
+        let w = app.topology.edge(r, (r + 1) % 6).unwrap();
+        assert_eq!(w.hits, ROUNDS as u64);
+        assert_eq!(w.bytes, ROUNDS as u64 * 100);
+    }
+    // Recorder totals equal what the engine saw (nothing lost in flight).
+    let produced: u64 = outcome.recorders.iter().map(|(_, s)| s.events).sum();
+    assert_eq!(produced, app.events);
+}
+
+#[test]
+fn online_equals_post_mortem() {
+    // The same deterministic workload through both chains.
+    let m = tera100();
+    let make = || {
+        Benchmark::Cg
+            .build(Class::S, 8, &m, Some(3))
+            .expect("CG.S @8")
+    };
+
+    let online = Session::builder()
+        .analyzer_ranks(2)
+        .app_workload("cg", make(), LiveOptions::default())
+        .run()
+        .unwrap();
+
+    let dir = std::env::temp_dir().join(format!("opmr_equiv_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let trace = TraceSession::new(&dir)
+        .app_workload("cg", make(), LiveOptions::default())
+        .run()
+        .unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    let a = &online.report.apps[0];
+    let b = &trace.report.apps[0];
+    assert_eq!(a.events, b.events);
+    for kind in a.profile.kinds() {
+        let (sa, sb) = (a.profile.kind(kind).unwrap(), b.profile.kind(kind));
+        let sb = sb.unwrap_or_else(|| panic!("{} missing post-mortem", kind.name()));
+        assert_eq!(sa.hits, sb.hits, "{} hits", kind.name());
+        assert_eq!(sa.bytes, sb.bytes, "{} bytes", kind.name());
+    }
+    // Identical communication matrices.
+    assert_eq!(a.topology.edge_count(), b.topology.edge_count());
+    for ((s, d), w) in a.topology.sorted_edges() {
+        let other = b.topology.edge(s, d).expect("edge present post-mortem");
+        assert_eq!(w.hits, other.hits);
+        assert_eq!(w.bytes, other.bytes);
+    }
+    // And the online chain left no trace bytes behind (by construction),
+    // while the baseline did write to disk.
+    assert!(trace.trace_bytes > 0);
+}
+
+#[test]
+fn every_benchmark_runs_live_end_to_end() {
+    let m = tera100();
+    for (bench, ranks) in [
+        (Benchmark::Bt, 9usize),
+        (Benchmark::Sp, 9),
+        (Benchmark::Lu, 8),
+        (Benchmark::Cg, 8),
+        (Benchmark::Ft, 8),
+        (Benchmark::EulerMhd, 9),
+    ] {
+        let w = bench.build(Class::S, ranks, &m, Some(2)).expect("builds");
+        let expected_events = w.total_comm_ops();
+        let outcome = Session::builder()
+            .analyzer_ranks(2)
+            .app_workload(bench.name(), w, LiveOptions::default())
+            .run()
+            .unwrap_or_else(|e| panic!("{} live run failed: {e}", bench.name()));
+        let app = &outcome.report.apps[0];
+        assert_eq!(app.ranks as usize, ranks, "{}", bench.name());
+        // comm ops + init/finalize per rank; Exchange maps to 1 sendrecv.
+        let mpi_events: u64 = app
+            .profile
+            .kinds()
+            .iter()
+            .filter(|k| k.is_mpi() && !matches!(k, EventKind::Init | EventKind::Finalize))
+            .map(|&k| app.profile.kind(k).unwrap().hits)
+            .sum();
+        assert_eq!(
+            mpi_events,
+            expected_events,
+            "{}: every generated comm op must be observed",
+            bench.name()
+        );
+        assert_eq!(app.decode_errors, 0);
+    }
+}
+
+#[test]
+fn multi_app_report_renders_everywhere() {
+    let m = tera100();
+    let outcome = Session::builder()
+        .analyzer_ranks(2)
+        .app_workload(
+            "cg",
+            Benchmark::Cg.build(Class::S, 8, &m, Some(2)).unwrap(),
+            LiveOptions::default(),
+        )
+        .app_workload(
+            "euler",
+            Benchmark::EulerMhd.build(Class::S, 6, &m, Some(2)).unwrap(),
+            LiveOptions::default(),
+        )
+        .run()
+        .unwrap();
+    assert_eq!(outcome.report.apps.len(), 2);
+
+    let md = report::to_markdown(&outcome.report);
+    assert!(md.contains("## Application `cg`"));
+    assert!(md.contains("## Application `euler`"));
+    let tex = report::to_latex(&outcome.report);
+    assert_eq!(tex.matches("\\chapter{").count(), 2);
+
+    let dir = std::env::temp_dir().join(format!("opmr_render_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let paths = report::write_artifacts(&outcome.report, &dir).unwrap();
+    assert!(paths.len() >= 8, "md, tex, dots, matrices, pgms");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn analyzer_ratio_sweep_preserves_results() {
+    // The writer/reader ratio changes resources, never results.
+    let m = tera100();
+    let mut baselines: Option<u64> = None;
+    for analyzers in [1usize, 2, 4] {
+        let outcome = Session::builder()
+            .analyzer_ranks(analyzers)
+            .app_workload(
+                "lu",
+                Benchmark::Lu.build(Class::S, 8, &m, Some(2)).unwrap(),
+                LiveOptions::default(),
+            )
+            .run()
+            .unwrap();
+        let events = outcome.report.apps[0].events;
+        match baselines {
+            None => baselines = Some(events),
+            Some(b) => assert_eq!(events, b, "ratio 1:{analyzers} changed observed events"),
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Regression tests for the paper's quantitative *shapes*: who wins, by
+//! roughly what factor, where crossovers fall. These pin the simulated
+//! figures so calibration drift is caught.
+
+use opmr::netsim::stream_model::{crossover_ratio, evaluate, stream_throughput_bps};
+use opmr::netsim::{curie, simulate, tera100, ToolModel};
+use opmr::workloads::{Benchmark, Class};
+
+/// Simulated iterations per test: enough for steady state, scaled down in
+/// debug builds where the DES runs ~5× slower.
+fn test_iters() -> u32 {
+    if cfg!(debug_assertions) {
+        2
+    } else {
+        6
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 14 shapes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig14_peak_anchor() {
+    // 2560 writers + 2560 readers ⇒ ~98.5 GB/s on Tera 100.
+    let m = tera100();
+    let p = evaluate(&m, 2560, 1.0, 1 << 30);
+    assert!((p.throughput_bps / 1e9 - 98.5).abs() < 2.0, "{}", p.throughput_bps);
+}
+
+#[test]
+fn fig14_throughput_monotone_in_both_axes() {
+    let m = tera100();
+    for ratio in [1.0, 4.0, 16.0] {
+        let mut last = 0.0;
+        for writers in [64, 256, 1024, 2560] {
+            let t = evaluate(&m, writers, ratio, 1 << 30).throughput_bps;
+            assert!(t >= last, "writers axis at ratio {ratio}");
+            last = t;
+        }
+    }
+    for writers in [256, 2560] {
+        let mut last = f64::INFINITY;
+        for ratio in [1.0, 2.0, 5.0, 10.0, 30.0, 70.0] {
+            let t = evaluate(&m, writers, ratio, 1 << 30).throughput_bps;
+            assert!(t <= last, "ratio axis at {writers} writers");
+            last = t;
+        }
+    }
+}
+
+#[test]
+fn fig14_crossover_near_25() {
+    let m = tera100();
+    let x = crossover_ratio(&m, 2560);
+    assert!((15.0..40.0).contains(&x), "crossover {x}");
+}
+
+#[test]
+fn fig14_best_case_beats_fs_by_an_order_of_magnitude() {
+    // "98.5 GB/s … compared with … 9.1 GB/s": ~10× at ratio 1:1.
+    let m = tera100();
+    let stream = stream_throughput_bps(&m, 2560, 2560);
+    let fs = m.fs_share_bps(2560);
+    let factor = stream / fs;
+    assert!((8.0..14.0).contains(&factor), "stream/fs factor {factor}");
+}
+
+// ---------------------------------------------------------------------
+// Figure 15 shapes.
+// ---------------------------------------------------------------------
+
+fn overhead_pct(bench: Benchmark, class: Class, ranks: usize, tool: &ToolModel) -> f64 {
+    let m = tera100();
+    let w = bench.build(class, ranks, &m, Some(test_iters())).expect("workload");
+    let t0 = simulate(&w, &m, &ToolModel::None).unwrap().elapsed_s;
+    let t1 = simulate(&w, &m, tool).unwrap().elapsed_s;
+    (t1 - t0) / t0 * 100.0
+}
+
+#[test]
+fn fig15_overheads_bounded_like_paper() {
+    // "All overheads are lower than 25%."
+    let online = ToolModel::online_coupling(1.0);
+    for (bench, class) in [
+        (Benchmark::Sp, Class::C),
+        (Benchmark::Sp, Class::D),
+        (Benchmark::Bt, Class::C),
+        (Benchmark::Lu, Class::C),
+        (Benchmark::Cg, Class::C),
+    ] {
+        let ranks = if bench == Benchmark::Cg { 256 } else { 225 };
+        let o = overhead_pct(bench, class, ranks, &online);
+        assert!(
+            (-2.0..30.0).contains(&o),
+            "{}.{class} overhead {o}%",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn fig15_class_c_overhead_exceeds_class_d() {
+    // The Bi correlation: smaller problems, higher event rate, more
+    // overhead.
+    let online = ToolModel::online_coupling(1.0);
+    let c = overhead_pct(Benchmark::Sp, Class::C, 900, &online);
+    let d = overhead_pct(Benchmark::Sp, Class::D, 900, &online);
+    assert!(c > d, "SP.C {c}% must exceed SP.D {d}%");
+}
+
+#[test]
+fn fig15_euler_mhd_is_cheapest() {
+    let online = ToolModel::online_coupling(1.0);
+    let euler = overhead_pct(Benchmark::EulerMhd, Class::C, 256, &online);
+    let sp = overhead_pct(Benchmark::Sp, Class::C, 256, &online);
+    assert!(
+        euler < sp,
+        "compute-bound EulerMHD ({euler}%) under SP.C ({sp}%)"
+    );
+    assert!(euler < 5.0, "EulerMHD overhead {euler}% should be tiny");
+}
+
+#[test]
+fn bi_anchors_within_order_of_magnitude() {
+    let m = tera100();
+    let sim = |class| {
+        let w = Benchmark::Sp.build(class, 900, &m, Some(test_iters())).unwrap();
+        simulate(&w, &m, &ToolModel::online_coupling(1.0)).unwrap()
+    };
+    let bi_c = sim(Class::C).bi_bps();
+    let bi_d = sim(Class::D).bi_bps();
+    // Paper: 2.37 GB/s and 334.99 MB/s.
+    assert!((0.5e9..10.0e9).contains(&bi_c), "Bi(SP.C)={bi_c}");
+    assert!((50.0e6..1.5e9).contains(&bi_d), "Bi(SP.D)={bi_d}");
+    assert!(bi_c / bi_d > 3.0, "C/D ratio {}", bi_c / bi_d);
+}
+
+// ---------------------------------------------------------------------
+// Figure 16 shapes.
+// ---------------------------------------------------------------------
+
+fn fig16_overhead(tool: &ToolModel, ranks: usize) -> f64 {
+    let m = curie();
+    let w = Benchmark::Sp.build(Class::D, ranks, &m, Some(test_iters())).unwrap();
+    let t0 = simulate(&w, &m, &ToolModel::None).unwrap().elapsed_s;
+    let t1 = simulate(&w, &m, tool).unwrap().elapsed_s;
+    (t1 - t0) / t0 * 100.0
+}
+
+#[test]
+fn fig16_online_beats_file_trace_at_scale() {
+    // "our online instrumentation has an overhead lower than file based
+    // traces despite manipulating larger volumes of data".
+    for ranks in [1024usize, 4096] {
+        let online = fig16_overhead(&ToolModel::online_coupling(1.0), ranks);
+        let trace = fig16_overhead(&ToolModel::scorep_trace(), ranks);
+        assert!(
+            online < trace,
+            "@{ranks}: online {online}% must beat trace {trace}%"
+        );
+    }
+}
+
+#[test]
+fn fig16_trace_overhead_grows_with_scale() {
+    let small = fig16_overhead(&ToolModel::scorep_trace(), 64);
+    let large = fig16_overhead(&ToolModel::scorep_trace(), 4096);
+    assert!(
+        large > small,
+        "FS contention must grow: {small}% → {large}%"
+    );
+}
+
+#[test]
+fn fig16_reference_is_zero_and_tools_nonnegative() {
+    let r = fig16_overhead(&ToolModel::None, 256);
+    assert!(r.abs() < 1e-9);
+    for tool in [
+        ToolModel::scalasca(),
+        ToolModel::scorep_profile(),
+        ToolModel::scorep_trace(),
+        ToolModel::online_coupling(1.0),
+    ] {
+        assert!(fig16_overhead(&tool, 256) >= 0.0);
+    }
+}
+
+#[test]
+fn fig16_volume_growth_matches_paper_band() {
+    // Online volumes: 923.93 MB @64 → 333.22 GB @4096 (nominal 500 iters).
+    let m = curie();
+    let iters = test_iters();
+    let vol = |ranks: usize| {
+        let w = Benchmark::Sp.build(Class::D, ranks, &m, Some(iters)).unwrap();
+        let r = simulate(&w, &m, &ToolModel::online_coupling(1.0)).unwrap();
+        r.stats.event_bytes as f64 * (500.0 / iters as f64)
+    };
+    let v64 = vol(64);
+    let v4096 = vol(4096);
+    // Same order of magnitude as the paper, and strongly super-linear
+    // growth (per-rank event counts grow with √P pipeline depth).
+    assert!((0.1e9..10e9).contains(&v64), "{v64}");
+    assert!((30e9..3e12).contains(&v4096), "{v4096}");
+    assert!(v4096 / v64 > 64.0, "growth factor {}", v4096 / v64);
+}
+
+// ---------------------------------------------------------------------
+// Figures 17/18 shapes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig18_lu_density_shows_neighbour_gradient() {
+    let m = tera100();
+    let w = Benchmark::Lu.build(Class::D, 1024, &m, Some(1)).unwrap();
+    // Corner rank 0 sends fewer messages than interior rank 33 (32×32 grid).
+    let corner: usize = w.programs[0]
+        .body
+        .iter()
+        .filter(|o| matches!(o, opmr::netsim::Op::Send { .. }))
+        .count();
+    let interior: usize = w.programs[33]
+        .body
+        .iter()
+        .filter(|o| matches!(o, opmr::netsim::Op::Send { .. }))
+        .count();
+    assert!(corner < interior);
+    assert_eq!(interior, 2 * corner, "corner has half the neighbours");
+}
+
+#[test]
+fn fig18_bt_8281_simulates_with_symmetry() {
+    // BT.D on 8281 ranks: the DES must complete and produce the size
+    // symmetry the paper observes (small cv on p2p bytes).
+    let m = tera100();
+    let w = Benchmark::Bt.build(Class::D, 8281, &m, Some(1)).unwrap();
+    let r = simulate(&w, &m, &ToolModel::None).unwrap();
+    assert_eq!(r.per_rank_send_bytes.len(), 8281);
+    let max = *r.per_rank_send_bytes.iter().max().unwrap() as f64;
+    let min = *r.per_rank_send_bytes.iter().min().unwrap() as f64;
+    assert!(min > 0.0);
+    // Interior/edge differences stay bounded (paper: 660.93 vs 664.87 MB,
+    // i.e. a small spread; our open-boundary grid is coarser: interior
+    // ranks send through 6 sweeps, edge/corner ranks 2-3 — within 4×).
+    assert!(max / min <= 4.0, "p2p size spread {max}/{min}");
+}

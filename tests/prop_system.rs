@@ -1,0 +1,120 @@
+//! System-level property tests: arbitrary valid workloads must simulate
+//! deadlock-free with conserved accounting, and live sessions must never
+//! lose events.
+
+use opmr::core::{LiveOptions, Session};
+use opmr::netsim::{simulate, tera100, ToolModel};
+use opmr::workloads::{Benchmark, Class};
+use proptest::prelude::*;
+
+fn arb_bench_ranks() -> impl Strategy<Value = (Benchmark, usize)> {
+    prop_oneof![
+        (1usize..=5).prop_map(|k| (Benchmark::Bt, k * k)),
+        (1usize..=5).prop_map(|k| (Benchmark::Sp, k * k)),
+        (1usize..=20).prop_map(|n| (Benchmark::Lu, n)),
+        (0u32..=5).prop_map(|m| (Benchmark::Cg, 1usize << m)),
+        (1usize..=16).prop_map(|n| (Benchmark::Ft, n)),
+        (1usize..=20).prop_map(|n| (Benchmark::EulerMhd, n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every valid (benchmark, rank count, class, iters) simulates without
+    /// deadlock; instrumented time never undercuts reference time; event
+    /// accounting matches the static op census.
+    #[test]
+    fn any_valid_workload_simulates(
+        (bench, ranks) in arb_bench_ranks(),
+        class_idx in 0usize..2,
+        iters in 1u32..4,
+    ) {
+        let class = [Class::S, Class::W][class_idx];
+        let m = tera100();
+        let w = bench.build(class, ranks, &m, Some(iters)).expect("valid combination");
+        let reference = simulate(&w, &m, &ToolModel::None).expect("no deadlock");
+        prop_assert!(reference.elapsed_s > 0.0);
+        prop_assert_eq!(reference.stats.comm_ops, w.total_comm_ops());
+
+        let online = simulate(&w, &m, &ToolModel::online_coupling(1.0)).expect("no deadlock");
+        prop_assert!(online.elapsed_s >= reference.elapsed_s * 0.999);
+        prop_assert!(online.stats.events > 0);
+        prop_assert_eq!(online.stats.event_bytes, online.stats.events * 48);
+
+        // Determinism.
+        let again = simulate(&w, &m, &ToolModel::None).expect("no deadlock");
+        prop_assert_eq!(again.per_rank_s, reference.per_rank_s);
+    }
+
+    /// Live sessions: whatever the instrumented ranks record arrives intact
+    /// at the analyzer (no loss, no duplication), for arbitrary small
+    /// topologies and analyzer counts.
+    #[test]
+    fn live_sessions_conserve_events(
+        ranks in 2usize..7,
+        analyzers in 1usize..4,
+        rounds in 1usize..12,
+    ) {
+        let outcome = Session::builder()
+            .analyzer_ranks(analyzers)
+            .app("prop", ranks, move |imp| {
+                let w = imp.comm_world();
+                let (r, n) = (imp.rank(), imp.size());
+                for i in 0..rounds {
+                    let req = imp.isend(&w, (r + 1) % n, i as i32, vec![0u8; 64]).unwrap();
+                    imp.recv(
+                        &w,
+                        opmr::runtime::Src::Rank((r + n - 1) % n),
+                        opmr::runtime::TagSel::Tag(i as i32),
+                    )
+                    .unwrap();
+                    imp.wait(req).unwrap();
+                }
+            })
+            .run()
+            .unwrap();
+        let app = &outcome.report.apps[0];
+        let produced: u64 = outcome.recorders.iter().map(|(_, s)| s.events).sum();
+        prop_assert_eq!(produced, app.events);
+        // init + finalize + 3 events per round per rank.
+        prop_assert_eq!(app.events as usize, ranks * (2 + 3 * rounds));
+        prop_assert_eq!(app.decode_errors, 0);
+    }
+
+    /// Live workload runs conserve the generated op census.
+    #[test]
+    fn live_workloads_observe_every_op(
+        (bench, ranks) in prop_oneof![
+            Just((Benchmark::Cg, 4usize)),
+            Just((Benchmark::EulerMhd, 6)),
+            Just((Benchmark::Lu, 6)),
+            Just((Benchmark::Ft, 4)),
+        ],
+        iters in 1u32..4,
+    ) {
+        let m = tera100();
+        let w = bench.build(Class::S, ranks, &m, Some(iters)).expect("valid");
+        let expect = w.total_comm_ops();
+        let outcome = Session::builder()
+            .analyzer_ranks(2)
+            .app_workload("p", w, LiveOptions::default())
+            .run()
+            .unwrap();
+        let app = &outcome.report.apps[0];
+        let mpi_events: u64 = app
+            .profile
+            .kinds()
+            .iter()
+            .filter(|k| {
+                k.is_mpi()
+                    && !matches!(
+                        k,
+                        opmr::events::EventKind::Init | opmr::events::EventKind::Finalize
+                    )
+            })
+            .map(|&k| app.profile.kind(k).unwrap().hits)
+            .sum();
+        prop_assert_eq!(mpi_events, expect);
+    }
+}
