@@ -57,9 +57,18 @@ impl DensityMap {
         }
         let n = self.values.len() as f64;
         let min = self.values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let mean = self.values.iter().sum::<f64>() / n;
-        let var = self.values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
         // σ/|µ| so the imbalance indicator stays non-negative even for
         // signed metrics.
         let cv = if mean.abs() < f64::EPSILON {
@@ -117,7 +126,12 @@ impl DensityMap {
             return String::new();
         }
         let norm = self.normalized();
-        let mut out = format!("{} (min={:.3e} max={:.3e})\n", self.title, self.stats().min, self.stats().max);
+        let mut out = format!(
+            "{} (min={:.3e} max={:.3e})\n",
+            self.title,
+            self.stats().min,
+            self.stats().max
+        );
         for (i, v) in norm.iter().enumerate() {
             let idx = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
             out.push(RAMP[idx] as char);

@@ -300,10 +300,7 @@ impl AnalysisEngine {
         let slot = self.slot(app_id);
         // Exactly-once wiring, even when two dispatcher jobs race on the
         // first packs of a new application.
-        if slot
-            .wired
-            .swap(true, std::sync::atomic::Ordering::SeqCst)
-        {
+        if slot.wired.swap(true, std::sync::atomic::Ordering::SeqCst) {
             return;
         }
         let level = level_name(app_id);

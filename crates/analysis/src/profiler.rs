@@ -74,7 +74,10 @@ impl MpiProfile {
     /// Folds one event into the profile.
     pub fn add(&mut self, e: &Event) {
         self.per_kind.entry(e.kind).or_default().add(e);
-        self.per_rank_kind.entry((e.rank, e.kind)).or_default().add(e);
+        self.per_rank_kind
+            .entry((e.rank, e.kind))
+            .or_default()
+            .add(e);
         self.ranks = self.ranks.max(e.rank + 1);
         self.last_end_ns = self.last_end_ns.max(e.end_ns());
         self.events += 1;
@@ -267,7 +270,14 @@ mod tests {
     #[test]
     fn merge_equals_bulk_fold() {
         let events: Vec<Event> = (0..50)
-            .map(|i| ev(i % 4, EventKind::ALL[i as usize % 6 + 2], i as u64, i as u64 * 3))
+            .map(|i| {
+                ev(
+                    i % 4,
+                    EventKind::ALL[i as usize % 6 + 2],
+                    i as u64,
+                    i as u64 * 3,
+                )
+            })
             .collect();
         let mut whole = MpiProfile::new();
         whole.add_all(&events);
@@ -297,8 +307,14 @@ mod tests {
     fn rank_metric_fills_gaps_with_zero() {
         let mut p = MpiProfile::new();
         p.add(&ev(2, EventKind::Send, 10, 7));
-        assert_eq!(p.rank_metric(EventKind::Send, Metric::Bytes), vec![0.0, 0.0, 7.0]);
-        assert_eq!(p.rank_metric(EventKind::Send, Metric::Hits), vec![0.0, 0.0, 1.0]);
+        assert_eq!(
+            p.rank_metric(EventKind::Send, Metric::Bytes),
+            vec![0.0, 0.0, 7.0]
+        );
+        assert_eq!(
+            p.rank_metric(EventKind::Send, Metric::Hits),
+            vec![0.0, 0.0, 1.0]
+        );
     }
 
     #[test]

@@ -371,7 +371,9 @@ mod tests {
         assert!(paths
             .iter()
             .any(|p| p.to_string_lossy().contains("topology_size.dot")));
-        assert!(paths.iter().any(|p| p.extension().is_some_and(|e| e == "pgm")));
+        assert!(paths
+            .iter()
+            .any(|p| p.extension().is_some_and(|e| e == "pgm")));
         for p in &paths {
             assert!(p.exists());
             assert!(std::fs::metadata(p).unwrap().len() > 0);

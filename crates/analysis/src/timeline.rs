@@ -125,7 +125,10 @@ pub struct AdaptiveTimeline {
 impl AdaptiveTimeline {
     /// `bins` must be even (pairwise merging halves them on rescale).
     pub fn new(bins: usize, filter: fn(EventKind) -> bool) -> AdaptiveTimeline {
-        assert!(bins >= 2 && bins.is_multiple_of(2), "need an even bin count");
+        assert!(
+            bins >= 2 && bins.is_multiple_of(2),
+            "need an even bin count"
+        );
         AdaptiveTimeline {
             bins,
             span_ns: 1_000_000, // 1 ms initial span

@@ -129,11 +129,9 @@ impl Topology {
     /// True when every edge has a reverse edge with identical hits — halo
     /// patterns are symmetric, pipelines are not.
     pub fn is_symmetric_in_hits(&self) -> bool {
-        self.edges.iter().all(|(&(s, d), w)| {
-            self.edges
-                .get(&(d, s))
-                .is_some_and(|r| r.hits == w.hits)
-        })
+        self.edges
+            .iter()
+            .all(|(&(s, d), w)| self.edges.get(&(d, s)).is_some_and(|r| r.hits == w.hits))
     }
 
     /// Mean number of communication partners per communicating rank.

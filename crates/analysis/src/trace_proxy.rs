@@ -16,8 +16,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Selection predicate for the proxy.
-#[derive(Clone)]
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Selection {
     /// Keep events of these kinds (None = all kinds).
     pub kinds: Option<Vec<EventKind>>,
@@ -28,7 +27,6 @@ pub struct Selection {
     /// Keep only events moving at least this many bytes.
     pub min_bytes: u64,
 }
-
 
 impl Selection {
     /// Does an event survive the selection?
@@ -243,7 +241,10 @@ mod tests {
         assert_eq!(written, 500);
 
         let packs = read_proxy_trace(&path).unwrap();
-        let back: Vec<Event> = packs.iter().flat_map(|p| p.events.iter().copied()).collect();
+        let back: Vec<Event> = packs
+            .iter()
+            .flat_map(|p| p.events.iter().copied())
+            .collect();
         assert_eq!(back.len(), 500);
         assert!(back.iter().all(|e| e.kind == EventKind::Send));
         assert!(packs.iter().all(|p| p.header.app_id == 3));

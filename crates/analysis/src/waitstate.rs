@@ -34,12 +34,24 @@ pub struct MatchedTransfer {
 }
 
 /// Aggregated wait-state statistics.
+///
+/// Besides the aggregate counters, `finish` preserves the *dangling halves*
+/// (sends with no receive seen, and vice versa). In distributed analysis the
+/// two halves of one transfer are usually recorded by different writer ranks
+/// and can land on different analyzer ranks; shipping the halves with the
+/// partial lets the merge root complete those matches instead of counting
+/// each half as unmatched.
 #[derive(Debug, Clone, Default)]
 pub struct WaitStats {
     /// Matched transfers.
     pub matched: u64,
     /// Sends still waiting for a receive (or vice versa) at `finish`.
     pub unmatched: u64,
+    /// Dangling send halves at `finish`, `(src, dst, send)`, channel-sorted.
+    pub pending_sends: Vec<(u32, u32, SendSide)>,
+    /// Dangling receive halves at `finish`, `(src, dst, recv)`,
+    /// channel-sorted.
+    pub pending_recvs: Vec<(u32, u32, RecvSide)>,
     /// Per-rank late-sender wait suffered (receiver side), ns.
     pub late_sender_by_victim: HashMap<u32, u64>,
     /// Per-rank late-sender wait *caused* (sender side), ns.
@@ -74,16 +86,18 @@ impl WaitStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct SendSide {
-    start_ns: u64,
-    end_ns: u64,
-    bytes: u64,
+/// The send half of a transfer awaiting its receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendSide {
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub bytes: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct RecvSide {
-    start_ns: u64,
+/// The receive half of a transfer awaiting its send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvSide {
+    pub start_ns: u64,
 }
 
 /// Online send/receive matcher.
@@ -123,7 +137,9 @@ impl WaitStateAnalysis {
             EventKind::Recv => self.feed_recv(
                 e.peer as u32,
                 e.rank,
-                RecvSide { start_ns: e.time_ns },
+                RecvSide {
+                    start_ns: e.time_ns,
+                },
             ),
             EventKind::Sendrecv => {
                 let send_half = self.feed_send(
@@ -139,7 +155,9 @@ impl WaitStateAnalysis {
                 let recv_half = self.feed_recv(
                     e.peer as u32,
                     e.rank,
-                    RecvSide { start_ns: e.time_ns },
+                    RecvSide {
+                        start_ns: e.time_ns,
+                    },
                 );
                 send_half.or(recv_half)
             }
@@ -190,11 +208,73 @@ impl WaitStateAnalysis {
         }
     }
 
-    /// Closes the analysis: counts dangling unmatched halves.
+    /// Rebuilds a matcher from previously finished stats: counters are
+    /// restored and the pending halves go back into the channel queues, so
+    /// further halves (from another analyzer's partial) can still match.
+    pub fn from_stats(stats: &WaitStats) -> WaitStateAnalysis {
+        let mut ws = WaitStateAnalysis {
+            stats: stats.clone(),
+            ..WaitStateAnalysis::default()
+        };
+        ws.stats.pending_sends.clear();
+        ws.stats.pending_recvs.clear();
+        for &(src, dst, send) in &stats.pending_sends {
+            ws.sends.entry((src, dst)).or_default().push_back(send);
+        }
+        for &(src, dst, recv) in &stats.pending_recvs {
+            ws.recvs.entry((src, dst)).or_default().push_back(recv);
+        }
+        ws
+    }
+
+    /// Merges another analyzer's finished stats into this matcher: aggregate
+    /// counters add up, and the other side's dangling halves are re-fed so
+    /// transfers whose halves were split across analyzers complete here.
+    /// Per-channel FIFO order is preserved because every channel's events are
+    /// recorded by a single writer and drained in order.
+    pub fn absorb(&mut self, other: &WaitStats) {
+        self.stats.matched += other.matched;
+        self.stats.total_late_sender_ns += other.total_late_sender_ns;
+        self.stats.total_late_receiver_ns += other.total_late_receiver_ns;
+        for (&k, &v) in &other.late_sender_by_victim {
+            *self.stats.late_sender_by_victim.entry(k).or_default() += v;
+        }
+        for (&k, &v) in &other.late_sender_by_culprit {
+            *self.stats.late_sender_by_culprit.entry(k).or_default() += v;
+        }
+        for (&k, &v) in &other.late_receiver_by_victim {
+            *self.stats.late_receiver_by_victim.entry(k).or_default() += v;
+        }
+        for &(src, dst, send) in &other.pending_sends {
+            self.feed_send(src, dst, send);
+        }
+        for &(src, dst, recv) in &other.pending_recvs {
+            self.feed_recv(src, dst, recv);
+        }
+    }
+
+    /// Closes the analysis: drains the dangling halves into the stats
+    /// (channel-sorted, so the encoding is deterministic) and counts them.
     pub fn finish(&mut self) -> &WaitStats {
-        let dangling: u64 = self.sends.values().map(|q| q.len() as u64).sum::<u64>()
-            + self.recvs.values().map(|q| q.len() as u64).sum::<u64>();
-        self.stats.unmatched = dangling;
+        let mut pending_sends: Vec<(u32, u32, SendSide)> = Vec::new();
+        let mut send_keys: Vec<(u32, u32)> = self.sends.keys().copied().collect();
+        send_keys.sort_unstable();
+        for key in send_keys {
+            if let Some(q) = self.sends.remove(&key) {
+                pending_sends.extend(q.into_iter().map(|s| (key.0, key.1, s)));
+            }
+        }
+        let mut pending_recvs: Vec<(u32, u32, RecvSide)> = Vec::new();
+        let mut recv_keys: Vec<(u32, u32)> = self.recvs.keys().copied().collect();
+        recv_keys.sort_unstable();
+        for key in recv_keys {
+            if let Some(q) = self.recvs.remove(&key) {
+                pending_recvs.extend(q.into_iter().map(|r| (key.0, key.1, r)));
+            }
+        }
+        self.stats.unmatched = (pending_sends.len() + pending_recvs.len()) as u64;
+        self.stats.pending_sends = pending_sends;
+        self.stats.pending_recvs = pending_recvs;
         &self.stats
     }
 }

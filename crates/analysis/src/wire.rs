@@ -8,7 +8,7 @@
 
 use crate::profiler::{CallStats, MpiProfile};
 use crate::topology::Topology;
-use crate::waitstate::WaitStats;
+use crate::waitstate::{RecvSide, SendSide, WaitStateAnalysis, WaitStats};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use opmr_events::EventKind;
 
@@ -155,7 +155,9 @@ fn decode_map(buf: &mut impl Buf) -> Result<std::collections::HashMap<u32, u64>,
     Ok(m)
 }
 
-/// Encodes wait-state statistics.
+/// Encodes wait-state statistics, including the dangling halves (they are
+/// needed so the merge root can match transfers whose send and receive were
+/// analyzed on different ranks).
 pub fn encode_waitstats(w: &WaitStats, out: &mut BytesMut) {
     out.put_u64_le(w.matched);
     out.put_u64_le(w.unmatched);
@@ -164,6 +166,20 @@ pub fn encode_waitstats(w: &WaitStats, out: &mut BytesMut) {
     encode_map(&w.late_sender_by_victim, out);
     encode_map(&w.late_sender_by_culprit, out);
     encode_map(&w.late_receiver_by_victim, out);
+    out.put_u32_le(w.pending_sends.len() as u32);
+    for &(src, dst, s) in &w.pending_sends {
+        out.put_u32_le(src);
+        out.put_u32_le(dst);
+        out.put_u64_le(s.start_ns);
+        out.put_u64_le(s.end_ns);
+        out.put_u64_le(s.bytes);
+    }
+    out.put_u32_le(w.pending_recvs.len() as u32);
+    for &(src, dst, r) in &w.pending_recvs {
+        out.put_u32_le(src);
+        out.put_u32_le(dst);
+        out.put_u64_le(r.start_ns);
+    }
 }
 
 /// Decodes wait-state statistics.
@@ -173,33 +189,63 @@ pub fn decode_waitstats(buf: &mut impl Buf) -> Result<WaitStats, WireError> {
     let unmatched = buf.get_u64_le();
     let total_late_sender_ns = buf.get_u64_le();
     let total_late_receiver_ns = buf.get_u64_le();
+    let late_sender_by_victim = decode_map(buf)?;
+    let late_sender_by_culprit = decode_map(buf)?;
+    let late_receiver_by_victim = decode_map(buf)?;
+    need(buf, 4)?;
+    let n_sends = buf.get_u32_le() as usize;
+    let mut pending_sends = Vec::with_capacity(n_sends.min(4096));
+    for _ in 0..n_sends {
+        need(buf, 8 + 3 * 8)?;
+        let src = buf.get_u32_le();
+        let dst = buf.get_u32_le();
+        pending_sends.push((
+            src,
+            dst,
+            SendSide {
+                start_ns: buf.get_u64_le(),
+                end_ns: buf.get_u64_le(),
+                bytes: buf.get_u64_le(),
+            },
+        ));
+    }
+    need(buf, 4)?;
+    let n_recvs = buf.get_u32_le() as usize;
+    let mut pending_recvs = Vec::with_capacity(n_recvs.min(4096));
+    for _ in 0..n_recvs {
+        need(buf, 8 + 8)?;
+        let src = buf.get_u32_le();
+        let dst = buf.get_u32_le();
+        pending_recvs.push((
+            src,
+            dst,
+            RecvSide {
+                start_ns: buf.get_u64_le(),
+            },
+        ));
+    }
     Ok(WaitStats {
         matched,
         unmatched,
+        pending_sends,
+        pending_recvs,
         total_late_sender_ns,
         total_late_receiver_ns,
-        late_sender_by_victim: decode_map(buf)?,
-        late_sender_by_culprit: decode_map(buf)?,
-        late_receiver_by_victim: decode_map(buf)?,
+        late_sender_by_victim,
+        late_sender_by_culprit,
+        late_receiver_by_victim,
     })
 }
 
-/// Merges wait-state partials (channel-local matching means partials from
-/// different analyzer ranks are disjoint).
+/// Merges wait-state partials. Counters add up; each side's dangling halves
+/// are re-fed through a matcher so a send analyzed on one rank still matches
+/// its receive analyzed on another (the common case: the two halves of a
+/// transfer are recorded by different writers, which stream to different
+/// analyzer ranks).
 pub fn merge_waitstats(into: &mut WaitStats, other: &WaitStats) {
-    into.matched += other.matched;
-    into.unmatched += other.unmatched;
-    into.total_late_sender_ns += other.total_late_sender_ns;
-    into.total_late_receiver_ns += other.total_late_receiver_ns;
-    for (k, v) in &other.late_sender_by_victim {
-        *into.late_sender_by_victim.entry(*k).or_default() += v;
-    }
-    for (k, v) in &other.late_sender_by_culprit {
-        *into.late_sender_by_culprit.entry(*k).or_default() += v;
-    }
-    for (k, v) in &other.late_receiver_by_victim {
-        *into.late_receiver_by_victim.entry(*k).or_default() += v;
-    }
+    let mut ws = WaitStateAnalysis::from_stats(into);
+    ws.absorb(other);
+    *into = ws.finish().clone();
 }
 
 /// One application's complete partial aggregate (what an analyzer rank
@@ -337,9 +383,11 @@ mod tests {
 
     #[test]
     fn waitstats_roundtrip_and_merge() {
-        let mut w = WaitStats::default();
-        w.matched = 10;
-        w.total_late_sender_ns = 500;
+        let mut w = WaitStats {
+            matched: 10,
+            total_late_sender_ns: 500,
+            ..Default::default()
+        };
         w.late_sender_by_victim.insert(3, 500);
         w.late_sender_by_culprit.insert(1, 500);
         let mut buf = BytesMut::new();

@@ -134,3 +134,25 @@ proptest! {
             "coverage {}", m.coverage);
     }
 }
+
+/// Pinned replay of the shrunken failure recorded in
+/// `prop_analysis.proptest-regressions`
+/// (`values = [-400385209142.7387, 0.0], pixel = 1`): a two-value map whose
+/// huge negative outlier once broke the rendering invariants. The vendored
+/// proptest shim does not read regression files, so the case is kept alive
+/// here as a plain deterministic test; keep it in sync with that file.
+#[test]
+fn regression_two_value_map_with_huge_negative_outlier() {
+    let values = vec![-400385209142.7387_f64, 0.0];
+    let m = DensityMap::new("prop", values.clone());
+    let ascii = m.ascii();
+    let (cols, rows) = m.grid_shape();
+    assert!(cols * rows >= values.len());
+    let body_chars: usize = ascii.lines().skip(1).map(|l| l.len()).sum();
+    assert_eq!(body_chars, values.len());
+    let pgm = m.to_pgm(1);
+    assert!(pgm.starts_with(b"P5\n"));
+    let s = m.stats();
+    assert!(s.min <= s.max);
+    assert!(s.cv >= 0.0);
+}

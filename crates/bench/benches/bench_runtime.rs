@@ -76,5 +76,10 @@ fn bench_allreduce(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_latency, bench_eager_threshold, bench_allreduce);
+criterion_group!(
+    benches,
+    bench_latency,
+    bench_eager_threshold,
+    bench_allreduce
+);
 criterion_main!(benches);

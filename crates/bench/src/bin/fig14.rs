@@ -70,7 +70,11 @@ fn main() {
     for (writers, readers) in [(1usize, 1usize), (2, 1), (4, 1), (4, 2), (4, 4)] {
         let gbs = live_throughput(writers, readers, 64 << 20);
         row(
-            &[writers.to_string(), readers.to_string(), format!("{gbs:.2}")],
+            &[
+                writers.to_string(),
+                readers.to_string(),
+                format!("{gbs:.2}"),
+            ],
             &[8, 8, 8],
         );
         csv.push_str(&format!("live_{writers},{readers},{readers},{gbs:.3}\n"));

@@ -30,9 +30,8 @@ const RANKS: [usize; 6] = [64, 121, 256, 529, 900, 1156];
 /// Nearest rank count within ±30 % of target that the benchmark accepts
 /// (cheap arithmetic check, no workload construction).
 fn closest_valid(bench: Benchmark, class: Class, target: usize) -> Option<usize> {
-    let in_band = |n: usize| {
-        n >= 1 && (n as f64) >= target as f64 * 0.7 && (n as f64) <= target as f64 * 1.3
-    };
+    let in_band =
+        |n: usize| n >= 1 && (n as f64) >= target as f64 * 0.7 && (n as f64) <= target as f64 * 1.3;
     match bench {
         Benchmark::Lu | Benchmark::EulerMhd => Some(target),
         Benchmark::Bt | Benchmark::Sp => {
@@ -64,7 +63,9 @@ fn main() {
     println!("Figure 15 — relative overhead (%), online coupling at ratio 1:1, Tera 100 model\n");
     let mut header = vec!["series".to_string()];
     header.extend(RANKS.iter().map(|r| r.to_string()));
-    let widths: Vec<usize> = std::iter::once(12usize).chain(RANKS.iter().map(|_| 8)).collect();
+    let widths: Vec<usize> = std::iter::once(12usize)
+        .chain(RANKS.iter().map(|_| 8))
+        .collect();
     row(&header, &widths);
 
     for (bench, class, iters) in SERIES {

@@ -32,7 +32,9 @@ fn main() {
     println!("Figure 16 — relative overhead (%) for SP.D, Curie model\n");
     let mut header = vec!["tool".to_string()];
     header.extend(RANKS.iter().map(|r| r.to_string()));
-    let widths: Vec<usize> = std::iter::once(16usize).chain(RANKS.iter().map(|_| 8)).collect();
+    let widths: Vec<usize> = std::iter::once(16usize)
+        .chain(RANKS.iter().map(|_| 8))
+        .collect();
     row(&header, &widths);
 
     // Reference times first.
@@ -54,7 +56,10 @@ fn main() {
             let r = simulate(&w, &m, &tool).expect("tool run");
             let overhead = (r.elapsed_s - t_ref[i]) / t_ref[i] * 100.0;
             cells.push(format!("{overhead:.1}"));
-            csv.push_str(&format!("{name},{ranks},{:.4},{overhead:.2}\n", r.elapsed_s));
+            csv.push_str(&format!(
+                "{name},{ranks},{:.4},{overhead:.2}\n",
+                r.elapsed_s
+            ));
         }
         row(&cells, &widths);
     }

@@ -8,10 +8,10 @@
 //! statically derived pattern matches what the real online pipeline
 //! observes.
 
+use opmr_analysis::WeightKind;
 use opmr_bench::{out_dir, shape};
 use opmr_core::Session;
 use opmr_netsim::tera100;
-use opmr_analysis::WeightKind;
 use opmr_workloads::{Benchmark, Class};
 
 fn main() {
@@ -92,5 +92,8 @@ fn main() {
     .expect("write live dot");
 
     println!("\nwrote artifacts under {}", dir.display());
-    println!("render with: dot -Tpng {}/cg_d_128_topology_size.dot -o cg.png", dir.display());
+    println!(
+        "render with: dot -Tpng {}/cg_d_128_topology_size.dot -o cg.png",
+        dir.display()
+    );
 }

@@ -35,8 +35,16 @@ fn main() {
         .build(Class::D, 1024, &m, Some(3))
         .expect("LU.D @1024");
     let (hits, bytes) = shape::send_maps(&lu);
-    dump(&dir, "lu_d_1024_send_hits", &DensityMap::new("LU.D MPI_Send hits", hits));
-    dump(&dir, "lu_d_1024_p2p_size", &DensityMap::new("LU.D p2p total size", bytes));
+    dump(
+        &dir,
+        "lu_d_1024_send_hits",
+        &DensityMap::new("LU.D MPI_Send hits", hits),
+    );
+    dump(
+        &dir,
+        "lu_d_1024_p2p_size",
+        &DensityMap::new("LU.D p2p total size", bytes),
+    );
 
     // Panels (c)/(d)/(e): BT.D on 8281 cores — per-rank times from the DES.
     println!("\nsimulating BT.D on 8281 ranks (takes a moment)...");

@@ -71,7 +71,12 @@ fn raw_driver(v: &Vmpi, w: &opmr_netsim::Workload) {
             Op::Compute { .. } | Op::FsWrite { .. } | Op::FsMeta => {}
             Op::Send { to, bytes } => v
                 .mpi()
-                .send(&world, to as usize, 7, vec![0u8; (bytes as usize).clamp(1, 1 << 20)])
+                .send(
+                    &world,
+                    to as usize,
+                    7,
+                    vec![0u8; (bytes as usize).clamp(1, 1 << 20)],
+                )
                 .unwrap(),
             Op::Recv { from } => {
                 v.mpi()
@@ -99,7 +104,11 @@ fn raw_driver(v: &Vmpi, w: &opmr_netsim::Workload) {
                     CollKind::Allreduce | CollKind::Reduce => {
                         let n = ((bytes as usize / 8).clamp(1, 4096)).max(1);
                         v.mpi()
-                            .allreduce_t(comm, &vec![1.0f64; n], opmr_runtime::collectives::ops::sum)
+                            .allreduce_t(
+                                comm,
+                                &vec![1.0f64; n],
+                                opmr_runtime::collectives::ops::sum,
+                            )
                             .map(|_| ())
                             .unwrap()
                     }
@@ -156,7 +165,10 @@ fn main() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 
-    row(&["mode".into(), "wall (s)".into(), "overhead".into()], &[16, 10, 10]);
+    row(
+        &["mode".into(), "wall (s)".into(), "overhead".into()],
+        &[16, 10, 10],
+    );
     row(
         &["reference".into(), format!("{t_ref:.3}"), "-".into()],
         &[16, 10, 10],

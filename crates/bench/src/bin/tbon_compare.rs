@@ -47,7 +47,11 @@ fn main() {
                     format!("{t:.2}"),
                     format!("{d:.2}"),
                     nodes.to_string(),
-                    if d > t { "direct".into() } else { "tbon".into() },
+                    if d > t {
+                        "direct".into()
+                    } else {
+                        "tbon".into()
+                    },
                 ],
                 &[8, 10, 10, 8, 8],
             );

@@ -118,17 +118,16 @@ mod tests {
     #[test]
     fn static_topology_matches_walked_programs() {
         let m = tera100();
-        let w = Benchmark::EulerMhd.build(Class::S, 16, &m, Some(4)).unwrap();
+        let w = Benchmark::EulerMhd
+            .build(Class::S, 16, &m, Some(4))
+            .unwrap();
         assert_eq!(shape::comm_ops_by_walk(&w), w.total_comm_ops());
         let topo = shape::topology_of(&w);
         // 4×4 grid halo: symmetric edges.
         assert!(topo.is_symmetric_in_hits());
         assert_eq!(topo.ranks(), 16);
         // Interior rank 5 has 4 partners.
-        assert_eq!(
-            (0..16).filter(|&d| topo.edge(5, d).is_some()).count(),
-            4
-        );
+        assert_eq!((0..16).filter(|&d| topo.edge(5, d).is_some()).count(), 4);
     }
 
     #[test]

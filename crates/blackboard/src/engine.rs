@@ -263,7 +263,9 @@ impl Blackboard {
         let mut sweep = seed;
         let mut idle: u32 = 0;
         loop {
-            sweep = sweep.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            sweep = sweep
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let start = (sweep >> 33) % self.inner.queues.len();
             if self.try_run_one(start) {
                 idle = 0;
@@ -375,11 +377,15 @@ mod tests {
         let (ta, tb) = (type_id("L", "a"), type_id("L", "b"));
         let hits = Arc::new(AtomicUsize::new(0));
         let h = Arc::clone(&hits);
-        board.register(KnowledgeSource::new("join", vec![ta, tb], move |_bb, es| {
-            assert_eq!(es[0].ty(), ta);
-            assert_eq!(es[1].ty(), tb);
-            h.fetch_add(1, Ordering::SeqCst);
-        }));
+        board.register(KnowledgeSource::new(
+            "join",
+            vec![ta, tb],
+            move |_bb, es| {
+                assert_eq!(es[0].ty(), ta);
+                assert_eq!(es[1].ty(), tb);
+                h.fetch_add(1, Ordering::SeqCst);
+            },
+        ));
         board.post(DataEntry::bytes(ta, Bytes::new()));
         board.run_inline();
         assert_eq!(hits.load(Ordering::SeqCst), 0, "b still unsatisfied");
@@ -394,15 +400,23 @@ mod tests {
         let ty = type_id("L", "pair");
         let hits = Arc::new(AtomicUsize::new(0));
         let h = Arc::clone(&hits);
-        board.register(KnowledgeSource::new("pairs", vec![ty, ty], move |_bb, es| {
-            assert_eq!(es.len(), 2);
-            h.fetch_add(1, Ordering::SeqCst);
-        }));
+        board.register(KnowledgeSource::new(
+            "pairs",
+            vec![ty, ty],
+            move |_bb, es| {
+                assert_eq!(es.len(), 2);
+                h.fetch_add(1, Ordering::SeqCst);
+            },
+        ));
         for _ in 0..5 {
             board.post(DataEntry::bytes(ty, Bytes::new()));
         }
         board.run_inline();
-        assert_eq!(hits.load(Ordering::SeqCst), 2, "5 entries = 2 pairs + 1 leftover");
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            2,
+            "5 entries = 2 pairs + 1 leftover"
+        );
     }
 
     #[test]
@@ -421,15 +435,23 @@ mod tests {
         let t_event = type_id("app", "event");
         let processed = Arc::new(AtomicUsize::new(0));
         let p = Arc::clone(&processed);
-        board.register(KnowledgeSource::new("unpacker", vec![t_pack], move |bb, es| {
-            let n = es[0].size();
-            for _ in 0..n {
-                bb.post(DataEntry::bytes(t_event, Bytes::new()));
-            }
-        }));
-        board.register(KnowledgeSource::new("profiler", vec![t_event], move |_bb, _es| {
-            p.fetch_add(1, Ordering::SeqCst);
-        }));
+        board.register(KnowledgeSource::new(
+            "unpacker",
+            vec![t_pack],
+            move |bb, es| {
+                let n = es[0].size();
+                for _ in 0..n {
+                    bb.post(DataEntry::bytes(t_event, Bytes::new()));
+                }
+            },
+        ));
+        board.register(KnowledgeSource::new(
+            "profiler",
+            vec![t_event],
+            move |_bb, _es| {
+                p.fetch_add(1, Ordering::SeqCst);
+            },
+        ));
         board.post(DataEntry::bytes(t_pack, Bytes::from(vec![0u8; 7])));
         board.run_inline();
         assert_eq!(processed.load(Ordering::SeqCst), 7);
@@ -444,16 +466,24 @@ mod tests {
         let h = Arc::clone(&hits);
         let boot_id = Arc::new(Mutex::new(None::<KsId>));
         let boot_id2 = Arc::clone(&boot_id);
-        let id = board.register(KnowledgeSource::new("boot", vec![t_boot], move |bb, _es| {
-            let h = Arc::clone(&h);
-            bb.register(KnowledgeSource::new("worker", vec![t_work], move |_bb, _es| {
-                h.fetch_add(1, Ordering::SeqCst);
-            }));
-            // Remove ourselves: opportunistic one-shot KS.
-            if let Some(me) = *boot_id2.lock() {
-                bb.remove(me);
-            }
-        }));
+        let id = board.register(KnowledgeSource::new(
+            "boot",
+            vec![t_boot],
+            move |bb, _es| {
+                let h = Arc::clone(&h);
+                bb.register(KnowledgeSource::new(
+                    "worker",
+                    vec![t_work],
+                    move |_bb, _es| {
+                        h.fetch_add(1, Ordering::SeqCst);
+                    },
+                ));
+                // Remove ourselves: opportunistic one-shot KS.
+                if let Some(me) = *boot_id2.lock() {
+                    bb.remove(me);
+                }
+            },
+        ));
         *boot_id.lock() = Some(id);
         board.post(DataEntry::bytes(t_boot, Bytes::new()));
         board.run_inline();
@@ -530,7 +560,11 @@ mod tests {
             board.post(DataEntry::bytes(tp, Bytes::new()));
         }
         board.drain();
-        assert_eq!(hits.load(Ordering::SeqCst), 1000, "drain waits for cascades");
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            1000,
+            "drain waits for cascades"
+        );
         board.stop();
     }
 

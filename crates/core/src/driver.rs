@@ -7,11 +7,11 @@
 //! (virtualization → streams → blackboard → report) with genuine NAS /
 //! EulerMHD communication patterns.
 
+use bytes::Bytes;
 use opmr_instrument::InstrumentedMpi;
 use opmr_netsim::{CollKind, Op, Phase, Workload};
 use opmr_runtime::{Comm, Src, TagSel};
 use opmr_vmpi::Result;
-use bytes::Bytes;
 use std::time::Duration;
 
 /// Live-run scaling knobs.
@@ -62,10 +62,8 @@ pub fn run_program(
         .enumerate()
         .map(|(gi, members)| {
             if members.contains(&(rank as u32)) {
-                let world_ranks: Vec<usize> = members
-                    .iter()
-                    .map(|&r| first_world + r as usize)
-                    .collect();
+                let world_ranks: Vec<usize> =
+                    members.iter().map(|&r| first_world + r as usize).collect();
                 Some(
                     imp.vmpi()
                         .mpi()
@@ -159,8 +157,9 @@ fn execute_op(
                 CollKind::Gather => imp.gather(comm, 0, payload(bytes, opts, 0x6A)).map(|_| ()),
                 CollKind::Allgather => imp.allgather(comm, payload(bytes, opts, 0xAC)).map(|_| ()),
                 CollKind::Alltoall => {
-                    let parts: Vec<Bytes> =
-                        (0..comm.size()).map(|_| payload(bytes, opts, 0xA2)).collect();
+                    let parts: Vec<Bytes> = (0..comm.size())
+                        .map(|_| payload(bytes, opts, 0xA2))
+                        .collect();
                     imp.alltoall(comm, parts).map(|_| ())
                 }
             }
@@ -172,6 +171,10 @@ fn execute_op(
             bytes,
             Duration::from_micros(5),
         ),
-        Op::FsMeta => imp.posix(opmr_events::EventKind::PosixOpen, 0, Duration::from_micros(2)),
+        Op::FsMeta => imp.posix(
+            opmr_events::EventKind::PosixOpen,
+            0,
+            Duration::from_micros(2),
+        ),
     }
 }

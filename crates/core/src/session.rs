@@ -91,6 +91,7 @@ pub struct SessionBuilder {
     proxy: Option<(std::path::PathBuf, opmr_analysis::Selection)>,
     engine_setup: Option<EngineSetup>,
     distributed: bool,
+    fault_plan: Option<opmr_runtime::FaultPlan>,
 }
 
 /// Entry point: `Session::builder()`.
@@ -110,6 +111,7 @@ impl Session {
             proxy: None,
             engine_setup: None,
             distributed: false,
+            fault_plan: None,
         }
     }
 }
@@ -147,6 +149,15 @@ impl SessionBuilder {
     /// views and are disabled in this mode.
     pub fn distributed(mut self) -> Self {
         self.distributed = true;
+        self
+    }
+
+    /// Injects seeded transport faults into the stream message path —
+    /// chaos testing for the whole coupling (see `opmr_runtime::FaultPlan`).
+    /// Restrict the plan with `with_only_tags(opmr_vmpi::stream::data_tag_range())`
+    /// so handshake protocols (partition registry, map pivot) stay reliable.
+    pub fn fault_plan(mut self, plan: opmr_runtime::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -230,12 +241,14 @@ impl SessionBuilder {
         };
         let merged_slot: Arc<Mutex<Option<MultiReport>>> = Arc::new(Mutex::new(None));
 
-        let recorders: Arc<Mutex<Vec<(String, RecorderStats)>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let recorders: Arc<Mutex<Vec<(String, RecorderStats)>>> = Arc::new(Mutex::new(Vec::new()));
         let stream_cfg = self.stream;
         let analyzer_ranks = self.analyzer_ranks;
 
         let mut launcher = Launcher::new();
+        if let Some(plan) = self.fault_plan.take() {
+            launcher = launcher.fault_plan(plan);
+        }
         for (app_id, spec) in self.apps.into_iter().enumerate() {
             let body = spec.body;
             let name = spec.name.clone();
@@ -271,10 +284,9 @@ impl SessionBuilder {
 
         let report = match engine {
             Some(engine) => engine.finish(),
-            None => merged_slot
-                .lock()
-                .take()
-                .ok_or_else(|| SessionError::Config("distributed merge produced no report".into()))?,
+            None => merged_slot.lock().take().ok_or_else(|| {
+                SessionError::Config("distributed merge produced no report".into())
+            })?,
         };
         let mut recorders = Arc::try_unwrap(recorders)
             .map(|m| m.into_inner())
@@ -333,15 +345,13 @@ fn analyzer_rank(mpi: Mpi, engine: &AnalysisEngine, stream_cfg: StreamConfig) {
     let mut map = Map::new();
     for pid in 0..v.partition_count() {
         if pid != v.partition_id() {
-            map_partitions(&v, pid, MapPolicy::RoundRobin, &mut map)
-                .expect("analyzer mapping");
+            map_partitions(&v, pid, MapPolicy::RoundRobin, &mut map).expect("analyzer mapping");
         }
     }
     if map.is_empty() {
         return;
     }
-    let mut stream =
-        ReadStream::open_map(&v, &map, stream_cfg, 0).expect("analyzer read stream");
+    let mut stream = ReadStream::open_map(&v, &map, stream_cfg, 0).expect("analyzer read stream");
     loop {
         match stream.read(ReadMode::NonBlocking) {
             Ok(Some(block)) => engine.post_block(block.data),
@@ -366,10 +376,9 @@ mod tests {
                 let w = imp.comm_world();
                 let n = imp.size();
                 let r = imp.rank();
-                let req = imp
-                    .isend(&w, (r + 1) % n, 0, vec![1u8; 256])
+                let req = imp.isend(&w, (r + 1) % n, 0, vec![1u8; 256]).unwrap();
+                imp.recv(&w, Src::Rank((r + n - 1) % n), TagSel::Tag(0))
                     .unwrap();
-                imp.recv(&w, Src::Rank((r + n - 1) % n), TagSel::Tag(0)).unwrap();
                 imp.wait(req).unwrap();
                 imp.barrier(&w).unwrap();
             })

@@ -141,8 +141,7 @@ impl TraceSession {
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| SessionError::Config(format!("trace dir: {e}")))?;
 
-        let recorders: Arc<Mutex<Vec<(String, RecorderStats)>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let recorders: Arc<Mutex<Vec<(String, RecorderStats)>>> = Arc::new(Mutex::new(Vec::new()));
         let block_size = self.block_size;
         let dir = self.dir.clone();
 
@@ -157,24 +156,18 @@ impl TraceSession {
             let dir = dir.clone();
             let container = if use_sion {
                 Some(
-                    SionFile::create(
-                        dir.join(format!("app{app_id}.sion")),
-                        spec.ranks as u32,
-                    )
-                    .map_err(|e| SessionError::Config(format!("sion container: {e}")))?,
+                    SionFile::create(dir.join(format!("app{app_id}.sion")), spec.ranks as u32)
+                        .map_err(|e| SessionError::Config(format!("sion container: {e}")))?,
                 )
             } else {
                 None
             };
             launcher = launcher.partition(&spec.name, spec.ranks, move |mpi: Mpi| {
                 let imp = match &container {
-                    Some(c) => InstrumentedMpi::init_sion(
-                        mpi,
-                        c.clone(),
-                        app_id as u16,
-                        block_size,
-                    )
-                    .expect("sion init"),
+                    Some(c) => {
+                        InstrumentedMpi::init_sion(mpi, c.clone(), app_id as u16, block_size)
+                            .expect("sion init")
+                    }
                     None => InstrumentedMpi::init_trace(mpi, &dir, app_id as u16, block_size)
                         .expect("trace init"),
                 };

@@ -124,7 +124,10 @@ impl EventKind {
 
     /// Sending half of a point-to-point transfer.
     pub fn is_p2p_send(self) -> bool {
-        matches!(self, EventKind::Send | EventKind::Isend | EventKind::Sendrecv)
+        matches!(
+            self,
+            EventKind::Send | EventKind::Isend | EventKind::Sendrecv
+        )
     }
 
     /// Collective operation.

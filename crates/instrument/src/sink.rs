@@ -57,9 +57,9 @@ impl PackSink {
                     .and_then(|_| writer.write_all(pack))
                     .map_err(|_| VmpiError::StreamClosed)
             }
-            PackSink::Sion { file, rank } => file
-                .write(*rank, pack)
-                .map_err(|_| VmpiError::StreamClosed),
+            PackSink::Sion { file, rank } => {
+                file.write(*rank, pack).map_err(|_| VmpiError::StreamClosed)
+            }
         }
     }
 
@@ -70,9 +70,7 @@ impl PackSink {
             PackSink::File { mut writer, .. } => {
                 writer.flush().map_err(|_| VmpiError::StreamClosed)
             }
-            PackSink::Sion { file, .. } => {
-                file.close_rank().map_err(|_| VmpiError::StreamClosed)
-            }
+            PackSink::Sion { file, .. } => file.close_rank().map_err(|_| VmpiError::StreamClosed),
         }
     }
 }
@@ -83,8 +81,8 @@ pub fn read_trace_file(path: &std::path::Path) -> std::io::Result<Vec<Bytes>> {
     let mut out = Vec::new();
     let mut off = 0usize;
     while off + 4 <= data.len() {
-        let len = u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]])
-            as usize;
+        let len =
+            u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]) as usize;
         off += 4;
         if off + len > data.len() {
             return Err(std::io::Error::new(

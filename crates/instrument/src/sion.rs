@@ -125,14 +125,10 @@ pub fn read_sion(path: &Path) -> std::io::Result<Vec<Vec<Bytes>>> {
     let mut out = vec![Vec::new(); ranks];
     let mut off = 8usize;
     while off + 8 <= data.len() {
-        let rank = u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]])
+        let rank =
+            u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]) as usize;
+        let len = u32::from_le_bytes([data[off + 4], data[off + 5], data[off + 6], data[off + 7]])
             as usize;
-        let len = u32::from_le_bytes([
-            data[off + 4],
-            data[off + 5],
-            data[off + 6],
-            data[off + 7],
-        ]) as usize;
         off += 8;
         if off + len > data.len() {
             return Err(std::io::Error::new(

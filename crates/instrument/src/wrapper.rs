@@ -8,12 +8,12 @@
 
 use crate::recorder::{Recorder, RecorderConfig, RecorderStats};
 use crate::sink::PackSink;
+use bytes::Bytes;
 use opmr_events::{Event, EventKind};
 use opmr_runtime::collectives::ops as reduce_ops;
 use opmr_runtime::{Comm, CommId, Mpi, Pod, Src, Status, TagSel};
 use opmr_vmpi::map::map_partitions;
 use opmr_vmpi::{Map, MapPolicy, Result, StreamConfig, Vmpi, VmpiError, WriteStream};
-use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -60,7 +60,13 @@ impl InstrumentedMpi {
         let mut map = Map::new();
         map_partitions(&vmpi, analyzer.id, MapPolicy::RoundRobin, &mut map)?;
         let stream = WriteStream::open_map(&vmpi, &map, stream_cfg, stream_id)?;
-        Self::build(vmpi, PackSink::Stream(stream), app_id, stream_cfg.block_size, t_start)
+        Self::build(
+            vmpi,
+            PackSink::Stream(stream),
+            app_id,
+            stream_cfg.block_size,
+            t_start,
+        )
     }
 
     /// Instruments a rank writing the classical per-rank trace file instead
@@ -274,7 +280,10 @@ impl InstrumentedMpi {
             .as_ref()
             .map(|(_, d)| d.len() as u64)
             .unwrap_or(req.bytes);
-        let peer = out.as_ref().map(|(s, _)| s.source as i32).unwrap_or(req.peer);
+        let peer = out
+            .as_ref()
+            .map(|(s, _)| s.source as i32)
+            .unwrap_or(req.peer);
         self.record(self.event(EventKind::Wait, start, peer, req.tag, req.comm, bytes))?;
         Ok(out)
     }
@@ -377,7 +386,10 @@ impl InstrumentedMpi {
         let ci = self.comm_index(comm);
         let bytes = std::mem::size_of_val(local) as u64;
         let start = self.now_ns();
-        let out = self.vmpi.mpi().reduce_t(comm, root, local, reduce_ops::sum)?;
+        let out = self
+            .vmpi
+            .mpi()
+            .reduce_t(comm, root, local, reduce_ops::sum)?;
         self.record(self.event(EventKind::Reduce, start, root as i32, -1, ci, bytes))?;
         Ok(out)
     }
@@ -514,11 +526,7 @@ impl InstrumentedMpi {
             now,
             0,
         ))?;
-        let rec = self
-            .rec
-            .lock()
-            .take()
-            .ok_or(VmpiError::StreamClosed)?;
+        let rec = self.rec.lock().take().ok_or(VmpiError::StreamClosed)?;
         rec.finish()
     }
 }

@@ -50,12 +50,17 @@ fn events_arrive_with_correct_shape() {
             imp.barrier(&w).unwrap();
             imp.finalize().unwrap();
         })
-        .partition("Analyzer", 1, move |mpi| analyzer_collect(mpi, Arc::clone(&p2)))
+        .partition("Analyzer", 1, move |mpi| {
+            analyzer_collect(mpi, Arc::clone(&p2))
+        })
         .run()
         .unwrap();
 
     let packs = packs.lock().unwrap();
-    let all: Vec<_> = packs.iter().flat_map(|p| p.events.iter().copied()).collect();
+    let all: Vec<_> = packs
+        .iter()
+        .flat_map(|p| p.events.iter().copied())
+        .collect();
     // Per rank: Init, one p2p op, Barrier, Finalize.
     let sends: Vec<_> = all.iter().filter(|e| e.kind == EventKind::Send).collect();
     let recvs: Vec<_> = all.iter().filter(|e| e.kind == EventKind::Recv).collect();
@@ -67,8 +72,14 @@ fn events_arrive_with_correct_shape() {
     assert_eq!(recvs[0].peer, 0);
     assert_eq!(recvs[0].bytes, 3);
     assert_eq!(all.iter().filter(|e| e.kind == EventKind::Init).count(), 2);
-    assert_eq!(all.iter().filter(|e| e.kind == EventKind::Finalize).count(), 2);
-    assert_eq!(all.iter().filter(|e| e.kind == EventKind::Barrier).count(), 2);
+    assert_eq!(
+        all.iter().filter(|e| e.kind == EventKind::Finalize).count(),
+        2
+    );
+    assert_eq!(
+        all.iter().filter(|e| e.kind == EventKind::Barrier).count(),
+        2
+    );
     // Pack metadata: app 0, ranks 0 and 1.
     for p in packs.iter() {
         assert_eq!(p.header.app_id, 0);
@@ -97,12 +108,17 @@ fn event_counts_scale_with_activity() {
             }
             imp.finalize().unwrap();
         })
-        .partition("Analyzer", 2, move |mpi| analyzer_collect(mpi, Arc::clone(&p2)))
+        .partition("Analyzer", 2, move |mpi| {
+            analyzer_collect(mpi, Arc::clone(&p2))
+        })
         .run()
         .unwrap();
 
     let packs = packs.lock().unwrap();
-    let all: Vec<_> = packs.iter().flat_map(|p| p.events.iter().copied()).collect();
+    let all: Vec<_> = packs
+        .iter()
+        .flat_map(|p| p.events.iter().copied())
+        .collect();
     assert_eq!(
         all.iter().filter(|e| e.kind == EventKind::Isend).count(),
         4 * ROUNDS
@@ -159,7 +175,9 @@ fn hooks_observe_every_event() {
             imp.compute(std::time::Duration::from_micros(100)).unwrap();
             imp.finalize().unwrap();
         })
-        .partition("Analyzer", 1, move |mpi| analyzer_collect(mpi, Arc::clone(&p2)))
+        .partition("Analyzer", 1, move |mpi| {
+            analyzer_collect(mpi, Arc::clone(&p2))
+        })
         .run()
         .unwrap();
     // Hook added after Init: sees Barrier, Marker, Compute, Finalize.
@@ -183,20 +201,31 @@ fn collectives_and_posix_recorded() {
             assert_eq!(got.len(), 100);
             let s = imp.allreduce_sum(&w, &[imp.rank() as u64]).unwrap();
             assert_eq!(s, vec![3]);
-            imp.posix(EventKind::PosixWrite, 4096, std::time::Duration::from_micros(10))
-                .unwrap();
+            imp.posix(
+                EventKind::PosixWrite,
+                4096,
+                std::time::Duration::from_micros(10),
+            )
+            .unwrap();
             imp.finalize().unwrap();
         })
-        .partition("Analyzer", 1, move |mpi| analyzer_collect(mpi, Arc::clone(&p2)))
+        .partition("Analyzer", 1, move |mpi| {
+            analyzer_collect(mpi, Arc::clone(&p2))
+        })
         .run()
         .unwrap();
     let packs = packs.lock().unwrap();
-    let all: Vec<_> = packs.iter().flat_map(|p| p.events.iter().copied()).collect();
+    let all: Vec<_> = packs
+        .iter()
+        .flat_map(|p| p.events.iter().copied())
+        .collect();
     let bcasts: Vec<_> = all.iter().filter(|e| e.kind == EventKind::Bcast).collect();
     assert_eq!(bcasts.len(), 3);
     assert!(bcasts.iter().all(|e| e.peer == 1 && e.bytes == 100));
     assert_eq!(
-        all.iter().filter(|e| e.kind == EventKind::Allreduce).count(),
+        all.iter()
+            .filter(|e| e.kind == EventKind::Allreduce)
+            .count(),
         3
     );
     let writes: Vec<_> = all
@@ -289,11 +318,16 @@ fn waitall_aggregates_pending_requests() {
             }
             imp.finalize().unwrap();
         })
-        .partition("Analyzer", 1, move |mpi| analyzer_collect(mpi, Arc::clone(&p2)))
+        .partition("Analyzer", 1, move |mpi| {
+            analyzer_collect(mpi, Arc::clone(&p2))
+        })
         .run()
         .unwrap();
     let packs = packs.lock().unwrap();
-    let all: Vec<_> = packs.iter().flat_map(|p| p.events.iter().copied()).collect();
+    let all: Vec<_> = packs
+        .iter()
+        .flat_map(|p| p.events.iter().copied())
+        .collect();
     let waitalls: Vec<_> = all
         .iter()
         .filter(|e| e.kind == EventKind::Waitall)

@@ -63,6 +63,118 @@ pub struct SimStats {
     pub stall_ns: f64,
     /// Total file-system time across ranks, ns.
     pub fs_ns: f64,
+    /// Point-to-point retransmissions forced by injected drops.
+    pub retransmits: u64,
+}
+
+/// Deterministic transport-fault model for simulations — the analytic twin
+/// of the runtime's `opmr_runtime::FaultPlan`. Decisions are a pure hash of
+/// `(seed, src, dst, per-channel sequence)`, so a given seed always yields
+/// the same fault schedule regardless of worklist discovery order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimFaults {
+    /// Seed for the per-message fault rolls.
+    pub seed: u64,
+    /// Probability a point-to-point message is dropped and must be resent.
+    pub drop_p: f64,
+    /// Probability a message is delayed by `delay_ns`.
+    pub delay_p: f64,
+    /// Extra in-flight time for delayed messages, ns.
+    pub delay_ns: f64,
+    /// Ranks whose every send pays `slow_factor` × the transfer time.
+    pub slow_ranks: Vec<u32>,
+    /// Transfer-time multiplier for slow ranks (≥ 1).
+    pub slow_factor: f64,
+}
+
+impl SimFaults {
+    /// A fault-free plan under `seed` — useful as a builder base.
+    pub fn seeded(seed: u64) -> Self {
+        SimFaults {
+            seed,
+            drop_p: 0.0,
+            delay_p: 0.0,
+            delay_ns: 0.0,
+            slow_ranks: Vec::new(),
+            slow_factor: 1.0,
+        }
+    }
+}
+
+/// Retransmissions are bounded like the runtime's retry budget, so a
+/// `drop_p` close to 1.0 degrades throughput instead of hanging the model.
+const MAX_REROLLS: u32 = 16;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-channel sequence counters driving the deterministic fault rolls.
+struct FaultRoller<'a> {
+    f: &'a SimFaults,
+    seqs: HashMap<(u32, u32), u64>,
+}
+
+impl<'a> FaultRoller<'a> {
+    fn new(f: &'a SimFaults) -> Self {
+        FaultRoller {
+            f,
+            seqs: HashMap::new(),
+        }
+    }
+
+    fn roll(&self, salt: u64, src: u32, dst: u32, seq: u64) -> bool {
+        let p = match salt {
+            0 => self.f.drop_p,
+            _ => self.f.delay_p,
+        };
+        if p <= 0.0 {
+            return false;
+        }
+        let h = splitmix64(
+            splitmix64(self.f.seed ^ salt)
+                ^ splitmix64(((src as u64) << 32) | dst as u64)
+                ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        h < (p * u64::MAX as f64) as u64
+    }
+
+    /// Extra sender-side nanoseconds and retransmission count for one
+    /// point-to-point message on channel `(src, dst)`.
+    fn send_penalty(&mut self, m: &Machine, src: u32, dst: u32, bytes: u64) -> (f64, u64) {
+        let seq = self.seqs.entry((src, dst)).or_insert(0);
+        let base_seq = *seq;
+        *seq += 1;
+        let transfer = m.latency_ns + bytes as f64 / m.rank_bw * 1e9;
+        let mut extra = 0.0;
+        let mut rexmit = 0u64;
+        // Each dropped attempt costs a full wire round before the resend
+        // (sub-sequence the rolls so retries land on fresh hash inputs).
+        let mut attempt = 0u32;
+        while attempt < MAX_REROLLS
+            && self.roll(
+                0,
+                src,
+                dst,
+                base_seq.wrapping_mul(MAX_REROLLS as u64 + 1) + attempt as u64,
+            )
+        {
+            extra += transfer;
+            rexmit += 1;
+            attempt += 1;
+        }
+        if self.roll(1, src, dst, base_seq) {
+            extra += self.f.delay_ns;
+        }
+        if self.f.slow_ranks.contains(&src) && self.f.slow_factor > 1.0 {
+            extra += (self.f.slow_factor - 1.0) * transfer;
+        }
+        (extra, rexmit)
+    }
 }
 
 /// Result of one simulation.
@@ -170,6 +282,20 @@ fn coll_cost_ns(m: &Machine, kind: CollKind, n: usize, bytes: u64) -> f64 {
 
 /// Runs the workload on the machine under a measurement-chain model.
 pub fn simulate(w: &Workload, m: &Machine, tool: &ToolModel) -> Result<SimResult, SimError> {
+    simulate_with_faults(w, m, tool, None)
+}
+
+/// [`simulate`] with an optional transport-fault model: point-to-point
+/// sends pay deterministic seeded penalties for drops (bounded
+/// retransmission rounds), delays and slow source ranks. `None` is exactly
+/// the fault-free simulation.
+pub fn simulate_with_faults(
+    w: &Workload,
+    m: &Machine,
+    tool: &ToolModel,
+    faults: Option<&SimFaults>,
+) -> Result<SimResult, SimError> {
+    let mut roller = faults.map(FaultRoller::new);
     let n = w.ranks();
     let job_ranks = n;
     let mut ranks: Vec<RankCtx> = (0..n)
@@ -217,7 +343,8 @@ pub fn simulate(w: &Workload, m: &Machine, tool: &ToolModel) -> Result<SimResult
         }
         ctx.t = t_end;
         stats.comm_ops += 1;
-        ctx.tool.after_comm(tool, m, job_ranks, &mut ctx.t, ev_count);
+        ctx.tool
+            .after_comm(tool, m, job_ranks, &mut ctx.t, ev_count);
         ctx.blocked = Blocked::No;
         ctx.phase = ctx
             .phase
@@ -276,7 +403,12 @@ pub fn simulate(w: &Workload, m: &Machine, tool: &ToolModel) -> Result<SimResult
                         ctx.send_bytes += bytes;
                     }
                     let eager = bytes <= m.eager_limit;
-                    let t_send = ranks[r as usize].t;
+                    let mut t_send = ranks[r as usize].t;
+                    if let Some(roller) = roller.as_mut() {
+                        let (extra_ns, rexmit) = roller.send_penalty(m, r, to, bytes);
+                        t_send += extra_ns;
+                        stats.retransmits += rexmit;
+                    }
                     let ch = channels.entry((r, to)).or_default();
                     if let Some(recv) = ch.recvs.pop_front() {
                         // Receiver already waiting.
@@ -287,8 +419,12 @@ pub fn simulate(w: &Workload, m: &Machine, tool: &ToolModel) -> Result<SimResult
                         } else {
                             t_end
                         };
-                        complete_comm(&mut ranks, w, m, tool, job_ranks, &mut stats, r, t_sender, 2, false);
-                        complete_comm(&mut ranks, w, m, tool, job_ranks, &mut stats, to, t_end, 2, false);
+                        complete_comm(
+                            &mut ranks, w, m, tool, job_ranks, &mut stats, r, t_sender, 2, false,
+                        );
+                        complete_comm(
+                            &mut ranks, w, m, tool, job_ranks, &mut stats, to, t_end, 2, false,
+                        );
                         runnable.push_back(to);
                     } else {
                         ch.sends.push_back(SendPost {
@@ -336,7 +472,9 @@ pub fn simulate(w: &Workload, m: &Machine, tool: &ToolModel) -> Result<SimResult
                             );
                             runnable.push_back(send.sender);
                         }
-                        complete_comm(&mut ranks, w, m, tool, job_ranks, &mut stats, r, t_end, 2, false);
+                        complete_comm(
+                            &mut ranks, w, m, tool, job_ranks, &mut stats, r, t_end, 2, false,
+                        );
                     } else {
                         ch.recvs.push_back(RecvPost { t_ready: t_recv });
                         ranks[r as usize].blocked = Blocked::Recv { from };
@@ -364,9 +502,13 @@ pub fn simulate(w: &Workload, m: &Machine, tool: &ToolModel) -> Result<SimResult
                         let other = queue.remove(pos).expect("position valid");
                         let both_bytes = bytes.max(other.bytes);
                         let t_end = t_here.max(other.t_ready) + m.transfer_ns(both_bytes);
-                        complete_comm(&mut ranks, w, m, tool, job_ranks, &mut stats, peer, t_end, 6, false);
+                        complete_comm(
+                            &mut ranks, w, m, tool, job_ranks, &mut stats, peer, t_end, 6, false,
+                        );
                         runnable.push_back(peer);
-                        complete_comm(&mut ranks, w, m, tool, job_ranks, &mut stats, r, t_end, 6, false);
+                        complete_comm(
+                            &mut ranks, w, m, tool, job_ranks, &mut stats, r, t_end, 6, false,
+                        );
                     } else {
                         queue.push_back(ExchangePost {
                             rank: r,
@@ -730,6 +872,76 @@ mod tests {
             .elapsed_s;
         assert!(t1 >= t0);
         assert!(t1 < t0 * 2.0, "coupling overhead should be moderate");
+    }
+
+    #[test]
+    fn faults_none_equals_plain_simulate() {
+        let w = two_rank_pingpong(50, 1 << 16);
+        let m = tera100();
+        let a = simulate(&w, &m, &ToolModel::online_coupling(1.0)).unwrap();
+        let b = simulate_with_faults(&w, &m, &ToolModel::online_coupling(1.0), None).unwrap();
+        assert_eq!(a.per_rank_s, b.per_rank_s);
+        assert_eq!(a.stats, b.stats);
+        let zero = SimFaults::seeded(42);
+        let c =
+            simulate_with_faults(&w, &m, &ToolModel::online_coupling(1.0), Some(&zero)).unwrap();
+        assert_eq!(a.per_rank_s, c.per_rank_s, "all-zero plan is a no-op");
+        assert_eq!(c.stats.retransmits, 0);
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_seed() {
+        let w = two_rank_pingpong(100, 1 << 14);
+        let m = tera100();
+        let f = SimFaults {
+            drop_p: 0.2,
+            delay_p: 0.1,
+            delay_ns: 5_000.0,
+            ..SimFaults::seeded(7)
+        };
+        let a = simulate_with_faults(&w, &m, &ToolModel::None, Some(&f)).unwrap();
+        let b = simulate_with_faults(&w, &m, &ToolModel::None, Some(&f)).unwrap();
+        assert_eq!(a.per_rank_s, b.per_rank_s);
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.retransmits > 0, "20% drop over 200 sends must hit");
+        let g = SimFaults { seed: 8, ..f };
+        let c = simulate_with_faults(&w, &m, &ToolModel::None, Some(&g)).unwrap();
+        assert_ne!(
+            a.per_rank_s, c.per_rank_s,
+            "different seeds give different schedules"
+        );
+    }
+
+    #[test]
+    fn drops_and_slow_ranks_cost_time_monotonically() {
+        let w = two_rank_pingpong(100, 1 << 16);
+        let m = tera100();
+        let base = simulate(&w, &m, &ToolModel::None).unwrap().elapsed_s;
+        let dropped = SimFaults {
+            drop_p: 0.3,
+            ..SimFaults::seeded(3)
+        };
+        let t_drop = simulate_with_faults(&w, &m, &ToolModel::None, Some(&dropped))
+            .unwrap()
+            .elapsed_s;
+        assert!(t_drop > base, "drops must slow the job down");
+        let slowed = SimFaults {
+            slow_ranks: vec![0],
+            slow_factor: 4.0,
+            ..SimFaults::seeded(3)
+        };
+        let t_slow = simulate_with_faults(&w, &m, &ToolModel::None, Some(&slowed))
+            .unwrap()
+            .elapsed_s;
+        assert!(t_slow > base, "a slow rank must slow the job down");
+        let worse = SimFaults {
+            drop_p: 0.6,
+            ..SimFaults::seeded(3)
+        };
+        let t_worse = simulate_with_faults(&w, &m, &ToolModel::None, Some(&worse))
+            .unwrap()
+            .elapsed_s;
+        assert!(t_worse > t_drop, "higher drop probability costs more");
     }
 
     #[test]

@@ -84,7 +84,8 @@ pub struct Program {
 impl Program {
     /// Total number of ops the program will execute.
     pub fn total_ops(&self) -> u64 {
-        self.prologue.len() as u64 + self.body.len() as u64 * self.iters as u64
+        self.prologue.len() as u64
+            + self.body.len() as u64 * self.iters as u64
             + self.epilogue.len() as u64
     }
 
@@ -285,10 +286,7 @@ mod tests {
     fn comm_op_census() {
         let p = Program {
             prologue: vec![Op::Send { to: 1, bytes: 4 }],
-            body: vec![
-                Op::Exchange { peer: 1, bytes: 8 },
-                Op::Compute { ns: 1.0 },
-            ],
+            body: vec![Op::Exchange { peer: 1, bytes: 8 }, Op::Compute { ns: 1.0 }],
             iters: 5,
             epilogue: vec![Op::Recv { from: 1 }],
         };

@@ -33,9 +33,7 @@ pub enum ToolModel {
     },
     /// Profile-only tools (mpiP, Score-P profile mode): per-event update of
     /// in-memory aggregates, no I/O until the final tiny report.
-    ProfileOnly {
-        per_event_ns: f64,
-    },
+    ProfileOnly { per_event_ns: f64 },
     /// Trace-to-file tools (Score-P traces + SIONlib): per-event record
     /// append plus buffer flushes through the shared file system, which is
     /// where contention grows with scale.
@@ -89,7 +87,9 @@ impl ToolModel {
     /// Bytes of measurement data produced per intercepted event.
     pub fn event_bytes(&self) -> u64 {
         match self {
-            ToolModel::None | ToolModel::ProfileOnly { .. } | ToolModel::ProfileWithReplay { .. } => 0,
+            ToolModel::None
+            | ToolModel::ProfileOnly { .. }
+            | ToolModel::ProfileWithReplay { .. } => 0,
             ToolModel::OnlineCoupling { .. } | ToolModel::TraceToFs { .. } => EVENT_BYTES,
         }
     }
@@ -128,9 +128,7 @@ impl ToolState {
         match tool {
             ToolModel::None => {}
             ToolModel::ProfileOnly { per_event_ns }
-            | ToolModel::ProfileWithReplay {
-                per_event_ns, ..
-            } => {
+            | ToolModel::ProfileWithReplay { per_event_ns, .. } => {
                 self.events += count;
                 *t += per_event_ns * count as f64;
             }

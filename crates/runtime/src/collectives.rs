@@ -79,7 +79,8 @@ pub fn bcast(mpi: &Mpi, comm: &Comm, root: usize, data: Option<Bytes>) -> Result
     while mask < n {
         if vr & mask != 0 {
             let parent = ((vr - mask) + root) % n;
-            let (_st, got) = mpi.recv_ctx(Context::Coll, comm, Src::Rank(parent), TagSel::Tag(tag))?;
+            let (_st, got) =
+                mpi.recv_ctx(Context::Coll, comm, Src::Rank(parent), TagSel::Tag(tag))?;
             payload = got;
             break;
         }
@@ -261,8 +262,7 @@ pub fn scatter(mpi: &Mpi, comm: &Comm, root: usize, parts: Option<Vec<Bytes>>) -
     let tag = comm.next_coll_tag();
     let r = comm.local_rank();
     if r == root {
-        let parts =
-            parts.ok_or(RtError::CollectiveMismatch("scatter root passed no parts"))?;
+        let parts = parts.ok_or(RtError::CollectiveMismatch("scatter root passed no parts"))?;
         if parts.len() != n {
             return Err(RtError::CollectiveMismatch("scatter parts != comm size"));
         }
@@ -359,7 +359,7 @@ pub fn reduce_scatter_t<T: Pod>(
     op: impl Fn(&mut T, T) + Copy,
 ) -> Result<Vec<T>> {
     let n = comm.size();
-    if local.len() % n != 0 {
+    if !local.len().is_multiple_of(n) {
         return Err(RtError::CollectiveMismatch(
             "reduce_scatter input not divisible by comm size",
         ));

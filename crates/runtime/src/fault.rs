@@ -1,0 +1,517 @@
+//! Deterministic fault injection at the transport boundary.
+//!
+//! A [`FaultPlan`] describes a set of faults — drop, duplicate, reorder,
+//! delay, slow rank, writer crash — each keyed by a `u64` seed and a
+//! per-edge probability. The plan is installed on the [`crate::Launcher`]
+//! and evaluated by the [`FaultLayer`] inside `send`/`isend` on the
+//! [`crate::Context::Stream`] plane, just before the envelope is handed to
+//! the destination mailbox.
+//!
+//! Every decision is a pure function of `(seed, src, dst, per-edge sequence
+//! number, fault kind)`: the n-th eligible message on an edge sees the same
+//! verdict in every run with the same plan, regardless of thread
+//! interleaving. That is what makes chaos runs replayable — rerunning with
+//! the seed printed by a failing test reproduces the exact fault schedule.
+//!
+//! Two exemptions keep injected faults recoverable instead of wedging
+//! protocols that have no retry path:
+//!
+//! * messages smaller than [`FaultPlan::min_payload`] are treated as
+//!   control traffic (stream FIN markers and similar) and pass through
+//!   unfaulted — though they still flush a reorder-held envelope so no
+//!   message is held forever;
+//! * an optional [`FaultPlan::only_tags`] range restricts faults to one tag
+//!   space (e.g. the VMPI stream block tags), leaving handshake protocols
+//!   such as the map pivot exchange untouched.
+
+use crate::envelope::Envelope;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::ops::RangeInclusive;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Permanently disable a rank's stream-plane sends after it has issued a
+/// number of eligible data messages — the harness's model of a writer
+/// process dying mid-stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriterCrash {
+    /// World rank that crashes.
+    pub rank: usize,
+    /// Number of eligible data sends the rank completes before dying.
+    pub after_sends: u64,
+}
+
+/// A seeded, deterministic fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed keying every per-edge decision.
+    pub seed: u64,
+    /// Probability a data message is dropped (sender sees
+    /// [`crate::RtError::Dropped`] and may resend).
+    pub drop_p: f64,
+    /// Probability a data message is delivered twice.
+    pub dup_p: f64,
+    /// Probability a data message is held and delivered after the next
+    /// message on the same edge.
+    pub reorder_p: f64,
+    /// Probability a data message is delayed by [`FaultPlan::delay`].
+    pub delay_p: f64,
+    /// Delay applied when the delay fault fires.
+    pub delay: Duration,
+    /// Ranks whose every data send is slowed by [`FaultPlan::slow_delay`].
+    pub slow_ranks: Vec<usize>,
+    /// Extra latency per send from a slow rank.
+    pub slow_delay: Duration,
+    /// Optional mid-stream writer death.
+    pub crash: Option<WriterCrash>,
+    /// Messages below this size are control traffic and never faulted.
+    pub min_payload: usize,
+    /// When set, only tags inside this range are fault-eligible.
+    pub only_tags: Option<RangeInclusive<i32>>,
+}
+
+impl FaultPlan {
+    /// Default control-message size threshold (covers stream frame headers
+    /// and FIN markers).
+    pub const DEFAULT_MIN_PAYLOAD: usize = 32;
+
+    /// A plan with the given seed and no faults enabled.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            reorder_p: 0.0,
+            delay_p: 0.0,
+            delay: Duration::from_micros(200),
+            slow_ranks: Vec::new(),
+            slow_delay: Duration::from_micros(200),
+            crash: None,
+            min_payload: Self::DEFAULT_MIN_PAYLOAD,
+            only_tags: None,
+        }
+    }
+
+    /// Enables message dropping with probability `p`.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_p = p;
+        self
+    }
+
+    /// Enables message duplication with probability `p`.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        self.dup_p = p;
+        self
+    }
+
+    /// Enables message reordering with probability `p`.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.reorder_p = p;
+        self
+    }
+
+    /// Enables message delay with probability `p` and the given duration.
+    pub fn with_delay(mut self, p: f64, by: Duration) -> Self {
+        self.delay_p = p;
+        self.delay = by;
+        self
+    }
+
+    /// Marks `rank` as slow: every data send from it sleeps `by` first.
+    pub fn with_slow_rank(mut self, rank: usize, by: Duration) -> Self {
+        self.slow_ranks.push(rank);
+        self.slow_delay = by;
+        self
+    }
+
+    /// Kills `rank`'s stream transport after `after_sends` data sends.
+    pub fn with_crash(mut self, rank: usize, after_sends: u64) -> Self {
+        self.crash = Some(WriterCrash { rank, after_sends });
+        self
+    }
+
+    /// Overrides the control-message size threshold.
+    pub fn with_min_payload(mut self, bytes: usize) -> Self {
+        self.min_payload = bytes;
+        self
+    }
+
+    /// Restricts faults to one tag range (e.g. the VMPI stream data tags).
+    pub fn with_only_tags(mut self, tags: RangeInclusive<i32>) -> Self {
+        self.only_tags = Some(tags);
+        self
+    }
+}
+
+/// Counters of faults actually injected, readable after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub drops: u64,
+    pub dups: u64,
+    pub reorders: u64,
+    pub delays: u64,
+    pub slow_hits: u64,
+    pub crashed_sends: u64,
+}
+
+impl FaultStats {
+    /// Total faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.drops + self.dups + self.reorders + self.delays + self.slow_hits + self.crashed_sends
+    }
+}
+
+#[derive(Default)]
+struct EdgeState {
+    /// Sequence number of eligible data messages on this edge.
+    seq: u64,
+    /// Envelope held back by a reorder fault, delivered after the next
+    /// message on the same edge.
+    held: Option<Envelope>,
+}
+
+/// What the transport must do with one outgoing message.
+pub(crate) struct Injection {
+    /// Sleep before delivering (delay / slow-rank faults).
+    pub sleep: Option<Duration>,
+    /// Envelopes to hand to the destination mailbox, in order. May be empty
+    /// (reorder hold), or longer than one (duplicate, reorder flush).
+    pub deliver: Vec<Envelope>,
+    /// When true the send fails with [`crate::RtError::Dropped`] after any
+    /// flush deliveries above.
+    pub dropped: bool,
+}
+
+impl Injection {
+    fn pass(env: Envelope) -> Self {
+        Injection {
+            sleep: None,
+            deliver: vec![env],
+            dropped: false,
+        }
+    }
+}
+
+// Salts separating the per-kind decision streams.
+const SALT_DROP: u64 = 0x6472_6f70; // "drop"
+const SALT_DUP: u64 = 0x6475_7065; // "dupe"
+const SALT_REORD: u64 = 0x7265_6f72; // "reor"
+const SALT_DELAY: u64 = 0x6465_6c79; // "dely"
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Evaluates a [`FaultPlan`] against live traffic.
+pub struct FaultLayer {
+    plan: FaultPlan,
+    edges: Mutex<HashMap<(usize, usize), EdgeState>>,
+    /// Per-rank count of eligible data sends (crash trigger input).
+    data_sends: Vec<AtomicU64>,
+    /// Set once a rank's crash has triggered; all its later stream sends
+    /// fail, control traffic included.
+    crashed: Vec<AtomicBool>,
+    drops: AtomicU64,
+    dups: AtomicU64,
+    reorders: AtomicU64,
+    delays: AtomicU64,
+    slow_hits: AtomicU64,
+    crashed_sends: AtomicU64,
+}
+
+impl FaultLayer {
+    pub(crate) fn new(plan: FaultPlan, world_size: usize) -> Self {
+        FaultLayer {
+            plan,
+            edges: Mutex::new(HashMap::new()),
+            data_sends: (0..world_size).map(|_| AtomicU64::new(0)).collect(),
+            crashed: (0..world_size).map(|_| AtomicBool::new(false)).collect(),
+            drops: AtomicU64::new(0),
+            dups: AtomicU64::new(0),
+            reorders: AtomicU64::new(0),
+            delays: AtomicU64::new(0),
+            slow_hits: AtomicU64::new(0),
+            crashed_sends: AtomicU64::new(0),
+        }
+    }
+
+    /// The installed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Snapshot of the injected-fault counters.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            drops: self.drops.load(Ordering::Relaxed),
+            dups: self.dups.load(Ordering::Relaxed),
+            reorders: self.reorders.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+            slow_hits: self.slow_hits.load(Ordering::Relaxed),
+            crashed_sends: self.crashed_sends.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True once `rank`'s injected crash has triggered.
+    pub fn rank_crashed(&self, rank: usize) -> bool {
+        self.crashed
+            .get(rank)
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    fn roll(&self, src: usize, dst: usize, seq: u64, salt: u64) -> u64 {
+        let mut h = splitmix64(self.plan.seed ^ salt);
+        for v in [src as u64, dst as u64, seq] {
+            h = splitmix64(h ^ v);
+        }
+        h
+    }
+
+    fn hits(&self, p: f64, src: usize, dst: usize, seq: u64, salt: u64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.roll(src, dst, seq, salt) < (p * u64::MAX as f64) as u64
+    }
+
+    fn eligible(&self, env: &Envelope) -> bool {
+        if env.payload.len() < self.plan.min_payload {
+            return false;
+        }
+        match &self.plan.only_tags {
+            Some(range) => range.contains(&env.header.tag),
+            None => true,
+        }
+    }
+
+    /// Decides the fate of one stream-plane message from `src` to `dst`.
+    pub(crate) fn on_send(&self, src: usize, dst: usize, env: Envelope) -> Injection {
+        if self.crashed[src].load(Ordering::Relaxed) {
+            self.crashed_sends.fetch_add(1, Ordering::Relaxed);
+            return Injection {
+                sleep: None,
+                deliver: Vec::new(),
+                dropped: true,
+            };
+        }
+        if !self.eligible(&env) {
+            // Control traffic passes through unfaulted but flushes any
+            // reorder-held envelope on the same edge so nothing is held
+            // past the end of the stream.
+            let held = self
+                .edges
+                .lock()
+                .get_mut(&(src, dst))
+                .and_then(|e| e.held.take());
+            let mut inj = Injection::pass(env);
+            if let Some(h) = held {
+                inj.deliver.push(h);
+            }
+            return inj;
+        }
+
+        let count = self.data_sends[src].fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = self.plan.crash {
+            if src == c.rank && count >= c.after_sends {
+                self.crashed[src].store(true, Ordering::Relaxed);
+                self.crashed_sends.fetch_add(1, Ordering::Relaxed);
+                // Any held envelope on this rank's edges dies with it.
+                return Injection {
+                    sleep: None,
+                    deliver: Vec::new(),
+                    dropped: true,
+                };
+            }
+        }
+
+        let mut sleep = None;
+        if self.plan.slow_ranks.contains(&src) {
+            self.slow_hits.fetch_add(1, Ordering::Relaxed);
+            sleep = Some(self.plan.slow_delay);
+        }
+
+        let mut edges = self.edges.lock();
+        let edge = edges.entry((src, dst)).or_default();
+        let seq = edge.seq;
+        edge.seq += 1;
+
+        if self.hits(self.plan.drop_p, src, dst, seq, SALT_DROP) {
+            // The message never reaches the mailbox; a held envelope stays
+            // held (the sender's resend will flush it).
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            return Injection {
+                sleep,
+                deliver: Vec::new(),
+                dropped: true,
+            };
+        }
+
+        let mut deliver = Vec::with_capacity(3);
+        if self.hits(self.plan.dup_p, src, dst, seq, SALT_DUP) {
+            self.dups.fetch_add(1, Ordering::Relaxed);
+            deliver.push(env.clone());
+            deliver.push(env);
+        } else if self.hits(self.plan.reorder_p, src, dst, seq, SALT_REORD) {
+            self.reorders.fetch_add(1, Ordering::Relaxed);
+            // Hold this message; release whatever was held before it.
+            let prev = edge.held.replace(env);
+            return Injection {
+                sleep,
+                deliver: prev.into_iter().collect(),
+                dropped: false,
+            };
+        } else {
+            if self.hits(self.plan.delay_p, src, dst, seq, SALT_DELAY) {
+                self.delays.fetch_add(1, Ordering::Relaxed);
+                sleep = Some(sleep.unwrap_or_default() + self.plan.delay);
+            }
+            deliver.push(env);
+        }
+        // A held envelope is released *after* the current message, which is
+        // exactly the reorder the fault models.
+        if let Some(h) = edge.held.take() {
+            deliver.push(h);
+        }
+        Injection {
+            sleep,
+            deliver,
+            dropped: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommId;
+    use crate::envelope::Context;
+    use crate::mailbox::make_envelope;
+    use bytes::Bytes;
+
+    fn env(src: usize, tag: i32, len: usize) -> Envelope {
+        make_envelope(
+            Context::Stream,
+            CommId(1),
+            src,
+            src,
+            tag,
+            Bytes::from(vec![0xAB; len]),
+        )
+    }
+
+    fn layer(plan: FaultPlan) -> FaultLayer {
+        FaultLayer::new(plan, 8)
+    }
+
+    #[test]
+    fn no_faults_passes_everything_through() {
+        let l = layer(FaultPlan::seeded(1));
+        for i in 0..100 {
+            let inj = l.on_send(0, 1, env(0, 10, 64 + i));
+            assert!(inj.sleep.is_none());
+            assert!(!inj.dropped);
+            assert_eq!(inj.deliver.len(), 1);
+        }
+        assert_eq!(l.stats().total(), 0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_edge_sequence() {
+        let plan = FaultPlan::seeded(42).with_drop(0.3).with_dup(0.2);
+        let run = |l: &FaultLayer| -> Vec<(bool, usize)> {
+            (0..200)
+                .map(|_| {
+                    let inj = l.on_send(2, 5, env(2, 10, 64));
+                    (inj.dropped, inj.deliver.len())
+                })
+                .collect()
+        };
+        let a = run(&layer(plan.clone()));
+        let b = run(&layer(plan));
+        assert_eq!(a, b);
+        assert!(a.iter().any(|x| x.0), "some drops expected at p=0.3");
+        assert!(a.iter().any(|x| x.1 == 2), "some dups expected at p=0.2");
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let mk = |seed| {
+            let l = layer(FaultPlan::seeded(seed).with_drop(0.5));
+            (0..64)
+                .map(|_| l.on_send(0, 1, env(0, 10, 64)).dropped)
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn small_payloads_are_control_exempt() {
+        let l = layer(FaultPlan::seeded(7).with_drop(1.0));
+        let inj = l.on_send(0, 1, env(0, 10, 8));
+        assert!(!inj.dropped);
+        assert_eq!(inj.deliver.len(), 1);
+        assert_eq!(l.stats().drops, 0);
+    }
+
+    #[test]
+    fn tag_filter_exempts_other_tag_spaces() {
+        let l = layer(
+            FaultPlan::seeded(7)
+                .with_drop(1.0)
+                .with_only_tags(100..=200),
+        );
+        assert!(!l.on_send(0, 1, env(0, 99, 64)).dropped);
+        assert!(l.on_send(0, 1, env(0, 150, 64)).dropped);
+    }
+
+    #[test]
+    fn reorder_holds_then_releases_after_next_message() {
+        let l = layer(FaultPlan::seeded(3).with_reorder(1.0));
+        // First message is held.
+        let inj = l.on_send(0, 1, env(0, 10, 64));
+        assert!(inj.deliver.is_empty());
+        assert!(!inj.dropped);
+        // Second message is also chosen for reorder (p=1), so the first is
+        // released and the second takes its place in the hold slot.
+        let inj = l.on_send(0, 1, env(0, 10, 64));
+        assert_eq!(inj.deliver.len(), 1);
+        // A control message flushes the hold.
+        let inj = l.on_send(0, 1, env(0, 10, 4));
+        assert_eq!(inj.deliver.len(), 2);
+        assert_eq!(l.stats().reorders, 2);
+    }
+
+    #[test]
+    fn crash_kills_all_later_sends_from_the_rank() {
+        let l = layer(FaultPlan::seeded(9).with_crash(3, 2));
+        assert!(!l.on_send(3, 1, env(3, 10, 64)).dropped);
+        assert!(!l.on_send(3, 1, env(3, 10, 64)).dropped);
+        assert!(l.on_send(3, 1, env(3, 10, 64)).dropped, "third send dies");
+        assert!(l.rank_crashed(3));
+        // Even control traffic from the crashed rank fails now.
+        assert!(l.on_send(3, 1, env(3, 10, 4)).dropped);
+        // Other ranks are unaffected.
+        assert!(!l.on_send(2, 1, env(2, 10, 64)).dropped);
+    }
+
+    #[test]
+    fn slow_rank_gets_a_sleep_and_delay_adds_one() {
+        let l = layer(
+            FaultPlan::seeded(5)
+                .with_slow_rank(1, Duration::from_micros(10))
+                .with_delay(1.0, Duration::from_micros(20)),
+        );
+        let inj = l.on_send(1, 2, env(1, 10, 64));
+        assert_eq!(inj.sleep, Some(Duration::from_micros(30)));
+        let inj = l.on_send(0, 2, env(0, 10, 64));
+        assert_eq!(inj.sleep, Some(Duration::from_micros(20)));
+    }
+}

@@ -10,8 +10,10 @@
 //! mapping possible.
 
 use crate::comm::Comm;
+use crate::fault::{FaultLayer, FaultPlan};
 use crate::mailbox::Mailbox;
 use crate::mpi::Mpi;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -49,19 +51,31 @@ pub struct Universe {
     partitions: Arc<Vec<PartitionInfo>>,
     eager_limit: usize,
     epoch: Instant,
+    /// Installed fault-injection layer, if the launcher configured one.
+    fault: Option<Arc<FaultLayer>>,
+    /// One liveness flag per rank, cleared when the rank's entry returns
+    /// (normally or by panic). Stream readers use this to distinguish "no
+    /// data yet" from "the writer is gone".
+    alive: Vec<AtomicBool>,
 }
 
 impl Universe {
     /// Default eager/rendezvous protocol switch-over, in bytes.
     pub const DEFAULT_EAGER_LIMIT: usize = 64 * 1024;
 
-    pub(crate) fn new(partitions: Vec<PartitionInfo>, eager_limit: usize) -> Arc<Self> {
+    pub(crate) fn new(
+        partitions: Vec<PartitionInfo>,
+        eager_limit: usize,
+        fault_plan: Option<FaultPlan>,
+    ) -> Arc<Self> {
         let total: usize = partitions.iter().map(|p| p.size).sum();
         Arc::new(Universe {
             mailboxes: (0..total).map(|_| Arc::new(Mailbox::default())).collect(),
             partitions: Arc::new(partitions),
             eager_limit,
             epoch: Instant::now(),
+            fault: fault_plan.map(|p| Arc::new(FaultLayer::new(p, total))),
+            alive: (0..total).map(|_| AtomicBool::new(true)).collect(),
         })
     }
 
@@ -90,6 +104,23 @@ impl Universe {
 
     pub(crate) fn mailbox(&self, world_rank: usize) -> &Arc<Mailbox> {
         &self.mailboxes[world_rank]
+    }
+
+    /// The fault-injection layer, when one was installed via
+    /// [`Launcher::fault_plan`].
+    pub fn fault_layer(&self) -> Option<&Arc<FaultLayer>> {
+        self.fault.as_ref()
+    }
+
+    /// True while `world_rank`'s entry point is still running. Because
+    /// delivery is synchronous, once this turns false every message the
+    /// rank ever sent is already in its destination mailbox.
+    pub fn rank_alive(&self, world_rank: usize) -> bool {
+        self.alive[world_rank].load(Ordering::Acquire)
+    }
+
+    pub(crate) fn mark_rank_done(&self, world_rank: usize) {
+        self.alive[world_rank].store(false, Ordering::Release);
     }
 
     pub(crate) fn eager_limit(&self) -> usize {
@@ -147,6 +178,7 @@ pub struct Launcher {
     specs: Vec<PartitionSpec>,
     eager_limit: usize,
     stack_size: Option<usize>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for Launcher {
@@ -161,7 +193,15 @@ impl Launcher {
             specs: Vec::new(),
             eager_limit: Universe::DEFAULT_EAGER_LIMIT,
             stack_size: None,
+            fault_plan: None,
         }
+    }
+
+    /// Installs a deterministic fault-injection plan evaluated on the
+    /// stream plane of every rank's transport (see [`FaultPlan`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// Overrides the eager/rendezvous switch-over (bytes).
@@ -221,7 +261,7 @@ impl Launcher {
             });
             first += spec.size;
         }
-        let universe = Universe::new(infos, self.eager_limit);
+        let universe = Universe::new(infos, self.eager_limit, self.fault_plan);
 
         let mut handles = Vec::new();
         for (pid, spec) in self.specs.into_iter().enumerate() {
@@ -238,9 +278,14 @@ impl Launcher {
                     .spawn(move || {
                         let world = Comm::world(uni.world_size(), world_rank);
                         let mpi = Mpi::new(Arc::clone(&uni), world_rank, world, pid);
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            move || entry(mpi),
-                        ));
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                                entry(mpi)
+                            }));
+                        // Everything the rank sent is delivered by now
+                        // (sends complete synchronously), so readers that
+                        // see the flag drop will not miss data.
+                        uni.mark_rank_done(world_rank);
                         if result.is_err() {
                             // Unblock every other rank so the job tears down
                             // instead of hanging on a dead peer.
@@ -311,6 +356,7 @@ mod tests {
                 },
             ],
             1024,
+            None,
         );
         assert_eq!(uni.world_size(), 5);
         assert_eq!(uni.partition_of(0).name, "a");
@@ -358,6 +404,7 @@ mod tests {
                 size: 1,
             }],
             1024,
+            None,
         );
         let a = uni.wtime();
         let b = uni.wtime();

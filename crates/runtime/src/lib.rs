@@ -41,6 +41,7 @@
 pub mod collectives;
 pub mod comm;
 pub mod envelope;
+pub mod fault;
 pub mod launch;
 pub mod mailbox;
 pub mod mpi;
@@ -49,6 +50,7 @@ pub mod request;
 
 pub use comm::{Comm, CommId};
 pub use envelope::{Context, Src, Status, TagSel, ANY_TAG};
+pub use fault::{FaultLayer, FaultPlan, FaultStats, WriterCrash};
 pub use launch::{Launcher, PartitionInfo, Universe};
 pub use mpi::Mpi;
 pub use pod::Pod;
@@ -67,6 +69,9 @@ pub enum RtError {
     TypeSize { got: usize, elem: usize },
     /// Non-blocking operation would block (used by stream layers).
     WouldBlock,
+    /// An injected fault dropped the message before delivery; the sender
+    /// may resend (see [`fault::FaultPlan`]).
+    Dropped { dst: usize },
 }
 
 impl std::fmt::Display for RtError {
@@ -78,9 +83,15 @@ impl std::fmt::Display for RtError {
             RtError::Shutdown => write!(f, "runtime universe is shutting down"),
             RtError::CollectiveMismatch(what) => write!(f, "collective mismatch: {what}"),
             RtError::TypeSize { got, elem } => {
-                write!(f, "payload of {got} bytes is not a multiple of element size {elem}")
+                write!(
+                    f,
+                    "payload of {got} bytes is not a multiple of element size {elem}"
+                )
             }
             RtError::WouldBlock => write!(f, "operation would block"),
+            RtError::Dropped { dst } => {
+                write!(f, "message to rank {dst} dropped by fault injection")
+            }
         }
     }
 }

@@ -116,9 +116,11 @@ impl Mailbox {
             return Err(RtError::Shutdown);
         }
         // Posted receives are matched in posting order.
-        if let Some(pos) = g.posted.iter().position(|p| {
-            env.matches(p.ctx, p.comm, p.src, p.tag)
-        }) {
+        if let Some(pos) = g
+            .posted
+            .iter()
+            .position(|p| env.matches(p.ctx, p.comm, p.src, p.tag))
+        {
             let posted = g.posted.remove(pos).expect("position in bounds");
             posted.slot.fill(env);
             self.cv.notify_all();
@@ -318,7 +320,14 @@ mod tests {
     const C: CommId = CommId(7);
 
     fn env(src: usize, tag: i32, len: usize) -> Envelope {
-        make_envelope(Context::Pt2pt, C, src, src, tag, Bytes::from(vec![0u8; len]))
+        make_envelope(
+            Context::Pt2pt,
+            C,
+            src,
+            src,
+            tag,
+            Bytes::from(vec![0u8; len]),
+        )
     }
 
     #[test]
@@ -378,8 +387,12 @@ mod tests {
     #[test]
     fn posted_order_respected() {
         let mb = Mailbox::default();
-        let first = mb.post_recv(Context::Pt2pt, C, Src::Any, TagSel::Any).unwrap();
-        let second = mb.post_recv(Context::Pt2pt, C, Src::Any, TagSel::Any).unwrap();
+        let first = mb
+            .post_recv(Context::Pt2pt, C, Src::Any, TagSel::Any)
+            .unwrap();
+        let second = mb
+            .post_recv(Context::Pt2pt, C, Src::Any, TagSel::Any)
+            .unwrap();
         mb.deliver(env(1, 1, 10), 64).unwrap();
         assert!(first.is_filled());
         assert!(!second.is_filled());
@@ -417,9 +430,8 @@ mod tests {
     fn shutdown_wakes_and_errors() {
         let mb = Arc::new(Mailbox::default());
         let mb2 = Arc::clone(&mb);
-        let t = std::thread::spawn(move || {
-            mb2.recv_blocking(Context::Pt2pt, C, Src::Any, TagSel::Any)
-        });
+        let t =
+            std::thread::spawn(move || mb2.recv_blocking(Context::Pt2pt, C, Src::Any, TagSel::Any));
         std::thread::sleep(std::time::Duration::from_millis(20));
         mb.shutdown();
         assert_eq!(t.join().unwrap().unwrap_err(), RtError::Shutdown);

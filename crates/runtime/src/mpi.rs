@@ -27,7 +27,12 @@ pub struct Mpi {
 }
 
 impl Mpi {
-    pub(crate) fn new(uni: Arc<Universe>, world_rank: usize, world: Comm, partition: usize) -> Self {
+    pub(crate) fn new(
+        uni: Arc<Universe>,
+        world_rank: usize,
+        world: Comm,
+        partition: usize,
+    ) -> Self {
         Mpi {
             uni,
             world_rank,
@@ -89,6 +94,31 @@ impl Mpi {
         })
     }
 
+    /// Hands an envelope to the destination mailbox, routing stream-plane
+    /// traffic through the fault layer when one is installed. Returns the
+    /// delivery state of the last envelope actually delivered (injected
+    /// duplicates and reorder flushes ride along fire-and-forget).
+    fn deliver_env(&self, dst_world: usize, env: crate::envelope::Envelope) -> Result<Delivery> {
+        let mailbox = Arc::clone(self.uni.mailbox(dst_world));
+        if env.header.ctx == Context::Stream {
+            if let Some(layer) = self.uni.fault_layer() {
+                let inj = layer.on_send(self.world_rank, dst_world, env);
+                if let Some(d) = inj.sleep {
+                    std::thread::sleep(d);
+                }
+                let mut last = Delivery::Complete;
+                for e in inj.deliver {
+                    last = mailbox.deliver(e, self.uni.eager_limit())?;
+                }
+                if inj.dropped {
+                    return Err(RtError::Dropped { dst: dst_world });
+                }
+                return Ok(last);
+            }
+        }
+        mailbox.deliver(env, self.uni.eager_limit())
+    }
+
     // ------------------------------------------------------------------
     // Context-explicit plane (used by collectives and the stream layer).
     // ------------------------------------------------------------------
@@ -111,10 +141,9 @@ impl Mpi {
             tag,
             payload.into(),
         );
-        let mailbox = Arc::clone(self.uni.mailbox(dst_world));
-        match mailbox.deliver(env, self.uni.eager_limit())? {
+        match self.deliver_env(dst_world, env)? {
             Delivery::Complete => Ok(()),
-            Delivery::Pending(handle) => mailbox.wait_send(&handle),
+            Delivery::Pending(handle) => self.uni.mailbox(dst_world).wait_send(&handle),
         }
     }
 
@@ -136,10 +165,12 @@ impl Mpi {
             tag,
             payload.into(),
         );
-        let mailbox = Arc::clone(self.uni.mailbox(dst_world));
-        match mailbox.deliver(env, self.uni.eager_limit())? {
+        match self.deliver_env(dst_world, env)? {
             Delivery::Complete => Ok(Request::send_done()),
-            Delivery::Pending(handle) => Ok(Request::pending_send(mailbox, handle)),
+            Delivery::Pending(handle) => Ok(Request::pending_send(
+                Arc::clone(self.uni.mailbox(dst_world)),
+                handle,
+            )),
         }
     }
 
@@ -246,14 +277,11 @@ impl Mpi {
     /// (`MPI_Comm_split`). A negative color yields `None` (undefined).
     pub fn comm_split(&self, comm: &Comm, color: i64, key: i64) -> Result<Option<Comm>> {
         // Allgather (color, key) over the parent communicator.
-        let triples: Vec<[i64; 3]> = crate::collectives::allgather_t(
-            self,
-            comm,
-            &[[color, key, comm.local_rank() as i64]],
-        )?
-        .into_iter()
-        .flatten()
-        .collect();
+        let triples: Vec<[i64; 3]> =
+            crate::collectives::allgather_t(self, comm, &[[color, key, comm.local_rank() as i64]])?
+                .into_iter()
+                .flatten()
+                .collect();
 
         // Every rank advances the derive sequence exactly once per split so
         // later splits get fresh ids on all members.
@@ -292,13 +320,14 @@ impl Mpi {
     /// Must be called collectively (same list) by exactly the listed ranks;
     /// `seed` disambiguates independent groups created concurrently.
     pub fn comm_from_world_ranks(&self, members: Vec<usize>, seed: u64) -> Result<Comm> {
-        let my_local = members
-            .iter()
-            .position(|&w| w == self.world_rank)
-            .ok_or(RtError::InvalidRank {
-                rank: self.world_rank,
-                comm_size: members.len(),
-            })?;
+        let my_local =
+            members
+                .iter()
+                .position(|&w| w == self.world_rank)
+                .ok_or(RtError::InvalidRank {
+                    rank: self.world_rank,
+                    comm_size: members.len(),
+                })?;
         let mut h = seed ^ 0xA5A5_5A5A_DEAD_0001;
         for &m in &members {
             h = h

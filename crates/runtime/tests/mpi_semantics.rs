@@ -21,10 +21,14 @@ fn ring_pass_delivers_in_order() {
         let prev = (r + n - 1) % n;
         if r == 0 {
             mpi.send_t(&w, next, 0, &[0u64]).unwrap();
-            let (_s, v) = mpi.recv_t::<u64>(&w, Src::Rank(prev), TagSel::Tag(0)).unwrap();
+            let (_s, v) = mpi
+                .recv_t::<u64>(&w, Src::Rank(prev), TagSel::Tag(0))
+                .unwrap();
             assert_eq!(v, vec![(n - 1) as u64]);
         } else {
-            let (_s, v) = mpi.recv_t::<u64>(&w, Src::Rank(prev), TagSel::Tag(0)).unwrap();
+            let (_s, v) = mpi
+                .recv_t::<u64>(&w, Src::Rank(prev), TagSel::Tag(0))
+                .unwrap();
             mpi.send_t(&w, next, 0, &[v[0] + 1]).unwrap();
         }
     });
@@ -47,7 +51,8 @@ fn any_source_any_tag_receives_everything() {
             assert!(seen.iter().all(|&s| s));
         } else {
             let r = w.local_rank();
-            mpi.send(&w, 0, r as i32 * 10, Bytes::from(vec![7u8; r])).unwrap();
+            mpi.send(&w, 0, r as i32 * 10, Bytes::from(vec![7u8; r]))
+                .unwrap();
         }
     });
 }
@@ -151,7 +156,10 @@ fn barrier_orders_phases() {
     let log = log.lock().unwrap();
     let last_pre = log.iter().rposition(|e| e.0 == 0).unwrap();
     let first_post = log.iter().position(|e| e.0 == 1).unwrap();
-    assert!(last_pre < first_post, "a rank left the barrier before all entered");
+    assert!(
+        last_pre < first_post,
+        "a rank left the barrier before all entered"
+    );
 }
 
 #[test]
@@ -264,9 +272,7 @@ fn comm_split_even_odd() {
         assert_eq!(sub.size(), 4);
         assert_eq!(sub.local_rank(), r / 2);
         // Communicate within the sub-communicator only.
-        let sum = mpi
-            .allreduce_t(&sub, &[r as u64], ops::sum)
-            .unwrap();
+        let sum = mpi.allreduce_t(&sub, &[r as u64], ops::sum).unwrap();
         let expect: u64 = (0..8u64).filter(|x| x % 2 == r as u64 % 2).sum();
         assert_eq!(sum, vec![expect]);
     });
@@ -299,7 +305,9 @@ fn comm_dup_isolates_traffic() {
         } else {
             // Receive from the dup first: tags/ranks identical, only the
             // communicator distinguishes the two messages.
-            let (_s, vdup) = mpi.recv_t::<u8>(&dup, Src::Rank(0), TagSel::Tag(0)).unwrap();
+            let (_s, vdup) = mpi
+                .recv_t::<u8>(&dup, Src::Rank(0), TagSel::Tag(0))
+                .unwrap();
             let (_s, vw) = mpi.recv_t::<u8>(&w, Src::Rank(0), TagSel::Tag(0)).unwrap();
             assert_eq!(vdup, vec![2]);
             assert_eq!(vw, vec![1]);
@@ -333,7 +341,8 @@ fn cross_partition_traffic_over_world() {
     Launcher::new()
         .partition("w", 3, |mpi| {
             let world = mpi.world();
-            mpi.send_t(&world, 3, 9, &[mpi.world_rank() as u64]).unwrap();
+            mpi.send_t(&world, 3, 9, &[mpi.world_rank() as u64])
+                .unwrap();
         })
         .partition("r", 1, |mpi| {
             let world = mpi.world();
@@ -363,9 +372,7 @@ fn wtime_advances_across_ranks() {
 fn stress_many_ranks_allreduce() {
     run_n(32, |mpi| {
         let w = mpi.world();
-        let v = mpi
-            .allreduce_t(&w, &[1u64], ops::sum)
-            .unwrap();
+        let v = mpi.allreduce_t(&w, &[1u64], ops::sum).unwrap();
         assert_eq!(v, vec![32]);
     });
 }
@@ -375,8 +382,7 @@ fn scan_is_inclusive_prefix() {
     run_n(7, |mpi| {
         let w = mpi.world();
         let r = w.local_rank() as u64;
-        let got =
-            opmr_runtime::collectives::scan_t(&mpi, &w, &[r + 1], ops::sum).unwrap();
+        let got = opmr_runtime::collectives::scan_t(&mpi, &w, &[r + 1], ops::sum).unwrap();
         // 1 + 2 + … + (r+1).
         assert_eq!(got, vec![(r + 1) * (r + 2) / 2]);
     });
@@ -387,8 +393,7 @@ fn exscan_is_exclusive_prefix() {
     run_n(6, |mpi| {
         let w = mpi.world();
         let r = w.local_rank() as u64;
-        let got =
-            opmr_runtime::collectives::exscan_t(&mpi, &w, &[r + 1], ops::sum).unwrap();
+        let got = opmr_runtime::collectives::exscan_t(&mpi, &w, &[r + 1], ops::sum).unwrap();
         if r == 0 {
             assert!(got.is_none());
         } else {
@@ -405,9 +410,7 @@ fn reduce_scatter_distributes_blocks() {
         // Each rank contributes [r*10+0, r*10+1, r*10+2, r*10+3] doubled up
         // into blocks of 2.
         let local: Vec<u64> = (0..8).map(|i| r * 100 + i).collect();
-        let got =
-            opmr_runtime::collectives::reduce_scatter_t(&mpi, &w, &local, ops::sum)
-                .unwrap();
+        let got = opmr_runtime::collectives::reduce_scatter_t(&mpi, &w, &local, ops::sum).unwrap();
         // Block b element e = sum over ranks of (rank*100 + b*2 + e).
         let base: u64 = (0..4u64).map(|x| x * 100).sum();
         let b = r as usize;
@@ -422,8 +425,7 @@ fn reduce_scatter_distributes_blocks() {
 fn reduce_scatter_rejects_indivisible_input() {
     run_n(3, |mpi| {
         let w = mpi.world();
-        let res =
-            opmr_runtime::collectives::reduce_scatter_t(&mpi, &w, &[1u64; 7], ops::sum);
+        let res = opmr_runtime::collectives::reduce_scatter_t(&mpi, &w, &[1u64; 7], ops::sum);
         assert!(res.is_err());
     });
 }

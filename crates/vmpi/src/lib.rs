@@ -43,6 +43,12 @@ pub enum VmpiError {
     StreamClosed,
     /// Non-blocking read found no data (the paper's `EAGAIN`).
     Again,
+    /// A blocking stream operation exceeded its deadline or retry budget
+    /// (see `StreamConfig::read_timeout` / `StreamConfig::max_retries`).
+    Timeout,
+    /// A writer exited mid-stream without closing; its remaining data is
+    /// unrecoverable but the stream stays readable for surviving writers.
+    PeerLost { rank: usize },
 }
 
 impl From<opmr_runtime::RtError> for VmpiError {
@@ -59,6 +65,10 @@ impl std::fmt::Display for VmpiError {
             VmpiError::SelfMapping => write!(f, "cannot map a partition onto itself"),
             VmpiError::StreamClosed => write!(f, "stream already closed"),
             VmpiError::Again => write!(f, "no data available (EAGAIN)"),
+            VmpiError::Timeout => write!(f, "stream operation timed out"),
+            VmpiError::PeerLost { rank } => {
+                write!(f, "stream writer (world rank {rank}) died without closing")
+            }
         }
     }
 }

@@ -111,7 +111,12 @@ fn map_tag(master_pid: usize, slave_pid: usize) -> i32 {
 ///
 /// Must be called collectively by every rank of *both* partitions with the
 /// same policy. Returns after the pivot has distributed all associations.
-pub fn map_partitions(vmpi: &Vmpi, target_pid: usize, policy: MapPolicy, map: &mut Map) -> Result<()> {
+pub fn map_partitions(
+    vmpi: &Vmpi,
+    target_pid: usize,
+    policy: MapPolicy,
+    map: &mut Map,
+) -> Result<()> {
     let my_pid = vmpi.partition_id();
     if target_pid == my_pid {
         return Err(VmpiError::SelfMapping);
@@ -165,12 +170,8 @@ pub fn map_partitions(vmpi: &Vmpi, target_pid: usize, policy: MapPolicy, map: &m
         // Per-master-local peer lists; the pivot is master-local 0.
         let mut assigned: Vec<Vec<u64>> = vec![Vec::new(); master.size];
         for i in 0..slave.size {
-            let (_st, data) = mpi.recv_ctx(
-                Context::Stream,
-                &universe,
-                Src::Any,
-                TagSel::Tag(tag),
-            )?;
+            let (_st, data) =
+                mpi.recv_ctx(Context::Stream, &universe, Src::Any, TagSel::Tag(tag))?;
             let slave_world =
                 opmr_runtime::pod::from_bytes::<u64>(&data).expect("slave rank is one u64");
             let master_local = policy.assign(i, master.size, &mut rng);
@@ -319,11 +320,7 @@ mod tests {
 
     #[test]
     fn custom_policy_reverses() {
-        let (w, a) = run_mapping(
-            4,
-            4,
-            MapPolicy::Custom(Arc::new(|i| 3 - i)),
-        );
+        let (w, a) = run_mapping(4, 4, MapPolicy::Custom(Arc::new(|i| 3 - i)));
         assert_consistent(&w, &a);
     }
 

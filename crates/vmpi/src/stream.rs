@@ -15,17 +15,33 @@
 //!   load-balancing policy (**none / random / round-robin**), independently
 //!   configurable at each end;
 //! * non-blocking reads return [`VmpiError::Again`] (the paper's `EAGAIN`);
-//! * writers close with an empty block; a read returns `None` (EOF) only
+//! * writers close with a FIN frame; a read returns `None` (EOF) only
 //!   after **all** remote writers have closed.
+//!
+//! # Transport-fault recovery
+//!
+//! Every message carries a small frame header `[seq: u64][flags: u8]` with
+//! a per-(writer, endpoint) sequence number. The reader reassembles frames
+//! in sequence order: duplicates (replays) are discarded, out-of-order
+//! frames are stashed until the gap fills, and the FIN frame takes the
+//! sequence slot after the last data frame so EOF can never overtake data.
+//! Writers resend blocks the transport reports dropped
+//! ([`opmr_runtime::RtError::Dropped`], injected by a
+//! [`opmr_runtime::FaultPlan`]) with bounded linear backoff, failing with
+//! [`VmpiError::Timeout`] when the retry budget is exhausted. A reader
+//! whose writer exits without closing observes the rank-liveness flag and
+//! surfaces [`VmpiError::PeerLost`] instead of hanging; the remaining
+//! writers stay readable.
 
 use crate::map::Map;
 use crate::virt::Vmpi;
 use crate::{Result, VmpiError};
 use bytes::{Bytes, BytesMut};
-use opmr_runtime::{Comm, Context, Mpi, Request, Src, TagSel};
+use opmr_runtime::{Comm, Context, Mpi, Request, RtError, Src, TagSel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::time::{Duration, Instant};
 
 /// Load-balancing policy across a stream's endpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +63,15 @@ pub struct StreamConfig {
     pub n_async: usize,
     /// Endpoint load-balancing policy.
     pub balance: Balance,
+    /// Blocking reads fail with [`VmpiError::Timeout`] after this long
+    /// without producing a block (`None` = wait forever).
+    pub read_timeout: Option<Duration>,
+    /// Resend attempts when the transport drops a block before giving up
+    /// with [`VmpiError::Timeout`].
+    pub max_retries: u32,
+    /// Base of the linear backoff between resend attempts (attempt `k`
+    /// sleeps `k * retry_backoff`).
+    pub retry_backoff: Duration,
 }
 
 impl Default for StreamConfig {
@@ -55,6 +80,9 @@ impl Default for StreamConfig {
             block_size: 1 << 20,
             n_async: 3,
             balance: Balance::RoundRobin,
+            read_timeout: None,
+            max_retries: 8,
+            retry_backoff: Duration::from_micros(200),
         }
     }
 }
@@ -68,7 +96,21 @@ impl StreamConfig {
             block_size,
             n_async,
             balance,
+            ..StreamConfig::default()
         }
+    }
+
+    /// Sets a deadline for blocking reads.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Overrides the resend budget and backoff base.
+    pub fn with_retries(mut self, max_retries: u32, backoff: Duration) -> Self {
+        self.max_retries = max_retries;
+        self.retry_backoff = backoff;
+        self
     }
 }
 
@@ -92,6 +134,37 @@ pub struct Block {
 
 fn stream_tag(stream_id: u16) -> i32 {
     0x0500_0000 | stream_id as i32
+}
+
+/// The tag range carrying stream frames — hand this to
+/// [`opmr_runtime::FaultPlan::with_only_tags`] to aim fault injection at
+/// stream traffic while leaving handshake protocols alone.
+pub fn data_tag_range() -> std::ops::RangeInclusive<i32> {
+    stream_tag(0)..=stream_tag(u16::MAX)
+}
+
+// ---------------------------------------------------------------------
+// Frame header: [seq: u64 LE][flags: u8], then the block payload.
+// ---------------------------------------------------------------------
+
+const FRAME_HDR: usize = 9;
+const FLAG_DATA: u8 = 0;
+const FLAG_FIN: u8 = 1;
+
+fn frame(seq: u64, flags: u8, body: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(FRAME_HDR + body.len());
+    b.extend_from_slice(&seq.to_le_bytes());
+    b.extend_from_slice(&[flags]);
+    b.extend_from_slice(body);
+    b.freeze()
+}
+
+fn unframe(data: &Bytes) -> Option<(u64, u8, Bytes)> {
+    if data.len() < FRAME_HDR {
+        return None;
+    }
+    let seq = u64::from_le_bytes(data[..8].try_into().expect("8 header bytes"));
+    Some((seq, data[8], data.slice(FRAME_HDR..)))
 }
 
 struct EndpointChooser {
@@ -145,12 +218,15 @@ pub struct WriteStream {
     tag: i32,
     chooser: EndpointChooser,
     current: BytesMut,
+    /// Next frame sequence number, per endpoint index.
+    next_seq: Vec<u64>,
     /// Blocks in flight; bounded by `cfg.n_async` (the shared output
     /// buffers of Figure 9).
     in_flight: VecDeque<Request>,
     closed: bool,
     bytes_written: u64,
     blocks_sent: u64,
+    retransmits: u64,
 }
 
 impl WriteStream {
@@ -172,6 +248,7 @@ impl WriteStream {
             mpi: vmpi.mpi().clone(),
             universe: vmpi.comm_universe(),
             chooser: EndpointChooser::new(endpoints.len(), cfg.balance),
+            next_seq: vec![0; endpoints.len()],
             endpoints,
             cfg,
             tag: stream_tag(stream_id),
@@ -180,6 +257,7 @@ impl WriteStream {
             closed: false,
             bytes_written: 0,
             blocks_sent: 0,
+            retransmits: 0,
         })
     }
 
@@ -215,10 +293,34 @@ impl WriteStream {
 
     fn send_current(&mut self) -> Result<()> {
         let block = std::mem::take(&mut self.current).freeze();
-        self.send_block(block)
+        self.push_block(block)
     }
 
-    fn send_block(&mut self, block: Bytes) -> Result<()> {
+    /// Resends on injected drops with linear backoff, up to the configured
+    /// retry budget.
+    fn isend_retrying(&mut self, ep: usize, payload: Bytes) -> Result<Request> {
+        let mut attempt = 0u32;
+        loop {
+            match self.mpi.isend_ctx(
+                Context::Stream,
+                &self.universe,
+                ep,
+                self.tag,
+                payload.clone(),
+            ) {
+                Ok(req) => return Ok(req),
+                Err(RtError::Dropped { .. }) if attempt < self.cfg.max_retries => {
+                    attempt += 1;
+                    self.retransmits += 1;
+                    std::thread::sleep(self.cfg.retry_backoff.saturating_mul(attempt));
+                }
+                Err(RtError::Dropped { .. }) => return Err(VmpiError::Timeout),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn push_block(&mut self, block: Bytes) -> Result<()> {
         // Reclaim completed buffers first, then block on the oldest if the
         // window is exhausted (back-pressure point).
         while let Some(front) = self.in_flight.front_mut() {
@@ -234,10 +336,11 @@ impl WriteStream {
                 .expect("window non-empty")
                 .wait()?;
         }
-        let ep = self.endpoints[self.chooser.pick()];
-        let req = self
-            .mpi
-            .isend_ctx(Context::Stream, &self.universe, ep, self.tag, block)?;
+        let epi = self.chooser.pick();
+        let seq = self.next_seq[epi];
+        let payload = frame(seq, FLAG_DATA, &block);
+        let req = self.isend_retrying(self.endpoints[epi], payload)?;
+        self.next_seq[epi] = seq + 1;
         self.in_flight.push_back(req);
         self.blocks_sent += 1;
         Ok(())
@@ -253,17 +356,53 @@ impl WriteStream {
         if self.closed {
             return Ok(());
         }
-        self.flush()?;
+        if !self.current.is_empty() {
+            self.send_current()?;
+        }
+        // Mark closed before the FIN fan-out: if it fails part-way the
+        // stream is poisoned rather than half-closable again from `Drop`.
         self.closed = true;
-        for &ep in &self.endpoints {
-            // Zero-length block = end-of-stream marker.
-            self.mpi
-                .send_ctx(Context::Stream, &self.universe, ep, self.tag, Bytes::new())?;
+        for epi in 0..self.endpoints.len() {
+            // The FIN frame takes the sequence slot after the last data
+            // frame, so a reassembling reader can never see EOF overtake
+            // data, no matter how the transport reorders frames.
+            let fin = frame(self.next_seq[epi], FLAG_FIN, &[]);
+            self.next_seq[epi] += 1;
+            let ep = self.endpoints[epi];
+            let mut attempt = 0u32;
+            loop {
+                match self
+                    .mpi
+                    .send_ctx(Context::Stream, &self.universe, ep, self.tag, fin.clone())
+                {
+                    Ok(()) => break,
+                    Err(RtError::Dropped { .. }) if attempt < self.cfg.max_retries => {
+                        attempt += 1;
+                        self.retransmits += 1;
+                        std::thread::sleep(self.cfg.retry_backoff.saturating_mul(attempt));
+                    }
+                    Err(RtError::Dropped { .. }) => return Err(VmpiError::Timeout),
+                    Err(e) => return Err(e.into()),
+                }
+            }
         }
         for req in self.in_flight.drain(..) {
             req.wait()?;
         }
         Ok(())
+    }
+
+    /// Terminates the stream *without* signalling EOF — the model of a
+    /// writer crashing mid-stream. In-flight blocks may or may not arrive;
+    /// readers observe the missing close once this rank exits and surface
+    /// [`VmpiError::PeerLost`] instead of hanging.
+    pub fn abort(mut self) {
+        self.closed = true;
+        self.current.clear();
+        // Dropping the requests abandons their completion handles; any
+        // rendezvous blocks still parked are consumed (and de-duplicated)
+        // by the reader or reclaimed at job teardown.
+        self.in_flight.clear();
     }
 
     /// Total payload bytes accepted so far.
@@ -274,6 +413,11 @@ impl WriteStream {
     /// Full/partial blocks sent so far.
     pub fn blocks_sent(&self) -> u64 {
         self.blocks_sent
+    }
+
+    /// Resend attempts caused by injected transport drops.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
     }
 
     /// Number of remote endpoints.
@@ -371,6 +515,10 @@ struct SourceState {
     /// Pre-posted receives, completed in FIFO order (NA per source).
     reqs: VecDeque<Request>,
     eof: bool,
+    /// Next frame sequence expected from this writer.
+    next_seq: u64,
+    /// Frames that arrived ahead of a gap, keyed by sequence number.
+    stash: BTreeMap<u64, (u8, Bytes)>,
 }
 
 /// The reading end of a VMPI stream.
@@ -383,6 +531,7 @@ pub struct ReadStream {
     chooser: EndpointChooser,
     bytes_read: u64,
     blocks_read: u64,
+    dups_dropped: u64,
 }
 
 impl ReadStream {
@@ -418,6 +567,8 @@ impl ReadStream {
                 world,
                 reqs,
                 eof: false,
+                next_seq: 0,
+                stash: BTreeMap::new(),
             });
         }
         Ok(ReadStream {
@@ -429,6 +580,7 @@ impl ReadStream {
             chooser: EndpointChooser::new(0, cfg.balance), // n set per sweep
             bytes_read: 0,
             blocks_read: 0,
+            dups_dropped: 0,
         })
     }
 
@@ -437,8 +589,38 @@ impl ReadStream {
         self.sources.iter().all(|s| s.eof)
     }
 
+    fn repost(&mut self, idx: usize) -> Result<()> {
+        let world = self.sources[idx].world;
+        let req = self.mpi.irecv_ctx(
+            Context::Stream,
+            &self.universe,
+            Src::Rank(world),
+            TagSel::Tag(self.tag),
+        )?;
+        self.sources[idx].reqs.push_back(req);
+        Ok(())
+    }
+
+    /// Pops the next in-sequence frame from a source's reorder stash.
+    /// Returns a block for data frames; FIN frames flip the source to EOF.
+    fn take_stashed(&mut self, idx: usize) -> Option<Block> {
+        let src = &mut self.sources[idx];
+        let (flags, body) = src.stash.remove(&src.next_seq)?;
+        src.next_seq += 1;
+        if flags == FLAG_FIN {
+            src.eof = true;
+            return None;
+        }
+        self.bytes_read += body.len() as u64;
+        self.blocks_read += 1;
+        Some(Block {
+            source: src.world,
+            data: body,
+        })
+    }
+
     /// One sweep over the sources from a policy-chosen start.
-    /// Returns a completed block if any front request is done.
+    /// Returns a reassembled in-order block if one is deliverable.
     fn sweep(&mut self) -> Result<Option<Block>> {
         let n = self.sources.len();
         self.chooser.n = n;
@@ -451,47 +633,92 @@ impl ReadStream {
             if self.sources[idx].eof {
                 continue;
             }
-            let ready = match self.sources[idx].reqs.front_mut() {
-                Some(front) => front.is_complete(),
-                None => false,
-            };
-            if !ready {
-                continue;
+            // Frames already received whose turn has come.
+            if let Some(block) = self.take_stashed(idx) {
+                return Ok(Some(block));
             }
-            let req = self.sources[idx].reqs.pop_front().expect("front exists");
-            let (_st, data) = req.wait()?.expect("recv request yields payload");
-            if data.is_empty() {
-                // EOF marker: stop reposting; leftover posted receives for
-                // this source can never match (the writer is gone) and are
-                // reclaimed when the job ends.
-                self.sources[idx].eof = true;
-                continue;
+            if self.sources[idx].eof {
+                continue; // stashed FIN just landed
             }
-            // Re-post to keep NA buffers outstanding for this source.
-            let world = self.sources[idx].world;
-            let req = self.mpi.irecv_ctx(
-                Context::Stream,
-                &self.universe,
-                Src::Rank(world),
-                TagSel::Tag(self.tag),
-            )?;
-            self.sources[idx].reqs.push_back(req);
-            self.bytes_read += data.len() as u64;
-            self.blocks_read += 1;
-            return Ok(Some(Block {
-                source: world,
-                data,
-            }));
+            // Drain every completed pre-posted receive for this source.
+            loop {
+                let ready = match self.sources[idx].reqs.front_mut() {
+                    Some(front) => front.is_complete(),
+                    None => false,
+                };
+                if !ready {
+                    break;
+                }
+                let req = self.sources[idx].reqs.pop_front().expect("front exists");
+                let (_st, data) = req.wait()?.expect("recv request yields payload");
+                let Some((seq, flags, body)) = unframe(&data) else {
+                    // Unframed empty payload: legacy EOF marker; stop
+                    // reposting, leftover receives are reclaimed at job end.
+                    self.sources[idx].eof = true;
+                    break;
+                };
+                let src = &mut self.sources[idx];
+                if seq < src.next_seq {
+                    // Replay of a frame already delivered (duplicate fault
+                    // or a resend racing its original): discard.
+                    self.dups_dropped += 1;
+                    self.repost(idx)?;
+                    continue;
+                }
+                if seq > src.next_seq {
+                    // A gap: park until the missing frames arrive.
+                    src.stash.insert(seq, (flags, body));
+                    self.repost(idx)?;
+                    continue;
+                }
+                src.next_seq += 1;
+                if flags == FLAG_FIN {
+                    // EOF marker in sequence: every data frame before it
+                    // has been delivered. Stop reposting for this source.
+                    self.sources[idx].eof = true;
+                    break;
+                }
+                let world = src.world;
+                self.repost(idx)?;
+                self.bytes_read += body.len() as u64;
+                self.blocks_read += 1;
+                return Ok(Some(Block {
+                    source: world,
+                    data: body,
+                }));
+            }
         }
         Ok(None)
+    }
+
+    /// A source whose writer rank has exited without closing and for which
+    /// no deliverable frame remains. Because delivery is synchronous,
+    /// everything the writer ever sent is already in our mailbox when its
+    /// liveness flag drops — so this is loss, not latency.
+    fn lost_peer(&mut self) -> Option<usize> {
+        let uni = self.mpi.universe().clone();
+        for s in self.sources.iter_mut() {
+            if s.eof || uni.rank_alive(s.world) {
+                continue;
+            }
+            let front_ready = s.reqs.front_mut().map(|r| r.is_complete()).unwrap_or(false);
+            if !front_ready && !s.stash.contains_key(&s.next_seq) {
+                return Some(s.world);
+            }
+        }
+        None
     }
 
     /// Reads the next block (`VMPI_Stream_read`).
     ///
     /// * `Ok(Some(block))` — a block arrived;
     /// * `Ok(None)` — every writer closed (the paper's `read == 0`);
-    /// * `Err(VmpiError::Again)` — nothing ready in non-blocking mode.
+    /// * `Err(VmpiError::Again)` — nothing ready in non-blocking mode;
+    /// * `Err(VmpiError::Timeout)` — `cfg.read_timeout` elapsed;
+    /// * `Err(VmpiError::PeerLost)` — a writer died without closing; the
+    ///   source is marked EOF so later reads drain the surviving writers.
     pub fn read(&mut self, mode: ReadMode) -> Result<Option<Block>> {
+        let deadline = self.cfg.read_timeout.map(|t| Instant::now() + t);
         let mut spins = 0u32;
         loop {
             if let Some(block) = self.sweep()? {
@@ -500,9 +727,20 @@ impl ReadStream {
             if self.all_closed() {
                 return Ok(None);
             }
+            if let Some(rank) = self.lost_peer() {
+                if let Some(s) = self.sources.iter_mut().find(|s| s.world == rank) {
+                    s.eof = true;
+                }
+                return Err(VmpiError::PeerLost { rank });
+            }
             match mode {
                 ReadMode::NonBlocking => return Err(VmpiError::Again),
                 ReadMode::Blocking => {
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            return Err(VmpiError::Timeout);
+                        }
+                    }
                     // Progressive back-off: spin, yield, then micro-sleep.
                     spins += 1;
                     if spins < 64 {
@@ -525,6 +763,11 @@ impl ReadStream {
     /// Blocks received so far.
     pub fn blocks_read(&self) -> u64 {
         self.blocks_read
+    }
+
+    /// Duplicate frames discarded by sequence reassembly.
+    pub fn dups_dropped(&self) -> u64 {
+        self.dups_dropped
     }
 
     /// Number of writers feeding this endpoint.

@@ -3,9 +3,7 @@
 
 use opmr_runtime::Launcher;
 use opmr_vmpi::map::map_partitions;
-use opmr_vmpi::{
-    Balance, Map, MapPolicy, ReadMode, ReadStream, StreamConfig, Vmpi, WriteStream,
-};
+use opmr_vmpi::{Balance, Map, MapPolicy, ReadMode, ReadStream, StreamConfig, Vmpi, WriteStream};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};

@@ -1,11 +1,11 @@
 //! End-to-end VMPI stream tests: the writer/reader coupling of the paper's
 //! Figures 11 and 12, at thread scale.
 
+use opmr_runtime::Launcher;
 use opmr_vmpi::map::map_partitions;
 use opmr_vmpi::{
     Balance, Map, MapPolicy, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError, WriteStream,
 };
-use opmr_runtime::Launcher;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -106,8 +106,7 @@ fn blocking_read_mode() {
     Launcher::new()
         .partition("w", 1, |mpi| {
             let v = Vmpi::new(mpi);
-            let mut st =
-                WriteStream::open_to(&v, vec![1], small_cfg(256), 7).unwrap();
+            let mut st = WriteStream::open_to(&v, vec![1], small_cfg(256), 7).unwrap();
             std::thread::sleep(std::time::Duration::from_millis(30));
             st.write(&[9u8; 1000]).unwrap();
             st.close().unwrap();
@@ -134,7 +133,11 @@ fn nonblocking_read_reports_eagain_before_data() {
             // Wait for the go signal before writing anything.
             let u = v.comm_universe();
             v.mpi()
-                .recv(&u, opmr_runtime::Src::Rank(1), opmr_runtime::TagSel::Tag(99))
+                .recv(
+                    &u,
+                    opmr_runtime::Src::Rank(1),
+                    opmr_runtime::TagSel::Tag(99),
+                )
                 .unwrap();
             let mut st = WriteStream::open_to(&v, vec![1], small_cfg(128), 2).unwrap();
             st.write(&[1u8; 128]).unwrap();
@@ -180,8 +183,7 @@ fn per_writer_byte_order_is_preserved() {
         })
         .partition("r", 1, |mpi| {
             let v = Vmpi::new(mpi);
-            let mut st =
-                ReadStream::open_from(&v, vec![0, 1, 2], small_cfg(64), 3).unwrap();
+            let mut st = ReadStream::open_from(&v, vec![0, 1, 2], small_cfg(64), 3).unwrap();
             let mut next: HashMap<usize, u32> = HashMap::new();
             let mut leftover: HashMap<usize, Vec<u8>> = HashMap::new();
             while let Some(b) = st.read(ReadMode::Blocking).unwrap() {
@@ -270,13 +272,9 @@ fn multi_endpoint_writer_balances_blocks() {
         })
         .partition("r", 3, move |mpi| {
             let v = Vmpi::new(mpi);
-            let mut st = ReadStream::open_from(
-                &v,
-                vec![0],
-                StreamConfig::new(128, 3, Balance::None),
-                6,
-            )
-            .unwrap();
+            let mut st =
+                ReadStream::open_from(&v, vec![0], StreamConfig::new(128, 3, Balance::None), 6)
+                    .unwrap();
             let mut blocks = 0;
             while let Some(_b) = st.read(ReadMode::Blocking).unwrap() {
                 blocks += 1;
@@ -287,7 +285,10 @@ fn multi_endpoint_writer_balances_blocks() {
         .unwrap();
     let counts = counts.lock().unwrap();
     assert_eq!(counts.iter().sum::<u64>(), 9);
-    assert!(counts.iter().all(|&c| c == 3), "round robin split: {counts:?}");
+    assert!(
+        counts.iter().all(|&c| c == 3),
+        "round robin split: {counts:?}"
+    );
 }
 
 #[test]
@@ -322,7 +323,108 @@ fn random_balance_covers_endpoints() {
         .unwrap();
     let counts = counts.lock().unwrap();
     assert_eq!(counts.iter().sum::<u64>(), 40);
-    assert!(counts.iter().all(|&c| c > 0), "both endpoints used: {counts:?}");
+    assert!(
+        counts.iter().all(|&c| c > 0),
+        "both endpoints used: {counts:?}"
+    );
+}
+
+#[test]
+fn eof_only_after_all_writers_close() {
+    // One writer closes immediately, the other holds the stream open until
+    // released: the reader must keep reporting EAGAIN (never EOF) while any
+    // writer remains open.
+    Launcher::new()
+        .partition("w", 2, |mpi| {
+            let v = Vmpi::new(mpi);
+            let mut st = WriteStream::open_to(&v, vec![2], small_cfg(64), 11).unwrap();
+            st.write(&[v.rank() as u8; 64]).unwrap();
+            if v.rank() == 0 {
+                st.close().unwrap();
+            } else {
+                // Hold until the reader confirms it saw a non-EOF lull.
+                let u = v.comm_universe();
+                v.mpi()
+                    .recv(
+                        &u,
+                        opmr_runtime::Src::Rank(2),
+                        opmr_runtime::TagSel::Tag(77),
+                    )
+                    .unwrap();
+                st.close().unwrap();
+            }
+        })
+        .partition("r", 1, move |mpi| {
+            let v = Vmpi::new(mpi);
+            let mut st = ReadStream::open_from(&v, vec![0, 1], small_cfg(64), 11).unwrap();
+            // Drain both data blocks and writer 0's close.
+            let mut got = 0;
+            while got < 2 {
+                match st.read(ReadMode::NonBlocking) {
+                    Ok(Some(_)) => got += 1,
+                    Ok(None) => panic!("EOF before all writers closed"),
+                    Err(VmpiError::Again) => std::thread::yield_now(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            // All data consumed, writer 1 still open: must be Again, not EOF.
+            for _ in 0..100 {
+                match st.read(ReadMode::NonBlocking) {
+                    Err(VmpiError::Again) => {}
+                    Ok(None) => panic!("EOF while a writer is still open"),
+                    Ok(Some(_)) => panic!("no data should remain"),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            assert!(!st.all_closed());
+            // Release writer 1, then EOF must arrive.
+            let u = v.comm_universe();
+            v.mpi().send(&u, 1, 77, bytes::Bytes::new()).unwrap();
+            match st.read(ReadMode::Blocking) {
+                Ok(None) => {}
+                Ok(Some(_)) => panic!("no data should remain"),
+                Err(e) => panic!("{e}"),
+            }
+            assert!(st.all_closed());
+        })
+        .run()
+        .unwrap();
+}
+
+#[test]
+fn balance_none_pins_first_endpoint() {
+    // Balance::None sends every block to the first endpoint; the others
+    // see only the close marker.
+    let counts = Arc::new(Mutex::new(vec![0u64; 3]));
+    let c2 = Arc::clone(&counts);
+    Launcher::new()
+        .partition("w", 1, |mpi| {
+            let v = Vmpi::new(mpi);
+            let mut st = WriteStream::open_to(
+                &v,
+                vec![1, 2, 3],
+                StreamConfig::new(128, 3, Balance::None),
+                12,
+            )
+            .unwrap();
+            st.write(&vec![4u8; 128 * 9]).unwrap();
+            st.close().unwrap();
+        })
+        .partition("r", 3, move |mpi| {
+            let v = Vmpi::new(mpi);
+            let mut st =
+                ReadStream::open_from(&v, vec![0], StreamConfig::new(128, 3, Balance::None), 12)
+                    .unwrap();
+            let mut blocks = 0;
+            while let Some(_b) = st.read(ReadMode::Blocking).unwrap() {
+                blocks += 1;
+            }
+            c2.lock().unwrap()[v.rank()] = blocks;
+        })
+        .run()
+        .unwrap();
+    let counts = counts.lock().unwrap();
+    assert_eq!(&*counts, &[9, 0, 0], "None policy pins endpoint 0");
 }
 
 #[test]
@@ -334,13 +436,9 @@ fn backpressure_bounds_inflight_blocks() {
         .eager_limit(512)
         .partition("w", 1, |mpi| {
             let v = Vmpi::new(mpi);
-            let mut st = WriteStream::open_to(
-                &v,
-                vec![1],
-                StreamConfig::new(4096, 2, Balance::None),
-                9,
-            )
-            .unwrap();
+            let mut st =
+                WriteStream::open_to(&v, vec![1], StreamConfig::new(4096, 2, Balance::None), 9)
+                    .unwrap();
             st.write(&vec![3u8; 4096 * 50]).unwrap();
             assert_eq!(st.bytes_written(), 4096 * 50);
             assert_eq!(st.blocks_sent(), 50);
@@ -348,13 +446,9 @@ fn backpressure_bounds_inflight_blocks() {
         })
         .partition("r", 1, |mpi| {
             let v = Vmpi::new(mpi);
-            let mut st = ReadStream::open_from(
-                &v,
-                vec![0],
-                StreamConfig::new(4096, 2, Balance::None),
-                9,
-            )
-            .unwrap();
+            let mut st =
+                ReadStream::open_from(&v, vec![0], StreamConfig::new(4096, 2, Balance::None), 9)
+                    .unwrap();
             let mut total = 0u64;
             while let Some(b) = st.read(ReadMode::Blocking).unwrap() {
                 total += b.data.len() as u64;
@@ -374,8 +468,7 @@ fn duplex_stream_both_directions() {
     Launcher::new()
         .partition("left", 1, |mpi| {
             let v = Vmpi::new(mpi);
-            let mut dx =
-                opmr_vmpi::DuplexStream::open(&v, vec![1], small_cfg(256), 10).unwrap();
+            let mut dx = opmr_vmpi::DuplexStream::open(&v, vec![1], small_cfg(256), 10).unwrap();
             dx.write(&[1u8; 500]).unwrap();
             dx.flush().unwrap();
             // Read everything the peer sends, then close.
@@ -392,8 +485,7 @@ fn duplex_stream_both_directions() {
         })
         .partition("right", 1, |mpi| {
             let v = Vmpi::new(mpi);
-            let mut dx =
-                opmr_vmpi::DuplexStream::open(&v, vec![0], small_cfg(256), 10).unwrap();
+            let mut dx = opmr_vmpi::DuplexStream::open(&v, vec![0], small_cfg(256), 10).unwrap();
             dx.write(&[2u8; 300]).unwrap();
             dx.flush().unwrap();
             let mut got = 0;

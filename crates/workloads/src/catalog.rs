@@ -53,7 +53,8 @@ impl Benchmark {
 
     /// True when the benchmark can run on this rank count.
     pub fn supports_ranks(self, class: Class, ranks: usize) -> bool {
-        self.build(class, ranks, &opmr_netsim::tera100(), Some(1)).is_ok()
+        self.build(class, ranks, &opmr_netsim::tera100(), Some(1))
+            .is_ok()
     }
 
     /// Builds the workload. `iters_override` bounds simulated iterations.
@@ -65,8 +66,12 @@ impl Benchmark {
         iters_override: Option<u32>,
     ) -> Result<Workload> {
         match self {
-            Benchmark::Bt => sweep::workload(sweep::SweepBench::Bt, class, ranks, machine, iters_override),
-            Benchmark::Sp => sweep::workload(sweep::SweepBench::Sp, class, ranks, machine, iters_override),
+            Benchmark::Bt => {
+                sweep::workload(sweep::SweepBench::Bt, class, ranks, machine, iters_override)
+            }
+            Benchmark::Sp => {
+                sweep::workload(sweep::SweepBench::Sp, class, ranks, machine, iters_override)
+            }
             Benchmark::Lu => lu::workload(class, ranks, machine, iters_override),
             Benchmark::Cg => cg::workload(class, ranks, machine, iters_override),
             Benchmark::Ft => ft::workload(class, ranks, machine, iters_override),

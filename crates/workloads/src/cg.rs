@@ -144,11 +144,7 @@ mod tests {
             for r in 0..ranks {
                 let p = transpose_partner(ranks, r);
                 assert!(p < ranks);
-                assert_eq!(
-                    transpose_partner(ranks, p),
-                    r,
-                    "ranks={ranks} r={r} p={p}"
-                );
+                assert_eq!(transpose_partner(ranks, p), r, "ranks={ranks} r={r} p={p}");
             }
         }
     }

@@ -149,7 +149,10 @@ mod tests {
     fn parse_roundtrip() {
         for c in Class::ALL {
             assert_eq!(Class::parse(&c.letter().to_string()), Some(c));
-            assert_eq!(Class::parse(&c.letter().to_lowercase().to_string()), Some(c));
+            assert_eq!(
+                Class::parse(&c.letter().to_lowercase().to_string()),
+                Some(c)
+            );
         }
         assert_eq!(Class::parse("Z"), None);
     }

@@ -44,7 +44,11 @@ pub use class::Class;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WlError {
     /// The benchmark cannot run on this many ranks.
-    InvalidRanks { bench: &'static str, ranks: usize, need: &'static str },
+    InvalidRanks {
+        bench: &'static str,
+        ranks: usize,
+        need: &'static str,
+    },
     /// Unknown benchmark name in [`by_name`].
     UnknownBenchmark(String),
 }

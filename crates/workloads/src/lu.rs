@@ -70,10 +70,16 @@ pub fn workload(
             }
             body.push(Op::Compute { ns: stage_ns });
             if let Some(nb) = south {
-                body.push(Op::Send { to: nb, bytes: face_y });
+                body.push(Op::Send {
+                    to: nb,
+                    bytes: face_y,
+                });
             }
             if let Some(nb) = east {
-                body.push(Op::Send { to: nb, bytes: face_x });
+                body.push(Op::Send {
+                    to: nb,
+                    bytes: face_x,
+                });
             }
         }
         // Upper sweep: SE → NW wavefront.
@@ -86,10 +92,16 @@ pub fn workload(
             }
             body.push(Op::Compute { ns: stage_ns });
             if let Some(nb) = north {
-                body.push(Op::Send { to: nb, bytes: face_y });
+                body.push(Op::Send {
+                    to: nb,
+                    bytes: face_y,
+                });
             }
             if let Some(nb) = west {
-                body.push(Op::Send { to: nb, bytes: face_x });
+                body.push(Op::Send {
+                    to: nb,
+                    bytes: face_x,
+                });
             }
         }
         body.push(Op::Coll {
@@ -160,11 +172,7 @@ mod tests {
                 .iter()
                 .filter(|o| matches!(o, Op::Send { .. }))
                 .count();
-            assert_eq!(
-                sends,
-                sends_per_iter(grid, r),
-                "rank {r} send count"
-            );
+            assert_eq!(sends, sends_per_iter(grid, r), "rank {r} send count");
         }
         // Corner < edge < interior.
         let corner = sends_per_iter(grid, 0);

@@ -164,7 +164,10 @@ mod tests {
                 g.neighbor(g.rank(x + 1, 0), 1, 0),
                 g.neighbor(g.rank(x + 1, 0), -1, 0),
             );
-            let pos_a = a.iter().position(|&p| p == g.rank(x + 1, 0) as u32).unwrap();
+            let pos_a = a
+                .iter()
+                .position(|&p| p == g.rank(x + 1, 0) as u32)
+                .unwrap();
             let pos_b = b.iter().position(|&p| p == g.rank(x, 0) as u32).unwrap();
             assert_eq!(
                 pos_a, pos_b,

@@ -87,7 +87,9 @@ fn main() {
     let app = &outcome.report.apps[0];
     println!("CG.S profiled with two custom knowledge sources.\n");
     println!("message-size histogram (p2p):");
-    let labels = ["64B-127B", "128-255", "256-511", "512-1K", "1K-2K", "2K-4K", "4K-8K", ">=8K"];
+    let labels = [
+        "64B-127B", "128-255", "256-511", "512-1K", "1K-2K", "2K-4K", "4K-8K", ">=8K",
+    ];
     for (label, count) in labels.iter().zip(histogram.lock().iter()) {
         println!("  {label:>9} : {count}");
     }

@@ -13,7 +13,9 @@ use opmr::workloads::{Benchmark, Class};
 
 fn main() {
     let m = tera100();
-    let lu = Benchmark::Lu.build(Class::S, 12, &m, Some(3)).expect("LU.S");
+    let lu = Benchmark::Lu
+        .build(Class::S, 12, &m, Some(3))
+        .expect("LU.S");
     let cg = Benchmark::Cg.build(Class::S, 8, &m, Some(3)).expect("CG.S");
 
     let outcome = Session::builder()

@@ -33,8 +33,20 @@ fn main() {
 
     println!("EulerMHD on {ranks} ranks — online profile");
     println!("  events     : {}", app.events);
-    println!("  exchanges  : {}", app.profile.kind(EventKind::Sendrecv).map(|s| s.hits).unwrap_or(0));
-    println!("  allreduces : {}", app.profile.kind(EventKind::Allreduce).map(|s| s.hits).unwrap_or(0));
+    println!(
+        "  exchanges  : {}",
+        app.profile
+            .kind(EventKind::Sendrecv)
+            .map(|s| s.hits)
+            .unwrap_or(0)
+    );
+    println!(
+        "  allreduces : {}",
+        app.profile
+            .kind(EventKind::Allreduce)
+            .map(|s| s.hits)
+            .unwrap_or(0)
+    );
     println!(
         "  topology   : {} edges, symmetric={} (4-neighbour halo)",
         app.topology.edge_count(),
@@ -65,7 +77,9 @@ fn main() {
     println!(
         "  trace bytes on disk : {} ({} files)",
         trace.trace_bytes,
-        std::fs::read_dir(&trace_dir).map(|d| d.count()).unwrap_or(0)
+        std::fs::read_dir(&trace_dir)
+            .map(|d| d.count())
+            .unwrap_or(0)
     );
     println!(
         "  post-mortem events  : {} (online saw {})",

@@ -17,7 +17,9 @@ use opmr::workloads::{Benchmark, Class};
 
 fn main() {
     let m = tera100();
-    let cg = Benchmark::Cg.build(Class::S, 16, &m, Some(3)).expect("CG.S");
+    let cg = Benchmark::Cg
+        .build(Class::S, 16, &m, Some(3))
+        .expect("CG.S");
     let ft = Benchmark::Ft.build(Class::S, 8, &m, Some(3)).expect("FT.S");
     let euler = Benchmark::EulerMhd
         .build(Class::S, 12, &m, Some(5))
@@ -41,11 +43,6 @@ fn main() {
     }
     println!(
         "\n3 applications, {} total events, one report — no trace files involved.",
-        outcome
-            .report
-            .apps
-            .iter()
-            .map(|a| a.events)
-            .sum::<u64>()
+        outcome.report.apps.iter().map(|a| a.events).sum::<u64>()
     );
 }

@@ -20,7 +20,10 @@ fn main() {
         .expect("SP.D @1024");
 
     let reference = simulate(&w, &curie, &ToolModel::None).expect("reference");
-    println!("SP.D on {ranks} ranks (Curie model): reference {:.2} s/iter-block", reference.elapsed_s);
+    println!(
+        "SP.D on {ranks} ranks (Curie model): reference {:.2} s/iter-block",
+        reference.elapsed_s
+    );
     for (name, tool) in [
         ("Scalasca       ", ToolModel::scalasca()),
         ("ScoreP profile ", ToolModel::scorep_profile()),

@@ -31,7 +31,8 @@ fn main() {
                 }
             }
             imp.allreduce_sum(&world, &[r as u64]).expect("allreduce");
-            imp.compute(std::time::Duration::from_millis(2)).expect("compute");
+            imp.compute(std::time::Duration::from_millis(2))
+                .expect("compute");
         })
         .run()
         .expect("session");

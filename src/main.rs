@@ -88,7 +88,10 @@ fn simulate_cmd(args: &[String]) -> ExitCode {
         eprintln!("error: bad --class (use S, W, A, B, C or D)");
         return ExitCode::from(2);
     };
-    let ranks: usize = flag(args, "--ranks").unwrap_or("256").parse().unwrap_or(256);
+    let ranks: usize = flag(args, "--ranks")
+        .unwrap_or("256")
+        .parse()
+        .unwrap_or(256);
     let iters: u32 = flag(args, "--iters").unwrap_or("10").parse().unwrap_or(10);
     let machine: Machine = match flag(args, "--machine").unwrap_or("tera100") {
         "curie" => curie(),

@@ -18,7 +18,9 @@ fn online_profile_matches_ground_truth_counts() {
             let w = imp.comm_world();
             let (r, n) = (imp.rank(), imp.size());
             for i in 0..ROUNDS {
-                let req = imp.isend(&w, (r + 1) % n, i as i32, vec![1u8; 100]).unwrap();
+                let req = imp
+                    .isend(&w, (r + 1) % n, i as i32, vec![1u8; 100])
+                    .unwrap();
                 imp.recv(&w, Src::Rank((r + n - 1) % n), TagSel::Tag(i as i32))
                     .unwrap();
                 imp.wait(req).unwrap();

@@ -62,7 +62,8 @@ fn waitstate_balanced_ring_has_little_wait() {
             let (r, n) = (imp.rank(), imp.size());
             for i in 0..20 {
                 let req = imp.isend(&w, (r + 1) % n, i, vec![0u8; 32]).unwrap();
-                imp.recv(&w, Src::Rank((r + n - 1) % n), TagSel::Tag(i)).unwrap();
+                imp.recv(&w, Src::Rank((r + n - 1) % n), TagSel::Tag(i))
+                    .unwrap();
                 imp.wait(req).unwrap();
             }
         })
@@ -73,7 +74,10 @@ fn waitstate_balanced_ring_has_little_wait() {
     // Balanced ring: residual wait is scheduling noise. Assert per-transfer
     // mean well under the 5 ms engineered in the late-sender test.
     let mean = ws.total_late_sender_ns as f64 / ws.matched as f64;
-    assert!(mean < 2_000_000.0, "mean late-sender {mean} ns per transfer");
+    assert!(
+        mean < 2_000_000.0,
+        "mean late-sender {mean} ns per transfer"
+    );
 }
 
 #[test]
@@ -245,9 +249,6 @@ fn distributed_analyzer_equals_shared_engine() {
     }
     // Wait-state matching is channel-local, so distributed matching finds
     // the same transfers (each writer's events land on one analyzer rank).
-    let (wa, wb) = (
-        a.waitstate.as_ref().unwrap(),
-        b.waitstate.as_ref().unwrap(),
-    );
+    let (wa, wb) = (a.waitstate.as_ref().unwrap(), b.waitstate.as_ref().unwrap());
     assert_eq!(wa.matched + wa.unmatched, wb.matched + wb.unmatched);
 }

@@ -25,7 +25,11 @@ fn fig14_peak_anchor() {
     // 2560 writers + 2560 readers ⇒ ~98.5 GB/s on Tera 100.
     let m = tera100();
     let p = evaluate(&m, 2560, 1.0, 1 << 30);
-    assert!((p.throughput_bps / 1e9 - 98.5).abs() < 2.0, "{}", p.throughput_bps);
+    assert!(
+        (p.throughput_bps / 1e9 - 98.5).abs() < 2.0,
+        "{}",
+        p.throughput_bps
+    );
 }
 
 #[test]
@@ -72,7 +76,9 @@ fn fig14_best_case_beats_fs_by_an_order_of_magnitude() {
 
 fn overhead_pct(bench: Benchmark, class: Class, ranks: usize, tool: &ToolModel) -> f64 {
     let m = tera100();
-    let w = bench.build(class, ranks, &m, Some(test_iters())).expect("workload");
+    let w = bench
+        .build(class, ranks, &m, Some(test_iters()))
+        .expect("workload");
     let t0 = simulate(&w, &m, &ToolModel::None).unwrap().elapsed_s;
     let t1 = simulate(&w, &m, tool).unwrap().elapsed_s;
     (t1 - t0) / t0 * 100.0
@@ -125,7 +131,9 @@ fn fig15_euler_mhd_is_cheapest() {
 fn bi_anchors_within_order_of_magnitude() {
     let m = tera100();
     let sim = |class| {
-        let w = Benchmark::Sp.build(class, 900, &m, Some(test_iters())).unwrap();
+        let w = Benchmark::Sp
+            .build(class, 900, &m, Some(test_iters()))
+            .unwrap();
         simulate(&w, &m, &ToolModel::online_coupling(1.0)).unwrap()
     };
     let bi_c = sim(Class::C).bi_bps();
@@ -142,7 +150,9 @@ fn bi_anchors_within_order_of_magnitude() {
 
 fn fig16_overhead(tool: &ToolModel, ranks: usize) -> f64 {
     let m = curie();
-    let w = Benchmark::Sp.build(Class::D, ranks, &m, Some(test_iters())).unwrap();
+    let w = Benchmark::Sp
+        .build(Class::D, ranks, &m, Some(test_iters()))
+        .unwrap();
     let t0 = simulate(&w, &m, &ToolModel::None).unwrap().elapsed_s;
     let t1 = simulate(&w, &m, tool).unwrap().elapsed_s;
     (t1 - t0) / t0 * 100.0
@@ -192,7 +202,9 @@ fn fig16_volume_growth_matches_paper_band() {
     let m = curie();
     let iters = test_iters();
     let vol = |ranks: usize| {
-        let w = Benchmark::Sp.build(Class::D, ranks, &m, Some(iters)).unwrap();
+        let w = Benchmark::Sp
+            .build(Class::D, ranks, &m, Some(iters))
+            .unwrap();
         let r = simulate(&w, &m, &ToolModel::online_coupling(1.0)).unwrap();
         r.stats.event_bytes as f64 * (500.0 / iters as f64)
     };

@@ -1,0 +1,499 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of the `bytes` API it actually uses:
+//!
+//! * [`Bytes`] — cheaply cloneable immutable byte buffer (`Arc<[u8]>` plus
+//!   a view range, so `clone`/`slice`/`split_to` never copy payloads);
+//! * [`BytesMut`] — growable builder that [`BytesMut::freeze`]s into
+//!   [`Bytes`];
+//! * [`Buf`] / [`BufMut`] — little-endian cursor traits implemented for
+//!   `Bytes`, `&[u8]`, `BytesMut` and `Vec<u8>`.
+//!
+//! Semantics match the real crate for this subset; performance corners the
+//! real crate optimizes (inline storage, vtable specialization) are not
+//! reproduced.
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Bytes
+// ---------------------------------------------------------------------
+
+/// Immutable, cheaply cloneable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Wraps a static slice (copied once; the real crate borrows it).
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Copies a slice into a fresh buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Returns a view of a sub-range without copying.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end && end <= len, "slice {begin}..{end} of {len}");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Splits off and returns the first `at` bytes, keeping the rest.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to {at} of {}", self.len());
+        let front = self.slice(0..at);
+        self.start += at;
+        front
+    }
+
+    /// Splits off and returns the tail starting at `at`, keeping the front.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off {at} of {}", self.len());
+        let back = self.slice(at..);
+        self.end = self.start + at;
+        back
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from(s.as_bytes().to_vec())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        b.freeze()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(64) {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if self.len() > 64 {
+            write!(f, "…(+{})", self.len() - 64)?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+// ---------------------------------------------------------------------
+// BytesMut
+// ---------------------------------------------------------------------
+
+/// Growable byte buffer, frozen into [`Bytes`] when complete.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear()
+    }
+
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len)
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional)
+    }
+
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s)
+    }
+
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(new_len, value)
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Splits off and returns the first `at` bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.buf.split_off(at);
+        BytesMut {
+            buf: std::mem::replace(&mut self.buf, rest),
+        }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> BytesMut {
+        BytesMut { buf }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut(len={})", self.len())
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.buf.extend(iter)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Buf / BufMut
+// ---------------------------------------------------------------------
+
+macro_rules! get_le {
+    ($(($name:ident, $ty:ty)),+ $(,)?) => {
+        $(
+            fn $name(&mut self) -> $ty {
+                let mut raw = [0u8; std::mem::size_of::<$ty>()];
+                self.copy_to_slice(&mut raw);
+                <$ty>::from_le_bytes(raw)
+            }
+        )+
+    };
+}
+
+/// Read cursor over a byte source (little-endian accessors only — the wire
+/// format of this workspace is entirely little-endian).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The current contiguous front chunk.
+    fn chunk(&self) -> &[u8];
+    /// Consumes `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "copy_to_slice of {} with {} remaining",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    get_le!(
+        (get_u16_le, u16),
+        (get_u32_le, u32),
+        (get_u64_le, u64),
+        (get_i16_le, i16),
+        (get_i32_le, i32),
+        (get_i64_le, i64),
+    );
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance {cnt} of {}", self.len());
+        self.start += cnt;
+    }
+}
+
+macro_rules! put_le {
+    ($(($name:ident, $ty:ty)),+ $(,)?) => {
+        $(
+            fn $name(&mut self, v: $ty) {
+                self.put_slice(&v.to_le_bytes());
+            }
+        )+
+    };
+}
+
+/// Append-only write cursor (little-endian accessors only).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    put_le!(
+        (put_u16_le, u16),
+        (put_u32_le, u32),
+        (put_u64_le, u64),
+        (put_i16_le, i16),
+        (put_i32_le, i32),
+        (put_i64_le, i64),
+    );
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_slice_and_split_share_storage() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let front = b.split_to(2);
+        assert_eq!(&front[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn buf_roundtrip_le() {
+        let mut m = BytesMut::new();
+        m.put_u64_le(0xDEAD_BEEF_1234_5678);
+        m.put_u16_le(7);
+        m.put_i32_le(-5);
+        m.put_u8(9);
+        let mut b = m.freeze();
+        assert_eq!(b.remaining(), 15);
+        assert_eq!(b.get_u64_le(), 0xDEAD_BEEF_1234_5678);
+        assert_eq!(b.get_u16_le(), 7);
+        assert_eq!(b.get_i32_le(), -5);
+        assert_eq!(b.get_u8(), 9);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn slice_buf_advances() {
+        let v = [1u8, 2, 3, 4];
+        let mut s = &v[..];
+        s.advance(1);
+        assert_eq!(s.get_u16_le(), u16::from_le_bytes([2, 3]));
+        assert_eq!(s.remaining(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the subset this workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::gen_range` over half-open integer
+//! ranges. The generator is xorshift64* seeded through splitmix64 —
+//! deterministic and statistically fine for load balancing and tests, not
+//! cryptographic, and deliberately not stream-compatible with upstream
+//! `StdRng` (nothing in the workspace depends on upstream's stream).
+
+use std::ops::Range;
+
+/// Construction of a deterministic generator from a `u64` seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer range types accepted by [`Rng::gen_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+/// Raw 64-bit generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64) * (1.0 / ((1u64 << 53) as f64)) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl SampleRange for Range<$ty> {
+                type Output = $ty;
+                fn sample(self, rng: &mut dyn RngCore) -> $ty {
+                    assert!(self.start < self.end, "gen_range over empty range");
+                    let span = (self.end - self.start) as u64;
+                    // Modulo bias is < span/2^64 — irrelevant at the range
+                    // sizes used here (endpoint counts, partition sizes).
+                    self.start + (rng.next_u64() % span) as $ty
+                }
+            }
+        )+
+    };
+}
+
+impl_sample_range!(usize, u64, u32, u16, u8);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xorshift64* generator with splitmix64 seeding.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // splitmix64 finalizer: spreads low-entropy seeds (0, 1, 2…)
+            // over the whole state space and avoids the all-zero state.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            StdRng {
+                state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z },
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds_and_covers() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.gen_range(0usize..5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<usize> = (0..16).map(|_| a.gen_range(0usize..1_000_000)).collect();
+        let vb: Vec<usize> = (0..16).map(|_| b.gen_range(0usize..1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+}
