@@ -24,5 +24,5 @@ pub mod session;
 pub mod trace;
 
 pub use driver::{run_program, LiveOptions};
-pub use session::{Session, SessionBuilder, SessionError, SessionOutcome};
+pub use session::{Coupling, Session, SessionBuilder, SessionError, SessionOutcome};
 pub use trace::{analyze_sion_dir, analyze_trace_dir, TraceSession};

@@ -12,11 +12,25 @@ use crate::driver::{run_program, LiveOptions};
 use opmr_analysis::{AnalysisEngine, EngineConfig, MultiReport};
 use opmr_instrument::{InstrumentedMpi, RecorderStats};
 use opmr_netsim::Workload;
+use opmr_reduce::{run_node, NodeConfig, ReduceOp, ReduceStats, Tree};
 use opmr_runtime::{Launcher, Mpi};
-use opmr_vmpi::map::map_partitions;
+use opmr_vmpi::map::{map_partitions, map_partitions_directed};
 use opmr_vmpi::{Map, MapPolicy, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError};
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// How instrumented partitions couple to the analyzer partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Coupling {
+    /// The paper's direct partition mapping: every analyzer rank reads its
+    /// round-robin share of the writers (Figure 10).
+    Direct,
+    /// An executable TBON overlay (`opmr-reduce`): analyzer ranks form a
+    /// reduction tree of the given fanout; writers attach to the frontier
+    /// and data is folded per the configured [`ReduceOp`] on its way to
+    /// the tree root.
+    Tbon { fanout: usize },
+}
 
 /// Session failure.
 #[derive(Debug)]
@@ -58,6 +72,9 @@ pub struct SessionOutcome {
     pub recorders: Vec<(String, RecorderStats)>,
     /// Wall time of the whole MPMD job, seconds.
     pub wall_s: f64,
+    /// Per-tree-node reduction counters `(node index, stats)`, ascending;
+    /// empty under [`Coupling::Direct`].
+    pub reduce_stats: Vec<(usize, ReduceStats)>,
 }
 
 impl SessionOutcome {
@@ -92,6 +109,9 @@ pub struct SessionBuilder {
     engine_setup: Option<EngineSetup>,
     distributed: bool,
     fault_plan: Option<opmr_runtime::FaultPlan>,
+    coupling: Coupling,
+    reduce_op: ReduceOp,
+    reduce_window: usize,
 }
 
 /// Entry point: `Session::builder()`.
@@ -112,6 +132,9 @@ impl Session {
             engine_setup: None,
             distributed: false,
             fault_plan: None,
+            coupling: Coupling::Direct,
+            reduce_op: ReduceOp::PassThrough,
+            reduce_window: 8,
         }
     }
 }
@@ -149,6 +172,29 @@ impl SessionBuilder {
     /// views and are disabled in this mode.
     pub fn distributed(mut self) -> Self {
         self.distributed = true;
+        self
+    }
+
+    /// Selects how writers couple to the analyzer partition: the paper's
+    /// direct mapping (default) or the executable TBON reduction overlay.
+    pub fn coupling(mut self, c: Coupling) -> Self {
+        self.coupling = c;
+        self
+    }
+
+    /// Reduction operator applied by TBON nodes (ignored under
+    /// [`Coupling::Direct`]). Pass-through keeps the report byte-identical
+    /// to direct mapping; `Aggregate` merges windows in-network and the
+    /// engine is bypassed entirely.
+    pub fn reduce_op(mut self, op: ReduceOp) -> Self {
+        self.reduce_op = op;
+        self
+    }
+
+    /// Blocks absorbed per aggregation window before a TBON node forwards
+    /// the merged partial upward.
+    pub fn reduce_window(mut self, blocks: usize) -> Self {
+        self.reduce_window = blocks.max(1);
         self
     }
 
@@ -208,6 +254,14 @@ impl SessionBuilder {
         if self.apps.is_empty() {
             return Err(SessionError::Config("no applications added".into()));
         }
+        let coupling = self.coupling;
+        if self.distributed && !matches!(coupling, Coupling::Direct) {
+            return Err(SessionError::Config(
+                "distributed analysis and TBON coupling are alternative scaling \
+                 paths; pick one"
+                    .into(),
+            ));
+        }
         let names: std::collections::HashMap<u16, String> = self
             .apps
             .iter()
@@ -217,10 +271,19 @@ impl SessionBuilder {
         let distributed = self.distributed;
         let waitstate = self.waitstate;
         let engine_cfg = self.engine;
+        let node_cfg = NodeConfig {
+            op: self.reduce_op,
+            window_blocks: self.reduce_window,
+            waitstate,
+        };
+        // In-network aggregation produces merged partials, never raw event
+        // packs — the blackboard engine is bypassed like distributed mode.
+        let tbon_aggregate =
+            !matches!(coupling, Coupling::Direct) && matches!(self.reduce_op, ReduceOp::Aggregate);
 
         // Shared-engine mode keeps one engine for all analyzer ranks;
         // distributed mode builds one per analyzer rank inside its closure.
-        let engine = if distributed {
+        let engine = if distributed || tbon_aggregate {
             None
         } else {
             let engine = AnalysisEngine::new(engine_cfg);
@@ -240,6 +303,7 @@ impl SessionBuilder {
             Some(engine)
         };
         let merged_slot: Arc<Mutex<Option<MultiReport>>> = Arc::new(Mutex::new(None));
+        let reduce_stats: Arc<Mutex<Vec<(usize, ReduceStats)>>> = Arc::new(Mutex::new(Vec::new()));
 
         let recorders: Arc<Mutex<Vec<(String, RecorderStats)>>> = Arc::new(Mutex::new(Vec::new()));
         let stream_cfg = self.stream;
@@ -254,8 +318,25 @@ impl SessionBuilder {
             let name = spec.name.clone();
             let recs = Arc::clone(&recorders);
             launcher = launcher.partition(&spec.name, spec.ranks, move |mpi: Mpi| {
-                let imp = InstrumentedMpi::init(mpi, "Analyzer", stream_cfg, 0, app_id as u16)
-                    .expect("instrumented init");
+                let imp = match coupling {
+                    Coupling::Direct => {
+                        InstrumentedMpi::init(mpi, "Analyzer", stream_cfg, 0, app_id as u16)
+                    }
+                    Coupling::Tbon { fanout } => {
+                        // Both sides derive the same tree from (fanout,
+                        // analyzer size); only the pivot evaluates the policy.
+                        let policy = Tree::new(fanout, analyzer_ranks).leaf_policy();
+                        InstrumentedMpi::init_directed(
+                            mpi,
+                            "Analyzer",
+                            policy,
+                            stream_cfg,
+                            0,
+                            app_id as u16,
+                        )
+                    }
+                }
+                .expect("instrumented init");
                 body(&imp);
                 let stats = imp.finalize().expect("instrumented finalize");
                 recs.lock().push((name.clone(), stats));
@@ -264,8 +345,9 @@ impl SessionBuilder {
         let engine_for_analyzer = engine.clone();
         let names_for_analyzer = names.clone();
         let slot_for_analyzer = Arc::clone(&merged_slot);
-        launcher = launcher.partition("Analyzer", analyzer_ranks, move |mpi: Mpi| {
-            match &engine_for_analyzer {
+        let stats_for_analyzer = Arc::clone(&reduce_stats);
+        launcher = launcher.partition("Analyzer", analyzer_ranks, move |mpi: Mpi| match coupling {
+            Coupling::Direct => match &engine_for_analyzer {
                 Some(engine) => analyzer_rank(mpi, engine, stream_cfg),
                 None => distributed_analyzer_rank(
                     mpi,
@@ -275,7 +357,17 @@ impl SessionBuilder {
                     &names_for_analyzer,
                     &slot_for_analyzer,
                 ),
-            }
+            },
+            Coupling::Tbon { fanout } => tbon_analyzer_rank(
+                mpi,
+                fanout,
+                &node_cfg,
+                engine_for_analyzer.as_ref(),
+                stream_cfg,
+                &names_for_analyzer,
+                &slot_for_analyzer,
+                &stats_for_analyzer,
+            ),
         });
 
         let t0 = std::time::Instant::now();
@@ -292,12 +384,61 @@ impl SessionBuilder {
             .map(|m| m.into_inner())
             .unwrap_or_default();
         recorders.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut reduce_stats = Arc::try_unwrap(reduce_stats)
+            .map(|m| m.into_inner())
+            .unwrap_or_default();
+        reduce_stats.sort_by_key(|e| e.0);
         Ok(SessionOutcome {
             report,
             recorders,
             wall_s,
+            reduce_stats,
         })
     }
+}
+
+/// TBON analyzer rank: run one reduction-tree node over this rank's share
+/// of the overlay. The root feeds surviving raw blocks into the shared
+/// engine (pass-through / filter) or merges in-network partials into the
+/// final report (aggregate).
+#[allow(clippy::too_many_arguments)]
+fn tbon_analyzer_rank(
+    mpi: Mpi,
+    fanout: usize,
+    node_cfg: &NodeConfig,
+    engine: Option<&AnalysisEngine>,
+    stream_cfg: StreamConfig,
+    names: &std::collections::HashMap<u16, String>,
+    slot: &Mutex<Option<MultiReport>>,
+    stats_sink: &Mutex<Vec<(usize, ReduceStats)>>,
+) {
+    let v = Vmpi::new(mpi);
+    let tree = Tree::new(fanout, v.size());
+    // Additively adopt every application's leaves (Figure 10), with the
+    // tree partition mastering each mapping so frontier nodes get their
+    // children regardless of relative partition sizes.
+    let mut map = Map::new();
+    for pid in 0..v.partition_count() {
+        if pid != v.partition_id() {
+            map_partitions_directed(&v, pid, v.partition_id(), tree.leaf_policy(), &mut map)
+                .expect("overlay mapping");
+        }
+    }
+    let outcome = run_node(&v, &tree, map.peers(), stream_cfg, 0, node_cfg, |block| {
+        if let Some(engine) = engine {
+            engine.post_block(block);
+        }
+    })
+    .expect("reduction node");
+    if v.rank() == 0 && matches!(node_cfg.op, ReduceOp::Aggregate) {
+        let sets = vec![outcome
+            .partials
+            .iter()
+            .map(|p| p.to_app_partial())
+            .collect::<Vec<_>>()];
+        *slot.lock() = Some(MultiReport::from_partials(sets, names));
+    }
+    stats_sink.lock().push((v.rank(), outcome.stats));
 }
 
 /// Distributed-analysis analyzer rank (Section VI): local engine per rank,
@@ -435,5 +576,161 @@ mod tests {
             Session::builder().run(),
             Err(SessionError::Config(_))
         ));
+    }
+
+    /// Quickstart-shaped ring workload: isend/recv/wait rounds with
+    /// periodic barriers and a closing allreduce.
+    fn ring_rounds(imp: &opmr_instrument::InstrumentedMpi, rounds: i32) {
+        let w = imp.comm_world();
+        let n = imp.size();
+        let r = imp.rank();
+        for round in 0..rounds {
+            let req = imp.isend(&w, (r + 1) % n, round, vec![2u8; 256]).unwrap();
+            imp.recv(&w, Src::Rank((r + n - 1) % n), TagSel::Tag(round))
+                .unwrap();
+            imp.wait(req).unwrap();
+            if round % 10 == 0 {
+                imp.barrier(&w).unwrap();
+            }
+        }
+        imp.allreduce_sum(&w, &[r as u64]).unwrap();
+    }
+
+    /// Projects a report onto its timing-independent content through the
+    /// canonical partial encoding, so reports from two *separate runs*
+    /// (whose wall-clock duration fields necessarily differ) can be
+    /// compared byte-for-byte.
+    fn scrubbed_partials(report: &MultiReport) -> Vec<u8> {
+        use opmr_analysis::profiler::MpiProfile;
+        use opmr_analysis::topology::Topology;
+        use opmr_analysis::wire::{encode_partials, AppPartial};
+        let parts: Vec<AppPartial> = report
+            .to_partials()
+            .iter()
+            .map(|p| {
+                let mut profile = MpiProfile::new();
+                for kind in p.profile.kinds() {
+                    for rank in 0..p.profile.ranks() {
+                        if let Some(c) = p.profile.rank_kind(rank, kind) {
+                            profile.absorb_stats(rank, kind, c.hits, 0, c.bytes, 0, 0);
+                        }
+                    }
+                }
+                let mut topology = Topology::new();
+                for ((s, d), w) in p.topology.sorted_edges() {
+                    topology.add_weighted(s, d, w.hits, w.bytes, 0);
+                }
+                AppPartial {
+                    app_id: p.app_id,
+                    packs: p.packs,
+                    wire_bytes: p.wire_bytes,
+                    decode_errors: p.decode_errors,
+                    profile,
+                    topology,
+                    waitstate: None,
+                }
+            })
+            .collect();
+        encode_partials(&parts).to_vec()
+    }
+
+    fn quickstart_session() -> SessionBuilder {
+        Session::builder()
+            .analyzer_ranks(3)
+            .app("ring", 8, |imp| ring_rounds(imp, 30))
+    }
+
+    #[test]
+    fn tbon_passthrough_report_is_byte_identical_to_direct() {
+        // Acceptance: for ρ = 1 pass-through the overlay must be
+        // invisible — the root re-posts exactly the leaf blocks, so the
+        // merged report equals direct mapping byte-for-byte (modulo the
+        // wall-clock fields scrubbed identically on both sides).
+        let direct = quickstart_session().run().unwrap();
+        let tbon = quickstart_session()
+            .coupling(Coupling::Tbon { fanout: 2 })
+            .run()
+            .unwrap();
+
+        assert_eq!(
+            scrubbed_partials(&direct.report),
+            scrubbed_partials(&tbon.report),
+            "ρ=1 overlay changed the report"
+        );
+
+        // Direct coupling runs no overlay; TBON reports one stat row per
+        // analyzer rank, and at ρ=1 every node forwards all it ingests.
+        assert!(direct.reduce_stats.is_empty());
+        assert_eq!(tbon.reduce_stats.len(), 3);
+        let total_packs: u64 = tbon.recorders.iter().map(|(_, s)| s.packs).sum();
+        let root = tbon.reduce_stats[0].1;
+        assert_eq!(root.blocks_in, total_packs, "root ingests every pack");
+        for (node, s) in &tbon.reduce_stats {
+            assert_eq!(
+                s.blocks_forwarded, s.blocks_in,
+                "node {node} dropped traffic at ρ=1"
+            );
+            assert_eq!(s.peers_lost, 0);
+            assert_eq!(s.decode_errors, 0);
+        }
+    }
+
+    #[test]
+    fn tbon_aggregate_report_matches_direct() {
+        // Full in-network aggregation: packs never reach the analyzer
+        // engine, yet the merged partials carry the same counts.
+        let direct = quickstart_session().run().unwrap();
+        let tbon = quickstart_session()
+            .coupling(Coupling::Tbon { fanout: 2 })
+            .reduce_op(ReduceOp::Aggregate)
+            .run()
+            .unwrap();
+
+        assert_eq!(
+            scrubbed_partials(&direct.report),
+            scrubbed_partials(&tbon.report),
+            "in-network aggregation changed the report"
+        );
+
+        // Aggregation actually merged windows, and the upward traffic is
+        // partial sets rather than the full event stream.
+        let root = tbon.reduce_stats[0].1;
+        assert!(root.merges > 0);
+        assert!(root.windows_closed > 0);
+        let leaf_bytes: u64 = tbon.recorders.iter().map(|(_, s)| s.wire_bytes).sum();
+        assert!(
+            root.bytes_in < leaf_bytes,
+            "root saw {} of {} leaf bytes",
+            root.bytes_in,
+            leaf_bytes
+        );
+    }
+
+    #[test]
+    fn tbon_filter_reduces_delivered_packs() {
+        let direct = quickstart_session().run().unwrap();
+        let tbon = quickstart_session()
+            .coupling(Coupling::Tbon { fanout: 2 })
+            .reduce_op(ReduceOp::Filter { keep_one_in: 2 })
+            .run()
+            .unwrap();
+        let direct_packs: u64 = direct.report.apps.iter().map(|a| a.packs).sum();
+        let tbon_packs: u64 = tbon.report.apps.iter().map(|a| a.packs).sum();
+        assert!(
+            tbon_packs < direct_packs,
+            "filtering must shed packs ({tbon_packs} vs {direct_packs})"
+        );
+        for (_, s) in &tbon.reduce_stats {
+            assert!(s.blocks_forwarded <= s.blocks_in);
+        }
+    }
+
+    #[test]
+    fn distributed_and_tbon_are_mutually_exclusive() {
+        let res = quickstart_session()
+            .distributed()
+            .coupling(Coupling::Tbon { fanout: 2 })
+            .run();
+        assert!(matches!(res, Err(SessionError::Config(_))));
     }
 }

@@ -12,7 +12,7 @@ use bytes::Bytes;
 use opmr_events::{Event, EventKind};
 use opmr_runtime::collectives::ops as reduce_ops;
 use opmr_runtime::{Comm, CommId, Mpi, Pod, Src, Status, TagSel};
-use opmr_vmpi::map::map_partitions;
+use opmr_vmpi::map::{map_partitions, map_partitions_directed};
 use opmr_vmpi::{Map, MapPolicy, Result, StreamConfig, Vmpi, VmpiError, WriteStream};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -59,6 +59,37 @@ impl InstrumentedMpi {
             .clone();
         let mut map = Map::new();
         map_partitions(&vmpi, analyzer.id, MapPolicy::RoundRobin, &mut map)?;
+        let stream = WriteStream::open_map(&vmpi, &map, stream_cfg, stream_id)?;
+        Self::build(
+            vmpi,
+            PackSink::Stream(stream),
+            app_id,
+            stream_cfg.block_size,
+            t_start,
+        )
+    }
+
+    /// Instruments a rank like [`InstrumentedMpi::init`], but maps onto the
+    /// analyzer partition with an explicit policy and with the *analyzer*
+    /// side mastering the mapping regardless of partition sizes. Reduction
+    /// overlays use this to attach leaves to specific tree nodes (the
+    /// policy picks the frontier node for each arriving leaf).
+    pub fn init_directed(
+        mpi: Mpi,
+        analyzer_partition: &str,
+        policy: MapPolicy,
+        stream_cfg: StreamConfig,
+        stream_id: u16,
+        app_id: u16,
+    ) -> Result<Self> {
+        let t_start = mpi.wtime_ns();
+        let vmpi = Vmpi::new(mpi);
+        let analyzer = vmpi
+            .partition_by_name(analyzer_partition)
+            .ok_or_else(|| VmpiError::UnknownPartition(analyzer_partition.to_string()))?
+            .clone();
+        let mut map = Map::new();
+        map_partitions_directed(&vmpi, analyzer.id, analyzer.id, policy, &mut map)?;
         let stream = WriteStream::open_map(&vmpi, &map, stream_cfg, stream_id)?;
         Self::build(
             vmpi,

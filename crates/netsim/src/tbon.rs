@@ -47,6 +47,17 @@ impl TbonConfig {
         }
     }
 
+    /// A tree calibrated against a *measured* node drain bandwidth
+    /// (bytes/s), e.g. observed on the executable reduction overlay —
+    /// keeps the analytic model and live runs comparable on one axis.
+    pub fn calibrated(fanout: usize, reduction_ratio: f64, node_bw: f64) -> TbonConfig {
+        TbonConfig {
+            fanout: fanout.max(2),
+            reduction_ratio: reduction_ratio.clamp(0.0, 1.0),
+            node_bw: node_bw.max(1.0),
+        }
+    }
+
     /// Tree depth over `leaves` leaf ranks (levels of internal nodes).
     pub fn depth(&self, leaves: usize) -> usize {
         let mut depth = 0;
@@ -170,6 +181,18 @@ mod tests {
         let t_cap = tbon.capacity_bps(4096);
         let d_cap = direct_mapping_capacity_bps(&m, 4096, 1);
         assert!(t_cap > d_cap, "tbon {t_cap} vs single-analyzer {d_cap}");
+    }
+
+    #[test]
+    fn calibrated_clamps_inputs() {
+        let t = TbonConfig::calibrated(1, 3.0, -5.0);
+        assert_eq!(t.fanout, 2);
+        assert_eq!(t.reduction_ratio, 1.0);
+        assert_eq!(t.node_bw, 1.0);
+        let u = TbonConfig::calibrated(4, 0.25, 2e8);
+        assert_eq!(u.fanout, 4);
+        assert_eq!(u.reduction_ratio, 0.25);
+        assert_eq!(u.node_bw, 2e8);
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Windowed streaming reduction nodes.
+//!
+//! Every rank of the tree partition runs [`run_node`]: it opens one VMPI
+//! read stream across its children (internal tree nodes below it plus any
+//! instrumented leaves the map pivot assigned to it) and, unless it is the
+//! root, one write stream to its parent. Incoming blocks are folded
+//! according to the configured [`ReduceOp`]:
+//!
+//! * **PassThrough** (ρ = 1) — every block is forwarded unchanged, one
+//!   block per incoming block, so the root receives the exact event packs
+//!   the leaves emitted and can feed the ordinary analysis engine;
+//! * **Filter** (ρ = 1/k) — a deterministic 1-in-k sample of blocks
+//!   survives each hop (the MRNet-style filter regime of the capacity
+//!   model);
+//! * **Aggregate** (ρ → 0) — frontier nodes decode event packs into
+//!   per-application [`ReducePartial`]s, merge a window's worth, and ship
+//!   the merged partial upward; inner nodes merge their children's
+//!   partials again. Only aggregates ever reach the root.
+//!
+//! Upward writes go through the stream layer's bounded async window, so
+//! back-pressure propagates down the tree exactly as it does for direct
+//! partition mapping. All per-node activity is counted in [`ReduceStats`].
+
+use crate::partial::{decode_partial_set, encode_partial_set, frame, FrameBuf, ReducePartial};
+use crate::tree::Tree;
+use bytes::Bytes;
+use opmr_analysis::waitstate::WaitStateAnalysis;
+use opmr_events::EventPack;
+use opmr_vmpi::{ReadMode, ReadStream, Result, StreamConfig, Vmpi, VmpiError, WriteStream};
+use std::collections::{BTreeMap, HashSet};
+
+/// What a node does to a window of incoming data before forwarding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReduceOp {
+    /// Forward every block unchanged (ρ = 1, full event streaming).
+    PassThrough,
+    /// Forward one block in `keep_one_in`, drop the rest (ρ = 1/k).
+    Filter { keep_one_in: u32 },
+    /// Merge windows into [`ReducePartial`]s and forward only those.
+    Aggregate,
+}
+
+impl ReduceOp {
+    /// The per-hop reduction ratio ρ the netsim capacity model assigns to
+    /// this operator; `None` for aggregation (ρ is data-dependent there —
+    /// measure it from [`ReduceStats`] instead).
+    pub fn model_ratio(&self) -> Option<f64> {
+        match self {
+            ReduceOp::PassThrough => Some(1.0),
+            ReduceOp::Filter { keep_one_in } => Some(1.0 / (*keep_one_in).max(1) as f64),
+            ReduceOp::Aggregate => None,
+        }
+    }
+}
+
+/// Node configuration: the operator, the merge-window size, and whether
+/// frontier nodes run wait-state matching while aggregating.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    pub op: ReduceOp,
+    /// Incoming blocks absorbed per window before it closes (Aggregate).
+    pub window_blocks: usize,
+    /// Run wait-state analysis over aggregated events at the frontier.
+    pub waitstate: bool,
+}
+
+impl Default for NodeConfig {
+    fn default() -> NodeConfig {
+        NodeConfig {
+            op: ReduceOp::PassThrough,
+            window_blocks: 8,
+            waitstate: false,
+        }
+    }
+}
+
+/// Lightweight per-node counters, snapshotted when the node drains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// Blocks received from children.
+    pub blocks_in: u64,
+    /// Blocks (or framed windows) forwarded upward / delivered at root.
+    pub blocks_forwarded: u64,
+    /// Bytes received from children.
+    pub bytes_in: u64,
+    /// Bytes forwarded upward / delivered at root.
+    pub bytes_out: u64,
+    /// Merge operations applied (pack absorptions + partial merges).
+    pub merges: u64,
+    /// Aggregation windows closed.
+    pub windows_closed: u64,
+    /// Children lost mid-stream (typed `PeerLost`).
+    pub peers_lost: u64,
+    /// Incoming blocks that failed to decode.
+    pub decode_errors: u64,
+}
+
+impl ReduceStats {
+    /// Accumulates another node's counters (for whole-tree totals).
+    pub fn absorb(&mut self, o: &ReduceStats) {
+        self.blocks_in += o.blocks_in;
+        self.blocks_forwarded += o.blocks_forwarded;
+        self.bytes_in += o.bytes_in;
+        self.bytes_out += o.bytes_out;
+        self.merges += o.merges;
+        self.windows_closed += o.windows_closed;
+        self.peers_lost += o.peers_lost;
+        self.decode_errors += o.decode_errors;
+    }
+
+    /// Measured per-node reduction ratio (bytes out / bytes in).
+    pub fn measured_ratio(&self) -> f64 {
+        if self.bytes_in == 0 {
+            1.0
+        } else {
+            self.bytes_out as f64 / self.bytes_in as f64
+        }
+    }
+}
+
+/// What a finished node hands back.
+#[derive(Debug, Default)]
+pub struct NodeOutcome {
+    pub stats: ReduceStats,
+    /// Root under [`ReduceOp::Aggregate`]: the fully merged per-application
+    /// partials, ascending `app_id`. Empty everywhere else.
+    pub partials: Vec<ReducePartial>,
+}
+
+/// One application's open aggregation window.
+#[derive(Default)]
+struct Accum {
+    partial: ReducePartial,
+    ws: Option<WaitStateAnalysis>,
+}
+
+impl Accum {
+    fn new(app_id: u16, waitstate: bool) -> Accum {
+        Accum {
+            partial: ReducePartial::new(app_id),
+            ws: waitstate.then(WaitStateAnalysis::new),
+        }
+    }
+
+    fn absorb_pack(&mut self, pack: &EventPack, block_len: usize) {
+        self.partial.packs += 1;
+        self.partial.wire_bytes += block_len as u64;
+        self.partial.profile.add_all(&pack.events);
+        self.partial.topology.add_all(&pack.events);
+        for e in &pack.events {
+            self.partial.density.add_event(e.rank);
+            if let Some(ws) = &mut self.ws {
+                ws.add(e);
+            }
+        }
+    }
+
+    fn absorb_partial(&mut self, other: &ReducePartial) {
+        use crate::reducible::Reducible;
+        let other_ws = other.waitstate.clone();
+        let mut flat = other.clone();
+        flat.waitstate = None;
+        self.partial.merge_from(&flat);
+        if let Some(w) = &other_ws {
+            self.ws.get_or_insert_with(WaitStateAnalysis::new).absorb(w);
+        }
+    }
+
+    fn into_partial(mut self) -> ReducePartial {
+        if let Some(ws) = &mut self.ws {
+            self.partial.waitstate = Some(ws.finish().clone());
+        }
+        self.partial
+    }
+}
+
+/// Runs one tree node to completion on the calling rank.
+///
+/// `leaf_children` are the world ranks of instrumented leaves the map
+/// pivot assigned to this node (empty for inner nodes); internal children
+/// are derived from `tree` and the caller's partition-local rank. The
+/// root (node 0) delivers surviving raw blocks to `on_root_block`
+/// (PassThrough / Filter) or returns merged partials (Aggregate).
+pub fn run_node(
+    v: &Vmpi,
+    tree: &Tree,
+    leaf_children: &[usize],
+    cfg: StreamConfig,
+    stream_id: u16,
+    node_cfg: &NodeConfig,
+    mut on_root_block: impl FnMut(Bytes),
+) -> Result<NodeOutcome> {
+    let me = v.rank();
+    let part = v.my_partition().clone();
+    let internal: Vec<usize> = tree
+        .internal_children(me)
+        .map(|c| part.world_rank_of(c))
+        .collect();
+    let leaves: HashSet<usize> = leaf_children.iter().copied().collect();
+    let mut sources: Vec<usize> = internal.clone();
+    sources.extend(leaf_children);
+    let is_root = tree.parent(me).is_none();
+
+    let mut tx = match tree.parent(me) {
+        Some(p) => Some(WriteStream::open_to(
+            v,
+            vec![part.world_rank_of(p)],
+            cfg,
+            stream_id,
+        )?),
+        None => None,
+    };
+
+    let mut out = NodeOutcome::default();
+    if sources.is_empty() {
+        // Childless node (more tree nodes than leaves): just complete the
+        // close protocol so the parent reaches EOF.
+        if let Some(tx) = tx {
+            tx.close()?;
+        }
+        return Ok(out);
+    }
+
+    let mut rx = ReadStream::open_from(v, sources, cfg, stream_id)?;
+    let aggregate = matches!(node_cfg.op, ReduceOp::Aggregate);
+    // Aggregate state: open windows per app, frame reassembly per child.
+    let mut window: BTreeMap<u16, Accum> = BTreeMap::new();
+    let mut frames: BTreeMap<usize, FrameBuf> = BTreeMap::new();
+    let mut final_accum: BTreeMap<u16, Accum> = BTreeMap::new();
+    let mut window_fill = 0usize;
+
+    loop {
+        let block = match rx.read(ReadMode::Blocking) {
+            Ok(Some(b)) => b,
+            Ok(None) => break,
+            Err(VmpiError::PeerLost { rank: _ }) => {
+                out.stats.peers_lost += 1;
+                continue;
+            }
+            Err(VmpiError::Again) => {
+                std::thread::yield_now();
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        out.stats.blocks_in += 1;
+        out.stats.bytes_in += block.data.len() as u64;
+
+        match node_cfg.op {
+            ReduceOp::PassThrough => {
+                forward(&mut out.stats, &mut tx, &mut on_root_block, block.data)?;
+            }
+            ReduceOp::Filter { keep_one_in } => {
+                let k = keep_one_in.max(1) as u64;
+                if (out.stats.blocks_in - 1) % k == 0 {
+                    forward(&mut out.stats, &mut tx, &mut on_root_block, block.data)?;
+                }
+            }
+            ReduceOp::Aggregate => {
+                if leaves.contains(&block.source) {
+                    // Leaf traffic: one raw event pack per block.
+                    match EventPack::decode(&block.data) {
+                        Ok(pack) => {
+                            window
+                                .entry(pack.header.app_id)
+                                .or_insert_with(|| {
+                                    Accum::new(pack.header.app_id, node_cfg.waitstate)
+                                })
+                                .absorb_pack(&pack, block.data.len());
+                            out.stats.merges += 1;
+                            window_fill += 1;
+                        }
+                        Err(_) => out.stats.decode_errors += 1,
+                    }
+                } else {
+                    // Inner traffic: framed partial sets from a child node.
+                    let fb = frames.entry(block.source).or_default();
+                    fb.push(&block.data);
+                    while let Some(payload) = fb.next_frame() {
+                        match decode_partial_set(&payload) {
+                            Ok(parts) => {
+                                for p in &parts {
+                                    window
+                                        .entry(p.app_id)
+                                        .or_insert_with(|| Accum::new(p.app_id, node_cfg.waitstate))
+                                        .absorb_partial(p);
+                                    out.stats.merges += 1;
+                                }
+                                window_fill += 1;
+                            }
+                            Err(_) => out.stats.decode_errors += 1,
+                        }
+                    }
+                }
+                if window_fill >= node_cfg.window_blocks.max(1) {
+                    close_window(
+                        &mut out.stats,
+                        &mut window,
+                        &mut final_accum,
+                        &mut tx,
+                        is_root,
+                    )?;
+                    window_fill = 0;
+                }
+            }
+        }
+    }
+
+    if aggregate {
+        // EOF: flush whatever the last window holds.
+        if !window.is_empty() {
+            close_window(
+                &mut out.stats,
+                &mut window,
+                &mut final_accum,
+                &mut tx,
+                is_root,
+            )?;
+        }
+        if is_root {
+            out.partials = final_accum.into_values().map(Accum::into_partial).collect();
+        }
+    }
+    if let Some(tx) = tx {
+        tx.close()?;
+    }
+    Ok(out)
+}
+
+/// Forwards one surviving raw block: up the tree, or into the root sink.
+fn forward(
+    stats: &mut ReduceStats,
+    tx: &mut Option<WriteStream>,
+    on_root_block: &mut impl FnMut(Bytes),
+    data: Bytes,
+) -> Result<()> {
+    stats.blocks_forwarded += 1;
+    stats.bytes_out += data.len() as u64;
+    match tx {
+        Some(tx) => {
+            // Write-then-flush keeps the one-pack-per-block invariant at
+            // every hop, so the root sees exactly the leaf framing.
+            tx.write(&data)?;
+            tx.flush()?;
+        }
+        None => on_root_block(data),
+    }
+    Ok(())
+}
+
+/// Closes the open aggregation window: merge into the root accumulator,
+/// or encode + frame + forward to the parent.
+fn close_window(
+    stats: &mut ReduceStats,
+    window: &mut BTreeMap<u16, Accum>,
+    final_accum: &mut BTreeMap<u16, Accum>,
+    tx: &mut Option<WriteStream>,
+    is_root: bool,
+) -> Result<()> {
+    if window.is_empty() {
+        return Ok(());
+    }
+    stats.windows_closed += 1;
+    let closed: Vec<ReducePartial> = std::mem::take(window)
+        .into_values()
+        .map(Accum::into_partial)
+        .collect();
+    if is_root {
+        for p in &closed {
+            final_accum
+                .entry(p.app_id)
+                .or_insert_with(|| Accum::new(p.app_id, false))
+                .absorb_partial(p);
+            stats.merges += 1;
+        }
+    } else if let Some(tx) = tx {
+        let framed = frame(&encode_partial_set(&closed));
+        stats.blocks_forwarded += 1;
+        stats.bytes_out += framed.len() as u64;
+        tx.write(&framed)?;
+        tx.flush()?;
+    }
+    Ok(())
+}

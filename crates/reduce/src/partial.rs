@@ -1,0 +1,307 @@
+//! Wire format for reduced partials travelling *up the tree*.
+//!
+//! Leaf traffic is raw event packs (`OPMR` magic, one pack per stream
+//! block); once a frontier node has aggregated a window, the upward
+//! traffic becomes *partial sets* — per-application [`ReducePartial`]s
+//! under a distinct `OPRD` magic so a misrouted buffer is detectable
+//! immediately. Partial sets can exceed one stream block, so they travel
+//! length-prefixed ([`frame`]) and are reassembled per source with
+//! [`FrameBuf`].
+
+use crate::reducible::{EventDensity, Reducible};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use opmr_analysis::profiler::MpiProfile;
+use opmr_analysis::topology::Topology;
+use opmr_analysis::waitstate::WaitStats;
+use opmr_analysis::wire::{
+    decode_profile, decode_topology, decode_waitstats, encode_profile, encode_topology,
+    encode_waitstats, merge_waitstats, AppPartial, WireError,
+};
+
+/// Magic prefix of an encoded partial set ("OPRD").
+pub const REDUCE_MAGIC: u32 = u32::from_le_bytes(*b"OPRD");
+/// Wire version of the partial-set encoding.
+pub const REDUCE_VERSION: u16 = 1;
+
+/// One application's aggregate as reduced by a tree node.
+#[derive(Debug, Clone, Default)]
+pub struct ReducePartial {
+    pub app_id: u16,
+    /// Event packs absorbed at the frontier on behalf of this aggregate.
+    pub packs: u64,
+    /// Leaf wire bytes those packs occupied.
+    pub wire_bytes: u64,
+    /// Blocks that failed pack decoding at the frontier.
+    pub decode_errors: u64,
+    pub profile: MpiProfile,
+    pub topology: Topology,
+    pub density: EventDensity,
+    pub waitstate: Option<WaitStats>,
+}
+
+impl ReducePartial {
+    pub fn new(app_id: u16) -> ReducePartial {
+        ReducePartial {
+            app_id,
+            ..Default::default()
+        }
+    }
+
+    /// The `analysis::wire` partial this aggregate merges into at the
+    /// root (density is a derived view and stays overlay-local).
+    pub fn to_app_partial(&self) -> AppPartial {
+        AppPartial {
+            app_id: self.app_id,
+            packs: self.packs,
+            wire_bytes: self.wire_bytes,
+            decode_errors: self.decode_errors,
+            profile: self.profile.clone(),
+            topology: self.topology.clone(),
+            waitstate: self.waitstate.clone(),
+        }
+    }
+}
+
+impl Reducible for ReducePartial {
+    fn merge_from(&mut self, other: &Self) {
+        debug_assert_eq!(self.app_id, other.app_id, "merging across applications");
+        self.packs += other.packs;
+        self.wire_bytes += other.wire_bytes;
+        self.decode_errors += other.decode_errors;
+        self.profile.merge_from(&other.profile);
+        self.topology.merge_from(&other.topology);
+        self.density.merge_from(&other.density);
+        match (&mut self.waitstate, &other.waitstate) {
+            (Some(into), Some(w)) => merge_waitstats(into, w),
+            (None, Some(w)) => self.waitstate = Some(w.clone()),
+            _ => {}
+        }
+    }
+
+    fn encoded_size(&self) -> usize {
+        2 + 24
+            + self.profile.encoded_size()
+            + self.topology.encoded_size()
+            + self.density.encoded_size()
+            + 1
+            + self.waitstate.as_ref().map_or(0, |w| w.encoded_size())
+    }
+}
+
+/// Encodes a set of per-application partials (one node's window).
+pub fn encode_partial_set(parts: &[ReducePartial]) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u32_le(REDUCE_MAGIC);
+    out.put_u16_le(REDUCE_VERSION);
+    out.put_u16_le(parts.len() as u16);
+    for p in parts {
+        out.put_u16_le(p.app_id);
+        out.put_u64_le(p.packs);
+        out.put_u64_le(p.wire_bytes);
+        out.put_u64_le(p.decode_errors);
+        encode_profile(&p.profile, &mut out);
+        encode_topology(&p.topology, &mut out);
+        out.put_u32_le(p.density.counts().len() as u32);
+        for &c in p.density.counts() {
+            out.put_u64_le(c);
+        }
+        match &p.waitstate {
+            Some(w) => {
+                out.put_u8(1);
+                encode_waitstats(w, &mut out);
+            }
+            None => out.put_u8(0),
+        }
+    }
+    out.freeze()
+}
+
+/// Decodes a partial set; rejects buffers that do not start with `OPRD`.
+pub fn decode_partial_set(mut buf: &[u8]) -> Result<Vec<ReducePartial>, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let magic = buf.get_u32_le();
+    if magic != REDUCE_MAGIC {
+        return Err(WireError::BadTag((magic & 0xff) as u8));
+    }
+    let version = buf.get_u16_le();
+    if version != REDUCE_VERSION {
+        return Err(WireError::BadTag(version as u8));
+    }
+    let n = buf.get_u16_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 2 + 24 {
+            return Err(WireError::Truncated);
+        }
+        let app_id = buf.get_u16_le();
+        let packs = buf.get_u64_le();
+        let wire_bytes = buf.get_u64_le();
+        let decode_errors = buf.get_u64_le();
+        let profile = decode_profile(&mut buf)?;
+        let topology = decode_topology(&mut buf)?;
+        if buf.remaining() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let ranks = buf.get_u32_le() as usize;
+        if buf.remaining() < ranks * 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut counts = Vec::with_capacity(ranks);
+        for _ in 0..ranks {
+            counts.push(buf.get_u64_le());
+        }
+        let density = EventDensity::from_counts(counts);
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        let waitstate = match buf.get_u8() {
+            0 => None,
+            1 => Some(decode_waitstats(&mut buf)?),
+            t => return Err(WireError::BadTag(t)),
+        };
+        out.push(ReducePartial {
+            app_id,
+            packs,
+            wire_bytes,
+            decode_errors,
+            profile,
+            topology,
+            density,
+            waitstate,
+        });
+    }
+    Ok(out)
+}
+
+/// Length-prefixes a payload for transport over a byte stream whose block
+/// boundaries the encoding cannot rely on.
+pub fn frame(payload: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(4 + payload.len());
+    out.put_u32_le(payload.len() as u32);
+    out.put_slice(payload);
+    out.freeze()
+}
+
+/// Per-source reassembly buffer for [`frame`]d records.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: BytesMut,
+}
+
+impl FrameBuf {
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Appends one received stream block.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.put_slice(chunk);
+    }
+
+    /// Pops the next complete frame payload, if one has fully arrived.
+    pub fn next_frame(&mut self) -> Option<Bytes> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if self.buf.len() < 4 + len {
+            return None;
+        }
+        let mut record = self.buf.split_to(4 + len).freeze();
+        record.advance(4);
+        Some(record)
+    }
+
+    /// Bytes buffered but not yet forming a complete frame.
+    pub fn residual(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opmr_events::{Event, EventKind};
+
+    fn sample_partial(app_id: u16) -> ReducePartial {
+        let mut p = ReducePartial::new(app_id);
+        for r in 0..4u32 {
+            p.profile.add(&Event {
+                time_ns: r as u64 * 50,
+                duration_ns: 7,
+                kind: EventKind::Send,
+                rank: r,
+                peer: ((r + 1) % 4) as i32,
+                tag: 3,
+                comm: 0,
+                bytes: 256,
+            });
+            p.topology.add_weighted(r, (r + 1) % 4, 1, 256, 7);
+            p.density.add_event(r);
+        }
+        p.packs = 2;
+        p.wire_bytes = 999;
+        p
+    }
+
+    #[test]
+    fn partial_set_roundtrip() {
+        let parts = vec![sample_partial(0), sample_partial(3)];
+        let enc = encode_partial_set(&parts);
+        let dec = decode_partial_set(&enc).unwrap();
+        assert_eq!(dec.len(), 2);
+        assert_eq!(dec[0].app_id, 0);
+        assert_eq!(dec[1].app_id, 3);
+        assert_eq!(dec[0].profile.events(), 4);
+        assert_eq!(dec[0].topology.edge_count(), 4);
+        assert_eq!(dec[0].density.total(), 4);
+        assert_eq!(dec[0].packs, 2);
+        assert_eq!(dec[0].wire_bytes, 999);
+    }
+
+    #[test]
+    fn event_pack_bytes_are_rejected_as_partials() {
+        // The leaf wire format must never decode as a partial set.
+        let pack = opmr_events::EventPack::new(0, 1, 0, Vec::new()).encode();
+        assert!(matches!(
+            decode_partial_set(&pack),
+            Err(WireError::BadTag(_))
+        ));
+    }
+
+    #[test]
+    fn framing_survives_arbitrary_chunking() {
+        let records: Vec<Bytes> = (0..5)
+            .map(|i| encode_partial_set(&[sample_partial(i)]))
+            .collect();
+        let mut wire = BytesMut::new();
+        for r in &records {
+            wire.put_slice(&frame(r));
+        }
+        // Feed in ragged chunks; all records must come back intact.
+        let mut fb = FrameBuf::new();
+        let mut got = Vec::new();
+        for chunk in wire.chunks(13) {
+            fb.push(chunk);
+            while let Some(payload) = fb.next_frame() {
+                got.push(payload);
+            }
+        }
+        assert_eq!(got, records);
+        assert_eq!(fb.residual(), 0);
+    }
+
+    #[test]
+    fn merged_partial_accumulates() {
+        let mut a = sample_partial(0);
+        let b = sample_partial(0);
+        a.merge_from(&b);
+        assert_eq!(a.packs, 4);
+        assert_eq!(a.profile.events(), 8);
+        assert_eq!(a.topology.edge(0, 1).unwrap().hits, 2);
+        assert_eq!(a.density.total(), 8);
+        assert_eq!(a.encoded_size(), encode_partial_set(&[a.clone()]).len() - 8);
+    }
+}

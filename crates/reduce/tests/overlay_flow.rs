@@ -1,0 +1,263 @@
+//! End-to-end overlay flow on the real runtime: instrumented-style leaf
+//! partitions stream into a reduction-tree partition built with
+//! `map_partitions_directed`, and the root observes exactly what the
+//! operator promises — every block for ρ=1 pass-through, the flat merge
+//! of every event for full aggregation.
+
+use opmr_events::{Event, EventKind, EventPack};
+use opmr_reduce::{run_node, NodeConfig, ReduceOp, ReducePartial, ReduceStats, Tree};
+use opmr_runtime::Launcher;
+use opmr_vmpi::map::map_partitions_directed;
+use opmr_vmpi::{Map, StreamConfig, Vmpi, WriteStream};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+const BLOCK: usize = 1024;
+const STREAM_ID: u16 = 0;
+
+type NodeStats = Vec<(usize, ReduceStats)>;
+
+/// Launches `leaves` writer ranks against a `nodes`-rank tree partition
+/// and returns (root-delivered raw blocks, root partials, per-node stats).
+fn run_overlay(
+    leaves: usize,
+    nodes: usize,
+    fanout: usize,
+    op: ReduceOp,
+    write_body: impl Fn(&Vmpi, &mut WriteStream) + Send + Sync + 'static,
+) -> (Vec<bytes::Bytes>, Vec<ReducePartial>, NodeStats) {
+    let root_blocks = Arc::new(Mutex::new(Vec::new()));
+    let root_partials = Arc::new(Mutex::new(Vec::new()));
+    let stats = Arc::new(Mutex::new(NodeStats::new()));
+    let (rb2, rp2, st2) = (
+        Arc::clone(&root_blocks),
+        Arc::clone(&root_partials),
+        Arc::clone(&stats),
+    );
+    let write_body = Arc::new(write_body);
+    let tree_for_leaves = Tree::new(fanout, nodes);
+
+    Launcher::new()
+        .partition("leaves", leaves, move |mpi| {
+            let v = Vmpi::new(mpi);
+            let tree_pid = v.partition_by_name("Reduce").unwrap().id;
+            let mut map = Map::new();
+            map_partitions_directed(
+                &v,
+                tree_pid,
+                tree_pid,
+                tree_for_leaves.leaf_policy(),
+                &mut map,
+            )
+            .unwrap();
+            let cfg = StreamConfig {
+                block_size: BLOCK,
+                ..StreamConfig::default()
+            };
+            let mut st = WriteStream::open_map(&v, &map, cfg, STREAM_ID).unwrap();
+            write_body(&v, &mut st);
+            st.close().unwrap();
+        })
+        .partition("Reduce", nodes, move |mpi| {
+            let v = Vmpi::new(mpi);
+            let tree = Tree::new(fanout, v.size());
+            let mut map = Map::new();
+            map_partitions_directed(&v, 0, v.partition_id(), tree.leaf_policy(), &mut map).unwrap();
+            let cfg = StreamConfig {
+                block_size: BLOCK,
+                ..StreamConfig::default()
+            };
+            let node_cfg = NodeConfig {
+                op,
+                window_blocks: 4,
+                waitstate: false,
+            };
+            let rb = Arc::clone(&rb2);
+            let outcome = run_node(&v, &tree, map.peers(), cfg, STREAM_ID, &node_cfg, |b| {
+                rb.lock().unwrap().push(b)
+            })
+            .unwrap();
+            st2.lock().unwrap().push((v.rank(), outcome.stats));
+            if v.rank() == 0 {
+                *rp2.lock().unwrap() = outcome.partials;
+            }
+        })
+        .run()
+        .unwrap();
+
+    let blocks = root_blocks.lock().unwrap().clone();
+    let partials = std::mem::take(&mut *root_partials.lock().unwrap());
+    let mut st = stats.lock().unwrap().clone();
+    st.sort_by_key(|e| e.0);
+    (blocks, partials, st)
+}
+
+/// Deterministic raw block keyed by (leaf world rank, index).
+fn raw_block(world_rank: usize, i: usize) -> Vec<u8> {
+    let mut b = vec![0u8; BLOCK];
+    b[0] = world_rank as u8;
+    for (j, x) in b.iter_mut().enumerate().skip(1) {
+        *x = (world_rank as u8) ^ (i as u8).wrapping_add(j as u8);
+    }
+    b
+}
+
+/// Deterministic event pack for (leaf rank, sequence).
+fn leaf_pack(rank: u32, seq: u32, ranks: u32) -> EventPack {
+    let events: Vec<Event> = (0..5)
+        .map(|k| Event {
+            time_ns: 1000 * seq as u64 + 10 * k as u64,
+            duration_ns: 5 + k as u64,
+            kind: if k % 2 == 0 {
+                EventKind::Send
+            } else {
+                EventKind::Recv
+            },
+            rank,
+            peer: ((rank + 1) % ranks) as i32,
+            tag: k,
+            comm: 0,
+            bytes: 128,
+        })
+        .collect();
+    EventPack::new(0, rank, seq, events)
+}
+
+#[test]
+fn passthrough_delivers_every_leaf_block_through_a_deep_tree() {
+    const LEAVES: usize = 5;
+    const PER_LEAF: usize = 24;
+    let (blocks, partials, stats) = run_overlay(
+        LEAVES,
+        7, // binary tree: root, 2 inner, 4 frontier nodes
+        2,
+        ReduceOp::PassThrough,
+        |v, st| {
+            for i in 0..PER_LEAF {
+                st.write(&raw_block(v.mpi().world_rank(), i)).unwrap();
+            }
+        },
+    );
+    assert!(partials.is_empty(), "pass-through produces no partials");
+    assert_eq!(blocks.len(), LEAVES * PER_LEAF, "no block lost or dropped");
+
+    // Per-leaf, blocks arrive complete and in write order (streams are
+    // FIFO per source at every hop).
+    let mut per_leaf: HashMap<u8, Vec<bytes::Bytes>> = HashMap::new();
+    for b in blocks {
+        per_leaf.entry(b[0]).or_default().push(b);
+    }
+    assert_eq!(per_leaf.len(), LEAVES);
+    for (leaf, got) in per_leaf {
+        assert_eq!(got.len(), PER_LEAF);
+        for (i, b) in got.iter().enumerate() {
+            assert_eq!(&b[..], &raw_block(leaf as usize, i)[..], "leaf {leaf} #{i}");
+        }
+    }
+
+    // Stats: the root ingests every block exactly once; every node
+    // forwards everything it receives (ρ = 1).
+    let root = stats.iter().find(|(k, _)| *k == 0).unwrap().1;
+    assert_eq!(root.blocks_in as usize, LEAVES * PER_LEAF);
+    for (k, s) in &stats {
+        assert_eq!(
+            s.blocks_forwarded, s.blocks_in,
+            "node {k} must forward every block at ρ=1"
+        );
+        assert_eq!(s.bytes_out, s.bytes_in);
+        assert_eq!(s.peers_lost, 0);
+        assert_eq!(s.decode_errors, 0);
+    }
+}
+
+#[test]
+fn filter_keeps_one_block_in_k_per_hop() {
+    const LEAVES: usize = 4;
+    const PER_LEAF: usize = 32;
+    let (blocks, _, stats) = run_overlay(
+        LEAVES,
+        3, // root + 2 frontier nodes: exactly two filtering hops
+        2,
+        ReduceOp::Filter { keep_one_in: 2 },
+        |v, st| {
+            for i in 0..PER_LEAF {
+                st.write(&raw_block(v.mpi().world_rank(), i)).unwrap();
+            }
+        },
+    );
+    // Two hops at ρ=1/2 each: a quarter of the traffic survives.
+    assert_eq!(blocks.len(), LEAVES * PER_LEAF / 4);
+    for (_, s) in &stats {
+        assert_eq!(s.blocks_forwarded, s.blocks_in / 2);
+    }
+}
+
+#[test]
+fn aggregate_tree_merge_equals_flat_merge() {
+    const LEAVES: usize = 6;
+    const PACKS_PER_LEAF: u32 = 9;
+    let (blocks, partials, stats) = run_overlay(LEAVES, 7, 2, ReduceOp::Aggregate, |v, st| {
+        let rank = v.rank() as u32;
+        for seq in 0..PACKS_PER_LEAF {
+            let enc = leaf_pack(rank, seq, LEAVES as u32).encode();
+            st.write(&enc).unwrap();
+            st.flush().unwrap();
+        }
+    });
+    assert!(blocks.is_empty(), "aggregation never forwards raw blocks");
+    assert_eq!(partials.len(), 1, "one application, one partial");
+    let got = &partials[0];
+
+    // Flat reference: absorb every pack straight into one partial.
+    let mut flat = ReducePartial::new(0);
+    for rank in 0..LEAVES as u32 {
+        for seq in 0..PACKS_PER_LEAF {
+            let pack = leaf_pack(rank, seq, LEAVES as u32);
+            flat.packs += 1;
+            flat.wire_bytes += pack.encode().len() as u64;
+            flat.profile.add_all(&pack.events);
+            flat.topology.add_all(&pack.events);
+            for e in &pack.events {
+                flat.density.add_event(e.rank);
+            }
+        }
+    }
+
+    assert_eq!(got.packs, flat.packs);
+    assert_eq!(got.wire_bytes, flat.wire_bytes);
+    assert_eq!(got.decode_errors, 0);
+    assert_eq!(got.profile.events(), flat.profile.events());
+    for kind in flat.profile.kinds() {
+        assert_eq!(got.profile.kind(kind), flat.profile.kind(kind));
+    }
+    assert_eq!(got.topology.sorted_edges(), flat.topology.sorted_edges());
+    assert_eq!(got.density, flat.density);
+
+    // The upward traffic shrank: inner nodes ship merged partials, not
+    // event packs.
+    let root = stats.iter().find(|(k, _)| *k == 0).unwrap().1;
+    assert!(root.merges > 0);
+    assert!(root.windows_closed > 0);
+    assert!(
+        root.bytes_in < (flat.wire_bytes / 2),
+        "aggregation must reduce upward traffic (root saw {} of {} leaf bytes)",
+        root.bytes_in,
+        flat.wire_bytes
+    );
+}
+
+#[test]
+fn childless_frontier_nodes_close_cleanly() {
+    // 2 leaves over a 7-node tree: frontier nodes 5 and 6 adopt nothing
+    // and must still complete the close protocol so nothing hangs.
+    const PER_LEAF: usize = 8;
+    let (blocks, _, stats) = run_overlay(2, 7, 2, ReduceOp::PassThrough, |v, st| {
+        for i in 0..PER_LEAF {
+            st.write(&raw_block(v.mpi().world_rank(), i)).unwrap();
+        }
+    });
+    assert_eq!(blocks.len(), 2 * PER_LEAF);
+    assert_eq!(stats.len(), 7, "every tree node reports stats");
+    let idle = stats.iter().filter(|(_, s)| s.blocks_in == 0).count();
+    assert!(idle >= 2, "childless frontier nodes see no traffic");
+}

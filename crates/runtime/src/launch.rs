@@ -43,6 +43,12 @@ impl PartitionInfo {
     pub fn root_world_rank(&self) -> usize {
         self.first_world_rank
     }
+
+    /// World rank of the partition-local rank `local`.
+    pub fn world_rank_of(&self, local: usize) -> usize {
+        debug_assert!(local < self.size, "local rank {local} out of partition");
+        self.first_world_rank + local
+    }
 }
 
 /// Shared state of a running job: mailboxes, partition table, wall clock.

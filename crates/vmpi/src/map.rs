@@ -129,7 +129,46 @@ pub fn map_partitions(
 
     // Smaller partition is the master; ties break toward the lower id so
     // both sides agree without communicating.
-    let i_am_master = (mine.size, my_pid) < (target.size, target_pid);
+    let master_pid = if (mine.size, my_pid) < (target.size, target_pid) {
+        my_pid
+    } else {
+        target_pid
+    };
+    map_partitions_directed(vmpi, target_pid, master_pid, policy, map)
+}
+
+/// Like [`map_partitions`], but the caller fixes which of the two
+/// partitions acts as the master (the side whose ranks accumulate peer
+/// lists and whose root is the pivot), overriding the size-based choice.
+///
+/// Reduction overlays need this: the tree partition must master the
+/// mapping so its frontier nodes adopt the instrumented leaves, even when
+/// an application partition is smaller than the tree partition. Must be
+/// called collectively by every rank of both partitions with the same
+/// `master_pid` and policy.
+pub fn map_partitions_directed(
+    vmpi: &Vmpi,
+    target_pid: usize,
+    master_pid: usize,
+    policy: MapPolicy,
+    map: &mut Map,
+) -> Result<()> {
+    let my_pid = vmpi.partition_id();
+    if target_pid == my_pid {
+        return Err(VmpiError::SelfMapping);
+    }
+    if master_pid != my_pid && master_pid != target_pid {
+        return Err(VmpiError::UnknownPartition(format!(
+            "master #{master_pid} is not part of the mapping"
+        )));
+    }
+    let target = vmpi
+        .partition(target_pid)
+        .ok_or_else(|| VmpiError::UnknownPartition(format!("#{target_pid}")))?
+        .clone();
+    let mine = vmpi.partition(my_pid).expect("own partition").clone();
+
+    let i_am_master = master_pid == my_pid;
     let (master, slave) = if i_am_master {
         (mine.clone(), target.clone())
     } else {
@@ -376,6 +415,57 @@ mod tests {
         // Analyzer rank 0 sees writers from both apps: ceil shares of 3 + 4.
         let m = a_map.lock().unwrap();
         assert_eq!(m.len(), 2 + 2);
+    }
+
+    #[test]
+    fn directed_mapping_masters_the_larger_partition() {
+        // The size rule would master the 2-rank writers; the directed call
+        // masters the 5-rank "tree" partition instead, so its ranks get
+        // peer lists even though they outnumber the slaves.
+        let t_maps = StdArc::new(Mutex::new(Vec::new()));
+        let t2 = StdArc::clone(&t_maps);
+        Launcher::new()
+            .partition("w", 2, |mpi| {
+                let v = Vmpi::new(mpi);
+                let tree = v.partition_by_name("tree").unwrap().id;
+                let mut map = Map::new();
+                map_partitions_directed(&v, tree, tree, MapPolicy::RoundRobin, &mut map).unwrap();
+                assert_eq!(map.len(), 1, "each writer gets one tree peer");
+            })
+            .partition("tree", 5, move |mpi| {
+                let v = Vmpi::new(mpi);
+                let mut map = Map::new();
+                map_partitions_directed(&v, 0, v.partition_id(), MapPolicy::RoundRobin, &mut map)
+                    .unwrap();
+                t2.lock().unwrap().push((v.rank(), map));
+            })
+            .run()
+            .unwrap();
+        let mut t = t_maps.lock().unwrap().clone();
+        t.sort_by_key(|e| e.0);
+        // Round-robin over arrival order: exactly ranks 0 and 1 adopt one
+        // writer each; ranks 2..4 stay empty.
+        let lens: Vec<usize> = t.iter().map(|(_, m)| m.len()).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 2);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[1], 1);
+        assert_eq!(&lens[2..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn directed_mapping_rejects_foreign_master() {
+        Launcher::new()
+            .partition("a", 1, |mpi| {
+                let v = Vmpi::new(mpi);
+                let mut map = Map::new();
+                assert!(matches!(
+                    map_partitions_directed(&v, 1, 7, MapPolicy::RoundRobin, &mut map),
+                    Err(VmpiError::UnknownPartition(_))
+                ));
+            })
+            .partition("b", 1, |_mpi| {})
+            .run()
+            .unwrap();
     }
 
     #[test]

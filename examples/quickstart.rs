@@ -7,13 +7,15 @@
 //! Launches (in one process, threads as ranks) a 8-rank application plus a
 //! 2-rank analyzer partition. The application's MPI calls are intercepted,
 //! streamed as event packs over VMPI streams — no trace file — and reduced
-//! by the parallel blackboard into a profiling report.
+//! by the parallel blackboard into a profiling report. A second run routes
+//! the same streams through the TBON reduction overlay (`Coupling::Tbon`)
+//! and prints the per-node overlay counters.
 
-use opmr::core::{LiveOptions, Session};
+use opmr::core::{Coupling, LiveOptions, Session};
 use opmr::runtime::{Src, TagSel};
 
-fn main() {
-    let outcome = Session::builder()
+fn ring_session() -> opmr::core::SessionBuilder {
+    Session::builder()
         .analyzer_ranks(2)
         .app("ring_demo", 8, |imp| {
             let world = imp.comm_world();
@@ -34,8 +36,10 @@ fn main() {
             imp.compute(std::time::Duration::from_millis(2))
                 .expect("compute");
         })
-        .run()
-        .expect("session");
+}
+
+fn main() {
+    let outcome = ring_session().run().expect("session");
 
     // LiveOptions is used by workload-driven sessions; mention it so the
     // example doubles as documentation.
@@ -48,4 +52,22 @@ fn main() {
         outcome.wall_s,
         outcome.report.apps.iter().map(|a| a.packs).sum::<u64>()
     );
+
+    // Same application, this time through the in-network reduction
+    // overlay: analyzer ranks double as a fanout-2 TBON, the root posts
+    // surviving blocks into the engine (ρ = 1 pass-through — the report
+    // is identical to the direct run, modulo wall-clock jitter).
+    let tbon = ring_session()
+        .coupling(Coupling::Tbon { fanout: 2 })
+        .run()
+        .expect("tbon session");
+    println!("---");
+    println!("TBON overlay (fanout 2, pass-through) — per-node counters:");
+    for (node, s) in &tbon.reduce_stats {
+        println!(
+            "  node {node}: {} blocks in / {} forwarded, {} B in / {} B out, \
+             {} merges, {} windows",
+            s.blocks_in, s.blocks_forwarded, s.bytes_in, s.bytes_out, s.merges, s.windows_closed
+        );
+    }
 }

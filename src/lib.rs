@@ -12,6 +12,8 @@
 //! * [`analysis`] — profiling knowledge sources and report generation.
 //! * [`netsim`] — discrete-event simulator for paper-scale experiments.
 //! * [`workloads`] — NAS-MPI and EulerMHD communication-kernel generators.
+//! * [`reduce`] — TBON reduction overlay (tree topology, windowed
+//!   in-network aggregation between instrumented partitions and analyzer).
 //! * [`core`] — the `Session` façade tying everything together.
 
 pub use opmr_analysis as analysis;
@@ -20,8 +22,9 @@ pub use opmr_core as core;
 pub use opmr_events as events;
 pub use opmr_instrument as instrument;
 pub use opmr_netsim as netsim;
+pub use opmr_reduce as reduce;
 pub use opmr_runtime as runtime;
 pub use opmr_vmpi as vmpi;
 pub use opmr_workloads as workloads;
 
-pub use opmr_core::session::{Session, SessionBuilder};
+pub use opmr_core::session::{Coupling, Session, SessionBuilder};

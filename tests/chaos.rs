@@ -19,11 +19,13 @@
 //! design, exactly like MPI implementations keep their own control
 //! traffic on a reliable channel.
 
-use opmr::core::Session;
+use opmr::core::{Coupling, Session};
 use opmr::events::EventKind;
+use opmr::reduce::{run_node, NodeConfig, ReduceStats, Tree};
 use opmr::runtime::{FaultPlan, Launcher, Src, TagSel};
+use opmr::vmpi::map::map_partitions_directed;
 use opmr::vmpi::stream::data_tag_range;
-use opmr::vmpi::{Balance, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError, WriteStream};
+use opmr::vmpi::{Balance, Map, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError, WriteStream};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -217,11 +219,15 @@ type EdgeRow = ((u32, u32), u64, u64);
 /// Quickstart topology: the instrumented ring application streaming into
 /// the analyzer partition, as in the README. Returns the
 /// timing-independent report facts.
-fn run_quickstart(plan: Option<FaultPlan>) -> (u64, Vec<ProfileRow>, Vec<EdgeRow>) {
+fn run_quickstart(
+    plan: Option<FaultPlan>,
+    coupling: Coupling,
+) -> (u64, Vec<ProfileRow>, Vec<EdgeRow>) {
     const ROUNDS: usize = 30;
     const RANKS: usize = 4;
     let mut builder = Session::builder()
         .analyzer_ranks(2)
+        .coupling(coupling)
         .stream_config(StreamConfig::new(1024, 3, Balance::RoundRobin))
         .app("ring", RANKS, move |imp| {
             let w = imp.comm_world();
@@ -260,7 +266,7 @@ fn run_quickstart(plan: Option<FaultPlan>) -> (u64, Vec<ProfileRow>, Vec<EdgeRow
 
 #[test]
 fn quickstart_session_report_is_identical_under_faults() {
-    let clean = run_quickstart(None);
+    let clean = run_quickstart(None, Coupling::Direct);
     assert!(clean.0 > 0, "ring app must produce events");
     for seed in [11u64, 12] {
         let plan = FaultPlan::seeded(seed)
@@ -268,13 +274,38 @@ fn quickstart_session_report_is_identical_under_faults() {
             .with_dup(0.10)
             .with_reorder(0.10)
             .with_only_tags(data_tag_range());
-        let faulted = run_quickstart(Some(plan.clone()));
+        let faulted = run_quickstart(Some(plan.clone()), Coupling::Direct);
         assert_eq!(
             faulted, clean,
             "seed {seed}: analysis must not observe transport faults"
         );
-        let again = run_quickstart(Some(plan));
+        let again = run_quickstart(Some(plan), Coupling::Direct);
         assert_eq!(faulted, again, "seed {seed}: report must be reproducible");
+    }
+}
+
+#[test]
+fn tbon_session_report_is_identical_under_faults() {
+    // The reduction overlay adds a second streaming hop (leaf → frontier
+    // node → root); transport recovery must stay transparent across both,
+    // and the ρ=1 overlay itself must not change the report.
+    let tbon = Coupling::Tbon { fanout: 2 };
+    let clean = run_quickstart(None, Coupling::Direct);
+    let tbon_clean = run_quickstart(None, tbon);
+    assert_eq!(tbon_clean, clean, "ρ=1 overlay must be invisible");
+    for seed in [21u64, 22] {
+        let plan = FaultPlan::seeded(seed)
+            .with_drop(0.10)
+            .with_dup(0.10)
+            .with_reorder(0.10)
+            .with_only_tags(data_tag_range());
+        let faulted = run_quickstart(Some(plan.clone()), tbon);
+        assert_eq!(
+            faulted, clean,
+            "seed {seed}: overlay must not observe transport faults"
+        );
+        let again = run_quickstart(Some(plan), tbon);
+        assert_eq!(faulted, again, "seed {seed}: overlay report must replay");
     }
 }
 
@@ -363,6 +394,124 @@ fn writer_crash_surfaces_peer_lost_and_survivors_drain() {
         AFTER_SENDS * BLOCK as u64,
         "pre-crash blocks arrive, post-crash blocks never do"
     );
+}
+
+/// One TBON chaos run: 3 leaves stream rank-tagged blocks through a
+/// 3-node fanout-2 tree while the fault layer kills one leaf writer.
+/// Returns (per-leaf blocks delivered at the root, per-node stats).
+fn run_tbon_crash(seed: u64) -> (HashMap<u8, u64>, Vec<(usize, ReduceStats)>) {
+    const LEAVES: usize = 3;
+    const NODES: usize = 3;
+    const CRASH_RANK: usize = 1; // leaves are world ranks 0..3
+    const AFTER_SENDS: u64 = 3;
+    const PER_LEAF: usize = 40;
+
+    let delivered = Arc::new(Mutex::new(HashMap::<u8, u64>::new()));
+    let delivered2 = Arc::clone(&delivered);
+    let stats = Arc::new(Mutex::new(Vec::<(usize, ReduceStats)>::new()));
+    let stats2 = Arc::clone(&stats);
+
+    Launcher::new()
+        .fault_plan(
+            FaultPlan::seeded(seed)
+                .with_crash(CRASH_RANK, AFTER_SENDS)
+                .with_only_tags(data_tag_range()),
+        )
+        .partition("leaves", LEAVES, move |mpi| {
+            let v = Vmpi::new(mpi);
+            let tree = Tree::new(2, NODES);
+            let tree_pid = v.partition_by_name("Reduce").unwrap().id;
+            let mut map = Map::new();
+            map_partitions_directed(&v, tree_pid, tree_pid, tree.leaf_policy(), &mut map).unwrap();
+            let cfg = StreamConfig::new(BLOCK, 3, Balance::None)
+                .with_retries(2, Duration::from_micros(50));
+            let mut st = WriteStream::open_map(&v, &map, cfg, 1).unwrap();
+            for _ in 0..PER_LEAF {
+                match st.write(&[v.rank() as u8; BLOCK]) {
+                    Ok(()) => {}
+                    Err(VmpiError::Timeout) => {
+                        assert_eq!(v.rank(), CRASH_RANK, "only the crashed leaf dies");
+                        st.abort();
+                        return;
+                    }
+                    Err(e) => panic!("unexpected leaf error: {e}"),
+                }
+            }
+            assert_ne!(v.rank(), CRASH_RANK, "crashed leaf cannot finish");
+            st.close().unwrap();
+        })
+        .partition("Reduce", NODES, move |mpi| {
+            let v = Vmpi::new(mpi);
+            let tree = Tree::new(2, v.size());
+            let mut map = Map::new();
+            map_partitions_directed(&v, 0, v.partition_id(), tree.leaf_policy(), &mut map).unwrap();
+            let cfg = StreamConfig::new(BLOCK, 3, Balance::RoundRobin)
+                .with_read_timeout(Duration::from_secs(30));
+            let del = Arc::clone(&delivered2);
+            let outcome = run_node(
+                &v,
+                &tree,
+                map.peers(),
+                cfg,
+                1,
+                &NodeConfig::default(),
+                |b| {
+                    *del.lock().unwrap().entry(b[0]).or_insert(0) += 1;
+                },
+            )
+            .unwrap();
+            stats2.lock().unwrap().push((v.rank(), outcome.stats));
+        })
+        .run()
+        .unwrap();
+
+    let delivered = Arc::try_unwrap(delivered).unwrap().into_inner().unwrap();
+    let mut stats = Arc::try_unwrap(stats).unwrap().into_inner().unwrap();
+    stats.sort_by_key(|e| e.0);
+    (delivered, stats)
+}
+
+#[test]
+fn tbon_overlay_surfaces_writer_crash_as_peer_lost_at_internal_node() {
+    // Leaf world rank 1 maps to frontier node 2 (round-robin over
+    // frontier [1, 2]); the crash must surface as exactly one typed
+    // PeerLost at that node's stats, survivors drain completely, and the
+    // whole episode replays identically under the same seed.
+    let (delivered, stats) = run_tbon_crash(808);
+
+    assert_eq!(
+        delivered.get(&0).copied(),
+        Some(40),
+        "survivor leaf 0 intact"
+    );
+    assert_eq!(
+        delivered.get(&2).copied(),
+        Some(40),
+        "survivor leaf 2 intact"
+    );
+    assert_eq!(
+        delivered.get(&1).copied().unwrap_or(0),
+        3,
+        "pre-crash blocks arrive, post-crash blocks never do"
+    );
+
+    assert_eq!(stats.len(), 3, "every tree node reports stats");
+    let lost_per_node: Vec<u64> = stats.iter().map(|(_, s)| s.peers_lost).collect();
+    assert_eq!(
+        lost_per_node,
+        vec![0, 0, 1],
+        "the loss is typed and localized to the adopting frontier node"
+    );
+    // The overlay above the broken leaf keeps working: the root forwarded
+    // everything that survived.
+    let root = stats[0].1;
+    assert_eq!(root.blocks_in, 83, "root sees 40 + 40 + 3 surviving blocks");
+    assert_eq!(root.blocks_forwarded, root.blocks_in);
+
+    // Crash recovery is part of the deterministic replay contract.
+    let again = run_tbon_crash(808);
+    assert_eq!(again.0, delivered);
+    assert_eq!(again.1, stats);
 }
 
 #[test]
