@@ -173,12 +173,18 @@ impl MultiReport {
     }
 }
 
+/// Hook invoked with the engine's current partial aggregates at every
+/// publication boundary (see [`AnalysisEngine::attach_snapshot_publisher`]).
+pub type SnapshotHook = Arc<dyn Fn(Vec<crate::wire::AppPartial>) + Send + Sync>;
+
 #[derive(Default)]
 struct EngineExtras {
     /// Register the wait-state KS on every level.
     waitstate: bool,
     /// Attach a selective-trace proxy per level, writing under this dir.
     proxy: Option<(std::path::PathBuf, Selection)>,
+    /// Publish a report snapshot every N unpacked packs.
+    publisher: Option<(u64, SnapshotHook)>,
 }
 
 /// The distributed analysis engine of one analyzer rank.
@@ -188,6 +194,8 @@ pub struct AnalysisEngine {
     apps: Arc<Mutex<HashMap<u16, Arc<AppSlot>>>>,
     cfg: EngineConfig,
     extras: Arc<Mutex<EngineExtras>>,
+    /// Packs unpacked across every level; drives the publication cadence.
+    pack_ticker: Arc<std::sync::atomic::AtomicU64>,
 }
 
 fn level_name(app_id: u16) -> String {
@@ -211,6 +219,7 @@ impl AnalysisEngine {
             apps: Arc::new(Mutex::new(HashMap::new())),
             cfg,
             extras: Arc::new(Mutex::new(EngineExtras::default())),
+            pack_ticker: Arc::new(std::sync::atomic::AtomicU64::new(0)),
         };
         engine.register_dispatcher();
         engine
@@ -228,6 +237,38 @@ impl AnalysisEngine {
     /// packs arrive.
     pub fn attach_trace_proxy(&self, dir: impl Into<std::path::PathBuf>, selection: Selection) {
         self.extras.lock().proxy = Some((dir.into(), selection));
+    }
+
+    /// Publishes a report snapshot every `every_packs` unpacked packs: the
+    /// hook runs on the unpacking worker with the engine's current partial
+    /// aggregates (the serve-plane window boundary). Call before any packs
+    /// arrive.
+    pub fn attach_snapshot_publisher(&self, every_packs: u64, hook: SnapshotHook) {
+        self.extras.lock().publisher = Some((every_packs.max(1), hook));
+    }
+
+    /// The engine's current per-application partial aggregates, taken
+    /// mid-run without stopping the workers. Each slot is sampled under its
+    /// own lock, so a single application's aggregate is internally
+    /// consistent; cross-application skew is bounded by in-flight jobs.
+    pub fn snapshot_partials(&self) -> Vec<crate::wire::AppPartial> {
+        let mut slots: Vec<Arc<AppSlot>> = self.apps.lock().values().cloned().collect();
+        slots.sort_by_key(|s| s.app_id);
+        slots
+            .into_iter()
+            .map(|slot| {
+                let data = slot.data.lock();
+                crate::wire::AppPartial {
+                    app_id: slot.app_id,
+                    packs: data.packs,
+                    wire_bytes: data.wire_bytes,
+                    decode_errors: data.decode_errors,
+                    profile: data.profile.clone(),
+                    topology: data.topology.clone(),
+                    waitstate: data.waitstate.as_ref().map(|ws| ws.snapshot_stats()),
+                }
+            })
+            .collect()
     }
 
     /// Names an application (otherwise reports say "app\<N\>").
@@ -306,8 +347,14 @@ impl AnalysisEngine {
         let level = level_name(app_id);
         let ty_pack = type_id(&level, "pack");
         let ty_events = type_id(&level, "events");
-        // Unpacker: pack bytes → decoded EventPack entry.
+        // Unpacker: pack bytes → decoded EventPack entry. Also the
+        // publication clock: every N packs (across all levels) the snapshot
+        // hook fires with the engine's current aggregates. The hook runs
+        // with no slot lock held (snapshot_partials re-locks each slot).
         let uslot = Arc::clone(&slot);
+        let uengine = self.clone();
+        let publisher = self.extras.lock().publisher.clone();
+        let ticker = Arc::clone(&self.pack_ticker);
         let unpacker = KnowledgeSource::new(
             &format!("unpacker/{level}"),
             vec![ty_pack],
@@ -323,6 +370,12 @@ impl AnalysisEngine {
                             data.wire_bytes += bytes.len() as u64;
                         }
                         bb.post(DataEntry::value(ty_events, pack));
+                        if let Some((every, hook)) = &publisher {
+                            let t = ticker.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                            if t.is_multiple_of(*every) {
+                                hook(uengine.snapshot_partials());
+                            }
+                        }
                     }
                     Err(_) => {
                         uslot.data.lock().decode_errors += 1;

@@ -101,7 +101,7 @@ pub struct RecvSide {
 }
 
 /// Online send/receive matcher.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct WaitStateAnalysis {
     /// Pending sends per (src, dst) channel.
     sends: HashMap<(u32, u32), VecDeque<SendSide>>,
@@ -276,6 +276,15 @@ impl WaitStateAnalysis {
         self.stats.pending_sends = pending_sends;
         self.stats.pending_recvs = pending_recvs;
         &self.stats
+    }
+
+    /// Stats as if the analysis finished now, without disturbing the live
+    /// matcher: the dangling halves stay queued for future matches, the
+    /// returned copy carries them drained and channel-sorted (so encoding a
+    /// snapshot is as deterministic as encoding a finished analysis).
+    pub fn snapshot_stats(&self) -> WaitStats {
+        let mut copy = self.clone();
+        copy.finish().clone()
     }
 }
 

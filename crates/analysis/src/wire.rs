@@ -250,6 +250,7 @@ pub fn merge_waitstats(into: &mut WaitStats, other: &WaitStats) {
 
 /// One application's complete partial aggregate (what an analyzer rank
 /// ships to the merge root).
+#[derive(Debug, Clone)]
 pub struct AppPartial {
     pub app_id: u16,
     pub packs: u64,

@@ -1,0 +1,252 @@
+//! Live-serving benchmark: query throughput and subscription lag of the
+//! serve plane (`Coupling::Serving`) under concurrent clients.
+//!
+//! One instrumented application streams into a 2-rank serving analyzer
+//! while two client partitions hammer it simultaneously: *queriers* issue
+//! point queries (profile + per-rank density) in a closed loop and
+//! *subscribers* consume the snapshot-then-deltas stream, measuring the
+//! publication-to-consumption lag of every update on the shared
+//! in-process clock. A second scenario throttles the subscribers against
+//! a tiny snapshot ring to exercise the slow-consumer resync path.
+//!
+//! Reports queries/sec plus p50/p99 subscription lag per scenario; CSV
+//! lands in `out/serve_bench/`. Pass `--quick` for a CI-sized smoke run.
+
+use opmr_bench::{out_dir, row};
+use opmr_core::session::{Coupling, Session};
+use opmr_serve::{ServeConfig, ServeStats};
+use opmr_vmpi::{Balance, StreamConfig};
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+struct Scenario {
+    name: &'static str,
+    rounds: i32,
+    subscribers: usize,
+    queriers: usize,
+    serve: ServeConfig,
+    /// Artificial per-update consumer delay (the slow-consumer knob).
+    subscriber_delay: Duration,
+}
+
+struct Run {
+    wall_s: f64,
+    queries: u64,
+    /// Subscription lags in nanoseconds, unsorted.
+    lags: Vec<u64>,
+    updates: u64,
+    deltas: u64,
+    stats: ServeStats,
+    versions: u64,
+}
+
+fn aggregate(per_rank: &[(usize, ServeStats)]) -> ServeStats {
+    let mut total = ServeStats::default();
+    for (_, s) in per_rank {
+        total.clients += s.clients;
+        total.queries += s.queries;
+        total.subscribes += s.subscribes;
+        total.snapshots_sent += s.snapshots_sent;
+        total.deltas_sent += s.deltas_sent;
+        total.resyncs += s.resyncs;
+        total.acks += s.acks;
+        total.bad_requests += s.bad_requests;
+        total.clients_lost += s.clients_lost;
+    }
+    total
+}
+
+fn run_scenario(sc: &Scenario) -> Run {
+    let rounds = sc.rounds;
+    let queries = Arc::new(Mutex::new(0u64));
+    let lags = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let update_counts = Arc::new(Mutex::new((0u64, 0u64))); // (updates, deltas)
+
+    let q_sink = Arc::clone(&queries);
+    let l_sink = Arc::clone(&lags);
+    let u_sink = Arc::clone(&update_counts);
+    let delay = sc.subscriber_delay;
+    let outcome = Session::builder()
+        .analyzer_ranks(2)
+        .coupling(Coupling::Serving)
+        .serve_config(sc.serve)
+        .stream_config(StreamConfig::new(2048, 4, Balance::None))
+        .app("workload", 4, move |imp| {
+            let w = imp.comm_world();
+            let n = imp.size();
+            let r = imp.rank();
+            for round in 0..rounds {
+                let req = imp.isend(&w, (r + 1) % n, round, vec![7u8; 512]).unwrap();
+                imp.recv(
+                    &w,
+                    opmr_runtime::Src::Rank((r + n - 1) % n),
+                    opmr_runtime::TagSel::Tag(round),
+                )
+                .unwrap();
+                imp.wait(req).unwrap();
+                // Pace the stream so serving happens *during* the run.
+                imp.compute(Duration::from_micros(100)).unwrap();
+            }
+            imp.barrier(&w).unwrap();
+        })
+        .client("queriers", sc.queriers, move |c| {
+            c.wait_version(1).expect("first publication");
+            let mut n = 0u64;
+            loop {
+                let info = c.version_info().expect("version info");
+                let _ = c.query_profile(0, 0, 0, u32::MAX).expect("profile");
+                let (_, _, _density) = c.query_density(0, 0, 0, u32::MAX).expect("density");
+                n += 3;
+                if info.finished {
+                    break;
+                }
+            }
+            *q_sink.lock().unwrap() += n;
+        })
+        .client("subscribers", sc.subscribers, move |c| {
+            c.subscribe().expect("subscribe");
+            loop {
+                let u = c
+                    .next_update()
+                    .expect("update")
+                    .expect("stream ended before final");
+                l_sink.lock().unwrap().push(u.lag_ns);
+                let mut counts = u_sink.lock().unwrap();
+                counts.0 += 1;
+                counts.1 += u.delta as u64;
+                drop(counts);
+                if u.finished {
+                    break;
+                }
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+        })
+        .run()
+        .expect("serving session");
+
+    let store = outcome.snapshot_store.expect("store");
+    let (updates, deltas) = *update_counts.lock().unwrap();
+    let queries = *queries.lock().unwrap();
+    let lags = lags.lock().unwrap().clone();
+    Run {
+        wall_s: outcome.wall_s,
+        queries,
+        lags,
+        updates,
+        deltas,
+        stats: aggregate(&outcome.serve_stats),
+        versions: store.stats().published,
+    }
+}
+
+fn percentile_ms(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx] as f64 / 1e6
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { 60 } else { 300 };
+    let wide = if quick { 2 } else { 4 };
+
+    let scenarios = [
+        // ≥4 concurrent clients, consumers keeping pace.
+        Scenario {
+            name: "smooth",
+            rounds,
+            subscribers: wide,
+            queriers: wide,
+            serve: ServeConfig {
+                publish_every_packs: 2,
+                ring: 256,
+                ..ServeConfig::default()
+            },
+            subscriber_delay: Duration::ZERO,
+        },
+        // Same load, but slow consumers against a two-deep ring: the
+        // server degrades them to snapshot resyncs instead of buffering.
+        Scenario {
+            name: "laggy",
+            rounds,
+            subscribers: wide,
+            queriers: wide,
+            serve: ServeConfig {
+                publish_every_packs: 1,
+                ring: 2,
+                subscriber_credits: 1,
+                ..ServeConfig::default()
+            },
+            subscriber_delay: Duration::from_millis(3),
+        },
+    ];
+
+    let widths = [8, 8, 9, 10, 9, 8, 8, 8, 11, 11];
+    row(
+        &[
+            "scenario".into(),
+            "clients".into(),
+            "versions".into(),
+            "queries".into(),
+            "qps".into(),
+            "updates".into(),
+            "deltas".into(),
+            "resyncs".into(),
+            "lag p50 ms".into(),
+            "lag p99 ms".into(),
+        ],
+        &widths,
+    );
+
+    let mut csv = String::from(
+        "scenario,clients,versions,queries,qps,updates,deltas,resyncs,lag_p50_ms,lag_p99_ms\n",
+    );
+    for sc in &scenarios {
+        let mut run = run_scenario(sc);
+        run.lags.sort_unstable();
+        let clients = sc.subscribers + sc.queriers;
+        let qps = run.queries as f64 / run.wall_s.max(1e-9);
+        let p50 = percentile_ms(&run.lags, 50.0);
+        let p99 = percentile_ms(&run.lags, 99.0);
+        row(
+            &[
+                sc.name.into(),
+                format!("{clients}"),
+                format!("{}", run.versions),
+                format!("{}", run.queries),
+                format!("{qps:.0}"),
+                format!("{}", run.updates),
+                format!("{}", run.deltas),
+                format!("{}", run.stats.resyncs),
+                format!("{p50:.3}"),
+                format!("{p99:.3}"),
+            ],
+            &widths,
+        );
+        csv.push_str(&format!(
+            "{},{clients},{},{},{qps:.1},{},{},{},{p50:.4},{p99:.4}\n",
+            sc.name, run.versions, run.queries, run.updates, run.deltas, run.stats.resyncs
+        ));
+
+        assert!(run.queries > 0, "queriers issued no queries");
+        assert!(run.updates > 0, "subscribers saw no updates");
+        assert_eq!(run.stats.clients as usize, clients);
+        assert_eq!(run.stats.clients_lost, 0, "clients must part cleanly");
+        if sc.name == "laggy" {
+            assert!(
+                run.stats.resyncs > 0,
+                "slow consumers must trigger resyncs, not buffering"
+            );
+        }
+    }
+
+    let path = out_dir("serve_bench").join("serve_bench.csv");
+    let mut f = std::fs::File::create(&path).expect("csv file");
+    f.write_all(csv.as_bytes()).expect("csv write");
+    println!("\nwrote {}", path.display());
+}

@@ -14,6 +14,7 @@ use opmr_instrument::{InstrumentedMpi, RecorderStats};
 use opmr_netsim::Workload;
 use opmr_reduce::{run_node, NodeConfig, ReduceOp, ReduceStats, Tree};
 use opmr_runtime::{Launcher, Mpi};
+use opmr_serve::{run_server, ServeClient, ServeConfig, ServeStats, SnapshotStore};
 use opmr_vmpi::map::{map_partitions, map_partitions_directed};
 use opmr_vmpi::{Map, MapPolicy, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError};
 use parking_lot::Mutex;
@@ -30,6 +31,11 @@ pub enum Coupling {
     /// and data is folded per the configured [`ReduceOp`] on its way to
     /// the tree root.
     Tbon { fanout: usize },
+    /// Direct mapping plus live report serving: analyzer ranks publish
+    /// versioned snapshots into a [`SnapshotStore`] and answer queries and
+    /// subscriptions from client partitions (`SessionBuilder::client`)
+    /// over duplex VMPI streams while the run is still in flight.
+    Serving,
 }
 
 /// Session failure.
@@ -56,12 +62,19 @@ impl std::fmt::Display for SessionError {
 impl std::error::Error for SessionError {}
 
 type AppBody = Arc<dyn Fn(&InstrumentedMpi) + Send + Sync + 'static>;
+type ClientBody = Arc<dyn Fn(&mut ServeClient) + Send + Sync + 'static>;
 type EngineSetup = Box<dyn FnOnce(&AnalysisEngine) + Send>;
 
 struct AppSpec {
     name: String,
     ranks: usize,
     body: AppBody,
+}
+
+struct ClientSpec {
+    name: String,
+    ranks: usize,
+    body: ClientBody,
 }
 
 /// What a finished session returns.
@@ -75,6 +88,12 @@ pub struct SessionOutcome {
     /// Per-tree-node reduction counters `(node index, stats)`, ascending;
     /// empty under [`Coupling::Direct`].
     pub reduce_stats: Vec<(usize, ReduceStats)>,
+    /// Per-serving-rank counters `(analyzer rank, stats)`, ascending; empty
+    /// unless the session ran under [`Coupling::Serving`].
+    pub serve_stats: Vec<(usize, ServeStats)>,
+    /// The snapshot store of a [`Coupling::Serving`] session, retained so
+    /// callers can audit the published version history post-run.
+    pub snapshot_store: Option<Arc<SnapshotStore>>,
 }
 
 impl SessionOutcome {
@@ -101,6 +120,7 @@ impl SessionOutcome {
 /// Builder for an online-coupling session.
 pub struct SessionBuilder {
     apps: Vec<AppSpec>,
+    clients: Vec<ClientSpec>,
     analyzer_ranks: usize,
     stream: StreamConfig,
     engine: EngineConfig,
@@ -112,6 +132,7 @@ pub struct SessionBuilder {
     coupling: Coupling,
     reduce_op: ReduceOp,
     reduce_window: usize,
+    serve: ServeConfig,
 }
 
 /// Entry point: `Session::builder()`.
@@ -121,6 +142,7 @@ impl Session {
     pub fn builder() -> SessionBuilder {
         SessionBuilder {
             apps: Vec::new(),
+            clients: Vec::new(),
             analyzer_ranks: 1,
             stream: StreamConfig {
                 block_size: 64 * 1024,
@@ -135,6 +157,7 @@ impl Session {
             coupling: Coupling::Direct,
             reduce_op: ReduceOp::PassThrough,
             reduce_window: 8,
+            serve: ServeConfig::default(),
         }
     }
 }
@@ -240,6 +263,29 @@ impl SessionBuilder {
         self
     }
 
+    /// Adds a client partition (requires [`Coupling::Serving`]): each rank
+    /// is mapped onto a serving analyzer rank, connected, handed to `body`
+    /// and disconnected afterwards.
+    pub fn client<F>(mut self, name: &str, ranks: usize, body: F) -> Self
+    where
+        F: Fn(&mut ServeClient) + Send + Sync + 'static,
+    {
+        assert!(ranks > 0, "client partition needs at least one rank");
+        self.clients.push(ClientSpec {
+            name: name.to_string(),
+            ranks,
+            body: Arc::new(body),
+        });
+        self
+    }
+
+    /// Serve-plane configuration (publication cadence, snapshot ring size,
+    /// subscriber flow-control credits, serve-stream shape).
+    pub fn serve_config(mut self, cfg: ServeConfig) -> Self {
+        self.serve = cfg;
+        self
+    }
+
     /// Adds an application that live-runs a generated workload program.
     pub fn app_workload(self, name: &str, workload: Workload, opts: LiveOptions) -> Self {
         let ranks = workload.ranks();
@@ -255,11 +301,23 @@ impl SessionBuilder {
             return Err(SessionError::Config("no applications added".into()));
         }
         let coupling = self.coupling;
+        if self.distributed && matches!(coupling, Coupling::Serving) {
+            return Err(SessionError::Config(
+                "live serving publishes from the shared engine; distributed \
+                 analysis is unsupported"
+                    .into(),
+            ));
+        }
         if self.distributed && !matches!(coupling, Coupling::Direct) {
             return Err(SessionError::Config(
                 "distributed analysis and TBON coupling are alternative scaling \
                  paths; pick one"
                     .into(),
+            ));
+        }
+        if !self.clients.is_empty() && !matches!(coupling, Coupling::Serving) {
+            return Err(SessionError::Config(
+                "client partitions require Coupling::Serving".into(),
             ));
         }
         let names: std::collections::HashMap<u16, String> = self
@@ -278,8 +336,8 @@ impl SessionBuilder {
         };
         // In-network aggregation produces merged partials, never raw event
         // packs — the blackboard engine is bypassed like distributed mode.
-        let tbon_aggregate =
-            !matches!(coupling, Coupling::Direct) && matches!(self.reduce_op, ReduceOp::Aggregate);
+        let tbon_aggregate = matches!(coupling, Coupling::Tbon { .. })
+            && matches!(self.reduce_op, ReduceOp::Aggregate);
 
         // Shared-engine mode keeps one engine for all analyzer ranks;
         // distributed mode builds one per analyzer rank inside its closure.
@@ -308,6 +366,26 @@ impl SessionBuilder {
         let recorders: Arc<Mutex<Vec<(String, RecorderStats)>>> = Arc::new(Mutex::new(Vec::new()));
         let stream_cfg = self.stream;
         let analyzer_ranks = self.analyzer_ranks;
+        let n_apps = self.apps.len();
+        let serve_cfg = self.serve;
+
+        // Serving: the engine publishes a versioned snapshot into the store
+        // at every window boundary; the serving loops read it from there.
+        let store = if matches!(coupling, Coupling::Serving) {
+            let store = Arc::new(SnapshotStore::new(serve_cfg.ring, analyzer_ranks));
+            let engine = engine.as_ref().expect("serving uses the shared engine");
+            let publish_to = Arc::clone(&store);
+            engine.attach_snapshot_publisher(
+                serve_cfg.publish_every_packs,
+                Arc::new(move |parts| {
+                    publish_to.publish(parts);
+                }),
+            );
+            Some(store)
+        } else {
+            None
+        };
+        let serve_stats: Arc<Mutex<Vec<(usize, ServeStats)>>> = Arc::new(Mutex::new(Vec::new()));
 
         let mut launcher = Launcher::new();
         if let Some(plan) = self.fault_plan.take() {
@@ -319,7 +397,9 @@ impl SessionBuilder {
             let recs = Arc::clone(&recorders);
             launcher = launcher.partition(&spec.name, spec.ranks, move |mpi: Mpi| {
                 let imp = match coupling {
-                    Coupling::Direct => {
+                    // Serving keeps the paper's direct writer mapping; only
+                    // the analyzer side grows the serve plane.
+                    Coupling::Direct | Coupling::Serving => {
                         InstrumentedMpi::init(mpi, "Analyzer", stream_cfg, 0, app_id as u16)
                     }
                     Coupling::Tbon { fanout } => {
@@ -346,6 +426,8 @@ impl SessionBuilder {
         let names_for_analyzer = names.clone();
         let slot_for_analyzer = Arc::clone(&merged_slot);
         let stats_for_analyzer = Arc::clone(&reduce_stats);
+        let store_for_analyzer = store.clone();
+        let serve_stats_sink = Arc::clone(&serve_stats);
         launcher = launcher.partition("Analyzer", analyzer_ranks, move |mpi: Mpi| match coupling {
             Coupling::Direct => match &engine_for_analyzer {
                 Some(engine) => analyzer_rank(mpi, engine, stream_cfg),
@@ -368,7 +450,43 @@ impl SessionBuilder {
                 &slot_for_analyzer,
                 &stats_for_analyzer,
             ),
+            Coupling::Serving => serving_analyzer_rank(
+                mpi,
+                engine_for_analyzer
+                    .as_ref()
+                    .expect("serving uses the shared engine"),
+                store_for_analyzer
+                    .as_ref()
+                    .expect("serving builds the store before launch"),
+                stream_cfg,
+                &serve_cfg,
+                n_apps,
+                &serve_stats_sink,
+            ),
         });
+        // Client partitions launch after the analyzer so their world ranks
+        // sit above every serving rank (the duplex-stream parity the serve
+        // protocol relies on).
+        let analyzer_pid = n_apps;
+        for spec in std::mem::take(&mut self.clients) {
+            let body = spec.body;
+            launcher = launcher.partition(&spec.name, spec.ranks, move |mpi: Mpi| {
+                let v = Vmpi::new(mpi);
+                let mut map = Map::new();
+                map_partitions_directed(
+                    &v,
+                    analyzer_pid,
+                    analyzer_pid,
+                    MapPolicy::RoundRobin,
+                    &mut map,
+                )
+                .expect("client mapping");
+                let mut client =
+                    ServeClient::connect(&v, map.peers()[0], &serve_cfg).expect("serve connect");
+                body(&mut client);
+                client.close().expect("serve close");
+            });
+        }
 
         let t0 = std::time::Instant::now();
         launcher.run().map_err(SessionError::Launch)?;
@@ -388,11 +506,17 @@ impl SessionBuilder {
             .map(|m| m.into_inner())
             .unwrap_or_default();
         reduce_stats.sort_by_key(|e| e.0);
+        let mut serve_stats = Arc::try_unwrap(serve_stats)
+            .map(|m| m.into_inner())
+            .unwrap_or_default();
+        serve_stats.sort_by_key(|e| e.0);
         Ok(SessionOutcome {
             report,
             recorders,
             wall_s,
             reduce_stats,
+            serve_stats,
+            snapshot_store: store,
         })
     }
 }
@@ -477,6 +601,51 @@ fn distributed_analyzer_rank(
         let merged = MultiReport::from_partials(sets, names);
         *slot.lock() = Some(merged);
     }
+}
+
+/// Serving analyzer rank: the paper's direct mapping for the application
+/// partitions (pids `0..n_apps`) plus an analyzer-mastered mapping of
+/// every client partition (pids `n_apps+1..`), then one serving loop that
+/// drains instrumentation into the shared engine while answering client
+/// queries and pumping subscriptions.
+fn serving_analyzer_rank(
+    mpi: Mpi,
+    engine: &AnalysisEngine,
+    store: &Arc<SnapshotStore>,
+    stream_cfg: StreamConfig,
+    serve_cfg: &ServeConfig,
+    n_apps: usize,
+    stats_sink: &Mutex<Vec<(usize, ServeStats)>>,
+) {
+    let v = Vmpi::new(mpi);
+    let mut app_map = Map::new();
+    for pid in 0..n_apps {
+        map_partitions(&v, pid, MapPolicy::RoundRobin, &mut app_map).expect("analyzer mapping");
+    }
+    // The analyzer masters the client mappings so every client rank gets
+    // assigned exactly one serving rank, spread round-robin.
+    let mut client_map = Map::new();
+    for pid in (n_apps + 1)..v.partition_count() {
+        map_partitions_directed(
+            &v,
+            pid,
+            v.partition_id(),
+            MapPolicy::RoundRobin,
+            &mut client_map,
+        )
+        .expect("client mapping");
+    }
+    let stats = run_server(
+        &v,
+        engine,
+        store,
+        app_map.peers(),
+        client_map.peers(),
+        stream_cfg,
+        serve_cfg,
+    )
+    .expect("serving loop");
+    stats_sink.lock().push((v.rank(), stats));
 }
 
 /// Analyzer-rank body: additively map every application partition

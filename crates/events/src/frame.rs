@@ -1,0 +1,96 @@
+//! Length-prefixed framing for records travelling over block streams.
+//!
+//! VMPI streams deliver *blocks* whose boundaries depend on the writer's
+//! flush pattern, not on record boundaries. Any record-oriented protocol
+//! layered on top (reduction partial sets going up the TBON, serve-plane
+//! requests and responses) therefore length-prefixes each record with
+//! [`frame`] and reassembles per source with [`FrameBuf`]. One framing
+//! implementation, shared by every stream protocol in the workspace.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Length-prefixes a payload for transport over a byte stream whose block
+/// boundaries the encoding cannot rely on.
+pub fn frame(payload: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(4 + payload.len());
+    out.put_u32_le(payload.len() as u32);
+    out.put_slice(payload);
+    out.freeze()
+}
+
+/// Per-source reassembly buffer for [`frame`]d records.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: BytesMut,
+}
+
+impl FrameBuf {
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Appends one received stream block.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.put_slice(chunk);
+    }
+
+    /// Pops the next complete frame payload, if one has fully arrived.
+    pub fn next_frame(&mut self) -> Option<Bytes> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if self.buf.len() < 4 + len {
+            return None;
+        }
+        let mut record = self.buf.split_to(4 + len).freeze();
+        record.advance(4);
+        Some(record)
+    }
+
+    /// Bytes buffered but not yet forming a complete frame.
+    pub fn residual(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_under_ragged_chunking() {
+        let records: Vec<Vec<u8>> = (0..6usize)
+            .map(|i| (0..i * 7 + 1).map(|b| (b * 31 + i) as u8).collect())
+            .collect();
+        let mut wire = BytesMut::new();
+        for r in &records {
+            wire.put_slice(&frame(r));
+        }
+        for chunk_len in [1, 3, 13, 64, wire.len()] {
+            let mut fb = FrameBuf::new();
+            let mut got: Vec<Bytes> = Vec::new();
+            for chunk in wire.chunks(chunk_len) {
+                fb.push(chunk);
+                while let Some(payload) = fb.next_frame() {
+                    got.push(payload);
+                }
+            }
+            assert_eq!(got.len(), records.len(), "chunk_len={chunk_len}");
+            for (g, r) in got.iter().zip(&records) {
+                assert_eq!(&g[..], &r[..]);
+            }
+            assert_eq!(fb.residual(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_payload_frames_cleanly() {
+        let f = frame(&[]);
+        assert_eq!(f.len(), 4);
+        let mut fb = FrameBuf::new();
+        fb.push(&f);
+        assert_eq!(fb.next_frame().unwrap().len(), 0);
+        assert!(fb.next_frame().is_none());
+    }
+}

@@ -19,7 +19,9 @@
 
 pub mod codec;
 pub mod event;
+pub mod frame;
 pub mod pack;
 
 pub use event::{Event, EventKind};
+pub use frame::{frame, FrameBuf};
 pub use pack::{EventPack, PackHeader, EVENT_WIRE_SIZE, PACK_HEADER_SIZE};

@@ -175,50 +175,9 @@ pub fn decode_partial_set(mut buf: &[u8]) -> Result<Vec<ReducePartial>, WireErro
     Ok(out)
 }
 
-/// Length-prefixes a payload for transport over a byte stream whose block
-/// boundaries the encoding cannot rely on.
-pub fn frame(payload: &[u8]) -> Bytes {
-    let mut out = BytesMut::with_capacity(4 + payload.len());
-    out.put_u32_le(payload.len() as u32);
-    out.put_slice(payload);
-    out.freeze()
-}
-
-/// Per-source reassembly buffer for [`frame`]d records.
-#[derive(Debug, Default)]
-pub struct FrameBuf {
-    buf: BytesMut,
-}
-
-impl FrameBuf {
-    pub fn new() -> FrameBuf {
-        FrameBuf::default()
-    }
-
-    /// Appends one received stream block.
-    pub fn push(&mut self, chunk: &[u8]) {
-        self.buf.put_slice(chunk);
-    }
-
-    /// Pops the next complete frame payload, if one has fully arrived.
-    pub fn next_frame(&mut self) -> Option<Bytes> {
-        if self.buf.len() < 4 {
-            return None;
-        }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
-        if self.buf.len() < 4 + len {
-            return None;
-        }
-        let mut record = self.buf.split_to(4 + len).freeze();
-        record.advance(4);
-        Some(record)
-    }
-
-    /// Bytes buffered but not yet forming a complete frame.
-    pub fn residual(&self) -> usize {
-        self.buf.len()
-    }
-}
+// Framing lives in `opmr_events::frame` (shared with the serve protocol);
+// re-exported here so overlay code keeps addressing it as `partial::frame`.
+pub use opmr_events::frame::{frame, FrameBuf};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,385 @@
+//! The client-partition side of the serve plane.
+//!
+//! A [`ServeClient`] holds one duplex VMPI stream to the analyzer rank it
+//! was mapped onto, issues framed point queries and — once subscribed —
+//! folds the snapshot-then-deltas stream into a locally held
+//! [`ClientReport`]. Because deltas carry replacement values and the wire
+//! codecs encode deterministically, re-encoding the folded report yields
+//! bytes identical to the server's stored snapshot at every version; the
+//! acceptance tests assert exactly that.
+
+use crate::delta::{apply_delta, delta_versions};
+use crate::proto::{NotFoundReason, QueryKind, Request, Response, VersionInfo, SERVE_STREAM_ID};
+use crate::{mono_ns, ServeConfig, ServeError};
+use bytes::{Buf, Bytes};
+use opmr_analysis::profiler::MpiProfile;
+use opmr_analysis::topology::Topology;
+use opmr_analysis::waitstate::WaitStats;
+use opmr_analysis::wire::{
+    decode_partials, decode_profile, decode_topology, decode_waitstats, encode_partials,
+    AppPartial, WireError,
+};
+use opmr_events::frame::{frame, FrameBuf};
+use opmr_vmpi::{DuplexStream, ReadMode, Vmpi, VmpiError};
+use std::collections::VecDeque;
+
+/// The report a subscribed client currently holds.
+pub struct ClientReport {
+    /// Server version this report corresponds to.
+    pub version: u64,
+    /// Decoded per-application reports.
+    pub parts: Vec<AppPartial>,
+    /// `encode_partials` bytes of the held report — byte-identical to the
+    /// server's stored snapshot of the same version.
+    pub encoded: Bytes,
+}
+
+/// One consumed subscription update.
+#[derive(Debug, Clone, Copy)]
+pub struct Update {
+    /// Version the client now holds.
+    pub version: u64,
+    /// Server publication timestamp ([`crate::mono_ns`] clock).
+    pub publish_ns: u64,
+    /// Publication-to-consumption lag on the shared in-process clock.
+    pub lag_ns: u64,
+    /// This update was a full-snapshot resync after falling off the
+    /// server's delta ring (the typed slow-consumer signal).
+    pub resync: bool,
+    /// This update arrived as an incremental delta.
+    pub delta: bool,
+    /// This is the final version of the run.
+    pub finished: bool,
+}
+
+/// A connected serve-plane client.
+pub struct ServeClient {
+    stream: DuplexStream,
+    fb: FrameBuf,
+    next_req_id: u32,
+    /// Subscription updates that arrived interleaved with query answers.
+    pending: VecDeque<Response>,
+    report: Option<ClientReport>,
+    eof: bool,
+}
+
+impl ServeClient {
+    /// Connects to the serving analyzer at world rank `server` (obtained
+    /// from the Map pivot: `map.peers()[0]` on the client side).
+    pub fn connect(v: &Vmpi, server: usize, cfg: &ServeConfig) -> crate::Result<ServeClient> {
+        Ok(ServeClient {
+            stream: DuplexStream::open(v, vec![server], cfg.stream, SERVE_STREAM_ID)?,
+            fb: FrameBuf::new(),
+            next_req_id: 1,
+            pending: VecDeque::new(),
+            report: None,
+            eof: false,
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> crate::Result<()> {
+        self.stream.write(&frame(&req.encode()))?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Reads one block into the frame buffer, spinning past `EAGAIN`.
+    /// Returns false at end of stream.
+    fn fill(&mut self) -> crate::Result<bool> {
+        loop {
+            match self.stream.read(ReadMode::NonBlocking) {
+                Ok(Some(block)) => {
+                    self.fb.push(&block.data);
+                    return Ok(true);
+                }
+                Ok(None) => {
+                    self.eof = true;
+                    return Ok(false);
+                }
+                Err(VmpiError::Again) => std::thread::yield_now(),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn next_response(&mut self) -> crate::Result<Option<Response>> {
+        loop {
+            if let Some(payload) = self.fb.next_frame() {
+                return Ok(Some(Response::decode(&payload)?));
+            }
+            if self.eof || !self.fill()? {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Waits for the answer to `req_id`, queueing any subscription updates
+    /// that arrive in between.
+    fn recv_matching(&mut self, req_id: u32) -> crate::Result<Response> {
+        loop {
+            let Some(rsp) = self.next_response()? else {
+                return Err(ServeError::Protocol(
+                    "server closed the stream before answering".into(),
+                ));
+            };
+            match rsp {
+                Response::Snapshot { .. } | Response::Delta { .. } => self.pending.push_back(rsp),
+                ref r => {
+                    let id = match r {
+                        Response::QueryResult { req_id, .. }
+                        | Response::NotFound { req_id, .. }
+                        | Response::VersionInfo { req_id, .. } => *req_id,
+                        _ => unreachable!("updates handled above"),
+                    };
+                    if id == req_id {
+                        return Ok(rsp);
+                    }
+                }
+            }
+        }
+    }
+
+    fn fresh_id(&mut self) -> u32 {
+        let id = self.next_req_id;
+        self.next_req_id = self.next_req_id.wrapping_add(1).max(1);
+        id
+    }
+
+    /// What versions does the server currently hold?
+    pub fn version_info(&mut self) -> crate::Result<VersionInfo> {
+        let req_id = self.fresh_id();
+        self.send(&Request::VersionInfo { req_id })?;
+        match self.recv_matching(req_id)? {
+            Response::VersionInfo {
+                current,
+                oldest,
+                apps,
+                finished,
+                ..
+            } => Ok(VersionInfo {
+                current,
+                oldest,
+                apps,
+                finished,
+            }),
+            Response::NotFound { reason, .. } => Err(ServeError::NotFound(reason)),
+            _ => Err(ServeError::Protocol(
+                "unexpected answer to version info".into(),
+            )),
+        }
+    }
+
+    /// Polls [`ServeClient::version_info`] until the server published at
+    /// least `min` versions (or finished).
+    pub fn wait_version(&mut self, min: u64) -> crate::Result<VersionInfo> {
+        loop {
+            let info = self.version_info()?;
+            if info.current >= min || info.finished {
+                return Ok(info);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn query_raw(
+        &mut self,
+        kind: QueryKind,
+        app_id: u16,
+        version: u64,
+        rank_lo: u32,
+        rank_hi: u32,
+    ) -> crate::Result<(u64, Bytes)> {
+        let req_id = self.fresh_id();
+        self.send(&Request::Query {
+            req_id,
+            kind,
+            app_id,
+            version,
+            rank_lo,
+            rank_hi,
+        })?;
+        match self.recv_matching(req_id)? {
+            Response::QueryResult {
+                version, payload, ..
+            } => Ok((version, payload)),
+            Response::NotFound { reason, .. } => Err(ServeError::NotFound(reason)),
+            _ => Err(ServeError::Protocol("unexpected answer to query".into())),
+        }
+    }
+
+    /// The rank-filtered MPI profile of `app_id` at `version` (0 =
+    /// current). Returns the answering version alongside.
+    pub fn query_profile(
+        &mut self,
+        app_id: u16,
+        version: u64,
+        rank_lo: u32,
+        rank_hi: u32,
+    ) -> crate::Result<(u64, MpiProfile)> {
+        let (v, payload) = self.query_raw(QueryKind::Profile, app_id, version, rank_lo, rank_hi)?;
+        Ok((v, decode_profile(&mut &payload[..])?))
+    }
+
+    /// The source-rank-filtered communication topology.
+    pub fn query_topology(
+        &mut self,
+        app_id: u16,
+        version: u64,
+        rank_lo: u32,
+        rank_hi: u32,
+    ) -> crate::Result<(u64, Topology)> {
+        let (v, payload) =
+            self.query_raw(QueryKind::Topology, app_id, version, rank_lo, rank_hi)?;
+        Ok((v, decode_topology(&mut &payload[..])?))
+    }
+
+    /// The rank-filtered wait-state report, when the analyzer ran the
+    /// wait-state KS.
+    pub fn query_waitstate(
+        &mut self,
+        app_id: u16,
+        version: u64,
+        rank_lo: u32,
+        rank_hi: u32,
+    ) -> crate::Result<(u64, Option<WaitStats>)> {
+        let (v, payload) =
+            self.query_raw(QueryKind::Waitstate, app_id, version, rank_lo, rank_hi)?;
+        let mut view: &[u8] = &payload;
+        if view.remaining() < 1 {
+            return Err(WireError::Truncated.into());
+        }
+        match view.get_u8() {
+            0 => Ok((v, None)),
+            _ => Ok((v, Some(decode_waitstats(&mut view)?))),
+        }
+    }
+
+    /// Per-rank event counts over the rank range: `(version, first rank,
+    /// counts)`.
+    pub fn query_density(
+        &mut self,
+        app_id: u16,
+        version: u64,
+        rank_lo: u32,
+        rank_hi: u32,
+    ) -> crate::Result<(u64, u32, Vec<u64>)> {
+        let (v, payload) = self.query_raw(QueryKind::Density, app_id, version, rank_lo, rank_hi)?;
+        let mut view: &[u8] = &payload;
+        if view.remaining() < 8 {
+            return Err(WireError::Truncated.into());
+        }
+        let lo = view.get_u32_le();
+        let n = view.get_u32_le() as usize;
+        if view.remaining() < n * 8 {
+            return Err(WireError::Truncated.into());
+        }
+        Ok((v, lo, (0..n).map(|_| view.get_u64_le()).collect()))
+    }
+
+    /// Starts the snapshot-then-deltas subscription; consume it with
+    /// [`ServeClient::next_update`].
+    pub fn subscribe(&mut self) -> crate::Result<()> {
+        self.send(&Request::Subscribe)
+    }
+
+    /// Blocks until the next subscription update, folds it into the held
+    /// report and acknowledges it (returning a flow-control credit).
+    /// `None` once the server closed the stream.
+    pub fn next_update(&mut self) -> crate::Result<Option<Update>> {
+        let rsp = match self.pending.pop_front() {
+            Some(r) => r,
+            None => loop {
+                match self.next_response()? {
+                    None => return Ok(None),
+                    Some(r @ (Response::Snapshot { .. } | Response::Delta { .. })) => break r,
+                    Some(_) => {} // stale answer to an abandoned query
+                }
+            },
+        };
+        let update = self.fold(rsp)?;
+        self.send(&Request::Ack {
+            version: update.version,
+        })?;
+        Ok(Some(update))
+    }
+
+    fn fold(&mut self, rsp: Response) -> crate::Result<Update> {
+        match rsp {
+            Response::Snapshot {
+                version,
+                publish_ns,
+                resync,
+                finished,
+                payload,
+            } => {
+                let parts = decode_partials(&payload)?;
+                self.report = Some(ClientReport {
+                    version,
+                    parts,
+                    encoded: payload,
+                });
+                Ok(Update {
+                    version,
+                    publish_ns,
+                    lag_ns: mono_ns().saturating_sub(publish_ns),
+                    resync,
+                    delta: false,
+                    finished,
+                })
+            }
+            Response::Delta {
+                version,
+                publish_ns,
+                finished,
+                payload,
+            } => {
+                let report = self
+                    .report
+                    .as_mut()
+                    .ok_or_else(|| ServeError::Protocol("delta before any snapshot".into()))?;
+                let (from, to) = delta_versions(&payload)?;
+                if from != report.version || to != version {
+                    return Err(ServeError::Protocol(format!(
+                        "delta {from}->{to} does not extend held version {}",
+                        report.version
+                    )));
+                }
+                apply_delta(&mut report.parts, &payload)?;
+                report.version = version;
+                report.encoded = encode_partials(&report.parts);
+                Ok(Update {
+                    version,
+                    publish_ns,
+                    lag_ns: mono_ns().saturating_sub(publish_ns),
+                    resync: false,
+                    delta: true,
+                    finished,
+                })
+            }
+            _ => unreachable!("only updates reach fold"),
+        }
+    }
+
+    /// The report the subscription currently holds.
+    pub fn report(&self) -> Option<&ClientReport> {
+        self.report.as_ref()
+    }
+
+    /// Orderly goodbye: tells the server, then closes our direction and
+    /// drains the server's.
+    pub fn close(mut self) -> crate::Result<()> {
+        if !self.eof {
+            // A lost server is an acceptable way to end a session; the
+            // goodbye is best-effort.
+            let _ = self.send(&Request::Bye);
+        }
+        self.stream.close()?;
+        Ok(())
+    }
+}
+
+/// Convenience for tests and examples: queries keep working after the run
+/// finished, so "not found" answers stay typed rather than fatal.
+pub fn is_not_found(e: &ServeError, reason: NotFoundReason) -> bool {
+    matches!(e, ServeError::NotFound(r) if *r == reason)
+}

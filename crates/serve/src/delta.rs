@@ -1,0 +1,449 @@
+//! Delta encoding between consecutive report snapshot versions.
+//!
+//! A delta carries *replacement values*, not arithmetic differences:
+//! `CallStats.min_ns`/`max_ns` are not additive, so a changed
+//! `(rank, kind)` profile cell, topology edge or wait-state block travels
+//! as its full new value. Because `analysis::wire` encodes profiles and
+//! topologies by deterministic iteration over exactly those cells (and
+//! derives rank counts from them), reconstructing the cell set exactly
+//! reconstructs the *encoded snapshot* byte-for-byte — the property the
+//! subscription protocol is built on.
+//!
+//! Aggregates normally only grow, but the encoder does not assume it: an
+//! application whose cells shrank or vanished (e.g. snapshots racing on
+//! the publisher side) falls back to a full per-app replacement, keeping
+//! the apply path correct for arbitrary snapshot pairs.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use opmr_analysis::profiler::{CallStats, MpiProfile};
+use opmr_analysis::topology::Topology;
+use opmr_analysis::wire::{
+    decode_profile, decode_topology, decode_waitstats, encode_profile, encode_topology,
+    encode_waitstats, AppPartial, WireError,
+};
+use opmr_events::EventKind;
+use std::collections::BTreeMap;
+
+/// Magic prefix of an encoded snapshot delta ("OPSD").
+pub const DELTA_MAGIC: u32 = u32::from_le_bytes(*b"OPSD");
+/// Wire version of the delta encoding.
+pub const DELTA_VERSION: u16 = 1;
+
+const APP_FULL: u8 = 1;
+const APP_SPARSE: u8 = 2;
+
+fn profile_cells(p: &MpiProfile) -> BTreeMap<(u32, u16), CallStats> {
+    let mut cells = BTreeMap::new();
+    for kind in p.kinds() {
+        for rank in 0..p.ranks() {
+            if let Some(s) = p.rank_kind(rank, kind) {
+                cells.insert((rank, kind as u16), *s);
+            }
+        }
+    }
+    cells
+}
+
+fn rebuild_profile(cells: &BTreeMap<(u32, u16), CallStats>, span_ns: u64) -> MpiProfile {
+    let mut p = MpiProfile::new();
+    for (&(rank, kind_raw), s) in cells {
+        let kind = EventKind::from_u16(kind_raw).expect("cell kind validated on decode");
+        p.absorb_stats(rank, kind, s.hits, s.time_ns, s.bytes, s.min_ns, s.max_ns);
+    }
+    p.absorb_span(span_ns);
+    p
+}
+
+fn topology_edges(t: &Topology) -> BTreeMap<(u32, u32), (u64, u64, u64)> {
+    t.sorted_edges()
+        .into_iter()
+        .map(|((s, d), w)| ((s, d), (w.hits, w.bytes, w.time_ns)))
+        .collect()
+}
+
+fn rebuild_topology(edges: &BTreeMap<(u32, u32), (u64, u64, u64)>) -> Topology {
+    let mut t = Topology::new();
+    for (&(s, d), &(hits, bytes, time_ns)) in edges {
+        t.add_weighted(s, d, hits, bytes, time_ns);
+    }
+    t
+}
+
+fn encoded_waitstate(a: &AppPartial) -> Option<Bytes> {
+    a.waitstate.as_ref().map(|w| {
+        let mut buf = BytesMut::new();
+        encode_waitstats(w, &mut buf);
+        buf.freeze()
+    })
+}
+
+/// True when `to` can be expressed as a sparse cell/edge update on `from`
+/// (nothing shrank or disappeared).
+fn sparse_applicable(from: &AppPartial, to: &AppPartial) -> bool {
+    let from_cells = profile_cells(&from.profile);
+    let to_cells = profile_cells(&to.profile);
+    if !from_cells.keys().all(|k| to_cells.contains_key(k)) {
+        return false;
+    }
+    let from_edges = topology_edges(&from.topology);
+    let to_edges = topology_edges(&to.topology);
+    if !from_edges.keys().all(|k| to_edges.contains_key(k)) {
+        return false;
+    }
+    // A wait-state block that vanished cannot be patched sparsely.
+    !(from.waitstate.is_some() && to.waitstate.is_none())
+}
+
+fn encode_app_full(a: &AppPartial, out: &mut BytesMut) {
+    out.put_u64_le(a.packs);
+    out.put_u64_le(a.wire_bytes);
+    out.put_u64_le(a.decode_errors);
+    encode_profile(&a.profile, out);
+    encode_topology(&a.topology, out);
+    match &a.waitstate {
+        Some(w) => {
+            out.put_u8(1);
+            encode_waitstats(w, out);
+        }
+        None => out.put_u8(0),
+    }
+}
+
+fn encode_app_sparse(from: &AppPartial, to: &AppPartial, out: &mut BytesMut) {
+    out.put_u64_le(to.packs);
+    out.put_u64_le(to.wire_bytes);
+    out.put_u64_le(to.decode_errors);
+    out.put_u64_le(to.profile.span_ns());
+
+    let from_cells = profile_cells(&from.profile);
+    let to_cells = profile_cells(&to.profile);
+    let changed: Vec<(&(u32, u16), &CallStats)> = to_cells
+        .iter()
+        .filter(|(k, s)| from_cells.get(*k) != Some(*s))
+        .collect();
+    out.put_u32_le(changed.len() as u32);
+    for (&(rank, kind_raw), s) in changed {
+        out.put_u32_le(rank);
+        out.put_u16_le(kind_raw);
+        out.put_u64_le(s.hits);
+        out.put_u64_le(s.time_ns);
+        out.put_u64_le(s.bytes);
+        out.put_u64_le(s.min_ns);
+        out.put_u64_le(s.max_ns);
+    }
+
+    let from_edges = topology_edges(&from.topology);
+    let to_edges = topology_edges(&to.topology);
+    let changed: Vec<_> = to_edges
+        .iter()
+        .filter(|(k, w)| from_edges.get(*k) != Some(*w))
+        .collect();
+    out.put_u32_le(changed.len() as u32);
+    for (&(s, d), &(hits, bytes, time_ns)) in changed {
+        out.put_u32_le(s);
+        out.put_u32_le(d);
+        out.put_u64_le(hits);
+        out.put_u64_le(bytes);
+        out.put_u64_le(time_ns);
+    }
+
+    match (
+        &to.waitstate,
+        encoded_waitstate(from) == encoded_waitstate(to),
+    ) {
+        (Some(w), false) => {
+            out.put_u8(1);
+            encode_waitstats(w, out);
+        }
+        _ => out.put_u8(0),
+    }
+}
+
+/// Encodes the delta turning snapshot `from` (version `from_version`) into
+/// snapshot `to` (version `to_version`). Both partial lists must be sorted
+/// by `app_id` (as `AnalysisEngine::snapshot_partials` produces them).
+pub fn encode_delta(
+    from_version: u64,
+    from: &[AppPartial],
+    to_version: u64,
+    to: &[AppPartial],
+) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u32_le(DELTA_MAGIC);
+    out.put_u16_le(DELTA_VERSION);
+    out.put_u64_le(from_version);
+    out.put_u64_le(to_version);
+    let base: BTreeMap<u16, &AppPartial> = from.iter().map(|a| (a.app_id, a)).collect();
+    // Every `to` app is included (counters move every window); apps cannot
+    // leave a report, so no tombstones exist.
+    out.put_u16_le(to.len() as u16);
+    for a in to {
+        out.put_u16_le(a.app_id);
+        match base.get(&a.app_id) {
+            Some(prev) if sparse_applicable(prev, a) => {
+                out.put_u8(APP_SPARSE);
+                encode_app_sparse(prev, a, &mut out);
+            }
+            _ => {
+                out.put_u8(APP_FULL);
+                encode_app_full(a, &mut out);
+            }
+        }
+    }
+    out.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn decode_header(buf: &mut &[u8]) -> Result<(u64, u64, usize), WireError> {
+    need(buf, 4 + 2 + 8 + 8 + 2)?;
+    let magic = buf.get_u32_le();
+    if magic != DELTA_MAGIC {
+        return Err(WireError::BadTag((magic & 0xff) as u8));
+    }
+    let version = buf.get_u16_le();
+    if version != DELTA_VERSION {
+        return Err(WireError::BadTag(version as u8));
+    }
+    let from_version = buf.get_u64_le();
+    let to_version = buf.get_u64_le();
+    let n_apps = buf.get_u16_le() as usize;
+    Ok((from_version, to_version, n_apps))
+}
+
+/// Reads the `(from_version, to_version)` pair off an encoded delta
+/// without applying it.
+pub fn delta_versions(mut buf: &[u8]) -> Result<(u64, u64), WireError> {
+    let (from, to, _) = decode_header(&mut buf)?;
+    Ok((from, to))
+}
+
+fn decode_app_full(app_id: u16, buf: &mut &[u8]) -> Result<AppPartial, WireError> {
+    need(buf, 24)?;
+    let packs = buf.get_u64_le();
+    let wire_bytes = buf.get_u64_le();
+    let decode_errors = buf.get_u64_le();
+    let profile = decode_profile(buf)?;
+    let topology = decode_topology(buf)?;
+    need(buf, 1)?;
+    let waitstate = match buf.get_u8() {
+        0 => None,
+        1 => Some(decode_waitstats(buf)?),
+        t => return Err(WireError::BadTag(t)),
+    };
+    Ok(AppPartial {
+        app_id,
+        packs,
+        wire_bytes,
+        decode_errors,
+        profile,
+        topology,
+        waitstate,
+    })
+}
+
+fn apply_app_sparse(base: &mut AppPartial, buf: &mut &[u8]) -> Result<(), WireError> {
+    need(buf, 32)?;
+    base.packs = buf.get_u64_le();
+    base.wire_bytes = buf.get_u64_le();
+    base.decode_errors = buf.get_u64_le();
+    let span_ns = buf.get_u64_le();
+
+    need(buf, 4)?;
+    let n_cells = buf.get_u32_le() as usize;
+    let mut cells = profile_cells(&base.profile);
+    for _ in 0..n_cells {
+        need(buf, 4 + 2 + 5 * 8)?;
+        let rank = buf.get_u32_le();
+        let kind_raw = buf.get_u16_le();
+        EventKind::from_u16(kind_raw).ok_or(WireError::BadKind(kind_raw))?;
+        cells.insert(
+            (rank, kind_raw),
+            CallStats {
+                hits: buf.get_u64_le(),
+                time_ns: buf.get_u64_le(),
+                bytes: buf.get_u64_le(),
+                min_ns: buf.get_u64_le(),
+                max_ns: buf.get_u64_le(),
+            },
+        );
+    }
+    base.profile = rebuild_profile(&cells, span_ns);
+
+    need(buf, 4)?;
+    let n_edges = buf.get_u32_le() as usize;
+    let mut edges = topology_edges(&base.topology);
+    for _ in 0..n_edges {
+        need(buf, 8 + 3 * 8)?;
+        let s = buf.get_u32_le();
+        let d = buf.get_u32_le();
+        edges.insert(
+            (s, d),
+            (buf.get_u64_le(), buf.get_u64_le(), buf.get_u64_le()),
+        );
+    }
+    base.topology = rebuild_topology(&edges);
+
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => {}
+        1 => base.waitstate = Some(decode_waitstats(buf)?),
+        t => return Err(WireError::BadTag(t)),
+    }
+    Ok(())
+}
+
+/// Applies an encoded delta to `base` (sorted by `app_id`), mutating it
+/// into the target snapshot. Returns `(from_version, to_version)`; the
+/// caller is responsible for checking `from_version` against the version
+/// `base` currently represents.
+pub fn apply_delta(base: &mut Vec<AppPartial>, mut buf: &[u8]) -> Result<(u64, u64), WireError> {
+    let (from_version, to_version, n_apps) = decode_header(&mut buf)?;
+    for _ in 0..n_apps {
+        need(&buf, 3)?;
+        let app_id = buf.get_u16_le();
+        let tag = buf.get_u8();
+        match tag {
+            APP_FULL => {
+                let app = decode_app_full(app_id, &mut buf)?;
+                match base.binary_search_by_key(&app_id, |a| a.app_id) {
+                    Ok(i) => base[i] = app,
+                    Err(i) => base.insert(i, app),
+                }
+            }
+            APP_SPARSE => {
+                let i = base
+                    .binary_search_by_key(&app_id, |a| a.app_id)
+                    .map_err(|_| WireError::BadTag(tag))?;
+                apply_app_sparse(&mut base[i], &mut buf)?;
+            }
+            t => return Err(WireError::BadTag(t)),
+        }
+    }
+    Ok((from_version, to_version))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opmr_analysis::waitstate::WaitStats;
+    use opmr_analysis::wire::encode_partials;
+    use opmr_events::Event;
+
+    fn profile_at(rounds: u32) -> MpiProfile {
+        let mut p = MpiProfile::new();
+        for i in 0..rounds {
+            for rank in 0..4u32 {
+                p.add(&Event {
+                    time_ns: i as u64 * 1000 + rank as u64,
+                    duration_ns: 10 + (i % 7) as u64,
+                    kind: if i % 3 == 0 {
+                        EventKind::Send
+                    } else {
+                        EventKind::Recv
+                    },
+                    rank,
+                    peer: ((rank + 1) % 4) as i32,
+                    tag: 0,
+                    comm: 0,
+                    bytes: 64 + i as u64,
+                });
+            }
+        }
+        p
+    }
+
+    fn partial_at(app_id: u16, rounds: u32) -> AppPartial {
+        let mut topology = Topology::new();
+        for rank in 0..4u32 {
+            topology.add_weighted(rank, (rank + 1) % 4, rounds as u64, rounds as u64 * 64, 10);
+        }
+        AppPartial {
+            app_id,
+            packs: rounds as u64,
+            wire_bytes: rounds as u64 * 48,
+            decode_errors: 0,
+            profile: profile_at(rounds),
+            topology,
+            waitstate: Some(WaitStats {
+                matched: rounds as u64,
+                ..WaitStats::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn applied_delta_reencodes_byte_identically() {
+        // The load-bearing property of the subscription protocol.
+        let mut versions: Vec<Vec<AppPartial>> = Vec::new();
+        for rounds in [3u32, 7, 7, 19, 40] {
+            versions.push(vec![partial_at(0, rounds), partial_at(5, rounds * 2)]);
+        }
+        let mut live = versions[0].clone();
+        for w in versions.windows(2) {
+            let d = encode_delta(1, &w[0], 2, &w[1]);
+            let (f, t) = apply_delta(&mut live, &d).unwrap();
+            assert_eq!((f, t), (1, 2));
+            assert_eq!(
+                encode_partials(&live),
+                encode_partials(&w[1]),
+                "delta application diverged from target snapshot"
+            );
+        }
+    }
+
+    #[test]
+    fn new_app_travels_full() {
+        let v1 = vec![partial_at(0, 5)];
+        let v2 = vec![partial_at(0, 6), partial_at(9, 2)];
+        let d = encode_delta(1, &v1, 2, &v2);
+        let mut live = v1.clone();
+        apply_delta(&mut live, &d).unwrap();
+        assert_eq!(encode_partials(&live), encode_partials(&v2));
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[1].app_id, 9);
+    }
+
+    #[test]
+    fn unchanged_apps_cost_little() {
+        let v = vec![partial_at(0, 50)];
+        let d = encode_delta(1, &v, 2, &v);
+        let full = encode_partials(&v);
+        assert!(
+            d.len() < full.len() / 2,
+            "no-change delta ({}) should be far smaller than a snapshot ({})",
+            d.len(),
+            full.len()
+        );
+        let mut live = v.clone();
+        apply_delta(&mut live, &d).unwrap();
+        assert_eq!(encode_partials(&live), full);
+    }
+
+    #[test]
+    fn shrinking_aggregates_fall_back_to_full_replacement() {
+        // Not reachable from a monotone publisher, but the codec must not
+        // silently corrupt if it ever happens.
+        let big = vec![partial_at(0, 20)];
+        let small = vec![partial_at(0, 4)];
+        let d = encode_delta(1, &big, 2, &small);
+        let mut live = big.clone();
+        apply_delta(&mut live, &d).unwrap();
+        assert_eq!(encode_partials(&live), encode_partials(&small));
+    }
+
+    #[test]
+    fn delta_versions_peeks_without_applying() {
+        let v = vec![partial_at(0, 2)];
+        let d = encode_delta(41, &v, 42, &v);
+        assert_eq!(delta_versions(&d).unwrap(), (41, 42));
+        assert!(delta_versions(&d[..10]).is_err());
+        assert!(delta_versions(b"OPMRxxxxxxxxxxxxxxxxxxxxxx").is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! # opmr-serve — live report serving over VMPI streams
+//!
+//! The paper's whole premise is that analysis results exist *while the
+//! application runs* (online coupling, Sections II-A/III-B); this crate
+//! makes them observable mid-run. The analyzer becomes a queryable
+//! service:
+//!
+//! * [`store::SnapshotStore`] — the engine publishes **versioned report
+//!   snapshots** at window boundaries (every N unpacked packs) into a
+//!   lock-light store: a swap-on-publish current pointer plus a bounded
+//!   ring of recent versions;
+//! * [`delta`] — **delta encoding** between consecutive versions reusing
+//!   the `analysis::wire` codecs: changed `(rank, kind)` profile cells,
+//!   changed topology edges and changed wait-state blocks travel as full
+//!   replacement values, so applying the delta chain to a base snapshot
+//!   reconstructs every later snapshot *byte-identically*;
+//! * [`proto`] — the length-prefixed request/response + subscription
+//!   protocol (framing shared with the reduction overlay via
+//!   `opmr_events::frame`): point queries for profile / topology /
+//!   wait-state / density by rank range and version, and subscriptions
+//!   that deliver one full snapshot followed by incremental deltas;
+//! * [`server`] — the `EAGAIN`-aware serving loop run by analyzer ranks:
+//!   drains instrumentation streams into the engine while answering
+//!   client traffic. Slow consumers are handled with **credit-based flow
+//!   control**: a subscriber with no credits left is simply tracked, not
+//!   buffered for; when it acks again and has fallen off the delta ring
+//!   it receives a typed snapshot **resync** (counted in
+//!   [`server::ServeStats::resyncs`]) instead of an unbounded backlog;
+//! * [`client`] — the client-partition side: maps onto the analyzer via
+//!   the VMPI Map pivot protocol, opens a duplex stream and exposes
+//!   queries plus a subscription iterator.
+//!
+//! `opmr-core` wires this into sessions as `Coupling::Serving` with
+//! `SessionBuilder::client(...)` partitions; `serve_bench` measures query
+//! throughput and subscription lag under concurrent clients.
+
+pub mod client;
+pub mod delta;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+use opmr_vmpi::{StreamConfig, VmpiError};
+use std::time::Instant;
+
+pub use client::{ClientReport, ServeClient, Update};
+pub use delta::{apply_delta, delta_versions, encode_delta};
+pub use proto::{QueryKind, Request, Response, VersionInfo, SERVE_STREAM_ID};
+pub use server::{run_server, ServeStats};
+pub use store::{SnapshotEntry, SnapshotStore, StoreStats};
+
+/// Serve-plane failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport failure in the coupling layer.
+    Vmpi(VmpiError),
+    /// Malformed payload (shares the analysis wire error type).
+    Wire(opmr_analysis::wire::WireError),
+    /// Peer violated the serve protocol.
+    Protocol(String),
+    /// A query could not be answered; see [`proto::NotFoundReason`].
+    NotFound(proto::NotFoundReason),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Vmpi(e) => write!(f, "serve transport failed: {e}"),
+            ServeError::Wire(e) => write!(f, "serve payload malformed: {e}"),
+            ServeError::Protocol(what) => write!(f, "serve protocol violation: {what}"),
+            ServeError::NotFound(r) => write!(f, "query not answerable: {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<VmpiError> for ServeError {
+    fn from(e: VmpiError) -> Self {
+        ServeError::Vmpi(e)
+    }
+}
+
+impl From<opmr_analysis::wire::WireError> for ServeError {
+    fn from(e: opmr_analysis::wire::WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+/// Result alias for the serve plane.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Serve-plane configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Publish a snapshot version every N unpacked event packs (the
+    /// serve-plane window boundary).
+    pub publish_every_packs: u64,
+    /// Recent versions (and their deltas) kept in the snapshot ring; a
+    /// subscriber lagging further than this is resynced with a full
+    /// snapshot.
+    pub ring: usize,
+    /// Flow-control credits per subscriber: the server sends at most this
+    /// many unacknowledged updates before going quiet on that client.
+    pub subscriber_credits: u32,
+    /// Stream configuration of the serve plane (small blocks: the traffic
+    /// is request/response, not bulk instrumentation).
+    pub stream: StreamConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            publish_every_packs: 16,
+            ring: 32,
+            subscriber_credits: 2,
+            stream: StreamConfig::new(16 * 1024, 4, opmr_vmpi::Balance::None),
+        }
+    }
+}
+
+/// Nanoseconds since the process-wide serve epoch (first use). Publication
+/// timestamps and subscription-lag measurements share this clock; it is
+/// meaningful within one process (the in-process runtime's deployment
+/// unit), not across machines.
+pub fn mono_ns() -> u64 {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}

@@ -1,0 +1,462 @@
+//! The serve-plane wire protocol.
+//!
+//! Requests flow client → server, responses and subscription updates flow
+//! server → client, both as length-prefixed records
+//! (`opmr_events::frame`) over one duplex VMPI stream per client. All
+//! encodings are little-endian; each record starts with a one-byte
+//! message tag.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use opmr_analysis::wire::WireError;
+
+/// Stream id of the serve plane. Duplex streams derive their two
+/// directions as `2*id` / `2*id + 1`, so this keeps serve traffic clear
+/// of the instrumentation stream (id 0) and the reduction overlay.
+pub const SERVE_STREAM_ID: u16 = 0x0100;
+
+/// `rank_hi` value meaning "no upper bound".
+pub const ALL_RANKS: u32 = u32::MAX;
+
+const REQ_QUERY: u8 = 0x01;
+const REQ_VERSION: u8 = 0x02;
+const REQ_SUBSCRIBE: u8 = 0x03;
+const REQ_ACK: u8 = 0x04;
+const REQ_BYE: u8 = 0x05;
+
+const RSP_QUERY_RESULT: u8 = 0x81;
+const RSP_NOT_FOUND: u8 = 0x82;
+const RSP_VERSION_INFO: u8 = 0x83;
+const RSP_SNAPSHOT: u8 = 0x84;
+const RSP_DELTA: u8 = 0x85;
+
+/// What a point query asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// `encode_profile` bytes of the (rank-filtered) MPI profile.
+    Profile = 1,
+    /// `encode_topology` bytes of the (source-rank-filtered) topology.
+    Topology = 2,
+    /// Optional `encode_waitstats` bytes (one presence byte first).
+    Waitstate = 3,
+    /// Per-rank event counts over the rank range: `u32 lo, u32 n, n×u64`.
+    Density = 4,
+}
+
+impl QueryKind {
+    fn from_u8(v: u8) -> Option<QueryKind> {
+        match v {
+            1 => Some(QueryKind::Profile),
+            2 => Some(QueryKind::Topology),
+            3 => Some(QueryKind::Waitstate),
+            4 => Some(QueryKind::Density),
+            _ => None,
+        }
+    }
+}
+
+/// Why a query produced no payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotFoundReason {
+    /// Nothing published yet.
+    NoSnapshot = 1,
+    /// The requested version aged out of the ring (or never existed).
+    VersionGone = 2,
+    /// The snapshot has no such application.
+    UnknownApp = 3,
+    /// The request did not parse.
+    BadRequest = 4,
+}
+
+impl NotFoundReason {
+    fn from_u8(v: u8) -> Option<NotFoundReason> {
+        match v {
+            1 => Some(NotFoundReason::NoSnapshot),
+            2 => Some(NotFoundReason::VersionGone),
+            3 => Some(NotFoundReason::UnknownApp),
+            4 => Some(NotFoundReason::BadRequest),
+            _ => None,
+        }
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Point query against `version` (0 = current) over `[rank_lo,
+    /// rank_hi)`.
+    Query {
+        req_id: u32,
+        kind: QueryKind,
+        app_id: u16,
+        version: u64,
+        rank_lo: u32,
+        rank_hi: u32,
+    },
+    /// What versions does the server hold?
+    VersionInfo { req_id: u32 },
+    /// Start the snapshot-then-deltas subscription.
+    Subscribe,
+    /// Flow control: the subscriber consumed the update for `version`,
+    /// returning one credit.
+    Ack { version: u64 },
+    /// Orderly goodbye; the server closes its direction in response.
+    Bye,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    QueryResult {
+        req_id: u32,
+        kind: QueryKind,
+        /// Version the payload was evaluated against.
+        version: u64,
+        payload: Bytes,
+    },
+    NotFound {
+        req_id: u32,
+        reason: NotFoundReason,
+    },
+    VersionInfo {
+        req_id: u32,
+        /// Latest version (0 = nothing published yet).
+        current: u64,
+        /// Oldest version still in the ring.
+        oldest: u64,
+        /// Applications in the current snapshot.
+        apps: u16,
+        /// The final version has been published.
+        finished: bool,
+    },
+    /// Full snapshot (`encode_partials` payload): the subscription opener,
+    /// or a slow-consumer resync when `resync` is set.
+    Snapshot {
+        version: u64,
+        publish_ns: u64,
+        resync: bool,
+        finished: bool,
+        payload: Bytes,
+    },
+    /// Incremental update (`delta` payload) advancing the subscriber by
+    /// exactly one version.
+    Delta {
+        version: u64,
+        publish_ns: u64,
+        finished: bool,
+        payload: Bytes,
+    },
+}
+
+impl Request {
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        match self {
+            Request::Query {
+                req_id,
+                kind,
+                app_id,
+                version,
+                rank_lo,
+                rank_hi,
+            } => {
+                out.put_u8(REQ_QUERY);
+                out.put_u32_le(*req_id);
+                out.put_u8(*kind as u8);
+                out.put_u16_le(*app_id);
+                out.put_u64_le(*version);
+                out.put_u32_le(*rank_lo);
+                out.put_u32_le(*rank_hi);
+            }
+            Request::VersionInfo { req_id } => {
+                out.put_u8(REQ_VERSION);
+                out.put_u32_le(*req_id);
+            }
+            Request::Subscribe => out.put_u8(REQ_SUBSCRIBE),
+            Request::Ack { version } => {
+                out.put_u8(REQ_ACK);
+                out.put_u64_le(*version);
+            }
+            Request::Bye => out.put_u8(REQ_BYE),
+        }
+        out.freeze()
+    }
+
+    pub fn decode(mut buf: &[u8]) -> Result<Request, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        let tag = buf.get_u8();
+        match tag {
+            REQ_QUERY => {
+                if buf.remaining() < 4 + 1 + 2 + 8 + 4 + 4 {
+                    return Err(WireError::Truncated);
+                }
+                let req_id = buf.get_u32_le();
+                let kind_raw = buf.get_u8();
+                let kind = QueryKind::from_u8(kind_raw).ok_or(WireError::BadTag(kind_raw))?;
+                Ok(Request::Query {
+                    req_id,
+                    kind,
+                    app_id: buf.get_u16_le(),
+                    version: buf.get_u64_le(),
+                    rank_lo: buf.get_u32_le(),
+                    rank_hi: buf.get_u32_le(),
+                })
+            }
+            REQ_VERSION => {
+                if buf.remaining() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Request::VersionInfo {
+                    req_id: buf.get_u32_le(),
+                })
+            }
+            REQ_SUBSCRIBE => Ok(Request::Subscribe),
+            REQ_ACK => {
+                if buf.remaining() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Request::Ack {
+                    version: buf.get_u64_le(),
+                })
+            }
+            REQ_BYE => Ok(Request::Bye),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Response {
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        match self {
+            Response::QueryResult {
+                req_id,
+                kind,
+                version,
+                payload,
+            } => {
+                out.put_u8(RSP_QUERY_RESULT);
+                out.put_u32_le(*req_id);
+                out.put_u8(*kind as u8);
+                out.put_u64_le(*version);
+                out.put_slice(payload);
+            }
+            Response::NotFound { req_id, reason } => {
+                out.put_u8(RSP_NOT_FOUND);
+                out.put_u32_le(*req_id);
+                out.put_u8(*reason as u8);
+            }
+            Response::VersionInfo {
+                req_id,
+                current,
+                oldest,
+                apps,
+                finished,
+            } => {
+                out.put_u8(RSP_VERSION_INFO);
+                out.put_u32_le(*req_id);
+                out.put_u64_le(*current);
+                out.put_u64_le(*oldest);
+                out.put_u16_le(*apps);
+                out.put_u8(*finished as u8);
+            }
+            Response::Snapshot {
+                version,
+                publish_ns,
+                resync,
+                finished,
+                payload,
+            } => {
+                out.put_u8(RSP_SNAPSHOT);
+                out.put_u64_le(*version);
+                out.put_u64_le(*publish_ns);
+                out.put_u8(*resync as u8);
+                out.put_u8(*finished as u8);
+                out.put_slice(payload);
+            }
+            Response::Delta {
+                version,
+                publish_ns,
+                finished,
+                payload,
+            } => {
+                out.put_u8(RSP_DELTA);
+                out.put_u64_le(*version);
+                out.put_u64_le(*publish_ns);
+                out.put_u8(*finished as u8);
+                out.put_slice(payload);
+            }
+        }
+        out.freeze()
+    }
+
+    pub fn decode(buf: &Bytes) -> Result<Response, WireError> {
+        let mut view: &[u8] = buf;
+        if view.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        let tag = view.get_u8();
+        match tag {
+            RSP_QUERY_RESULT => {
+                if view.remaining() < 4 + 1 + 8 {
+                    return Err(WireError::Truncated);
+                }
+                let req_id = view.get_u32_le();
+                let kind_raw = view.get_u8();
+                let kind = QueryKind::from_u8(kind_raw).ok_or(WireError::BadTag(kind_raw))?;
+                let version = view.get_u64_le();
+                Ok(Response::QueryResult {
+                    req_id,
+                    kind,
+                    version,
+                    payload: buf.slice(buf.len() - view.len()..),
+                })
+            }
+            RSP_NOT_FOUND => {
+                if view.remaining() < 5 {
+                    return Err(WireError::Truncated);
+                }
+                let req_id = view.get_u32_le();
+                let reason_raw = view.get_u8();
+                Ok(Response::NotFound {
+                    req_id,
+                    reason: NotFoundReason::from_u8(reason_raw)
+                        .ok_or(WireError::BadTag(reason_raw))?,
+                })
+            }
+            RSP_VERSION_INFO => {
+                if view.remaining() < 4 + 8 + 8 + 2 + 1 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Response::VersionInfo {
+                    req_id: view.get_u32_le(),
+                    current: view.get_u64_le(),
+                    oldest: view.get_u64_le(),
+                    apps: view.get_u16_le(),
+                    finished: view.get_u8() != 0,
+                })
+            }
+            RSP_SNAPSHOT => {
+                if view.remaining() < 8 + 8 + 2 {
+                    return Err(WireError::Truncated);
+                }
+                let version = view.get_u64_le();
+                let publish_ns = view.get_u64_le();
+                let resync = view.get_u8() != 0;
+                let finished = view.get_u8() != 0;
+                Ok(Response::Snapshot {
+                    version,
+                    publish_ns,
+                    resync,
+                    finished,
+                    payload: buf.slice(buf.len() - view.len()..),
+                })
+            }
+            RSP_DELTA => {
+                if view.remaining() < 8 + 8 + 1 {
+                    return Err(WireError::Truncated);
+                }
+                let version = view.get_u64_le();
+                let publish_ns = view.get_u64_le();
+                let finished = view.get_u8() != 0;
+                Ok(Response::Delta {
+                    version,
+                    publish_ns,
+                    finished,
+                    payload: buf.slice(buf.len() - view.len()..),
+                })
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// A server's answer to [`Request::VersionInfo`], decoded for callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionInfo {
+    pub current: u64,
+    pub oldest: u64,
+    pub apps: u16,
+    pub finished: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            Request::Query {
+                req_id: 7,
+                kind: QueryKind::Profile,
+                app_id: 3,
+                version: 42,
+                rank_lo: 1,
+                rank_hi: 5,
+            },
+            Request::Query {
+                req_id: 8,
+                kind: QueryKind::Density,
+                app_id: 0,
+                version: 0,
+                rank_lo: 0,
+                rank_hi: ALL_RANKS,
+            },
+            Request::VersionInfo { req_id: 9 },
+            Request::Subscribe,
+            Request::Ack { version: 17 },
+            Request::Bye,
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for rsp in [
+            Response::QueryResult {
+                req_id: 7,
+                kind: QueryKind::Topology,
+                version: 5,
+                payload: Bytes::from_static(b"edges"),
+            },
+            Response::NotFound {
+                req_id: 8,
+                reason: NotFoundReason::VersionGone,
+            },
+            Response::VersionInfo {
+                req_id: 9,
+                current: 12,
+                oldest: 5,
+                apps: 2,
+                finished: true,
+            },
+            Response::Snapshot {
+                version: 3,
+                publish_ns: 999,
+                resync: true,
+                finished: false,
+                payload: Bytes::from_static(b"full"),
+            },
+            Response::Delta {
+                version: 4,
+                publish_ns: 1000,
+                finished: true,
+                payload: Bytes::from_static(b"sparse"),
+            },
+        ] {
+            assert_eq!(Response::decode(&rsp.encode()).unwrap(), rsp);
+        }
+    }
+
+    #[test]
+    fn junk_is_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0xee]).is_err());
+        assert!(Request::decode(&[REQ_QUERY, 1, 2]).is_err());
+        assert!(Response::decode(&Bytes::from_static(b"\x7f")).is_err());
+        assert!(Response::decode(&Bytes::from_static(b"\x84\x01")).is_err());
+    }
+}

@@ -1,0 +1,565 @@
+//! The serving loop run by each analyzer rank under `Coupling::Serving`.
+//!
+//! One loop multiplexes, with non-blocking (`EAGAIN`-aware) reads
+//! throughout:
+//!
+//! * the instrumentation streams mapped onto this rank, drained into the
+//!   shared blackboard engine exactly as under direct coupling;
+//! * one duplex serve stream per mapped client, carrying framed
+//!   [`Request`]s in and [`Response`]s out.
+//!
+//! Subscriptions use credit-based flow control: each subscriber starts
+//! with `ServeConfig::subscriber_credits` credits, every update costs
+//! one, every ack returns one. A stalled consumer therefore costs the
+//! server *nothing* — no queue grows on its behalf; the store's ring
+//! advances and when the consumer acks again it either continues down
+//! the retained delta chain or, having fallen off the ring, receives a
+//! typed snapshot resync (counted in [`ServeStats::resyncs`]).
+
+use crate::proto::{NotFoundReason, QueryKind, Request, Response, SERVE_STREAM_ID};
+use crate::store::SnapshotStore;
+use crate::{ServeConfig, ServeError};
+use bytes::{BufMut, BytesMut};
+use opmr_analysis::profiler::MpiProfile;
+use opmr_analysis::topology::Topology;
+use opmr_analysis::waitstate::WaitStats;
+use opmr_analysis::wire::{decode_partials, encode_profile, encode_topology, encode_waitstats};
+use opmr_analysis::AnalysisEngine;
+use opmr_events::frame::{frame, FrameBuf};
+use opmr_vmpi::{DuplexStream, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError};
+
+/// Per-rank serving counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Clients mapped onto this rank.
+    pub clients: u64,
+    /// Point queries answered (including not-found answers).
+    pub queries: u64,
+    /// Subscriptions opened.
+    pub subscribes: u64,
+    /// Full snapshots sent (subscription openers and resyncs).
+    pub snapshots_sent: u64,
+    /// Incremental deltas sent.
+    pub deltas_sent: u64,
+    /// Slow-consumer degradations: a subscriber fell off the delta ring
+    /// and was resynced with a full snapshot instead of a backlog.
+    pub resyncs: u64,
+    /// Flow-control acks received.
+    pub acks: u64,
+    /// Requests that failed to parse.
+    pub bad_requests: u64,
+    /// Clients whose stream died without a goodbye.
+    pub clients_lost: u64,
+}
+
+struct Subscription {
+    /// Last version this subscriber holds (0 = nothing sent yet).
+    synced_to: u64,
+    credits: u32,
+}
+
+struct ClientConn {
+    stream: Option<DuplexStream>,
+    fb: FrameBuf,
+    sub: Option<Subscription>,
+    done: bool,
+}
+
+impl ClientConn {
+    /// Closes our direction and drains the client's (it closes right
+    /// after its goodbye, so this does not block meaningfully).
+    fn finish(&mut self, stats: &mut ServeStats, lost: bool) {
+        if let Some(stream) = self.stream.take() {
+            if stream.close().is_err() || lost {
+                stats.clients_lost += 1;
+            }
+        }
+        self.done = true;
+    }
+}
+
+/// Bounds how many blocks each source is drained per loop iteration, so
+/// one chatty stream cannot starve the others.
+const DRAIN_BURST: usize = 64;
+
+/// Runs one analyzer rank's serving loop until every instrumentation
+/// stream closed, the final snapshot is published and every client said
+/// goodbye.
+pub fn run_server(
+    v: &Vmpi,
+    engine: &AnalysisEngine,
+    store: &SnapshotStore,
+    app_peers: &[usize],
+    client_peers: &[usize],
+    app_stream: StreamConfig,
+    cfg: &ServeConfig,
+) -> Result<ServeStats, ServeError> {
+    let mut stats = ServeStats {
+        clients: client_peers.len() as u64,
+        ..ServeStats::default()
+    };
+    let mut app_rx = if app_peers.is_empty() {
+        None
+    } else {
+        Some(ReadStream::open_from(v, app_peers.to_vec(), app_stream, 0)?)
+    };
+    let mut clients: Vec<ClientConn> = client_peers
+        .iter()
+        .map(|&world| {
+            Ok(ClientConn {
+                stream: Some(DuplexStream::open(
+                    v,
+                    vec![world],
+                    cfg.stream,
+                    SERVE_STREAM_ID,
+                )?),
+                fb: FrameBuf::new(),
+                sub: None,
+                done: false,
+            })
+        })
+        .collect::<Result<_, VmpiError>>()?;
+
+    let mut writer_done_reported = false;
+    loop {
+        let mut progressed = false;
+
+        // 1. Instrumentation plane: drain into the engine.
+        if let Some(rx) = app_rx.as_mut() {
+            for _ in 0..DRAIN_BURST {
+                match rx.read(ReadMode::NonBlocking) {
+                    Ok(Some(block)) => {
+                        engine.post_block(block.data);
+                        progressed = true;
+                    }
+                    Ok(None) => {
+                        app_rx = None;
+                        progressed = true;
+                        break;
+                    }
+                    Err(VmpiError::Again) => break,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        if app_rx.is_none() && !writer_done_reported {
+            writer_done_reported = true;
+            if store.mark_writer_done() {
+                // Last serving rank: all streams everywhere are closed, so
+                // no more posts are coming — drain to quiescence and
+                // publish the final version (always a fresh version, so
+                // caught-up subscribers still learn the run is over).
+                engine.blackboard().drain();
+                store.publish_final(engine.snapshot_partials());
+            }
+            progressed = true;
+        }
+
+        // 2. Serve plane: requests in, responses + subscription pumps out.
+        for client in clients.iter_mut().filter(|c| !c.done) {
+            match pump_client(client, store, cfg, &mut stats) {
+                Ok(p) => progressed |= p,
+                Err(ServeError::Vmpi(VmpiError::PeerLost { .. })) => {
+                    client.finish(&mut stats, true);
+                    progressed = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        if app_rx.is_none() && writer_done_reported && clients.iter().all(|c| c.done) {
+            break;
+        }
+        if !progressed {
+            std::thread::yield_now();
+        }
+    }
+    Ok(stats)
+}
+
+/// One scheduling slice for one client: read requests, answer them, pump
+/// the subscription within its credit budget. Returns whether anything
+/// happened.
+fn pump_client(
+    client: &mut ClientConn,
+    store: &SnapshotStore,
+    cfg: &ServeConfig,
+    stats: &mut ServeStats,
+) -> Result<bool, ServeError> {
+    let mut progressed = false;
+    let mut bye = false;
+    let mut lost = false;
+    {
+        let Some(stream) = client.stream.as_mut() else {
+            return Ok(false);
+        };
+        let mut eof = false;
+        for _ in 0..DRAIN_BURST {
+            match stream.read(ReadMode::NonBlocking) {
+                Ok(Some(block)) => {
+                    client.fb.push(&block.data);
+                    progressed = true;
+                }
+                Ok(None) => {
+                    eof = true;
+                    break;
+                }
+                Err(VmpiError::Again) => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        let mut wrote = false;
+        while let Some(payload) = client.fb.next_frame() {
+            progressed = true;
+            match Request::decode(&payload) {
+                Ok(Request::Bye) => {
+                    bye = true;
+                    break;
+                }
+                Ok(Request::Subscribe) => {
+                    stats.subscribes += 1;
+                    client.sub = Some(Subscription {
+                        synced_to: 0,
+                        credits: cfg.subscriber_credits.max(1),
+                    });
+                }
+                Ok(Request::Ack { version: _ }) => {
+                    stats.acks += 1;
+                    if let Some(sub) = client.sub.as_mut() {
+                        sub.credits = (sub.credits + 1).min(cfg.subscriber_credits.max(1));
+                    }
+                }
+                Ok(Request::VersionInfo { req_id }) => {
+                    stats.queries += 1;
+                    let (oldest, current) = store.version_span();
+                    let apps = store.current().map_or(0, |e| e.apps);
+                    send(
+                        stream,
+                        &Response::VersionInfo {
+                            req_id,
+                            current,
+                            oldest,
+                            apps,
+                            finished: store.finished(),
+                        },
+                    )?;
+                    wrote = true;
+                }
+                Ok(Request::Query {
+                    req_id,
+                    kind,
+                    app_id,
+                    version,
+                    rank_lo,
+                    rank_hi,
+                }) => {
+                    stats.queries += 1;
+                    send(
+                        stream,
+                        &answer_query(store, req_id, kind, app_id, version, rank_lo, rank_hi),
+                    )?;
+                    wrote = true;
+                }
+                Err(_) => {
+                    stats.bad_requests += 1;
+                    send(
+                        stream,
+                        &Response::NotFound {
+                            req_id: 0,
+                            reason: NotFoundReason::BadRequest,
+                        },
+                    )?;
+                    wrote = true;
+                }
+            }
+        }
+        // Only an EOF *without* a parsed goodbye means the client vanished
+        // (the goodbye frame and the close often land in the same burst).
+        if eof && !bye {
+            lost = true;
+            bye = true;
+        }
+
+        // Subscription pump, gated on credits (slow-consumer policy).
+        if let Some(sub) = client.sub.as_mut() {
+            while sub.credits > 0 && !bye {
+                let Some(cur) = store.current() else { break };
+                if sub.synced_to >= cur.version {
+                    break;
+                }
+                let next = store.get(sub.synced_to + 1);
+                let rsp = match next {
+                    // First update, or the chain left the ring: full
+                    // snapshot (a *resync* when the subscriber had state).
+                    Some(e) if sub.synced_to > 0 && e.delta.is_some() => {
+                        stats.deltas_sent += 1;
+                        sub.synced_to = e.version;
+                        Response::Delta {
+                            version: e.version,
+                            publish_ns: e.publish_ns,
+                            finished: e.is_final,
+                            payload: e.delta.clone().expect("checked above"),
+                        }
+                    }
+                    _ => {
+                        stats.snapshots_sent += 1;
+                        let resync = sub.synced_to > 0;
+                        if resync {
+                            stats.resyncs += 1;
+                        }
+                        sub.synced_to = cur.version;
+                        Response::Snapshot {
+                            version: cur.version,
+                            publish_ns: cur.publish_ns,
+                            resync,
+                            finished: cur.is_final,
+                            payload: cur.encoded.clone(),
+                        }
+                    }
+                };
+                sub.credits -= 1;
+                send(stream, &rsp)?;
+                wrote = true;
+                progressed = true;
+            }
+        }
+
+        if wrote {
+            stream.flush()?;
+        }
+    }
+    if bye {
+        client.finish(stats, lost);
+        progressed = true;
+    }
+    Ok(progressed)
+}
+
+fn send(stream: &mut DuplexStream, rsp: &Response) -> Result<(), VmpiError> {
+    stream.write(&frame(&rsp.encode()))
+}
+
+fn answer_query(
+    store: &SnapshotStore,
+    req_id: u32,
+    kind: QueryKind,
+    app_id: u16,
+    version: u64,
+    rank_lo: u32,
+    rank_hi: u32,
+) -> Response {
+    let not_found = |reason| Response::NotFound { req_id, reason };
+    let entry = if version == 0 {
+        match store.current() {
+            Some(e) => e,
+            None => return not_found(NotFoundReason::NoSnapshot),
+        }
+    } else {
+        match store.get(version) {
+            Some(e) => e,
+            None => return not_found(NotFoundReason::VersionGone),
+        }
+    };
+    let parts = match decode_partials(&entry.encoded) {
+        Ok(p) => p,
+        Err(_) => return not_found(NotFoundReason::BadRequest),
+    };
+    let Some(app) = parts.into_iter().find(|a| a.app_id == app_id) else {
+        return not_found(NotFoundReason::UnknownApp);
+    };
+    let in_range = |rank: u32| rank >= rank_lo && rank < rank_hi;
+    let mut payload = BytesMut::new();
+    match kind {
+        QueryKind::Profile => {
+            encode_profile(&filter_profile(&app.profile, in_range), &mut payload);
+        }
+        QueryKind::Topology => {
+            encode_topology(&filter_topology(&app.topology, in_range), &mut payload);
+        }
+        QueryKind::Waitstate => match app.waitstate.as_ref() {
+            Some(w) => {
+                payload.put_u8(1);
+                encode_waitstats(&filter_waitstats(w, in_range), &mut payload);
+            }
+            None => payload.put_u8(0),
+        },
+        QueryKind::Density => {
+            let lo = rank_lo.min(app.profile.ranks());
+            let hi = rank_hi.min(app.profile.ranks());
+            payload.put_u32_le(lo);
+            payload.put_u32_le(hi.saturating_sub(lo));
+            for rank in lo..hi {
+                let events: u64 = app
+                    .profile
+                    .kinds()
+                    .iter()
+                    .filter_map(|&k| app.profile.rank_kind(rank, k))
+                    .map(|s| s.hits)
+                    .sum();
+                payload.put_u64_le(events);
+            }
+        }
+    }
+    Response::QueryResult {
+        req_id,
+        kind,
+        version: entry.version,
+        payload: payload.freeze(),
+    }
+}
+
+fn filter_profile(p: &MpiProfile, in_range: impl Fn(u32) -> bool) -> MpiProfile {
+    let mut out = MpiProfile::new();
+    for kind in p.kinds() {
+        for rank in (0..p.ranks()).filter(|&r| in_range(r)) {
+            if let Some(s) = p.rank_kind(rank, kind) {
+                out.absorb_stats(rank, kind, s.hits, s.time_ns, s.bytes, s.min_ns, s.max_ns);
+            }
+        }
+    }
+    out.absorb_span(p.span_ns());
+    out
+}
+
+/// Keeps edges whose *source* rank is in range (the "what does this rank
+/// slice send" view).
+fn filter_topology(t: &Topology, in_range: impl Fn(u32) -> bool) -> Topology {
+    let mut out = Topology::new();
+    for ((s, d), w) in t.sorted_edges() {
+        if in_range(s) {
+            out.add_weighted(s, d, w.hits, w.bytes, w.time_ns);
+        }
+    }
+    out
+}
+
+/// Keeps per-rank attributions whose rank is in range and dangling halves
+/// touching the range; the scalar totals stay global.
+fn filter_waitstats(w: &WaitStats, in_range: impl Fn(u32) -> bool) -> WaitStats {
+    let keep = |m: &std::collections::HashMap<u32, u64>| {
+        m.iter()
+            .filter(|(&r, _)| in_range(r))
+            .map(|(&r, &v)| (r, v))
+            .collect()
+    };
+    WaitStats {
+        matched: w.matched,
+        unmatched: w.unmatched,
+        total_late_sender_ns: w.total_late_sender_ns,
+        total_late_receiver_ns: w.total_late_receiver_ns,
+        late_sender_by_victim: keep(&w.late_sender_by_victim),
+        late_sender_by_culprit: keep(&w.late_sender_by_culprit),
+        late_receiver_by_victim: keep(&w.late_receiver_by_victim),
+        pending_sends: w
+            .pending_sends
+            .iter()
+            .filter(|&&(s, d, _)| in_range(s) || in_range(d))
+            .copied()
+            .collect(),
+        pending_recvs: w
+            .pending_recvs
+            .iter()
+            .filter(|&&(s, d, _)| in_range(s) || in_range(d))
+            .copied()
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opmr_analysis::wire::AppPartial;
+    use opmr_events::EventKind;
+
+    fn store_with(hits_per_rank: &[u64]) -> SnapshotStore {
+        let mut profile = MpiProfile::new();
+        let mut topology = Topology::new();
+        for (rank, &hits) in hits_per_rank.iter().enumerate() {
+            profile.absorb_stats(
+                rank as u32,
+                EventKind::Send,
+                hits,
+                hits * 5,
+                hits * 64,
+                5,
+                5,
+            );
+            topology.add_weighted(
+                rank as u32,
+                ((rank + 1) % hits_per_rank.len()) as u32,
+                hits,
+                0,
+                0,
+            );
+        }
+        let store = SnapshotStore::new(4, 1);
+        store.publish(vec![AppPartial {
+            app_id: 2,
+            packs: 1,
+            wire_bytes: 10,
+            decode_errors: 0,
+            profile,
+            topology,
+            waitstate: None,
+        }]);
+        store
+    }
+
+    #[test]
+    fn queries_filter_by_rank_range() {
+        let store = store_with(&[10, 20, 30, 40]);
+        let rsp = answer_query(&store, 1, QueryKind::Density, 2, 0, 1, 3);
+        let Response::QueryResult { payload, .. } = rsp else {
+            panic!("expected result");
+        };
+        let mut view: &[u8] = &payload;
+        use bytes::Buf;
+        assert_eq!(view.get_u32_le(), 1);
+        assert_eq!(view.get_u32_le(), 2);
+        assert_eq!(view.get_u64_le(), 20);
+        assert_eq!(view.get_u64_le(), 30);
+
+        let rsp = answer_query(
+            &store,
+            2,
+            QueryKind::Profile,
+            2,
+            0,
+            2,
+            crate::proto::ALL_RANKS,
+        );
+        let Response::QueryResult { payload, .. } = rsp else {
+            panic!("expected result");
+        };
+        let p = opmr_analysis::wire::decode_profile(&mut &payload[..]).unwrap();
+        assert_eq!(p.events(), 70);
+    }
+
+    #[test]
+    fn missing_things_are_typed() {
+        let empty = SnapshotStore::new(2, 1);
+        assert_eq!(
+            answer_query(&empty, 1, QueryKind::Profile, 0, 0, 0, u32::MAX),
+            Response::NotFound {
+                req_id: 1,
+                reason: NotFoundReason::NoSnapshot
+            }
+        );
+        let store = store_with(&[1, 2]);
+        assert_eq!(
+            answer_query(&store, 2, QueryKind::Profile, 0, 0, 0, u32::MAX),
+            Response::NotFound {
+                req_id: 2,
+                reason: NotFoundReason::UnknownApp
+            }
+        );
+        assert_eq!(
+            answer_query(&store, 3, QueryKind::Profile, 2, 99, 0, u32::MAX),
+            Response::NotFound {
+                req_id: 3,
+                reason: NotFoundReason::VersionGone
+            }
+        );
+    }
+}

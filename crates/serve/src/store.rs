@@ -1,0 +1,245 @@
+//! The versioned report snapshot store.
+//!
+//! Writers (engine workers hitting a publication boundary) serialize on
+//! an internal mutex; readers (serving loops answering queries and
+//! pumping subscriptions) take a short read lock to clone the current
+//! `Arc` — the swap-on-publish "current pointer plus bounded history"
+//! shape of an arc-swap, built from the vendored `parking_lot`
+//! primitives. Every version stores its full encoding plus the delta
+//! from its predecessor, so a subscriber inside the ring advances by
+//! deltas and one outside it resyncs from `current` in O(1).
+
+use crate::delta::encode_delta;
+use crate::mono_ns;
+use bytes::Bytes;
+use opmr_analysis::wire::{encode_partials, AppPartial};
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One published report version.
+pub struct SnapshotEntry {
+    /// Monotonically increasing version, starting at 1.
+    pub version: u64,
+    /// Publication timestamp on the process-wide serve clock
+    /// ([`crate::mono_ns`]); subscription lag is measured against it.
+    pub publish_ns: u64,
+    /// True for the final snapshot published after every instrumentation
+    /// stream closed and the engine drained.
+    pub is_final: bool,
+    /// Applications in the snapshot.
+    pub apps: u16,
+    /// The full snapshot: `analysis::wire::encode_partials` bytes.
+    pub encoded: Bytes,
+    /// Delta from `version - 1` (absent on the first version).
+    pub delta: Option<Bytes>,
+}
+
+/// Store counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStats {
+    /// Versions published.
+    pub published: u64,
+    /// Versions that aged out of the ring.
+    pub evicted: u64,
+}
+
+struct Inner {
+    /// Decoded form of the latest snapshot (the delta base).
+    last_parts: Vec<AppPartial>,
+    ring: VecDeque<Arc<SnapshotEntry>>,
+    next_version: u64,
+    writers_done: usize,
+    finished: bool,
+    evicted: u64,
+}
+
+/// Versioned snapshot store shared by the engine's publication hook and
+/// the serving loops.
+pub struct SnapshotStore {
+    ring_cap: usize,
+    writers: usize,
+    inner: Mutex<Inner>,
+    current: RwLock<Option<Arc<SnapshotEntry>>>,
+}
+
+impl SnapshotStore {
+    /// A store retaining `ring` recent versions, fed by `writers` serving
+    /// ranks (each must call [`SnapshotStore::mark_writer_done`] once).
+    pub fn new(ring: usize, writers: usize) -> SnapshotStore {
+        SnapshotStore {
+            ring_cap: ring.max(1),
+            writers: writers.max(1),
+            inner: Mutex::new(Inner {
+                last_parts: Vec::new(),
+                ring: VecDeque::new(),
+                next_version: 1,
+                writers_done: 0,
+                finished: false,
+                evicted: 0,
+            }),
+            current: RwLock::new(None),
+        }
+    }
+
+    fn publish_inner(&self, parts: Vec<AppPartial>, is_final: bool) -> u64 {
+        let mut inner = self.inner.lock();
+        if inner.finished {
+            // The final version is by definition the last one.
+            return inner.next_version - 1;
+        }
+        let version = inner.next_version;
+        inner.next_version += 1;
+        let encoded = encode_partials(&parts);
+        let delta =
+            (version > 1).then(|| encode_delta(version - 1, &inner.last_parts, version, &parts));
+        let entry = Arc::new(SnapshotEntry {
+            version,
+            publish_ns: mono_ns(),
+            is_final,
+            apps: parts.len() as u16,
+            encoded,
+            delta,
+        });
+        inner.ring.push_back(Arc::clone(&entry));
+        while inner.ring.len() > self.ring_cap {
+            inner.ring.pop_front();
+            inner.evicted += 1;
+        }
+        inner.last_parts = parts;
+        inner.finished = is_final;
+        // Swap `current` before releasing the writer lock so a reader can
+        // never observe a ring newer than the current pointer.
+        *self.current.write() = Some(entry);
+        version
+    }
+
+    /// Publishes a new version; returns its number.
+    pub fn publish(&self, parts: Vec<AppPartial>) -> u64 {
+        self.publish_inner(parts, false)
+    }
+
+    /// Publishes the final version (after the engine drained). Later
+    /// publish calls become no-ops.
+    pub fn publish_final(&self, parts: Vec<AppPartial>) -> u64 {
+        self.publish_inner(parts, true)
+    }
+
+    /// Records that one serving rank's instrumentation streams all closed;
+    /// returns true for the last rank (which then drains the engine and
+    /// calls [`SnapshotStore::publish_final`]).
+    pub fn mark_writer_done(&self) -> bool {
+        let mut inner = self.inner.lock();
+        inner.writers_done += 1;
+        inner.writers_done == self.writers
+    }
+
+    /// The latest published version, if any.
+    pub fn current(&self) -> Option<Arc<SnapshotEntry>> {
+        self.current.read().clone()
+    }
+
+    /// A specific version, while it is still in the ring.
+    pub fn get(&self, version: u64) -> Option<Arc<SnapshotEntry>> {
+        let inner = self.inner.lock();
+        let front = inner.ring.front()?.version;
+        if version < front {
+            return None;
+        }
+        inner.ring.get((version - front) as usize).cloned()
+    }
+
+    /// `(oldest retained, newest)` versions; `(0, 0)` before any publish.
+    pub fn version_span(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        match (inner.ring.front(), inner.ring.back()) {
+            (Some(f), Some(b)) => (f.version, b.version),
+            _ => (0, 0),
+        }
+    }
+
+    /// True once the final version is published.
+    pub fn finished(&self) -> bool {
+        self.inner.lock().finished
+    }
+
+    /// Publication counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            published: inner.next_version - 1,
+            evicted: inner.evicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::apply_delta;
+    use opmr_analysis::profiler::MpiProfile;
+    use opmr_analysis::topology::Topology;
+    use opmr_analysis::wire::decode_partials;
+    use opmr_events::EventKind;
+
+    fn parts(hits: u64) -> Vec<AppPartial> {
+        let mut profile = MpiProfile::new();
+        profile.absorb_stats(0, EventKind::Send, hits, hits * 10, hits * 64, 10, 10);
+        vec![AppPartial {
+            app_id: 0,
+            packs: hits,
+            wire_bytes: hits * 48,
+            decode_errors: 0,
+            profile,
+            topology: Topology::new(),
+            waitstate: None,
+        }]
+    }
+
+    #[test]
+    fn versions_are_monotone_and_ring_bounded() {
+        let store = SnapshotStore::new(3, 1);
+        assert!(store.current().is_none());
+        assert_eq!(store.version_span(), (0, 0));
+        for i in 1..=10u64 {
+            assert_eq!(store.publish(parts(i)), i);
+        }
+        assert_eq!(store.current().unwrap().version, 10);
+        assert_eq!(store.version_span(), (8, 10));
+        assert!(store.get(7).is_none(), "evicted");
+        assert_eq!(store.get(9).unwrap().version, 9);
+        let s = store.stats();
+        assert_eq!(s.published, 10);
+        assert_eq!(s.evicted, 7);
+    }
+
+    #[test]
+    fn ring_deltas_chain_to_every_retained_version() {
+        let store = SnapshotStore::new(8, 1);
+        for i in 1..=6u64 {
+            store.publish(parts(i * 3));
+        }
+        let base = store.get(1).unwrap();
+        let mut live = decode_partials(&base.encoded).unwrap();
+        for v in 2..=6u64 {
+            let e = store.get(v).unwrap();
+            let (f, t) = apply_delta(&mut live, e.delta.as_ref().unwrap()).unwrap();
+            assert_eq!((f, t), (v - 1, v));
+            assert_eq!(encode_partials(&live), e.encoded, "version {v}");
+        }
+    }
+
+    #[test]
+    fn final_publish_wins_and_sticks() {
+        let store = SnapshotStore::new(4, 2);
+        store.publish(parts(1));
+        assert!(!store.mark_writer_done());
+        assert!(store.mark_writer_done());
+        let v = store.publish_final(parts(2));
+        assert!(store.finished());
+        assert!(store.current().unwrap().is_final);
+        // Publishes after the final one are ignored.
+        assert_eq!(store.publish(parts(9)), v);
+        assert_eq!(store.current().unwrap().version, v);
+    }
+}

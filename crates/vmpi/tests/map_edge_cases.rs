@@ -1,0 +1,139 @@
+//! Edge-case tests for `map_partitions_directed` (Figure 8's pivot with a
+//! caller-fixed master side): single-rank partitions on either end, a
+//! fanout policy wider than the leaf count, masters that legitimately end
+//! up with empty peer lists, and the unknown-partition error path.
+//!
+//! Note the launcher requires every partition to have at least one rank,
+//! so a literally empty slave *partition* cannot exist; the degenerate
+//! shape the protocol must survive is a master *rank* to which the policy
+//! assigns no slaves — its peer list stays empty while its collective
+//! participation still completes.
+
+use opmr_runtime::Launcher;
+use opmr_vmpi::map::map_partitions_directed;
+use opmr_vmpi::{Map, MapPolicy, Vmpi, VmpiError};
+use std::sync::{Arc, Mutex};
+
+type PeerLists = Vec<(usize, Vec<usize>)>;
+type PeersByRank = Arc<Mutex<PeerLists>>;
+
+/// Runs one slave partition of `slaves` ranks and one master partition of
+/// `masters` ranks (master side fixed, pids 0/1), mapping with `policy`.
+/// Returns (slave peer lists, master peer lists) keyed by world rank.
+fn run_directed(slaves: usize, masters: usize, policy: MapPolicy) -> (PeerLists, PeerLists) {
+    let slave_out: PeersByRank = Arc::new(Mutex::new(Vec::new()));
+    let master_out: PeersByRank = Arc::new(Mutex::new(Vec::new()));
+
+    let s_out = Arc::clone(&slave_out);
+    let s_policy = policy.clone();
+    let m_out = Arc::clone(&master_out);
+    Launcher::new()
+        .partition("slave", slaves, move |mpi| {
+            let v = Vmpi::new(mpi);
+            let mut map = Map::new();
+            map_partitions_directed(&v, 1, 1, s_policy.clone(), &mut map).unwrap();
+            s_out
+                .lock()
+                .unwrap()
+                .push((v.mpi().world_rank(), map.peers().to_vec()));
+        })
+        .partition("master", masters, move |mpi| {
+            let v = Vmpi::new(mpi);
+            let mut map = Map::new();
+            map_partitions_directed(&v, 0, 1, policy.clone(), &mut map).unwrap();
+            m_out
+                .lock()
+                .unwrap()
+                .push((v.mpi().world_rank(), map.peers().to_vec()));
+        })
+        .run()
+        .unwrap();
+
+    let mut s = Arc::try_unwrap(slave_out).unwrap().into_inner().unwrap();
+    let mut m = Arc::try_unwrap(master_out).unwrap().into_inner().unwrap();
+    s.sort_by_key(|e| e.0);
+    m.sort_by_key(|e| e.0);
+    (s, m)
+}
+
+#[test]
+fn single_rank_partitions_map_both_ways() {
+    // 1 slave ↔ 1 master: the smallest legal shape. The lone slave gets
+    // the lone master and vice versa.
+    let (slaves, masters) = run_directed(1, 1, MapPolicy::RoundRobin);
+    assert_eq!(slaves, vec![(0, vec![1])]);
+    assert_eq!(masters, vec![(1, vec![0])]);
+
+    // 1 slave against a wide master side: exactly one master rank adopts
+    // it, every other master's peer list stays empty.
+    let (slaves, masters) = run_directed(1, 4, MapPolicy::RoundRobin);
+    assert_eq!(slaves, vec![(0, vec![1])], "slave 0 -> master-local 0");
+    let adopted: Vec<_> = masters.iter().filter(|(_, p)| !p.is_empty()).collect();
+    assert_eq!(adopted, vec![&(1, vec![0])]);
+}
+
+#[test]
+fn masters_beyond_the_slave_count_get_empty_peer_lists() {
+    // 2 slaves over 5 masters round-robin: masters 2..5 legitimately end
+    // up with nothing mapped to them, yet the collective completes and
+    // their maps are empty rather than stale.
+    let (slaves, masters) = run_directed(2, 5, MapPolicy::RoundRobin);
+    assert_eq!(slaves.len(), 2);
+    for (i, (world, peers)) in slaves.iter().enumerate() {
+        assert_eq!(*world, i);
+        assert_eq!(peers, &vec![2 + i], "slave {i} -> master-local {i}");
+    }
+    let nonempty: Vec<_> = masters
+        .iter()
+        .filter_map(|(w, p)| (!p.is_empty()).then_some(*w))
+        .collect();
+    assert_eq!(nonempty, vec![2, 3], "exactly the first two masters adopt");
+    for (world, peers) in &masters {
+        if *world >= 4 {
+            assert!(peers.is_empty(), "master {world} adopted unexpectedly");
+        }
+    }
+}
+
+#[test]
+fn fanout_wider_than_leaf_count_clamps_to_one_master() {
+    // A tree-frontier policy computed for a fanout larger than the actual
+    // leaf count: every leaf index divides to frontier node 0. The mapping
+    // must concentrate all slaves on one master instead of wrapping or
+    // overflowing.
+    let fanout = 16; // leaf count is 3
+    let policy = MapPolicy::Custom(Arc::new(move |leaf| leaf / fanout));
+    let (slaves, masters) = run_directed(3, 2, policy);
+    for (_, peers) in &slaves {
+        assert_eq!(peers, &vec![3], "all leaves attach to master-local 0");
+    }
+    assert_eq!(masters[0].1, vec![0, 1, 2], "master 0 adopted every leaf");
+    assert!(masters[1].1.is_empty(), "master 1 must stay leaf-less");
+}
+
+#[test]
+fn unknown_partition_is_a_typed_error() {
+    let hit = Arc::new(Mutex::new(0usize));
+    let hit2 = Arc::clone(&hit);
+    Launcher::new()
+        .partition("only", 2, move |mpi| {
+            let v = Vmpi::new(mpi);
+            let mut map = Map::new();
+            // Partition #7 does not exist; an empty partition cannot be
+            // expressed at all (the launcher asserts size > 0), so this is
+            // the shape "map a missing/empty side" degenerates to.
+            match map_partitions_directed(&v, 7, 7, MapPolicy::RoundRobin, &mut map) {
+                Err(VmpiError::UnknownPartition(_)) => *hit2.lock().unwrap() += 1,
+                other => panic!("expected UnknownPartition, got {other:?}"),
+            }
+            // Self-mapping is rejected before any protocol traffic too.
+            match map_partitions_directed(&v, 0, 0, MapPolicy::RoundRobin, &mut map) {
+                Err(VmpiError::SelfMapping) => {}
+                other => panic!("expected SelfMapping, got {other:?}"),
+            }
+            assert!(map.is_empty(), "failed mappings must not grow the map");
+        })
+        .run()
+        .unwrap();
+    assert_eq!(*hit.lock().unwrap(), 2);
+}

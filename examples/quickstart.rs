@@ -1,7 +1,8 @@
 //! Quickstart: profile one small application online and print its report.
 //!
 //! ```sh
-//! cargo run --example quickstart
+//! cargo run --example quickstart           # human-readable Markdown
+//! cargo run --example quickstart -- --json # machine-readable summary
 //! ```
 //!
 //! Launches (in one process, threads as ranks) a 8-rank application plus a
@@ -11,7 +12,7 @@
 //! the same streams through the TBON reduction overlay (`Coupling::Tbon`)
 //! and prints the per-node overlay counters.
 
-use opmr::core::{Coupling, LiveOptions, Session};
+use opmr::core::{Coupling, LiveOptions, Session, SessionOutcome};
 use opmr::runtime::{Src, TagSel};
 
 fn ring_session() -> opmr::core::SessionBuilder {
@@ -38,20 +39,55 @@ fn ring_session() -> opmr::core::SessionBuilder {
         })
 }
 
+/// Hand-rolled JSON (the build is registry-free, so no serde): the session
+/// and overlay counters a dashboard or CI script would scrape.
+fn to_json(direct: &SessionOutcome, tbon: &SessionOutcome) -> String {
+    let mut out = String::from("{\n  \"apps\": [\n");
+    for (i, app) in direct.report.apps.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ranks\": {}, \"events\": {}, \"packs\": {}, \
+             \"wire_bytes\": {}, \"edges\": {}}}",
+            app.name,
+            app.ranks,
+            app.events,
+            app.packs,
+            app.wire_bytes,
+            app.topology.edge_count()
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str(&format!("  \"wall_s\": {:.6},\n", direct.wall_s));
+    let recorder_events: u64 = direct.recorders.iter().map(|(_, s)| s.events).sum();
+    out.push_str(&format!("  \"recorder_events\": {recorder_events},\n"));
+    out.push_str("  \"tbon\": {\n");
+    out.push_str(&format!(
+        "    \"wall_s\": {:.6},\n    \"nodes\": [\n",
+        tbon.wall_s
+    ));
+    for (i, (node, s)) in tbon.reduce_stats.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "      {{\"node\": {node}, \"blocks_in\": {}, \"blocks_forwarded\": {}, \
+             \"bytes_in\": {}, \"bytes_out\": {}, \"merges\": {}, \"windows\": {}}}",
+            s.blocks_in, s.blocks_forwarded, s.bytes_in, s.bytes_out, s.merges, s.windows_closed
+        ));
+    }
+    out.push_str("\n    ]\n  }\n}");
+    out
+}
+
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let outcome = ring_session().run().expect("session");
 
     // LiveOptions is used by workload-driven sessions; mention it so the
     // example doubles as documentation.
     let _ = LiveOptions::default();
-
-    println!("{}", opmr::analysis::report::to_markdown(&outcome.report));
-    println!("---");
-    println!(
-        "session wall time: {:.3} s; packs streamed: {}",
-        outcome.wall_s,
-        outcome.report.apps.iter().map(|a| a.packs).sum::<u64>()
-    );
 
     // Same application, this time through the in-network reduction
     // overlay: analyzer ranks double as a fanout-2 TBON, the root posts
@@ -61,6 +97,19 @@ fn main() {
         .coupling(Coupling::Tbon { fanout: 2 })
         .run()
         .expect("tbon session");
+
+    if json {
+        println!("{}", to_json(&outcome, &tbon));
+        return;
+    }
+
+    println!("{}", opmr::analysis::report::to_markdown(&outcome.report));
+    println!("---");
+    println!(
+        "session wall time: {:.3} s; packs streamed: {}",
+        outcome.wall_s,
+        outcome.report.apps.iter().map(|a| a.packs).sum::<u64>()
+    );
     println!("---");
     println!("TBON overlay (fanout 2, pass-through) — per-node counters:");
     for (node, s) in &tbon.reduce_stats {

@@ -14,6 +14,8 @@
 //! * [`workloads`] — NAS-MPI and EulerMHD communication-kernel generators.
 //! * [`reduce`] — TBON reduction overlay (tree topology, windowed
 //!   in-network aggregation between instrumented partitions and analyzer).
+//! * [`serve`] — live report serving: versioned snapshot store, delta
+//!   encoding and the query/subscription protocol over VMPI streams.
 //! * [`core`] — the `Session` façade tying everything together.
 
 pub use opmr_analysis as analysis;
@@ -24,6 +26,7 @@ pub use opmr_instrument as instrument;
 pub use opmr_netsim as netsim;
 pub use opmr_reduce as reduce;
 pub use opmr_runtime as runtime;
+pub use opmr_serve as serve;
 pub use opmr_vmpi as vmpi;
 pub use opmr_workloads as workloads;
 

@@ -1,0 +1,261 @@
+//! Acceptance tests for live report serving (`Coupling::Serving`).
+//!
+//! The contract under test: a client attached to a running session
+//! observes a monotonically versioned stream where applying the delta
+//! chain to its first full snapshot reproduces the server's stored
+//! snapshot *byte-identically* at every version, and a deliberately slow
+//! subscriber degrades to a typed, stats-counted snapshot resync instead
+//! of unbounded server-side buffering.
+
+use opmr::runtime::{Src, TagSel};
+use opmr::serve::proto::ALL_RANKS;
+use opmr::serve::{ServeConfig, ServeError};
+use opmr::vmpi::{Balance, StreamConfig};
+use opmr::{Coupling, Session, SessionBuilder};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Ring workload chatty enough to cross many pack boundaries (and thus
+/// many publication windows) with a small stream block size.
+fn ring_app(rounds: i32) -> impl Fn(&opmr::instrument::InstrumentedMpi) + Send + Sync + 'static {
+    move |imp| {
+        let w = imp.comm_world();
+        let n = imp.size();
+        let r = imp.rank();
+        for round in 0..rounds {
+            let req = imp.isend(&w, (r + 1) % n, round, vec![3u8; 256]).unwrap();
+            imp.recv(&w, Src::Rank((r + n - 1) % n), TagSel::Tag(round))
+                .unwrap();
+            imp.wait(req).unwrap();
+            if round % 16 == 0 {
+                imp.barrier(&w).unwrap();
+            }
+        }
+        imp.allreduce_sum(&w, &[r as u64]).unwrap();
+    }
+}
+
+fn serving_session(rounds: i32, serve: ServeConfig) -> SessionBuilder {
+    Session::builder()
+        .analyzer_ranks(2)
+        .coupling(Coupling::Serving)
+        .serve_config(serve)
+        // Small blocks => frequent packs => frequent publications.
+        .stream_config(StreamConfig::new(1024, 4, Balance::None))
+        .app("ring", 4, ring_app(rounds))
+}
+
+#[derive(Clone, Copy)]
+struct Seen {
+    version: u64,
+    delta: bool,
+    resync: bool,
+    finished: bool,
+}
+
+#[test]
+fn subscriber_delta_chain_is_byte_identical_to_server() {
+    let serve = ServeConfig {
+        publish_every_packs: 2,
+        ring: 4096, // retain everything: this test audits every version
+        ..ServeConfig::default()
+    };
+    type SeenLog = Vec<(Seen, Vec<u8>)>;
+    let seen: Arc<Mutex<SeenLog>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    let outcome = serving_session(60, serve)
+        .client("observer", 1, move |c| {
+            c.subscribe().unwrap();
+            loop {
+                let u = c.next_update().unwrap().expect("stream ended early");
+                let held = c.report().expect("subscribed client holds a report");
+                assert_eq!(held.version, u.version);
+                sink.lock().push((
+                    Seen {
+                        version: u.version,
+                        delta: u.delta,
+                        resync: u.resync,
+                        finished: u.finished,
+                    },
+                    held.encoded.to_vec(),
+                ));
+                if u.finished {
+                    break;
+                }
+            }
+        })
+        .run()
+        .unwrap();
+
+    let store = outcome.snapshot_store.expect("serving retains the store");
+    let seen = seen.lock();
+    assert!(
+        seen.len() >= 3,
+        "expected several versions, saw {}",
+        seen.len()
+    );
+
+    // Monotone, contiguous, no resyncs (nothing ever left the ring).
+    let (first, _) = &seen[0];
+    assert!(!first.delta, "subscriptions open with a full snapshot");
+    for window in seen.windows(2) {
+        let (a, _) = &window[0];
+        let (b, _) = &window[1];
+        assert_eq!(b.version, a.version + 1, "delta chain must not skip");
+        assert!(b.delta, "steady-state updates arrive as deltas");
+    }
+    assert!(seen.iter().all(|(s, _)| !s.resync));
+    assert!(seen.iter().any(|(s, _)| s.delta), "no delta was applied");
+
+    // The acceptance bar: the client's folded report is byte-identical to
+    // the server's stored snapshot at every observed version.
+    for (s, bytes) in seen.iter() {
+        let entry = store.get(s.version).expect("ring retained everything");
+        assert_eq!(
+            bytes.as_slice(),
+            entry.encoded.as_ref(),
+            "version {} diverged",
+            s.version
+        );
+        assert_eq!(s.finished, entry.is_final);
+    }
+    let (last, _) = seen.last().unwrap();
+    assert!(last.finished);
+    assert_eq!(last.version, store.current().unwrap().version);
+
+    // The serving plane did not disturb the analysis result.
+    assert_eq!(outcome.report.apps.len(), 1);
+    assert_eq!(outcome.report.apps[0].ranks, 4);
+    let resyncs: u64 = outcome.serve_stats.iter().map(|(_, s)| s.resyncs).sum();
+    assert_eq!(resyncs, 0);
+}
+
+#[test]
+fn slow_subscriber_degrades_to_counted_resync() {
+    let serve = ServeConfig {
+        publish_every_packs: 1,
+        ring: 2, // tiny ring: a lagging subscriber falls off quickly
+        subscriber_credits: 1,
+        ..ServeConfig::default()
+    };
+    let seen: Arc<Mutex<Vec<Seen>>> = Arc::new(Mutex::new(Vec::new()));
+    let last_bytes: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    let bytes_sink = Arc::clone(&last_bytes);
+    let outcome = serving_session(120, serve)
+        .client("laggard", 1, move |c| {
+            c.subscribe().unwrap();
+            loop {
+                let u = c.next_update().unwrap().expect("stream ended early");
+                sink.lock().push(Seen {
+                    version: u.version,
+                    delta: u.delta,
+                    resync: u.resync,
+                    finished: u.finished,
+                });
+                if u.finished {
+                    *bytes_sink.lock() = c.report().unwrap().encoded.to_vec();
+                    break;
+                }
+                // Deliberately slower than the publication cadence.
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        })
+        .run()
+        .unwrap();
+
+    let store = outcome.snapshot_store.expect("serving retains the store");
+    let seen = seen.lock();
+
+    // The slow consumer fell off the two-deep ring and was resynced — the
+    // typed signal on the wire...
+    assert!(
+        seen.iter().any(|s| s.resync),
+        "laggard never saw a resync over {} updates",
+        seen.len()
+    );
+    // ...and the counted signal in the serving stats.
+    let resyncs: u64 = outcome.serve_stats.iter().map(|(_, s)| s.resyncs).sum();
+    assert!(resyncs > 0, "server counted no resyncs");
+
+    // Versions stay strictly monotone even across resync jumps, and the
+    // client still converges on the server's final bytes.
+    for w in seen.windows(2) {
+        assert!(w[1].version > w[0].version, "version went backwards");
+    }
+    assert_eq!(
+        last_bytes.lock().as_slice(),
+        store.current().unwrap().encoded.as_ref(),
+        "laggard did not converge on the final snapshot"
+    );
+}
+
+#[test]
+fn point_queries_answer_mid_run() {
+    let serve = ServeConfig {
+        publish_every_packs: 2,
+        ..ServeConfig::default()
+    };
+    type Probe = (u64, u64, Vec<u64>);
+    let probed: Arc<Mutex<Option<Probe>>> = Arc::new(Mutex::new(None));
+    let sink = Arc::clone(&probed);
+    let outcome = serving_session(60, serve)
+        .client("prober", 2, move |c| {
+            // Mid-run: wait for the first publication, then interrogate it
+            // while the application is still streaming.
+            let info = c.wait_version(1).unwrap();
+            assert!(info.current >= 1);
+            assert_eq!(info.apps, 1);
+            let (v_mid, profile_mid) = c.query_profile(0, 0, 0, ALL_RANKS).unwrap();
+            assert!(v_mid >= 1);
+            assert!(profile_mid.events() > 0);
+
+            // Unknown app: typed not-found, not a dead stream.
+            match c.query_profile(7, 0, 0, ALL_RANKS) {
+                Err(ServeError::NotFound(opmr::serve::proto::NotFoundReason::UnknownApp)) => {}
+                other => panic!("expected UnknownApp, got {:?}", other.map(|_| ())),
+            }
+
+            // Run out, then interrogate the final version (which covers
+            // every rank deterministically).
+            let fin = c.wait_version(u64::MAX).unwrap();
+            assert!(fin.finished);
+            let (v_fin, profile) = c.query_profile(0, 0, 0, ALL_RANKS).unwrap();
+            assert!(v_fin >= v_mid);
+            assert_eq!(profile.ranks(), 4);
+
+            // Rank-range filtering: ranks [0, 2) of 4.
+            let (_, lo, density) = c.query_density(0, 0, 0, 2).unwrap();
+            assert_eq!(lo, 0);
+            assert_eq!(density.len(), 2);
+            assert!(density.iter().all(|&d| d > 0));
+
+            let (_, topo) = c.query_topology(0, 0, 0, ALL_RANKS).unwrap();
+            assert!(topo.edge_count() > 0);
+
+            // No wait-state KS in this session: typed absence, not an error.
+            let (_, ws) = c.query_waitstate(0, 0, 0, ALL_RANKS).unwrap();
+            assert!(ws.is_none());
+
+            sink.lock()
+                .get_or_insert((v_fin, density[0], density.clone()));
+        })
+        .run()
+        .unwrap();
+
+    assert!(probed.lock().is_some(), "prober never ran its checks");
+    // Two prober ranks spread round-robin over two serving ranks.
+    let clients: u64 = outcome.serve_stats.iter().map(|(_, s)| s.clients).sum();
+    assert_eq!(clients, 2);
+    let queries: u64 = outcome.serve_stats.iter().map(|(_, s)| s.queries).sum();
+    assert!(queries >= 10);
+}
+
+#[test]
+fn clients_require_serving_coupling() {
+    let res = Session::builder()
+        .app("ring", 2, ring_app(4))
+        .client("observer", 1, |_c| {})
+        .run();
+    assert!(matches!(res, Err(opmr::core::SessionError::Config(_))));
+}
