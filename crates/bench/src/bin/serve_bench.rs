@@ -203,9 +203,7 @@ fn main() {
         &widths,
     );
 
-    let mut csv = String::from(
-        "scenario,clients,versions,queries,qps,updates,deltas,resyncs,lag_p50_ms,lag_p99_ms\n",
-    );
+    let mut csv = format!("{}\n", opmr_bench::SERVE_BENCH_CSV_HEADER);
     for sc in &scenarios {
         let mut run = run_scenario(sc);
         run.lags.sort_unstable();

@@ -20,6 +20,18 @@ use opmr_analysis::Topology;
 use opmr_netsim::{Op, Phase, Workload};
 use std::path::PathBuf;
 
+/// CSV header written by the `serve_bench` binary. Pinned by the
+/// golden-shape regression tests: dashboards and CI scripts scrape these
+/// columns, so renaming or reordering them is a breaking change that must
+/// show up in a test diff, not in a consumer's silent parse failure.
+pub const SERVE_BENCH_CSV_HEADER: &str =
+    "scenario,clients,versions,queries,qps,updates,deltas,resyncs,lag_p50_ms,lag_p99_ms";
+
+/// CSV header written by the `tbon_compare` binary (same contract as
+/// [`SERVE_BENCH_CSV_HEADER`]).
+pub const TBON_COMPARE_CSV_HEADER: &str =
+    "source,leaves,reduction,tbon_gbs,direct_gbs,internal_nodes";
+
 /// Output directory for figure artifacts (`out/<sub>` under the workspace).
 pub fn out_dir(sub: &str) -> PathBuf {
     let base = std::env::var("OPMR_OUT").unwrap_or_else(|_| "out".to_string());

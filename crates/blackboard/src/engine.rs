@@ -15,6 +15,33 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+// Blackboard pressure metrics for the self-monitoring snapshot: posts,
+// drops, KS invocations, and the job backlog depth seen at enqueue time.
+mod obs {
+    use opmr_obs::{registry, Counter, Histogram};
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) struct BoardMetrics {
+        pub posted: Arc<Counter>,
+        pub dropped: Arc<Counter>,
+        pub ks_invocations: Arc<Counter>,
+        pub backlog: Arc<Histogram>,
+    }
+
+    pub(super) fn m() -> &'static BoardMetrics {
+        static M: OnceLock<BoardMetrics> = OnceLock::new();
+        M.get_or_init(|| {
+            let r = registry();
+            BoardMetrics {
+                posted: r.counter("blackboard_entries_posted_total"),
+                dropped: r.counter("blackboard_entries_dropped_total"),
+                ks_invocations: r.counter("blackboard_ks_invocations_total"),
+                backlog: r.histogram("blackboard_job_backlog"),
+            }
+        })
+    }
+}
+
 /// Engine sizing knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlackboardConfig {
@@ -152,6 +179,7 @@ impl Blackboard {
     /// Posts a data entry onto the board.
     pub fn post(&self, entry: DataEntry) {
         self.inner.stat_posted.fetch_add(1, Ordering::Relaxed);
+        obs::m().posted.inc();
         // Snapshot the sensitive KSs under the read lock, fill slots after.
         let targets: Vec<Arc<KsState>> = {
             let reg = self.inner.registry.read();
@@ -165,6 +193,7 @@ impl Blackboard {
         };
         if targets.is_empty() {
             self.inner.stat_dropped.fetch_add(1, Ordering::Relaxed);
+            obs::m().dropped.inc();
             return;
         }
         for state in targets {
@@ -199,7 +228,8 @@ impl Blackboard {
     }
 
     fn enqueue(&self, job: Job) {
-        self.inner.outstanding.fetch_add(1, Ordering::SeqCst);
+        let backlog = self.inner.outstanding.fetch_add(1, Ordering::SeqCst);
+        obs::m().backlog.record(backlog as u64);
         // "Jobs are randomly pushed in an array of FIFOs": a striding
         // counter spreads jobs without a shared RNG.
         let pick = self.inner.queue_pick.fetch_add(1, Ordering::Relaxed);
@@ -237,6 +267,7 @@ impl Blackboard {
     fn execute(&self, job: Job) {
         (job.op)(self, &job.entries);
         self.inner.stat_jobs.fetch_add(1, Ordering::Relaxed);
+        obs::m().ks_invocations.inc();
         if self.inner.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Possibly quiescent: wake drainers.
             self.inner.sleep_cv.notify_all();

@@ -24,5 +24,7 @@ pub mod session;
 pub mod trace;
 
 pub use driver::{run_program, LiveOptions};
-pub use session::{Coupling, Session, SessionBuilder, SessionError, SessionOutcome};
+pub use session::{
+    Coupling, Session, SessionBuilder, SessionError, SessionOutcome, SELF_MONITOR_APP,
+};
 pub use trace::{analyze_sion_dir, analyze_trace_dir, TraceSession};

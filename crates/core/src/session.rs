@@ -18,7 +18,13 @@ use opmr_serve::{run_server, ServeClient, ServeConfig, ServeStats, SnapshotStore
 use opmr_vmpi::map::{map_partitions, map_partitions_directed};
 use opmr_vmpi::{Map, MapPolicy, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Name of the hidden one-rank application added by
+/// [`SessionBuilder::self_monitor`].
+pub const SELF_MONITOR_APP: &str = "__obs";
 
 /// How instrumented partitions couple to the analyzer partition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,6 +100,11 @@ pub struct SessionOutcome {
     /// The snapshot store of a [`Coupling::Serving`] session, retained so
     /// callers can audit the published version history post-run.
     pub snapshot_store: Option<Arc<SnapshotStore>>,
+    /// Point-in-time copy of the process-wide observability registry
+    /// ([`opmr_obs`]) taken when the job ends. The registry is cumulative
+    /// across sessions in one process — compare deltas, not absolutes,
+    /// when running several sessions in one binary.
+    pub metrics: opmr_obs::MetricsSnapshot,
 }
 
 impl SessionOutcome {
@@ -133,6 +144,7 @@ pub struct SessionBuilder {
     reduce_op: ReduceOp,
     reduce_window: usize,
     serve: ServeConfig,
+    self_monitor: Option<Duration>,
 }
 
 /// Entry point: `Session::builder()`.
@@ -158,6 +170,7 @@ impl Session {
             reduce_op: ReduceOp::PassThrough,
             reduce_window: 8,
             serve: ServeConfig::default(),
+            self_monitor: None,
         }
     }
 }
@@ -286,6 +299,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables the self-monitoring application: a hidden one-rank
+    /// partition ([`SELF_MONITOR_APP`]) that samples the process-wide
+    /// observability registry every `interval` and streams the samples —
+    /// one Marker event per metric, keyed by registry id — through the
+    /// same VMPI stream machinery those metrics measure. The analysis
+    /// engine thus reports on its own runtime as one more profiled
+    /// application; its chapter appears in the final report under the
+    /// `__obs` name.
+    pub fn self_monitor(mut self, interval: Duration) -> Self {
+        self.self_monitor = Some(interval);
+        self
+    }
+
     /// Adds an application that live-runs a generated workload program.
     pub fn app_workload(self, name: &str, workload: Workload, opts: LiveOptions) -> Self {
         let ranks = workload.ranks();
@@ -319,6 +345,27 @@ impl SessionBuilder {
             return Err(SessionError::Config(
                 "client partitions require Coupling::Serving".into(),
             ));
+        }
+        // The self-monitor rides along as one more instrumented app, added
+        // before ids/names/partition counts are derived so every layer
+        // treats it uniformly. It samples until the *user* application
+        // ranks have all finished (tracked by a shared countdown), then
+        // takes one closing sample and finalizes like any other app.
+        if let Some(interval) = self.self_monitor {
+            let live = Arc::new(AtomicUsize::new(self.apps.iter().map(|s| s.ranks).sum()));
+            for spec in &mut self.apps {
+                let inner = Arc::clone(&spec.body);
+                let live = Arc::clone(&live);
+                spec.body = Arc::new(move |imp| {
+                    inner(imp);
+                    live.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            self.apps.push(AppSpec {
+                name: SELF_MONITOR_APP.to_string(),
+                ranks: 1,
+                body: Arc::new(move |imp| self_monitor_body(imp, interval, &live)),
+            });
         }
         let names: std::collections::HashMap<u16, String> = self
             .apps
@@ -517,7 +564,43 @@ impl SessionBuilder {
             reduce_stats,
             serve_stats,
             snapshot_store: store,
+            metrics: opmr_obs::registry().snapshot(),
         })
+    }
+}
+
+/// Body of the hidden self-monitoring rank: sample the process-wide
+/// metric registry, stream the sample as instrumentation events, sleep,
+/// repeat until every user application rank has finished, then take one
+/// closing sample so final totals reach the engine before the stream
+/// closes.
+fn self_monitor_body(imp: &InstrumentedMpi, interval: Duration, live: &AtomicUsize) {
+    let mut seq = 0u64;
+    loop {
+        emit_metrics_sample(imp, seq);
+        seq += 1;
+        if live.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    emit_metrics_sample(imp, seq);
+}
+
+/// One registry sample: a Marker event per metric, tag = registry id.
+/// Counters and gauges carry the value in `bytes` and the sample sequence
+/// number in `duration_ns`; histograms carry observation count and sum.
+fn emit_metrics_sample(imp: &InstrumentedMpi, seq: u64) {
+    let snap = opmr_obs::registry().snapshot();
+    for c in &snap.counters {
+        imp.metric(c.id, c.value, seq).expect("self-monitor emit");
+    }
+    for g in &snap.gauges {
+        imp.metric(g.id, g.value as u64, seq)
+            .expect("self-monitor emit");
+    }
+    for h in &snap.histograms {
+        imp.metric(h.id, h.count, h.sum).expect("self-monitor emit");
     }
 }
 

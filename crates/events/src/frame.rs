@@ -1,4 +1,5 @@
-//! Length-prefixed framing for records travelling over block streams.
+//! Length-prefixed, checksummed framing for records travelling over
+//! block streams.
 //!
 //! VMPI streams deliver *blocks* whose boundaries depend on the writer's
 //! flush pattern, not on record boundaries. Any record-oriented protocol
@@ -6,14 +7,87 @@
 //! requests and responses) therefore length-prefixes each record with
 //! [`frame`] and reassembles per source with [`FrameBuf`]. One framing
 //! implementation, shared by every stream protocol in the workspace.
+//!
+//! # Wire format
+//!
+//! `[len: u32 LE][fnv1a32(payload): u32 LE][payload]`
+//!
+//! The checksum turns byte corruption into a typed
+//! [`FrameError::Corrupt`] instead of a downstream decode failure (or,
+//! worse, a silently wrong record). A length field above
+//! [`MAX_FRAME_LEN`] is rejected as [`FrameError::Oversize`] *before* the
+//! reassembly buffer would try to accumulate it, so a corrupted length
+//! cannot make the reader buffer gigabytes waiting for a frame that will
+//! never complete. Both errors poison the [`FrameBuf`]: framing has no
+//! resynchronization marker, so after a corrupt header every later byte
+//! offset is suspect and the stream must be torn down (the transport
+//! layer underneath already retries/reorders, so a poisoned buffer means
+//! real corruption, not loss).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-/// Length-prefixes a payload for transport over a byte stream whose block
-/// boundaries the encoding cannot rely on.
+/// Hard upper bound on a single frame payload. Big enough for any merged
+/// partial set or snapshot response this workspace produces (full blocks
+/// are ~1 MiB; snapshots of paper-scale runs are far smaller), small
+/// enough to reject corrupt lengths immediately.
+pub const MAX_FRAME_LEN: usize = 1 << 28;
+
+const HDR: usize = 8;
+
+/// Typed framing failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length field exceeds [`MAX_FRAME_LEN`] — a corrupt or hostile
+    /// header.
+    Oversize { len: u64, max: usize },
+    /// The payload failed its checksum.
+    Corrupt { expected: u32, found: u32 },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversize { len, max } => {
+                write!(f, "frame length {len} exceeds maximum {max}")
+            }
+            FrameError::Corrupt { expected, found } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: expected {expected:#010x}, found {found:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// FNV-1a, 32-bit: tiny, dependency-free, adequate for detecting the
+/// random corruption the chaos harness injects (this is an integrity
+/// check, not an authenticity one).
+pub fn fnv1a32(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Length-prefixes and checksums a payload for transport over a byte
+/// stream whose block boundaries the encoding cannot rely on.
+///
+/// Panics if the payload exceeds [`MAX_FRAME_LEN`] — producing an
+/// unreadable frame is a programming error, not a runtime condition.
 pub fn frame(payload: &[u8]) -> Bytes {
-    let mut out = BytesMut::with_capacity(4 + payload.len());
+    assert!(
+        payload.len() <= MAX_FRAME_LEN,
+        "frame payload of {} bytes exceeds MAX_FRAME_LEN",
+        payload.len()
+    );
+    let mut out = BytesMut::with_capacity(HDR + payload.len());
     out.put_u32_le(payload.len() as u32);
+    out.put_u32_le(fnv1a32(payload));
     out.put_slice(payload);
     out.freeze()
 }
@@ -22,6 +96,7 @@ pub fn frame(payload: &[u8]) -> Bytes {
 #[derive(Debug, Default)]
 pub struct FrameBuf {
     buf: BytesMut,
+    poisoned: Option<FrameError>,
 }
 
 impl FrameBuf {
@@ -34,23 +109,53 @@ impl FrameBuf {
         self.buf.put_slice(chunk);
     }
 
-    /// Pops the next complete frame payload, if one has fully arrived.
-    pub fn next_frame(&mut self) -> Option<Bytes> {
-        if self.buf.len() < 4 {
-            return None;
+    /// Pops the next complete frame payload.
+    ///
+    /// * `Ok(Some(payload))` — a complete, checksum-verified frame;
+    /// * `Ok(None)` — no complete frame buffered yet;
+    /// * `Err(_)` — corrupt header or payload. The error is sticky:
+    ///   every later call returns it again, because a framing stream has
+    ///   no resync point after a bad header.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        if let Some(e) = self.poisoned {
+            return Err(e);
+        }
+        if self.buf.len() < HDR {
+            return Ok(None);
         }
         let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
-        if self.buf.len() < 4 + len {
-            return None;
+        if len > MAX_FRAME_LEN {
+            return Err(self.poison(FrameError::Oversize {
+                len: len as u64,
+                max: MAX_FRAME_LEN,
+            }));
         }
-        let mut record = self.buf.split_to(4 + len).freeze();
-        record.advance(4);
-        Some(record)
+        if self.buf.len() < HDR + len {
+            return Ok(None);
+        }
+        let expected = u32::from_le_bytes(self.buf[4..8].try_into().unwrap());
+        let found = fnv1a32(&self.buf[HDR..HDR + len]);
+        if found != expected {
+            return Err(self.poison(FrameError::Corrupt { expected, found }));
+        }
+        let mut record = self.buf.split_to(HDR + len).freeze();
+        record.advance(HDR);
+        Ok(Some(record))
+    }
+
+    fn poison(&mut self, e: FrameError) -> FrameError {
+        self.poisoned = Some(e);
+        e
     }
 
     /// Bytes buffered but not yet forming a complete frame.
     pub fn residual(&self) -> usize {
         self.buf.len()
+    }
+
+    /// The sticky error, if the buffer has seen one.
+    pub fn poisoned(&self) -> Option<FrameError> {
+        self.poisoned
     }
 }
 
@@ -72,7 +177,7 @@ mod tests {
             let mut got: Vec<Bytes> = Vec::new();
             for chunk in wire.chunks(chunk_len) {
                 fb.push(chunk);
-                while let Some(payload) = fb.next_frame() {
+                while let Some(payload) = fb.next_frame().unwrap() {
                     got.push(payload);
                 }
             }
@@ -87,10 +192,39 @@ mod tests {
     #[test]
     fn empty_payload_frames_cleanly() {
         let f = frame(&[]);
-        assert_eq!(f.len(), 4);
+        assert_eq!(f.len(), 8);
         let mut fb = FrameBuf::new();
         fb.push(&f);
-        assert_eq!(fb.next_frame().unwrap().len(), 0);
-        assert!(fb.next_frame().is_none());
+        assert_eq!(fb.next_frame().unwrap().unwrap().len(), 0);
+        assert!(fb.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn payload_corruption_is_typed_and_sticky() {
+        let mut wire = BytesMut::new();
+        wire.put_slice(&frame(b"hello frame"));
+        let last = wire.len() - 1;
+        wire[last] ^= 0x40;
+        let mut fb = FrameBuf::new();
+        fb.push(&wire);
+        let err = fb.next_frame().unwrap_err();
+        assert!(matches!(err, FrameError::Corrupt { .. }));
+        // Sticky: pushing a good frame afterwards cannot resurrect it.
+        fb.push(&frame(b"good"));
+        assert_eq!(fb.next_frame().unwrap_err(), err);
+        assert_eq!(fb.poisoned(), Some(err));
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_before_buffering() {
+        let mut wire = BytesMut::new();
+        wire.put_u32_le(u32::MAX);
+        wire.put_u32_le(0);
+        let mut fb = FrameBuf::new();
+        fb.push(&wire);
+        assert!(matches!(
+            fb.next_frame(),
+            Err(FrameError::Oversize { len, .. }) if len == u32::MAX as u64
+        ));
     }
 }

@@ -1,0 +1,156 @@
+//! Fuzz-style property tests for the checksummed framing layer: byte
+//! mutations surface as typed [`FrameError`]s, truncation is never
+//! silent, and arbitrary garbage never panics the reassembly buffer.
+
+use opmr_events::{frame, FrameBuf, FrameError, MAX_FRAME_LEN};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn roundtrip_identity_under_ragged_chunking(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..2048), 1..8),
+        chunk in 1usize..512,
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            wire.extend_from_slice(&frame(p));
+        }
+        let mut fb = FrameBuf::new();
+        let mut got = Vec::new();
+        for c in wire.chunks(chunk) {
+            fb.push(c);
+            while let Some(p) = fb.next_frame().unwrap() {
+                got.push(p.to_vec());
+            }
+        }
+        prop_assert_eq!(got, payloads);
+        prop_assert_eq!(fb.residual(), 0);
+    }
+
+    #[test]
+    fn single_byte_mutation_never_yields_a_wrong_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..1024),
+        idx in any::<proptest::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut wire = frame(&payload).to_vec();
+        let i = idx.index(wire.len());
+        wire[i] ^= xor;
+        let mut fb = FrameBuf::new();
+        fb.push(&wire);
+        match fb.next_frame() {
+            // Typed detection: the buffer is poisoned and stays poisoned.
+            Err(e) => {
+                prop_assert!(matches!(
+                    e,
+                    FrameError::Corrupt { .. } | FrameError::Oversize { .. }
+                ));
+                prop_assert_eq!(fb.poisoned(), Some(e));
+                fb.push(&frame(b"later"));
+                prop_assert_eq!(fb.next_frame().unwrap_err(), e);
+            }
+            // A mutated length can claim more bytes than arrived: the
+            // buffer waits rather than inventing a short record.
+            Ok(None) => prop_assert!(fb.residual() > 0),
+            // The only acceptable success is the exact original payload
+            // (never observed for a real mutation; asserting it makes any
+            // silent corruption a test failure, not a silent pass).
+            Ok(Some(p)) => prop_assert_eq!(p.to_vec(), payload),
+        }
+    }
+
+    #[test]
+    fn truncated_wire_is_never_a_silent_short_record(
+        payload in proptest::collection::vec(any::<u8>(), 1..1024),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let wire = frame(&payload);
+        // Every strict prefix must come back as "incomplete", never as a
+        // shorter record.
+        let cut = cut.index(wire.len() - 1) + 1;
+        let mut fb = FrameBuf::new();
+        fb.push(&wire[..cut]);
+        prop_assert!(fb.next_frame().unwrap().is_none());
+        prop_assert_eq!(fb.residual(), cut);
+        // Delivering the rest completes the original record intact.
+        fb.push(&wire[cut..]);
+        prop_assert_eq!(fb.next_frame().unwrap().unwrap().to_vec(), payload);
+    }
+
+    #[test]
+    fn garbage_never_panics(
+        junk in proptest::collection::vec(any::<u8>(), 0..4096),
+        chunk in 1usize..257,
+    ) {
+        let mut fb = FrameBuf::new();
+        let mut frames = 0usize;
+        for c in junk.chunks(chunk) {
+            fb.push(c);
+            loop {
+                match fb.next_frame() {
+                    Ok(Some(_)) => frames += 1,
+                    Ok(None) => break,
+                    Err(_) => break,
+                }
+            }
+            if fb.poisoned().is_some() {
+                break;
+            }
+        }
+        // Bounded: garbage can decode at most its own length in frames.
+        prop_assert!(frames <= junk.len() / 8 + 1);
+    }
+}
+
+#[test]
+fn large_payloads_roundtrip() {
+    // > 1 MiB exercises the multi-block path the reduction overlay uses
+    // for merged partial sets; 0 is the degenerate edge.
+    for size in [0usize, 1, 1 << 20, (1 << 20) + (1 << 19) + 13] {
+        let payload: Vec<u8> = (0..size).map(|i| (i * 131 + 7) as u8).collect();
+        let wire = frame(&payload);
+        assert_eq!(wire.len(), payload.len() + 8);
+        let mut fb = FrameBuf::new();
+        // Feed in 64 KiB chunks, as a stream reader would.
+        for c in wire.chunks(64 * 1024) {
+            fb.push(c);
+        }
+        let got = fb.next_frame().unwrap().unwrap();
+        assert_eq!(got.len(), size);
+        assert_eq!(&got[..], &payload[..]);
+        assert_eq!(fb.residual(), 0);
+    }
+}
+
+#[test]
+fn corruption_mid_stream_preserves_earlier_frames() {
+    // Frames decoded before the corruption point are delivered; the
+    // corrupt one and everything after it are refused — truncation is
+    // loud, not silent.
+    let mut wire = Vec::new();
+    for i in 0..5u8 {
+        wire.extend_from_slice(&frame(&[i; 100]));
+    }
+    // Flip one payload byte inside the fourth frame.
+    let off = 3 * 108 + 8 + 50;
+    wire[off] ^= 0x01;
+    let mut fb = FrameBuf::new();
+    fb.push(&wire);
+    let mut got = 0;
+    let err = loop {
+        match fb.next_frame() {
+            Ok(Some(p)) => {
+                assert_eq!(&p[..], &vec![got as u8; 100][..]);
+                got += 1;
+            }
+            Ok(None) => panic!("should end in an error"),
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(got, 3, "frames before the corruption must survive");
+    assert!(matches!(err, FrameError::Corrupt { .. }));
+    let _ = MAX_FRAME_LEN;
+}

@@ -548,6 +548,29 @@ impl InstrumentedMpi {
         self.record(e)
     }
 
+    /// Records one self-monitoring metric sample as a Marker-class event:
+    /// `tag` carries the registry metric id, `bytes` the sampled value and
+    /// `duration_ns` an auxiliary payload (sample sequence number, or the
+    /// sum for histogram samples). The session self-monitor uses this to
+    /// stream the
+    /// process's own metrics through the same VMPI stream machinery those
+    /// metrics measure, so the analysis engine sees its own runtime as
+    /// one more instrumented application.
+    pub fn metric(&self, metric_id: u32, value: u64, aux: u64) -> Result<()> {
+        let now = self.now_ns();
+        let e = Event {
+            time_ns: now,
+            duration_ns: aux,
+            kind: EventKind::Marker,
+            rank: self.vmpi.rank() as u32,
+            peer: -1,
+            tag: metric_id as i32,
+            comm: 0,
+            bytes: value,
+        };
+        self.record(e)
+    }
+
     /// Records `MPI_Finalize`, flushes the last pack and closes the stream.
     pub fn finalize(&self) -> Result<RecorderStats> {
         let now = self.now_ns();

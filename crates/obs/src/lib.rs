@@ -1,0 +1,36 @@
+//! # opmr-obs — the tool observing itself
+//!
+//! The paper's thesis is that measurement should flow online instead of
+//! post-mortem; this crate applies the same discipline to the runtime's
+//! own machinery. Every layer (VMPI streams, the transport, TBON
+//! reduction nodes, the blackboard, the serve plane) counts into one
+//! process-wide [`Registry`] of lock-light metrics:
+//!
+//! * [`Counter`] — monotone relaxed-atomic `u64` (`fetch_add` on the hot
+//!   path, nothing else);
+//! * [`Gauge`] — signed level (`i64`) for in-flight / open-resource
+//!   tracking;
+//! * [`Histogram`] — fixed power-of-four buckets covering 1 ns to ≈4 s,
+//!   recording with two relaxed `fetch_add`s plus a branch-free bucket
+//!   index from `leading_zeros`.
+//!
+//! Registration takes a mutex once per metric name; the returned
+//! `Arc` handles are cached in per-module statics so steady-state
+//! increments never touch a lock (see `obs_bench` for the measured
+//! per-increment cost). Three sinks consume the registry:
+//!
+//! 1. [`MetricsSnapshot::render_text`] — a Prometheus-style text page;
+//! 2. [`MetricsSnapshot::to_json`] — the `metrics` object of
+//!    `quickstart --json` and `SessionOutcome::metrics`;
+//! 3. the session self-monitor (`SessionBuilder::self_monitor`), which
+//!    periodically converts a snapshot into Marker events and streams
+//!    them as ordinary event packs over a VMPI stream into the analysis
+//!    engine — the measurement pipeline eating its own dogfood.
+
+mod metrics;
+mod registry;
+mod snapshot;
+
+pub use metrics::{Counter, Gauge, Histogram, HIST_BUCKETS};
+pub use registry::{registry, Registry};
+pub use snapshot::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};

@@ -1,0 +1,188 @@
+//! The process-wide metric registry.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) takes the registry
+//! mutex and is expected to happen once per call site — every
+//! instrumented module caches its handles in a `OnceLock` struct, so the
+//! mutex is off the hot path entirely. Names follow the Prometheus
+//! convention (`layer_subject_unit[_total]`) and may carry a `{k="v"}`
+//! label suffix; the registry treats the full string as the identity.
+//!
+//! Metrics are registered for the life of the process (tests in one
+//! binary share the registry, so all values are cumulative across
+//! sessions — compare deltas, not absolutes). Each metric gets a stable
+//! small integer id in registration order; the session self-monitor uses
+//! it as the metric key inside emitted events.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: String,
+    metric: Metric,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: Vec<Entry>,
+    by_name: HashMap<String, usize>,
+}
+
+/// A set of named metrics. Usually accessed through the process-wide
+/// [`registry`]; separate instances exist only for tests.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+/// The process-wide registry every layer counts into.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut inner = self.inner.lock().expect("registry mutex");
+        if let Some(&i) = inner.by_name.get(name) {
+            return match &inner.entries[i].metric {
+                Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+                Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+                Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+            };
+        }
+        let metric = make();
+        let cloned = match &metric {
+            Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+            Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+            Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+        };
+        let i = inner.entries.len();
+        inner.entries.push(Entry {
+            name: name.to_string(),
+            metric,
+        });
+        inner.by_name.insert(name.to_string(), i);
+        cloned
+    }
+
+    /// Returns (registering on first use) the counter called `name`.
+    /// Panics if `name` is already registered as another metric kind —
+    /// that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns (registering on first use) the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns (registering on first use) the histogram called `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry mutex").entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of every metric. Values of different metrics
+    /// are read without mutual atomicity — fine for monitoring, not for
+    /// invariant checking.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("registry mutex");
+        let mut snap = MetricsSnapshot::default();
+        for (id, e) in inner.entries.iter().enumerate() {
+            match &e.metric {
+                Metric::Counter(c) => snap.counters.push(CounterSample {
+                    id: id as u32,
+                    name: e.name.clone(),
+                    value: c.get(),
+                }),
+                Metric::Gauge(g) => snap.gauges.push(GaugeSample {
+                    id: id as u32,
+                    name: e.name.clone(),
+                    value: g.get(),
+                }),
+                Metric::Histogram(h) => snap.histograms.push(HistogramSample {
+                    id: id as u32,
+                    name: e.name.clone(),
+                    buckets: h.buckets(),
+                    count: h.count(),
+                    sum: h.sum(),
+                }),
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_assigns_stable_ids_in_registration_order() {
+        let r = Registry::new();
+        r.counter("a_total").add(5);
+        r.gauge("b").set(-1);
+        r.histogram("c").record(100);
+        let s = r.snapshot();
+        assert_eq!(s.counters[0].id, 0);
+        assert_eq!(s.gauges[0].id, 1);
+        assert_eq!(s.histograms[0].id, 2);
+        assert_eq!(s.counter("a_total"), Some(5));
+        assert_eq!(s.gauges[0].value, -1);
+        assert_eq!(s.histograms[0].count, 1);
+        // Re-registering keeps ids stable.
+        r.counter("d_total");
+        let s2 = r.snapshot();
+        assert_eq!(s2.counters[0].id, 0);
+        assert_eq!(s2.counters[1].id, 3);
+    }
+}

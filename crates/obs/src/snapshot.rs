@@ -1,0 +1,267 @@
+//! Point-in-time metric snapshots and their renderings.
+
+use crate::metrics::{bucket_bound, HIST_BUCKETS};
+
+/// One counter at snapshot time.
+#[derive(Debug, Clone)]
+pub struct CounterSample {
+    /// Registry id (stable for the process lifetime).
+    pub id: u32,
+    pub name: String,
+    pub value: u64,
+}
+
+/// One gauge at snapshot time.
+#[derive(Debug, Clone)]
+pub struct GaugeSample {
+    pub id: u32,
+    pub name: String,
+    pub value: i64,
+}
+
+/// One histogram at snapshot time.
+#[derive(Debug, Clone)]
+pub struct HistogramSample {
+    pub id: u32,
+    pub name: String,
+    /// Non-cumulative per-bucket counts (see [`crate::HIST_BUCKETS`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistogramSample {
+    /// Mean observation, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (the bound of the bucket
+    /// containing it), 0 when empty. `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(HIST_BUCKETS - 1)
+    }
+}
+
+/// A copy of every registered metric at one point in time.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<CounterSample>,
+    pub gauges: Vec<GaugeSample>,
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by full name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Value of a gauge by full name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// A histogram by full name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Sum of every counter whose name starts with `prefix` (labelled
+    /// families, e.g. `reduce_bytes_forwarded_total{level=…}`).
+    pub fn counter_family(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name.starts_with(prefix))
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` lines, `_bucket{le=…}`
+    /// cumulative histogram series, `_count` / `_sum` totals.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let (base, labels) = split_labels(&c.name);
+            out.push_str(&format!(
+                "# TYPE {base} counter\n{}{} {}\n",
+                base, labels, c.value
+            ));
+        }
+        for g in &self.gauges {
+            let (base, labels) = split_labels(&g.name);
+            out.push_str(&format!(
+                "# TYPE {base} gauge\n{}{} {}\n",
+                base, labels, g.value
+            ));
+        }
+        for h in &self.histograms {
+            let (base, labels) = split_labels(&h.name);
+            out.push_str(&format!("# TYPE {base} histogram\n"));
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                cum += c;
+                let le = if i + 1 == HIST_BUCKETS {
+                    "+Inf".to_string()
+                } else {
+                    bucket_bound(i).to_string()
+                };
+                let sep = if labels.is_empty() { "" } else { "," };
+                let inner = labels.trim_start_matches('{').trim_end_matches('}');
+                out.push_str(&format!("{base}_bucket{{{inner}{sep}le=\"{le}\"}} {cum}\n"));
+            }
+            out.push_str(&format!("{base}_count{labels} {}\n", h.count));
+            out.push_str(&format!("{base}_sum{labels} {}\n", h.sum));
+        }
+        out
+    }
+
+    /// Hand-rolled JSON object (the workspace is registry-free: no serde):
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {name: {count,
+    /// sum, mean, p50, p99}}}`.
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let pad2 = " ".repeat(indent + 2);
+        let pad3 = " ".repeat(indent + 4);
+        let mut out = String::from("{\n");
+        out.push_str(&format!("{pad2}\"counters\": {{\n"));
+        for (i, c) in self.counters.iter().enumerate() {
+            let comma = if i + 1 == self.counters.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "{pad3}\"{}\": {}{comma}\n",
+                json_escape(&c.name),
+                c.value
+            ));
+        }
+        out.push_str(&format!("{pad2}}},\n{pad2}\"gauges\": {{\n"));
+        for (i, g) in self.gauges.iter().enumerate() {
+            let comma = if i + 1 == self.gauges.len() { "" } else { "," };
+            out.push_str(&format!(
+                "{pad3}\"{}\": {}{comma}\n",
+                json_escape(&g.name),
+                g.value
+            ));
+        }
+        out.push_str(&format!("{pad2}}},\n{pad2}\"histograms\": {{\n"));
+        for (i, h) in self.histograms.iter().enumerate() {
+            let comma = if i + 1 == self.histograms.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "{pad3}\"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.1}, \
+                 \"p50\": {}, \"p99\": {}}}{comma}\n",
+                json_escape(&h.name),
+                h.count,
+                h.sum,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+            ));
+        }
+        out.push_str(&format!("{pad2}}}\n{pad}}}"));
+        out
+    }
+}
+
+/// Escapes a metric name for use as a JSON object key — label suffixes
+/// carry literal double quotes (`name{k="v"}`).
+fn json_escape(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Splits `name{k="v"}` into `(name, {k="v"})`; labels may be empty.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("stream_blocks_total").add(42);
+        r.counter("reduce_bytes_total{level=\"0\"}").add(7);
+        r.gauge("in_flight").set(3);
+        let h = r.histogram("lag_ns");
+        h.record(1);
+        h.record(100);
+        h.record(100);
+        h.record(1_000_000);
+        r
+    }
+
+    #[test]
+    fn render_text_is_prometheus_shaped() {
+        let text = sample_registry().snapshot().render_text();
+        assert!(text.contains("# TYPE stream_blocks_total counter"));
+        assert!(text.contains("stream_blocks_total 42"));
+        assert!(text.contains("reduce_bytes_total{level=\"0\"} 7"));
+        assert!(text.contains("# TYPE in_flight gauge"));
+        assert!(text.contains("in_flight 3"));
+        assert!(text.contains("lag_ns_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lag_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("lag_ns_count 4"));
+        assert!(text.contains("lag_ns_sum 1000201"));
+    }
+
+    #[test]
+    fn quantiles_bound_the_right_buckets() {
+        let snap = sample_registry().snapshot();
+        let h = snap.histogram("lag_ns").unwrap();
+        // 1, 100, 100, 1e6: p50 falls in the bucket holding the 2nd
+        // observation (100 <= 4^4 = 256), p99 in the one holding 1e6.
+        assert_eq!(h.quantile(0.5), 256);
+        assert_eq!(h.quantile(0.99), bucket_bound(10));
+        assert_eq!(h.quantile(0.0), 1);
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn json_lists_every_metric() {
+        let json = sample_registry().snapshot().to_json(0);
+        assert!(json.contains("\"stream_blocks_total\": 42"));
+        assert!(json.contains("\"in_flight\": 3"));
+        assert!(json.contains("\"lag_ns\": {\"count\": 4"));
+        // Labelled names carry literal quotes; keys must escape them.
+        assert!(json.contains("\"reduce_bytes_total{level=\\\"0\\\"}\": 7"));
+        // Balanced braces (cheap structural sanity without a parser).
+        assert_eq!(json.matches('{').count(), json.matches('}').count(),);
+    }
+
+    #[test]
+    fn family_sums_labelled_counters() {
+        let r = sample_registry();
+        r.counter("reduce_bytes_total{level=\"1\"}").add(5);
+        let s = r.snapshot();
+        assert_eq!(s.counter_family("reduce_bytes_total"), 12);
+    }
+}

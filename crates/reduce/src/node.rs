@@ -28,6 +28,45 @@ use opmr_analysis::waitstate::WaitStateAnalysis;
 use opmr_events::EventPack;
 use opmr_vmpi::{ReadMode, ReadStream, Result, StreamConfig, Vmpi, VmpiError, WriteStream};
 use std::collections::{BTreeMap, HashSet};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+// Tree-overlay metrics. The tree-wide handles are cached process-wide; the
+// per-level byte counters are resolved once per `run_node` call (labelled
+// by the node's tree level) and passed down to the hot helpers.
+struct NodeMetrics {
+    windows_closed: Arc<opmr_obs::Counter>,
+    window_latency: Arc<opmr_obs::Histogram>,
+    merges: Arc<opmr_obs::Counter>,
+    decode_errors: Arc<opmr_obs::Counter>,
+    peers_lost: Arc<opmr_obs::Counter>,
+}
+
+fn node_metrics() -> &'static NodeMetrics {
+    static M: OnceLock<NodeMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = opmr_obs::registry();
+        NodeMetrics {
+            windows_closed: r.counter("reduce_windows_closed_total"),
+            window_latency: r.histogram("reduce_window_merge_latency_ns"),
+            merges: r.counter("reduce_merges_total"),
+            decode_errors: r.counter("reduce_decode_errors_total"),
+            peers_lost: r.counter("reduce_peers_lost_total"),
+        }
+    })
+}
+
+fn level_counters(level: usize) -> (Arc<opmr_obs::Counter>, Arc<opmr_obs::Counter>) {
+    let r = opmr_obs::registry();
+    (
+        r.counter(&format!(
+            "reduce_bytes_forwarded_total{{level=\"{level}\"}}"
+        )),
+        r.counter(&format!(
+            "reduce_bytes_aggregated_total{{level=\"{level}\"}}"
+        )),
+    )
+}
 
 /// What a node does to a window of incoming data before forwarding.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -200,6 +239,7 @@ pub fn run_node(
     let mut sources: Vec<usize> = internal.clone();
     sources.extend(leaf_children);
     let is_root = tree.parent(me).is_none();
+    let (fwd_bytes, agg_bytes) = level_counters(tree.level_of(me));
 
     let mut tx = match tree.parent(me) {
         Some(p) => Some(WriteStream::open_to(
@@ -235,6 +275,7 @@ pub fn run_node(
             Ok(None) => break,
             Err(VmpiError::PeerLost { rank: _ }) => {
                 out.stats.peers_lost += 1;
+                node_metrics().peers_lost.inc();
                 continue;
             }
             Err(VmpiError::Again) => {
@@ -248,12 +289,24 @@ pub fn run_node(
 
         match node_cfg.op {
             ReduceOp::PassThrough => {
-                forward(&mut out.stats, &mut tx, &mut on_root_block, block.data)?;
+                forward(
+                    &mut out.stats,
+                    &fwd_bytes,
+                    &mut tx,
+                    &mut on_root_block,
+                    block.data,
+                )?;
             }
             ReduceOp::Filter { keep_one_in } => {
                 let k = keep_one_in.max(1) as u64;
                 if (out.stats.blocks_in - 1) % k == 0 {
-                    forward(&mut out.stats, &mut tx, &mut on_root_block, block.data)?;
+                    forward(
+                        &mut out.stats,
+                        &fwd_bytes,
+                        &mut tx,
+                        &mut on_root_block,
+                        block.data,
+                    )?;
                 }
             }
             ReduceOp::Aggregate => {
@@ -268,15 +321,35 @@ pub fn run_node(
                                 })
                                 .absorb_pack(&pack, block.data.len());
                             out.stats.merges += 1;
+                            node_metrics().merges.inc();
                             window_fill += 1;
                         }
-                        Err(_) => out.stats.decode_errors += 1,
+                        Err(_) => {
+                            out.stats.decode_errors += 1;
+                            node_metrics().decode_errors.inc();
+                        }
                     }
                 } else {
                     // Inner traffic: framed partial sets from a child node.
                     let fb = frames.entry(block.source).or_default();
+                    if fb.poisoned().is_some() {
+                        // A corrupt frame already poisoned this child's
+                        // reassembly; its stream has no resync point, so
+                        // later blocks are undecodable and counted once at
+                        // poisoning time, not per block.
+                        continue;
+                    }
                     fb.push(&block.data);
-                    while let Some(payload) = fb.next_frame() {
+                    loop {
+                        let payload = match fb.next_frame() {
+                            Ok(Some(p)) => p,
+                            Ok(None) => break,
+                            Err(_) => {
+                                out.stats.decode_errors += 1;
+                                node_metrics().decode_errors.inc();
+                                break;
+                            }
+                        };
                         match decode_partial_set(&payload) {
                             Ok(parts) => {
                                 for p in &parts {
@@ -285,16 +358,21 @@ pub fn run_node(
                                         .or_insert_with(|| Accum::new(p.app_id, node_cfg.waitstate))
                                         .absorb_partial(p);
                                     out.stats.merges += 1;
+                                    node_metrics().merges.inc();
                                 }
                                 window_fill += 1;
                             }
-                            Err(_) => out.stats.decode_errors += 1,
+                            Err(_) => {
+                                out.stats.decode_errors += 1;
+                                node_metrics().decode_errors.inc();
+                            }
                         }
                     }
                 }
                 if window_fill >= node_cfg.window_blocks.max(1) {
                     close_window(
                         &mut out.stats,
+                        &agg_bytes,
                         &mut window,
                         &mut final_accum,
                         &mut tx,
@@ -311,6 +389,7 @@ pub fn run_node(
         if !window.is_empty() {
             close_window(
                 &mut out.stats,
+                &agg_bytes,
                 &mut window,
                 &mut final_accum,
                 &mut tx,
@@ -330,12 +409,14 @@ pub fn run_node(
 /// Forwards one surviving raw block: up the tree, or into the root sink.
 fn forward(
     stats: &mut ReduceStats,
+    fwd_bytes: &opmr_obs::Counter,
     tx: &mut Option<WriteStream>,
     on_root_block: &mut impl FnMut(Bytes),
     data: Bytes,
 ) -> Result<()> {
     stats.blocks_forwarded += 1;
     stats.bytes_out += data.len() as u64;
+    fwd_bytes.add(data.len() as u64);
     match tx {
         Some(tx) => {
             // Write-then-flush keeps the one-pack-per-block invariant at
@@ -352,6 +433,7 @@ fn forward(
 /// or encode + frame + forward to the parent.
 fn close_window(
     stats: &mut ReduceStats,
+    agg_bytes: &opmr_obs::Counter,
     window: &mut BTreeMap<u16, Accum>,
     final_accum: &mut BTreeMap<u16, Accum>,
     tx: &mut Option<WriteStream>,
@@ -360,6 +442,7 @@ fn close_window(
     if window.is_empty() {
         return Ok(());
     }
+    let t0 = Instant::now();
     stats.windows_closed += 1;
     let closed: Vec<ReducePartial> = std::mem::take(window)
         .into_values()
@@ -372,13 +455,18 @@ fn close_window(
                 .or_insert_with(|| Accum::new(p.app_id, false))
                 .absorb_partial(p);
             stats.merges += 1;
+            node_metrics().merges.inc();
         }
     } else if let Some(tx) = tx {
         let framed = frame(&encode_partial_set(&closed));
         stats.blocks_forwarded += 1;
         stats.bytes_out += framed.len() as u64;
+        agg_bytes.add(framed.len() as u64);
         tx.write(&framed)?;
         tx.flush()?;
     }
+    let m = node_metrics();
+    m.windows_closed.inc();
+    m.window_latency.record(t0.elapsed().as_nanos() as u64);
     Ok(())
 }

@@ -244,7 +244,7 @@ mod tests {
         let mut got = Vec::new();
         for chunk in wire.chunks(13) {
             fb.push(chunk);
-            while let Some(payload) = fb.next_frame() {
+            while let Some(payload) = fb.next_frame().unwrap() {
                 got.push(payload);
             }
         }

@@ -193,6 +193,37 @@ impl Injection {
     }
 }
 
+// Registry mirrors of the per-layer fault counters, so chaos runs show up
+// in the self-monitoring snapshot next to the stream/serve metrics.
+mod obs {
+    use opmr_obs::{registry, Counter};
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) struct FaultMetrics {
+        pub drops: Arc<Counter>,
+        pub dups: Arc<Counter>,
+        pub reorders: Arc<Counter>,
+        pub delays: Arc<Counter>,
+        pub slow_hits: Arc<Counter>,
+        pub crashed_sends: Arc<Counter>,
+    }
+
+    pub(super) fn m() -> &'static FaultMetrics {
+        static M: OnceLock<FaultMetrics> = OnceLock::new();
+        M.get_or_init(|| {
+            let r = registry();
+            FaultMetrics {
+                drops: r.counter("fault_drops_total"),
+                dups: r.counter("fault_dups_total"),
+                reorders: r.counter("fault_reorders_total"),
+                delays: r.counter("fault_delays_total"),
+                slow_hits: r.counter("fault_slow_hits_total"),
+                crashed_sends: r.counter("fault_crashed_sends_total"),
+            }
+        })
+    }
+}
+
 // Salts separating the per-kind decision streams.
 const SALT_DROP: u64 = 0x6472_6f70; // "drop"
 const SALT_DUP: u64 = 0x6475_7065; // "dupe"
@@ -296,6 +327,7 @@ impl FaultLayer {
     pub(crate) fn on_send(&self, src: usize, dst: usize, env: Envelope) -> Injection {
         if self.crashed[src].load(Ordering::Relaxed) {
             self.crashed_sends.fetch_add(1, Ordering::Relaxed);
+            obs::m().crashed_sends.inc();
             return Injection {
                 sleep: None,
                 deliver: Vec::new(),
@@ -323,6 +355,8 @@ impl FaultLayer {
             if src == c.rank && count >= c.after_sends {
                 self.crashed[src].store(true, Ordering::Relaxed);
                 self.crashed_sends.fetch_add(1, Ordering::Relaxed);
+                obs::m().crashed_sends.inc();
+                obs::m().crashed_sends.inc();
                 // Any held envelope on this rank's edges dies with it.
                 return Injection {
                     sleep: None,
@@ -335,6 +369,7 @@ impl FaultLayer {
         let mut sleep = None;
         if self.plan.slow_ranks.contains(&src) {
             self.slow_hits.fetch_add(1, Ordering::Relaxed);
+            obs::m().slow_hits.inc();
             sleep = Some(self.plan.slow_delay);
         }
 
@@ -347,6 +382,7 @@ impl FaultLayer {
             // The message never reaches the mailbox; a held envelope stays
             // held (the sender's resend will flush it).
             self.drops.fetch_add(1, Ordering::Relaxed);
+            obs::m().drops.inc();
             return Injection {
                 sleep,
                 deliver: Vec::new(),
@@ -357,10 +393,12 @@ impl FaultLayer {
         let mut deliver = Vec::with_capacity(3);
         if self.hits(self.plan.dup_p, src, dst, seq, SALT_DUP) {
             self.dups.fetch_add(1, Ordering::Relaxed);
+            obs::m().dups.inc();
             deliver.push(env.clone());
             deliver.push(env);
         } else if self.hits(self.plan.reorder_p, src, dst, seq, SALT_REORD) {
             self.reorders.fetch_add(1, Ordering::Relaxed);
+            obs::m().reorders.inc();
             // Hold this message; release whatever was held before it.
             let prev = edge.held.replace(env);
             return Injection {
@@ -371,6 +409,7 @@ impl FaultLayer {
         } else {
             if self.hits(self.plan.delay_p, src, dst, seq, SALT_DELAY) {
                 self.delays.fetch_add(1, Ordering::Relaxed);
+                obs::m().delays.inc();
                 sleep = Some(sleep.unwrap_or_default() + self.plan.delay);
             }
             deliver.push(env);

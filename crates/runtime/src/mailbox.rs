@@ -26,6 +26,31 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+// Mailbox pressure metrics: recorded per delivery under the mailbox lock
+// we already hold, so the extra cost is two relaxed fetch_adds.
+mod obs {
+    use opmr_obs::{registry, Counter, Histogram};
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) struct MailboxMetrics {
+        pub delivered: Arc<Counter>,
+        pub unexpected: Arc<Counter>,
+        pub depth: Arc<Histogram>,
+    }
+
+    pub(super) fn m() -> &'static MailboxMetrics {
+        static M: OnceLock<MailboxMetrics> = OnceLock::new();
+        M.get_or_init(|| {
+            let r = registry();
+            MailboxMetrics {
+                delivered: r.counter("runtime_envelopes_delivered_total"),
+                unexpected: r.counter("runtime_envelopes_unexpected_total"),
+                depth: r.histogram("runtime_mailbox_depth"),
+            }
+        })
+    }
+}
+
 /// Completion flag a rendezvous sender blocks on.
 #[derive(Debug, Default)]
 pub struct SendHandle {
@@ -115,6 +140,9 @@ impl Mailbox {
         if g.shutdown {
             return Err(RtError::Shutdown);
         }
+        let m = obs::m();
+        m.delivered.inc();
+        m.depth.record(g.offers.len() as u64);
         // Posted receives are matched in posting order.
         if let Some(pos) = g
             .posted
@@ -126,6 +154,7 @@ impl Mailbox {
             self.cv.notify_all();
             return Ok(Delivery::Complete);
         }
+        m.unexpected.inc();
         if env.payload.len() <= eager_limit {
             g.offers.push_back(Offer { env, done: None });
             self.cv.notify_all();

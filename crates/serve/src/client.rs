@@ -23,6 +23,10 @@ use opmr_events::frame::{frame, FrameBuf};
 use opmr_vmpi::{DuplexStream, ReadMode, Vmpi, VmpiError};
 use std::collections::VecDeque;
 
+/// Empty `EAGAIN` polls between client keepalives (see
+/// [`ServeClient::fill`]).
+const KEEPALIVE_SPINS: u32 = 8192;
+
 /// The report a subscribed client currently holds.
 pub struct ClientReport {
     /// Server version this report corresponds to.
@@ -84,8 +88,15 @@ impl ServeClient {
     }
 
     /// Reads one block into the frame buffer, spinning past `EAGAIN`.
-    /// Returns false at end of stream.
+    /// Returns false at end of stream. Every `KEEPALIVE_SPINS` empty polls
+    /// a [`Request::Ping`] goes out: the protocol is ping-pong, so while
+    /// we wait the server has no reason to send on either edge, and a
+    /// transport-fault reorder hold (flushed only by the *next* message
+    /// on its edge) would otherwise wedge the session. The ping is small
+    /// enough to pass the fault layer unfaulted and flushes both
+    /// directions — ours directly, the server's via its answer path.
     fn fill(&mut self) -> crate::Result<bool> {
+        let mut spins: u32 = 0;
         loop {
             match self.stream.read(ReadMode::NonBlocking) {
                 Ok(Some(block)) => {
@@ -96,7 +107,14 @@ impl ServeClient {
                     self.eof = true;
                     return Ok(false);
                 }
-                Err(VmpiError::Again) => std::thread::yield_now(),
+                Err(VmpiError::Again) => {
+                    spins += 1;
+                    if spins.is_multiple_of(KEEPALIVE_SPINS) {
+                        self.stream.write(&frame(&Request::Ping.encode()))?;
+                        self.stream.flush()?;
+                    }
+                    std::thread::yield_now();
+                }
                 Err(e) => return Err(e.into()),
             }
         }
@@ -104,7 +122,7 @@ impl ServeClient {
 
     fn next_response(&mut self) -> crate::Result<Option<Response>> {
         loop {
-            if let Some(payload) = self.fb.next_frame() {
+            if let Some(payload) = self.fb.next_frame()? {
                 return Ok(Some(Response::decode(&payload)?));
             }
             if self.eof || !self.fill()? {
@@ -124,6 +142,7 @@ impl ServeClient {
             };
             match rsp {
                 Response::Snapshot { .. } | Response::Delta { .. } => self.pending.push_back(rsp),
+                Response::Ping => {}
                 ref r => {
                     let id = match r {
                         Response::QueryResult { req_id, .. }

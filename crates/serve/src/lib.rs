@@ -56,6 +56,8 @@ pub enum ServeError {
     Vmpi(VmpiError),
     /// Malformed payload (shares the analysis wire error type).
     Wire(opmr_analysis::wire::WireError),
+    /// Corrupt framing on the serve stream (checksum or length failure).
+    Frame(opmr_events::frame::FrameError),
     /// Peer violated the serve protocol.
     Protocol(String),
     /// A query could not be answered; see [`proto::NotFoundReason`].
@@ -67,6 +69,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Vmpi(e) => write!(f, "serve transport failed: {e}"),
             ServeError::Wire(e) => write!(f, "serve payload malformed: {e}"),
+            ServeError::Frame(e) => write!(f, "serve framing corrupt: {e}"),
             ServeError::Protocol(what) => write!(f, "serve protocol violation: {what}"),
             ServeError::NotFound(r) => write!(f, "query not answerable: {r:?}"),
         }
@@ -84,6 +87,12 @@ impl From<VmpiError> for ServeError {
 impl From<opmr_analysis::wire::WireError> for ServeError {
     fn from(e: opmr_analysis::wire::WireError) -> Self {
         ServeError::Wire(e)
+    }
+}
+
+impl From<opmr_events::frame::FrameError> for ServeError {
+    fn from(e: opmr_events::frame::FrameError) -> Self {
+        ServeError::Frame(e)
     }
 }
 

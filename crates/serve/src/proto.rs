@@ -22,12 +22,14 @@ const REQ_VERSION: u8 = 0x02;
 const REQ_SUBSCRIBE: u8 = 0x03;
 const REQ_ACK: u8 = 0x04;
 const REQ_BYE: u8 = 0x05;
+const REQ_PING: u8 = 0x06;
 
 const RSP_QUERY_RESULT: u8 = 0x81;
 const RSP_NOT_FOUND: u8 = 0x82;
 const RSP_VERSION_INFO: u8 = 0x83;
 const RSP_SNAPSHOT: u8 = 0x84;
 const RSP_DELTA: u8 = 0x85;
+const RSP_PING: u8 = 0x86;
 
 /// What a point query asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +103,13 @@ pub enum Request {
     Ack { version: u64 },
     /// Orderly goodbye; the server closes its direction in response.
     Bye,
+    /// Liveness keepalive: no semantic effect, but the frame is small
+    /// enough to pass the transport fault layer unfaulted, so it flushes
+    /// any reorder-held envelope on the client→server edge. Sent while
+    /// the client spins waiting for a response (the serve protocol is
+    /// ping-pong under one credit, so without keepalives a single held
+    /// message would wedge both sides forever).
+    Ping,
 }
 
 /// Server → client messages.
@@ -145,6 +154,10 @@ pub enum Response {
         finished: bool,
         payload: Bytes,
     },
+    /// Server-side keepalive, mirror of [`Request::Ping`]: flushes a
+    /// reorder-held envelope on the server→client edge while the server
+    /// waits for an Ack or has nothing to pump.
+    Ping,
 }
 
 impl Request {
@@ -177,6 +190,7 @@ impl Request {
                 out.put_u64_le(*version);
             }
             Request::Bye => out.put_u8(REQ_BYE),
+            Request::Ping => out.put_u8(REQ_PING),
         }
         out.freeze()
     }
@@ -221,6 +235,7 @@ impl Request {
                 })
             }
             REQ_BYE => Ok(Request::Bye),
+            REQ_PING => Ok(Request::Ping),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -287,6 +302,7 @@ impl Response {
                 out.put_u8(*finished as u8);
                 out.put_slice(payload);
             }
+            Response::Ping => out.put_u8(RSP_PING),
         }
         out.freeze()
     }
@@ -367,6 +383,7 @@ impl Response {
                     payload: buf.slice(buf.len() - view.len()..),
                 })
             }
+            RSP_PING => Ok(Response::Ping),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -408,6 +425,7 @@ mod tests {
             Request::Subscribe,
             Request::Ack { version: 17 },
             Request::Bye,
+            Request::Ping,
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
@@ -446,6 +464,7 @@ mod tests {
                 finished: true,
                 payload: Bytes::from_static(b"sparse"),
             },
+            Response::Ping,
         ] {
             assert_eq!(Response::decode(&rsp.encode()).unwrap(), rsp);
         }

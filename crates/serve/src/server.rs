@@ -28,6 +28,38 @@ use opmr_analysis::AnalysisEngine;
 use opmr_events::frame::{frame, FrameBuf};
 use opmr_vmpi::{DuplexStream, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError};
 
+// Serving-loop metrics: per-subscriber credit level at each scheduling
+// slice, publish-to-deliver lag of every update, and the counters mirrored
+// from [`ServeStats`] that the self-monitor streams back into the engine.
+mod obs {
+    use opmr_obs::{registry, Counter, Histogram};
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) struct ServeMetrics {
+        pub queries: Arc<Counter>,
+        pub deltas_sent: Arc<Counter>,
+        pub snapshots_sent: Arc<Counter>,
+        pub resyncs: Arc<Counter>,
+        pub credits: Arc<Histogram>,
+        pub deliver_lag: Arc<Histogram>,
+    }
+
+    pub(super) fn m() -> &'static ServeMetrics {
+        static M: OnceLock<ServeMetrics> = OnceLock::new();
+        M.get_or_init(|| {
+            let r = registry();
+            ServeMetrics {
+                queries: r.counter("serve_queries_total"),
+                deltas_sent: r.counter("serve_deltas_sent_total"),
+                snapshots_sent: r.counter("serve_snapshots_sent_total"),
+                resyncs: r.counter("serve_resyncs_total"),
+                credits: r.histogram("serve_subscriber_credits"),
+                deliver_lag: r.histogram("serve_publish_to_deliver_lag_ns"),
+            }
+        })
+    }
+}
+
 /// Per-rank serving counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServeStats {
@@ -62,6 +94,9 @@ struct ClientConn {
     stream: Option<DuplexStream>,
     fb: FrameBuf,
     sub: Option<Subscription>,
+    /// Consecutive scheduling slices with no traffic either way; drives
+    /// the server-side keepalive (see [`pump_client`]).
+    idle: u32,
     done: bool,
 }
 
@@ -81,6 +116,15 @@ impl ClientConn {
 /// Bounds how many blocks each source is drained per loop iteration, so
 /// one chatty stream cannot starve the others.
 const DRAIN_BURST: usize = 64;
+
+/// Consecutive idle scheduling slices before the server sends a
+/// [`Response::Ping`] keepalive to a connected client. The serve protocol
+/// is ping-pong under credit flow control, so when the one outstanding
+/// message on an edge is held back by a transport-fault reorder (flushed
+/// only by the *next* message on that edge), neither side would ever send
+/// again; the keepalive is small enough to pass the fault layer unfaulted
+/// and flushes the hold.
+const KEEPALIVE_IDLE: u32 = 8192;
 
 /// Runs one analyzer rank's serving loop until every instrumentation
 /// stream closed, the final snapshot is published and every client said
@@ -115,6 +159,7 @@ pub fn run_server(
                 )?),
                 fb: FrameBuf::new(),
                 sub: None,
+                idle: 0,
                 done: false,
             })
         })
@@ -210,7 +255,19 @@ fn pump_client(
         }
 
         let mut wrote = false;
-        while let Some(payload) = client.fb.next_frame() {
+        loop {
+            let payload = match client.fb.next_frame() {
+                Ok(Some(p)) => p,
+                Ok(None) => break,
+                Err(_) => {
+                    // Corrupt framing: nothing later in this client's byte
+                    // stream can be trusted, so drop the connection.
+                    stats.bad_requests += 1;
+                    lost = true;
+                    bye = true;
+                    break;
+                }
+            };
             progressed = true;
             match Request::decode(&payload) {
                 Ok(Request::Bye) => {
@@ -230,8 +287,19 @@ fn pump_client(
                         sub.credits = (sub.credits + 1).min(cfg.subscriber_credits.max(1));
                     }
                 }
+                Ok(Request::Ping) => {
+                    // Client keepalive: its delivery already flushed any
+                    // reorder-held envelope on the client→server edge.
+                    // Answer with a pong so the server→client edge gets
+                    // flushed too — that is where a held subscription
+                    // update sits when the client starves under one
+                    // credit.
+                    send(stream, &Response::Ping)?;
+                    wrote = true;
+                }
                 Ok(Request::VersionInfo { req_id }) => {
                     stats.queries += 1;
+                    obs::m().queries.inc();
                     let (oldest, current) = store.version_span();
                     let apps = store.current().map_or(0, |e| e.apps);
                     send(
@@ -255,6 +323,7 @@ fn pump_client(
                     rank_hi,
                 }) => {
                     stats.queries += 1;
+                    obs::m().queries.inc();
                     send(
                         stream,
                         &answer_query(store, req_id, kind, app_id, version, rank_lo, rank_hi),
@@ -283,6 +352,7 @@ fn pump_client(
 
         // Subscription pump, gated on credits (slow-consumer policy).
         if let Some(sub) = client.sub.as_mut() {
+            obs::m().credits.record(sub.credits as u64);
             while sub.credits > 0 && !bye {
                 let Some(cur) = store.current() else { break };
                 if sub.synced_to >= cur.version {
@@ -294,6 +364,10 @@ fn pump_client(
                     // snapshot (a *resync* when the subscriber had state).
                     Some(e) if sub.synced_to > 0 && e.delta.is_some() => {
                         stats.deltas_sent += 1;
+                        obs::m().deltas_sent.inc();
+                        obs::m()
+                            .deliver_lag
+                            .record(crate::mono_ns().saturating_sub(e.publish_ns));
                         sub.synced_to = e.version;
                         Response::Delta {
                             version: e.version,
@@ -304,10 +378,15 @@ fn pump_client(
                     }
                     _ => {
                         stats.snapshots_sent += 1;
+                        obs::m().snapshots_sent.inc();
                         let resync = sub.synced_to > 0;
                         if resync {
                             stats.resyncs += 1;
+                            obs::m().resyncs.inc();
                         }
+                        obs::m()
+                            .deliver_lag
+                            .record(crate::mono_ns().saturating_sub(cur.publish_ns));
                         sub.synced_to = cur.version;
                         Response::Snapshot {
                             version: cur.version,
@@ -325,6 +404,16 @@ fn pump_client(
             }
         }
 
+        if progressed || wrote {
+            client.idle = 0;
+        } else {
+            client.idle += 1;
+            if client.idle >= KEEPALIVE_IDLE && !bye {
+                client.idle = 0;
+                send(stream, &Response::Ping)?;
+                wrote = true;
+            }
+        }
         if wrote {
             stream.flush()?;
         }

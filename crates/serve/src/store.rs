@@ -17,6 +17,28 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+// Store publication metrics for the self-monitoring snapshot.
+mod obs {
+    use opmr_obs::{registry, Counter};
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) struct StoreMetrics {
+        pub publishes: Arc<Counter>,
+        pub evictions: Arc<Counter>,
+    }
+
+    pub(super) fn m() -> &'static StoreMetrics {
+        static M: OnceLock<StoreMetrics> = OnceLock::new();
+        M.get_or_init(|| {
+            let r = registry();
+            StoreMetrics {
+                publishes: r.counter("serve_publishes_total"),
+                evictions: r.counter("serve_evictions_total"),
+            }
+        })
+    }
+}
+
 /// One published report version.
 pub struct SnapshotEntry {
     /// Monotonically increasing version, starting at 1.
@@ -102,9 +124,11 @@ impl SnapshotStore {
             delta,
         });
         inner.ring.push_back(Arc::clone(&entry));
+        obs::m().publishes.inc();
         while inner.ring.len() > self.ring_cap {
             inner.ring.pop_front();
             inner.evicted += 1;
+            obs::m().evictions.inc();
         }
         inner.last_parts = parts;
         inner.finished = is_final;

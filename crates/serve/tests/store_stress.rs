@@ -1,0 +1,158 @@
+//! Concurrency stress for the versioned snapshot store: publishers
+//! swapping `current` and evicting ring history while readers clone,
+//! probe and walk delta chains. Seeded and iteration-bounded so failures
+//! reproduce; every invariant below is checked from a reader's view of a
+//! store that is being mutated underneath it.
+
+use opmr_analysis::profiler::MpiProfile;
+use opmr_analysis::topology::Topology;
+use opmr_analysis::wire::{decode_partials, AppPartial};
+use opmr_events::EventKind;
+use opmr_serve::{apply_delta, SnapshotStore};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Self-describing payload: every derived field is a fixed function of
+/// `hits`, so a decoded snapshot can be checked for internal consistency
+/// — a torn publish (fields from two different versions) cannot pass.
+fn parts(hits: u64) -> Vec<AppPartial> {
+    let mut profile = MpiProfile::new();
+    profile.absorb_stats(0, EventKind::Send, hits, hits * 10, hits * 64, 10, 10);
+    vec![AppPartial {
+        app_id: 0,
+        packs: hits,
+        wire_bytes: hits * 48,
+        decode_errors: 0,
+        profile,
+        topology: Topology::new(),
+        waitstate: None,
+    }]
+}
+
+fn check_consistent(encoded: &[u8], ctx: &str) -> u64 {
+    let decoded = decode_partials(encoded).unwrap_or_else(|e| panic!("{ctx}: decode: {e:?}"));
+    assert_eq!(decoded.len(), 1, "{ctx}: app count");
+    let p = &decoded[0];
+    assert_eq!(p.wire_bytes, p.packs * 48, "{ctx}: torn snapshot");
+    let send = p.profile.kind(EventKind::Send).expect("send stats");
+    assert_eq!(send.hits, p.packs, "{ctx}: torn snapshot");
+    assert_eq!(send.bytes, p.packs * 64, "{ctx}: torn snapshot");
+    p.packs
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn concurrent_publish_read_evict() {
+    const RING: usize = 4;
+    const PUBLISHERS: usize = 2;
+    const PUBLISHES_EACH: usize = 400;
+    const READERS: usize = 4;
+
+    let store = Arc::new(SnapshotStore::new(RING, 1));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut workers = Vec::new();
+    for p in 0..PUBLISHERS {
+        let store = Arc::clone(&store);
+        workers.push(std::thread::spawn(move || {
+            let mut rng = 0xA11C_E000 + p as u64;
+            for _ in 0..PUBLISHES_EACH {
+                // The version is assigned under the store's writer mutex;
+                // the payload only needs to be self-consistent.
+                let hits = 1 + splitmix64(&mut rng) % 10_000;
+                let v = store.publish(parts(hits));
+                assert!(v >= 1);
+                if hits.is_multiple_of(7) {
+                    std::thread::yield_now();
+                }
+            }
+        }));
+    }
+
+    let mut readers = Vec::new();
+    for r in 0..READERS {
+        let store = Arc::clone(&store);
+        let done = Arc::clone(&done);
+        readers.push(std::thread::spawn(move || {
+            let mut rng = 0xBEEF_0000 + r as u64;
+            let mut last_seen = 0u64;
+            let mut observations = 0u64;
+            while !done.load(Ordering::Acquire) {
+                // `current` only moves forward, and what it points at is
+                // internally consistent even mid-eviction.
+                if let Some(cur) = store.current() {
+                    assert!(
+                        cur.version >= last_seen,
+                        "current went backwards: {} after {last_seen}",
+                        cur.version
+                    );
+                    last_seen = cur.version;
+                    check_consistent(&cur.encoded, "current");
+                    observations += 1;
+                }
+                // The ring never holds more than its capacity, and `get`
+                // answers exactly the retained span.
+                let (front, back) = store.version_span();
+                if back != 0 {
+                    assert!(back - front < RING as u64, "span {front}..={back}");
+                    let probe = front + splitmix64(&mut rng) % (back - front + 1);
+                    if let Some(e) = store.get(probe) {
+                        assert_eq!(e.version, probe);
+                        check_consistent(&e.encoded, "get");
+                        // Retained deltas chain: applying this entry's
+                        // delta to its predecessor's encoding must land
+                        // byte-identically on this entry. Both entries
+                        // are immutable Arcs, so eviction racing past
+                        // them cannot disturb the check.
+                        if let (Some(prev), Some(delta)) =
+                            (store.get(probe.wrapping_sub(1)), e.delta.as_ref())
+                        {
+                            let mut live = decode_partials(&prev.encoded).unwrap();
+                            let (f, t) = apply_delta(&mut live, delta).unwrap();
+                            assert_eq!((f, t), (probe - 1, probe));
+                            assert_eq!(
+                                opmr_analysis::wire::encode_partials(&live),
+                                e.encoded,
+                                "delta chain broke at {probe}"
+                            );
+                        }
+                    }
+                }
+            }
+            observations
+        }));
+    }
+
+    for w in workers {
+        w.join().expect("publisher");
+    }
+    done.store(true, Ordering::Release);
+    let mut total_observations = 0u64;
+    for r in readers {
+        total_observations += r.join().expect("reader");
+    }
+    assert!(total_observations > 0, "readers never saw a snapshot");
+
+    // Post-run accounting: every publish landed, eviction kept the ring.
+    let stats = store.stats();
+    assert_eq!(stats.published, (PUBLISHERS * PUBLISHES_EACH) as u64);
+    assert_eq!(stats.evicted, stats.published - RING as u64);
+    let (front, back) = store.version_span();
+    assert_eq!(back, stats.published);
+    assert_eq!(back - front + 1, RING as u64);
+
+    // The final publish protocol still closes cleanly under the ring.
+    assert!(store.mark_writer_done());
+    let v = store.publish_final(parts(1));
+    assert_eq!(v, stats.published + 1);
+    assert!(store.finished());
+    assert!(store.current().unwrap().is_final);
+    assert_eq!(store.publish(parts(2)), v, "publish after final must no-op");
+}

@@ -144,6 +144,63 @@ pub fn data_tag_range() -> std::ops::RangeInclusive<i32> {
 }
 
 // ---------------------------------------------------------------------
+// Self-monitoring: process-wide stream metrics. Handles are resolved once
+// through the registry mutex and cached here, so steady-state accounting
+// is a single relaxed fetch_add per site.
+// ---------------------------------------------------------------------
+
+mod obs {
+    use opmr_obs::{registry, Counter, Gauge, Histogram};
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) struct StreamMetrics {
+        pub write_bytes: Arc<Counter>,
+        pub blocks_sent: Arc<Counter>,
+        pub retransmits: Arc<Counter>,
+        pub backpressure_waits: Arc<Counter>,
+        pub closes: Arc<Counter>,
+        pub fins_sent: Arc<Counter>,
+        pub aborts: Arc<Counter>,
+        pub reads: Arc<Counter>,
+        pub eagain: Arc<Counter>,
+        pub read_bytes: Arc<Counter>,
+        pub blocks_read: Arc<Counter>,
+        pub dups_dropped: Arc<Counter>,
+        pub sources_eof: Arc<Counter>,
+        pub peers_lost: Arc<Counter>,
+        pub open_writers: Arc<Gauge>,
+        pub blocks_in_flight: Arc<Gauge>,
+        pub occupancy: Arc<Histogram>,
+    }
+
+    pub(super) fn m() -> &'static StreamMetrics {
+        static M: OnceLock<StreamMetrics> = OnceLock::new();
+        M.get_or_init(|| {
+            let r = registry();
+            StreamMetrics {
+                write_bytes: r.counter("vmpi_stream_write_bytes_total"),
+                blocks_sent: r.counter("vmpi_stream_blocks_sent_total"),
+                retransmits: r.counter("vmpi_stream_retransmits_total"),
+                backpressure_waits: r.counter("vmpi_stream_backpressure_waits_total"),
+                closes: r.counter("vmpi_stream_closes_total"),
+                fins_sent: r.counter("vmpi_stream_fins_sent_total"),
+                aborts: r.counter("vmpi_stream_aborts_total"),
+                reads: r.counter("vmpi_stream_reads_total"),
+                eagain: r.counter("vmpi_stream_eagain_total"),
+                read_bytes: r.counter("vmpi_stream_read_bytes_total"),
+                blocks_read: r.counter("vmpi_stream_blocks_read_total"),
+                dups_dropped: r.counter("vmpi_stream_dups_dropped_total"),
+                sources_eof: r.counter("vmpi_stream_sources_eof_total"),
+                peers_lost: r.counter("vmpi_stream_peers_lost_total"),
+                open_writers: r.gauge("vmpi_stream_open_writers"),
+                blocks_in_flight: r.gauge("vmpi_stream_blocks_in_flight"),
+                occupancy: r.histogram("vmpi_stream_buffer_occupancy"),
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
 // Frame header: [seq: u64 LE][flags: u8], then the block payload.
 // ---------------------------------------------------------------------
 
@@ -244,6 +301,7 @@ impl WriteStream {
         stream_id: u16,
     ) -> Result<Self> {
         assert!(!endpoints.is_empty(), "write stream needs >= 1 endpoint");
+        obs::m().open_writers.inc();
         Ok(WriteStream {
             mpi: vmpi.mpi().clone(),
             universe: vmpi.comm_universe(),
@@ -268,6 +326,7 @@ impl WriteStream {
             return Err(VmpiError::StreamClosed);
         }
         self.bytes_written += data.len() as u64;
+        obs::m().write_bytes.add(data.len() as u64);
         while !data.is_empty() {
             let room = self.cfg.block_size - self.current.len();
             let take = room.min(data.len());
@@ -312,6 +371,7 @@ impl WriteStream {
                 Err(RtError::Dropped { .. }) if attempt < self.cfg.max_retries => {
                     attempt += 1;
                     self.retransmits += 1;
+                    obs::m().retransmits.inc();
                     std::thread::sleep(self.cfg.retry_backoff.saturating_mul(attempt));
                 }
                 Err(RtError::Dropped { .. }) => return Err(VmpiError::Timeout),
@@ -321,20 +381,26 @@ impl WriteStream {
     }
 
     fn push_block(&mut self, block: Bytes) -> Result<()> {
+        // Occupancy of the async buffer window as the producer sees it at
+        // each block boundary (0..=n_async).
+        obs::m().occupancy.record(self.in_flight.len() as u64);
         // Reclaim completed buffers first, then block on the oldest if the
         // window is exhausted (back-pressure point).
         while let Some(front) = self.in_flight.front_mut() {
             if front.is_complete() {
                 self.in_flight.pop_front().expect("front exists").wait()?;
+                obs::m().blocks_in_flight.dec();
             } else {
                 break;
             }
         }
         while self.in_flight.len() >= self.cfg.n_async {
+            obs::m().backpressure_waits.inc();
             self.in_flight
                 .pop_front()
                 .expect("window non-empty")
                 .wait()?;
+            obs::m().blocks_in_flight.dec();
         }
         let epi = self.chooser.pick();
         let seq = self.next_seq[epi];
@@ -343,6 +409,9 @@ impl WriteStream {
         self.next_seq[epi] = seq + 1;
         self.in_flight.push_back(req);
         self.blocks_sent += 1;
+        let m = obs::m();
+        m.blocks_in_flight.inc();
+        m.blocks_sent.inc();
         Ok(())
     }
 
@@ -362,6 +431,8 @@ impl WriteStream {
         // Mark closed before the FIN fan-out: if it fails part-way the
         // stream is poisoned rather than half-closable again from `Drop`.
         self.closed = true;
+        obs::m().closes.inc();
+        obs::m().open_writers.dec();
         for epi in 0..self.endpoints.len() {
             // The FIN frame takes the sequence slot after the last data
             // frame, so a reassembling reader can never see EOF overtake
@@ -375,10 +446,14 @@ impl WriteStream {
                     .mpi
                     .send_ctx(Context::Stream, &self.universe, ep, self.tag, fin.clone())
                 {
-                    Ok(()) => break,
+                    Ok(()) => {
+                        obs::m().fins_sent.inc();
+                        break;
+                    }
                     Err(RtError::Dropped { .. }) if attempt < self.cfg.max_retries => {
                         attempt += 1;
                         self.retransmits += 1;
+                        obs::m().retransmits.inc();
                         std::thread::sleep(self.cfg.retry_backoff.saturating_mul(attempt));
                     }
                     Err(RtError::Dropped { .. }) => return Err(VmpiError::Timeout),
@@ -387,6 +462,7 @@ impl WriteStream {
             }
         }
         for req in self.in_flight.drain(..) {
+            obs::m().blocks_in_flight.dec();
             req.wait()?;
         }
         Ok(())
@@ -399,6 +475,10 @@ impl WriteStream {
     pub fn abort(mut self) {
         self.closed = true;
         self.current.clear();
+        let m = obs::m();
+        m.aborts.inc();
+        m.open_writers.dec();
+        m.blocks_in_flight.add(-(self.in_flight.len() as i64));
         // Dropping the requests abandons their completion handles; any
         // rendezvous blocks still parked are consumed (and de-duplicated)
         // by the reader or reclaimed at job teardown.
@@ -609,10 +689,14 @@ impl ReadStream {
         src.next_seq += 1;
         if flags == FLAG_FIN {
             src.eof = true;
+            obs::m().sources_eof.inc();
             return None;
         }
         self.bytes_read += body.len() as u64;
         self.blocks_read += 1;
+        let m = obs::m();
+        m.read_bytes.add(body.len() as u64);
+        m.blocks_read.inc();
         Some(Block {
             source: src.world,
             data: body,
@@ -655,6 +739,7 @@ impl ReadStream {
                     // Unframed empty payload: legacy EOF marker; stop
                     // reposting, leftover receives are reclaimed at job end.
                     self.sources[idx].eof = true;
+                    obs::m().sources_eof.inc();
                     break;
                 };
                 let src = &mut self.sources[idx];
@@ -662,6 +747,7 @@ impl ReadStream {
                     // Replay of a frame already delivered (duplicate fault
                     // or a resend racing its original): discard.
                     self.dups_dropped += 1;
+                    obs::m().dups_dropped.inc();
                     self.repost(idx)?;
                     continue;
                 }
@@ -676,12 +762,16 @@ impl ReadStream {
                     // EOF marker in sequence: every data frame before it
                     // has been delivered. Stop reposting for this source.
                     self.sources[idx].eof = true;
+                    obs::m().sources_eof.inc();
                     break;
                 }
                 let world = src.world;
                 self.repost(idx)?;
                 self.bytes_read += body.len() as u64;
                 self.blocks_read += 1;
+                let m = obs::m();
+                m.read_bytes.add(body.len() as u64);
+                m.blocks_read.inc();
                 return Ok(Some(Block {
                     source: world,
                     data: body,
@@ -718,6 +808,7 @@ impl ReadStream {
     /// * `Err(VmpiError::PeerLost)` — a writer died without closing; the
     ///   source is marked EOF so later reads drain the surviving writers.
     pub fn read(&mut self, mode: ReadMode) -> Result<Option<Block>> {
+        obs::m().reads.inc();
         let deadline = self.cfg.read_timeout.map(|t| Instant::now() + t);
         let mut spins = 0u32;
         loop {
@@ -731,10 +822,14 @@ impl ReadStream {
                 if let Some(s) = self.sources.iter_mut().find(|s| s.world == rank) {
                     s.eof = true;
                 }
+                obs::m().peers_lost.inc();
                 return Err(VmpiError::PeerLost { rank });
             }
             match mode {
-                ReadMode::NonBlocking => return Err(VmpiError::Again),
+                ReadMode::NonBlocking => {
+                    obs::m().eagain.inc();
+                    return Err(VmpiError::Again);
+                }
                 ReadMode::Blocking => {
                     if let Some(d) = deadline {
                         if Instant::now() >= d {

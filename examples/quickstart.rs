@@ -62,6 +62,10 @@ fn to_json(direct: &SessionOutcome, tbon: &SessionOutcome) -> String {
     out.push_str(&format!("  \"wall_s\": {:.6},\n", direct.wall_s));
     let recorder_events: u64 = direct.recorders.iter().map(|(_, s)| s.events).sum();
     out.push_str(&format!("  \"recorder_events\": {recorder_events},\n"));
+    // The observability registry is process-wide and cumulative, so the
+    // snapshot taken after the second (TBON) run covers both sessions:
+    // stream counters, reduce window latencies, mailbox depths, …
+    out.push_str(&format!("  \"metrics\": {},\n", tbon.metrics.to_json(2)));
     out.push_str("  \"tbon\": {\n");
     out.push_str(&format!(
         "    \"wall_s\": {:.6},\n    \"nodes\": [\n",
@@ -83,7 +87,14 @@ fn to_json(direct: &SessionOutcome, tbon: &SessionOutcome) -> String {
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
-    let outcome = ring_session().run().expect("session");
+    // The first run also carries the self-monitoring app: a hidden
+    // one-rank partition streams the process's own metric registry
+    // through the same VMPI machinery it measures, so the report gains
+    // an `__obs` chapter profiling the profiler.
+    let outcome = ring_session()
+        .self_monitor(std::time::Duration::from_millis(10))
+        .run()
+        .expect("session");
 
     // LiveOptions is used by workload-driven sessions; mention it so the
     // example doubles as documentation.
@@ -119,4 +130,28 @@ fn main() {
             s.blocks_in, s.blocks_forwarded, s.bytes_in, s.bytes_out, s.merges, s.windows_closed
         );
     }
+    println!("---");
+    println!("observability registry (excerpt; full set via --json):");
+    let m = &tbon.metrics;
+    println!(
+        "  stream: {} blocks sent ({} B), {} EAGAIN polls, {} backpressure waits",
+        m.counter("vmpi_stream_blocks_sent_total").unwrap_or(0),
+        m.counter("vmpi_stream_write_bytes_total").unwrap_or(0),
+        m.counter("vmpi_stream_eagain_total").unwrap_or(0),
+        m.counter("vmpi_stream_backpressure_waits_total")
+            .unwrap_or(0),
+    );
+    if let Some(h) = m.histogram("reduce_window_merge_latency_ns") {
+        println!(
+            "  reduce: {} windows closed, merge latency p50 ≤ {} ns, p99 ≤ {} ns",
+            h.count,
+            h.quantile(0.5),
+            h.quantile(0.99),
+        );
+    }
+    println!(
+        "  blackboard: {} entries posted, {} KS invocations",
+        m.counter("blackboard_entries_posted_total").unwrap_or(0),
+        m.counter("blackboard_ks_invocations_total").unwrap_or(0),
+    );
 }

@@ -24,6 +24,7 @@ pub use opmr_core as core;
 pub use opmr_events as events;
 pub use opmr_instrument as instrument;
 pub use opmr_netsim as netsim;
+pub use opmr_obs as obs;
 pub use opmr_reduce as reduce;
 pub use opmr_runtime as runtime;
 pub use opmr_serve as serve;

@@ -193,3 +193,62 @@ fn analyzer_ratio_sweep_preserves_results() {
         }
     }
 }
+
+#[test]
+fn self_monitoring_streams_registry_through_the_pipeline() {
+    // Dogfooding: with self-monitoring enabled, a hidden one-rank app
+    // samples the process-wide observability registry and streams the
+    // samples through the same VMPI stream machinery those metrics
+    // measure, landing in the analysis engine like any other profiled
+    // application.
+    let outcome = Session::builder()
+        .analyzer_ranks(2)
+        .app("ring", 4, |imp| {
+            let w = imp.comm_world();
+            let (r, n) = (imp.rank(), imp.size());
+            for i in 0..20 {
+                let req = imp.isend(&w, (r + 1) % n, i, vec![3u8; 512]).unwrap();
+                imp.recv(&w, Src::Rank((r + n - 1) % n), TagSel::Tag(i))
+                    .unwrap();
+                imp.wait(req).unwrap();
+            }
+            imp.barrier(&w).unwrap();
+        })
+        .self_monitor(std::time::Duration::from_millis(2))
+        .run()
+        .unwrap();
+
+    // The monitor shows up as one more application chapter.
+    assert_eq!(outcome.report.apps.len(), 2);
+    let obs_app = outcome
+        .report
+        .apps
+        .iter()
+        .find(|a| a.name == opmr::core::SELF_MONITOR_APP)
+        .expect("self-monitor chapter");
+    assert_eq!(obs_app.ranks, 1);
+
+    // Its profile is exclusively metric samples (Marker events keyed by
+    // registry id) plus the facade's own Init/Finalize pair.
+    let markers = obs_app.profile.kind(EventKind::Marker).unwrap().hits;
+    assert!(markers > 0, "no metric samples reached the engine");
+    assert_eq!(markers, obs_app.events - 2, "init + finalize + markers");
+
+    // The samples travelled a real stream: the monitor's recorder packed
+    // them onto the wire, and the engine decoded every one of them.
+    let (_, obs_rec) = outcome
+        .recorders
+        .iter()
+        .find(|(n, _)| n == opmr::core::SELF_MONITOR_APP)
+        .expect("self-monitor recorder stats");
+    assert!(obs_rec.packs >= 1);
+    assert!(obs_rec.wire_bytes > 0);
+    assert_eq!(obs_rec.events, obs_app.events, "events lost in flight");
+
+    // And the registry snapshot on the outcome saw the whole session's
+    // stream traffic, the monitor's included.
+    let m = &outcome.metrics;
+    assert!(m.counter("vmpi_stream_blocks_sent_total").unwrap() > 0);
+    assert!(m.counter("vmpi_stream_write_bytes_total").unwrap() > obs_rec.wire_bytes);
+    assert!(m.counter("runtime_envelopes_delivered_total").unwrap() > 0);
+}
