@@ -86,7 +86,9 @@ fn app_markdown(out: &mut String, app: &AppReport) {
     let _ = writeln!(out, "| call | hits | total time | mean | total size |");
     let _ = writeln!(out, "|---|---|---|---|---|");
     for kind in app.profile.kinds() {
-        let s = app.profile.kind(kind).expect("kind listed");
+        let Some(s) = app.profile.kind(kind) else {
+            continue;
+        };
         let _ = writeln!(
             out,
             "| {} | {} | {} | {} | {} |",
@@ -216,7 +218,9 @@ pub fn to_latex(report: &MultiReport) -> String {
         let _ = writeln!(out, "\\begin{{longtable}}{{lrrrr}}");
         let _ = writeln!(out, "call & hits & time & mean & size \\\\ \\hline");
         for kind in app.profile.kinds() {
-            let s = app.profile.kind(kind).expect("kind listed");
+            let Some(s) = app.profile.kind(kind) else {
+                continue;
+            };
             let _ = writeln!(
                 out,
                 "{} & {} & {} & {} & {} \\\\",

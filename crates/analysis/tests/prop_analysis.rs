@@ -1,6 +1,8 @@
 //! Property tests for the analysis aggregates: merges are order-insensitive
 //! and lossless, renderings never panic, wire round-trips are exact.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use bytes::BytesMut;
 use opmr_analysis::wire;
 use opmr_analysis::{DensityMap, MpiProfile, Topology};

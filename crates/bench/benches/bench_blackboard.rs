@@ -1,6 +1,8 @@
 //! Ablation: blackboard job-FIFO striping and worker count — DESIGN.md's
 //! contention ablation ("jobs are randomly pushed in an array of FIFOs").
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench harness code
+
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use opmr_blackboard::{type_id, Blackboard, BlackboardConfig, DataEntry, KnowledgeSource};

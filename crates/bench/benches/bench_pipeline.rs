@@ -1,6 +1,8 @@
 //! End-to-end pipeline benches: full online sessions (instrumentation →
 //! streams → blackboard → report) and the analysis engine in isolation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench harness code
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use opmr_analysis::{AnalysisEngine, EngineConfig};
 use opmr_core::{LiveOptions, Session};

@@ -1,6 +1,8 @@
 //! Ablation: runtime point-to-point cost and the eager/rendezvous
 //! threshold — DESIGN.md's protocol ablation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench harness code
+
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use opmr_runtime::collectives::ops;

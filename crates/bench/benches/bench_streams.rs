@@ -1,6 +1,8 @@
 //! Ablation: VMPI stream throughput vs `NA` (async window), block size and
 //! load-balancing policy — DESIGN.md's stream ablation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench harness code
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use opmr_runtime::Launcher;
 use opmr_vmpi::{Balance, ReadMode, ReadStream, StreamConfig, Vmpi, WriteStream};
@@ -9,7 +11,7 @@ use opmr_vmpi::{Balance, ReadMode, ReadStream, StreamConfig, Vmpi, WriteStream};
 fn ship(total: usize, cfg: StreamConfig) {
     Launcher::new()
         .partition("w", 1, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = WriteStream::open_to(&v, vec![1], cfg, 1).unwrap();
             let chunk = vec![0u8; cfg.block_size];
             let mut left = total;
@@ -21,7 +23,7 @@ fn ship(total: usize, cfg: StreamConfig) {
             st.close().unwrap();
         })
         .partition("r", 1, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = ReadStream::open_from(&v, vec![0], cfg, 1).unwrap();
             while st.read(ReadMode::Blocking).unwrap().is_some() {}
         })
@@ -75,13 +77,13 @@ fn bench_balance_policy(c: &mut Criterion) {
                 let cfg = StreamConfig::new(1 << 18, 3, policy);
                 Launcher::new()
                     .partition("w", 1, move |mpi| {
-                        let v = Vmpi::new(mpi);
+                        let v = Vmpi::new(mpi).unwrap();
                         let mut st = WriteStream::open_to(&v, vec![1, 2, 3], cfg, 1).unwrap();
                         st.write(&vec![0u8; total]).unwrap();
                         st.close().unwrap();
                     })
                     .partition("r", 3, move |mpi| {
-                        let v = Vmpi::new(mpi);
+                        let v = Vmpi::new(mpi).unwrap();
                         let cfg_r = StreamConfig::new(1 << 18, 3, Balance::None);
                         let mut st = ReadStream::open_from(&v, vec![0], cfg_r, 1).unwrap();
                         while st.read(ReadMode::Blocking).unwrap().is_some() {}

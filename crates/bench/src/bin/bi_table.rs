@@ -10,9 +10,9 @@ use opmr_netsim::{simulate, tera100, ToolModel};
 use opmr_workloads::{Benchmark, Class};
 use std::io::Write as _;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = tera100();
-    let dir = out_dir("bi_table");
+    let dir = out_dir("bi_table")?;
     let mut csv = String::from("bench,class,ranks,bi_mbs,volume_gb,elapsed_s\n");
 
     println!("In-text Bi table — SP on the Tera 100 model (online coupling, 1:1)\n");
@@ -35,10 +35,8 @@ fn main() {
         (Class::D, 4096, 10, "volume 333.22 GB"),
     ];
     for (class, ranks, iters, paper) in cases {
-        let w = Benchmark::Sp
-            .build(class, ranks, &m, Some(iters))
-            .expect("SP builds on squares");
-        let r = simulate(&w, &m, &ToolModel::online_coupling(1.0)).expect("simulate");
+        let w = Benchmark::Sp.build(class, ranks, &m, Some(iters))?;
+        let r = simulate(&w, &m, &ToolModel::online_coupling(1.0))?;
         let nominal = Benchmark::Sp.nominal_iters(class) as f64 / iters as f64;
         let volume_gb = r.stats.event_bytes as f64 * nominal / 1e9;
         let bi = r.bi_bps();
@@ -66,8 +64,7 @@ fn main() {
 
     println!("\nBi(C)/Bi(D) ratio must exceed ~5 (paper: 2.37 GB / 335 MB ≈ 7.1).");
     let path = dir.join("bi_table.csv");
-    std::fs::File::create(&path)
-        .and_then(|mut f| f.write_all(csv.as_bytes()))
-        .expect("write bi_table.csv");
+    std::fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes()))?;
     println!("wrote {}", path.display());
+    Ok(())
 }

@@ -19,9 +19,9 @@ const RATIOS: [f64; 10] = [1.0, 2.0, 3.0, 5.0, 10.0, 15.0, 20.0, 25.0, 32.0, 70.
 const WRITERS: [usize; 7] = [64, 128, 256, 512, 1024, 2048, 2560];
 const GB: f64 = 1e9;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = tera100();
-    let dir = out_dir("fig14");
+    let dir = out_dir("fig14")?;
     let mut csv = String::from("writers,ratio,readers,throughput_gbs\n");
 
     println!("Figure 14 — VMPI Stream global throughput (GB/s), Tera 100 model");
@@ -68,7 +68,7 @@ fn main() {
         &[8, 8, 8],
     );
     for (writers, readers) in [(1usize, 1usize), (2, 1), (4, 1), (4, 2), (4, 4)] {
-        let gbs = live_throughput(writers, readers, 64 << 20);
+        let gbs = live_throughput(writers, readers, 64 << 20)?;
         row(
             &[
                 writers.to_string(),
@@ -81,45 +81,52 @@ fn main() {
     }
 
     let path = dir.join("fig14.csv");
-    std::fs::File::create(&path)
-        .and_then(|mut f| f.write_all(csv.as_bytes()))
-        .expect("write fig14.csv");
+    std::fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes()))?;
     println!("\nwrote {}", path.display());
+    Ok(())
 }
 
 /// Runs the Figure 11/12 coupling live and measures end-to-end throughput.
-fn live_throughput(writers: usize, readers: usize, bytes_per_writer: usize) -> f64 {
+fn live_throughput(
+    writers: usize,
+    readers: usize,
+    bytes_per_writer: usize,
+) -> Result<f64, Box<dyn std::error::Error>> {
     let cfg = StreamConfig::new(1 << 20, 3, Balance::RoundRobin);
     let start = std::time::Instant::now();
     Launcher::new()
-        .partition("writers", writers, move |mpi| {
-            let v = Vmpi::new(mpi);
-            let analyzer = v.partition_by_name("Analyzer").expect("analyzer");
+        .partition_try("writers", writers, move |mpi| {
+            let v = Vmpi::new(mpi)?;
+            let analyzer = v
+                .partition_by_name("Analyzer")
+                .ok_or("no Analyzer partition")?;
+            let analyzer_id = analyzer.id;
             let mut map = Map::new();
-            map_partitions(&v, analyzer.id, MapPolicy::RoundRobin, &mut map).unwrap();
-            let mut st = WriteStream::open_map(&v, &map, cfg, 1).unwrap();
+            map_partitions(&v, analyzer_id, MapPolicy::RoundRobin, &mut map)?;
+            let mut st = WriteStream::open_map(&v, &map, cfg, 1)?;
             let block = vec![0u8; 1 << 20];
             for _ in 0..bytes_per_writer >> 20 {
-                st.write(&block).unwrap();
+                st.write(&block)?;
             }
-            st.close().unwrap();
+            st.close()?;
+            Ok(())
         })
-        .partition("Analyzer", readers, move |mpi| {
-            let v = Vmpi::new(mpi);
+        .partition_try("Analyzer", readers, move |mpi| {
+            let v = Vmpi::new(mpi)?;
             let mut map = Map::new();
             for pid in 0..v.partition_count() {
                 if pid != v.partition_id() {
-                    map_partitions(&v, pid, MapPolicy::RoundRobin, &mut map).unwrap();
+                    map_partitions(&v, pid, MapPolicy::RoundRobin, &mut map)?;
                 }
             }
             if map.is_empty() {
-                return;
+                return Ok(());
             }
-            let mut st = ReadStream::open_map(&v, &map, cfg, 1).unwrap();
-            while st.read(ReadMode::Blocking).unwrap().is_some() {}
+            let mut st = ReadStream::open_map(&v, &map, cfg, 1)?;
+            while st.read(ReadMode::Blocking)?.is_some() {}
+            Ok(())
         })
-        .run()
-        .expect("live stream run");
+        .run()?;
     let total = (writers * bytes_per_writer) as f64;
-    total / start.elapsed().as_secs_f64() / GB
+    Ok(total / start.elapsed().as_secs_f64() / GB)
 }

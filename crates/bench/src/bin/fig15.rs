@@ -55,9 +55,9 @@ fn closest_valid(bench: Benchmark, class: Class, target: usize) -> Option<usize>
     }
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = tera100();
-    let dir = out_dir("fig15");
+    let dir = out_dir("fig15")?;
     let mut csv = String::from("bench,class,ranks,t_ref_s,t_online_s,overhead_pct,bi_mbs\n");
 
     println!("Figure 15 — relative overhead (%), online coupling at ratio 1:1, Tera 100 model\n");
@@ -81,8 +81,8 @@ fn main() {
                 cells.push("-".into());
                 continue;
             };
-            let t_ref = simulate(&w, &m, &ToolModel::None).expect("reference run");
-            let t_on = simulate(&w, &m, &ToolModel::online_coupling(1.0)).expect("online run");
+            let t_ref = simulate(&w, &m, &ToolModel::None)?;
+            let t_on = simulate(&w, &m, &ToolModel::online_coupling(1.0))?;
             let overhead = (t_on.elapsed_s - t_ref.elapsed_s) / t_ref.elapsed_s * 100.0;
             cells.push(format!("{overhead:.1}"));
             csv.push_str(&format!(
@@ -101,8 +101,7 @@ fn main() {
     println!("EulerMHD (compute-bound) lowest.");
 
     let path = dir.join("fig15.csv");
-    std::fs::File::create(&path)
-        .and_then(|mut f| f.write_all(csv.as_bytes()))
-        .expect("write fig15.csv");
+    std::fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes()))?;
     println!("wrote {}", path.display());
+    Ok(())
 }

@@ -24,9 +24,9 @@ fn tools() -> Vec<(&'static str, ToolModel)> {
     ]
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = curie();
-    let dir = out_dir("fig16");
+    let dir = out_dir("fig16")?;
     let mut csv = String::from("tool,ranks,t_s,overhead_pct\n");
 
     println!("Figure 16 — relative overhead (%) for SP.D, Curie model\n");
@@ -40,20 +40,16 @@ fn main() {
     // Reference times first.
     let mut t_ref = Vec::new();
     for &ranks in &RANKS {
-        let w = Benchmark::Sp
-            .build(Class::D, ranks, &m, Some(ITERS))
-            .expect("SP.D valid on square counts");
-        let r = simulate(&w, &m, &ToolModel::None).expect("reference");
+        let w = Benchmark::Sp.build(Class::D, ranks, &m, Some(ITERS))?;
+        let r = simulate(&w, &m, &ToolModel::None)?;
         t_ref.push(r.elapsed_s);
     }
 
     for (name, tool) in tools() {
         let mut cells = vec![name.to_string()];
         for (i, &ranks) in RANKS.iter().enumerate() {
-            let w = Benchmark::Sp
-                .build(Class::D, ranks, &m, Some(ITERS))
-                .expect("SP.D builds");
-            let r = simulate(&w, &m, &tool).expect("tool run");
+            let w = Benchmark::Sp.build(Class::D, ranks, &m, Some(ITERS))?;
+            let r = simulate(&w, &m, &tool)?;
             let overhead = (r.elapsed_s - t_ref[i]) / t_ref[i] * 100.0;
             cells.push(format!("{overhead:.1}"));
             csv.push_str(&format!(
@@ -69,10 +65,8 @@ fn main() {
     println!("\nMeasurement data volumes (extrapolated to the full 500 iterations):");
     let nominal = Benchmark::Sp.nominal_iters(Class::D) as f64 / ITERS as f64;
     for &ranks in &[64usize, 4096] {
-        let w = Benchmark::Sp
-            .build(Class::D, ranks, &m, Some(ITERS))
-            .expect("SP.D builds");
-        let online = simulate(&w, &m, &ToolModel::online_coupling(1.0)).expect("online");
+        let w = Benchmark::Sp.build(Class::D, ranks, &m, Some(ITERS))?;
+        let online = simulate(&w, &m, &ToolModel::online_coupling(1.0))?;
         let vol = online.stats.event_bytes as f64 * nominal;
         println!(
             "  {ranks:>5} ranks : {:.2} GB streamed (paper: 0.92 GB @64 → 333 GB @4096)",
@@ -82,8 +76,7 @@ fn main() {
     }
 
     let path = dir.join("fig16.csv");
-    std::fs::File::create(&path)
-        .and_then(|mut f| f.write_all(csv.as_bytes()))
-        .expect("write fig16.csv");
+    std::fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes()))?;
     println!("\nwrote {}", path.display());
+    Ok(())
 }

@@ -14,9 +14,9 @@ use opmr_core::Session;
 use opmr_netsim::tera100;
 use opmr_workloads::{Benchmark, Class};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = tera100();
-    let dir = out_dir("fig17");
+    let dir = out_dir("fig17")?;
 
     let panels: [(&str, Benchmark, Class, usize); 4] = [
         ("cg_d_128", Benchmark::Cg, Class::D, 128),
@@ -27,9 +27,7 @@ fn main() {
 
     println!("Figure 17 — topological module outputs\n");
     for (tag, bench, class, ranks) in panels {
-        let w = bench
-            .build(class, ranks, &m, Some(3))
-            .expect("paper-scale workload");
+        let w = bench.build(class, ranks, &m, Some(3))?;
         let topo = shape::topology_of(&w);
         println!(
             "{:>14} : {} ranks, {} edges, mean degree {:.2}, symmetric(hits)={}",
@@ -42,35 +40,29 @@ fn main() {
         std::fs::write(
             dir.join(format!("{tag}_topology_size.dot")),
             topo.to_dot(tag, WeightKind::Bytes),
-        )
-        .expect("write dot");
+        )?;
         std::fs::write(
             dir.join(format!("{tag}_topology_hits.dot")),
             topo.to_dot(tag, WeightKind::Hits),
-        )
-        .expect("write dot");
+        )?;
         if ranks <= 256 {
             // Figure 17(a): the dense matrix form.
             std::fs::write(
                 dir.join(format!("{tag}_matrix_size.txt")),
                 topo.matrix_text(WeightKind::Bytes),
-            )
-            .expect("write matrix");
+            )?;
         }
     }
 
     // Live validation: run CG on the real online pipeline at thread scale
     // and compare the observed edge set with the static pattern.
     println!("\nLive validation: CG class S on 16 ranks through the full online pipeline");
-    let live_w = Benchmark::Cg
-        .build(Class::S, 16, &m, Some(2))
-        .expect("CG.S @16");
+    let live_w = Benchmark::Cg.build(Class::S, 16, &m, Some(2))?;
     let static_topo = shape::topology_of(&live_w);
     let outcome = Session::builder()
         .analyzer_ranks(2)
         .app_workload("cg", live_w, opmr_core::LiveOptions::default())
-        .run()
-        .expect("live CG session");
+        .run()?;
     let live_topo = &outcome.report.apps[0].topology;
     let mut matching_edges = 0;
     for ((s, d), _w) in static_topo.sorted_edges() {
@@ -88,12 +80,12 @@ fn main() {
     std::fs::write(
         dir.join("cg_s_16_live_topology_size.dot"),
         live_topo.to_dot("cg_live", WeightKind::Bytes),
-    )
-    .expect("write live dot");
+    )?;
 
     println!("\nwrote artifacts under {}", dir.display());
     println!(
         "render with: dot -Tpng {}/cg_d_128_topology_size.dot -o cg.png",
         dir.display()
     );
+    Ok(())
 }

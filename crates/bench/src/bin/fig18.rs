@@ -16,58 +16,54 @@ use opmr_bench::{out_dir, shape};
 use opmr_netsim::{simulate, tera100, ToolModel};
 use opmr_workloads::{Benchmark, Class};
 
-fn dump(dir: &std::path::Path, tag: &str, map: &DensityMap) {
+fn dump(dir: &std::path::Path, tag: &str, map: &DensityMap) -> std::io::Result<()> {
     let s = map.stats();
     println!(
         "{tag:>28} : min {:.4e}  max {:.4e}  mean {:.4e}  cv {:.4}",
         s.min, s.max, s.mean, s.cv
     );
-    std::fs::write(dir.join(format!("{tag}.pgm")), map.to_pgm(6)).expect("write pgm");
+    std::fs::write(dir.join(format!("{tag}.pgm")), map.to_pgm(6))
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = tera100();
-    let dir = out_dir("fig18");
+    let dir = out_dir("fig18")?;
     println!("Figure 18 — density-map module outputs\n");
 
     // Panels (a)/(b): LU.D on 1024 cores, static pattern.
-    let lu = Benchmark::Lu
-        .build(Class::D, 1024, &m, Some(3))
-        .expect("LU.D @1024");
+    let lu = Benchmark::Lu.build(Class::D, 1024, &m, Some(3))?;
     let (hits, bytes) = shape::send_maps(&lu);
     dump(
         &dir,
         "lu_d_1024_send_hits",
         &DensityMap::new("LU.D MPI_Send hits", hits),
-    );
+    )?;
     dump(
         &dir,
         "lu_d_1024_p2p_size",
         &DensityMap::new("LU.D p2p total size", bytes),
-    );
+    )?;
 
     // Panels (c)/(d)/(e): BT.D on 8281 cores — per-rank times from the DES.
     println!("\nsimulating BT.D on 8281 ranks (takes a moment)...");
-    let bt = Benchmark::Bt
-        .build(Class::D, 8281, &m, Some(2))
-        .expect("BT.D @8281");
-    let r = simulate(&bt, &m, &ToolModel::None).expect("BT.D simulation");
+    let bt = Benchmark::Bt.build(Class::D, 8281, &m, Some(2))?;
+    let r = simulate(&bt, &m, &ToolModel::None)?;
     dump(
         &dir,
         "bt_d_8281_coll_time",
         &DensityMap::new("BT.D collective time", r.per_rank_coll_ns.clone()),
-    );
+    )?;
     dump(
         &dir,
         "bt_d_8281_wait_time",
         &DensityMap::new("BT.D p2p wait time", r.per_rank_p2p_ns.clone()),
-    );
+    )?;
     let send_bytes: Vec<f64> = r.per_rank_send_bytes.iter().map(|&b| b as f64).collect();
     dump(
         &dir,
         "bt_d_8281_p2p_size",
         &DensityMap::new("BT.D p2p total size", send_bytes),
-    );
+    )?;
 
     // The paper's reading of panel (e): a small total-size imbalance
     // (blue 660.93 MB vs red 664.87 MB ≈ 0.6 %); report ours.
@@ -82,4 +78,5 @@ fn main() {
     );
 
     println!("\nwrote PGM maps under {}", dir.display());
+    Ok(())
 }

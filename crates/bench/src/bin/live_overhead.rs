@@ -10,7 +10,7 @@ use opmr_bench::row;
 use opmr_core::{LiveOptions, Session, TraceSession};
 use opmr_instrument::InstrumentedMpi;
 use opmr_netsim::tera100;
-use opmr_runtime::Launcher;
+use opmr_runtime::{Launcher, RankError};
 use opmr_vmpi::Vmpi;
 use opmr_workloads::{Benchmark, Class};
 use std::sync::Arc;
@@ -18,71 +18,61 @@ use std::sync::Arc;
 const RANKS: usize = 16;
 const ITERS: u32 = 30;
 
-fn workload() -> opmr_netsim::Workload {
-    Benchmark::Cg
-        .build(Class::S, RANKS, &tera100(), Some(ITERS))
-        .expect("CG.S @16")
+fn workload() -> opmr_workloads::Result<opmr_netsim::Workload> {
+    Benchmark::Cg.build(Class::S, RANKS, &tera100(), Some(ITERS))
 }
 
 /// Uninstrumented reference: run the same op programs on the raw runtime.
-fn reference_run() -> f64 {
-    let w = Arc::new(workload());
+fn reference_run() -> Result<f64, Box<dyn std::error::Error>> {
+    let w = Arc::new(workload()?);
     let t0 = std::time::Instant::now();
     Launcher::new()
-        .partition("ref", RANKS, move |mpi| {
+        .partition_try("ref", RANKS, move |mpi| {
             // Reuse the live driver through an instrumented handle writing
             // to a null-ish trace in tmp, minus the point: we want *no*
             // instrumentation. Run the ops directly instead.
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi)?;
             let w2 = Arc::clone(&w);
-            raw_driver(&v, &w2);
+            raw_driver(&v, &w2)
         })
-        .run()
-        .expect("reference run");
-    t0.elapsed().as_secs_f64()
+        .run()?;
+    Ok(t0.elapsed().as_secs_f64())
 }
 
 /// Minimal op executor without any instrumentation.
-fn raw_driver(v: &Vmpi, w: &opmr_netsim::Workload) {
+fn raw_driver(v: &Vmpi, w: &opmr_netsim::Workload) -> Result<(), RankError> {
     use opmr_netsim::{CollKind, Op, Phase};
     use opmr_runtime::{Src, TagSel};
     let world = v.comm_world();
     let rank = v.rank();
     let first = v.my_partition().first_world_rank;
-    let comms: Vec<Option<opmr_runtime::Comm>> = w
-        .groups
-        .iter()
-        .enumerate()
-        .map(|(gi, g)| {
-            g.contains(&(rank as u32)).then(|| {
-                v.mpi()
-                    .comm_from_world_ranks(
-                        g.iter().map(|&r| first + r as usize).collect(),
-                        0xF0_0000 + gi as u64,
-                    )
-                    .expect("in group")
-            })
-        })
-        .collect();
+    let mut comms: Vec<Option<opmr_runtime::Comm>> = Vec::with_capacity(w.groups.len());
+    for (gi, g) in w.groups.iter().enumerate() {
+        if g.contains(&(rank as u32)) {
+            comms.push(Some(v.mpi().comm_from_world_ranks(
+                g.iter().map(|&r| first + r as usize).collect(),
+                0xF0_0000 + gi as u64,
+            )?));
+        } else {
+            comms.push(None);
+        }
+    }
     let prog = &w.programs[rank];
     let mut phase = Phase::start().normalize(prog);
     while let Some(cur) = phase {
-        match prog.op_at(cur).expect("valid") {
+        let Some(op) = prog.op_at(cur) else { break };
+        match op {
             Op::Compute { .. } | Op::FsWrite { .. } | Op::FsMeta => {}
-            Op::Send { to, bytes } => v
-                .mpi()
-                .send(
-                    &world,
-                    to as usize,
-                    7,
-                    vec![0u8; (bytes as usize).clamp(1, 1 << 20)],
-                )
-                .unwrap(),
+            Op::Send { to, bytes } => v.mpi().send(
+                &world,
+                to as usize,
+                7,
+                vec![0u8; (bytes as usize).clamp(1, 1 << 20)],
+            )?,
             Op::Recv { from } => {
                 v.mpi()
                     .recv(&world, Src::Rank(from as usize), TagSel::Tag(7))
-                    .map(|_| ())
-                    .unwrap();
+                    .map(|_| ())?;
             }
             Op::Exchange { peer, bytes } => {
                 v.mpi()
@@ -94,13 +84,15 @@ fn raw_driver(v: &Vmpi, w: &opmr_netsim::Workload) {
                         Src::Rank(peer as usize),
                         TagSel::Tag(7),
                     )
-                    .map(|_| ())
-                    .unwrap();
+                    .map(|_| ())?;
             }
             Op::Coll { group, kind, bytes } => {
-                let comm = comms[group as usize].as_ref().expect("participant");
+                let comm = comms
+                    .get(group as usize)
+                    .and_then(|c| c.as_ref())
+                    .ok_or("workload op references a group without this rank")?;
                 match kind {
-                    CollKind::Barrier => v.mpi().barrier(comm).unwrap(),
+                    CollKind::Barrier => v.mpi().barrier(comm)?,
                     CollKind::Allreduce | CollKind::Reduce => {
                         let n = ((bytes as usize / 8).clamp(1, 4096)).max(1);
                         v.mpi()
@@ -109,23 +101,22 @@ fn raw_driver(v: &Vmpi, w: &opmr_netsim::Workload) {
                                 &vec![1.0f64; n],
                                 opmr_runtime::collectives::ops::sum,
                             )
-                            .map(|_| ())
-                            .unwrap()
+                            .map(|_| ())?;
                     }
                     _ => {
                         v.mpi()
                             .allgather(comm, bytes::Bytes::from(vec![0u8; 64]))
-                            .map(|_| ())
-                            .unwrap();
+                            .map(|_| ())?;
                     }
                 }
             }
         }
         phase = cur.advance(prog);
     }
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Live overhead comparison — CG.S on {RANKS} ranks, {ITERS} iterations (threads)\n");
 
     // Warm up the allocator/scheduler, then measure each mode three times
@@ -135,34 +126,32 @@ fn main() {
         v[v.len() / 2]
     };
 
-    let t_ref = median((0..3).map(|_| reference_run()).collect());
+    let mut refs = Vec::new();
+    for _ in 0..3 {
+        refs.push(reference_run()?);
+    }
+    let t_ref = median(refs);
 
-    let t_online = median(
-        (0..3)
-            .map(|_| {
-                let outcome = Session::builder()
-                    .analyzer_ranks(RANKS / 4)
-                    .app_workload("cg", workload(), LiveOptions::default())
-                    .run()
-                    .expect("online session");
-                outcome.wall_s
-            })
-            .collect(),
-    );
+    let mut onlines = Vec::new();
+    for _ in 0..3 {
+        let outcome = Session::builder()
+            .analyzer_ranks(RANKS / 4)
+            .app_workload("cg", workload()?, LiveOptions::default())
+            .run()?;
+        onlines.push(outcome.wall_s);
+    }
+    let t_online = median(onlines);
 
     let dir = std::env::temp_dir().join(format!("opmr_live_overhead_{}", std::process::id()));
-    let t_trace = median(
-        (0..3)
-            .map(|_| {
-                let _ = std::fs::remove_dir_all(&dir);
-                let outcome = TraceSession::new(&dir)
-                    .app_workload("cg", workload(), LiveOptions::default())
-                    .run()
-                    .expect("trace session");
-                outcome.wall_s
-            })
-            .collect(),
-    );
+    let mut traces = Vec::new();
+    for _ in 0..3 {
+        let _ = std::fs::remove_dir_all(&dir);
+        let outcome = TraceSession::new(&dir)
+            .app_workload("cg", workload()?, LiveOptions::default())
+            .run()?;
+        traces.push(outcome.wall_s);
+    }
+    let t_trace = median(traces);
     let _ = std::fs::remove_dir_all(&dir);
 
     row(
@@ -188,10 +177,11 @@ fn main() {
 
     // Sanity: an instrumented no-op body still produces Init+Finalize.
     let outcome = Session::builder()
-        .app("noop", 2, |imp: &InstrumentedMpi| {
-            imp.barrier(&imp.comm_world()).unwrap();
+        .app_try("noop", 2, |imp: &InstrumentedMpi| {
+            imp.barrier(&imp.comm_world())?;
+            Ok(())
         })
-        .run()
-        .expect("noop session");
+        .run()?;
     assert_eq!(outcome.report.apps[0].events, 2 * 3);
+    Ok(())
 }

@@ -16,8 +16,9 @@ use opmr_bench::{out_dir, row};
 use opmr_core::session::{Coupling, Session};
 use opmr_serve::{ServeConfig, ServeStats};
 use opmr_vmpi::{Balance, StreamConfig};
+use parking_lot::Mutex;
 use std::io::Write as _;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Scenario {
@@ -57,7 +58,7 @@ fn aggregate(per_rank: &[(usize, ServeStats)]) -> ServeStats {
     total
 }
 
-fn run_scenario(sc: &Scenario) -> Run {
+fn run_scenario(sc: &Scenario) -> Result<Run, Box<dyn std::error::Error>> {
     let rounds = sc.rounds;
     let queries = Arc::new(Mutex::new(0u64));
     let lags = Arc::new(Mutex::new(Vec::<u64>::new()));
@@ -72,47 +73,45 @@ fn run_scenario(sc: &Scenario) -> Run {
         .coupling(Coupling::Serving)
         .serve_config(sc.serve)
         .stream_config(StreamConfig::new(2048, 4, Balance::None))
-        .app("workload", 4, move |imp| {
+        .app_try("workload", 4, move |imp| {
             let w = imp.comm_world();
             let n = imp.size();
             let r = imp.rank();
             for round in 0..rounds {
-                let req = imp.isend(&w, (r + 1) % n, round, vec![7u8; 512]).unwrap();
+                let req = imp.isend(&w, (r + 1) % n, round, vec![7u8; 512])?;
                 imp.recv(
                     &w,
                     opmr_runtime::Src::Rank((r + n - 1) % n),
                     opmr_runtime::TagSel::Tag(round),
-                )
-                .unwrap();
-                imp.wait(req).unwrap();
+                )?;
+                imp.wait(req)?;
                 // Pace the stream so serving happens *during* the run.
-                imp.compute(Duration::from_micros(100)).unwrap();
+                imp.compute(Duration::from_micros(100))?;
             }
-            imp.barrier(&w).unwrap();
+            imp.barrier(&w)?;
+            Ok(())
         })
-        .client("queriers", sc.queriers, move |c| {
-            c.wait_version(1).expect("first publication");
+        .client_try("queriers", sc.queriers, move |c| {
+            c.wait_version(1)?;
             let mut n = 0u64;
             loop {
-                let info = c.version_info().expect("version info");
-                let _ = c.query_profile(0, 0, 0, u32::MAX).expect("profile");
-                let (_, _, _density) = c.query_density(0, 0, 0, u32::MAX).expect("density");
+                let info = c.version_info()?;
+                let _ = c.query_profile(0, 0, 0, u32::MAX)?;
+                let (_, _, _density) = c.query_density(0, 0, 0, u32::MAX)?;
                 n += 3;
                 if info.finished {
                     break;
                 }
             }
-            *q_sink.lock().unwrap() += n;
+            *q_sink.lock() += n;
+            Ok(())
         })
-        .client("subscribers", sc.subscribers, move |c| {
-            c.subscribe().expect("subscribe");
+        .client_try("subscribers", sc.subscribers, move |c| {
+            c.subscribe()?;
             loop {
-                let u = c
-                    .next_update()
-                    .expect("update")
-                    .expect("stream ended before final");
-                l_sink.lock().unwrap().push(u.lag_ns);
-                let mut counts = u_sink.lock().unwrap();
+                let u = c.next_update()?.ok_or("stream ended before final")?;
+                l_sink.lock().push(u.lag_ns);
+                let mut counts = u_sink.lock();
                 counts.0 += 1;
                 counts.1 += u.delta as u64;
                 drop(counts);
@@ -123,15 +122,17 @@ fn run_scenario(sc: &Scenario) -> Run {
                     std::thread::sleep(delay);
                 }
             }
+            Ok(())
         })
-        .run()
-        .expect("serving session");
+        .run()?;
 
-    let store = outcome.snapshot_store.expect("store");
-    let (updates, deltas) = *update_counts.lock().unwrap();
-    let queries = *queries.lock().unwrap();
-    let lags = lags.lock().unwrap().clone();
-    Run {
+    let store = outcome
+        .snapshot_store
+        .ok_or("serving session lost its snapshot store")?;
+    let (updates, deltas) = *update_counts.lock();
+    let queries = *queries.lock();
+    let lags = lags.lock().clone();
+    Ok(Run {
         wall_s: outcome.wall_s,
         queries,
         lags,
@@ -139,7 +140,7 @@ fn run_scenario(sc: &Scenario) -> Run {
         deltas,
         stats: aggregate(&outcome.serve_stats),
         versions: store.stats().published,
-    }
+    })
 }
 
 fn percentile_ms(sorted: &[u64], p: f64) -> f64 {
@@ -150,7 +151,7 @@ fn percentile_ms(sorted: &[u64], p: f64) -> f64 {
     sorted[idx] as f64 / 1e6
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
     let rounds = if quick { 60 } else { 300 };
     let wide = if quick { 2 } else { 4 };
@@ -205,7 +206,7 @@ fn main() {
 
     let mut csv = format!("{}\n", opmr_bench::SERVE_BENCH_CSV_HEADER);
     for sc in &scenarios {
-        let mut run = run_scenario(sc);
+        let mut run = run_scenario(sc)?;
         run.lags.sort_unstable();
         let clients = sc.subscribers + sc.queriers;
         let qps = run.queries as f64 / run.wall_s.max(1e-9);
@@ -243,8 +244,9 @@ fn main() {
         }
     }
 
-    let path = out_dir("serve_bench").join("serve_bench.csv");
-    let mut f = std::fs::File::create(&path).expect("csv file");
-    f.write_all(csv.as_bytes()).expect("csv write");
+    let path = out_dir("serve_bench")?.join("serve_bench.csv");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(csv.as_bytes())?;
     println!("\nwrote {}", path.display());
+    Ok(())
 }

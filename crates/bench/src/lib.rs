@@ -33,11 +33,11 @@ pub const TBON_COMPARE_CSV_HEADER: &str =
     "source,leaves,reduction,tbon_gbs,direct_gbs,internal_nodes";
 
 /// Output directory for figure artifacts (`out/<sub>` under the workspace).
-pub fn out_dir(sub: &str) -> PathBuf {
+pub fn out_dir(sub: &str) -> std::io::Result<PathBuf> {
     let base = std::env::var("OPMR_OUT").unwrap_or_else(|_| "out".to_string());
     let dir = PathBuf::from(base).join(sub);
-    std::fs::create_dir_all(&dir).expect("create output directory");
-    dir
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
 }
 
 /// Prints one aligned table row to stdout.
@@ -111,7 +111,7 @@ pub mod shape {
             let prog = &w.programs[rank];
             let mut phase = Phase::start().normalize(prog);
             while let Some(cur) = phase {
-                if prog.op_at(cur).expect("valid phase").is_comm() {
+                if prog.op_at(cur).is_some_and(|op| op.is_comm()) {
                     total += 1;
                 }
                 phase = cur.advance(prog);
@@ -153,7 +153,7 @@ mod tests {
 
     #[test]
     fn out_dir_creates_directories() {
-        let d = out_dir("test_tmp");
+        let d = out_dir("test_tmp").unwrap();
         assert!(d.exists());
         let _ = std::fs::remove_dir_all(d);
     }

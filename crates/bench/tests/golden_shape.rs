@@ -7,6 +7,8 @@
 //! verify the emitted files actually match the pinned shape — header
 //! first, rectangular rows, numeric columns that parse.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr_bench::{SERVE_BENCH_CSV_HEADER, TBON_COMPARE_CSV_HEADER};
 use std::path::PathBuf;
 use std::process::Command;

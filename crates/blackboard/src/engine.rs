@@ -25,6 +25,8 @@ mod obs {
         pub posted: Arc<Counter>,
         pub dropped: Arc<Counter>,
         pub ks_invocations: Arc<Counter>,
+        pub ks_panics: Arc<Counter>,
+        pub worker_failures: Arc<Counter>,
         pub backlog: Arc<Histogram>,
     }
 
@@ -36,6 +38,8 @@ mod obs {
                 posted: r.counter("blackboard_entries_posted_total"),
                 dropped: r.counter("blackboard_entries_dropped_total"),
                 ks_invocations: r.counter("blackboard_ks_invocations_total"),
+                ks_panics: r.counter("blackboard_ks_panics_total"),
+                worker_failures: r.counter("blackboard_worker_failures_total"),
                 backlog: r.histogram("blackboard_job_backlog"),
             }
         })
@@ -105,6 +109,10 @@ struct Inner {
     stat_dropped: AtomicU64,
     stat_jobs: AtomicU64,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Worker threads currently running their loop. When this is zero
+    /// (never started, all spawns failed, or every worker died), `drain`
+    /// falls back to executing jobs inline so it cannot hang.
+    live_workers: AtomicUsize,
 }
 
 /// The engine handle (cheap to clone; all clones share one board).
@@ -134,6 +142,7 @@ impl Blackboard {
                 stat_dropped: AtomicU64::new(0),
                 stat_jobs: AtomicU64::new(0),
                 workers: Mutex::new(Vec::new()),
+                live_workers: AtomicUsize::new(0),
             }),
         }
     }
@@ -204,15 +213,19 @@ impl Blackboard {
                 let sens = state.ks.sensitivities();
                 let slot_idx = (0..sens.len())
                     .filter(|&i| sens[i] == entry.ty())
-                    .min_by_key(|&i| slots[i].len())
-                    .expect("index guarantees a matching sensitivity");
+                    .min_by_key(|&i| slots[i].len());
+                let Some(slot_idx) = slot_idx else {
+                    // Index and sensitivity list disagree — a registry
+                    // inconsistency. Drop the entry for this KS (counted)
+                    // rather than aborting the engine.
+                    self.inner.stat_dropped.fetch_add(1, Ordering::Relaxed);
+                    obs::m().dropped.inc();
+                    continue;
+                };
                 slots[slot_idx].push_back(entry.clone());
                 if slots.iter().all(|s| !s.is_empty()) {
                     // Last unsatisfied sensitivity filled: build a job.
-                    let entries = slots
-                        .iter_mut()
-                        .map(|s| s.pop_front().expect("checked non-empty"))
-                        .collect();
+                    let entries = slots.iter_mut().filter_map(|s| s.pop_front()).collect();
                     Some(Job {
                         entries,
                         op: state.ks.operation(),
@@ -265,7 +278,16 @@ impl Blackboard {
     }
 
     fn execute(&self, job: Job) {
-        (job.op)(self, &job.entries);
+        // A panicking knowledge source must not take down its worker (and
+        // with it the whole drain protocol): catch, count, move on. The
+        // board's own state is lock-per-operation, so a KS that unwound
+        // mid-operation cannot leave engine structures inconsistent.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (job.op)(self, &job.entries)
+        }));
+        if outcome.is_err() {
+            obs::m().ks_panics.inc();
+        }
         self.inner.stat_jobs.fetch_add(1, Ordering::Relaxed);
         obs::m().ks_invocations.inc();
         if self.inner.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
@@ -274,23 +296,44 @@ impl Blackboard {
         }
     }
 
-    /// Spawns the worker pool (idempotent-ish: call once).
+    /// Spawns the worker pool (idempotent-ish: call once). A worker the OS
+    /// refuses to spawn is counted in `blackboard_worker_failures_total`;
+    /// the engine stays functional with fewer workers, down to zero (in
+    /// which case [`Blackboard::drain`] executes jobs inline).
     pub fn start(&self) {
         let mut workers = self.inner.workers.lock();
         assert!(workers.is_empty(), "workers already started");
         for w in 0..self.inner.config.workers {
             let bb = self.clone();
             let seed = w.wrapping_mul(7919) + 13;
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("bb-worker-{w}"))
-                    .spawn(move || bb.worker_loop(seed))
-                    .expect("spawn blackboard worker"),
-            );
+            self.inner.live_workers.fetch_add(1, Ordering::SeqCst);
+            match std::thread::Builder::new()
+                .name(format!("bb-worker-{w}"))
+                .spawn(move || bb.worker_loop(seed))
+            {
+                Ok(handle) => workers.push(handle),
+                Err(_) => {
+                    self.inner.live_workers.fetch_sub(1, Ordering::SeqCst);
+                    obs::m().worker_failures.inc();
+                }
+            }
         }
     }
 
     fn worker_loop(&self, seed: usize) {
+        // Keep the live count honest even if the loop unwinds, so drain's
+        // inline fallback engages once no worker survives.
+        struct LiveGuard<'a>(&'a AtomicUsize);
+        impl Drop for LiveGuard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let _guard = LiveGuard(&self.inner.live_workers);
+        self.worker_loop_inner(seed)
+    }
+
+    fn worker_loop_inner(&self, seed: usize) {
         let mut sweep = seed;
         let mut idle: u32 = 0;
         loop {
@@ -330,6 +373,12 @@ impl Blackboard {
             if self.inner.outstanding.load(Ordering::SeqCst) == 0 {
                 return;
             }
+            // No live worker (never started, spawns failed, or all died):
+            // execute the backlog on this thread so drain cannot hang.
+            if self.inner.live_workers.load(Ordering::SeqCst) == 0 {
+                self.run_inline();
+                continue;
+            }
             let mut g = self.inner.sleep_lock.lock();
             if self.inner.outstanding.load(Ordering::SeqCst) == 0 {
                 return;
@@ -351,7 +400,11 @@ impl Blackboard {
             std::mem::take(&mut *g)
         };
         for w in workers {
-            w.join().expect("blackboard worker panicked");
+            // A worker that unwound anyway (e.g. allocation failure) is
+            // counted; the engine has already drained so no job is lost.
+            if w.join().is_err() {
+                obs::m().worker_failures.inc();
+            }
         }
     }
 

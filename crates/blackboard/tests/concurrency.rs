@@ -3,6 +3,8 @@
 //! register/remove *themselves* from inside their operation (the paper's
 //! opportunistic-reasoning hook) while multiple workers execute jobs.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr_blackboard::{type_id, Blackboard, BlackboardConfig, DataEntry, KnowledgeSource, KsId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};

@@ -1,6 +1,8 @@
 //! Property tests: the blackboard never loses or double-fires a job, for
 //! arbitrary KS topologies, entry orders and worker counts.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use bytes::Bytes;
 use opmr_blackboard::{type_id, Blackboard, BlackboardConfig, DataEntry, KnowledgeSource};
 use proptest::prelude::*;

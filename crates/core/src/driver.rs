@@ -11,7 +11,7 @@ use bytes::Bytes;
 use opmr_instrument::InstrumentedMpi;
 use opmr_netsim::{CollKind, Op, Phase, Workload};
 use opmr_runtime::{Comm, Src, TagSel};
-use opmr_vmpi::Result;
+use opmr_vmpi::{Result, VmpiError};
 use std::time::Duration;
 
 /// Live-run scaling knobs.
@@ -56,30 +56,25 @@ pub fn run_program(
 
     // Materialize collective groups as communicators (deterministic ids,
     // no communication needed).
-    let comms: Vec<Option<Comm>> = workload
-        .groups
-        .iter()
-        .enumerate()
-        .map(|(gi, members)| {
-            if members.contains(&(rank as u32)) {
-                let world_ranks: Vec<usize> =
-                    members.iter().map(|&r| first_world + r as usize).collect();
-                Some(
-                    imp.vmpi()
-                        .mpi()
-                        .comm_from_world_ranks(world_ranks, 0xC0_0000 + gi as u64)
-                        .expect("rank listed in group"),
-                )
-            } else {
-                None
-            }
-        })
-        .collect();
+    let mut comms: Vec<Option<Comm>> = Vec::with_capacity(workload.groups.len());
+    for (gi, members) in workload.groups.iter().enumerate() {
+        if members.contains(&(rank as u32)) {
+            let world_ranks: Vec<usize> =
+                members.iter().map(|&r| first_world + r as usize).collect();
+            comms.push(Some(
+                imp.vmpi()
+                    .mpi()
+                    .comm_from_world_ranks(world_ranks, 0xC0_0000 + gi as u64)?,
+            ));
+        } else {
+            comms.push(None);
+        }
+    }
 
     let prog = &workload.programs[rank];
     let mut phase = Phase::start().normalize(prog);
     while let Some(cur) = phase {
-        let op = prog.op_at(cur).expect("normalized phase is valid");
+        let Some(op) = prog.op_at(cur) else { break };
         execute_op(imp, &world, &comms, rank, op, opts)?;
         phase = cur.advance(prog);
     }
@@ -129,13 +124,14 @@ fn execute_op(
             Ok(())
         }
         Op::Coll { group, kind, bytes } => {
-            let comm = comms
-                .get(group as usize)
-                .and_then(|c| c.as_ref())
-                .expect("rank participates in its program's groups");
+            let comm = comms.get(group as usize).and_then(|c| c.as_ref()).ok_or(
+                VmpiError::InvalidConfig("workload op references a group without this rank"),
+            )?;
             let local = comm
                 .local_of_world(imp.vmpi().my_partition().first_world_rank + rank)
-                .expect("rank in group comm");
+                .ok_or(VmpiError::InvalidConfig(
+                    "rank missing from its group communicator",
+                ))?;
             match kind {
                 CollKind::Barrier => imp.barrier(comm),
                 CollKind::Bcast => {

@@ -13,7 +13,7 @@ use opmr_analysis::{AnalysisEngine, EngineConfig, MultiReport};
 use opmr_instrument::{InstrumentedMpi, RecorderStats};
 use opmr_netsim::Workload;
 use opmr_reduce::{run_node, NodeConfig, ReduceOp, ReduceStats, Tree};
-use opmr_runtime::{Launcher, Mpi};
+use opmr_runtime::{Launcher, Mpi, RankError};
 use opmr_serve::{run_server, ServeClient, ServeConfig, ServeStats, SnapshotStore};
 use opmr_vmpi::map::{map_partitions, map_partitions_directed};
 use opmr_vmpi::{Map, MapPolicy, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError};
@@ -67,8 +67,8 @@ impl std::fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
-type AppBody = Arc<dyn Fn(&InstrumentedMpi) + Send + Sync + 'static>;
-type ClientBody = Arc<dyn Fn(&mut ServeClient) + Send + Sync + 'static>;
+type AppBody = Arc<dyn Fn(&InstrumentedMpi) -> Result<(), RankError> + Send + Sync + 'static>;
+type ClientBody = Arc<dyn Fn(&mut ServeClient) -> Result<(), RankError> + Send + Sync + 'static>;
 type EngineSetup = Box<dyn FnOnce(&AnalysisEngine) + Send>;
 
 struct AppSpec {
@@ -263,9 +263,23 @@ impl SessionBuilder {
     }
 
     /// Adds an instrumented application with a custom body.
-    pub fn app<F>(mut self, name: &str, ranks: usize, body: F) -> Self
+    pub fn app<F>(self, name: &str, ranks: usize, body: F) -> Self
     where
         F: Fn(&InstrumentedMpi) + Send + Sync + 'static,
+    {
+        self.app_try(name, ranks, move |imp| {
+            body(imp);
+            Ok(())
+        })
+    }
+
+    /// Adds an instrumented application whose body may fail with a typed
+    /// error. A returned `Err` tears the job down exactly like a rank
+    /// panic, but is reported as [`opmr_runtime::FailureKind::Errored`]
+    /// with the error's message.
+    pub fn app_try<F>(mut self, name: &str, ranks: usize, body: F) -> Self
+    where
+        F: Fn(&InstrumentedMpi) -> Result<(), RankError> + Send + Sync + 'static,
     {
         assert!(ranks > 0, "application needs at least one rank");
         self.apps.push(AppSpec {
@@ -279,9 +293,21 @@ impl SessionBuilder {
     /// Adds a client partition (requires [`Coupling::Serving`]): each rank
     /// is mapped onto a serving analyzer rank, connected, handed to `body`
     /// and disconnected afterwards.
-    pub fn client<F>(mut self, name: &str, ranks: usize, body: F) -> Self
+    pub fn client<F>(self, name: &str, ranks: usize, body: F) -> Self
     where
         F: Fn(&mut ServeClient) + Send + Sync + 'static,
+    {
+        self.client_try(name, ranks, move |client| {
+            body(client);
+            Ok(())
+        })
+    }
+
+    /// Adds a client partition whose body may fail with a typed error
+    /// (the fallible counterpart of [`SessionBuilder::client`]).
+    pub fn client_try<F>(mut self, name: &str, ranks: usize, body: F) -> Self
+    where
+        F: Fn(&mut ServeClient) -> Result<(), RankError> + Send + Sync + 'static,
     {
         assert!(ranks > 0, "client partition needs at least one rank");
         self.clients.push(ClientSpec {
@@ -316,8 +342,9 @@ impl SessionBuilder {
     pub fn app_workload(self, name: &str, workload: Workload, opts: LiveOptions) -> Self {
         let ranks = workload.ranks();
         let workload = Arc::new(workload);
-        self.app(name, ranks, move |imp| {
-            run_program(imp, &workload, imp.rank(), &opts).expect("workload body");
+        self.app_try(name, ranks, move |imp| {
+            run_program(imp, &workload, imp.rank(), &opts)?;
+            Ok(())
         })
     }
 
@@ -357,8 +384,11 @@ impl SessionBuilder {
                 let inner = Arc::clone(&spec.body);
                 let live = Arc::clone(&live);
                 spec.body = Arc::new(move |imp| {
-                    inner(imp);
+                    let result = inner(imp);
+                    // Decrement even on error so the monitor never waits on
+                    // a rank that will not finish.
                     live.fetch_sub(1, Ordering::SeqCst);
+                    result
                 });
             }
             self.apps.push(AppSpec {
@@ -420,7 +450,11 @@ impl SessionBuilder {
         // at every window boundary; the serving loops read it from there.
         let store = if matches!(coupling, Coupling::Serving) {
             let store = Arc::new(SnapshotStore::new(serve_cfg.ring, analyzer_ranks));
-            let engine = engine.as_ref().expect("serving uses the shared engine");
+            let Some(engine) = engine.as_ref() else {
+                return Err(SessionError::Config(
+                    "serving requires the shared engine".into(),
+                ));
+            };
             let publish_to = Arc::clone(&store);
             engine.attach_snapshot_publisher(
                 serve_cfg.publish_every_packs,
@@ -442,7 +476,7 @@ impl SessionBuilder {
             let body = spec.body;
             let name = spec.name.clone();
             let recs = Arc::clone(&recorders);
-            launcher = launcher.partition(&spec.name, spec.ranks, move |mpi: Mpi| {
+            launcher = launcher.partition_try(&spec.name, spec.ranks, move |mpi: Mpi| {
                 let imp = match coupling {
                     // Serving keeps the paper's direct writer mapping; only
                     // the analyzer side grows the serve plane.
@@ -462,11 +496,11 @@ impl SessionBuilder {
                             app_id as u16,
                         )
                     }
-                }
-                .expect("instrumented init");
-                body(&imp);
-                let stats = imp.finalize().expect("instrumented finalize");
+                }?;
+                body(&imp)?;
+                let stats = imp.finalize()?;
                 recs.lock().push((name.clone(), stats));
+                Ok(())
             });
         }
         let engine_for_analyzer = engine.clone();
@@ -475,50 +509,51 @@ impl SessionBuilder {
         let stats_for_analyzer = Arc::clone(&reduce_stats);
         let store_for_analyzer = store.clone();
         let serve_stats_sink = Arc::clone(&serve_stats);
-        launcher = launcher.partition("Analyzer", analyzer_ranks, move |mpi: Mpi| match coupling {
-            Coupling::Direct => match &engine_for_analyzer {
-                Some(engine) => analyzer_rank(mpi, engine, stream_cfg),
-                None => distributed_analyzer_rank(
+        launcher =
+            launcher.partition_try("Analyzer", analyzer_ranks, move |mpi: Mpi| match coupling {
+                Coupling::Direct => match &engine_for_analyzer {
+                    Some(engine) => analyzer_rank(mpi, engine, stream_cfg),
+                    None => distributed_analyzer_rank(
+                        mpi,
+                        stream_cfg,
+                        engine_cfg,
+                        waitstate,
+                        &names_for_analyzer,
+                        &slot_for_analyzer,
+                    ),
+                },
+                Coupling::Tbon { fanout } => tbon_analyzer_rank(
                     mpi,
+                    fanout,
+                    &node_cfg,
+                    engine_for_analyzer.as_ref(),
                     stream_cfg,
-                    engine_cfg,
-                    waitstate,
                     &names_for_analyzer,
                     &slot_for_analyzer,
+                    &stats_for_analyzer,
                 ),
-            },
-            Coupling::Tbon { fanout } => tbon_analyzer_rank(
-                mpi,
-                fanout,
-                &node_cfg,
-                engine_for_analyzer.as_ref(),
-                stream_cfg,
-                &names_for_analyzer,
-                &slot_for_analyzer,
-                &stats_for_analyzer,
-            ),
-            Coupling::Serving => serving_analyzer_rank(
-                mpi,
-                engine_for_analyzer
-                    .as_ref()
-                    .expect("serving uses the shared engine"),
-                store_for_analyzer
-                    .as_ref()
-                    .expect("serving builds the store before launch"),
-                stream_cfg,
-                &serve_cfg,
-                n_apps,
-                &serve_stats_sink,
-            ),
-        });
+                Coupling::Serving => serving_analyzer_rank(
+                    mpi,
+                    engine_for_analyzer
+                        .as_ref()
+                        .ok_or("serving requires the shared engine")?,
+                    store_for_analyzer
+                        .as_ref()
+                        .ok_or("serving builds the store before launch")?,
+                    stream_cfg,
+                    &serve_cfg,
+                    n_apps,
+                    &serve_stats_sink,
+                ),
+            });
         // Client partitions launch after the analyzer so their world ranks
         // sit above every serving rank (the duplex-stream parity the serve
         // protocol relies on).
         let analyzer_pid = n_apps;
         for spec in std::mem::take(&mut self.clients) {
             let body = spec.body;
-            launcher = launcher.partition(&spec.name, spec.ranks, move |mpi: Mpi| {
-                let v = Vmpi::new(mpi);
+            launcher = launcher.partition_try(&spec.name, spec.ranks, move |mpi: Mpi| {
+                let v = Vmpi::new(mpi)?;
                 let mut map = Map::new();
                 map_partitions_directed(
                     &v,
@@ -526,12 +561,16 @@ impl SessionBuilder {
                     analyzer_pid,
                     MapPolicy::RoundRobin,
                     &mut map,
-                )
-                .expect("client mapping");
-                let mut client =
-                    ServeClient::connect(&v, map.peers()[0], &serve_cfg).expect("serve connect");
-                body(&mut client);
-                client.close().expect("serve close");
+                )?;
+                let server = map
+                    .peers()
+                    .first()
+                    .copied()
+                    .ok_or("client mapping produced no serving peer")?;
+                let mut client = ServeClient::connect(&v, server, &serve_cfg)?;
+                body(&mut client)?;
+                client.close()?;
+                Ok(())
             });
         }
 
@@ -574,34 +613,38 @@ impl SessionBuilder {
 /// repeat until every user application rank has finished, then take one
 /// closing sample so final totals reach the engine before the stream
 /// closes.
-fn self_monitor_body(imp: &InstrumentedMpi, interval: Duration, live: &AtomicUsize) {
+fn self_monitor_body(
+    imp: &InstrumentedMpi,
+    interval: Duration,
+    live: &AtomicUsize,
+) -> Result<(), RankError> {
     let mut seq = 0u64;
     loop {
-        emit_metrics_sample(imp, seq);
+        emit_metrics_sample(imp, seq)?;
         seq += 1;
         if live.load(Ordering::SeqCst) == 0 {
             break;
         }
         std::thread::sleep(interval);
     }
-    emit_metrics_sample(imp, seq);
+    emit_metrics_sample(imp, seq)
 }
 
 /// One registry sample: a Marker event per metric, tag = registry id.
 /// Counters and gauges carry the value in `bytes` and the sample sequence
 /// number in `duration_ns`; histograms carry observation count and sum.
-fn emit_metrics_sample(imp: &InstrumentedMpi, seq: u64) {
+fn emit_metrics_sample(imp: &InstrumentedMpi, seq: u64) -> Result<(), RankError> {
     let snap = opmr_obs::registry().snapshot();
     for c in &snap.counters {
-        imp.metric(c.id, c.value, seq).expect("self-monitor emit");
+        imp.metric(c.id, c.value, seq)?;
     }
     for g in &snap.gauges {
-        imp.metric(g.id, g.value as u64, seq)
-            .expect("self-monitor emit");
+        imp.metric(g.id, g.value as u64, seq)?;
     }
     for h in &snap.histograms {
-        imp.metric(h.id, h.count, h.sum).expect("self-monitor emit");
+        imp.metric(h.id, h.count, h.sum)?;
     }
+    Ok(())
 }
 
 /// TBON analyzer rank: run one reduction-tree node over this rank's share
@@ -618,8 +661,8 @@ fn tbon_analyzer_rank(
     names: &std::collections::HashMap<u16, String>,
     slot: &Mutex<Option<MultiReport>>,
     stats_sink: &Mutex<Vec<(usize, ReduceStats)>>,
-) {
-    let v = Vmpi::new(mpi);
+) -> Result<(), RankError> {
+    let v = Vmpi::new(mpi)?;
     let tree = Tree::new(fanout, v.size());
     // Additively adopt every application's leaves (Figure 10), with the
     // tree partition mastering each mapping so frontier nodes get their
@@ -627,16 +670,14 @@ fn tbon_analyzer_rank(
     let mut map = Map::new();
     for pid in 0..v.partition_count() {
         if pid != v.partition_id() {
-            map_partitions_directed(&v, pid, v.partition_id(), tree.leaf_policy(), &mut map)
-                .expect("overlay mapping");
+            map_partitions_directed(&v, pid, v.partition_id(), tree.leaf_policy(), &mut map)?;
         }
     }
     let outcome = run_node(&v, &tree, map.peers(), stream_cfg, 0, node_cfg, |block| {
         if let Some(engine) = engine {
             engine.post_block(block);
         }
-    })
-    .expect("reduction node");
+    })?;
     if v.rank() == 0 && matches!(node_cfg.op, ReduceOp::Aggregate) {
         let sets = vec![outcome
             .partials
@@ -646,6 +687,7 @@ fn tbon_analyzer_rank(
         *slot.lock() = Some(MultiReport::from_partials(sets, names));
     }
     stats_sink.lock().push((v.rank(), outcome.stats));
+    Ok(())
 }
 
 /// Distributed-analysis analyzer rank (Section VI): local engine per rank,
@@ -657,33 +699,31 @@ fn distributed_analyzer_rank(
     waitstate: bool,
     names: &std::collections::HashMap<u16, String>,
     slot: &Mutex<Option<MultiReport>>,
-) {
+) -> Result<(), RankError> {
     let engine = AnalysisEngine::new(engine_cfg);
     if waitstate {
         engine.enable_waitstate();
     }
     engine.start();
     // Drain this rank's share of the streams into the local engine.
-    analyzer_rank(mpi.clone(), &engine, stream_cfg);
+    analyzer_rank(mpi.clone(), &engine, stream_cfg)?;
     let local = engine.finish();
     let partials = local.to_partials();
     let encoded = opmr_analysis::wire::encode_partials(&partials);
 
     // Gather every analyzer rank's partials at the analyzer-partition root.
-    let v = Vmpi::new(mpi);
+    let v = Vmpi::new(mpi)?;
     let analyzer_world = v.comm_world();
-    let gathered = v
-        .mpi()
-        .gather(&analyzer_world, 0, encoded)
-        .expect("partial gather");
+    let gathered = v.mpi().gather(&analyzer_world, 0, encoded)?;
     if let Some(parts) = gathered {
-        let sets: Vec<Vec<opmr_analysis::wire::AppPartial>> = parts
-            .iter()
-            .map(|p| opmr_analysis::wire::decode_partials(p).expect("partials decode"))
-            .collect();
+        let mut sets: Vec<Vec<opmr_analysis::wire::AppPartial>> = Vec::with_capacity(parts.len());
+        for p in &parts {
+            sets.push(opmr_analysis::wire::decode_partials(p)?);
+        }
         let merged = MultiReport::from_partials(sets, names);
         *slot.lock() = Some(merged);
     }
+    Ok(())
 }
 
 /// Serving analyzer rank: the paper's direct mapping for the application
@@ -699,11 +739,11 @@ fn serving_analyzer_rank(
     serve_cfg: &ServeConfig,
     n_apps: usize,
     stats_sink: &Mutex<Vec<(usize, ServeStats)>>,
-) {
-    let v = Vmpi::new(mpi);
+) -> Result<(), RankError> {
+    let v = Vmpi::new(mpi)?;
     let mut app_map = Map::new();
     for pid in 0..n_apps {
-        map_partitions(&v, pid, MapPolicy::RoundRobin, &mut app_map).expect("analyzer mapping");
+        map_partitions(&v, pid, MapPolicy::RoundRobin, &mut app_map)?;
     }
     // The analyzer masters the client mappings so every client rank gets
     // assigned exactly one serving rank, spread round-robin.
@@ -715,8 +755,7 @@ fn serving_analyzer_rank(
             v.partition_id(),
             MapPolicy::RoundRobin,
             &mut client_map,
-        )
-        .expect("client mapping");
+        )?;
     }
     let stats = run_server(
         &v,
@@ -726,33 +765,38 @@ fn serving_analyzer_rank(
         client_map.peers(),
         stream_cfg,
         serve_cfg,
-    )
-    .expect("serving loop");
+    )?;
     stats_sink.lock().push((v.rank(), stats));
+    Ok(())
 }
 
 /// Analyzer-rank body: additively map every application partition
 /// (Figure 10), then drain blocks into the engine until all writers close.
-fn analyzer_rank(mpi: Mpi, engine: &AnalysisEngine, stream_cfg: StreamConfig) {
-    let v = Vmpi::new(mpi);
+fn analyzer_rank(
+    mpi: Mpi,
+    engine: &AnalysisEngine,
+    stream_cfg: StreamConfig,
+) -> Result<(), RankError> {
+    let v = Vmpi::new(mpi)?;
     let mut map = Map::new();
     for pid in 0..v.partition_count() {
         if pid != v.partition_id() {
-            map_partitions(&v, pid, MapPolicy::RoundRobin, &mut map).expect("analyzer mapping");
+            map_partitions(&v, pid, MapPolicy::RoundRobin, &mut map)?;
         }
     }
     if map.is_empty() {
-        return;
+        return Ok(());
     }
-    let mut stream = ReadStream::open_map(&v, &map, stream_cfg, 0).expect("analyzer read stream");
+    let mut stream = ReadStream::open_map(&v, &map, stream_cfg, 0)?;
     loop {
         match stream.read(ReadMode::NonBlocking) {
             Ok(Some(block)) => engine.post_block(block.data),
             Ok(None) => break,
             Err(VmpiError::Again) => std::thread::yield_now(),
-            Err(e) => panic!("analyzer stream failed: {e}"),
+            Err(e) => return Err(e.into()),
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use crate::session::SessionError;
 use opmr_analysis::{AnalysisEngine, EngineConfig, MultiReport};
 use opmr_instrument::{read_sion, read_trace_file, InstrumentedMpi, RecorderStats, SionFile};
 use opmr_netsim::Workload;
-use opmr_runtime::{Launcher, Mpi};
+use opmr_runtime::{Launcher, Mpi, RankError};
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -54,7 +54,7 @@ pub fn analyze_sion_dir(dir: &Path, cfg: EngineConfig) -> std::io::Result<MultiR
     Ok(engine.finish())
 }
 
-type AppBody = Arc<dyn Fn(&InstrumentedMpi) + Send + Sync + 'static>;
+type AppBody = Arc<dyn Fn(&InstrumentedMpi) -> Result<(), RankError> + Send + Sync + 'static>;
 
 struct AppSpec {
     name: String,
@@ -119,18 +119,27 @@ impl TraceSession {
         self.apps.push(AppSpec {
             name: name.to_string(),
             ranks,
-            body: Arc::new(body),
+            body: Arc::new(move |imp| {
+                body(imp);
+                Ok(())
+            }),
         });
         self
     }
 
     /// Adds an application running a generated workload.
-    pub fn app_workload(self, name: &str, workload: Workload, opts: LiveOptions) -> Self {
+    pub fn app_workload(mut self, name: &str, workload: Workload, opts: LiveOptions) -> Self {
         let ranks = workload.ranks();
         let workload = Arc::new(workload);
-        self.app(name, ranks, move |imp| {
-            run_program(imp, &workload, imp.rank(), &opts).expect("workload body");
-        })
+        self.apps.push(AppSpec {
+            name: name.to_string(),
+            ranks,
+            body: Arc::new(move |imp| {
+                run_program(imp, &workload, imp.rank(), &opts)?;
+                Ok(())
+            }),
+        });
+        self
     }
 
     /// Runs instrumentation to trace files, then the post-mortem analysis.
@@ -162,18 +171,17 @@ impl TraceSession {
             } else {
                 None
             };
-            launcher = launcher.partition(&spec.name, spec.ranks, move |mpi: Mpi| {
+            launcher = launcher.partition_try(&spec.name, spec.ranks, move |mpi: Mpi| {
                 let imp = match &container {
                     Some(c) => {
-                        InstrumentedMpi::init_sion(mpi, c.clone(), app_id as u16, block_size)
-                            .expect("sion init")
+                        InstrumentedMpi::init_sion(mpi, c.clone(), app_id as u16, block_size)?
                     }
-                    None => InstrumentedMpi::init_trace(mpi, &dir, app_id as u16, block_size)
-                        .expect("trace init"),
+                    None => InstrumentedMpi::init_trace(mpi, &dir, app_id as u16, block_size)?,
                 };
-                body(&imp);
-                let stats = imp.finalize().expect("trace finalize");
+                body(&imp)?;
+                let stats = imp.finalize()?;
                 recs.lock().push((name.clone(), stats));
+                Ok(())
             });
         }
         let t0 = std::time::Instant::now();

@@ -42,6 +42,9 @@ pub enum FrameError {
     Oversize { len: u64, max: usize },
     /// The payload failed its checksum.
     Corrupt { expected: u32, found: u32 },
+    /// A payload handed to [`try_frame`] is too large to ever be read
+    /// back (it would exceed [`MAX_FRAME_LEN`] on the wire).
+    TooLarge { len: usize, max: usize },
 }
 
 impl std::fmt::Display for FrameError {
@@ -55,6 +58,9 @@ impl std::fmt::Display for FrameError {
                     f,
                     "frame checksum mismatch: expected {expected:#010x}, found {found:#010x}"
                 )
+            }
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds maximum {max}")
             }
         }
     }
@@ -77,19 +83,34 @@ pub fn fnv1a32(data: &[u8]) -> u32 {
 /// Length-prefixes and checksums a payload for transport over a byte
 /// stream whose block boundaries the encoding cannot rely on.
 ///
-/// Panics if the payload exceeds [`MAX_FRAME_LEN`] — producing an
-/// unreadable frame is a programming error, not a runtime condition.
-pub fn frame(payload: &[u8]) -> Bytes {
-    assert!(
-        payload.len() <= MAX_FRAME_LEN,
-        "frame payload of {} bytes exceeds MAX_FRAME_LEN",
-        payload.len()
-    );
+/// Returns [`FrameError::TooLarge`] when the payload exceeds
+/// [`MAX_FRAME_LEN`] — a frame that big could never be read back. Use
+/// this variant whenever the payload size is data-driven (merged partial
+/// sets, snapshot responses).
+pub fn try_frame(payload: &[u8]) -> Result<Bytes, FrameError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge {
+            len: payload.len(),
+            max: MAX_FRAME_LEN,
+        });
+    }
     let mut out = BytesMut::with_capacity(HDR + payload.len());
     out.put_u32_le(payload.len() as u32);
     out.put_u32_le(fnv1a32(payload));
     out.put_slice(payload);
-    out.freeze()
+    Ok(out.freeze())
+}
+
+/// Infallible framing for payloads whose size the caller bounds itself.
+///
+/// Panics if the payload exceeds [`MAX_FRAME_LEN`] — producing an
+/// unreadable frame is a programming error, not a runtime condition.
+/// Prefer [`try_frame`] wherever the payload size is data-driven.
+pub fn frame(payload: &[u8]) -> Bytes {
+    match try_frame(payload) {
+        Ok(b) => b,
+        Err(e) => panic!("{e}"), // PANIC-OK: documented contract — caller bounds the size
+    }
 }
 
 /// Per-source reassembly buffer for [`frame`]d records.
@@ -120,21 +141,24 @@ impl FrameBuf {
         if let Some(e) = self.poisoned {
             return Err(e);
         }
-        if self.buf.len() < HDR {
+        let Some((len_bytes, rest)) = self.buf.split_first_chunk::<4>() else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        };
+        let len = u32::from_le_bytes(*len_bytes) as usize;
         if len > MAX_FRAME_LEN {
             return Err(self.poison(FrameError::Oversize {
                 len: len as u64,
                 max: MAX_FRAME_LEN,
             }));
         }
-        if self.buf.len() < HDR + len {
+        let Some((ck_bytes, body)) = rest.split_first_chunk::<4>() else {
             return Ok(None);
-        }
-        let expected = u32::from_le_bytes(self.buf[4..8].try_into().unwrap());
-        let found = fnv1a32(&self.buf[HDR..HDR + len]);
+        };
+        let expected = u32::from_le_bytes(*ck_bytes);
+        let Some(payload) = body.get(..len) else {
+            return Ok(None);
+        };
+        let found = fnv1a32(payload);
         if found != expected {
             return Err(self.poison(FrameError::Corrupt { expected, found }));
         }

@@ -23,5 +23,5 @@ pub mod frame;
 pub mod pack;
 
 pub use event::{Event, EventKind};
-pub use frame::{frame, FrameBuf, FrameError, MAX_FRAME_LEN};
+pub use frame::{frame, try_frame, FrameBuf, FrameError, MAX_FRAME_LEN};
 pub use pack::{EventPack, PackHeader, EVENT_WIRE_SIZE, PACK_HEADER_SIZE};

@@ -1,5 +1,7 @@
 //! Property tests: the wire codec is a lossless bijection on valid packs.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr_events::{Event, EventKind, EventPack};
 use proptest::prelude::*;
 

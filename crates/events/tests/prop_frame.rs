@@ -2,6 +2,8 @@
 //! mutations surface as typed [`FrameError`]s, truncation is never
 //! silent, and arbitrary garbage never panics the reassembly buffer.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr_events::{frame, FrameBuf, FrameError, MAX_FRAME_LEN};
 use proptest::prelude::*;
 

@@ -52,7 +52,7 @@ impl InstrumentedMpi {
         app_id: u16,
     ) -> Result<Self> {
         let t_start = mpi.wtime_ns();
-        let vmpi = Vmpi::new(mpi);
+        let vmpi = Vmpi::new(mpi)?;
         let analyzer = vmpi
             .partition_by_name(analyzer_partition)
             .ok_or_else(|| VmpiError::UnknownPartition(analyzer_partition.to_string()))?
@@ -83,7 +83,7 @@ impl InstrumentedMpi {
         app_id: u16,
     ) -> Result<Self> {
         let t_start = mpi.wtime_ns();
-        let vmpi = Vmpi::new(mpi);
+        let vmpi = Vmpi::new(mpi)?;
         let analyzer = vmpi
             .partition_by_name(analyzer_partition)
             .ok_or_else(|| VmpiError::UnknownPartition(analyzer_partition.to_string()))?
@@ -110,7 +110,7 @@ impl InstrumentedMpi {
         block_size: usize,
     ) -> Result<Self> {
         let t_start = mpi.wtime_ns();
-        let vmpi = Vmpi::new(mpi);
+        let vmpi = Vmpi::new(mpi)?;
         let path = dir.join(format!("app{app_id}_rank{}.opmr", vmpi.rank()));
         let sink = PackSink::file(path).map_err(|_| VmpiError::StreamClosed)?;
         Self::build(vmpi, sink, app_id, block_size, t_start)
@@ -126,7 +126,7 @@ impl InstrumentedMpi {
         block_size: usize,
     ) -> Result<Self> {
         let t_start = mpi.wtime_ns();
-        let vmpi = Vmpi::new(mpi);
+        let vmpi = Vmpi::new(mpi)?;
         let rank = vmpi.rank() as u32;
         let sink = PackSink::Sion {
             file: container,

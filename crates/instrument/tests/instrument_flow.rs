@@ -1,6 +1,8 @@
 //! End-to-end instrumentation tests: instrumented ranks stream event packs
 //! that an analyzer partition decodes and checks against ground truth.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr_events::{EventKind, EventPack};
 use opmr_instrument::InstrumentedMpi;
 use opmr_runtime::{Launcher, Src, TagSel};
@@ -15,7 +17,7 @@ fn cfg() -> StreamConfig {
 
 /// Analyzer partition body: drain every mapped stream, decode packs.
 fn analyzer_collect(mpi: opmr_runtime::Mpi, sink: Arc<Mutex<Vec<EventPack>>>) {
-    let v = Vmpi::new(mpi);
+    let v = Vmpi::new(mpi).unwrap();
     let mut map = Map::new();
     for pid in 0..v.partition_count() {
         if pid != v.partition_id() {
@@ -246,7 +248,7 @@ fn finalize_twice_errors() {
             assert!(imp.marker(0).is_err());
         })
         .partition("Analyzer", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut map = Map::new();
             map_partitions(&v, 0, MapPolicy::RoundRobin, &mut map).unwrap();
             let mut st = ReadStream::open_map(&v, &map, cfg(), 0).unwrap();
@@ -273,7 +275,7 @@ fn packs_split_exactly_at_capacity() {
             imp.finalize().unwrap();
         })
         .partition("Analyzer", 1, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut map = Map::new();
             map_partitions(&v, 0, MapPolicy::RoundRobin, &mut map).unwrap();
             let mut st = ReadStream::open_map(&v, &map, small, 0).unwrap();

@@ -346,10 +346,10 @@ pub fn simulate_with_faults(
         ctx.tool
             .after_comm(tool, m, job_ranks, &mut ctx.t, ev_count);
         ctx.blocked = Blocked::No;
-        ctx.phase = ctx
-            .phase
-            .expect("completing rank has a current op")
-            .advance(&w.programs[r as usize]);
+        // A completing rank always has a current op; a missing phase can
+        // only come from corrupt bookkeeping, in which case the rank simply
+        // finalizes on its next scheduling slice.
+        ctx.phase = ctx.phase.and_then(|p| p.advance(&w.programs[r as usize]));
     }
 
     while let Some(r) = runnable.pop_front() {
@@ -366,9 +366,12 @@ pub fn simulate_with_faults(
                 finished += 1;
                 break;
             };
-            let op = w.programs[r as usize]
-                .op_at(phase)
-                .expect("normalized phase is valid");
+            let Some(op) = w.programs[r as usize].op_at(phase) else {
+                // A phase outside the program can only come from corrupt
+                // input; treat it as program end.
+                ranks[r as usize].phase = None;
+                continue;
+            };
             match op {
                 Op::Compute { ns } => {
                     let ctx = &mut ranks[r as usize];
@@ -498,8 +501,11 @@ pub fn simulate_with_faults(
                     let t_here = ranks[r as usize].t;
                     let queue = exchanges.entry(key).or_default();
                     // Only match a post made by the *other* side.
-                    if let Some(pos) = queue.iter().position(|p| p.rank == peer) {
-                        let other = queue.remove(pos).expect("position valid");
+                    let matched = queue
+                        .iter()
+                        .position(|p| p.rank == peer)
+                        .and_then(|pos| queue.remove(pos));
+                    if let Some(other) = matched {
                         let both_bytes = bytes.max(other.bytes);
                         let t_end = t_here.max(other.t_ready) + m.transfer_ns(both_bytes);
                         complete_comm(
@@ -532,16 +538,17 @@ pub fn simulate_with_faults(
                     slot.bytes_max = slot.bytes_max.max(bytes);
                     slot.arrived.push(r);
                     if slot.arrived.len() == members.len() {
-                        let slot = colls.remove(&group).expect("just inserted");
-                        let t_end =
-                            slot.t_max + coll_cost_ns(m, kind, members.len(), slot.bytes_max);
-                        for &member in &slot.arrived {
-                            complete_comm(
-                                &mut ranks, w, m, tool, job_ranks, &mut stats, member, t_end, 1,
-                                true,
-                            );
-                            if member != r {
-                                runnable.push_back(member);
+                        if let Some(slot) = colls.remove(&group) {
+                            let t_end =
+                                slot.t_max + coll_cost_ns(m, kind, members.len(), slot.bytes_max);
+                            for &member in &slot.arrived {
+                                complete_comm(
+                                    &mut ranks, w, m, tool, job_ranks, &mut stats, member, t_end,
+                                    1, true,
+                                );
+                                if member != r {
+                                    runnable.push_back(member);
+                                }
                             }
                         }
                     } else {

@@ -178,7 +178,9 @@ impl ToolState {
             .min(machine.reader_drain_bw / writers_per_reader.max(1.0));
         // Back-pressure: bounded asynchronous window.
         while self.in_flight.len() >= n_async {
-            let head = self.in_flight.pop_front().expect("non-empty window");
+            let Some(head) = self.in_flight.pop_front() else {
+                break;
+            };
             if head > *t {
                 self.stall_ns += head - *t;
                 *t = head;

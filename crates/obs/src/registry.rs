@@ -53,8 +53,24 @@ impl Registry {
         Registry::default()
     }
 
+    /// Locks the registry, recovering the data from a poisoned mutex: the
+    /// registry only holds monotonic counters and id maps, so state left by
+    /// a panicking thread is still internally consistent.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Counts a kind collision (same name registered as two metric kinds).
+    fn note_kind_collision(&self) {
+        if let Metric::Counter(c) = self.get_or_insert("obs_kind_collisions_total", || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            c.inc();
+        }
+    }
+
     fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
-        let mut inner = self.inner.lock().expect("registry mutex");
+        let mut inner = self.lock();
         if let Some(&i) = inner.by_name.get(name) {
             return match &inner.entries[i].metric {
                 Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
@@ -78,34 +94,48 @@ impl Registry {
     }
 
     /// Returns (registering on first use) the counter called `name`.
-    /// Panics if `name` is already registered as another metric kind —
-    /// that is a programming error, not a runtime condition.
+    ///
+    /// Registering a name that already exists as another metric kind is a
+    /// programming error; rather than aborting a live measurement, the
+    /// caller gets a detached metric (absent from snapshots) and the
+    /// collision is counted in `obs_kind_collisions_total`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::new()))) {
             Metric::Counter(c) => c,
-            _ => panic!("metric {name:?} already registered with a different kind"),
+            _ => {
+                self.note_kind_collision();
+                Arc::new(Counter::new())
+            }
         }
     }
 
-    /// Returns (registering on first use) the gauge called `name`.
+    /// Returns (registering on first use) the gauge called `name`; kind
+    /// collisions degrade as in [`Registry::counter`].
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
             Metric::Gauge(g) => g,
-            _ => panic!("metric {name:?} already registered with a different kind"),
+            _ => {
+                self.note_kind_collision();
+                Arc::new(Gauge::new())
+            }
         }
     }
 
-    /// Returns (registering on first use) the histogram called `name`.
+    /// Returns (registering on first use) the histogram called `name`; kind
+    /// collisions degrade as in [`Registry::counter`].
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
             Metric::Histogram(h) => h,
-            _ => panic!("metric {name:?} already registered with a different kind"),
+            _ => {
+                self.note_kind_collision();
+                Arc::new(Histogram::new())
+            }
         }
     }
 
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("registry mutex").entries.len()
+        self.lock().entries.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -116,7 +146,7 @@ impl Registry {
     /// are read without mutual atomicity — fine for monitoring, not for
     /// invariant checking.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().expect("registry mutex");
+        let inner = self.lock();
         let mut snap = MetricsSnapshot::default();
         for (id, e) in inner.entries.iter().enumerate() {
             match &e.metric {
@@ -159,11 +189,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different kind")]
-    fn kind_mismatch_panics() {
+    fn kind_mismatch_degrades_to_detached_metric() {
         let r = Registry::new();
-        let _ = r.counter("x");
-        let _ = r.gauge("x");
+        let c = r.counter("x");
+        c.inc();
+        // Same name, wrong kind: caller gets a usable detached gauge and
+        // the collision is counted instead of aborting.
+        let g = r.gauge("x");
+        g.set(9);
+        assert_eq!(c.get(), 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("obs_kind_collisions_total"), Some(1));
+        assert!(snap.gauges.iter().all(|s| s.name != "x"));
     }
 
     #[test]

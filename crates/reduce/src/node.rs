@@ -21,7 +21,7 @@
 //! back-pressure propagates down the tree exactly as it does for direct
 //! partition mapping. All per-node activity is counted in [`ReduceStats`].
 
-use crate::partial::{decode_partial_set, encode_partial_set, frame, FrameBuf, ReducePartial};
+use crate::partial::{decode_partial_set, encode_partial_set, try_frame, FrameBuf, ReducePartial};
 use crate::tree::Tree;
 use bytes::Bytes;
 use opmr_analysis::waitstate::WaitStateAnalysis;
@@ -458,7 +458,11 @@ fn close_window(
             node_metrics().merges.inc();
         }
     } else if let Some(tx) = tx {
-        let framed = frame(&encode_partial_set(&closed));
+        let encoded = encode_partial_set(&closed);
+        let framed = try_frame(&encoded).map_err(|_| VmpiError::ProtocolViolation {
+            expected: "an aggregated partial set within the frame size limit",
+            got: format!("{} bytes", encoded.len()),
+        })?;
         stats.blocks_forwarded += 1;
         stats.bytes_out += framed.len() as u64;
         agg_bytes.add(framed.len() as u64);

@@ -177,7 +177,7 @@ pub fn decode_partial_set(mut buf: &[u8]) -> Result<Vec<ReducePartial>, WireErro
 
 // Framing lives in `opmr_events::frame` (shared with the serve protocol);
 // re-exported here so overlay code keeps addressing it as `partial::frame`.
-pub use opmr_events::frame::{frame, FrameBuf};
+pub use opmr_events::frame::{frame, try_frame, FrameBuf};
 
 #[cfg(test)]
 mod tests {

@@ -4,6 +4,8 @@
 //! operator promises — every block for ρ=1 pass-through, the flat merge
 //! of every event for full aggregation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr_events::{Event, EventKind, EventPack};
 use opmr_reduce::{run_node, NodeConfig, ReduceOp, ReducePartial, ReduceStats, Tree};
 use opmr_runtime::Launcher;
@@ -39,7 +41,7 @@ fn run_overlay(
 
     Launcher::new()
         .partition("leaves", leaves, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let tree_pid = v.partition_by_name("Reduce").unwrap().id;
             let mut map = Map::new();
             map_partitions_directed(
@@ -59,7 +61,7 @@ fn run_overlay(
             st.close().unwrap();
         })
         .partition("Reduce", nodes, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let tree = Tree::new(fanout, v.size());
             let mut map = Map::new();
             map_partitions_directed(&v, 0, v.partition_id(), tree.leaf_policy(), &mut map).unwrap();

@@ -3,6 +3,8 @@
 //! merge the paper's direct mapping computes. This is the invariant that
 //! makes the overlay transparent to the analysis.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use bytes::BytesMut;
 use opmr_analysis::waitstate::{WaitStateAnalysis, WaitStats};
 use opmr_analysis::wire::{encode_waitstats, merge_waitstats};

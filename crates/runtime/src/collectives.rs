@@ -188,7 +188,9 @@ pub fn gather(mpi: &Mpi, comm: &Comm, root: usize, local: Bytes) -> Result<Optio
             ));
         }
         for (src, req) in reqs {
-            let (_st, data) = req.wait()?.expect("recv request yields payload");
+            let (_st, data) = req.wait()?.ok_or(RtError::Protocol(
+                "gather receive completed without payload",
+            ))?;
             parts[src] = data;
         }
         Ok(Some(parts))

@@ -100,12 +100,11 @@ impl Universe {
         self.partitions.iter().find(|p| p.name == name)
     }
 
-    /// Partition containing a given world rank.
-    pub fn partition_of(&self, world_rank: usize) -> &PartitionInfo {
+    /// Partition containing a given world rank, if the rank exists.
+    pub fn partition_of(&self, world_rank: usize) -> Option<&PartitionInfo> {
         self.partitions
             .iter()
             .find(|p| p.world_ranks().contains(&world_rank))
-            .expect("world rank belongs to a partition")
     }
 
     pub(crate) fn mailbox(&self, world_rank: usize) -> &Arc<Mailbox> {
@@ -151,7 +150,10 @@ impl Universe {
     }
 }
 
-type EntryPoint = Arc<dyn Fn(Mpi) + Send + Sync + 'static>;
+/// Boxed error type a fallible rank entry point may return.
+pub type RankError = Box<dyn std::error::Error + Send + Sync + 'static>;
+
+type EntryPoint = Arc<dyn Fn(Mpi) -> std::result::Result<(), RankError> + Send + Sync + 'static>;
 
 struct PartitionSpec {
     name: String,
@@ -160,18 +162,66 @@ struct PartitionSpec {
     entry: EntryPoint,
 }
 
-/// Error reported when one or more ranks panicked.
+/// How a rank failed: by unwinding or by returning a typed error from a
+/// fallible entry point (see [`Launcher::partition_try`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The rank's entry point panicked (caught at the rank boundary).
+    Panicked,
+    /// The rank's entry point returned `Err(..)`; `message` carries the
+    /// typed error's `Display` output.
+    Errored,
+}
+
+/// One failed rank inside a [`LaunchError`].
+#[derive(Debug, Clone)]
+pub struct RankFailure {
+    /// Name of the partition the rank belongs to.
+    pub partition: String,
+    /// World rank that failed.
+    pub world_rank: usize,
+    /// Whether the rank panicked or returned a typed error.
+    pub kind: FailureKind,
+    /// Panic payload or the error's `Display` rendering.
+    pub message: String,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            FailureKind::Panicked => "panicked",
+            FailureKind::Errored => "errored",
+        };
+        write!(
+            f,
+            "{}/world:{} {kind}: {}",
+            self.partition, self.world_rank, self.message
+        )
+    }
+}
+
+/// Error reported when one or more ranks panicked or returned an error.
 #[derive(Debug)]
 pub struct LaunchError {
-    /// `(partition name, world rank, panic message)` per failed rank.
-    pub failures: Vec<(String, usize, String)>,
+    /// One entry per failed rank.
+    pub failures: Vec<RankFailure>,
+}
+
+impl LaunchError {
+    /// True when at least one rank failed by unwinding (as opposed to
+    /// returning a typed error).
+    pub fn any_panicked(&self) -> bool {
+        self.failures
+            .iter()
+            .any(|f| f.kind == FailureKind::Panicked)
+    }
 }
 
 impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} rank(s) panicked:", self.failures.len())?;
-        for (part, rank, msg) in &self.failures {
-            write!(f, " [{part}/world:{rank}: {msg}]")?;
+        write!(f, "{} rank(s) failed:", self.failures.len())?;
+        for failure in &self.failures {
+            write!(f, " [{failure}]")?;
         }
         Ok(())
     }
@@ -231,8 +281,32 @@ impl Launcher {
         self.partition_with_cmdline(name, &cmdline, size, entry)
     }
 
+    /// Adds a partition whose entry point may fail with a typed error.
+    /// An `Err` return tears the job down exactly like a panic (peers
+    /// unblock with [`crate::RtError::Shutdown`]) but is reported as
+    /// [`FailureKind::Errored`] with the error's message, so callers can
+    /// distinguish "rank hit a typed error path" from "rank aborted".
+    pub fn partition_try<F>(self, name: &str, size: usize, entry: F) -> Self
+    where
+        F: Fn(Mpi) -> std::result::Result<(), RankError> + Send + Sync + 'static,
+    {
+        let cmdline = format!("./{name}");
+        self.partition_try_with_cmdline(name, &cmdline, size, entry)
+    }
+
     /// Adds a partition with an explicit pseudo command line.
-    pub fn partition_with_cmdline<F>(
+    pub fn partition_with_cmdline<F>(self, name: &str, cmdline: &str, size: usize, entry: F) -> Self
+    where
+        F: Fn(Mpi) + Send + Sync + 'static,
+    {
+        self.partition_try_with_cmdline(name, cmdline, size, move |mpi| {
+            entry(mpi);
+            Ok(())
+        })
+    }
+
+    /// Adds a fallible partition with an explicit pseudo command line.
+    pub fn partition_try_with_cmdline<F>(
         mut self,
         name: &str,
         cmdline: &str,
@@ -240,7 +314,7 @@ impl Launcher {
         entry: F,
     ) -> Self
     where
-        F: Fn(Mpi) + Send + Sync + 'static,
+        F: Fn(Mpi) -> std::result::Result<(), RankError> + Send + Sync + 'static,
     {
         assert!(size > 0, "partition must have at least one rank");
         self.specs.push(PartitionSpec {
@@ -269,7 +343,9 @@ impl Launcher {
         }
         let universe = Universe::new(infos, self.eager_limit, self.fault_plan);
 
+        let partitions = Arc::clone(&universe.partitions);
         let mut handles = Vec::new();
+        let mut failures = Vec::new();
         for (pid, spec) in self.specs.into_iter().enumerate() {
             for local in 0..spec.size {
                 let world_rank = universe.partitions()[pid].first_world_rank + local;
@@ -280,43 +356,58 @@ impl Launcher {
                 if let Some(sz) = self.stack_size {
                     builder = builder.stack_size(sz);
                 }
-                let handle = builder
-                    .spawn(move || {
-                        let world = Comm::world(uni.world_size(), world_rank);
-                        let mpi = Mpi::new(Arc::clone(&uni), world_rank, world, pid);
-                        let result =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                                entry(mpi)
-                            }));
-                        // Everything the rank sent is delivered by now
-                        // (sends complete synchronously), so readers that
-                        // see the flag drop will not miss data.
-                        uni.mark_rank_done(world_rank);
-                        if result.is_err() {
-                            // Unblock every other rank so the job tears down
-                            // instead of hanging on a dead peer.
-                            uni.shutdown_all();
-                        }
-                        result
-                    })
-                    .expect("spawn rank thread");
-                handles.push((pid, world_rank, handle));
+                match builder.spawn(move || {
+                    let world = Comm::world(uni.world_size(), world_rank);
+                    let mpi = Mpi::new(Arc::clone(&uni), world_rank, world, pid);
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || entry(mpi)));
+                    // Everything the rank sent is delivered by now
+                    // (sends complete synchronously), so readers that
+                    // see the flag drop will not miss data.
+                    uni.mark_rank_done(world_rank);
+                    if !matches!(result, Ok(Ok(()))) {
+                        // Unblock every other rank so the job tears down
+                        // instead of hanging on a dead peer.
+                        uni.shutdown_all();
+                    }
+                    result
+                }) {
+                    Ok(handle) => handles.push((pid, world_rank, handle)),
+                    Err(e) => {
+                        // The OS refused the thread: record the rank as
+                        // failed and wake everything that might wait on it.
+                        universe.mark_rank_done(world_rank);
+                        universe.shutdown_all();
+                        failures.push(RankFailure {
+                            partition: spec.name.clone(),
+                            world_rank,
+                            kind: FailureKind::Errored,
+                            message: format!("failed to spawn rank thread: {e}"),
+                        });
+                    }
+                }
             }
         }
 
-        let partitions = Arc::clone(&universe.partitions);
-        let mut failures = Vec::new();
         for (pid, world_rank, handle) in handles {
+            let partition = partitions
+                .get(pid)
+                .map(|p| p.name.clone())
+                .unwrap_or_default();
             match handle.join() {
-                Ok(Ok(())) => {}
-                Ok(Err(payload)) => {
-                    let msg = panic_message(payload.as_ref());
-                    failures.push((partitions[pid].name.clone(), world_rank, msg));
-                }
-                Err(payload) => {
-                    let msg = panic_message(payload.as_ref());
-                    failures.push((partitions[pid].name.clone(), world_rank, msg));
-                }
+                Ok(Ok(Ok(()))) => {}
+                Ok(Ok(Err(e))) => failures.push(RankFailure {
+                    partition,
+                    world_rank,
+                    kind: FailureKind::Errored,
+                    message: e.to_string(),
+                }),
+                Ok(Err(payload)) | Err(payload) => failures.push(RankFailure {
+                    partition,
+                    world_rank,
+                    kind: FailureKind::Panicked,
+                    message: panic_message(payload.as_ref()),
+                }),
             }
         }
         if failures.is_empty() {
@@ -365,8 +456,9 @@ mod tests {
             None,
         );
         assert_eq!(uni.world_size(), 5);
-        assert_eq!(uni.partition_of(0).name, "a");
-        assert_eq!(uni.partition_of(4).name, "b");
+        assert_eq!(uni.partition_of(0).unwrap().name, "a");
+        assert_eq!(uni.partition_of(4).unwrap().name, "b");
+        assert!(uni.partition_of(5).is_none());
         assert_eq!(uni.partition_by_name("b").unwrap().first_world_rank, 3);
         assert!(uni.partition_by_name("c").is_none());
     }
@@ -395,8 +487,31 @@ mod tests {
             .run()
             .unwrap_err();
         assert_eq!(err.failures.len(), 1);
-        assert_eq!(err.failures[0].0, "bad");
-        assert!(err.failures[0].2.contains("boom"));
+        assert_eq!(err.failures[0].partition, "bad");
+        assert_eq!(err.failures[0].kind, FailureKind::Panicked);
+        assert!(err.failures[0].message.contains("boom"));
+        assert!(err.any_panicked());
+    }
+
+    #[test]
+    fn typed_rank_error_is_reported_as_errored() {
+        let err = Launcher::new()
+            .partition("ok", 1, |_mpi| {})
+            .partition_try("bad", 2, |mpi| {
+                if mpi.world_rank() == 2 {
+                    Err("typed failure".into())
+                } else {
+                    Ok(())
+                }
+            })
+            .run()
+            .unwrap_err();
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].partition, "bad");
+        assert_eq!(err.failures[0].world_rank, 2);
+        assert_eq!(err.failures[0].kind, FailureKind::Errored);
+        assert!(err.failures[0].message.contains("typed failure"));
+        assert!(!err.any_panicked());
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub mod request;
 pub use comm::{Comm, CommId};
 pub use envelope::{Context, Src, Status, TagSel, ANY_TAG};
 pub use fault::{FaultLayer, FaultPlan, FaultStats, WriterCrash};
-pub use launch::{Launcher, PartitionInfo, Universe};
+pub use launch::{
+    FailureKind, LaunchError, Launcher, PartitionInfo, RankError, RankFailure, Universe,
+};
 pub use mpi::Mpi;
 pub use pod::Pod;
 pub use request::Request;
@@ -72,6 +74,9 @@ pub enum RtError {
     /// An injected fault dropped the message before delivery; the sender
     /// may resend (see [`fault::FaultPlan`]).
     Dropped { dst: usize },
+    /// A peer or the transport violated an internal protocol invariant
+    /// (e.g. a completed receive carrying no payload).
+    Protocol(&'static str),
 }
 
 impl std::fmt::Display for RtError {
@@ -92,6 +97,7 @@ impl std::fmt::Display for RtError {
             RtError::Dropped { dst } => {
                 write!(f, "message to rank {dst} dropped by fault injection")
             }
+            RtError::Protocol(what) => write!(f, "runtime protocol violation: {what}"),
         }
     }
 }

@@ -144,12 +144,11 @@ impl Mailbox {
         m.delivered.inc();
         m.depth.record(g.offers.len() as u64);
         // Posted receives are matched in posting order.
-        if let Some(pos) = g
+        let pos = g
             .posted
             .iter()
-            .position(|p| env.matches(p.ctx, p.comm, p.src, p.tag))
-        {
-            let posted = g.posted.remove(pos).expect("position in bounds");
+            .position(|p| env.matches(p.ctx, p.comm, p.src, p.tag));
+        if let Some(posted) = pos.and_then(|p| g.posted.remove(p)) {
             posted.slot.fill(env);
             self.cv.notify_all();
             return Ok(Delivery::Complete);
@@ -221,7 +220,7 @@ impl Mailbox {
             .offers
             .iter()
             .position(|o| o.env.matches(ctx, comm, src, tag))?;
-        let offer = g.offers.remove(pos).expect("position in bounds");
+        let offer = g.offers.remove(pos)?;
         if let Some(done) = offer.done {
             done.complete();
             // Wake the rendezvous sender parked on this mailbox.

@@ -291,14 +291,21 @@ impl Mpi {
         }
         let mut group: Vec<[i64; 3]> = triples.into_iter().filter(|t| t[0] == color).collect();
         group.sort_by_key(|t| (t[1], t[2]));
-        let members: Vec<usize> = group
-            .iter()
-            .map(|t| comm.world_of(t[2] as usize).expect("member in parent"))
-            .collect();
+        let mut members = Vec::with_capacity(group.len());
+        for t in &group {
+            members.push(
+                comm.world_of(t[2] as usize)
+                    .ok_or(RtError::CollectiveMismatch(
+                        "split member outside parent communicator",
+                    ))?,
+            );
+        }
         let my_local = group
             .iter()
             .position(|t| t[2] as usize == comm.local_rank())
-            .expect("caller in own color group");
+            .ok_or(RtError::CollectiveMismatch(
+                "split caller missing from its own color group",
+            ))?;
         Ok(Some(Comm::with_members(id, Arc::new(members), my_local)))
     }
 

@@ -1,6 +1,8 @@
 //! End-to-end semantics tests for the in-process MPI runtime: real threads,
 //! real blocking, real back-pressure.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use bytes::Bytes;
 use opmr_runtime::collectives::ops;
 use opmr_runtime::{Launcher, Mpi, Src, TagSel};

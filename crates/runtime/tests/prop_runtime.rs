@@ -1,5 +1,7 @@
 //! Property-based tests for the runtime's invariants.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use bytes::Bytes;
 use opmr_runtime::pod::{bytes_of_slice, vec_from_bytes};
 use opmr_runtime::{Launcher, Src, TagSel};

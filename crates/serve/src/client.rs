@@ -19,7 +19,7 @@ use opmr_analysis::wire::{
     decode_partials, decode_profile, decode_topology, decode_waitstats, encode_partials,
     AppPartial, WireError,
 };
-use opmr_events::frame::{frame, FrameBuf};
+use opmr_events::frame::{try_frame, FrameBuf};
 use opmr_vmpi::{DuplexStream, ReadMode, Vmpi, VmpiError};
 use std::collections::VecDeque;
 
@@ -82,7 +82,7 @@ impl ServeClient {
     }
 
     fn send(&mut self, req: &Request) -> crate::Result<()> {
-        self.stream.write(&frame(&req.encode()))?;
+        self.stream.write(&try_frame(&req.encode())?)?;
         self.stream.flush()?;
         Ok(())
     }
@@ -110,7 +110,7 @@ impl ServeClient {
                 Err(VmpiError::Again) => {
                     spins += 1;
                     if spins.is_multiple_of(KEEPALIVE_SPINS) {
-                        self.stream.write(&frame(&Request::Ping.encode()))?;
+                        self.stream.write(&try_frame(&Request::Ping.encode())?)?;
                         self.stream.flush()?;
                     }
                     std::thread::yield_now();
@@ -136,20 +136,17 @@ impl ServeClient {
     fn recv_matching(&mut self, req_id: u32) -> crate::Result<Response> {
         loop {
             let Some(rsp) = self.next_response()? else {
-                return Err(ServeError::Protocol(
-                    "server closed the stream before answering".into(),
-                ));
+                return Err(ServeError::ProtocolViolation {
+                    expected: "an answer to the pending request",
+                    got: "stream closed".into(),
+                });
             };
             match rsp {
                 Response::Snapshot { .. } | Response::Delta { .. } => self.pending.push_back(rsp),
                 Response::Ping => {}
-                ref r => {
-                    let id = match r {
-                        Response::QueryResult { req_id, .. }
-                        | Response::NotFound { req_id, .. }
-                        | Response::VersionInfo { req_id, .. } => *req_id,
-                        _ => unreachable!("updates handled above"),
-                    };
+                Response::QueryResult { req_id: id, .. }
+                | Response::NotFound { req_id: id, .. }
+                | Response::VersionInfo { req_id: id, .. } => {
                     if id == req_id {
                         return Ok(rsp);
                     }
@@ -182,9 +179,10 @@ impl ServeClient {
                 finished,
             }),
             Response::NotFound { reason, .. } => Err(ServeError::NotFound(reason)),
-            _ => Err(ServeError::Protocol(
-                "unexpected answer to version info".into(),
-            )),
+            rsp => Err(ServeError::ProtocolViolation {
+                expected: "a version info answer",
+                got: rsp.kind_name().into(),
+            }),
         }
     }
 
@@ -222,7 +220,10 @@ impl ServeClient {
                 version, payload, ..
             } => Ok((version, payload)),
             Response::NotFound { reason, .. } => Err(ServeError::NotFound(reason)),
-            _ => Err(ServeError::Protocol("unexpected answer to query".into())),
+            rsp => Err(ServeError::ProtocolViolation {
+                expected: "a query result",
+                got: rsp.kind_name().into(),
+            }),
         }
     }
 
@@ -355,13 +356,16 @@ impl ServeClient {
                 let report = self
                     .report
                     .as_mut()
-                    .ok_or_else(|| ServeError::Protocol("delta before any snapshot".into()))?;
+                    .ok_or_else(|| ServeError::ProtocolViolation {
+                        expected: "a snapshot before the first delta",
+                        got: "delta with no held report".into(),
+                    })?;
                 let (from, to) = delta_versions(&payload)?;
                 if from != report.version || to != version {
-                    return Err(ServeError::Protocol(format!(
-                        "delta {from}->{to} does not extend held version {}",
-                        report.version
-                    )));
+                    return Err(ServeError::ProtocolViolation {
+                        expected: "a delta extending the held version",
+                        got: format!("delta {from}->{to} against held version {}", report.version),
+                    });
                 }
                 apply_delta(&mut report.parts, &payload)?;
                 report.version = version;
@@ -375,7 +379,10 @@ impl ServeClient {
                     finished,
                 })
             }
-            _ => unreachable!("only updates reach fold"),
+            rsp => Err(ServeError::ProtocolViolation {
+                expected: "a subscription update",
+                got: rsp.kind_name().into(),
+            }),
         }
     }
 

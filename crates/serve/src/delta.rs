@@ -47,7 +47,12 @@ fn profile_cells(p: &MpiProfile) -> BTreeMap<(u32, u16), CallStats> {
 fn rebuild_profile(cells: &BTreeMap<(u32, u16), CallStats>, span_ns: u64) -> MpiProfile {
     let mut p = MpiProfile::new();
     for (&(rank, kind_raw), s) in cells {
-        let kind = EventKind::from_u16(kind_raw).expect("cell kind validated on decode");
+        // Kinds are validated on decode; an unknown one can only mean the
+        // cell map was built from corrupt state, so skip it rather than
+        // abort the whole rebuild.
+        let Some(kind) = EventKind::from_u16(kind_raw) else {
+            continue;
+        };
         p.absorb_stats(rank, kind, s.hits, s.time_ns, s.bytes, s.min_ns, s.max_ns);
     }
     p.absorb_span(span_ns);

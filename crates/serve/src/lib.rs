@@ -59,7 +59,7 @@ pub enum ServeError {
     /// Corrupt framing on the serve stream (checksum or length failure).
     Frame(opmr_events::frame::FrameError),
     /// Peer violated the serve protocol.
-    Protocol(String),
+    ProtocolViolation { expected: &'static str, got: String },
     /// A query could not be answered; see [`proto::NotFoundReason`].
     NotFound(proto::NotFoundReason),
 }
@@ -70,7 +70,12 @@ impl std::fmt::Display for ServeError {
             ServeError::Vmpi(e) => write!(f, "serve transport failed: {e}"),
             ServeError::Wire(e) => write!(f, "serve payload malformed: {e}"),
             ServeError::Frame(e) => write!(f, "serve framing corrupt: {e}"),
-            ServeError::Protocol(what) => write!(f, "serve protocol violation: {what}"),
+            ServeError::ProtocolViolation { expected, got } => {
+                write!(
+                    f,
+                    "serve protocol violation: expected {expected}, got {got}"
+                )
+            }
             ServeError::NotFound(r) => write!(f, "query not answerable: {r:?}"),
         }
     }

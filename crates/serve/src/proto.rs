@@ -160,6 +160,21 @@ pub enum Response {
     Ping,
 }
 
+impl Response {
+    /// Variant name for typed protocol-violation reports (a `Debug`
+    /// rendering would drag whole snapshot payloads into the message).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Response::QueryResult { .. } => "query result",
+            Response::NotFound { .. } => "not-found answer",
+            Response::VersionInfo { .. } => "version info",
+            Response::Snapshot { .. } => "snapshot update",
+            Response::Delta { .. } => "delta update",
+            Response::Ping => "ping",
+        }
+    }
+}
+
 impl Request {
     pub fn encode(&self) -> Bytes {
         let mut out = BytesMut::new();

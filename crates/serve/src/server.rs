@@ -25,7 +25,7 @@ use opmr_analysis::topology::Topology;
 use opmr_analysis::waitstate::WaitStats;
 use opmr_analysis::wire::{decode_partials, encode_profile, encode_topology, encode_waitstats};
 use opmr_analysis::AnalysisEngine;
-use opmr_events::frame::{frame, FrameBuf};
+use opmr_events::frame::{try_frame, FrameBuf};
 use opmr_vmpi::{DuplexStream, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError};
 
 // Serving-loop metrics: per-subscriber credit level at each scheduling
@@ -358,25 +358,34 @@ fn pump_client(
                 if sub.synced_to >= cur.version {
                     break;
                 }
-                let next = store.get(sub.synced_to + 1);
-                let rsp = match next {
-                    // First update, or the chain left the ring: full
-                    // snapshot (a *resync* when the subscriber had state).
-                    Some(e) if sub.synced_to > 0 && e.delta.is_some() => {
+                // The retained delta advancing this subscriber by one
+                // version, when the chain is intact and the subscriber has
+                // state to extend.
+                let next_delta = store
+                    .get(sub.synced_to + 1)
+                    .filter(|_| sub.synced_to > 0)
+                    .and_then(|e| {
+                        let payload = e.delta.clone()?;
+                        Some((e.version, e.publish_ns, e.is_final, payload))
+                    });
+                let rsp = match next_delta {
+                    Some((version, publish_ns, is_final, payload)) => {
                         stats.deltas_sent += 1;
                         obs::m().deltas_sent.inc();
                         obs::m()
                             .deliver_lag
-                            .record(crate::mono_ns().saturating_sub(e.publish_ns));
-                        sub.synced_to = e.version;
+                            .record(crate::mono_ns().saturating_sub(publish_ns));
+                        sub.synced_to = version;
                         Response::Delta {
-                            version: e.version,
-                            publish_ns: e.publish_ns,
-                            finished: e.is_final,
-                            payload: e.delta.clone().expect("checked above"),
+                            version,
+                            publish_ns,
+                            finished: is_final,
+                            payload,
                         }
                     }
-                    _ => {
+                    // First update, or the chain left the ring: full
+                    // snapshot (a *resync* when the subscriber had state).
+                    None => {
                         stats.snapshots_sent += 1;
                         obs::m().snapshots_sent.inc();
                         let resync = sub.synced_to > 0;
@@ -425,8 +434,9 @@ fn pump_client(
     Ok(progressed)
 }
 
-fn send(stream: &mut DuplexStream, rsp: &Response) -> Result<(), VmpiError> {
-    stream.write(&frame(&rsp.encode()))
+fn send(stream: &mut DuplexStream, rsp: &Response) -> Result<(), ServeError> {
+    stream.write(&try_frame(&rsp.encode())?)?;
+    Ok(())
 }
 
 fn answer_query(

@@ -4,6 +4,8 @@
 //! reproduce; every invariant below is checked from a reader's view of a
 //! store that is being mutated underneath it.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr_analysis::profiler::MpiProfile;
 use opmr_analysis::topology::Topology;
 use opmr_analysis::wire::{decode_partials, AppPartial};

@@ -49,6 +49,21 @@ pub enum VmpiError {
     /// A writer exited mid-stream without closing; its remaining data is
     /// unrecoverable but the stream stays readable for surviving writers.
     PeerLost { rank: usize },
+    /// The partition table is inconsistent: a rank is not a member of the
+    /// partition it claims to belong to. Rejected at [`Vmpi`] construction.
+    PartitionInconsistent { world_rank: usize, partition: usize },
+    /// The map pivot protocol received a payload it cannot decode
+    /// (truncated, oversized or otherwise malformed).
+    MalformedPivotReply { what: &'static str, len: usize },
+    /// A mapping policy produced a master index outside the master
+    /// partition.
+    InvalidAssignment { index: usize, master_size: usize },
+    /// A stream or map was configured in a way that can never work
+    /// (e.g. a write stream with zero endpoints).
+    InvalidConfig(&'static str),
+    /// A peer violated the stream protocol (bad framing, unexpected
+    /// payload shape, ...).
+    ProtocolViolation { expected: &'static str, got: String },
 }
 
 impl From<opmr_runtime::RtError> for VmpiError {
@@ -68,6 +83,36 @@ impl std::fmt::Display for VmpiError {
             VmpiError::Timeout => write!(f, "stream operation timed out"),
             VmpiError::PeerLost { rank } => {
                 write!(f, "stream writer (world rank {rank}) died without closing")
+            }
+            VmpiError::PartitionInconsistent {
+                world_rank,
+                partition,
+            } => {
+                write!(
+                    f,
+                    "inconsistent partition table: world rank {world_rank} \
+                     is not a member of its own partition {partition}"
+                )
+            }
+            VmpiError::MalformedPivotReply { what, len } => {
+                write!(
+                    f,
+                    "malformed pivot message: expected {what}, got {len} bytes"
+                )
+            }
+            VmpiError::InvalidAssignment { index, master_size } => {
+                write!(
+                    f,
+                    "mapping policy produced master index {index} outside \
+                     master partition of size {master_size}"
+                )
+            }
+            VmpiError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            VmpiError::ProtocolViolation { expected, got } => {
+                write!(
+                    f,
+                    "stream protocol violation: expected {expected}, got {got}"
+                )
             }
         }
     }

@@ -43,23 +43,60 @@ impl std::fmt::Debug for MapPolicy {
 
 impl MapPolicy {
     /// Computes the master-local rank for slave index `i`.
-    fn assign(&self, i: usize, master_size: usize, rng: &mut Option<StdRng>) -> usize {
+    ///
+    /// A random policy whose RNG is missing (an internal inconsistency,
+    /// not a caller mistake) degrades to round-robin and counts the event
+    /// in `vmpi_map_rng_fallbacks_total` instead of aborting the pivot. A
+    /// custom policy returning an out-of-range rank is the caller's bug
+    /// and surfaces as [`VmpiError::InvalidAssignment`].
+    fn assign(&self, i: usize, master_size: usize, rng: &mut Option<StdRng>) -> Result<usize> {
         match self {
-            MapPolicy::RoundRobin => i % master_size,
-            MapPolicy::Random { .. } => rng
-                .as_mut()
-                .expect("rng initialized for random policy")
-                .gen_range(0..master_size),
-            MapPolicy::Fixed => i.min(master_size - 1),
+            MapPolicy::RoundRobin => Ok(i % master_size),
+            MapPolicy::Random { .. } => match rng.as_mut() {
+                Some(rng) => Ok(rng.gen_range(0..master_size)),
+                None => {
+                    obs::m().rng_fallbacks.inc();
+                    Ok(i % master_size)
+                }
+            },
+            MapPolicy::Fixed => Ok(i.min(master_size.saturating_sub(1))),
             MapPolicy::Custom(f) => {
                 let m = f(i);
-                assert!(
-                    m < master_size,
-                    "custom mapping returned {m} for master of size {master_size}"
-                );
-                m
+                if m >= master_size {
+                    return Err(VmpiError::InvalidAssignment {
+                        index: m,
+                        master_size,
+                    });
+                }
+                Ok(m)
             }
         }
+    }
+}
+
+// Map-plane error accounting: every typed failure on the pivot protocol is
+// also counted process-wide so a live session surfaces hostile or corrupt
+// peers in its metrics snapshot.
+mod obs {
+    use opmr_obs::{registry, Counter};
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) struct MapMetrics {
+        pub rng_fallbacks: Arc<Counter>,
+        pub malformed_replies: Arc<Counter>,
+        pub protocol_violations: Arc<Counter>,
+    }
+
+    pub(super) fn m() -> &'static MapMetrics {
+        static M: OnceLock<MapMetrics> = OnceLock::new();
+        M.get_or_init(|| {
+            let r = registry();
+            MapMetrics {
+                rng_fallbacks: r.counter("vmpi_map_rng_fallbacks_total"),
+                malformed_replies: r.counter("vmpi_map_malformed_pivot_total"),
+                protocol_violations: r.counter("vmpi_map_protocol_violations_total"),
+            }
+        })
     }
 }
 
@@ -125,7 +162,13 @@ pub fn map_partitions(
         .partition(target_pid)
         .ok_or_else(|| VmpiError::UnknownPartition(format!("#{target_pid}")))?
         .clone();
-    let mine = vmpi.partition(my_pid).expect("own partition").clone();
+    let mine = vmpi
+        .partition(my_pid)
+        .ok_or(VmpiError::PartitionInconsistent {
+            world_rank: vmpi.mpi().world_rank(),
+            partition: my_pid,
+        })?
+        .clone();
 
     // Smaller partition is the master; ties break toward the lower id so
     // both sides agree without communicating.
@@ -166,7 +209,13 @@ pub fn map_partitions_directed(
         .partition(target_pid)
         .ok_or_else(|| VmpiError::UnknownPartition(format!("#{target_pid}")))?
         .clone();
-    let mine = vmpi.partition(my_pid).expect("own partition").clone();
+    let mine = vmpi
+        .partition(my_pid)
+        .ok_or(VmpiError::PartitionInconsistent {
+            world_rank: vmpi.mpi().world_rank(),
+            partition: my_pid,
+        })?
+        .clone();
 
     let i_am_master = master_pid == my_pid;
     let (master, slave) = if i_am_master {
@@ -195,8 +244,22 @@ pub fn map_partitions_directed(
             Src::Rank(pivot),
             TagSel::Tag(tag),
         )?;
-        let peer = opmr_runtime::pod::from_bytes::<u64>(&data).expect("pivot reply is one u64");
-        map.push(peer as usize);
+        let peer = opmr_runtime::pod::from_bytes::<u64>(&data).ok_or_else(|| {
+            obs::m().malformed_replies.inc();
+            VmpiError::MalformedPivotReply {
+                what: "pivot reply of exactly one u64",
+                len: data.len(),
+            }
+        })?;
+        let peer = peer as usize;
+        if !master.world_ranks().contains(&peer) {
+            obs::m().protocol_violations.inc();
+            return Err(VmpiError::ProtocolViolation {
+                expected: "assigned master world rank inside the master partition",
+                got: format!("rank {peer}"),
+            });
+        }
+        map.push(peer);
         return Ok(());
     }
 
@@ -211,9 +274,21 @@ pub fn map_partitions_directed(
         for i in 0..slave.size {
             let (_st, data) =
                 mpi.recv_ctx(Context::Stream, &universe, Src::Any, TagSel::Tag(tag))?;
-            let slave_world =
-                opmr_runtime::pod::from_bytes::<u64>(&data).expect("slave rank is one u64");
-            let master_local = policy.assign(i, master.size, &mut rng);
+            let slave_world = opmr_runtime::pod::from_bytes::<u64>(&data).ok_or_else(|| {
+                obs::m().malformed_replies.inc();
+                VmpiError::MalformedPivotReply {
+                    what: "slave registration of exactly one u64",
+                    len: data.len(),
+                }
+            })?;
+            if !slave.world_ranks().contains(&(slave_world as usize)) {
+                obs::m().protocol_violations.inc();
+                return Err(VmpiError::ProtocolViolation {
+                    expected: "slave world rank inside the slave partition",
+                    got: format!("rank {slave_world}"),
+                });
+            }
+            let master_local = policy.assign(i, master.size, &mut rng)?;
             let master_world = master.first_world_rank + master_local;
             assigned[master_local].push(slave_world);
             // Reply to the slave with its assigned master rank.
@@ -245,7 +320,13 @@ pub fn map_partitions_directed(
         Src::Rank(pivot),
         TagSel::Tag(tag),
     )?;
-    let peers = opmr_runtime::pod::vec_from_bytes::<u64>(&data).expect("peer list of u64");
+    let peers = opmr_runtime::pod::vec_from_bytes::<u64>(&data).ok_or_else(|| {
+        obs::m().malformed_replies.inc();
+        VmpiError::MalformedPivotReply {
+            what: "peer list of whole u64s",
+            len: data.len(),
+        }
+    })?;
     for p in peers {
         map.push(p as usize);
     }
@@ -269,14 +350,14 @@ mod tests {
         let (p1, p2) = (policy.clone(), policy);
         Launcher::new()
             .partition("writers", writers, move |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let target = v.partition_by_name("Analyzer").unwrap().id;
                 let mut map = Map::new();
                 map_partitions(&v, target, p1.clone(), &mut map).unwrap();
                 w2.lock().unwrap().push((v.mpi().world_rank(), map));
             })
             .partition("Analyzer", analyzers, move |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let mut map = Map::new();
                 map_partitions(&v, 0, p2.clone(), &mut map).unwrap();
                 a2.lock().unwrap().push((v.mpi().world_rank(), map));
@@ -385,21 +466,21 @@ mod tests {
         let a2 = StdArc::clone(&a_map);
         Launcher::new()
             .partition("app0", 3, |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let an = v.partition_by_name("Analyzer").unwrap().id;
                 let mut map = Map::new();
                 map_partitions(&v, an, MapPolicy::RoundRobin, &mut map).unwrap();
                 assert_eq!(map.len(), 1);
             })
             .partition("app1", 4, |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let an = v.partition_by_name("Analyzer").unwrap().id;
                 let mut map = Map::new();
                 map_partitions(&v, an, MapPolicy::RoundRobin, &mut map).unwrap();
                 assert_eq!(map.len(), 1);
             })
             .partition("Analyzer", 2, move |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let mut map = Map::new();
                 for pid in 0..v.partition_count() {
                     if pid != v.partition_id() {
@@ -426,14 +507,14 @@ mod tests {
         let t2 = StdArc::clone(&t_maps);
         Launcher::new()
             .partition("w", 2, |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let tree = v.partition_by_name("tree").unwrap().id;
                 let mut map = Map::new();
                 map_partitions_directed(&v, tree, tree, MapPolicy::RoundRobin, &mut map).unwrap();
                 assert_eq!(map.len(), 1, "each writer gets one tree peer");
             })
             .partition("tree", 5, move |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let mut map = Map::new();
                 map_partitions_directed(&v, 0, v.partition_id(), MapPolicy::RoundRobin, &mut map)
                     .unwrap();
@@ -456,7 +537,7 @@ mod tests {
     fn directed_mapping_rejects_foreign_master() {
         Launcher::new()
             .partition("a", 1, |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let mut map = Map::new();
                 assert!(matches!(
                     map_partitions_directed(&v, 1, 7, MapPolicy::RoundRobin, &mut map),
@@ -469,10 +550,46 @@ mod tests {
     }
 
     #[test]
+    fn random_policy_without_rng_falls_back_to_round_robin() {
+        // An unseeded RNG is an internal inconsistency: the pivot keeps
+        // assigning (round-robin) and counts the fallback instead of
+        // panicking.
+        let before = opmr_obs::registry()
+            .counter("vmpi_map_rng_fallbacks_total")
+            .get();
+        let mut rng = None;
+        for i in 0..6 {
+            assert_eq!(
+                MapPolicy::Random { seed: 7 }
+                    .assign(i, 3, &mut rng)
+                    .unwrap(),
+                i % 3
+            );
+        }
+        let after = opmr_obs::registry()
+            .counter("vmpi_map_rng_fallbacks_total")
+            .get();
+        assert_eq!(after - before, 6);
+    }
+
+    #[test]
+    fn custom_policy_out_of_range_is_typed() {
+        let mut rng = None;
+        let p = MapPolicy::Custom(Arc::new(|_| 99));
+        assert!(matches!(
+            p.assign(0, 4, &mut rng),
+            Err(VmpiError::InvalidAssignment {
+                index: 99,
+                master_size: 4
+            })
+        ));
+    }
+
+    #[test]
     fn self_mapping_rejected() {
         Launcher::new()
             .partition("solo", 2, |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let mut map = Map::new();
                 assert_eq!(
                     map_partitions(&v, v.partition_id(), MapPolicy::RoundRobin, &mut map),

@@ -168,6 +168,8 @@ mod obs {
         pub dups_dropped: Arc<Counter>,
         pub sources_eof: Arc<Counter>,
         pub peers_lost: Arc<Counter>,
+        pub rng_fallbacks: Arc<Counter>,
+        pub protocol_violations: Arc<Counter>,
         pub open_writers: Arc<Gauge>,
         pub blocks_in_flight: Arc<Gauge>,
         pub occupancy: Arc<Histogram>,
@@ -192,6 +194,8 @@ mod obs {
                 dups_dropped: r.counter("vmpi_stream_dups_dropped_total"),
                 sources_eof: r.counter("vmpi_stream_sources_eof_total"),
                 peers_lost: r.counter("vmpi_stream_peers_lost_total"),
+                rng_fallbacks: r.counter("vmpi_stream_rng_fallbacks_total"),
+                protocol_violations: r.counter("vmpi_stream_protocol_violations_total"),
                 open_writers: r.gauge("vmpi_stream_open_writers"),
                 blocks_in_flight: r.gauge("vmpi_stream_blocks_in_flight"),
                 occupancy: r.histogram("vmpi_stream_buffer_occupancy"),
@@ -216,12 +220,25 @@ fn frame(seq: u64, flags: u8, body: &[u8]) -> Bytes {
     b.freeze()
 }
 
-fn unframe(data: &Bytes) -> Option<(u64, u8, Bytes)> {
-    if data.len() < FRAME_HDR {
-        return None;
+/// Decodes a stream frame. `Ok(None)` is the legacy zero-length EOF
+/// marker; a non-empty payload shorter than the header is a hostile or
+/// corrupt block and surfaces as a typed protocol violation rather than
+/// being silently mistaken for EOF.
+fn unframe(data: &Bytes) -> Result<Option<(u64, u8, Bytes)>> {
+    if data.is_empty() {
+        return Ok(None);
     }
-    let seq = u64::from_le_bytes(data[..8].try_into().expect("8 header bytes"));
-    Some((seq, data[8], data.slice(FRAME_HDR..)))
+    let truncated = || VmpiError::ProtocolViolation {
+        expected: "stream frame header of 9 bytes",
+        got: format!("{} bytes", data.len()),
+    };
+    let (seq_bytes, rest) = data.split_first_chunk::<8>().ok_or_else(truncated)?;
+    let (&flags, _) = rest.split_first().ok_or_else(truncated)?;
+    Ok(Some((
+        u64::from_le_bytes(*seq_bytes),
+        flags,
+        data.slice(FRAME_HDR..),
+    )))
 }
 
 struct EndpointChooser {
@@ -253,11 +270,17 @@ impl EndpointChooser {
                 self.next = (self.next + 1) % self.n;
                 i
             }
-            Balance::Random { .. } => self
-                .rng
-                .as_mut()
-                .expect("rng for random balance")
-                .gen_range(0..self.n),
+            // A random balance whose RNG is missing degrades to
+            // round-robin (counted) instead of aborting the stream.
+            Balance::Random { .. } => match self.rng.as_mut() {
+                Some(rng) => rng.gen_range(0..self.n),
+                None => {
+                    obs::m().rng_fallbacks.inc();
+                    let i = self.next;
+                    self.next = (self.next + 1) % self.n;
+                    i
+                }
+            },
         }
     }
 }
@@ -300,7 +323,9 @@ impl WriteStream {
         cfg: StreamConfig,
         stream_id: u16,
     ) -> Result<Self> {
-        assert!(!endpoints.is_empty(), "write stream needs >= 1 endpoint");
+        if endpoints.is_empty() {
+            return Err(VmpiError::InvalidConfig("write stream needs >= 1 endpoint"));
+        }
         obs::m().open_writers.inc();
         Ok(WriteStream {
             mpi: vmpi.mpi().clone(),
@@ -386,20 +411,25 @@ impl WriteStream {
         obs::m().occupancy.record(self.in_flight.len() as u64);
         // Reclaim completed buffers first, then block on the oldest if the
         // window is exhausted (back-pressure point).
-        while let Some(front) = self.in_flight.front_mut() {
-            if front.is_complete() {
-                self.in_flight.pop_front().expect("front exists").wait()?;
-                obs::m().blocks_in_flight.dec();
-            } else {
+        loop {
+            let ready = match self.in_flight.front_mut() {
+                Some(front) => front.is_complete(),
+                None => false,
+            };
+            if !ready {
                 break;
             }
+            if let Some(req) = self.in_flight.pop_front() {
+                req.wait()?;
+                obs::m().blocks_in_flight.dec();
+            }
         }
-        while self.in_flight.len() >= self.cfg.n_async {
+        while let Some(req) = (self.in_flight.len() >= self.cfg.n_async)
+            .then(|| self.in_flight.pop_front())
+            .flatten()
+        {
             obs::m().backpressure_waits.inc();
-            self.in_flight
-                .pop_front()
-                .expect("window non-empty")
-                .wait()?;
+            req.wait()?;
             obs::m().blocks_in_flight.dec();
         }
         let epi = self.chooser.pick();
@@ -540,10 +570,11 @@ impl DuplexStream {
         // must lie entirely on one side (true for partition-to-partition
         // couplings, where rank ranges are contiguous).
         let me = vmpi.mpi().world_rank();
-        assert!(
-            peers.iter().all(|&p| p > me) || peers.iter().all(|&p| p < me),
-            "duplex peers must all be in a remote partition"
-        );
+        if !(peers.iter().all(|&p| p > me) || peers.iter().all(|&p| p < me)) {
+            return Err(VmpiError::InvalidConfig(
+                "duplex peers must all be in a remote partition",
+            ));
+        }
         let (tx_id, rx_id) = if peers.iter().all(|&p| p > me) {
             (2 * stream_id, 2 * stream_id + 1)
         } else {
@@ -628,7 +659,9 @@ impl ReadStream {
         cfg: StreamConfig,
         stream_id: u16,
     ) -> Result<Self> {
-        assert!(!sources.is_empty(), "read stream needs >= 1 source");
+        if sources.is_empty() {
+            return Err(VmpiError::InvalidConfig("read stream needs >= 1 source"));
+        }
         let mpi = vmpi.mpi().clone();
         let universe = vmpi.comm_universe();
         let tag = stream_tag(stream_id);
@@ -733,14 +766,35 @@ impl ReadStream {
                 if !ready {
                     break;
                 }
-                let req = self.sources[idx].reqs.pop_front().expect("front exists");
-                let (_st, data) = req.wait()?.expect("recv request yields payload");
-                let Some((seq, flags, body)) = unframe(&data) else {
-                    // Unframed empty payload: legacy EOF marker; stop
-                    // reposting, leftover receives are reclaimed at job end.
-                    self.sources[idx].eof = true;
-                    obs::m().sources_eof.inc();
+                let Some(req) = self.sources[idx].reqs.pop_front() else {
                     break;
+                };
+                let Some((_st, data)) = req.wait()? else {
+                    obs::m().protocol_violations.inc();
+                    self.sources[idx].eof = true;
+                    return Err(VmpiError::ProtocolViolation {
+                        expected: "payload on completed stream receive",
+                        got: "empty completion".to_string(),
+                    });
+                };
+                let (seq, flags, body) = match unframe(&data) {
+                    Ok(Some(frame)) => frame,
+                    Ok(None) => {
+                        // Unframed empty payload: legacy EOF marker; stop
+                        // reposting, leftover receives are reclaimed at
+                        // job end.
+                        self.sources[idx].eof = true;
+                        obs::m().sources_eof.inc();
+                        break;
+                    }
+                    Err(e) => {
+                        // A hostile or corrupt block: this source is dead
+                        // (its byte offsets can no longer be trusted), but
+                        // surviving writers stay readable on later calls.
+                        obs::m().protocol_violations.inc();
+                        self.sources[idx].eof = true;
+                        return Err(e);
+                    }
                 };
                 let src = &mut self.sources[idx];
                 if seq < src.next_seq {

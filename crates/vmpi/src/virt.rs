@@ -7,6 +7,7 @@
 //! as the world ([`Vmpi::comm_world`]) while the real world remains
 //! available as [`Vmpi::comm_universe`] for inter-application traffic.
 
+use crate::{Result, VmpiError};
 use opmr_runtime::{Comm, Mpi, PartitionInfo};
 
 /// A virtualized per-rank MPI handle.
@@ -22,18 +23,30 @@ pub struct Vmpi {
 impl Vmpi {
     /// Virtualizes a raw runtime handle: derives the partition communicator
     /// deterministically from the partition table (no communication needed).
-    pub fn new(mpi: Mpi) -> Self {
+    ///
+    /// An inconsistent partition table — the caller's world rank missing
+    /// from its own partition — is rejected here with
+    /// [`VmpiError::PartitionInconsistent`] rather than surfacing as a
+    /// failure at first lookup.
+    pub fn new(mpi: Mpi) -> Result<Self> {
         let part = mpi.my_partition().clone();
+        let inconsistent = VmpiError::PartitionInconsistent {
+            world_rank: mpi.world_rank(),
+            partition: part.id,
+        };
+        if !part.world_ranks().contains(&mpi.world_rank()) {
+            return Err(inconsistent);
+        }
         let members: Vec<usize> = part.world_ranks().collect();
         let world = mpi
             .comm_from_world_ranks(members, 0x7A91_0000 + part.id as u64)
-            .expect("rank belongs to its own partition");
+            .map_err(|_| inconsistent)?;
         let universe = mpi.world();
-        Vmpi {
+        Ok(Vmpi {
             mpi,
             world,
             universe,
-        }
+        })
     }
 
     /// The virtual `MPI_COMM_WORLD`: this program's partition.
@@ -108,14 +121,14 @@ mod tests {
     fn virtual_world_is_the_partition() {
         Launcher::new()
             .partition("a", 3, |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 assert_eq!(v.size(), 3);
                 assert_eq!(v.rank(), v.mpi().world_rank());
                 assert_eq!(v.comm_universe().size(), 5);
                 assert_ne!(v.comm_world().id(), v.comm_universe().id());
             })
             .partition("b", 2, |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 assert_eq!(v.size(), 2);
                 assert_eq!(v.rank(), v.mpi().world_rank() - 3);
                 assert_eq!(v.partition_id(), 1);
@@ -132,7 +145,7 @@ mod tests {
         // Same local ranks and tags in two partitions: traffic must not mix.
         Launcher::new()
             .partition("left", 2, |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let w = v.comm_world();
                 if v.rank() == 0 {
                     v.mpi().send_t(&w, 1, 0, &[111u8]).unwrap();
@@ -142,7 +155,7 @@ mod tests {
                 }
             })
             .partition("right", 2, |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let w = v.comm_world();
                 if v.rank() == 0 {
                     v.mpi().send_t(&w, 1, 0, &[222u8]).unwrap();
@@ -162,7 +175,7 @@ mod tests {
         let ids2 = Arc::clone(&ids);
         Launcher::new()
             .partition("p", 4, move |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 ids2.lock().unwrap().push(v.comm_world().id());
             })
             .run()
@@ -176,7 +189,7 @@ mod tests {
     fn collectives_work_inside_virtual_world() {
         Launcher::new()
             .partition("compute", 4, |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let w = v.comm_world();
                 let sum = v
                     .mpi()
@@ -185,7 +198,7 @@ mod tests {
                 assert_eq!(sum, vec![6]);
             })
             .partition("other", 3, |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let w = v.comm_world();
                 let sum = v
                     .mpi()

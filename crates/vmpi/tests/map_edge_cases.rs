@@ -9,6 +9,8 @@
 //! assigns no slaves — its peer list stays empty while its collective
 //! participation still completes.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr_runtime::Launcher;
 use opmr_vmpi::map::map_partitions_directed;
 use opmr_vmpi::{Map, MapPolicy, Vmpi, VmpiError};
@@ -29,7 +31,7 @@ fn run_directed(slaves: usize, masters: usize, policy: MapPolicy) -> (PeerLists,
     let m_out = Arc::clone(&master_out);
     Launcher::new()
         .partition("slave", slaves, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut map = Map::new();
             map_partitions_directed(&v, 1, 1, s_policy.clone(), &mut map).unwrap();
             s_out
@@ -38,7 +40,7 @@ fn run_directed(slaves: usize, masters: usize, policy: MapPolicy) -> (PeerLists,
                 .push((v.mpi().world_rank(), map.peers().to_vec()));
         })
         .partition("master", masters, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut map = Map::new();
             map_partitions_directed(&v, 0, 1, policy.clone(), &mut map).unwrap();
             m_out
@@ -117,7 +119,7 @@ fn unknown_partition_is_a_typed_error() {
     let hit2 = Arc::clone(&hit);
     Launcher::new()
         .partition("only", 2, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut map = Map::new();
             // Partition #7 does not exist; an empty partition cannot be
             // expressed at all (the launcher asserts size > 0), so this is
@@ -136,4 +138,89 @@ fn unknown_partition_is_a_typed_error() {
         .run()
         .unwrap();
     assert_eq!(*hit.lock().unwrap(), 2);
+}
+
+#[test]
+fn truncated_pivot_registration_is_a_typed_error() {
+    // Satellite regression for the pivot decode path: a hostile slave rank
+    // speaks the real mapping protocol but sends a 3-byte registration
+    // instead of one u64. The pivot must surface MalformedPivotReply (with
+    // the observed length) rather than panicking on the short buffer.
+    use opmr_runtime::Context;
+
+    let hit = Arc::new(Mutex::new(None));
+    let hit2 = Arc::clone(&hit);
+    Launcher::new()
+        .partition("slave", 1, move |mpi| {
+            let v = Vmpi::new(mpi).unwrap();
+            let master = v.partition(1).unwrap().clone();
+            // Recompute the protocol's reserved tag (master pid 1, slave
+            // pid 0) and hit the pivot with a truncated registration.
+            let tag = 0x0400_0000 | (1 << 12);
+            v.mpi()
+                .send_ctx(
+                    Context::Stream,
+                    &v.comm_universe(),
+                    master.root_world_rank(),
+                    tag,
+                    vec![0u8; 3],
+                )
+                .unwrap();
+        })
+        .partition("master", 1, move |mpi| {
+            let v = Vmpi::new(mpi).unwrap();
+            let mut map = Map::new();
+            let got = map_partitions_directed(&v, 0, 1, MapPolicy::RoundRobin, &mut map);
+            assert!(map.is_empty(), "failed mapping must not grow the map");
+            *hit2.lock().unwrap() = Some(got);
+        })
+        .run()
+        .unwrap();
+    let got = hit.lock().unwrap().take();
+    match got {
+        Some(Err(VmpiError::MalformedPivotReply { len: 3, .. })) => {}
+        other => panic!("expected MalformedPivotReply {{ len: 3 }}, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_partition_registration_is_a_protocol_violation() {
+    // Same hostile setup, but the registration is a well-formed u64 naming
+    // a world rank outside the slave partition: the pivot must reject it
+    // as a protocol violation instead of assigning a bogus peer.
+    use opmr_runtime::Context;
+
+    let hit = Arc::new(Mutex::new(None));
+    let hit2 = Arc::clone(&hit);
+    Launcher::new()
+        .partition("slave", 1, move |mpi| {
+            let v = Vmpi::new(mpi).unwrap();
+            let master = v.partition(1).unwrap().clone();
+            let tag = 0x0400_0000 | (1 << 12);
+            v.mpi()
+                .send_ctx(
+                    Context::Stream,
+                    &v.comm_universe(),
+                    master.root_world_rank(),
+                    tag,
+                    opmr_runtime::pod::bytes_of(&999u64),
+                )
+                .unwrap();
+        })
+        .partition("master", 1, move |mpi| {
+            let v = Vmpi::new(mpi).unwrap();
+            let mut map = Map::new();
+            let got = map_partitions_directed(&v, 0, 1, MapPolicy::RoundRobin, &mut map);
+            assert!(map.is_empty());
+            *hit2.lock().unwrap() = Some(got);
+        })
+        .run()
+        .unwrap();
+    let outcome = hit.lock().unwrap().take();
+    match outcome {
+        Some(Err(VmpiError::ProtocolViolation { got, .. })) => {
+            assert!(got.contains("999"), "violation names the bogus rank: {got}");
+        }
+        other => panic!("expected ProtocolViolation, got {other:?}"),
+    }
 }

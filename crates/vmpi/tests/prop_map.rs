@@ -8,6 +8,8 @@
 //!   per-partition segments without disturbing earlier entries
 //!   (the Figure-10 multi-instrumentation pattern).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr_runtime::Launcher;
 use opmr_vmpi::map::map_partitions;
 use opmr_vmpi::{Map, MapPolicy, Vmpi};
@@ -39,7 +41,7 @@ fn run_additive(
         let out = Arc::clone(&apps[pid]);
         let policy = policy.clone();
         launcher = launcher.partition(&format!("app{pid}"), size, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut map = Map::new();
             map_partitions(&v, analyzer_pid, policy.clone(), &mut map).unwrap();
             out.lock()
@@ -50,7 +52,7 @@ fn run_additive(
     let a2 = Arc::clone(&analyzer_out);
     let policy2 = policy.clone();
     launcher = launcher.partition("Analyzer", analyzers, move |mpi| {
-        let v = Vmpi::new(mpi);
+        let v = Vmpi::new(mpi).unwrap();
         let mut map = Map::new();
         let mut snaps = Vec::new();
         for pid in 0..analyzer_pid {

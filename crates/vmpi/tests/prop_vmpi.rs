@@ -1,6 +1,8 @@
 //! Property tests for the coupling layer: mapping validity for arbitrary
 //! partition shapes and stream integrity for arbitrary traffic shapes.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr_runtime::Launcher;
 use opmr_vmpi::map::map_partitions;
 use opmr_vmpi::{Balance, Map, MapPolicy, ReadMode, ReadStream, StreamConfig, Vmpi, WriteStream};
@@ -17,7 +19,7 @@ fn run_map(writers: usize, analyzers: usize, policy: MapPolicy) -> (PeerLists, P
     let (p1, p2) = (policy.clone(), policy);
     Launcher::new()
         .partition("w", writers, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut map = Map::new();
             map_partitions(&v, 1, p1.clone(), &mut map).unwrap();
             w2.lock()
@@ -25,7 +27,7 @@ fn run_map(writers: usize, analyzers: usize, policy: MapPolicy) -> (PeerLists, P
                 .push((v.mpi().world_rank(), map.peers().to_vec()));
         })
         .partition("a", analyzers, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut map = Map::new();
             map_partitions(&v, 0, p2.clone(), &mut map).unwrap();
             a2.lock()
@@ -105,7 +107,7 @@ proptest! {
         let chunks2 = chunks.clone();
         Launcher::new()
             .partition("w", writers, move |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let me = v.rank();
                 let mut st =
                     WriteStream::open_to(&v, vec![writers], cfg, 3).unwrap();
@@ -115,7 +117,7 @@ proptest! {
                 st.close().unwrap();
             })
             .partition("r", 1, move |mpi| {
-                let v = Vmpi::new(mpi);
+                let v = Vmpi::new(mpi).unwrap();
                 let sources: Vec<usize> = (0..writers).collect();
                 let mut st = ReadStream::open_from(&v, sources, cfg, 3).unwrap();
                 while let Some(b) = st.read(ReadMode::Blocking).unwrap() {

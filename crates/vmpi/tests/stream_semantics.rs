@@ -1,6 +1,8 @@
 //! End-to-end VMPI stream tests: the writer/reader coupling of the paper's
 //! Figures 11 and 12, at thread scale.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr_runtime::Launcher;
 use opmr_vmpi::map::map_partitions;
 use opmr_vmpi::{
@@ -25,7 +27,7 @@ fn run_coupling(
     let recv2 = Arc::clone(&received);
     Launcher::new()
         .partition("app", writers, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let analyzer = v.partition_by_name("Analyzer").expect("analyzer exists");
             let mut map = Map::new();
             map_partitions(&v, analyzer.id, MapPolicy::RoundRobin, &mut map).unwrap();
@@ -40,7 +42,7 @@ fn run_coupling(
             st.close().unwrap();
         })
         .partition("Analyzer", readers, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut map = Map::new();
             for pid in 0..v.partition_count() {
                 if pid != v.partition_id() {
@@ -105,14 +107,14 @@ fn unaligned_sizes_partial_blocks() {
 fn blocking_read_mode() {
     Launcher::new()
         .partition("w", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = WriteStream::open_to(&v, vec![1], small_cfg(256), 7).unwrap();
             std::thread::sleep(std::time::Duration::from_millis(30));
             st.write(&[9u8; 1000]).unwrap();
             st.close().unwrap();
         })
         .partition("r", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = ReadStream::open_from(&v, vec![0], small_cfg(256), 7).unwrap();
             let mut total = 0;
             while let Some(b) = st.read(ReadMode::Blocking).unwrap() {
@@ -129,7 +131,7 @@ fn blocking_read_mode() {
 fn nonblocking_read_reports_eagain_before_data() {
     Launcher::new()
         .partition("w", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             // Wait for the go signal before writing anything.
             let u = v.comm_universe();
             v.mpi()
@@ -144,7 +146,7 @@ fn nonblocking_read_reports_eagain_before_data() {
             st.close().unwrap();
         })
         .partition("r", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = ReadStream::open_from(&v, vec![0], small_cfg(128), 2).unwrap();
             // Nothing written yet: must be EAGAIN, not a hang.
             assert!(matches!(
@@ -174,7 +176,7 @@ fn per_writer_byte_order_is_preserved() {
     // per-writer monotonicity even with interleaved arrivals.
     Launcher::new()
         .partition("w", 3, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = WriteStream::open_to(&v, vec![3], small_cfg(64), 3).unwrap();
             for i in 0..500u32 {
                 st.write(&i.to_le_bytes()).unwrap();
@@ -182,7 +184,7 @@ fn per_writer_byte_order_is_preserved() {
             st.close().unwrap();
         })
         .partition("r", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = ReadStream::open_from(&v, vec![0, 1, 2], small_cfg(64), 3).unwrap();
             let mut next: HashMap<usize, u32> = HashMap::new();
             let mut leftover: HashMap<usize, Vec<u8>> = HashMap::new();
@@ -208,7 +210,7 @@ fn per_writer_byte_order_is_preserved() {
 fn write_after_close_rejected() {
     Launcher::new()
         .partition("w", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = WriteStream::open_to(&v, vec![1], small_cfg(64), 4).unwrap();
             st.write(b"x").unwrap();
             st.flush().unwrap();
@@ -216,7 +218,7 @@ fn write_after_close_rejected() {
             st.close().unwrap();
         })
         .partition("r", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = ReadStream::open_from(&v, vec![0], small_cfg(64), 4).unwrap();
             let mut total = 0;
             while let Some(b) = st.read(ReadMode::Blocking).unwrap() {
@@ -232,13 +234,13 @@ fn write_after_close_rejected() {
 fn drop_closes_stream() {
     Launcher::new()
         .partition("w", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = WriteStream::open_to(&v, vec![1], small_cfg(64), 5).unwrap();
             st.write(&[7u8; 100]).unwrap();
             drop(st); // implicit close: reader must still terminate
         })
         .partition("r", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = ReadStream::open_from(&v, vec![0], small_cfg(64), 5).unwrap();
             let mut total = 0;
             while let Some(b) = st.read(ReadMode::Blocking).unwrap() {
@@ -258,7 +260,7 @@ fn multi_endpoint_writer_balances_blocks() {
     let c2 = Arc::clone(&counts);
     Launcher::new()
         .partition("w", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = WriteStream::open_to(
                 &v,
                 vec![1, 2, 3],
@@ -271,7 +273,7 @@ fn multi_endpoint_writer_balances_blocks() {
             st.close().unwrap();
         })
         .partition("r", 3, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st =
                 ReadStream::open_from(&v, vec![0], StreamConfig::new(128, 3, Balance::None), 6)
                     .unwrap();
@@ -297,7 +299,7 @@ fn random_balance_covers_endpoints() {
     let c2 = Arc::clone(&counts);
     Launcher::new()
         .partition("w", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = WriteStream::open_to(
                 &v,
                 vec![1, 2],
@@ -309,7 +311,7 @@ fn random_balance_covers_endpoints() {
             st.close().unwrap();
         })
         .partition("r", 2, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st =
                 ReadStream::open_from(&v, vec![0], StreamConfig::new(64, 3, Balance::None), 8)
                     .unwrap();
@@ -336,7 +338,7 @@ fn eof_only_after_all_writers_close() {
     // writer remains open.
     Launcher::new()
         .partition("w", 2, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = WriteStream::open_to(&v, vec![2], small_cfg(64), 11).unwrap();
             st.write(&[v.rank() as u8; 64]).unwrap();
             if v.rank() == 0 {
@@ -355,7 +357,7 @@ fn eof_only_after_all_writers_close() {
             }
         })
         .partition("r", 1, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = ReadStream::open_from(&v, vec![0, 1], small_cfg(64), 11).unwrap();
             // Drain both data blocks and writer 0's close.
             let mut got = 0;
@@ -399,7 +401,7 @@ fn balance_none_pins_first_endpoint() {
     let c2 = Arc::clone(&counts);
     Launcher::new()
         .partition("w", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st = WriteStream::open_to(
                 &v,
                 vec![1, 2, 3],
@@ -411,7 +413,7 @@ fn balance_none_pins_first_endpoint() {
             st.close().unwrap();
         })
         .partition("r", 3, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st =
                 ReadStream::open_from(&v, vec![0], StreamConfig::new(128, 3, Balance::None), 12)
                     .unwrap();
@@ -435,7 +437,7 @@ fn backpressure_bounds_inflight_blocks() {
     Launcher::new()
         .eager_limit(512)
         .partition("w", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st =
                 WriteStream::open_to(&v, vec![1], StreamConfig::new(4096, 2, Balance::None), 9)
                     .unwrap();
@@ -445,7 +447,7 @@ fn backpressure_bounds_inflight_blocks() {
             st.close().unwrap();
         })
         .partition("r", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut st =
                 ReadStream::open_from(&v, vec![0], StreamConfig::new(4096, 2, Balance::None), 9)
                     .unwrap();
@@ -467,7 +469,7 @@ fn duplex_stream_both_directions() {
     // stream (the paper's "multi- or uni-directional" streams).
     Launcher::new()
         .partition("left", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut dx = opmr_vmpi::DuplexStream::open(&v, vec![1], small_cfg(256), 10).unwrap();
             dx.write(&[1u8; 500]).unwrap();
             dx.flush().unwrap();
@@ -484,7 +486,7 @@ fn duplex_stream_both_directions() {
             assert_eq!(got + rest.iter().map(|b| b.data.len()).sum::<usize>(), 300);
         })
         .partition("right", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let mut dx = opmr_vmpi::DuplexStream::open(&v, vec![0], small_cfg(256), 10).unwrap();
             dx.write(&[2u8; 300]).unwrap();
             dx.flush().unwrap();
@@ -506,10 +508,121 @@ fn duplex_stream_both_directions() {
 fn partition_lookup_by_cmdline() {
     Launcher::new()
         .partition_with_cmdline("appA", "./bt.C.64", 2, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             assert_eq!(v.partition_by_cmdline("./bt.C.64").unwrap().name, "appA");
             assert!(v.partition_by_cmdline("./missing").is_none());
         })
         .run()
         .unwrap();
+}
+
+#[test]
+fn zero_length_write_before_close_is_a_noop() {
+    // Close-protocol edge case: an empty write must neither emit a block
+    // nor corrupt the close handshake. The reader sees exactly the real
+    // payload bytes, then a clean end of stream.
+    let received = Arc::new(Mutex::new(0u64));
+    let recv2 = Arc::clone(&received);
+    Launcher::new()
+        .partition("app", 1, move |mpi| {
+            let v = Vmpi::new(mpi).unwrap();
+            let analyzer = v.partition_by_name("Analyzer").unwrap().id;
+            let mut map = Map::new();
+            map_partitions(&v, analyzer, MapPolicy::RoundRobin, &mut map).unwrap();
+            let mut st = WriteStream::open_map(&v, &map, small_cfg(256), 1).unwrap();
+            st.write(&[]).unwrap();
+            st.write(&[7u8; 100]).unwrap();
+            st.write(&[]).unwrap();
+            st.close().unwrap();
+        })
+        .partition("Analyzer", 1, move |mpi| {
+            let v = Vmpi::new(mpi).unwrap();
+            let mut map = Map::new();
+            map_partitions(&v, 0, MapPolicy::RoundRobin, &mut map).unwrap();
+            let mut st = ReadStream::open_map(&v, &map, small_cfg(256), 1).unwrap();
+            while let Some(b) = st.read(ReadMode::Blocking).unwrap() {
+                *recv2.lock().unwrap() += b.data.len() as u64;
+            }
+            // A second read after end-of-stream stays Ok(None), not a panic.
+            assert!(st.read(ReadMode::Blocking).unwrap().is_none());
+        })
+        .run()
+        .unwrap();
+    assert_eq!(*received.lock().unwrap(), 100);
+}
+
+#[test]
+fn double_flush_on_empty_buffer_is_idempotent() {
+    // Flushing with nothing buffered (twice, before and after traffic)
+    // must not emit phantom blocks or trip the close protocol.
+    let received = Arc::new(Mutex::new(0u64));
+    let recv2 = Arc::clone(&received);
+    Launcher::new()
+        .partition("app", 1, move |mpi| {
+            let v = Vmpi::new(mpi).unwrap();
+            let analyzer = v.partition_by_name("Analyzer").unwrap().id;
+            let mut map = Map::new();
+            map_partitions(&v, analyzer, MapPolicy::RoundRobin, &mut map).unwrap();
+            let mut st = WriteStream::open_map(&v, &map, small_cfg(256), 1).unwrap();
+            st.flush().unwrap();
+            st.flush().unwrap();
+            st.write(&[3u8; 64]).unwrap();
+            st.flush().unwrap();
+            st.flush().unwrap();
+            st.close().unwrap();
+        })
+        .partition("Analyzer", 1, move |mpi| {
+            let v = Vmpi::new(mpi).unwrap();
+            let mut map = Map::new();
+            map_partitions(&v, 0, MapPolicy::RoundRobin, &mut map).unwrap();
+            let mut st = ReadStream::open_map(&v, &map, small_cfg(256), 1).unwrap();
+            let mut blocks = 0;
+            while let Some(b) = st.read(ReadMode::Blocking).unwrap() {
+                *recv2.lock().unwrap() += b.data.len() as u64;
+                blocks += 1;
+            }
+            assert_eq!(blocks, 1, "empty flushes must not emit blocks");
+        })
+        .run()
+        .unwrap();
+    assert_eq!(*received.lock().unwrap(), 64);
+}
+
+#[test]
+fn read_after_writers_aborted_is_peer_lost_not_a_panic() {
+    // The close-protocol contrast pair: writers that *abort* leave the
+    // reader with a typed PeerLost error, while writers that *close*
+    // (previous tests) end in Ok(None). Neither path may panic.
+    let outcome = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&outcome);
+    Launcher::new()
+        .partition("app", 2, move |mpi| {
+            let v = Vmpi::new(mpi).unwrap();
+            let analyzer = v.partition_by_name("Analyzer").unwrap().id;
+            let mut map = Map::new();
+            map_partitions(&v, analyzer, MapPolicy::RoundRobin, &mut map).unwrap();
+            let mut st = WriteStream::open_map(&v, &map, small_cfg(256), 1).unwrap();
+            st.write(&[9u8; 32]).unwrap();
+            st.abort(); // deliberate: no close handshake
+        })
+        .partition("Analyzer", 1, move |mpi| {
+            let v = Vmpi::new(mpi).unwrap();
+            let mut map = Map::new();
+            map_partitions(&v, 0, MapPolicy::RoundRobin, &mut map).unwrap();
+            let mut st = ReadStream::open_map(&v, &map, small_cfg(256), 1).unwrap();
+            let got = loop {
+                match st.read(ReadMode::Blocking) {
+                    Ok(Some(_)) => continue,
+                    other => break other,
+                }
+            };
+            *out2.lock().unwrap() = Some(got);
+        })
+        .run()
+        .unwrap();
+    let got = outcome.lock().unwrap().take();
+    match got {
+        Some(Err(VmpiError::PeerLost { .. })) => {}
+        other => panic!("expected PeerLost after abort, got {other:?}"),
+    }
 }

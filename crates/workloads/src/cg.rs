@@ -27,7 +27,9 @@ pub fn grid_shape(ranks: usize) -> Option<(usize, usize)> {
 
 /// Transpose-exchange partner of `rank` (the SpMV vector redistribution).
 pub fn transpose_partner(ranks: usize, rank: usize) -> usize {
-    let (nprows, npcols) = grid_shape(ranks).expect("power of two");
+    // Non-power-of-two worlds have no NPB grid; degrade to a 1×N "grid"
+    // whose transpose is the identity rather than panicking mid-workload.
+    let (nprows, npcols) = grid_shape(ranks).unwrap_or((1, ranks.max(1)));
     let row = rank / npcols;
     let col = rank % npcols;
     if nprows == npcols {

@@ -1,0 +1,209 @@
+//! Repository maintenance tasks.
+//!
+//! ```text
+//! cargo run -p xtask -- panic-scan
+//! ```
+//!
+//! `panic-scan` is the second half of the panic lint gate: clippy's
+//! `unwrap_used`/`expect_used` deny catches unwraps at compile time, this
+//! scanner additionally flags `panic!` / `unreachable!` / `todo!` /
+//! `unimplemented!` in library sources (`crates/*/src`, `src/`) outside
+//! `#[cfg(test)]` blocks. A site is allow-listed by a `// PANIC-OK:
+//! <reason>` marker on the same line; the allow-list may shrink but any
+//! growth past the committed baseline fails the scan, so new panicking
+//! sites need a deliberate baseline bump in this file.
+
+use std::error::Error;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Committed size of the `PANIC-OK` allow-list. Adding a marker without
+/// bumping this (with review) fails CI; removing markers is always fine.
+const ALLOWED_BASELINE: usize = 1;
+
+struct Site {
+    file: PathBuf,
+    line: usize,
+    text: String,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("panic-scan") => match panic_scan() {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("xtask: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- panic-scan");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn panic_scan() -> Result<ExitCode, Box<dyn Error>> {
+    let root = workspace_root()?;
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(root.join("crates"))? {
+        let dir = entry?.path();
+        // The scanner must not flag its own pattern table.
+        if dir.file_name().is_some_and(|n| n == "xtask") {
+            continue;
+        }
+        collect_rs(&dir.join("src"), &mut files)?;
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+
+    let patterns: Vec<String> = ["panic", "unreachable", "todo", "unimplemented"]
+        .iter()
+        .map(|m| format!("{m}!("))
+        .collect();
+    let marker = format!("// {}: ", "PANIC-OK");
+
+    let mut unmarked = Vec::new();
+    let mut marked = Vec::new();
+    for file in &files {
+        let src = std::fs::read_to_string(file)?;
+        for (idx, line) in non_test_lines(&src) {
+            let code = strip_comment(line);
+            if !patterns.iter().any(|p| code.contains(p.as_str())) {
+                continue;
+            }
+            let site = Site {
+                file: file.strip_prefix(&root).unwrap_or(file).to_path_buf(),
+                line: idx,
+                text: line.trim().to_string(),
+            };
+            if line.contains(&marker) {
+                marked.push(site);
+            } else {
+                unmarked.push(site);
+            }
+        }
+    }
+
+    for s in &unmarked {
+        eprintln!(
+            "unmarked panic site {}:{}: {}",
+            s.file.display(),
+            s.line,
+            s.text
+        );
+    }
+    if !unmarked.is_empty() {
+        // The scanner never walks its own sources, so naming the marker
+        // inline here cannot self-match.
+        eprintln!(
+            "\npanic-scan: {} unmarked site(s); return a typed error instead, or \
+             justify with `// PANIC-OK: <reason>`",
+            unmarked.len(),
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    if marked.len() > ALLOWED_BASELINE {
+        for s in &marked {
+            eprintln!("allow-listed {}:{}: {}", s.file.display(), s.line, s.text);
+        }
+        eprintln!(
+            "\npanic-scan: allow-list grew to {} sites (baseline {}); shrink it or \
+             bump ALLOWED_BASELINE in crates/xtask/src/main.rs with review",
+            marked.len(),
+            ALLOWED_BASELINE
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    println!(
+        "panic-scan: OK — {} files, 0 unmarked sites, {}/{} allow-listed",
+        files.len(),
+        marked.len(),
+        ALLOWED_BASELINE
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn workspace_root() -> Result<PathBuf, Box<dyn Error>> {
+    let mut dir = std::env::current_dir()?;
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("not inside the workspace (no Cargo.toml + crates/ found)".into());
+        }
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), Box<dyn Error>> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Yields `(line_number, line)` for lines outside `#[cfg(test)]` items and
+/// outside doc comments.
+fn non_test_lines(src: &str) -> Vec<(usize, &str)> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            // Skip the attributed item: scan forward to its first `{` and
+            // on to the matching close brace. Brace characters inside
+            // char or string literals (`'{'`, `"}"`) would skew the
+            // depth count, so they are masked out first.
+            let mut depth = 0i32;
+            let mut started = false;
+            while i < lines.len() {
+                let counted = lines[i]
+                    .replace("'{'", "")
+                    .replace("'}'", "")
+                    .replace("\"{\"", "")
+                    .replace("\"}\"", "");
+                for ch in counted.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            started = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                i += 1;
+                if started && depth <= 0 {
+                    break;
+                }
+            }
+            continue;
+        }
+        let t = line.trim_start();
+        if !t.starts_with("///") && !t.starts_with("//!") {
+            out.push((i + 1, line));
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Drops a trailing `//` comment (good enough for scanning: the marker is
+/// looked up on the raw line before this runs).
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}

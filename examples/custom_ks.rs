@@ -14,6 +14,8 @@
 //! cargo run --example custom_ks
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples favour brevity
+
 use opmr::blackboard::{type_id, DataEntry, KnowledgeSource};
 use opmr::core::{LiveOptions, Session};
 use opmr::events::{EventKind, EventPack};

@@ -7,6 +7,8 @@
 //! cargo run --release --example distributed_analyzer
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples favour brevity
+
 use opmr::core::{LiveOptions, Session};
 use opmr::netsim::tera100;
 use opmr::workloads::{Benchmark, Class};

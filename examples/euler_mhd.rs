@@ -7,6 +7,8 @@
 //! cargo run --example euler_mhd
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples favour brevity
+
 use opmr::analysis::WeightKind;
 use opmr::core::{LiveOptions, Session, TraceSession};
 use opmr::events::EventKind;

@@ -12,6 +12,8 @@
 //! (version info, rank-filtered profile, per-rank event density) against
 //! whatever is current mid-run.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples favour brevity
+
 use opmr::core::{Coupling, Session};
 use opmr::runtime::{Src, TagSel};
 use opmr::serve::proto::ALL_RANKS;

@@ -10,6 +10,8 @@
 //! (MPMD), writes the Markdown/LaTeX report and the Graphviz topologies
 //! under `out/multi_app/`.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples favour brevity
+
 use opmr::analysis::report;
 use opmr::core::{LiveOptions, Session};
 use opmr::netsim::tera100;

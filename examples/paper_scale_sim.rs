@@ -8,6 +8,8 @@
 //! chain of Figure 16 and prints one overhead row, plus the Bi values the
 //! paper quotes in Section IV-C.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples favour brevity
+
 use opmr::netsim::{curie, simulate, tera100, ToolModel};
 use opmr::workloads::{Benchmark, Class};
 

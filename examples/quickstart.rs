@@ -12,6 +12,8 @@
 //! the same streams through the TBON reduction overlay (`Coupling::Tbon`)
 //! and prints the per-node overlay counters.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples favour brevity
+
 use opmr::core::{Coupling, LiveOptions, Session, SessionOutcome};
 use opmr::runtime::{Src, TagSel};
 

@@ -10,6 +10,8 @@
 //! non-blocking reads until every writer closed — the exact code shape of
 //! the paper's listings, in the Rust API.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples favour brevity
+
 use opmr::runtime::Launcher;
 use opmr::vmpi::map::map_partitions;
 use opmr::vmpi::{
@@ -80,11 +82,13 @@ fn main() {
     let mut launcher = Launcher::new();
     for a in 0..apps {
         launcher = launcher.partition(&format!("app{a}"), writers_per_app, |mpi| {
-            writer_body(&Vmpi::new(mpi));
+            writer_body(&Vmpi::new(mpi).unwrap());
         });
     }
     launcher
-        .partition("Analyzer", analyzers, |mpi| analyzer_body(&Vmpi::new(mpi)))
+        .partition("Analyzer", analyzers, |mpi| {
+            analyzer_body(&Vmpi::new(mpi).unwrap())
+        })
         .run()
         .expect("MPMD job");
     let elapsed = t0.elapsed().as_secs_f64();

@@ -51,22 +51,27 @@ fn main() -> ExitCode {
 }
 
 fn demo() -> ExitCode {
+    match try_demo() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_demo() -> Result<(), Box<dyn std::error::Error>> {
     let m = tera100();
-    let cg = opmr::workloads::Benchmark::Cg
-        .build(Class::S, 8, &m, Some(3))
-        .expect("CG.S");
-    let euler = opmr::workloads::Benchmark::EulerMhd
-        .build(Class::S, 9, &m, Some(4))
-        .expect("EulerMHD");
+    let cg = opmr::workloads::Benchmark::Cg.build(Class::S, 8, &m, Some(3))?;
+    let euler = opmr::workloads::Benchmark::EulerMhd.build(Class::S, 9, &m, Some(4))?;
     let outcome = Session::builder()
         .analyzer_ranks(3)
         .waitstate()
         .app_workload("cg", cg, LiveOptions::default())
         .app_workload("euler_mhd", euler, LiveOptions::default())
-        .run()
-        .expect("demo session");
+        .run()?;
     println!("{}", outcome.markdown());
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -112,8 +117,15 @@ fn simulate_cmd(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let reference = simulate(&w, &machine, &ToolModel::None).expect("reference run");
-    let run = simulate(&w, &machine, &tool).expect("instrumented run");
+    let (reference, run) = match simulate(&w, &machine, &ToolModel::None)
+        .and_then(|r| simulate(&w, &machine, &tool).map(|t| (r, t)))
+    {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     println!(
         "{}.{class} on {ranks} ranks ({}), {iters} simulated iterations",
         bench.name(),

@@ -19,6 +19,8 @@
 //! design, exactly like MPI implementations keep their own control
 //! traffic on a reliable channel.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr::core::{Coupling, Session};
 use opmr::events::EventKind;
 use opmr::reduce::{run_node, NodeConfig, ReduceStats, Tree};
@@ -117,7 +119,7 @@ fn run_pipeline(plan: Option<FaultPlan>) -> (Delivery, u64, u64) {
     }
     launcher
         .partition("w", WRITERS, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let cfg = StreamConfig::new(BLOCK, 3, Balance::None)
                 .with_retries(16, Duration::from_micros(100));
             let mut st = WriteStream::open_to(&v, vec![WRITERS], cfg, 1).unwrap();
@@ -134,7 +136,7 @@ fn run_pipeline(plan: Option<FaultPlan>) -> (Delivery, u64, u64) {
             st.close().unwrap();
         })
         .partition("r", 1, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let cfg = StreamConfig::new(BLOCK, 3, Balance::RoundRobin)
                 .with_read_timeout(Duration::from_secs(30));
             let mut st = ReadStream::open_from(&v, (0..WRITERS).collect(), cfg, 1).unwrap();
@@ -336,7 +338,7 @@ fn writer_crash_surfaces_peer_lost_and_survivors_drain() {
                 .with_only_tags(data_tag_range()),
         )
         .partition("w", 2, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let cfg = StreamConfig::new(BLOCK, 3, Balance::None)
                 .with_retries(2, Duration::from_micros(50));
             let mut st = WriteStream::open_to(&v, vec![2], cfg, 1).unwrap();
@@ -363,7 +365,7 @@ fn writer_crash_surfaces_peer_lost_and_survivors_drain() {
             st.close().unwrap();
         })
         .partition("r", 1, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let cfg = StreamConfig::new(BLOCK, 3, Balance::RoundRobin)
                 .with_read_timeout(Duration::from_secs(30));
             let mut st = ReadStream::open_from(&v, vec![0, 1], cfg, 1).unwrap();
@@ -423,7 +425,7 @@ fn run_tbon_crash(seed: u64) -> (HashMap<u8, u64>, Vec<(usize, ReduceStats)>) {
                 .with_only_tags(data_tag_range()),
         )
         .partition("leaves", LEAVES, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let tree = Tree::new(2, NODES);
             let tree_pid = v.partition_by_name("Reduce").unwrap().id;
             let mut map = Map::new();
@@ -446,7 +448,7 @@ fn run_tbon_crash(seed: u64) -> (HashMap<u8, u64>, Vec<(usize, ReduceStats)>) {
             st.close().unwrap();
         })
         .partition("Reduce", NODES, move |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let tree = Tree::new(2, v.size());
             let mut map = Map::new();
             map_partitions_directed(&v, 0, v.partition_id(), tree.leaf_policy(), &mut map).unwrap();
@@ -525,7 +527,7 @@ fn read_timeout_is_typed_not_a_hang() {
     // once its deadline passes (liveness floor for every chaos run).
     Launcher::new()
         .partition("w", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             // Open lazily so the reader is definitely waiting, then close
             // only after the reader has timed out once.
             let u = v.comm_universe();
@@ -537,7 +539,7 @@ fn read_timeout_is_typed_not_a_hang() {
             st.close().unwrap();
         })
         .partition("r", 1, |mpi| {
-            let v = Vmpi::new(mpi);
+            let v = Vmpi::new(mpi).unwrap();
             let cfg = StreamConfig::new(BLOCK, 3, Balance::None)
                 .with_read_timeout(Duration::from_millis(50));
             let mut st = ReadStream::open_from(&v, vec![0], cfg, 2).unwrap();

@@ -2,6 +2,8 @@
 //! truth, and the online-vs-post-mortem equivalence the paper claims
 //! ("streamed analysis is very close to post-mortem analysis").
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr::analysis::report;
 use opmr::core::{LiveOptions, Session, TraceSession};
 use opmr::events::EventKind;

@@ -2,6 +2,8 @@
 //! selective-trace proxy, SIONlib-style containers and custom knowledge
 //! sources through the session façade.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr::analysis::Selection;
 use opmr::core::{LiveOptions, Session, TraceSession};
 use opmr::events::EventKind;

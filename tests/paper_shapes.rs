@@ -2,6 +2,8 @@
 //! roughly what factor, where crossovers fall. These pin the simulated
 //! figures so calibration drift is caught.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr::netsim::stream_model::{crossover_ratio, evaluate, stream_throughput_bps};
 use opmr::netsim::{curie, simulate, tera100, ToolModel};
 use opmr::workloads::{Benchmark, Class};

@@ -2,6 +2,8 @@
 //! deadlock-free with conserved accounting, and live sessions must never
 //! lose events.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr::core::{LiveOptions, Session};
 use opmr::netsim::{simulate, tera100, ToolModel};
 use opmr::workloads::{Benchmark, Class};

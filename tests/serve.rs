@@ -7,6 +7,8 @@
 //! subscriber degrades to a typed, stats-counted snapshot resync instead
 //! of unbounded server-side buffering.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 use opmr::runtime::{Src, TagSel};
 use opmr::serve::proto::ALL_RANKS;
 use opmr::serve::{ServeConfig, ServeError};
