@@ -37,6 +37,60 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
+/// Order-sensitive FNV-1a digest of the report's *timing-independent*
+/// content: per-`(rank, kind)` hit and byte counts, topology edge
+/// weights, pack / wire-byte / decode-error totals — everything except
+/// durations, which necessarily differ between two runs. Two runs of the
+/// same deterministic workload produce the same digest regardless of
+/// scheduling, transport backend, or wall time, so this is the
+/// acceptance check for "the analysis output is byte-identical".
+pub fn stable_digest(report: &MultiReport) -> u64 {
+    stable_digest_filtered(report, |_| true)
+}
+
+/// [`stable_digest`] over the subset of applications `keep` accepts —
+/// e.g. excluding a self-monitoring chapter, whose sample counts are
+/// inherently run-specific.
+pub fn stable_digest_filtered(report: &MultiReport, keep: impl Fn(&AppReport) -> bool) -> u64 {
+    use crate::profiler::MpiProfile;
+    use crate::topology::Topology;
+    use crate::wire::{encode_partials, AppPartial};
+    let mut apps: Vec<&AppReport> = report.apps.iter().filter(|a| keep(a)).collect();
+    apps.sort_by_key(|a| a.app_id);
+    let parts: Vec<AppPartial> = apps
+        .into_iter()
+        .map(|a| {
+            let mut profile = MpiProfile::new();
+            for kind in a.profile.kinds() {
+                for rank in 0..a.profile.ranks() {
+                    if let Some(c) = a.profile.rank_kind(rank, kind) {
+                        profile.absorb_stats(rank, kind, c.hits, 0, c.bytes, 0, 0);
+                    }
+                }
+            }
+            let mut topology = Topology::new();
+            for ((s, d), w) in a.topology.sorted_edges() {
+                topology.add_weighted(s, d, w.hits, w.bytes, 0);
+            }
+            AppPartial {
+                app_id: a.app_id,
+                packs: a.packs,
+                wire_bytes: a.wire_bytes,
+                decode_errors: a.decode_errors,
+                profile,
+                topology,
+                waitstate: None,
+            }
+        })
+        .collect();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in encode_partials(&parts).iter() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Renders the whole report as Markdown.
 pub fn to_markdown(report: &MultiReport) -> String {
     let mut out = String::new();

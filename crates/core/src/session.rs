@@ -51,6 +51,8 @@ pub enum SessionError {
     Launch(opmr_runtime::launch::LaunchError),
     /// A coupling-layer failure before launch.
     Vmpi(VmpiError),
+    /// The socket mesh of a multi-process session failed to assemble.
+    Socket(opmr_runtime::SocketError),
     /// Builder misuse.
     Config(String),
 }
@@ -60,9 +62,23 @@ impl std::fmt::Display for SessionError {
         match self {
             SessionError::Launch(e) => write!(f, "launch failed: {e}"),
             SessionError::Vmpi(e) => write!(f, "coupling failed: {e}"),
+            SessionError::Socket(e) => write!(f, "socket transport failed: {e}"),
             SessionError::Config(what) => write!(f, "bad session config: {what}"),
         }
     }
+}
+
+/// How a session's MPMD job is hosted.
+enum LaunchPlan {
+    /// One process, ranks as threads (`Launcher::run`).
+    InProc,
+    /// One process of a socket-transport multi-process job
+    /// (`Launcher::run_multiproc`).
+    Socket {
+        socket: opmr_runtime::SocketConfig,
+        proc_index: usize,
+        num_procs: usize,
+    },
 }
 
 impl std::error::Error for SessionError {}
@@ -349,10 +365,56 @@ impl SessionBuilder {
     }
 
     /// Runs the session to completion.
-    pub fn run(mut self) -> Result<SessionOutcome, SessionError> {
+    pub fn run(self) -> Result<SessionOutcome, SessionError> {
+        self.run_inner(LaunchPlan::InProc)
+    }
+
+    /// Runs the session as one process of a socket-transport
+    /// multi-process job. Every participating process must build an
+    /// *identical* session (same applications, same configuration, same
+    /// order) and call this with its own `proc_index`; the processes
+    /// find each other through `socket`'s endpoint.
+    ///
+    /// Placement is derived, not configurable: the analyzer partition,
+    /// client partitions and the hidden self-monitor stay on process 0 —
+    /// the shared analysis engine and snapshot store live in that
+    /// address space — while application partitions spread round-robin
+    /// over processes `1..num_procs`. Only process 0's outcome carries
+    /// the report; worker processes get an empty one (their engine
+    /// ingests nothing), and `recorders` always covers just the ranks
+    /// hosted by the calling process.
+    pub fn run_multiproc(
+        self,
+        socket: opmr_runtime::SocketConfig,
+        proc_index: usize,
+        num_procs: usize,
+    ) -> Result<SessionOutcome, SessionError> {
+        if self.distributed {
+            return Err(SessionError::Config(
+                "distributed analysis gathers partials inside one process; \
+                 multi-process sessions use the shared engine on process 0"
+                    .into(),
+            ));
+        }
+        self.run_inner(LaunchPlan::Socket {
+            socket,
+            proc_index,
+            num_procs,
+        })
+    }
+
+    fn run_inner(mut self, plan: LaunchPlan) -> Result<SessionOutcome, SessionError> {
         if self.apps.is_empty() {
             return Err(SessionError::Config("no applications added".into()));
         }
+        // Process placement (socket plan only): application partition `i`
+        // lands on worker process `1 + (i % workers)`; everything stateful
+        // (analyzer, clients, self-monitor) stays on process 0.
+        let workers = match &plan {
+            LaunchPlan::InProc => 0,
+            LaunchPlan::Socket { num_procs, .. } => num_procs.saturating_sub(1),
+        };
+        let app_proc = move |i: usize| if workers == 0 { 0 } else { 1 + (i % workers) };
         let coupling = self.coupling;
         if self.distributed && matches!(coupling, Coupling::Serving) {
             return Err(SessionError::Config(
@@ -377,9 +439,19 @@ impl SessionBuilder {
         // before ids/names/partition counts are derived so every layer
         // treats it uniformly. It samples until the *user* application
         // ranks have all finished (tracked by a shared countdown), then
-        // takes one closing sample and finalizes like any other app.
+        // takes one closing sample and finalizes like any other app. The
+        // countdown only covers ranks hosted in the monitor's own process
+        // (process 0) — each process has its own registry and its own copy
+        // of this counter, and remote ranks never decrement it.
         if let Some(interval) = self.self_monitor {
-            let live = Arc::new(AtomicUsize::new(self.apps.iter().map(|s| s.ranks).sum()));
+            let colocated: usize = self
+                .apps
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| app_proc(*i) == 0)
+                .map(|(_, s)| s.ranks)
+                .sum();
+            let live = Arc::new(AtomicUsize::new(colocated));
             for spec in &mut self.apps {
                 let inner = Arc::clone(&spec.body);
                 let live = Arc::clone(&live);
@@ -469,9 +541,26 @@ impl SessionBuilder {
         let serve_stats: Arc<Mutex<Vec<(usize, ServeStats)>>> = Arc::new(Mutex::new(Vec::new()));
 
         let mut launcher = Launcher::new();
-        if let Some(plan) = self.fault_plan.take() {
-            launcher = launcher.fault_plan(plan);
+        if let Some(fp) = self.fault_plan.take() {
+            launcher = launcher.fault_plan(fp);
         }
+        // Partition order is apps (incl. the self-monitor), Analyzer,
+        // clients; the explicit process assignment mirrors it. The
+        // self-monitor samples process 0's registry, so it lives there.
+        let mut assign: Vec<usize> = self
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if s.name == SELF_MONITOR_APP {
+                    0
+                } else {
+                    app_proc(i)
+                }
+            })
+            .collect();
+        assign.push(0); // Analyzer
+        assign.extend(std::iter::repeat_n(0, self.clients.len()));
         for (app_id, spec) in self.apps.into_iter().enumerate() {
             let body = spec.body;
             let name = spec.name.clone();
@@ -575,7 +664,21 @@ impl SessionBuilder {
         }
 
         let t0 = std::time::Instant::now();
-        launcher.run().map_err(SessionError::Launch)?;
+        match plan {
+            LaunchPlan::InProc => launcher.run().map_err(SessionError::Launch)?,
+            LaunchPlan::Socket {
+                socket,
+                proc_index,
+                num_procs,
+            } => {
+                let topo = opmr_runtime::MultiprocTopology::new(socket, proc_index, num_procs)
+                    .assign(opmr_runtime::PartitionAssign::Explicit(assign));
+                launcher.run_multiproc(topo).map_err(|e| match e {
+                    opmr_runtime::MultiprocError::Launch(l) => SessionError::Launch(l),
+                    opmr_runtime::MultiprocError::Socket(s) => SessionError::Socket(s),
+                })?;
+            }
+        }
         let wall_s = t0.elapsed().as_secs_f64();
 
         let report = match engine {

@@ -8,12 +8,19 @@
 //! descriptions are visible from every rank (the paper's
 //! `VMPI_Partition_desc`), which is what makes opportunistic partition
 //! mapping possible.
+//!
+//! Envelopes move through a pluggable [`Transport`]: [`Launcher::run`] uses
+//! the in-process backend ([`crate::transport::InProc`], ranks are threads
+//! of this process), while [`Launcher::run_multiproc`] (see
+//! [`crate::socket`]) hosts a *subset* of the ranks here and reaches the
+//! rest over Unix-domain or TCP sockets.
 
 use crate::comm::Comm;
 use crate::fault::{FaultLayer, FaultPlan};
 use crate::mailbox::Mailbox;
 use crate::mpi::Mpi;
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::transport::{InProc, Transport};
+use crate::RtError;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -51,18 +58,14 @@ impl PartitionInfo {
     }
 }
 
-/// Shared state of a running job: mailboxes, partition table, wall clock.
+/// Shared state of a running job: transport, partition table, wall clock.
 pub struct Universe {
-    mailboxes: Vec<Arc<Mailbox>>,
+    transport: Arc<dyn Transport>,
     partitions: Arc<Vec<PartitionInfo>>,
     eager_limit: usize,
     epoch: Instant,
     /// Installed fault-injection layer, if the launcher configured one.
     fault: Option<Arc<FaultLayer>>,
-    /// One liveness flag per rank, cleared when the rank's entry returns
-    /// (normally or by panic). Stream readers use this to distinguish "no
-    /// data yet" from "the writer is gone".
-    alive: Vec<AtomicBool>,
 }
 
 impl Universe {
@@ -75,19 +78,44 @@ impl Universe {
         fault_plan: Option<FaultPlan>,
     ) -> Arc<Self> {
         let total: usize = partitions.iter().map(|p| p.size).sum();
+        Self::with_transport(
+            partitions,
+            eager_limit,
+            fault_plan,
+            Arc::new(InProc::new(total)),
+        )
+    }
+
+    pub(crate) fn with_transport(
+        partitions: Vec<PartitionInfo>,
+        eager_limit: usize,
+        fault_plan: Option<FaultPlan>,
+        transport: Arc<dyn Transport>,
+    ) -> Arc<Self> {
+        let total: usize = partitions.iter().map(|p| p.size).sum();
+        debug_assert_eq!(total, transport.world_size());
         Arc::new(Universe {
-            mailboxes: (0..total).map(|_| Arc::new(Mailbox::default())).collect(),
+            transport,
             partitions: Arc::new(partitions),
             eager_limit,
             epoch: Instant::now(),
             fault: fault_plan.map(|p| Arc::new(FaultLayer::new(p, total))),
-            alive: (0..total).map(|_| AtomicBool::new(true)).collect(),
         })
     }
 
     /// Total number of ranks in the job.
     pub fn world_size(&self) -> usize {
-        self.mailboxes.len()
+        self.transport.world_size()
+    }
+
+    /// The transport backend moving this universe's envelopes.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Short name of the transport backend ("inproc", "socket").
+    pub fn backend_name(&self) -> &'static str {
+        self.transport.backend_name()
     }
 
     /// All partition descriptions.
@@ -107,8 +135,15 @@ impl Universe {
             .find(|p| p.world_ranks().contains(&world_rank))
     }
 
-    pub(crate) fn mailbox(&self, world_rank: usize) -> &Arc<Mailbox> {
-        &self.mailboxes[world_rank]
+    /// Mailbox of a rank hosted in this process. Receives and rendezvous
+    /// waits are always local; a lookup of a remote rank's mailbox is a
+    /// protocol violation surfaced as a typed error by the caller.
+    pub(crate) fn local_mailbox(&self, world_rank: usize) -> Result<&Arc<Mailbox>, RtError> {
+        self.transport
+            .local_mailbox(world_rank)
+            .ok_or(RtError::Protocol(
+                "rank's mailbox is not hosted in this process",
+            ))
     }
 
     /// The fault-injection layer, when one was installed via
@@ -121,11 +156,11 @@ impl Universe {
     /// delivery is synchronous, once this turns false every message the
     /// rank ever sent is already in its destination mailbox.
     pub fn rank_alive(&self, world_rank: usize) -> bool {
-        self.alive[world_rank].load(Ordering::Acquire)
+        self.transport.rank_alive(world_rank)
     }
 
     pub(crate) fn mark_rank_done(&self, world_rank: usize) {
-        self.alive[world_rank].store(false, Ordering::Release);
+        self.transport.mark_rank_done(world_rank);
     }
 
     pub(crate) fn eager_limit(&self) -> usize {
@@ -144,9 +179,7 @@ impl Universe {
 
     /// Wakes every blocked rank with [`crate::RtError::Shutdown`].
     pub fn shutdown_all(&self) {
-        for mb in &self.mailboxes {
-            mb.shutdown();
-        }
+        self.transport.shutdown_all();
     }
 }
 
@@ -155,11 +188,12 @@ pub type RankError = Box<dyn std::error::Error + Send + Sync + 'static>;
 
 type EntryPoint = Arc<dyn Fn(Mpi) -> std::result::Result<(), RankError> + Send + Sync + 'static>;
 
-struct PartitionSpec {
-    name: String,
-    cmdline: String,
-    size: usize,
-    entry: EntryPoint,
+#[derive(Clone)]
+pub(crate) struct PartitionSpec {
+    pub(crate) name: String,
+    pub(crate) cmdline: String,
+    pub(crate) size: usize,
+    pub(crate) entry: EntryPoint,
 }
 
 /// How a rank failed: by unwinding or by returning a typed error from a
@@ -230,11 +264,16 @@ impl std::fmt::Display for LaunchError {
 impl std::error::Error for LaunchError {}
 
 /// Builder for an MPMD job.
+///
+/// Cloning a launcher is cheap (entry points are shared); the socket
+/// backend relies on it so every participating process can be handed the
+/// same job description.
+#[derive(Clone)]
 pub struct Launcher {
-    specs: Vec<PartitionSpec>,
-    eager_limit: usize,
-    stack_size: Option<usize>,
-    fault_plan: Option<FaultPlan>,
+    pub(crate) specs: Vec<PartitionSpec>,
+    pub(crate) eager_limit: usize,
+    pub(crate) stack_size: Option<usize>,
+    pub(crate) fault_plan: Option<FaultPlan>,
 }
 
 impl Default for Launcher {
@@ -270,6 +309,13 @@ impl Launcher {
     pub fn stack_size(mut self, bytes: usize) -> Self {
         self.stack_size = Some(bytes);
         self
+    }
+
+    /// Number of partitions configured so far. Multi-process launchers
+    /// use this to choose a process count before calling
+    /// [`Launcher::run_multiproc`](crate::socket).
+    pub fn partition_count(&self) -> usize {
+        self.specs.len()
     }
 
     /// Adds a partition of `size` ranks all running `entry`.
@@ -326,9 +372,9 @@ impl Launcher {
         self
     }
 
-    /// Spawns every rank, runs the job to completion and joins all threads.
-    pub fn run(self) -> Result<(), LaunchError> {
-        assert!(!self.specs.is_empty(), "no partitions configured");
+    /// Partition table this job will launch with (dense ids, contiguous
+    /// world ranks in declaration order).
+    pub(crate) fn build_infos(&self) -> Vec<PartitionInfo> {
         let mut infos = Vec::with_capacity(self.specs.len());
         let mut first = 0usize;
         for (id, spec) in self.specs.iter().enumerate() {
@@ -341,81 +387,106 @@ impl Launcher {
             });
             first += spec.size;
         }
-        let universe = Universe::new(infos, self.eager_limit, self.fault_plan);
+        infos
+    }
 
-        let partitions = Arc::clone(&universe.partitions);
-        let mut handles = Vec::new();
-        let mut failures = Vec::new();
-        for (pid, spec) in self.specs.into_iter().enumerate() {
-            for local in 0..spec.size {
-                let world_rank = universe.partitions()[pid].first_world_rank + local;
-                let entry = Arc::clone(&spec.entry);
-                let uni = Arc::clone(&universe);
-                let name = format!("{}#{}", spec.name, local);
-                let mut builder = std::thread::Builder::new().name(name);
-                if let Some(sz) = self.stack_size {
-                    builder = builder.stack_size(sz);
-                }
-                match builder.spawn(move || {
-                    let world = Comm::world(uni.world_size(), world_rank);
-                    let mpi = Mpi::new(Arc::clone(&uni), world_rank, world, pid);
-                    let result =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || entry(mpi)));
-                    // Everything the rank sent is delivered by now
-                    // (sends complete synchronously), so readers that
-                    // see the flag drop will not miss data.
-                    uni.mark_rank_done(world_rank);
-                    if !matches!(result, Ok(Ok(()))) {
-                        // Unblock every other rank so the job tears down
-                        // instead of hanging on a dead peer.
-                        uni.shutdown_all();
-                    }
-                    result
-                }) {
-                    Ok(handle) => handles.push((pid, world_rank, handle)),
-                    Err(e) => {
-                        // The OS refused the thread: record the rank as
-                        // failed and wake everything that might wait on it.
-                        universe.mark_rank_done(world_rank);
-                        universe.shutdown_all();
-                        failures.push(RankFailure {
-                            partition: spec.name.clone(),
-                            world_rank,
-                            kind: FailureKind::Errored,
-                            message: format!("failed to spawn rank thread: {e}"),
-                        });
-                    }
-                }
-            }
-        }
-
-        for (pid, world_rank, handle) in handles {
-            let partition = partitions
-                .get(pid)
-                .map(|p| p.name.clone())
-                .unwrap_or_default();
-            match handle.join() {
-                Ok(Ok(Ok(()))) => {}
-                Ok(Ok(Err(e))) => failures.push(RankFailure {
-                    partition,
-                    world_rank,
-                    kind: FailureKind::Errored,
-                    message: e.to_string(),
-                }),
-                Ok(Err(payload)) | Err(payload) => failures.push(RankFailure {
-                    partition,
-                    world_rank,
-                    kind: FailureKind::Panicked,
-                    message: panic_message(payload.as_ref()),
-                }),
-            }
-        }
+    /// Spawns every rank, runs the job to completion and joins all threads.
+    pub fn run(self) -> Result<(), LaunchError> {
+        assert!(!self.specs.is_empty(), "no partitions configured");
+        let universe = Universe::new(
+            self.build_infos(),
+            self.eager_limit,
+            self.fault_plan.clone(),
+        );
+        let failures = spawn_and_join(&universe, &self.specs, self.stack_size, |_| true);
         if failures.is_empty() {
             Ok(())
         } else {
             Err(LaunchError { failures })
         }
     }
+}
+
+/// Spawns one thread per rank selected by `hosted`, joins them all and
+/// returns the failed ranks. Shared by [`Launcher::run`] (hosts every
+/// rank) and the socket backend's multi-process launch (hosts a subset).
+pub(crate) fn spawn_and_join(
+    universe: &Arc<Universe>,
+    specs: &[PartitionSpec],
+    stack_size: Option<usize>,
+    hosted: impl Fn(usize) -> bool,
+) -> Vec<RankFailure> {
+    let partitions = Arc::clone(&universe.partitions);
+    let mut handles = Vec::new();
+    let mut failures = Vec::new();
+    for (pid, spec) in specs.iter().enumerate() {
+        for local in 0..spec.size {
+            let world_rank = universe.partitions()[pid].first_world_rank + local;
+            if !hosted(world_rank) {
+                continue;
+            }
+            let entry = Arc::clone(&spec.entry);
+            let uni = Arc::clone(universe);
+            let name = format!("{}#{}", spec.name, local);
+            let mut builder = std::thread::Builder::new().name(name);
+            if let Some(sz) = stack_size {
+                builder = builder.stack_size(sz);
+            }
+            match builder.spawn(move || {
+                let world = Comm::world(uni.world_size(), world_rank);
+                let mpi = Mpi::new(Arc::clone(&uni), world_rank, world, pid);
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || entry(mpi)));
+                // Everything the rank sent is delivered by now
+                // (sends complete synchronously), so readers that
+                // see the flag drop will not miss data.
+                uni.mark_rank_done(world_rank);
+                if !matches!(result, Ok(Ok(()))) {
+                    // Unblock every other rank so the job tears down
+                    // instead of hanging on a dead peer.
+                    uni.shutdown_all();
+                }
+                result
+            }) {
+                Ok(handle) => handles.push((pid, world_rank, handle)),
+                Err(e) => {
+                    // The OS refused the thread: record the rank as
+                    // failed and wake everything that might wait on it.
+                    universe.mark_rank_done(world_rank);
+                    universe.shutdown_all();
+                    failures.push(RankFailure {
+                        partition: spec.name.clone(),
+                        world_rank,
+                        kind: FailureKind::Errored,
+                        message: format!("failed to spawn rank thread: {e}"),
+                    });
+                }
+            }
+        }
+    }
+
+    for (pid, world_rank, handle) in handles {
+        let partition = partitions
+            .get(pid)
+            .map(|p| p.name.clone())
+            .unwrap_or_default();
+        match handle.join() {
+            Ok(Ok(Ok(()))) => {}
+            Ok(Ok(Err(e))) => failures.push(RankFailure {
+                partition,
+                world_rank,
+                kind: FailureKind::Errored,
+                message: e.to_string(),
+            }),
+            Ok(Err(payload)) | Err(payload) => failures.push(RankFailure {
+                partition,
+                world_rank,
+                kind: FailureKind::Panicked,
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+    }
+    failures
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -456,6 +527,7 @@ mod tests {
             None,
         );
         assert_eq!(uni.world_size(), 5);
+        assert_eq!(uni.backend_name(), "inproc");
         assert_eq!(uni.partition_of(0).unwrap().name, "a");
         assert_eq!(uni.partition_of(4).unwrap().name, "b");
         assert!(uni.partition_of(5).is_none());
@@ -512,6 +584,17 @@ mod tests {
         assert_eq!(err.failures[0].kind, FailureKind::Errored);
         assert!(err.failures[0].message.contains("typed failure"));
         assert!(!err.any_panicked());
+    }
+
+    #[test]
+    fn cloned_launcher_shares_entry_points() {
+        static COUNT: AtomicUsize = AtomicUsize::new(0);
+        let l = Launcher::new().partition("w", 2, |_mpi| {
+            COUNT.fetch_add(1, Ordering::Relaxed);
+        });
+        l.clone().run().unwrap();
+        l.run().unwrap();
+        assert_eq!(COUNT.load(Ordering::Relaxed), 4);
     }
 
     #[test]

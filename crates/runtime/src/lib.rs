@@ -47,6 +47,8 @@ pub mod mailbox;
 pub mod mpi;
 pub mod pod;
 pub mod request;
+pub mod socket;
+pub mod transport;
 
 pub use comm::{Comm, CommId};
 pub use envelope::{Context, Src, Status, TagSel, ANY_TAG};
@@ -57,6 +59,10 @@ pub use launch::{
 pub use mpi::Mpi;
 pub use pod::Pod;
 pub use request::Request;
+pub use socket::{
+    Endpoint, MultiprocError, MultiprocTopology, PartitionAssign, SocketConfig, SocketError,
+};
+pub use transport::{InProc, Transport};
 
 /// Errors surfaced by the runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -94,12 +94,14 @@ impl Mpi {
         })
     }
 
-    /// Hands an envelope to the destination mailbox, routing stream-plane
-    /// traffic through the fault layer when one is installed. Returns the
-    /// delivery state of the last envelope actually delivered (injected
-    /// duplicates and reorder flushes ride along fire-and-forget).
+    /// Hands an envelope to the transport, routing stream-plane traffic
+    /// through the fault layer when one is installed. Fault evaluation
+    /// happens *above* the transport so every backend shares the same
+    /// injection semantics unchanged. Returns the delivery state of the
+    /// last envelope actually delivered (injected duplicates and reorder
+    /// flushes ride along fire-and-forget).
     fn deliver_env(&self, dst_world: usize, env: crate::envelope::Envelope) -> Result<Delivery> {
-        let mailbox = Arc::clone(self.uni.mailbox(dst_world));
+        let transport = self.uni.transport();
         if env.header.ctx == Context::Stream {
             if let Some(layer) = self.uni.fault_layer() {
                 let inj = layer.on_send(self.world_rank, dst_world, env);
@@ -108,7 +110,7 @@ impl Mpi {
                 }
                 let mut last = Delivery::Complete;
                 for e in inj.deliver {
-                    last = mailbox.deliver(e, self.uni.eager_limit())?;
+                    last = transport.deliver(dst_world, e, self.uni.eager_limit())?;
                 }
                 if inj.dropped {
                     return Err(RtError::Dropped { dst: dst_world });
@@ -116,7 +118,7 @@ impl Mpi {
                 return Ok(last);
             }
         }
-        mailbox.deliver(env, self.uni.eager_limit())
+        transport.deliver(dst_world, env, self.uni.eager_limit())
     }
 
     // ------------------------------------------------------------------
@@ -143,7 +145,9 @@ impl Mpi {
         );
         match self.deliver_env(dst_world, env)? {
             Delivery::Complete => Ok(()),
-            Delivery::Pending(handle) => self.uni.mailbox(dst_world).wait_send(&handle),
+            // A pending (rendezvous) delivery only arises for a local
+            // destination, so the mailbox lookup cannot fail here.
+            Delivery::Pending(handle) => self.uni.local_mailbox(dst_world)?.wait_send(&handle),
         }
     }
 
@@ -168,7 +172,7 @@ impl Mpi {
         match self.deliver_env(dst_world, env)? {
             Delivery::Complete => Ok(Request::send_done()),
             Delivery::Pending(handle) => Ok(Request::pending_send(
-                Arc::clone(self.uni.mailbox(dst_world)),
+                Arc::clone(self.uni.local_mailbox(dst_world)?),
                 handle,
             )),
         }
@@ -182,16 +186,16 @@ impl Mpi {
         src: Src,
         tag: TagSel,
     ) -> Result<(Status, Bytes)> {
-        let env = self
-            .uni
-            .mailbox(self.world_rank)
-            .recv_blocking(ctx, comm.id(), src, tag)?;
+        let env =
+            self.uni
+                .local_mailbox(self.world_rank)?
+                .recv_blocking(ctx, comm.id(), src, tag)?;
         Ok((env.status(), env.payload))
     }
 
     /// Non-blocking receive in an explicit context plane.
     pub fn irecv_ctx(&self, ctx: Context, comm: &Comm, src: Src, tag: TagSel) -> Result<Request> {
-        let mailbox = Arc::clone(self.uni.mailbox(self.world_rank));
+        let mailbox = Arc::clone(self.uni.local_mailbox(self.world_rank)?);
         let slot = mailbox.post_recv(ctx, comm.id(), src, tag)?;
         Ok(Request::pending_recv(mailbox, slot))
     }
@@ -199,7 +203,8 @@ impl Mpi {
     /// Non-destructive check for a matching unexpected message.
     pub fn iprobe_ctx(&self, ctx: Context, comm: &Comm, src: Src, tag: TagSel) -> Option<Status> {
         self.uni
-            .mailbox(self.world_rank)
+            .local_mailbox(self.world_rank)
+            .ok()?
             .probe(ctx, comm.id(), src, tag)
     }
 

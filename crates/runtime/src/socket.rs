@@ -1,0 +1,1375 @@
+//! Socket transport backend: one job, N OS processes.
+//!
+//! Every process hosts a subset of the world's ranks (threads, exactly as
+//! in the in-process backend) and reaches the others over Unix-domain or
+//! TCP sockets. Envelopes travel as length-prefixed, checksummed frames
+//! (reusing the codec in `opmr-events`), multiplexed over one full-duplex
+//! connection per process pair. The mailbox matching engine, the fault
+//! layer and the stream protocols all sit *above* the
+//! [`crate::Transport`] trait and are byte-for-byte the same code as in
+//! the `InProc` backend — `tests/transport_conformance.rs` runs the same
+//! assertions against both.
+//!
+//! # Handshake
+//!
+//! Process 0 is the coordinator: it listens on the configured
+//! [`Endpoint`]; every other process dials it and sends a `Hello` frame
+//! carrying a protocol magic/version, its process index and a hash of the
+//! topology (process count plus the rank→process map, which every process
+//! derives from the same job description). The coordinator validates each
+//! `Hello` — garbage or mismatched peers are rejected with a typed error
+//! and an obs counter, without aborting the handshake — then answers with
+//! a `Roster` of every process's listen address. Process *i* then dials
+//! every process *j < i* and accepts connections from every *k > i*,
+//! producing a full mesh.
+//!
+//! # Liveness and teardown
+//!
+//! The in-process invariant "once `rank_alive` turns false, every message
+//! the rank ever sent is already in its destination mailbox" is preserved
+//! across processes by ordering: a rank's `RankDone` control frame is
+//! written on each connection *after* all of that rank's envelope frames,
+//! and each connection is read in order by a dedicated reader thread.
+//! After a process has joined all its local ranks it broadcasts
+//! `ProcDone`, waits for every peer's `ProcDone` (or disconnect), and
+//! only then closes its sockets — so a normal close is never mistaken for
+//! a crash. A connection that drops *without* `ProcDone` marks every rank
+//! of that process dead (ticking
+//! `transport_socket_peer_disconnects_total`), which blocked stream
+//! readers surface as the same typed `PeerLost` error a crashed in-process
+//! writer produces.
+
+use crate::envelope::{Context, Envelope, EnvelopeHeader};
+use crate::launch::{spawn_and_join, LaunchError, Launcher, Universe};
+use crate::mailbox::{Delivery, Mailbox};
+use crate::transport::Transport;
+use crate::{CommId, Result, RtError};
+use bytes::Bytes;
+use opmr_events::{try_frame, FrameBuf};
+use parking_lot::{Condvar, Mutex};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+// Socket transport metrics (the obs "transport" family): registered once,
+// cached handles, relaxed atomics on the hot path.
+mod obs {
+    use opmr_obs::{registry, Counter};
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) struct SocketMetrics {
+        pub frames_sent: Arc<Counter>,
+        pub frames_received: Arc<Counter>,
+        pub bytes_sent: Arc<Counter>,
+        pub bytes_received: Arc<Counter>,
+        pub connect_timeouts: Arc<Counter>,
+        pub handshake_rejected: Arc<Counter>,
+        pub peer_disconnects: Arc<Counter>,
+    }
+
+    pub(super) fn m() -> &'static SocketMetrics {
+        static M: OnceLock<SocketMetrics> = OnceLock::new();
+        M.get_or_init(|| {
+            let r = registry();
+            SocketMetrics {
+                frames_sent: r.counter("transport_socket_frames_sent_total"),
+                frames_received: r.counter("transport_socket_frames_received_total"),
+                bytes_sent: r.counter("transport_socket_bytes_sent_total"),
+                bytes_received: r.counter("transport_socket_bytes_received_total"),
+                connect_timeouts: r.counter("transport_socket_connect_timeouts_total"),
+                handshake_rejected: r.counter("transport_socket_handshake_rejected_total"),
+                peer_disconnects: r.counter("transport_socket_peer_disconnects_total"),
+            }
+        })
+    }
+}
+
+/// Where the job's coordinator (process 0) listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP address, e.g. `127.0.0.1:39000`. Non-coordinator processes
+    /// listen on an ephemeral loopback port advertised via the handshake.
+    Tcp(String),
+    /// Unix-domain socket path. Non-coordinator process `i` listens on
+    /// the same path suffixed with `.p{i}`.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    fn describe(&self) -> String {
+        match self {
+            Endpoint::Tcp(a) => format!("tcp:{a}"),
+            Endpoint::Unix(p) => format!("unix:{}", p.display()),
+        }
+    }
+}
+
+/// Socket-level configuration shared by every process of the job.
+#[derive(Debug, Clone)]
+pub struct SocketConfig {
+    /// Coordinator endpoint.
+    pub endpoint: Endpoint,
+    /// Budget for dialing a peer and for the whole handshake's accept
+    /// phase. Also bounds the post-join teardown drain.
+    pub connect_timeout: Duration,
+}
+
+impl SocketConfig {
+    /// Configuration with the default 10 s connect/handshake budget.
+    pub fn new(endpoint: Endpoint) -> Self {
+        SocketConfig {
+            endpoint,
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Overrides the connect/handshake budget.
+    pub fn connect_timeout(mut self, d: Duration) -> Self {
+        self.connect_timeout = d;
+        self
+    }
+}
+
+/// How partitions are assigned to processes. Every process derives the
+/// same map from the same job description; the handshake cross-checks a
+/// hash of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionAssign {
+    /// Contiguous blocks of partitions, evenly split (partition `p` of
+    /// `n` goes to process `p * procs / n`).
+    Block,
+    /// Partition `p` goes to process `p % procs`.
+    RoundRobin,
+    /// Explicit partition→process map (one entry per partition).
+    Explicit(Vec<usize>),
+}
+
+impl PartitionAssign {
+    fn proc_of(
+        &self,
+        partition: usize,
+        n_partitions: usize,
+        num_procs: usize,
+    ) -> std::result::Result<usize, SocketError> {
+        let p = match self {
+            PartitionAssign::Block => partition * num_procs / n_partitions,
+            PartitionAssign::RoundRobin => partition % num_procs,
+            PartitionAssign::Explicit(v) => {
+                *v.get(partition).ok_or_else(|| SocketError::BadTopology {
+                    what: format!(
+                        "explicit assignment has {} entries for {} partitions",
+                        v.len(),
+                        n_partitions
+                    ),
+                })?
+            }
+        };
+        if p >= num_procs {
+            return Err(SocketError::BadTopology {
+                what: format!("partition {partition} assigned to process {p} of {num_procs}"),
+            });
+        }
+        Ok(p)
+    }
+}
+
+/// One process's view of a multi-process job.
+#[derive(Debug, Clone)]
+pub struct MultiprocTopology {
+    /// Socket configuration (must be identical in every process).
+    pub socket: SocketConfig,
+    /// This process's index in `0..num_procs`.
+    pub proc_index: usize,
+    /// Total number of processes.
+    pub num_procs: usize,
+    /// Partition→process assignment (must be identical in every process).
+    pub assign: PartitionAssign,
+}
+
+impl MultiprocTopology {
+    /// Topology with block partition assignment.
+    pub fn new(socket: SocketConfig, proc_index: usize, num_procs: usize) -> Self {
+        MultiprocTopology {
+            socket,
+            proc_index,
+            num_procs,
+            assign: PartitionAssign::Block,
+        }
+    }
+
+    /// Overrides the partition assignment.
+    pub fn assign(mut self, assign: PartitionAssign) -> Self {
+        self.assign = assign;
+        self
+    }
+}
+
+/// Typed socket-transport failures (handshake and configuration; runtime
+/// data-plane loss surfaces through [`RtError`] and stream-level errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocketError {
+    /// Could not bind a listener.
+    Bind { addr: String, detail: String },
+    /// A peer did not answer within the connect budget.
+    ConnectTimeout { addr: String, waited_ms: u64 },
+    /// Expected peers never completed the handshake in time.
+    AcceptTimeout { waited_ms: u64, missing: usize },
+    /// A peer spoke garbage (or an incompatible topology) during the
+    /// handshake.
+    Handshake { addr: String, what: String },
+    /// I/O failure outside the established data plane.
+    Io {
+        during: &'static str,
+        detail: String,
+    },
+    /// The topology description itself is invalid.
+    BadTopology { what: String },
+}
+
+impl std::fmt::Display for SocketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SocketError::Bind { addr, detail } => write!(f, "failed to bind {addr}: {detail}"),
+            SocketError::ConnectTimeout { addr, waited_ms } => {
+                write!(f, "connect to {addr} timed out after {waited_ms} ms")
+            }
+            SocketError::AcceptTimeout { waited_ms, missing } => write!(
+                f,
+                "handshake timed out after {waited_ms} ms with {missing} peer(s) missing"
+            ),
+            SocketError::Handshake { addr, what } => {
+                write!(f, "handshake with {addr} failed: {what}")
+            }
+            SocketError::Io { during, detail } => write!(f, "socket i/o during {during}: {detail}"),
+            SocketError::BadTopology { what } => write!(f, "bad multiproc topology: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SocketError {}
+
+/// Failure of a multi-process launch: either the socket layer could not
+/// assemble the mesh, or (exactly as in-process) some hosted ranks failed.
+#[derive(Debug)]
+pub enum MultiprocError {
+    /// Handshake/configuration failure before any rank ran.
+    Socket(SocketError),
+    /// Rank failures among the ranks hosted by *this* process.
+    Launch(LaunchError),
+}
+
+impl MultiprocError {
+    /// The rank failures, when the mesh came up and ranks ran.
+    pub fn into_launch(self) -> Option<LaunchError> {
+        match self {
+            MultiprocError::Launch(e) => Some(e),
+            MultiprocError::Socket(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for MultiprocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiprocError::Socket(e) => write!(f, "socket transport: {e}"),
+            MultiprocError::Launch(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for MultiprocError {}
+
+impl From<SocketError> for MultiprocError {
+    fn from(e: SocketError) -> Self {
+        MultiprocError::Socket(e)
+    }
+}
+
+impl From<LaunchError> for MultiprocError {
+    fn from(e: LaunchError) -> Self {
+        MultiprocError::Launch(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire format. Every message is an `opmr-events` frame
+// (`[len u32][fnv1a32 u32][payload]`); payload byte 0 is the kind.
+// ---------------------------------------------------------------------
+
+const MAGIC: u32 = 0x4F50_4D52; // "OPMR"
+const VERSION: u16 = 1;
+
+const K_HELLO: u8 = 1;
+const K_ENVELOPE: u8 = 2;
+const K_RANK_DONE: u8 = 3;
+const K_SHUTDOWN: u8 = 4;
+const K_PROC_DONE: u8 = 5;
+const K_ROSTER: u8 = 6;
+
+fn ctx_to_u8(c: Context) -> u8 {
+    match c {
+        Context::Pt2pt => 0,
+        Context::Coll => 1,
+        Context::Stream => 2,
+    }
+}
+
+fn ctx_from_u8(b: u8) -> Option<Context> {
+    match b {
+        0 => Some(Context::Pt2pt),
+        1 => Some(Context::Coll),
+        2 => Some(Context::Stream),
+        _ => None,
+    }
+}
+
+/// `[kind][ctx u8][tag i32][comm u64][src_local u32][src_world u32][dst u32][payload]`
+fn encode_envelope(dst_world: usize, env: &Envelope) -> Vec<u8> {
+    let h = &env.header;
+    let mut out = Vec::with_capacity(22 + env.payload.len());
+    out.push(K_ENVELOPE);
+    out.push(ctx_to_u8(h.ctx));
+    out.extend_from_slice(&h.tag.to_le_bytes());
+    out.extend_from_slice(&h.comm.0.to_le_bytes());
+    out.extend_from_slice(&(h.src_local as u32).to_le_bytes());
+    out.extend_from_slice(&(h.src_world as u32).to_le_bytes());
+    out.extend_from_slice(&(dst_world as u32).to_le_bytes());
+    out.extend_from_slice(&env.payload);
+    out
+}
+
+fn decode_envelope(p: &Bytes) -> Option<(usize, Envelope)> {
+    // p[0] is the kind byte, already matched by the caller.
+    let ctx = ctx_from_u8(*p.get(1)?)?;
+    let tag = i32::from_le_bytes(p.get(2..6)?.try_into().ok()?);
+    let comm = u64::from_le_bytes(p.get(6..14)?.try_into().ok()?);
+    let src_local = u32::from_le_bytes(p.get(14..18)?.try_into().ok()?) as usize;
+    let src_world = u32::from_le_bytes(p.get(18..22)?.try_into().ok()?) as usize;
+    let dst_world = u32::from_le_bytes(p.get(22..26)?.try_into().ok()?) as usize;
+    let payload = p.slice(26..);
+    Some((
+        dst_world,
+        Envelope {
+            header: EnvelopeHeader {
+                ctx,
+                comm: CommId(comm),
+                src_local,
+                src_world,
+                tag,
+            },
+            payload,
+        },
+    ))
+}
+
+fn encode_hello(proc_index: usize, topo_hash: u64, listen_addr: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17 + listen_addr.len());
+    out.push(K_HELLO);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(proc_index as u16).to_le_bytes());
+    out.extend_from_slice(&topo_hash.to_le_bytes());
+    out.extend_from_slice(listen_addr.as_bytes());
+    out
+}
+
+/// Returns `(proc_index, listen_addr)` or a description of what was wrong.
+fn decode_hello(p: &Bytes, expect_hash: u64) -> std::result::Result<(usize, String), String> {
+    if p.first() != Some(&K_HELLO) {
+        return Err(format!("first frame is not a hello (kind {:?})", p.first()));
+    }
+    let magic = p
+        .get(1..5)
+        .and_then(|b| b.try_into().ok())
+        .map(u32::from_le_bytes);
+    if magic != Some(MAGIC) {
+        return Err("bad protocol magic".to_string());
+    }
+    let version = p
+        .get(5..7)
+        .and_then(|b| b.try_into().ok())
+        .map(u16::from_le_bytes);
+    if version != Some(VERSION) {
+        return Err(format!("unsupported protocol version {version:?}"));
+    }
+    let proc = p
+        .get(7..9)
+        .and_then(|b| b.try_into().ok())
+        .map(u16::from_le_bytes)
+        .ok_or("truncated hello")? as usize;
+    let hash = p
+        .get(9..17)
+        .and_then(|b| b.try_into().ok())
+        .map(u64::from_le_bytes)
+        .ok_or("truncated hello")?;
+    if hash != expect_hash {
+        return Err(format!(
+            "topology mismatch (peer {hash:#018x}, local {expect_hash:#018x})"
+        ));
+    }
+    let addr = String::from_utf8_lossy(p.get(17..).unwrap_or(&[])).into_owned();
+    Ok((proc, addr))
+}
+
+fn encode_roster(addrs: &[String]) -> Vec<u8> {
+    let mut out = vec![K_ROSTER];
+    out.extend_from_slice(&(addrs.len() as u16).to_le_bytes());
+    for a in addrs {
+        out.extend_from_slice(&(a.len() as u16).to_le_bytes());
+        out.extend_from_slice(a.as_bytes());
+    }
+    out
+}
+
+fn decode_roster(p: &Bytes) -> Option<Vec<String>> {
+    if p.first() != Some(&K_ROSTER) {
+        return None;
+    }
+    let n = u16::from_le_bytes(p.get(1..3)?.try_into().ok()?) as usize;
+    let mut addrs = Vec::with_capacity(n);
+    let mut off = 3usize;
+    for _ in 0..n {
+        let len = u16::from_le_bytes(p.get(off..off + 2)?.try_into().ok()?) as usize;
+        off += 2;
+        addrs.push(String::from_utf8_lossy(p.get(off..off + len)?).into_owned());
+        off += len;
+    }
+    Some(addrs)
+}
+
+/// Deterministic hash of the topology every process must agree on.
+fn topology_hash(num_procs: usize, rank_owner: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = h.rotate_left(27).wrapping_mul(0x1000_0000_01B3);
+    };
+    mix(num_procs as u64);
+    mix(rank_owner.len() as u64);
+    for &o in rank_owner {
+        mix(o as u64);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Byte-stream plumbing: one enum over TCP / Unix sockets.
+// ---------------------------------------------------------------------
+
+enum SockStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl SockStream {
+    fn try_clone(&self) -> std::io::Result<SockStream> {
+        Ok(match self {
+            SockStream::Tcp(s) => SockStream::Tcp(s.try_clone()?),
+            SockStream::Unix(s) => SockStream::Unix(s.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            SockStream::Tcp(s) => s.set_read_timeout(d),
+            SockStream::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+
+    fn shutdown_both(&self) {
+        let _ = match self {
+            SockStream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            SockStream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for SockStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            SockStream::Tcp(s) => s.read(buf),
+            SockStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for SockStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            SockStream::Tcp(s) => s.write(buf),
+            SockStream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            SockStream::Tcp(s) => s.flush(),
+            SockStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum SockListener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl SockListener {
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            SockListener::Tcp(l) => l.set_nonblocking(nb),
+            SockListener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<SockStream> {
+        match self {
+            SockListener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                let _ = s.set_nodelay(true);
+                Ok(SockStream::Tcp(s))
+            }
+            SockListener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(SockStream::Unix(s))
+            }
+        }
+    }
+}
+
+/// The address process `i` listens on, and how to advertise it.
+fn listen_endpoint(endpoint: &Endpoint, proc_index: usize) -> Endpoint {
+    if proc_index == 0 {
+        return endpoint.clone();
+    }
+    match endpoint {
+        // Ephemeral loopback port; the real address is advertised via Hello.
+        Endpoint::Tcp(_) => Endpoint::Tcp("127.0.0.1:0".to_string()),
+        Endpoint::Unix(p) => {
+            let mut os = p.clone().into_os_string();
+            os.push(format!(".p{proc_index}"));
+            Endpoint::Unix(PathBuf::from(os))
+        }
+    }
+}
+
+fn bind(endpoint: &Endpoint) -> std::result::Result<(SockListener, String), SocketError> {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let l = TcpListener::bind(addr).map_err(|e| SocketError::Bind {
+                addr: endpoint.describe(),
+                detail: e.to_string(),
+            })?;
+            let advertised = l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| addr.clone());
+            Ok((SockListener::Tcp(l), format!("tcp:{advertised}")))
+        }
+        Endpoint::Unix(path) => {
+            // A stale socket file from a previous run would fail the bind.
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path).map_err(|e| SocketError::Bind {
+                addr: endpoint.describe(),
+                detail: e.to_string(),
+            })?;
+            Ok((SockListener::Unix(l), format!("unix:{}", path.display())))
+        }
+    }
+}
+
+fn dial(
+    addr: &str,
+    deadline: Instant,
+    waited: Duration,
+) -> std::result::Result<SockStream, SocketError> {
+    loop {
+        let attempt = if let Some(a) = addr.strip_prefix("tcp:") {
+            TcpStream::connect(a).map(|s| {
+                let _ = s.set_nodelay(true);
+                SockStream::Tcp(s)
+            })
+        } else if let Some(p) = addr.strip_prefix("unix:") {
+            UnixStream::connect(p).map(SockStream::Unix)
+        } else {
+            return Err(SocketError::Handshake {
+                addr: addr.to_string(),
+                what: "unparseable peer address in roster".to_string(),
+            });
+        };
+        match attempt {
+            Ok(s) => return Ok(s),
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                obs::m().connect_timeouts.inc();
+                return Err(SocketError::ConnectTimeout {
+                    addr: addr.to_string(),
+                    waited_ms: waited.as_millis() as u64,
+                });
+            }
+        }
+    }
+}
+
+/// Reads exactly one frame from a handshake-phase connection, keeping any
+/// over-read bytes in `fb` for the subsequent reader thread.
+fn read_one_frame(
+    stream: &mut SockStream,
+    fb: &mut FrameBuf,
+    deadline: Instant,
+    addr: &str,
+) -> std::result::Result<Bytes, SocketError> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match fb.next_frame() {
+            Ok(Some(p)) => return Ok(p),
+            Ok(None) => {}
+            Err(e) => {
+                return Err(SocketError::Handshake {
+                    addr: addr.to_string(),
+                    what: format!("unframeable bytes on the wire: {e}"),
+                })
+            }
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(SocketError::Handshake {
+                addr: addr.to_string(),
+                what: "timed out waiting for a handshake frame".to_string(),
+            });
+        }
+        let _ = stream.set_read_timeout(Some(deadline - now));
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(SocketError::Handshake {
+                    addr: addr.to_string(),
+                    what: "peer closed the connection during the handshake".to_string(),
+                })
+            }
+            Ok(n) => fb.push(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(SocketError::Handshake {
+                    addr: addr.to_string(),
+                    what: "timed out waiting for a handshake frame".to_string(),
+                })
+            }
+            Err(e) => {
+                return Err(SocketError::Io {
+                    during: "handshake read",
+                    detail: e.to_string(),
+                })
+            }
+        }
+    }
+}
+
+fn write_frame(stream: &mut SockStream, payload: &[u8]) -> std::io::Result<()> {
+    let framed = try_frame(payload)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    stream.write_all(&framed)?;
+    obs::m().frames_sent.inc();
+    obs::m().bytes_sent.add(framed.len() as u64);
+    Ok(())
+}
+
+/// Per-connection budget for reading one peer's Hello: bounded separately
+/// so a stalled rogue connection cannot eat the whole handshake budget.
+const HELLO_BUDGET: Duration = Duration::from_secs(2);
+
+/// One fully-handshaken connection plus bytes over-read past the
+/// handshake frames (they belong to the data plane).
+struct PeerConn {
+    proc: usize,
+    stream: SockStream,
+    residual: FrameBuf,
+}
+
+/// Establishes the full mesh for this process. Returns one connection per
+/// remote process.
+fn connect_mesh(
+    topo: &MultiprocTopology,
+    topo_hash: u64,
+) -> std::result::Result<Vec<PeerConn>, SocketError> {
+    let n = topo.num_procs;
+    let me = topo.proc_index;
+    let deadline = Instant::now() + topo.socket.connect_timeout;
+    let mut conns: Vec<PeerConn> = Vec::with_capacity(n.saturating_sub(1));
+
+    let (listener, my_addr) = bind(&listen_endpoint(&topo.socket.endpoint, me))?;
+
+    if me == 0 {
+        // Coordinator: collect n-1 Hellos, then broadcast the roster.
+        let mut addrs: Vec<Option<String>> = vec![None; n];
+        addrs[0] = Some(my_addr);
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| SocketError::Io {
+                during: "listener setup",
+                detail: e.to_string(),
+            })?;
+        while conns.len() < n - 1 {
+            match listener.accept() {
+                Ok(mut s) => {
+                    let _ = s.set_read_timeout(Some(HELLO_BUDGET));
+                    let mut fb = FrameBuf::new();
+                    let hello_deadline = deadline.min(Instant::now() + HELLO_BUDGET);
+                    let hello = read_one_frame(&mut s, &mut fb, hello_deadline, "incoming")
+                        .map_err(|e| e.to_string())
+                        .and_then(|p| decode_hello(&p, topo_hash));
+                    match hello {
+                        Ok((proc, addr)) if proc > 0 && proc < n && addrs[proc].is_none() => {
+                            addrs[proc] = Some(addr);
+                            conns.push(PeerConn {
+                                proc,
+                                stream: s,
+                                residual: fb,
+                            });
+                        }
+                        Ok((proc, _)) => {
+                            obs::m().handshake_rejected.inc();
+                            s.shutdown_both();
+                            return Err(SocketError::Handshake {
+                                addr: "incoming".to_string(),
+                                what: format!("duplicate or out-of-range process index {proc}"),
+                            });
+                        }
+                        Err(what) => {
+                            // A rogue or garbled connection: reject it,
+                            // count it, keep waiting for the real peers.
+                            obs::m().handshake_rejected.inc();
+                            s.shutdown_both();
+                            let _ = what;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        obs::m().connect_timeouts.inc();
+                        return Err(SocketError::AcceptTimeout {
+                            waited_ms: topo.socket.connect_timeout.as_millis() as u64,
+                            missing: (n - 1) - conns.len(),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    return Err(SocketError::Io {
+                        during: "accept",
+                        detail: e.to_string(),
+                    })
+                }
+            }
+        }
+        let roster: Vec<String> = addrs.into_iter().map(Option::unwrap_or_default).collect();
+        let payload = encode_roster(&roster);
+        for c in &mut conns {
+            write_frame(&mut c.stream, &payload).map_err(|e| SocketError::Io {
+                during: "roster broadcast",
+                detail: e.to_string(),
+            })?;
+        }
+        return Ok(conns);
+    }
+
+    // Non-coordinator: dial the coordinator, learn the roster, dial every
+    // lower-indexed peer, accept every higher-indexed one.
+    let coord_addr = match &topo.socket.endpoint {
+        Endpoint::Tcp(a) => format!("tcp:{a}"),
+        Endpoint::Unix(p) => format!("unix:{}", p.display()),
+    };
+    let mut coord = dial(&coord_addr, deadline, topo.socket.connect_timeout)?;
+    write_frame(&mut coord, &encode_hello(me, topo_hash, &my_addr)).map_err(|e| {
+        SocketError::Io {
+            during: "hello send",
+            detail: e.to_string(),
+        }
+    })?;
+    let mut coord_fb = FrameBuf::new();
+    let roster_frame = read_one_frame(&mut coord, &mut coord_fb, deadline, &coord_addr)?;
+    let roster = decode_roster(&roster_frame).ok_or_else(|| SocketError::Handshake {
+        addr: coord_addr.clone(),
+        what: "coordinator sent an invalid roster".to_string(),
+    })?;
+    if roster.len() != n {
+        return Err(SocketError::Handshake {
+            addr: coord_addr.clone(),
+            what: format!("roster lists {} processes, expected {n}", roster.len()),
+        });
+    }
+    conns.push(PeerConn {
+        proc: 0,
+        stream: coord,
+        residual: coord_fb,
+    });
+
+    for (j, addr) in roster.iter().enumerate().take(me).skip(1) {
+        let mut s = dial(addr, deadline, topo.socket.connect_timeout)?;
+        write_frame(&mut s, &encode_hello(me, topo_hash, "")).map_err(|e| SocketError::Io {
+            during: "hello send",
+            detail: e.to_string(),
+        })?;
+        conns.push(PeerConn {
+            proc: j,
+            stream: s,
+            residual: FrameBuf::new(),
+        });
+    }
+
+    let expected_accepts = n - 1 - me;
+    if expected_accepts > 0 {
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| SocketError::Io {
+                during: "listener setup",
+                detail: e.to_string(),
+            })?;
+        let mut accepted = 0usize;
+        while accepted < expected_accepts {
+            match listener.accept() {
+                Ok(mut s) => {
+                    let _ = s.set_read_timeout(Some(HELLO_BUDGET));
+                    let mut fb = FrameBuf::new();
+                    let hello_deadline = deadline.min(Instant::now() + HELLO_BUDGET);
+                    let hello = read_one_frame(&mut s, &mut fb, hello_deadline, "incoming")
+                        .map_err(|e| e.to_string())
+                        .and_then(|p| decode_hello(&p, topo_hash));
+                    match hello {
+                        Ok((proc, _)) if proc > me && proc < n => {
+                            conns.push(PeerConn {
+                                proc,
+                                stream: s,
+                                residual: fb,
+                            });
+                            accepted += 1;
+                        }
+                        _ => {
+                            obs::m().handshake_rejected.inc();
+                            s.shutdown_both();
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        obs::m().connect_timeouts.inc();
+                        return Err(SocketError::AcceptTimeout {
+                            waited_ms: topo.socket.connect_timeout.as_millis() as u64,
+                            missing: expected_accepts - accepted,
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    return Err(SocketError::Io {
+                        during: "accept",
+                        detail: e.to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    Ok(conns)
+}
+
+// ---------------------------------------------------------------------
+// The transport itself.
+// ---------------------------------------------------------------------
+
+struct Peer {
+    /// Write half; `None` once the peer is lost or torn down.
+    writer: Mutex<Option<SockStream>>,
+    /// The peer announced clean completion (`ProcDone`).
+    done: AtomicBool,
+    /// The connection dropped without `ProcDone`.
+    lost: AtomicBool,
+}
+
+struct Teardown {
+    state: Mutex<()>,
+    cv: Condvar,
+}
+
+/// Socket-backed [`Transport`]: local ranks use in-process mailboxes,
+/// remote ranks are reached over framed byte streams.
+pub struct SocketTransport {
+    /// `Some(mailbox)` for ranks hosted in this process.
+    mailboxes: Vec<Option<Arc<Mailbox>>>,
+    /// Liveness of *every* rank; remote flags flip on `RankDone` frames
+    /// or on peer disconnect.
+    alive: Vec<AtomicBool>,
+    /// Owning process of every world rank.
+    rank_owner: Vec<usize>,
+    /// Slot per process; set once during `start`, before any rank runs.
+    peers: Vec<OnceLock<Arc<Peer>>>,
+    reader_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    shutdown_sent: AtomicBool,
+    teardown: Teardown,
+    drain_budget: Duration,
+}
+
+impl SocketTransport {
+    fn new(
+        proc_index: usize,
+        rank_owner: Vec<usize>,
+        num_procs: usize,
+        drain_budget: Duration,
+    ) -> Arc<Self> {
+        let mailboxes = rank_owner
+            .iter()
+            .map(|&o| (o == proc_index).then(|| Arc::new(Mailbox::default())))
+            .collect();
+        let alive = rank_owner.iter().map(|_| AtomicBool::new(true)).collect();
+        Arc::new(SocketTransport {
+            mailboxes,
+            alive,
+            rank_owner,
+            peers: (0..num_procs).map(|_| OnceLock::new()).collect(),
+            reader_handles: Mutex::new(Vec::new()),
+            shutdown_sent: AtomicBool::new(false),
+            teardown: Teardown {
+                state: Mutex::new(()),
+                cv: Condvar::new(),
+            },
+            drain_budget,
+        })
+    }
+
+    /// Installs the handshaken connections and spawns one reader thread
+    /// per peer. Called exactly once, before any rank starts.
+    fn start(self: &Arc<Self>, conns: Vec<PeerConn>) {
+        let mut handles = Vec::new();
+        for conn in conns {
+            let writer = match conn.stream.try_clone() {
+                Ok(w) => w,
+                Err(_) => {
+                    // Cloning the descriptor failed: the peer is
+                    // unreachable for writes from the start.
+                    self.note_peer_lost(conn.proc);
+                    continue;
+                }
+            };
+            let peer = Arc::new(Peer {
+                writer: Mutex::new(Some(writer)),
+                done: AtomicBool::new(false),
+                lost: AtomicBool::new(false),
+            });
+            if let Some(slot) = self.peers.get(conn.proc) {
+                let _ = slot.set(peer);
+            }
+            let proc = conn.proc;
+            let (stream, residual) = (conn.stream, conn.residual);
+            let reader_this = Arc::clone(self);
+            let h = std::thread::Builder::new()
+                .name(format!("sock-rx-p{proc}"))
+                .spawn(move || reader_this.reader_loop(proc, stream, residual));
+            if let Ok(h) = h {
+                handles.push(h);
+            } else {
+                self.note_peer_lost(proc);
+            }
+        }
+        self.reader_handles.lock().extend(handles);
+    }
+
+    fn peer(&self, proc: usize) -> Option<&Arc<Peer>> {
+        self.peers.get(proc).and_then(|slot| slot.get())
+    }
+
+    fn all_peers(&self) -> impl Iterator<Item = &Arc<Peer>> {
+        self.peers.iter().filter_map(|slot| slot.get())
+    }
+
+    fn broadcast(&self, payload: &[u8]) {
+        for peer in self.all_peers() {
+            let mut g = peer.writer.lock();
+            if let Some(w) = g.as_mut() {
+                if write_frame(w, payload).is_err() {
+                    *g = None;
+                }
+            }
+        }
+    }
+
+    fn note_peer_lost(&self, proc: usize) {
+        if let Some(peer) = self.peer(proc) {
+            if peer.lost.swap(true, Ordering::AcqRel) {
+                return;
+            }
+            obs::m().peer_disconnects.inc();
+            *peer.writer.lock() = None;
+        }
+        for (r, &o) in self.rank_owner.iter().enumerate() {
+            if o == proc {
+                self.alive[r].store(false, Ordering::Release);
+            }
+        }
+        let _g = self.teardown.state.lock();
+        self.teardown.cv.notify_all();
+    }
+
+    fn shutdown_local(&self) {
+        for mb in self.mailboxes.iter().flatten() {
+            mb.shutdown();
+        }
+    }
+
+    fn handle_frame(&self, proc: usize, payload: &Bytes) -> bool {
+        match payload.first().copied() {
+            Some(K_ENVELOPE) => {
+                if let Some((dst, env)) = decode_envelope(payload) {
+                    if let Some(Some(mb)) = self.mailboxes.get(dst) {
+                        // Remote deliveries are always eager: the socket's
+                        // flow control *is* the back-pressure. A Shutdown
+                        // error here just means the job is tearing down.
+                        let _ = mb.deliver(env, usize::MAX);
+                    }
+                }
+                true
+            }
+            Some(K_RANK_DONE) => {
+                if let Some(r) = payload
+                    .get(1..5)
+                    .and_then(|b| b.try_into().ok())
+                    .map(u32::from_le_bytes)
+                {
+                    if let Some(flag) = self.alive.get(r as usize) {
+                        flag.store(false, Ordering::Release);
+                    }
+                }
+                true
+            }
+            Some(K_SHUTDOWN) => {
+                // A remote rank failed: release every local blocked rank,
+                // exactly like the in-process teardown.
+                self.shutdown_local();
+                true
+            }
+            Some(K_PROC_DONE) => {
+                if let Some(peer) = self.peer(proc) {
+                    peer.done.store(true, Ordering::Release);
+                }
+                let _g = self.teardown.state.lock();
+                self.teardown.cv.notify_all();
+                true
+            }
+            // Unknown or handshake-phase frame on the data plane: the
+            // peer is off-protocol. Treat the connection as lost.
+            _ => false,
+        }
+    }
+
+    fn reader_loop(self: Arc<Self>, proc: usize, mut stream: SockStream, mut fb: FrameBuf) {
+        let _ = stream.set_read_timeout(None);
+        let mut buf = vec![0u8; 64 * 1024];
+        let clean = 'conn: loop {
+            loop {
+                match fb.next_frame() {
+                    Ok(Some(p)) => {
+                        obs::m().frames_received.inc();
+                        if !self.handle_frame(proc, &p) {
+                            break 'conn false;
+                        }
+                    }
+                    Ok(None) => break,
+                    // Corrupt framing: no resync is possible, the
+                    // connection is unusable.
+                    Err(_) => break 'conn false,
+                }
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => break 'conn true,
+                Ok(n) => {
+                    obs::m().bytes_received.add(n as u64);
+                    fb.push(&buf[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break 'conn true,
+            }
+        };
+        let peer_done = self
+            .peer(proc)
+            .is_some_and(|p| p.done.load(Ordering::Acquire));
+        if !(clean && peer_done) {
+            // EOF/garbage without ProcDone: the peer crashed or went
+            // off-protocol mid-stream.
+            self.note_peer_lost(proc);
+        }
+        let _g = self.teardown.state.lock();
+        self.teardown.cv.notify_all();
+    }
+
+    fn peers_settled(&self) -> bool {
+        self.all_peers()
+            .all(|p| p.done.load(Ordering::Acquire) || p.lost.load(Ordering::Acquire))
+    }
+}
+
+impl Transport for SocketTransport {
+    fn world_size(&self) -> usize {
+        self.rank_owner.len()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "socket"
+    }
+
+    fn deliver(&self, dst_world: usize, env: Envelope, eager_limit: usize) -> Result<Delivery> {
+        if let Some(Some(mb)) = self.mailboxes.get(dst_world) {
+            return mb.deliver(env, eager_limit);
+        }
+        let proc = *self
+            .rank_owner
+            .get(dst_world)
+            .ok_or(RtError::Protocol("destination rank outside the world"))?;
+        let peer = self
+            .peer(proc)
+            .ok_or(RtError::Protocol("no connection to destination process"))?;
+        if peer.lost.load(Ordering::Acquire) {
+            return Err(RtError::Dropped { dst: dst_world });
+        }
+        let payload = encode_envelope(dst_world, &env);
+        let mut g = peer.writer.lock();
+        let Some(w) = g.as_mut() else {
+            return Err(RtError::Dropped { dst: dst_world });
+        };
+        if write_frame(w, &payload).is_err() {
+            *g = None;
+            drop(g);
+            self.note_peer_lost(proc);
+            return Err(RtError::Dropped { dst: dst_world });
+        }
+        Ok(Delivery::Complete)
+    }
+
+    fn local_mailbox(&self, world_rank: usize) -> Option<&Arc<Mailbox>> {
+        self.mailboxes.get(world_rank).and_then(|m| m.as_ref())
+    }
+
+    fn rank_alive(&self, world_rank: usize) -> bool {
+        self.alive
+            .get(world_rank)
+            .is_some_and(|f| f.load(Ordering::Acquire))
+    }
+
+    fn mark_rank_done(&self, world_rank: usize) {
+        self.alive[world_rank].store(false, Ordering::Release);
+        // Ordered after every envelope the rank wrote (same per-peer
+        // write mutex, same connection): peers observing the flag flip
+        // already have all of the rank's data in their mailboxes.
+        let mut payload = vec![K_RANK_DONE];
+        payload.extend_from_slice(&(world_rank as u32).to_le_bytes());
+        self.broadcast(&payload);
+    }
+
+    fn shutdown_all(&self) {
+        self.shutdown_local();
+        if !self.shutdown_sent.swap(true, Ordering::AcqRel) {
+            self.broadcast(&[K_SHUTDOWN]);
+        }
+    }
+
+    fn finalize_local(&self) {
+        // 1. Announce clean completion of this process…
+        self.broadcast(&[K_PROC_DONE]);
+        // 2. …wait until every peer has done the same (or vanished)…
+        let deadline = Instant::now() + self.drain_budget;
+        {
+            let mut g = self.teardown.state.lock();
+            while !self.peers_settled() {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                self.teardown.cv.wait_for(&mut g, deadline - now);
+            }
+        }
+        // 3. …then close. Readers (ours and the peers') wake with EOF
+        // *after* ProcDone, so nobody classifies this as a crash.
+        for peer in self.all_peers() {
+            let g = peer.writer.lock();
+            if let Some(w) = g.as_ref() {
+                w.shutdown_both();
+            }
+        }
+        let handles: Vec<_> = self.reader_handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-process launch.
+// ---------------------------------------------------------------------
+
+impl Launcher {
+    /// Runs this job as one of `topo.num_procs` cooperating OS processes.
+    ///
+    /// Every process must be handed the *same* job description (same
+    /// partitions in the same order, same fault plan and eager limit) and
+    /// the same topology apart from `proc_index`; the handshake
+    /// cross-checks a topology hash and rejects mismatches with a typed
+    /// [`SocketError`]. Ranks of partitions assigned to `proc_index` run
+    /// here as threads; all other ranks are reached through the socket
+    /// mesh. Returns when all locally hosted ranks have finished and the
+    /// mesh has drained.
+    pub fn run_multiproc(self, topo: MultiprocTopology) -> std::result::Result<(), MultiprocError> {
+        assert!(!self.specs.is_empty(), "no partitions configured");
+        if topo.num_procs == 0 || topo.proc_index >= topo.num_procs {
+            return Err(SocketError::BadTopology {
+                what: format!(
+                    "process index {} outside 0..{}",
+                    topo.proc_index, topo.num_procs
+                ),
+            }
+            .into());
+        }
+        let infos = self.build_infos();
+        let n_partitions = infos.len();
+        let mut rank_owner = Vec::new();
+        for info in &infos {
+            let owner = topo
+                .assign
+                .proc_of(info.id, n_partitions, topo.num_procs)
+                .map_err(MultiprocError::Socket)?;
+            rank_owner.extend(std::iter::repeat_n(owner, info.size));
+        }
+        let topo_hash = topology_hash(topo.num_procs, &rank_owner);
+
+        let conns = if topo.num_procs == 1 {
+            Vec::new()
+        } else {
+            connect_mesh(&topo, topo_hash).map_err(MultiprocError::Socket)?
+        };
+
+        let transport = SocketTransport::new(
+            topo.proc_index,
+            rank_owner.clone(),
+            topo.num_procs,
+            topo.socket.connect_timeout,
+        );
+        transport.start(conns);
+
+        let universe = Universe::with_transport(
+            infos,
+            self.eager_limit,
+            self.fault_plan.clone(),
+            Arc::clone(&transport) as Arc<dyn Transport>,
+        );
+        let me = topo.proc_index;
+        let failures = spawn_and_join(&universe, &self.specs, self.stack_size, |world_rank| {
+            rank_owner[world_rank] == me
+        });
+        universe.transport().finalize_local();
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(LaunchError { failures }.into())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+    use super::*;
+    use crate::mailbox::make_envelope;
+
+    #[test]
+    fn envelope_roundtrips_on_the_wire() {
+        let env = make_envelope(
+            Context::Stream,
+            CommId(0xDEAD_BEEF_0042),
+            3,
+            7,
+            0x0500_0001,
+            Bytes::from(vec![9u8; 300]),
+        );
+        let wire = Bytes::from(encode_envelope(11, &env));
+        let (dst, back) = decode_envelope(&wire).unwrap();
+        assert_eq!(dst, 11);
+        assert_eq!(back.header, env.header);
+        assert_eq!(back.payload, env.payload);
+    }
+
+    #[test]
+    fn context_codes_are_stable() {
+        for ctx in [Context::Pt2pt, Context::Coll, Context::Stream] {
+            assert_eq!(ctx_from_u8(ctx_to_u8(ctx)), Some(ctx));
+        }
+        assert_eq!(ctx_from_u8(9), None);
+    }
+
+    #[test]
+    fn hello_roundtrip_and_validation() {
+        let wire = Bytes::from(encode_hello(3, 0xABCD, "unix:/tmp/x"));
+        let (proc, addr) = decode_hello(&wire, 0xABCD).unwrap();
+        assert_eq!((proc, addr.as_str()), (3, "unix:/tmp/x"));
+        // Wrong topology hash is rejected with a description.
+        let err = decode_hello(&wire, 0x1234).unwrap_err();
+        assert!(err.contains("topology mismatch"), "{err}");
+        // Garbage is rejected, not mis-decoded.
+        let garbage = Bytes::from_static(b"\x01nonsense....................");
+        assert!(decode_hello(&garbage, 0xABCD).is_err());
+    }
+
+    #[test]
+    fn roster_roundtrips() {
+        let addrs = vec![
+            "tcp:127.0.0.1:9000".to_string(),
+            String::new(),
+            "unix:/tmp/a.sock".to_string(),
+        ];
+        let wire = Bytes::from(encode_roster(&addrs));
+        assert_eq!(decode_roster(&wire).unwrap(), addrs);
+        assert_eq!(decode_roster(&Bytes::from_static(b"\x07junk")), None);
+    }
+
+    #[test]
+    fn topology_hash_is_order_sensitive() {
+        let a = topology_hash(2, &[0, 0, 1]);
+        let b = topology_hash(2, &[0, 1, 0]);
+        let c = topology_hash(3, &[0, 0, 1]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, topology_hash(2, &[0, 0, 1]));
+    }
+
+    #[test]
+    fn partition_assign_maps_and_validates() {
+        // Block: 4 partitions over 2 procs → [0,0,1,1].
+        let block: Vec<usize> = (0..4)
+            .map(|p| PartitionAssign::Block.proc_of(p, 4, 2).unwrap())
+            .collect();
+        assert_eq!(block, vec![0, 0, 1, 1]);
+        let rr: Vec<usize> = (0..4)
+            .map(|p| PartitionAssign::RoundRobin.proc_of(p, 4, 2).unwrap())
+            .collect();
+        assert_eq!(rr, vec![0, 1, 0, 1]);
+        assert_eq!(
+            PartitionAssign::Explicit(vec![1, 0])
+                .proc_of(1, 2, 2)
+                .unwrap(),
+            0
+        );
+        assert!(matches!(
+            PartitionAssign::Explicit(vec![5]).proc_of(0, 1, 2),
+            Err(SocketError::BadTopology { .. })
+        ));
+        assert!(matches!(
+            PartitionAssign::Explicit(vec![]).proc_of(0, 1, 2),
+            Err(SocketError::BadTopology { .. })
+        ));
+    }
+}

@@ -3,19 +3,32 @@
 //! ```sh
 //! cargo run --example quickstart           # human-readable Markdown
 //! cargo run --example quickstart -- --json # machine-readable summary
+//! cargo run --example quickstart -- --transport socket --procs 2
+//!                                          # same job across OS processes
 //! ```
 //!
-//! Launches (in one process, threads as ranks) a 8-rank application plus a
-//! 2-rank analyzer partition. The application's MPI calls are intercepted,
-//! streamed as event packs over VMPI streams — no trace file — and reduced
-//! by the parallel blackboard into a profiling report. A second run routes
-//! the same streams through the TBON reduction overlay (`Coupling::Tbon`)
-//! and prints the per-node overlay counters.
+//! Launches a 8-rank application plus a 2-rank analyzer partition. The
+//! application's MPI calls are intercepted, streamed as event packs over
+//! VMPI streams — no trace file — and reduced by the parallel blackboard
+//! into a profiling report. A second run routes the same streams through
+//! the TBON reduction overlay (`Coupling::Tbon`) and prints the per-node
+//! overlay counters.
+//!
+//! By default everything runs in one process (threads as ranks). With
+//! `--transport socket` the example re-executes itself `--procs - 1`
+//! times and splits the job across genuine OS processes over a
+//! Unix-domain socket mesh: the analyzer stays in process 0, the
+//! application ranks run in the workers, and every event pack crosses a
+//! real wire. The reported `stable_digest` — an order-sensitive digest of
+//! the timing-independent report content — is identical between the two
+//! transports.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // examples favour brevity
 
+use opmr::analysis::report::{stable_digest, stable_digest_filtered};
 use opmr::core::{Coupling, LiveOptions, Session, SessionOutcome};
-use opmr::runtime::{Src, TagSel};
+use opmr::runtime::{Endpoint, SocketConfig, Src, TagSel};
+use std::time::Duration;
 
 fn ring_session() -> opmr::core::SessionBuilder {
     Session::builder()
@@ -41,11 +54,10 @@ fn ring_session() -> opmr::core::SessionBuilder {
         })
 }
 
-/// Hand-rolled JSON (the build is registry-free, so no serde): the session
-/// and overlay counters a dashboard or CI script would scrape.
-fn to_json(direct: &SessionOutcome, tbon: &SessionOutcome) -> String {
-    let mut out = String::from("{\n  \"apps\": [\n");
-    for (i, app) in direct.report.apps.iter().enumerate() {
+/// The per-app summary rows shared by every JSON shape below.
+fn apps_json(outcome: &SessionOutcome) -> String {
+    let mut out = String::new();
+    for (i, app) in outcome.report.apps.iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
         }
@@ -60,7 +72,21 @@ fn to_json(direct: &SessionOutcome, tbon: &SessionOutcome) -> String {
             app.topology.edge_count()
         ));
     }
+    out
+}
+
+/// Hand-rolled JSON (the build is registry-free, so no serde): the session
+/// and overlay counters a dashboard or CI script would scrape.
+fn to_json(direct: &SessionOutcome, tbon: &SessionOutcome) -> String {
+    let mut out = String::from("{\n  \"apps\": [\n");
+    out.push_str(&apps_json(direct));
     out.push_str("\n  ],\n");
+    // The digest skips the `__obs` self-monitor chapter (its sample count
+    // depends on scheduling) so it is comparable to a socket-transport run.
+    out.push_str(&format!(
+        "  \"stable_digest\": \"{:016x}\",\n",
+        stable_digest_filtered(&direct.report, |a| a.name != "__obs")
+    ));
     out.push_str(&format!("  \"wall_s\": {:.6},\n", direct.wall_s));
     let recorder_events: u64 = direct.recorders.iter().map(|(_, s)| s.events).sum();
     out.push_str(&format!("  \"recorder_events\": {recorder_events},\n"));
@@ -87,8 +113,139 @@ fn to_json(direct: &SessionOutcome, tbon: &SessionOutcome) -> String {
     out
 }
 
+/// JSON shape for a `--transport socket` run: the report summary, the
+/// timing-scrubbed digest, and the socket-transport counters a CI smoke
+/// job asserts on.
+fn socket_json(outcome: &SessionOutcome, procs: usize) -> String {
+    let mut out = String::from("{\n  \"transport\": \"socket\",\n");
+    out.push_str(&format!("  \"procs\": {procs},\n"));
+    out.push_str("  \"apps\": [\n");
+    out.push_str(&apps_json(outcome));
+    out.push_str("\n  ],\n");
+    out.push_str(&format!("  \"wall_s\": {:.6},\n", outcome.wall_s));
+    out.push_str(&format!(
+        "  \"stable_digest\": \"{:016x}\",\n",
+        stable_digest(&outcome.report)
+    ));
+    out.push_str("  \"socket\": {");
+    let counters = [
+        "transport_socket_frames_sent_total",
+        "transport_socket_frames_received_total",
+        "transport_socket_bytes_sent_total",
+        "transport_socket_bytes_received_total",
+        "transport_socket_connect_timeouts_total",
+        "transport_socket_handshake_rejected_total",
+        "transport_socket_peer_disconnects_total",
+    ];
+    for (i, name) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{name}\": {}",
+            outcome.metrics.counter(name).unwrap_or(0)
+        ));
+    }
+    out.push_str("\n  }\n}");
+    out
+}
+
+/// Parent half of `--transport socket`: bind a fresh Unix-domain
+/// endpoint, re-execute this binary once per worker process, and host
+/// process 0 (analyzer + blackboard) ourselves. Only process 0's outcome
+/// carries the report.
+fn run_socket(json: bool, procs: usize) {
+    assert!(procs >= 2, "--transport socket needs at least 2 processes");
+    let dir = std::env::temp_dir().join(format!("opmr-quickstart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let path = dir.join("mesh.sock");
+
+    let exe = std::env::current_exe().expect("current exe");
+    let children: Vec<_> = (1..procs)
+        .map(|p| {
+            std::process::Command::new(&exe)
+                .env("OPMR_QS_SOCK", &path)
+                .env("OPMR_QS_PROC", p.to_string())
+                .env("OPMR_QS_PROCS", procs.to_string())
+                .spawn()
+                .expect("spawn worker process")
+        })
+        .collect();
+
+    let cfg =
+        SocketConfig::new(Endpoint::Unix(path.clone())).connect_timeout(Duration::from_secs(30));
+    let outcome = ring_session()
+        .run_multiproc(cfg, 0, procs)
+        .expect("socket session");
+    for mut c in children {
+        let status = c.wait().expect("wait for worker");
+        assert!(status.success(), "worker exited with {status}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if json {
+        println!("{}", socket_json(&outcome, procs));
+        return;
+    }
+    println!("{}", opmr::analysis::report::to_markdown(&outcome.report));
+    println!("---");
+    println!(
+        "socket transport across {procs} OS processes; wall time: {:.3} s",
+        outcome.wall_s
+    );
+    println!(
+        "stable digest: {:016x} (identical to the in-process run)",
+        stable_digest(&outcome.report)
+    );
+    let m = &outcome.metrics;
+    println!(
+        "socket: {} frames / {} B sent, {} frames / {} B received",
+        m.counter("transport_socket_frames_sent_total").unwrap_or(0),
+        m.counter("transport_socket_bytes_sent_total").unwrap_or(0),
+        m.counter("transport_socket_frames_received_total")
+            .unwrap_or(0),
+        m.counter("transport_socket_bytes_received_total")
+            .unwrap_or(0),
+    );
+}
+
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    // Worker half of a `--transport socket` run: the parent re-executes
+    // this binary with the mesh endpoint in the environment. Workers run
+    // the *identical* session; the analyzer partition and engine live in
+    // process 0, so a worker's outcome carries no report.
+    if let Ok(path) = std::env::var("OPMR_QS_SOCK") {
+        let proc_index: usize = std::env::var("OPMR_QS_PROC")
+            .expect("OPMR_QS_PROC")
+            .parse()
+            .expect("proc index");
+        let num_procs: usize = std::env::var("OPMR_QS_PROCS")
+            .expect("OPMR_QS_PROCS")
+            .parse()
+            .expect("proc count");
+        let cfg =
+            SocketConfig::new(Endpoint::Unix(path.into())).connect_timeout(Duration::from_secs(30));
+        ring_session()
+            .run_multiproc(cfg, proc_index, num_procs)
+            .expect("worker session");
+        return;
+    }
+
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let socket = args
+        .windows(2)
+        .any(|w| w[0] == "--transport" && w[1] == "socket");
+    let procs = args
+        .windows(2)
+        .find(|w| w[0] == "--procs")
+        .map(|w| w[1].parse().expect("--procs takes a number"))
+        .unwrap_or(2);
+    if socket {
+        run_socket(json, procs);
+        return;
+    }
+
     // The first run also carries the self-monitoring app: a hidden
     // one-rank partition streams the process's own metric registry
     // through the same VMPI machinery it measures, so the report gains
@@ -122,6 +279,11 @@ fn main() {
         "session wall time: {:.3} s; packs streamed: {}",
         outcome.wall_s,
         outcome.report.apps.iter().map(|a| a.packs).sum::<u64>()
+    );
+    println!(
+        "stable digest: {:016x} (timing-scrubbed, `__obs` excluded; \
+         identical under `--transport socket`)",
+        stable_digest_filtered(&outcome.report, |a| a.name != "__obs")
     );
     println!("---");
     println!("TBON overlay (fanout 2, pass-through) — per-node counters:");

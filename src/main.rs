@@ -19,9 +19,11 @@ fn usage() -> ExitCode {
         "opmr — online performance measurement reduction (ICPP 2013 reproduction)
 
 USAGE:
-    opmr demo
-        Profile CG + EulerMHD concurrently (threads as ranks) and print
-        the multi-application report.
+    opmr demo [--transport socket] [--procs N]
+        Profile CG + EulerMHD concurrently and print the multi-application
+        report. With `--transport socket` the demo re-executes itself and
+        splits the job across N OS processes (default 2) over a
+        Unix-domain socket mesh; the report is identical either way.
 
     opmr simulate [--bench BT|CG|FT|LU|SP|EulerMHD] [--class S..D]
                   [--ranks N] [--iters N] [--machine tera100|curie]
@@ -42,7 +44,7 @@ USAGE:
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("demo") => demo(),
+        Some("demo") => demo(&args[1..]),
         Some("simulate") => simulate_cmd(&args[1..]),
         Some("report") => report_cmd(&args[1..]),
         Some("stream-table") => stream_table(),
@@ -50,8 +52,17 @@ fn main() -> ExitCode {
     }
 }
 
-fn demo() -> ExitCode {
-    match try_demo() {
+fn demo(args: &[String]) -> ExitCode {
+    let socket = flag(args, "--transport") == Some("socket");
+    let procs: usize = flag(args, "--procs")
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(2);
+    let result = if socket {
+        try_demo_socket(procs)
+    } else {
+        try_demo()
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -60,17 +71,74 @@ fn demo() -> ExitCode {
     }
 }
 
-fn try_demo() -> Result<(), Box<dyn std::error::Error>> {
+/// Every process of a socket-transport demo must build the identical
+/// session; both the parent and the re-executed workers call this.
+fn demo_session() -> Result<opmr::core::SessionBuilder, Box<dyn std::error::Error>> {
     let m = tera100();
     let cg = opmr::workloads::Benchmark::Cg.build(Class::S, 8, &m, Some(3))?;
     let euler = opmr::workloads::Benchmark::EulerMhd.build(Class::S, 9, &m, Some(4))?;
-    let outcome = Session::builder()
+    Ok(Session::builder()
         .analyzer_ranks(3)
         .waitstate()
         .app_workload("cg", cg, LiveOptions::default())
-        .app_workload("euler_mhd", euler, LiveOptions::default())
-        .run()?;
+        .app_workload("euler_mhd", euler, LiveOptions::default()))
+}
+
+fn try_demo() -> Result<(), Box<dyn std::error::Error>> {
+    let outcome = demo_session()?.run()?;
     println!("{}", outcome.markdown());
+    Ok(())
+}
+
+/// Split the demo across OS processes: the analyzer (and the report)
+/// stay in process 0; application ranks run in re-executed workers and
+/// every event pack crosses the Unix-domain socket mesh.
+fn try_demo_socket(procs: usize) -> Result<(), Box<dyn std::error::Error>> {
+    use opmr::runtime::{Endpoint, SocketConfig};
+    let cfg = |path: std::path::PathBuf| {
+        SocketConfig::new(Endpoint::Unix(path)).connect_timeout(std::time::Duration::from_secs(30))
+    };
+
+    // Worker half: re-executed by the parent with the endpoint in the
+    // environment.
+    if let Ok(path) = std::env::var("OPMR_DEMO_SOCK") {
+        let proc_index: usize = std::env::var("OPMR_DEMO_PROC")?.parse()?;
+        let num_procs: usize = std::env::var("OPMR_DEMO_PROCS")?.parse()?;
+        demo_session()?.run_multiproc(cfg(path.into()), proc_index, num_procs)?;
+        return Ok(());
+    }
+
+    if procs < 2 {
+        return Err("--transport socket needs at least 2 processes (--procs)".into());
+    }
+    let dir = std::env::temp_dir().join(format!("opmr-demo-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("mesh.sock");
+    let exe = std::env::current_exe()?;
+    let children: Vec<_> = (1..procs)
+        .map(|p| {
+            std::process::Command::new(&exe)
+                .args(["demo", "--transport", "socket"])
+                .env("OPMR_DEMO_SOCK", &path)
+                .env("OPMR_DEMO_PROC", p.to_string())
+                .env("OPMR_DEMO_PROCS", procs.to_string())
+                .spawn()
+        })
+        .collect::<Result<_, _>>()?;
+
+    let outcome = demo_session()?.run_multiproc(cfg(path), 0, procs)?;
+    for mut c in children {
+        let status = c.wait()?;
+        if !status.success() {
+            return Err(format!("demo worker failed: {status}").into());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("{}", outcome.markdown());
+    eprintln!(
+        "(socket transport, {procs} OS processes; stable digest {:016x})",
+        report::stable_digest(&outcome.report)
+    );
     Ok(())
 }
 

@@ -21,6 +21,8 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 
+mod common;
+
 use opmr::core::{Coupling, Session};
 use opmr::events::EventKind;
 use opmr::reduce::{run_node, NodeConfig, ReduceStats, Tree};
@@ -102,10 +104,24 @@ struct Delivery {
     totals: HashMap<usize, u64>,
 }
 
+/// Which transport hosts a pipeline run.
+#[derive(Clone, Copy, Debug)]
+enum Backend {
+    InProc,
+    /// Two thread-hosted processes over a Unix-domain mesh (writers and
+    /// reader land in different processes under round-robin assignment),
+    /// via the shared harness in `tests/common`.
+    Socket,
+}
+
 /// Stream pipeline topology: `WRITERS` ranks each push a deterministic
 /// byte pattern to one reader; returns what the reader observed plus
 /// (writer retransmits, reader duplicate-drops) as fault evidence.
 fn run_pipeline(plan: Option<FaultPlan>) -> (Delivery, u64, u64) {
+    run_pipeline_on(Backend::InProc, plan)
+}
+
+fn run_pipeline_on(backend: Backend, plan: Option<FaultPlan>) -> (Delivery, u64, u64) {
     let seen = Arc::new(Mutex::new(Delivery::default()));
     let seen2 = Arc::clone(&seen);
     let rexmit = Arc::new(Mutex::new(0u64));
@@ -117,7 +133,7 @@ fn run_pipeline(plan: Option<FaultPlan>) -> (Delivery, u64, u64) {
     if let Some(p) = plan {
         launcher = launcher.fault_plan(p);
     }
-    launcher
+    let launcher = launcher
         .partition("w", WRITERS, move |mpi| {
             let v = Vmpi::new(mpi).unwrap();
             let cfg = StreamConfig::new(BLOCK, 3, Balance::None)
@@ -158,9 +174,17 @@ fn run_pipeline(plan: Option<FaultPlan>) -> (Delivery, u64, u64) {
             }
             *dups2.lock().unwrap() = st.dups_dropped();
             *seen2.lock().unwrap() = out;
-        })
-        .run()
-        .unwrap();
+        });
+    match backend {
+        Backend::InProc => launcher.run().unwrap(),
+        Backend::Socket => {
+            let failures = common::run_socket_threads(launcher, 2);
+            assert!(
+                failures.is_empty(),
+                "socket pipeline ranks failed: {failures:?}"
+            );
+        }
+    }
 
     let delivery = Arc::try_unwrap(seen).unwrap().into_inner().unwrap();
     let r = *rexmit.lock().unwrap();
@@ -211,6 +235,35 @@ fn injected_faults_actually_fire() {
             .with_only_tags(data_tag_range()),
     ));
     assert!(dups > 0, "25% duplication must reach the dedup path");
+}
+
+#[test]
+fn socket_pipeline_recovery_is_transparent_for_seeded_plans() {
+    // The full six-plan sweep runs on the in-process backend above; over
+    // the socket mesh a smoke subset pins the same two properties —
+    // determinism and transparency — across a real process boundary, and
+    // additionally requires the clean delivery to be byte-identical to
+    // the in-process backend's.
+    let (clean, r0, d0) = run_pipeline_on(Backend::Socket, None);
+    assert_eq!(
+        (r0, d0),
+        (0, 0),
+        "fault-free socket run does no recovery work"
+    );
+    let (inproc_clean, ..) = run_pipeline(None);
+    assert_eq!(clean, inproc_clean, "backends must deliver identical bytes");
+
+    let smoke = ["drop", "duplicate", "mixed-storm"];
+    for (name, plan) in recovery_plans()
+        .into_iter()
+        .filter(|(n, _)| smoke.contains(n))
+    {
+        let (a, ra, da) = run_pipeline_on(Backend::Socket, Some(plan.clone()));
+        let (b, rb, db) = run_pipeline_on(Backend::Socket, Some(plan));
+        assert_eq!(a, b, "plan {name}: same seed must replay over sockets");
+        assert_eq!((ra, da), (rb, db), "plan {name}: socket schedule differs");
+        assert_eq!(a, clean, "plan {name}: socket recovery must be transparent");
+    }
 }
 
 /// Per-kind profile row: (kind, hits, bytes).

@@ -1,0 +1,65 @@
+//! Helpers shared by the backend-parameterized integration suites
+//! (`transport_conformance`, `chaos`, `poison`, `socket_negative`).
+//!
+//! The central piece is [`run_socket_threads`]: it runs one job
+//! description on the socket backend with every "process" hosted as a
+//! thread of the calling test process. Each thread executes a full
+//! `Launcher::run_multiproc` — bind/dial/handshake, framed envelopes,
+//! reader threads, teardown — over a private Unix-domain mesh, exactly
+//! what N separate OS processes would do, while keeping the test's
+//! `Arc<Mutex<_>>` observation collectors addressable.
+
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use opmr::runtime::{
+    Endpoint, Launcher, MultiprocError, MultiprocTopology, PartitionAssign, RankFailure,
+    SocketConfig,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static JOB_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Fresh Unix-domain endpoint in a private temp directory.
+pub fn fresh_unix_endpoint(tag: &str) -> Endpoint {
+    let dir = std::env::temp_dir().join(format!(
+        "opmr-sock-{}-{}-{}",
+        std::process::id(),
+        tag,
+        JOB_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create test socket dir");
+    Endpoint::Unix(dir.join("mesh.sock"))
+}
+
+/// Runs one job on the socket backend with `procs` thread-hosted
+/// processes (round-robin partition assignment) and merges the
+/// per-process rank failures into one list, sorted by world rank — the
+/// same shape `Launcher::run` reports. Panics if the mesh itself fails
+/// to assemble: conformance scenarios assert rank-level outcomes, and a
+/// handshake failure would silently vacuate them.
+pub fn run_socket_threads(launcher: Launcher, procs: usize) -> Vec<RankFailure> {
+    let endpoint = fresh_unix_endpoint("job");
+    let mut handles = Vec::new();
+    for p in 0..procs {
+        let l = launcher.clone();
+        let cfg = SocketConfig::new(endpoint.clone()).connect_timeout(Duration::from_secs(20));
+        let topo = MultiprocTopology::new(cfg, p, procs).assign(PartitionAssign::RoundRobin);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("sock-proc{p}"))
+                .spawn(move || l.run_multiproc(topo))
+                .expect("spawn socket proc thread"),
+        );
+    }
+    let mut failures = Vec::new();
+    for h in handles {
+        match h.join().expect("socket proc thread panicked") {
+            Ok(()) => {}
+            Err(MultiprocError::Launch(e)) => failures.extend(e.failures),
+            Err(MultiprocError::Socket(e)) => panic!("socket mesh failed to assemble: {e}"),
+        }
+    }
+    failures.sort_by_key(|f| f.world_rank);
+    failures
+}

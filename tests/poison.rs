@@ -20,9 +20,11 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 
+mod common;
+
 use opmr::analysis::{AnalysisEngine, EngineConfig};
 use opmr::events::{try_frame, Event, EventKind, EventPack, FrameBuf, FrameError};
-use opmr::runtime::{Context, FailureKind, Launcher, Src, TagSel};
+use opmr::runtime::{Context, FailureKind, Launcher, RankFailure, Src, TagSel};
 use opmr::vmpi::map::map_partitions_directed;
 use opmr::vmpi::{
     Map, MapPolicy, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError, WriteStream,
@@ -48,11 +50,12 @@ fn cfg() -> StreamConfig {
 
 // ---------------------------------------------------------------------
 // Scenario 1: a truncated pivot registration becomes an Errored rank
-// failure in LaunchError — the process survives, nothing panics.
+// failure in LaunchError — the process survives, nothing panics. Runs on
+// both backends: over the socket mesh the 3 hostile bytes cross a real
+// wire into another "process".
 // ---------------------------------------------------------------------
-#[test]
-fn truncated_registration_is_an_errored_rank_not_a_panic() {
-    let err = Launcher::new()
+fn truncated_registration_job() -> Launcher {
+    Launcher::new()
         .partition("hostile", 1, move |mpi| {
             let v = Vmpi::new(mpi).unwrap();
             let master = v.partition(1).unwrap().clone();
@@ -73,15 +76,19 @@ fn truncated_registration_is_an_errored_rank_not_a_panic() {
             map_partitions_directed(&v, 0, 1, MapPolicy::RoundRobin, &mut map)?;
             Ok(())
         })
-        .run()
-        .expect_err("the analyzer rank must fail");
+}
 
+fn assert_truncated_registration_failures(failures: &[RankFailure]) {
     assert!(
-        !err.any_panicked(),
-        "typed error paths must not unwind: {err}"
+        failures.iter().all(|f| f.kind != FailureKind::Panicked),
+        "typed error paths must not unwind: {failures:?}"
     );
-    assert_eq!(err.failures.len(), 1, "only the decoding rank fails: {err}");
-    let f = &err.failures[0];
+    assert_eq!(
+        failures.len(),
+        1,
+        "only the decoding rank fails: {failures:?}"
+    );
+    let f = &failures[0];
     assert_eq!(f.partition, "analyzer");
     assert_eq!(f.kind, FailureKind::Errored);
     assert!(
@@ -89,6 +96,20 @@ fn truncated_registration_is_an_errored_rank_not_a_panic() {
         "failure carries the typed error's rendering: {}",
         f.message
     );
+}
+
+#[test]
+fn truncated_registration_is_an_errored_rank_not_a_panic() {
+    let err = truncated_registration_job()
+        .run()
+        .expect_err("the analyzer rank must fail");
+    assert_truncated_registration_failures(&err.failures);
+}
+
+#[test]
+fn socket_truncated_registration_is_the_same_typed_failure() {
+    let failures = common::run_socket_threads(truncated_registration_job(), 2);
+    assert_truncated_registration_failures(&failures);
 }
 
 // ---------------------------------------------------------------------
@@ -206,17 +227,19 @@ fn hostile_pivot_truncated_peer_list_is_typed_and_slave_progresses() {
 // Scenario 4: a hostile writer injects a garbage block (non-empty, too
 // short to hold a frame header) on the stream tag. The reader reports
 // one ProtocolViolation, isolates that source, drains the honest writer
-// in full and terminates with Ok(None).
+// in full and terminates with Ok(None). Runs on both backends: over the
+// socket mesh the reader decodes the hostile bytes after a wire hop.
 // ---------------------------------------------------------------------
-#[test]
-fn garbage_stream_block_isolates_the_source_and_honest_data_survives() {
+type GarbageOutcome = Arc<Mutex<(usize, Vec<VmpiError>)>>;
+
+fn garbage_stream_block_job() -> (Launcher, GarbageOutcome) {
     const STREAM_ID: u16 = 7;
     const HONEST_BYTES: usize = 768;
 
-    let outcome: Arc<Mutex<(usize, Vec<VmpiError>)>> = Arc::new(Mutex::new((0, Vec::new())));
+    let outcome: GarbageOutcome = Arc::new(Mutex::new((0, Vec::new())));
     let out = Arc::clone(&outcome);
 
-    Launcher::new()
+    let launcher = Launcher::new()
         // Partition 0: writers (world 0 honest, world 1 hostile).
         .partition("writers", 2, move |mpi| {
             let v = Vmpi::new(mpi).unwrap();
@@ -257,13 +280,14 @@ fn garbage_stream_block_isolates_the_source_and_honest_data_survives() {
                 }
             }
             *out.lock().unwrap() = (bytes, violations);
-        })
-        .run()
-        .unwrap();
+        });
+    (launcher, outcome)
+}
 
+fn assert_garbage_stream_outcome(outcome: &GarbageOutcome) {
     let (bytes, violations) = std::mem::take(&mut *outcome.lock().unwrap());
     assert_eq!(
-        bytes, HONEST_BYTES,
+        bytes, 768,
         "the honest writer's data must be delivered in full"
     );
     assert_eq!(violations.len(), 1, "exactly one source is poisoned");
@@ -274,6 +298,21 @@ fn garbage_stream_block_isolates_the_source_and_honest_data_survives() {
         }
         other => panic!("expected ProtocolViolation, got {other:?}"),
     }
+}
+
+#[test]
+fn garbage_stream_block_isolates_the_source_and_honest_data_survives() {
+    let (launcher, outcome) = garbage_stream_block_job();
+    launcher.run().unwrap();
+    assert_garbage_stream_outcome(&outcome);
+}
+
+#[test]
+fn socket_garbage_stream_block_is_typed_across_the_wire() {
+    let (launcher, outcome) = garbage_stream_block_job();
+    let failures = common::run_socket_threads(launcher, 2);
+    assert!(failures.is_empty(), "no rank may fail: {failures:?}");
+    assert_garbage_stream_outcome(&outcome);
 }
 
 // ---------------------------------------------------------------------
@@ -344,13 +383,14 @@ fn garbage_event_pack_is_counted_while_honest_events_are_analyzed() {
 // ---------------------------------------------------------------------
 // Scenario 6: a rank returning a typed error is reported as exactly one
 // Errored failure; an unrelated healthy partition completes untouched.
+// Runs on both backends: over the socket mesh the failure lives in a
+// different "process" than the healthy partition, and its shutdown
+// broadcast crosses the wire.
 // ---------------------------------------------------------------------
-#[test]
-fn injected_rank_error_is_isolated_from_healthy_partitions() {
+fn injected_error_job() -> (Launcher, Arc<Mutex<usize>>) {
     let healthy = Arc::new(Mutex::new(0usize));
     let h2 = Arc::clone(&healthy);
-
-    let err = Launcher::new()
+    let launcher = Launcher::new()
         .partition_try("faulty", 2, move |mpi| {
             if mpi.world_rank() == 0 {
                 return Err("injected failure".into());
@@ -359,17 +399,35 @@ fn injected_rank_error_is_isolated_from_healthy_partitions() {
         })
         .partition("healthy", 3, move |_mpi| {
             *h2.lock().unwrap() += 1;
-        })
-        .run()
-        .expect_err("the faulty rank must surface");
+        });
+    (launcher, healthy)
+}
 
-    assert!(!err.any_panicked(), "{err}");
-    assert_eq!(err.failures.len(), 1);
-    let f = &err.failures[0];
+fn assert_injected_error_failures(failures: &[RankFailure], healthy: &Arc<Mutex<usize>>) {
+    assert!(
+        failures.iter().all(|f| f.kind != FailureKind::Panicked),
+        "{failures:?}"
+    );
+    assert_eq!(failures.len(), 1);
+    let f = &failures[0];
     assert_eq!((f.partition.as_str(), f.world_rank), ("faulty", 0));
     assert_eq!(f.kind, FailureKind::Errored);
     assert_eq!(f.message, "injected failure");
     assert_eq!(*healthy.lock().unwrap(), 3, "healthy ranks all completed");
+}
+
+#[test]
+fn injected_rank_error_is_isolated_from_healthy_partitions() {
+    let (launcher, healthy) = injected_error_job();
+    let err = launcher.run().expect_err("the faulty rank must surface");
+    assert_injected_error_failures(&err.failures, &healthy);
+}
+
+#[test]
+fn socket_injected_rank_error_is_isolated_across_processes() {
+    let (launcher, healthy) = injected_error_job();
+    let failures = common::run_socket_threads(launcher, 2);
+    assert_injected_error_failures(&failures, &healthy);
 }
 
 // ---------------------------------------------------------------------

@@ -18,9 +18,19 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Ring workload chatty enough to cross many pack boundaries (and thus
-/// many publication windows) with a small stream block size.
-fn ring_app(rounds: i32) -> impl Fn(&opmr::instrument::InstrumentedMpi) + Send + Sync + 'static {
+/// many publication windows) with a small stream block size. An optional
+/// start gate lets subscriber tests hold the workload back until their
+/// subscription is provably registered at the server — without it the
+/// whole run can finish before the subscribe request is processed,
+/// leaving the subscriber a single final snapshot.
+fn ring_app(
+    rounds: i32,
+    gate: Option<Arc<std::sync::Barrier>>,
+) -> impl Fn(&opmr::instrument::InstrumentedMpi) + Send + Sync + 'static {
     move |imp| {
+        if let Some(g) = &gate {
+            g.wait();
+        }
         let w = imp.comm_world();
         let n = imp.size();
         let r = imp.rank();
@@ -37,14 +47,18 @@ fn ring_app(rounds: i32) -> impl Fn(&opmr::instrument::InstrumentedMpi) + Send +
     }
 }
 
-fn serving_session(rounds: i32, serve: ServeConfig) -> SessionBuilder {
+fn serving_session(
+    rounds: i32,
+    serve: ServeConfig,
+    gate: Option<Arc<std::sync::Barrier>>,
+) -> SessionBuilder {
     Session::builder()
         .analyzer_ranks(2)
         .coupling(Coupling::Serving)
         .serve_config(serve)
         // Small blocks => frequent packs => frequent publications.
         .stream_config(StreamConfig::new(1024, 4, Balance::None))
-        .app("ring", 4, ring_app(rounds))
+        .app("ring", 4, ring_app(rounds, gate))
 }
 
 #[derive(Clone, Copy)]
@@ -65,9 +79,19 @@ fn subscriber_delta_chain_is_byte_identical_to_server() {
     type SeenLog = Vec<(Seen, Vec<u8>)>;
     let seen: Arc<Mutex<SeenLog>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&seen);
-    let outcome = serving_session(60, serve)
+    // 4 ring ranks + the observer: the workload starts only once the
+    // subscription is registered server-side (proven by the version_info
+    // round-trip — the server answers requests from one client in order).
+    // The workload must outlast a single serve-loop drain burst, or every
+    // version (including the final one) can be published inside one loop
+    // iteration and the first pumped update is already the final snapshot.
+    let gate = Arc::new(std::sync::Barrier::new(5));
+    let observer_gate = Arc::clone(&gate);
+    let outcome = serving_session(600, serve, Some(gate))
         .client("observer", 1, move |c| {
             c.subscribe().unwrap();
+            c.version_info().unwrap();
+            observer_gate.wait();
             loop {
                 let u = c.next_update().unwrap().expect("stream ended early");
                 let held = c.report().expect("subscribed client holds a report");
@@ -144,9 +168,13 @@ fn slow_subscriber_degrades_to_counted_resync() {
     let last_bytes: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&seen);
     let bytes_sink = Arc::clone(&last_bytes);
-    let outcome = serving_session(120, serve)
+    let gate = Arc::new(std::sync::Barrier::new(5));
+    let laggard_gate = Arc::clone(&gate);
+    let outcome = serving_session(120, serve, Some(gate))
         .client("laggard", 1, move |c| {
             c.subscribe().unwrap();
+            c.version_info().unwrap();
+            laggard_gate.wait();
             loop {
                 let u = c.next_update().unwrap().expect("stream ended early");
                 sink.lock().push(Seen {
@@ -201,7 +229,7 @@ fn point_queries_answer_mid_run() {
     type Probe = (u64, u64, Vec<u64>);
     let probed: Arc<Mutex<Option<Probe>>> = Arc::new(Mutex::new(None));
     let sink = Arc::clone(&probed);
-    let outcome = serving_session(60, serve)
+    let outcome = serving_session(60, serve, None)
         .client("prober", 2, move |c| {
             // Mid-run: wait for the first publication, then interrogate it
             // while the application is still streaming.
@@ -256,7 +284,7 @@ fn point_queries_answer_mid_run() {
 #[test]
 fn clients_require_serving_coupling() {
     let res = Session::builder()
-        .app("ring", 2, ring_app(4))
+        .app("ring", 2, ring_app(4, None))
         .client("observer", 1, |_c| {})
         .run();
     assert!(matches!(res, Err(opmr::core::SessionError::Config(_))));

@@ -1,0 +1,291 @@
+//! Socket backend negative paths: every way the mesh can fail to
+//! assemble or a peer can die mid-job must surface as a **typed**
+//! [`SocketError`] / [`VmpiError`] — never a panic — and tick the
+//! matching `transport_socket_*` observability counter.
+//!
+//! Counters are process-global, and test binaries run their tests
+//! concurrently, so every assertion is a before/after delta (`>=`), not
+//! an absolute value.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
+mod common;
+use common::fresh_unix_endpoint;
+
+use opmr::runtime::{
+    Endpoint, Launcher, MultiprocError, MultiprocTopology, PartitionAssign, SocketConfig,
+    SocketError, Src, TagSel,
+};
+use opmr::vmpi::{Balance, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError, WriteStream};
+use std::io::Write as _;
+use std::os::unix::net::UnixStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn counter(name: &str) -> u64 {
+    opmr::obs::registry().snapshot().counter(name).unwrap_or(0)
+}
+
+/// Minimal two-partition job: one message across the partition (and thus
+/// process) boundary, verified at the receiver.
+fn tiny_job() -> Launcher {
+    Launcher::new()
+        .partition("a", 1, |mpi| {
+            let w = mpi.world();
+            mpi.send(&w, 1, 7, vec![1, 2, 3]).unwrap();
+        })
+        .partition("b", 1, |mpi| {
+            let w = mpi.world();
+            let (_, d) = mpi.recv(&w, Src::Rank(0), TagSel::Tag(7)).unwrap();
+            assert_eq!(d, vec![1, 2, 3]);
+        })
+}
+
+// ---------------------------------------------------------------------
+// Nobody is listening: the dialer times out with a typed error.
+// ---------------------------------------------------------------------
+#[test]
+fn dialing_an_unbound_endpoint_is_a_typed_connect_timeout() {
+    let before = counter("transport_socket_connect_timeouts_total");
+    let cfg = SocketConfig::new(fresh_unix_endpoint("unbound"))
+        .connect_timeout(Duration::from_millis(200));
+    let topo = MultiprocTopology::new(cfg, 1, 2).assign(PartitionAssign::RoundRobin);
+    let err = tiny_job()
+        .run_multiproc(topo)
+        .expect_err("no coordinator exists");
+    match err {
+        MultiprocError::Socket(SocketError::ConnectTimeout { waited_ms, .. }) => {
+            assert!(
+                waited_ms >= 200,
+                "reports how long it waited: {waited_ms}ms"
+            );
+        }
+        other => panic!("expected ConnectTimeout, got: {other}"),
+    }
+    assert!(
+        counter("transport_socket_connect_timeouts_total") > before,
+        "the timeout must be counted"
+    );
+}
+
+// ---------------------------------------------------------------------
+// A peer never shows up: the coordinator times out with a typed error
+// naming how many peers are missing.
+// ---------------------------------------------------------------------
+#[test]
+fn missing_peer_is_a_typed_accept_timeout() {
+    let before = counter("transport_socket_connect_timeouts_total");
+    let cfg = SocketConfig::new(fresh_unix_endpoint("lonely"))
+        .connect_timeout(Duration::from_millis(200));
+    let topo = MultiprocTopology::new(cfg, 0, 2).assign(PartitionAssign::RoundRobin);
+    let err = tiny_job()
+        .run_multiproc(topo)
+        .expect_err("process 1 never dials in");
+    match err {
+        MultiprocError::Socket(SocketError::AcceptTimeout { missing, .. }) => {
+            assert_eq!(missing, 1, "exactly one peer is missing");
+        }
+        other => panic!("expected AcceptTimeout, got: {other}"),
+    }
+    assert!(
+        counter("transport_socket_connect_timeouts_total") > before,
+        "the timeout must be counted"
+    );
+}
+
+// ---------------------------------------------------------------------
+// A rogue connection spews garbage before any handshake: the coordinator
+// rejects it (counted), keeps accepting, and the real job completes.
+// ---------------------------------------------------------------------
+#[test]
+fn garbage_before_handshake_is_rejected_and_the_job_completes() {
+    let before = counter("transport_socket_handshake_rejected_total");
+    let endpoint = fresh_unix_endpoint("rogue");
+    let Endpoint::Unix(path) = endpoint.clone() else {
+        unreachable!()
+    };
+    let launcher = tiny_job();
+
+    let spawn_proc = |p: usize| {
+        let l = launcher.clone();
+        let cfg = SocketConfig::new(endpoint.clone()).connect_timeout(Duration::from_secs(20));
+        let topo = MultiprocTopology::new(cfg, p, 2).assign(PartitionAssign::RoundRobin);
+        std::thread::spawn(move || l.run_multiproc(topo))
+    };
+
+    // Coordinator first, so the rogue connection is the first accepted.
+    let coord = spawn_proc(0);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut rogue = loop {
+        match UnixStream::connect(&path) {
+            Ok(s) => break s,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(5)),
+            Err(e) => panic!("rogue could not reach the coordinator: {e}"),
+        }
+    };
+    // A hostile length header (u32::MAX): instantly unframeable, so the
+    // coordinator rejects the connection before reading a payload.
+    rogue
+        .write_all(&[0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0])
+        .unwrap();
+    rogue.flush().unwrap();
+
+    // Only now let the honest peer dial in.
+    let peer = spawn_proc(1);
+    coord
+        .join()
+        .unwrap()
+        .expect("coordinator survives the rogue");
+    peer.join().unwrap().expect("peer survives the rogue");
+    drop(rogue);
+
+    assert!(
+        counter("transport_socket_handshake_rejected_total") > before,
+        "the rejected rogue must be counted"
+    );
+}
+
+// ---------------------------------------------------------------------
+// The processes disagree about the topology: a typed handshake failure
+// on both sides, no partial mesh.
+// ---------------------------------------------------------------------
+#[test]
+fn topology_mismatch_is_a_typed_handshake_failure_on_both_sides() {
+    let before = counter("transport_socket_handshake_rejected_total");
+    let endpoint = fresh_unix_endpoint("mismatch");
+    // Three partitions so Block ([0,0,1]) and RoundRobin ([0,1,0]) derive
+    // different rank→process maps, and therefore different topology
+    // hashes in the Hello exchange.
+    let launcher = Launcher::new()
+        .partition("p0", 1, |_| {})
+        .partition("p1", 1, |_| {})
+        .partition("p2", 1, |_| {});
+    let mut handles = Vec::new();
+    for (p, assign) in [
+        (0, PartitionAssign::Block),
+        (1, PartitionAssign::RoundRobin),
+    ] {
+        let l = launcher.clone();
+        let cfg = SocketConfig::new(endpoint.clone()).connect_timeout(Duration::from_millis(1500));
+        let topo = MultiprocTopology::new(cfg, p, 2).assign(assign);
+        handles.push(std::thread::spawn(move || l.run_multiproc(topo)));
+    }
+    for h in handles {
+        let err = h.join().unwrap().expect_err("the mesh must not assemble");
+        match err {
+            // The coordinator rejects the mismatched Hello and then times
+            // out waiting for a valid one; the dialer observes its
+            // connection die mid-handshake. Both are typed socket errors.
+            MultiprocError::Socket(
+                SocketError::AcceptTimeout { .. } | SocketError::Handshake { .. },
+            ) => {}
+            other => panic!("expected a typed socket error, got: {other}"),
+        }
+    }
+    assert!(
+        counter("transport_socket_handshake_rejected_total") > before,
+        "the mismatched Hello must be counted as rejected"
+    );
+}
+
+// ---------------------------------------------------------------------
+// A peer process dies mid-stream: the survivor sees exactly one typed
+// PeerLost, counts the disconnect, and its job still terminates.
+// ---------------------------------------------------------------------
+
+const DISCONNECT_BLOCK: usize = 64;
+const DISCONNECT_BLOCKS_SENT: usize = 3;
+
+/// Reader in process 0, writer in process 1 (round-robin assignment).
+/// The writer pushes three blocks and then dies without any close
+/// protocol — modelled with `std::process::abort` in a real child OS
+/// process below.
+fn disconnect_job(observed: Arc<Mutex<(usize, Vec<usize>)>>) -> Launcher {
+    let cfg = || {
+        StreamConfig::new(DISCONNECT_BLOCK, 3, Balance::None)
+            .with_read_timeout(Duration::from_secs(20))
+    };
+    Launcher::new()
+        .partition("r", 1, move |mpi| {
+            let v = Vmpi::new(mpi).unwrap();
+            let mut st = ReadStream::open_from(&v, vec![1], cfg(), 5).unwrap();
+            let mut blocks = 0usize;
+            let mut lost = Vec::new();
+            loop {
+                match st.read(ReadMode::Blocking) {
+                    Ok(Some(b)) => {
+                        assert!(b.data.iter().all(|&x| x == 0x5A));
+                        blocks += 1;
+                    }
+                    Ok(None) => break,
+                    Err(VmpiError::PeerLost { rank }) => {
+                        lost.push(rank);
+                        break;
+                    }
+                    Err(e) => panic!("survivor must fail typed, got: {e}"),
+                }
+            }
+            *observed.lock().unwrap() = (blocks, lost);
+        })
+        .partition("w", 1, move |mpi| {
+            let v = Vmpi::new(mpi).unwrap();
+            let mut st = WriteStream::open_to(&v, vec![0], cfg(), 5).unwrap();
+            for _ in 0..DISCONNECT_BLOCKS_SENT {
+                st.write(&[0x5A; DISCONNECT_BLOCK]).unwrap();
+            }
+            // Die like a crashed process: no close protocol, no teardown.
+            std::process::abort();
+        })
+}
+
+/// Spawned copy of this test binary: hosts the writer process and aborts
+/// mid-stream. Guarded by an env var so it is inert in a normal run.
+#[test]
+fn midstream_disconnect_worker() {
+    let Ok(path) = std::env::var("OPMR_NEG_WORKER_SOCK") else {
+        return; // not a worker invocation
+    };
+    let cfg =
+        SocketConfig::new(Endpoint::Unix(path.into())).connect_timeout(Duration::from_secs(20));
+    let topo = MultiprocTopology::new(cfg, 1, 2).assign(PartitionAssign::RoundRobin);
+    let sink = Arc::new(Mutex::new((0, Vec::new())));
+    // The writer aborts the whole process, so this never returns.
+    let _ = disconnect_job(sink).run_multiproc(topo);
+    unreachable!("the worker process must have aborted");
+}
+
+#[test]
+fn midstream_peer_death_is_one_typed_peer_lost_and_counted() {
+    let before = counter("transport_socket_peer_disconnects_total");
+    let endpoint = fresh_unix_endpoint("abort");
+    let Endpoint::Unix(path) = &endpoint else {
+        unreachable!()
+    };
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .args(["--exact", "midstream_disconnect_worker", "--test-threads=1"])
+        .env("OPMR_NEG_WORKER_SOCK", path)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    let observed = Arc::new(Mutex::new((0usize, Vec::new())));
+    let cfg = SocketConfig::new(endpoint.clone()).connect_timeout(Duration::from_secs(20));
+    let topo = MultiprocTopology::new(cfg, 0, 2).assign(PartitionAssign::RoundRobin);
+    let local = disconnect_job(Arc::clone(&observed)).run_multiproc(topo);
+    let status = child.wait().unwrap();
+
+    assert!(!status.success(), "the worker must have died by abort");
+    local.expect("the surviving process finishes its job cleanly");
+    let (blocks, lost) = std::mem::take(&mut *observed.lock().unwrap());
+    assert_eq!(
+        blocks, DISCONNECT_BLOCKS_SENT,
+        "bytes already on the wire are delivered before the loss"
+    );
+    assert_eq!(lost, vec![1], "exactly one typed loss, naming the writer");
+    assert!(
+        counter("transport_socket_peer_disconnects_total") > before,
+        "the disconnect must be counted"
+    );
+}
