@@ -23,6 +23,7 @@ use crate::waitstate::{WaitStateAnalysis, WaitStats};
 use bytes::Bytes;
 use opmr_blackboard::{type_id, Blackboard, BlackboardConfig, DataEntry, KnowledgeSource};
 use opmr_events::{codec, EventKind, EventPack};
+use opmr_metrics::{MetricsConfig, MetricsSeries};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -54,6 +55,7 @@ struct AppData {
     topology: Topology,
     timeline: Option<AdaptiveTimeline>,
     waitstate: Option<WaitStateAnalysis>,
+    metrics: Option<MetricsSeries>,
     proxy: Option<TraceProxy>,
     packs: u64,
     wire_bytes: u64,
@@ -64,8 +66,10 @@ struct AppSlot {
     app_id: u16,
     name: Mutex<String>,
     data: Mutex<AppData>,
-    /// Set once the level's stock KSs have been registered.
-    wired: std::sync::atomic::AtomicBool,
+    /// Completes once the level's stock KSs have been registered. `Once`
+    /// (rather than a flag) so racing dispatchers *block* until the wiring
+    /// is done instead of posting packs into a not-yet-sensitive level.
+    wired: std::sync::Once,
 }
 
 /// The per-application chapter of a finished report.
@@ -85,6 +89,8 @@ pub struct AppReport {
     pub density: Vec<DensityMap>,
     /// Wait-state analysis results, when enabled.
     pub waitstate: Option<WaitStats>,
+    /// Time-resolved standard-metrics series, when enabled.
+    pub metrics: Option<MetricsSeries>,
     /// Selective-trace proxy outcome `(path, seen, written)`, when enabled.
     pub proxy: Option<(std::path::PathBuf, u64, u64)>,
 }
@@ -108,6 +114,7 @@ impl MultiReport {
                 profile: a.profile.clone(),
                 topology: a.topology.clone(),
                 waitstate: a.waitstate.clone(),
+                metrics: a.metrics.clone(),
             })
             .collect()
     }
@@ -138,6 +145,11 @@ impl MultiReport {
                             (slot @ None, Some(b)) => *slot = Some(b),
                             _ => {}
                         }
+                        match (&mut into.metrics, p.metrics) {
+                            (Some(a), Some(b)) => a.merge(&b),
+                            (slot @ None, Some(b)) => *slot = Some(b),
+                            _ => {}
+                        }
                     }
                 }
             }
@@ -165,6 +177,7 @@ impl MultiReport {
                         timeline: None,
                         density,
                         waitstate: p.waitstate,
+                        metrics: p.metrics,
                         proxy: None,
                     }
                 })
@@ -181,6 +194,8 @@ pub type SnapshotHook = Arc<dyn Fn(Vec<crate::wire::AppPartial>) + Send + Sync>;
 struct EngineExtras {
     /// Register the wait-state KS on every level.
     waitstate: bool,
+    /// Register the windowed standard-metrics KS on every level.
+    metrics: Option<MetricsConfig>,
     /// Attach a selective-trace proxy per level, writing under this dir.
     proxy: Option<(std::path::PathBuf, Selection)>,
     /// Publish a report snapshot every N unpacked packs.
@@ -232,6 +247,13 @@ impl AnalysisEngine {
         self.extras.lock().waitstate = true;
     }
 
+    /// Enables the time-resolved standard-metrics KS on every application
+    /// level: the event stream is folded into per-window, per-rank integer
+    /// cells (see `opmr_metrics`). Call before any packs arrive.
+    pub fn enable_metrics(&self, cfg: MetricsConfig) {
+        self.extras.lock().metrics = Some(cfg);
+    }
+
     /// Attaches a selective-trace IO proxy: events surviving `selection`
     /// are re-encoded into `dir/app<N>_selected.opmr`. Call before any
     /// packs arrive.
@@ -266,6 +288,7 @@ impl AnalysisEngine {
                     profile: data.profile.clone(),
                     topology: data.topology.clone(),
                     waitstate: data.waitstate.as_ref().map(|ws| ws.snapshot_stats()),
+                    metrics: data.metrics.clone(),
                 }
             })
             .collect()
@@ -307,7 +330,7 @@ impl AnalysisEngine {
                 )),
                 ..AppData::default()
             }),
-            wired: std::sync::atomic::AtomicBool::new(false),
+            wired: std::sync::Once::new(),
         });
         apps.insert(app_id, Arc::clone(&slot));
         slot
@@ -340,10 +363,14 @@ impl AnalysisEngine {
     fn ensure_level(&self, app_id: u16) {
         let slot = self.slot(app_id);
         // Exactly-once wiring, even when two dispatcher jobs race on the
-        // first packs of a new application.
-        if slot.wired.swap(true, std::sync::atomic::Ordering::SeqCst) {
-            return;
-        }
+        // first packs of a new application. `call_once` blocks the losers
+        // until the winner has registered every KS: with a plain flag a
+        // losing dispatcher could post its pack before the level was
+        // sensitive to it, and the blackboard silently dropped the entry.
+        slot.wired.call_once(|| self.wire_level(&slot, app_id));
+    }
+
+    fn wire_level(&self, slot: &Arc<AppSlot>, app_id: u16) {
         let level = level_name(app_id);
         let ty_pack = type_id(&level, "pack");
         let ty_events = type_id(&level, "events");
@@ -351,7 +378,7 @@ impl AnalysisEngine {
         // publication clock: every N packs (across all levels) the snapshot
         // hook fires with the engine's current aggregates. The hook runs
         // with no slot lock held (snapshot_partials re-locks each slot).
-        let uslot = Arc::clone(&slot);
+        let uslot = Arc::clone(slot);
         let uengine = self.clone();
         let publisher = self.extras.lock().publisher.clone();
         let ticker = Arc::clone(&self.pack_ticker);
@@ -384,7 +411,7 @@ impl AnalysisEngine {
             },
         );
         // Profiler: events → per-call aggregates.
-        let pslot = Arc::clone(&slot);
+        let pslot = Arc::clone(slot);
         let profiler = KnowledgeSource::new(
             &format!("profiler/{level}"),
             vec![ty_events],
@@ -395,7 +422,7 @@ impl AnalysisEngine {
             },
         );
         // Topology: events → communication matrix.
-        let tslot = Arc::clone(&slot);
+        let tslot = Arc::clone(slot);
         let topology = KnowledgeSource::new(
             &format!("topology/{level}"),
             vec![ty_events],
@@ -406,7 +433,7 @@ impl AnalysisEngine {
             },
         );
         // Timeline: events → temporal map.
-        let lslot = Arc::clone(&slot);
+        let lslot = Arc::clone(slot);
         let timeline = KnowledgeSource::new(
             &format!("timeline/{level}"),
             vec![ty_events],
@@ -430,7 +457,7 @@ impl AnalysisEngine {
         let extras = self.extras.lock();
         if extras.waitstate {
             slot.data.lock().waitstate = Some(WaitStateAnalysis::new());
-            let wslot = Arc::clone(&slot);
+            let wslot = Arc::clone(slot);
             self.bb.register(KnowledgeSource::new(
                 &format!("waitstate/{level}"),
                 vec![ty_events],
@@ -441,6 +468,22 @@ impl AnalysisEngine {
                             for e in &pack.events {
                                 ws.add(e);
                             }
+                        }
+                    }
+                },
+            ));
+        }
+        if let Some(mcfg) = extras.metrics {
+            slot.data.lock().metrics = Some(MetricsSeries::new(mcfg.window_ns));
+            let mslot = Arc::clone(slot);
+            self.bb.register(KnowledgeSource::new(
+                &format!("metrics/{level}"),
+                vec![ty_events],
+                move |_bb, entries| {
+                    if let Some(pack) = entries[0].downcast_ref::<EventPack>() {
+                        let mut data = mslot.data.lock();
+                        if let Some(m) = data.metrics.as_mut() {
+                            m.fold_pack(&pack.events);
                         }
                     }
                 },
@@ -476,6 +519,7 @@ impl AnalysisEngine {
                 let mut data = slot.data.lock();
                 let density = stock_density_maps(&data.profile);
                 let waitstate = data.waitstate.as_mut().map(|ws| ws.finish().clone());
+                let metrics = data.metrics.clone();
                 let proxy = data.proxy.take().map(|p| {
                     let path = p.path().to_path_buf();
                     let (seen, written) = p.finish(slot.app_id).unwrap_or((0, 0));
@@ -494,6 +538,7 @@ impl AnalysisEngine {
                     timeline: data.timeline.as_ref().map(|t| t.snapshot()),
                     density,
                     waitstate,
+                    metrics,
                     proxy,
                 }
             })
@@ -650,5 +695,53 @@ mod tests {
         assert_eq!(app.packs, 1600);
         assert_eq!(app.profile.kind(EventKind::Send).unwrap().hits, 16_000);
         assert_eq!(app.topology.edge_count(), 8);
+    }
+
+    #[test]
+    fn metrics_series_folds_when_enabled_and_matches_offline() {
+        let engine = AnalysisEngine::new(EngineConfig::default());
+        engine.enable_metrics(MetricsConfig { window_ns: 1000 });
+        engine.start();
+        let mut offline = MetricsSeries::new(1000);
+        for rank in 0..4u32 {
+            let e = send(rank, ((rank + 1) % 4) as i32, 64);
+            offline.add(&e);
+            engine.post_block(pack(0, rank, 0, vec![e]));
+        }
+        let report = engine.finish();
+        let m = report.apps[0]
+            .metrics
+            .as_ref()
+            .expect("metrics enabled but absent from report");
+        assert_eq!(m.window_ns(), 1000);
+        assert_eq!(
+            *m, offline,
+            "online fold must equal offline whole-trace fold"
+        );
+        assert!(report.apps[0].waitstate.is_none(), "waitstate not enabled");
+    }
+
+    #[test]
+    fn first_packs_of_a_new_level_are_never_dropped() {
+        // Regression for the prop_system flake: dispatcher jobs racing on
+        // the first packs of a new application could post into a level
+        // whose knowledge sources were still being registered, and the
+        // blackboard silently dropped those entries. The `Once`-based
+        // wiring blocks the racing dispatchers until the level is live.
+        for round in 0..25u16 {
+            let engine = AnalysisEngine::new(EngineConfig {
+                workers: 4,
+                queues: 8,
+                timeline_bins: 16,
+            });
+            engine.start();
+            for rank in 0..8u32 {
+                engine.post_block(pack(round, rank, 0, vec![send(rank, 0, 8)]));
+            }
+            let report = engine.finish();
+            assert_eq!(report.apps.len(), 1, "round {round}");
+            assert_eq!(report.apps[0].packs, 8, "round {round}: lost first packs");
+            assert_eq!(report.apps[0].events, 8, "round {round}");
+        }
     }
 }

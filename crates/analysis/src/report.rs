@@ -79,7 +79,9 @@ pub fn stable_digest_filtered(report: &MultiReport, keep: impl Fn(&AppReport) ->
                 decode_errors: a.decode_errors,
                 profile,
                 topology,
+                // Timing-dependent planes stay out of the stable digest.
                 waitstate: None,
+                metrics: None,
             }
         })
         .collect();
@@ -225,6 +227,39 @@ fn app_markdown(out: &mut String, app: &AppReport) {
             for (rank, ns) in culprits {
                 let _ = writeln!(out, "| {rank} | {} |", fmt_ns(ns));
             }
+        }
+        let _ = writeln!(out);
+    }
+
+    // Time-resolved standard metrics (windowed series).
+    if let Some(m) = app.metrics.as_ref().filter(|m| !m.is_empty()) {
+        let _ = writeln!(out, "### Time-resolved metrics");
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{} window(s) of {} over {} rank(s).",
+            m.len(),
+            fmt_ns(m.window_ns()),
+            m.ranks()
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| window | LB | comm | ser | xfer | wait | bytes |");
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+        let rows = m.window_metrics();
+        // Evenly sample long series so the chapter stays one screen tall.
+        let stride = rows.len().div_ceil(12).max(1);
+        for wm in rows.iter().step_by(stride) {
+            let _ = writeln!(
+                out,
+                "| {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {} |",
+                wm.window,
+                wm.lb_efficiency,
+                wm.comm_efficiency,
+                wm.serialization_fraction,
+                wm.transfer_fraction,
+                wm.wait_fraction,
+                fmt_bytes(wm.bytes),
+            );
         }
         let _ = writeln!(out);
     }

@@ -256,6 +256,55 @@ mod tests {
     }
 
     #[test]
+    fn event_entirely_beyond_span_lands_in_last_bin() {
+        let mut tl = Timeline::new(1, 4, 400, |k| k.is_mpi());
+        tl.add(&ev(0, 1_000, 50, EventKind::Send)); // starts past the span
+        assert!((tl.fraction(0, 3) - 0.5).abs() < 1e-9, "mass is clamped");
+        for bin in 0..3 {
+            assert_eq!(tl.fraction(0, bin), 0.0);
+        }
+    }
+
+    #[test]
+    fn ranks_grow_mid_stream_preserving_earlier_mass() {
+        let mut tl = Timeline::new(1, 4, 400, |k| k.is_mpi());
+        tl.add(&ev(0, 0, 100, EventKind::Send));
+        assert_eq!(tl.ranks(), 1);
+        tl.add(&ev(5, 100, 100, EventKind::Recv)); // unseen rank appears
+        assert_eq!(tl.ranks(), 6);
+        assert!((tl.fraction(0, 0) - 1.0).abs() < 1e-9, "old mass intact");
+        assert!((tl.fraction(5, 1) - 1.0).abs() < 1e-9);
+        for rank in 1..5 {
+            for bin in 0..4 {
+                assert_eq!(tl.fraction(rank, bin), 0.0, "gap ranks stay empty");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_duration_events_add_no_mass() {
+        let mut tl = Timeline::new(1, 4, 400, |k| k.is_mpi());
+        tl.add(&ev(0, 250, 0, EventKind::Wait));
+        tl.add(&ev(0, 400, 0, EventKind::Wait)); // exactly at the span edge
+        tl.add(&ev(0, 900, 0, EventKind::Wait)); // beyond the span
+        for bin in 0..4 {
+            assert_eq!(tl.fraction(0, bin), 0.0);
+        }
+    }
+
+    #[test]
+    fn adaptive_zero_duration_event_grows_span_without_mass() {
+        let mut at = AdaptiveTimeline::new(4, |k| k.is_mpi());
+        at.add(&ev(0, 5_000_000, 0, EventKind::Send)); // past the 1 ms span
+        assert!(at.span_ns() >= 5_000_000, "span still tracks the event");
+        let tl = at.snapshot();
+        assert_eq!(tl.ranks(), 1);
+        for bin in 0..4 {
+            assert_eq!(tl.fraction(0, bin), 0.0);
+        }
+    }
+
+    #[test]
     fn adaptive_grows_span_preserving_mass() {
         let mut at = AdaptiveTimeline::new(8, |k| k.is_mpi());
         at.add(&ev(0, 0, 500_000, EventKind::Send));

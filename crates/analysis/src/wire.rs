@@ -11,6 +11,7 @@ use crate::topology::Topology;
 use crate::waitstate::{RecvSide, SendSide, WaitStateAnalysis, WaitStats};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use opmr_events::EventKind;
+use opmr_metrics::{MetricsSeries, MetricsWireError};
 
 /// Decoding failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +32,14 @@ impl std::fmt::Display for WireError {
 }
 
 impl std::error::Error for WireError {}
+
+impl From<MetricsWireError> for WireError {
+    fn from(e: MetricsWireError) -> WireError {
+        match e {
+            MetricsWireError::Truncated => WireError::Truncated,
+        }
+    }
+}
 
 fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
     if buf.remaining() < n {
@@ -259,6 +268,9 @@ pub struct AppPartial {
     pub profile: MpiProfile,
     pub topology: Topology,
     pub waitstate: Option<WaitStats>,
+    /// Time-resolved standard-metrics series, when the engine runs the
+    /// metrics knowledge source.
+    pub metrics: Option<MetricsSeries>,
 }
 
 /// Encodes a set of per-application partials into one buffer.
@@ -276,6 +288,13 @@ pub fn encode_partials(apps: &[AppPartial]) -> Bytes {
             Some(w) => {
                 out.put_u8(1);
                 encode_waitstats(w, &mut out);
+            }
+            None => out.put_u8(0),
+        }
+        match &a.metrics {
+            Some(m) => {
+                out.put_u8(1);
+                m.encode_into(&mut out);
             }
             None => out.put_u8(0),
         }
@@ -302,6 +321,12 @@ pub fn decode_partials(mut buf: &[u8]) -> Result<Vec<AppPartial>, WireError> {
             1 => Some(decode_waitstats(&mut buf)?),
             t => return Err(WireError::BadTag(t)),
         };
+        need(&buf, 1)?;
+        let metrics = match buf.get_u8() {
+            0 => None,
+            1 => Some(MetricsSeries::decode(&mut buf)?),
+            t => return Err(WireError::BadTag(t)),
+        };
         out.push(AppPartial {
             app_id,
             packs,
@@ -310,6 +335,7 @@ pub fn decode_partials(mut buf: &[u8]) -> Result<Vec<AppPartial>, WireError> {
             profile,
             topology,
             waitstate,
+            metrics,
         });
     }
     Ok(out)
@@ -415,6 +441,7 @@ mod tests {
                 profile: sample_profile(),
                 topology: Topology::new(),
                 waitstate: None,
+                metrics: None,
             },
             AppPartial {
                 app_id: 3,
@@ -431,6 +458,11 @@ mod tests {
                     matched: 4,
                     ..WaitStats::default()
                 }),
+                metrics: Some({
+                    let mut m = MetricsSeries::new(1000);
+                    m.add(&opmr_events::Event::basic(EventKind::Send, 2, 500, 800));
+                    m
+                }),
             },
         ];
         let enc = encode_partials(&apps);
@@ -439,9 +471,11 @@ mod tests {
         assert_eq!(dec[0].app_id, 0);
         assert_eq!(dec[0].packs, 7);
         assert_eq!(dec[0].profile.events(), 40);
+        assert!(dec[0].metrics.is_none());
         assert_eq!(dec[1].decode_errors, 1);
         assert_eq!(dec[1].topology.edge(1, 0).unwrap().hits, 5);
         assert_eq!(dec[1].waitstate.as_ref().unwrap().matched, 4);
+        assert_eq!(dec[1].metrics, apps[1].metrics);
     }
 
     #[test]
@@ -454,6 +488,7 @@ mod tests {
             profile: sample_profile(),
             topology: Topology::new(),
             waitstate: None,
+            metrics: None,
         }];
         let enc = encode_partials(&apps);
         for cut in [0, 3, 10, enc.len() - 1] {

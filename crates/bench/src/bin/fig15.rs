@@ -33,7 +33,12 @@ fn closest_valid(bench: Benchmark, class: Class, target: usize) -> Option<usize>
     let in_band =
         |n: usize| n >= 1 && (n as f64) >= target as f64 * 0.7 && (n as f64) <= target as f64 * 1.3;
     match bench {
-        Benchmark::Lu | Benchmark::EulerMhd => Some(target),
+        // Any rank count works for these (the new generators included).
+        Benchmark::Lu
+        | Benchmark::EulerMhd
+        | Benchmark::Irregular
+        | Benchmark::Straggler
+        | Benchmark::Bursty => Some(target),
         Benchmark::Bt | Benchmark::Sp => {
             let k = (target as f64).sqrt().round() as usize;
             let sq = k.max(1) * k.max(1);

@@ -1,0 +1,111 @@
+//! Time-resolved metrics benchmark: the windowed standard-metrics plane
+//! over a live straggler run.
+//!
+//! A ring application with one deliberately slow rank streams into the
+//! shared analysis engine with the metrics knowledge source enabled; the
+//! engine folds the event stream into fixed windows online (no trace is
+//! retained). The binary prints a sampled window table and writes the
+//! full derived series — load-balance efficiency, communication
+//! efficiency, serialization/transfer decomposition, wait fraction — as
+//! CSV under `out/metrics_bench/`, using the canonical header pinned by
+//! the golden-shape tests. Pass `--quick` for a CI-sized smoke run.
+
+use opmr_bench::{out_dir, row};
+use opmr_core::session::Session;
+use opmr_metrics::WINDOW_CSV_HEADER;
+use opmr_runtime::{Src, TagSel};
+use opmr_vmpi::{Balance, StreamConfig};
+use std::io::Write as _;
+use std::time::Duration;
+
+/// The straggler rank computes this much longer per step than its peers.
+const SLOW_FACTOR: u32 = 3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds: i32 = if quick { 40 } else { 200 };
+    let ranks = if quick { 4 } else { 6 };
+    let window_ns = 250_000u64; // 0.25 ms windows
+
+    let outcome = Session::builder()
+        .analyzer_ranks(2)
+        .metrics(window_ns)
+        .stream_config(StreamConfig::new(2048, 4, Balance::None))
+        .app_try("straggler_ring", ranks, move |imp| {
+            let w = imp.comm_world();
+            let (n, r) = (imp.size(), imp.rank());
+            let work = Duration::from_micros(60);
+            for round in 0..rounds {
+                // Rank 0 is the straggler: everyone else serializes on it
+                // at the ring exchange, which the wait fraction exposes.
+                let d = if r == 0 { work * SLOW_FACTOR } else { work };
+                imp.compute(d)?;
+                let req = imp.isend(&w, (r + 1) % n, round, vec![0u8; 2048])?;
+                imp.recv(&w, Src::Rank((r + n - 1) % n), TagSel::Tag(round))?;
+                imp.wait(req)?;
+                imp.allreduce_sum(&w, &[round as u64])?;
+            }
+            imp.barrier(&w)?;
+            Ok(())
+        })
+        .run()?;
+
+    let m = outcome.report.apps[0]
+        .metrics
+        .as_ref()
+        .ok_or("metrics knowledge source produced no series")?;
+    assert!(!m.is_empty(), "run produced no metric windows");
+    assert_eq!(m.ranks() as usize, ranks, "series must cover every rank");
+
+    let windows = m.window_metrics();
+    let widths = [8, 10, 6, 8, 8, 8, 8, 8, 10];
+    row(
+        &[
+            "window".into(),
+            "start ms".into(),
+            "ranks".into(),
+            "lb".into(),
+            "comm".into(),
+            "ser".into(),
+            "xfer".into(),
+            "wait".into(),
+            "bytes".into(),
+        ],
+        &widths,
+    );
+    let stride = windows.len().div_ceil(12).max(1);
+    for wm in windows.iter().step_by(stride) {
+        row(
+            &[
+                format!("{}", wm.window),
+                format!("{:.3}", wm.start_ns as f64 / 1e6),
+                format!("{}", wm.ranks),
+                format!("{:.3}", wm.lb_efficiency),
+                format!("{:.3}", wm.comm_efficiency),
+                format!("{:.3}", wm.serialization_fraction),
+                format!("{:.3}", wm.transfer_fraction),
+                format!("{:.3}", wm.wait_fraction),
+                format!("{}", wm.bytes),
+            ],
+            &widths,
+        );
+    }
+
+    let mean_lb = windows.iter().map(|w| w.lb_efficiency).sum::<f64>() / windows.len() as f64;
+    println!(
+        "\n{} windows of {:.3} ms over {} ranks, mean LB efficiency {:.3}, wall {:.3} s",
+        windows.len(),
+        window_ns as f64 / 1e6,
+        m.ranks(),
+        mean_lb,
+        outcome.wall_s
+    );
+
+    let csv = m.to_csv();
+    debug_assert!(csv.starts_with(WINDOW_CSV_HEADER));
+    let path = out_dir("metrics_bench")?.join("metrics_windows.csv");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(csv.as_bytes())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

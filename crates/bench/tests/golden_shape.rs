@@ -32,6 +32,16 @@ fn tbon_compare_csv_header_is_pinned() {
     );
 }
 
+#[test]
+fn metrics_bench_csv_header_is_pinned() {
+    // The canonical per-window series header (`MetricsSeries::to_csv`),
+    // written by metrics_bench and scraped by the CI metrics smoke step.
+    assert_eq!(
+        opmr_metrics::WINDOW_CSV_HEADER,
+        "window,start_ns,ranks,lb_eff,comm_eff,ser_frac,xfer_frac,wait_frac,bytes,hits"
+    );
+}
+
 /// Runs a bench binary with `--quick` into a scratch OPMR_OUT and returns
 /// the CSV it wrote.
 fn run_quick(bin: &str, rel_csv: &str) -> String {
@@ -90,6 +100,17 @@ fn serve_bench_quick_emits_the_pinned_shape() {
     check_shape(&csv, SERVE_BENCH_CSV_HEADER, &[0], 2);
     // The quick run still covers the scenarios the dashboard keys on.
     assert!(csv.contains("\nlaggy,"), "laggy scenario row missing");
+}
+
+#[test]
+#[ignore = "executes the metrics_bench binary; run via --include-ignored"]
+fn metrics_bench_quick_emits_the_pinned_shape() {
+    let csv = run_quick(
+        env!("CARGO_BIN_EXE_metrics_bench"),
+        "metrics_bench/metrics_windows.csv",
+    );
+    // Every column of the window series is numeric.
+    check_shape(&csv, opmr_metrics::WINDOW_CSV_HEADER, &[], 2);
 }
 
 #[test]

@@ -152,6 +152,7 @@ pub struct SessionBuilder {
     stream: StreamConfig,
     engine: EngineConfig,
     waitstate: bool,
+    metrics: Option<opmr_metrics::MetricsConfig>,
     proxy: Option<(std::path::PathBuf, opmr_analysis::Selection)>,
     engine_setup: Option<EngineSetup>,
     distributed: bool,
@@ -178,6 +179,7 @@ impl Session {
             },
             engine: EngineConfig::default(),
             waitstate: false,
+            metrics: None,
             proxy: None,
             engine_setup: None,
             distributed: false,
@@ -214,6 +216,18 @@ impl SessionBuilder {
     /// attribution) for every application.
     pub fn waitstate(mut self) -> Self {
         self.waitstate = true;
+        self
+    }
+
+    /// Enables the time-resolved standard-metrics plane: the event stream
+    /// is folded into per-window, per-rank series (load balance,
+    /// communication efficiency, serialization/transfer decomposition)
+    /// with windows of `window_ns` nanoseconds of application time. Works
+    /// under every coupling; TBON frontier nodes fold it in-network.
+    pub fn metrics(mut self, window_ns: u64) -> Self {
+        self.metrics = Some(opmr_metrics::MetricsConfig {
+            window_ns: window_ns.max(1),
+        });
         self
     }
 
@@ -477,11 +491,13 @@ impl SessionBuilder {
             .collect();
         let distributed = self.distributed;
         let waitstate = self.waitstate;
+        let metrics = self.metrics;
         let engine_cfg = self.engine;
         let node_cfg = NodeConfig {
             op: self.reduce_op,
             window_blocks: self.reduce_window,
             waitstate,
+            metrics,
         };
         // In-network aggregation produces merged partials, never raw event
         // packs — the blackboard engine is bypassed like distributed mode.
@@ -496,6 +512,9 @@ impl SessionBuilder {
             let engine = AnalysisEngine::new(engine_cfg);
             if waitstate {
                 engine.enable_waitstate();
+            }
+            if let Some(m) = metrics {
+                engine.enable_metrics(m);
             }
             if let Some((dir, selection)) = self.proxy.take() {
                 engine.attach_trace_proxy(dir, selection);
@@ -607,6 +626,7 @@ impl SessionBuilder {
                         stream_cfg,
                         engine_cfg,
                         waitstate,
+                        metrics,
                         &names_for_analyzer,
                         &slot_for_analyzer,
                     ),
@@ -800,12 +820,16 @@ fn distributed_analyzer_rank(
     stream_cfg: StreamConfig,
     engine_cfg: EngineConfig,
     waitstate: bool,
+    metrics: Option<opmr_metrics::MetricsConfig>,
     names: &std::collections::HashMap<u16, String>,
     slot: &Mutex<Option<MultiReport>>,
 ) -> Result<(), RankError> {
     let engine = AnalysisEngine::new(engine_cfg);
     if waitstate {
         engine.enable_waitstate();
+    }
+    if let Some(m) = metrics {
+        engine.enable_metrics(m);
     }
     engine.start();
     // Drain this rank's share of the streams into the local engine.
@@ -1027,6 +1051,7 @@ mod tests {
                     profile,
                     topology,
                     waitstate: None,
+                    metrics: None,
                 }
             })
             .collect();

@@ -150,6 +150,13 @@ impl EventKind {
         matches!(self, EventKind::Wait | EventKind::Waitall)
     }
 
+    /// Data-movement call (point-to-point or collective) — the "transfer"
+    /// half of the serialization/transfer decomposition, as opposed to
+    /// request completion ([`EventKind::is_wait`]) and control calls.
+    pub fn is_transfer(self) -> bool {
+        self.is_p2p() || self.is_collective()
+    }
+
     /// POSIX-like file I/O.
     pub fn is_posix(self) -> bool {
         matches!(
@@ -265,6 +272,17 @@ mod tests {
         assert!(!EventKind::Compute.is_mpi());
         assert!(EventKind::Isend.is_p2p_send());
         assert!(!EventKind::Irecv.is_p2p_send());
+    }
+
+    #[test]
+    fn transfer_excludes_waits_and_control() {
+        assert!(EventKind::Send.is_transfer());
+        assert!(EventKind::Irecv.is_transfer());
+        assert!(EventKind::Allreduce.is_transfer());
+        assert!(!EventKind::Wait.is_transfer());
+        assert!(!EventKind::Waitall.is_transfer());
+        assert!(!EventKind::Init.is_transfer());
+        assert!(!EventKind::PosixWrite.is_transfer());
     }
 
     #[test]

@@ -1,0 +1,541 @@
+//! The windowed integer fold, its wire codec and the order-independent
+//! merge.
+
+use bytes::{Buf, BufMut};
+use opmr_events::Event;
+use std::collections::BTreeMap;
+
+/// Default window width: 1 ms of application time.
+pub const DEFAULT_WINDOW_NS: u64 = 1_000_000;
+
+/// Configuration of the windowed fold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Window width in nanoseconds of application time (clamped to ≥ 1).
+    pub window_ns: u64,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            window_ns: DEFAULT_WINDOW_NS,
+        }
+    }
+}
+
+/// Per-(window, rank) integer accumulators. Everything the derived
+/// efficiency metrics need, nothing an individual event could be
+/// reconstructed from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowCell {
+    /// Nanoseconds spent inside MPI calls overlapping this window.
+    pub mpi_ns: u64,
+    /// Subset of [`WindowCell::mpi_ns`] spent in `MPI_Wait`-family calls
+    /// (the serialization half of the decomposition).
+    pub wait_ns: u64,
+    /// Subset of [`WindowCell::mpi_ns`] spent in data-movement calls
+    /// (point-to-point or collective — the transfer half).
+    pub xfer_ns: u64,
+    /// Payload bytes of calls that *began* in this window.
+    pub bytes: u64,
+    /// MPI calls that began in this window.
+    pub hits: u64,
+}
+
+impl WindowCell {
+    fn absorb(&mut self, other: &WindowCell) {
+        self.mpi_ns += other.mpi_ns;
+        self.wait_ns += other.wait_ns;
+        self.xfer_ns += other.xfer_ns;
+        self.bytes += other.bytes;
+        self.hits += other.hits;
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == WindowCell::default()
+    }
+}
+
+/// Decode failure of a [`MetricsSeries`] wire image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsWireError {
+    /// Buffer ended before the advertised content.
+    Truncated,
+}
+
+impl std::fmt::Display for MetricsWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsWireError::Truncated => write!(f, "truncated metrics series"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsWireError {}
+
+/// A time-resolved metric series: per-window, per-rank integer cells over
+/// a fixed window width. Windows are kept in a canonically ordered map so
+/// the encoding of a given logical state is unique — the property every
+/// byte-identity acceptance test in the serve and reduce planes leans on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSeries {
+    window_ns: u64,
+    /// `windows[window_index][rank]` — both levels ordered.
+    windows: BTreeMap<u64, BTreeMap<u32, WindowCell>>,
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), MetricsWireError> {
+    if buf.remaining() < n {
+        Err(MetricsWireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+impl MetricsSeries {
+    /// An empty series with the given window width (clamped to ≥ 1 ns).
+    pub fn new(window_ns: u64) -> MetricsSeries {
+        MetricsSeries {
+            window_ns: window_ns.max(1),
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// Window width, nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Number of windows holding at least one cell.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when no event has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Distinct ranks seen across all windows.
+    pub fn ranks(&self) -> u32 {
+        self.windows
+            .values()
+            .flat_map(|cells| cells.keys())
+            .copied()
+            .max()
+            .map_or(0, |r| r + 1)
+    }
+
+    /// Ordered iteration over `(window_index, rank, cell)`.
+    pub fn cells(&self) -> impl Iterator<Item = (u64, u32, &WindowCell)> {
+        self.windows
+            .iter()
+            .flat_map(|(w, cells)| cells.iter().map(move |(r, c)| (*w, *r, c)))
+    }
+
+    /// The cell of one window/rank, if any event touched it.
+    pub fn cell(&self, window: u64, rank: u32) -> Option<&WindowCell> {
+        self.windows.get(&window).and_then(|cells| cells.get(&rank))
+    }
+
+    /// Ordered window indices.
+    pub fn window_indices(&self) -> impl Iterator<Item = u64> + '_ {
+        self.windows.keys().copied()
+    }
+
+    /// One window's ordered per-rank cells.
+    pub fn window(&self, window: u64) -> Option<&BTreeMap<u32, WindowCell>> {
+        self.windows.get(&window)
+    }
+
+    /// Replaces one window's cells wholesale (the serve plane's sparse
+    /// delta application: windows are replacement values, like profile
+    /// cells). An empty replacement removes the window.
+    pub fn replace_window(&mut self, window: u64, cells: BTreeMap<u32, WindowCell>) {
+        if cells.is_empty() {
+            self.windows.remove(&window);
+        } else {
+            self.windows.insert(window, cells);
+        }
+    }
+
+    fn cell_mut(&mut self, window: u64, rank: u32) -> &mut WindowCell {
+        let cells = self.windows.entry(window).or_insert_with(|| {
+            crate::obs::m().windows_opened.inc();
+            BTreeMap::new()
+        });
+        cells.entry(rank).or_default()
+    }
+
+    /// Folds one event. MPI calls only; the duration is split exactly at
+    /// window boundaries (integer arithmetic, no rounding), bytes and hit
+    /// count go to the window the call began in. Zero-duration events
+    /// still count a hit.
+    pub fn add(&mut self, e: &Event) {
+        if !e.kind.is_mpi() {
+            return;
+        }
+        let wn = self.window_ns;
+        {
+            let cell = self.cell_mut(e.time_ns / wn, e.rank);
+            cell.hits += 1;
+            cell.bytes += e.bytes;
+        }
+        let wait = e.kind.is_wait();
+        let xfer = e.kind.is_transfer();
+        let mut t = e.time_ns;
+        let end = e.end_ns();
+        while t < end {
+            let w = t / wn;
+            let w_end = (w + 1).saturating_mul(wn).max(t + 1);
+            let stop = end.min(w_end);
+            let chunk = stop - t;
+            let cell = self.cell_mut(w, e.rank);
+            cell.mpi_ns += chunk;
+            if wait {
+                cell.wait_ns += chunk;
+            }
+            if xfer {
+                cell.xfer_ns += chunk;
+            }
+            t = w_end;
+        }
+    }
+
+    /// Folds a pack's worth of events, recording the fold cost and event
+    /// count into the observability registry.
+    pub fn fold_pack(&mut self, events: &[Event]) {
+        let t0 = std::time::Instant::now();
+        for e in events {
+            self.add(e);
+        }
+        let o = crate::obs::m();
+        o.events_folded.add(events.len() as u64);
+        o.fold_ns.record(t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Cell-wise addition — commutative and associative, so any merge
+    /// tree (TBON shapes, distributed analyzer ranks) yields the same
+    /// series as the flat fold. A mismatched window width cannot be
+    /// combined meaningfully: when `self` already holds data the other
+    /// side is dropped (counted in `metrics_merge_mismatch_total`); an
+    /// empty `self` adopts the other side's width instead.
+    pub fn merge(&mut self, other: &MetricsSeries) {
+        if self.window_ns != other.window_ns {
+            if self.windows.is_empty() {
+                self.window_ns = other.window_ns;
+            } else if other.windows.is_empty() {
+                return;
+            } else {
+                crate::obs::m().merge_mismatches.inc();
+                return;
+            }
+        }
+        for (w, cells) in &other.windows {
+            for (r, c) in cells {
+                self.cell_mut(*w, *r).absorb(c);
+            }
+        }
+    }
+
+    /// The sub-series of ranks accepted by `keep` (serve-plane rank-range
+    /// queries). Empty windows disappear; the window width is preserved.
+    pub fn filter_ranks(&self, keep: impl Fn(u32) -> bool) -> MetricsSeries {
+        let mut out = MetricsSeries::new(self.window_ns);
+        for (w, cells) in &self.windows {
+            let kept: BTreeMap<u32, WindowCell> = cells
+                .iter()
+                .filter(|(r, _)| keep(**r))
+                .map(|(r, c)| (*r, *c))
+                .collect();
+            if !kept.is_empty() {
+                out.windows.insert(*w, kept);
+            }
+        }
+        out
+    }
+
+    /// Exact size of [`MetricsSeries::encode_into`]'s output, bytes.
+    pub fn encoded_size(&self) -> usize {
+        12 + self
+            .windows
+            .values()
+            .map(|cells| 12 + cells.len() * 44)
+            .sum::<usize>()
+    }
+
+    /// Appends the canonical wire image:
+    ///
+    /// ```text
+    /// u64 window_ns · u32 n_windows
+    ///   per window: u64 index · u32 n_ranks
+    ///     per rank: u32 rank · u64 mpi_ns · u64 wait_ns · u64 xfer_ns ·
+    ///               u64 bytes · u64 hits
+    /// ```
+    ///
+    /// Both map levels iterate in ascending key order, so equal series
+    /// always produce equal bytes.
+    pub fn encode_into(&self, out: &mut impl BufMut) {
+        out.put_u64_le(self.window_ns);
+        out.put_u32_le(self.windows.len() as u32);
+        for w in self.windows.keys() {
+            self.encode_window_into(*w, out);
+        }
+    }
+
+    /// Appends one window in the same per-window layout as
+    /// [`MetricsSeries::encode_into`] (`u64 index · u32 n_ranks · cells`)
+    /// — the unit the serve plane's sparse deltas travel in. A window the
+    /// series does not hold encodes as zero ranks.
+    pub fn encode_window_into(&self, window: u64, out: &mut impl BufMut) {
+        let empty = BTreeMap::new();
+        let cells = self.windows.get(&window).unwrap_or(&empty);
+        out.put_u64_le(window);
+        out.put_u32_le(cells.len() as u32);
+        for (r, c) in cells {
+            out.put_u32_le(*r);
+            out.put_u64_le(c.mpi_ns);
+            out.put_u64_le(c.wait_ns);
+            out.put_u64_le(c.xfer_ns);
+            out.put_u64_le(c.bytes);
+            out.put_u64_le(c.hits);
+        }
+    }
+
+    /// Decodes one window image written by
+    /// [`MetricsSeries::encode_window_into`], advancing `view` past it.
+    /// Zero cells are dropped so the result is canonical.
+    pub fn decode_window(
+        view: &mut impl Buf,
+    ) -> Result<(u64, BTreeMap<u32, WindowCell>), MetricsWireError> {
+        need(view, 12)?;
+        let w = view.get_u64_le();
+        let n_ranks = view.get_u32_le() as usize;
+        need(view, n_ranks * 44)?;
+        let mut cells = BTreeMap::new();
+        for _ in 0..n_ranks {
+            let rank = view.get_u32_le();
+            let cell = WindowCell {
+                mpi_ns: view.get_u64_le(),
+                wait_ns: view.get_u64_le(),
+                xfer_ns: view.get_u64_le(),
+                bytes: view.get_u64_le(),
+                hits: view.get_u64_le(),
+            };
+            if !cell.is_zero() {
+                cells.insert(rank, cell);
+            }
+        }
+        Ok((w, cells))
+    }
+
+    /// The canonical wire image as a standalone buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_size());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one wire image, advancing `view` past it.
+    pub fn decode(view: &mut impl Buf) -> Result<MetricsSeries, MetricsWireError> {
+        need(view, 12)?;
+        let window_ns = view.get_u64_le().max(1);
+        let n_windows = view.get_u32_le() as usize;
+        let mut windows = BTreeMap::new();
+        for _ in 0..n_windows {
+            let (w, cells) = MetricsSeries::decode_window(view)?;
+            if !cells.is_empty() {
+                windows.insert(w, cells);
+            }
+        }
+        Ok(MetricsSeries { window_ns, windows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use opmr_events::EventKind;
+    use proptest::prelude::*;
+
+    fn ev(kind: EventKind, rank: u32, t: u64, d: u64, bytes: u64) -> Event {
+        Event {
+            time_ns: t,
+            duration_ns: d,
+            kind,
+            rank,
+            peer: -1,
+            tag: -1,
+            comm: 0,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn event_is_split_exactly_at_window_boundaries() {
+        let mut s = MetricsSeries::new(100);
+        // 250..=420: 50 ns in window 2, 100 in window 3, 20 in window 4.
+        s.add(&ev(EventKind::Send, 1, 250, 170, 64));
+        assert_eq!(s.cell(2, 1).unwrap().mpi_ns, 50);
+        assert_eq!(s.cell(3, 1).unwrap().mpi_ns, 100);
+        assert_eq!(s.cell(4, 1).unwrap().mpi_ns, 20);
+        // Hits and bytes only in the starting window.
+        assert_eq!(s.cell(2, 1).unwrap().hits, 1);
+        assert_eq!(s.cell(2, 1).unwrap().bytes, 64);
+        assert_eq!(s.cell(3, 1).unwrap().hits, 0);
+        let total: u64 = s.cells().map(|(_, _, c)| c.mpi_ns).sum();
+        assert_eq!(total, 170, "no nanosecond lost or invented");
+    }
+
+    #[test]
+    fn wait_and_transfer_classification() {
+        let mut s = MetricsSeries::new(1000);
+        s.add(&ev(EventKind::Wait, 0, 0, 100, 0));
+        s.add(&ev(EventKind::Allreduce, 0, 100, 200, 8));
+        s.add(&ev(EventKind::Init, 0, 300, 50, 0));
+        let c = s.cell(0, 0).unwrap();
+        assert_eq!(c.mpi_ns, 350);
+        assert_eq!(c.wait_ns, 100);
+        assert_eq!(c.xfer_ns, 200);
+        assert_eq!(c.hits, 3);
+    }
+
+    #[test]
+    fn non_mpi_events_are_ignored() {
+        let mut s = MetricsSeries::new(1000);
+        s.add(&ev(EventKind::Compute, 0, 0, 500, 0));
+        s.add(&ev(EventKind::PosixWrite, 0, 0, 500, 4096));
+        s.add(&ev(EventKind::Marker, 0, 0, 0, 0));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn zero_duration_event_still_counts_a_hit() {
+        let mut s = MetricsSeries::new(1000);
+        s.add(&ev(EventKind::Probe, 2, 1500, 0, 0));
+        let c = s.cell(1, 2).unwrap();
+        assert_eq!((c.hits, c.mpi_ns), (1, 0));
+    }
+
+    #[test]
+    fn merge_equals_flat_fold_regardless_of_split() {
+        let events: Vec<Event> = (0..200)
+            .map(|i| {
+                ev(
+                    if i % 3 == 0 {
+                        EventKind::Wait
+                    } else {
+                        EventKind::Isend
+                    },
+                    i % 5,
+                    (i as u64) * 37,
+                    (i as u64 % 11) * 13,
+                    i as u64,
+                )
+            })
+            .collect();
+        let mut flat = MetricsSeries::new(64);
+        for e in &events {
+            flat.add(e);
+        }
+        for split in [1usize, 7, 50, 199] {
+            let mut acc = MetricsSeries::new(64);
+            for chunk in events.chunks(split) {
+                let mut part = MetricsSeries::new(64);
+                for e in chunk {
+                    part.add(e);
+                }
+                acc.merge(&part);
+            }
+            assert_eq!(acc, flat, "chunk size {split}");
+            assert_eq!(acc.encode(), flat.encode(), "chunk size {split} bytes");
+        }
+    }
+
+    #[test]
+    fn mismatched_window_width_is_dropped_not_mixed() {
+        let mut a = MetricsSeries::new(100);
+        a.add(&ev(EventKind::Send, 0, 10, 10, 1));
+        let mut b = MetricsSeries::new(200);
+        b.add(&ev(EventKind::Send, 0, 10, 10, 1));
+        let before = a.clone();
+        a.merge(&b);
+        assert_eq!(a, before, "mismatched width must not corrupt the series");
+        // An empty series adopts the other side's width.
+        let mut empty = MetricsSeries::new(100);
+        empty.merge(&b);
+        assert_eq!(empty, b);
+    }
+
+    #[test]
+    fn codec_roundtrips_and_size_is_exact() {
+        let mut s = MetricsSeries::new(250);
+        for i in 0..50u64 {
+            s.add(&ev(EventKind::Sendrecv, (i % 3) as u32, i * 100, 80, 32));
+        }
+        let bytes = s.encode();
+        assert_eq!(bytes.len(), s.encoded_size());
+        let mut view: &[u8] = &bytes;
+        let back = MetricsSeries::decode(&mut view).unwrap();
+        assert_eq!(back, s);
+        assert!(view.is_empty(), "decode must consume exactly one image");
+        assert_eq!(back.encode(), bytes, "re-encode is byte-identical");
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut s = MetricsSeries::new(100);
+        s.add(&ev(EventKind::Send, 0, 0, 50, 8));
+        let bytes = s.encode();
+        for cut in 0..bytes.len() {
+            let mut view = &bytes[..cut];
+            assert_eq!(
+                MetricsSeries::decode(&mut view),
+                Err(MetricsWireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_ranks_preserves_width_and_drops_empty_windows() {
+        let mut s = MetricsSeries::new(100);
+        s.add(&ev(EventKind::Send, 0, 0, 10, 1));
+        s.add(&ev(EventKind::Send, 5, 500, 10, 1));
+        let only5 = s.filter_ranks(|r| r == 5);
+        assert_eq!(only5.window_ns(), 100);
+        assert_eq!(only5.len(), 1);
+        assert!(only5.cell(5, 5).is_some());
+        assert!(only5.cell(0, 0).is_none());
+    }
+
+    proptest! {
+        /// Fold order and batching never change the series bytes, and the
+        /// folded nanoseconds are conserved.
+        #[test]
+        fn fold_is_order_independent_and_mass_conserving(
+            mut times in proptest::collection::vec((0u64..50_000, 0u64..5_000, 0u32..6), 1..80),
+            window in 1u64..10_000,
+        ) {
+            let events: Vec<Event> = times
+                .iter()
+                .map(|&(t, d, r)| ev(EventKind::Isend, r, t, d, 1))
+                .collect();
+            let mut forward = MetricsSeries::new(window);
+            for e in &events {
+                forward.add(e);
+            }
+            times.reverse();
+            let mut backward = MetricsSeries::new(window);
+            for &(t, d, r) in &times {
+                backward.add(&ev(EventKind::Isend, r, t, d, 1));
+            }
+            prop_assert_eq!(forward.encode(), backward.encode());
+            let mass: u64 = forward.cells().map(|(_, _, c)| c.mpi_ns).sum();
+            let expect: u64 = times.iter().map(|&(_, d, _)| d).sum();
+            prop_assert_eq!(mass, expect);
+        }
+    }
+}

@@ -101,6 +101,9 @@ pub struct NodeConfig {
     pub window_blocks: usize,
     /// Run wait-state analysis over aggregated events at the frontier.
     pub waitstate: bool,
+    /// Fold the time-resolved metrics series at the frontier. The fold is
+    /// commutative, so any tree shape reduces to the same series.
+    pub metrics: Option<opmr_metrics::MetricsConfig>,
 }
 
 impl Default for NodeConfig {
@@ -109,6 +112,7 @@ impl Default for NodeConfig {
             op: ReduceOp::PassThrough,
             window_blocks: 8,
             waitstate: false,
+            metrics: None,
         }
     }
 }
@@ -174,9 +178,11 @@ struct Accum {
 }
 
 impl Accum {
-    fn new(app_id: u16, waitstate: bool) -> Accum {
+    fn new(app_id: u16, waitstate: bool, metrics: Option<opmr_metrics::MetricsConfig>) -> Accum {
+        let mut partial = ReducePartial::new(app_id);
+        partial.metrics = metrics.map(|c| opmr_metrics::MetricsSeries::new(c.window_ns));
         Accum {
-            partial: ReducePartial::new(app_id),
+            partial,
             ws: waitstate.then(WaitStateAnalysis::new),
         }
     }
@@ -186,6 +192,9 @@ impl Accum {
         self.partial.wire_bytes += block_len as u64;
         self.partial.profile.add_all(&pack.events);
         self.partial.topology.add_all(&pack.events);
+        if let Some(m) = &mut self.partial.metrics {
+            m.fold_pack(&pack.events);
+        }
         for e in &pack.events {
             self.partial.density.add_event(e.rank);
             if let Some(ws) = &mut self.ws {
@@ -317,7 +326,11 @@ pub fn run_node(
                             window
                                 .entry(pack.header.app_id)
                                 .or_insert_with(|| {
-                                    Accum::new(pack.header.app_id, node_cfg.waitstate)
+                                    Accum::new(
+                                        pack.header.app_id,
+                                        node_cfg.waitstate,
+                                        node_cfg.metrics,
+                                    )
                                 })
                                 .absorb_pack(&pack, block.data.len());
                             out.stats.merges += 1;
@@ -355,7 +368,13 @@ pub fn run_node(
                                 for p in &parts {
                                     window
                                         .entry(p.app_id)
-                                        .or_insert_with(|| Accum::new(p.app_id, node_cfg.waitstate))
+                                        .or_insert_with(|| {
+                                            Accum::new(
+                                                p.app_id,
+                                                node_cfg.waitstate,
+                                                node_cfg.metrics,
+                                            )
+                                        })
                                         .absorb_partial(p);
                                     out.stats.merges += 1;
                                     node_metrics().merges.inc();
@@ -452,7 +471,7 @@ fn close_window(
         for p in &closed {
             final_accum
                 .entry(p.app_id)
-                .or_insert_with(|| Accum::new(p.app_id, false))
+                .or_insert_with(|| Accum::new(p.app_id, false, None))
                 .absorb_partial(p);
             stats.merges += 1;
             node_metrics().merges.inc();

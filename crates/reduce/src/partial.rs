@@ -17,6 +17,7 @@ use opmr_analysis::wire::{
     decode_profile, decode_topology, decode_waitstats, encode_profile, encode_topology,
     encode_waitstats, merge_waitstats, AppPartial, WireError,
 };
+use opmr_metrics::MetricsSeries;
 
 /// Magic prefix of an encoded partial set ("OPRD").
 pub const REDUCE_MAGIC: u32 = u32::from_le_bytes(*b"OPRD");
@@ -37,6 +38,7 @@ pub struct ReducePartial {
     pub topology: Topology,
     pub density: EventDensity,
     pub waitstate: Option<WaitStats>,
+    pub metrics: Option<MetricsSeries>,
 }
 
 impl ReducePartial {
@@ -58,6 +60,7 @@ impl ReducePartial {
             profile: self.profile.clone(),
             topology: self.topology.clone(),
             waitstate: self.waitstate.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -76,6 +79,11 @@ impl Reducible for ReducePartial {
             (None, Some(w)) => self.waitstate = Some(w.clone()),
             _ => {}
         }
+        match (&mut self.metrics, &other.metrics) {
+            (Some(into), Some(m)) => into.merge(m),
+            (None, Some(m)) => self.metrics = Some(m.clone()),
+            _ => {}
+        }
     }
 
     fn encoded_size(&self) -> usize {
@@ -85,6 +93,8 @@ impl Reducible for ReducePartial {
             + self.density.encoded_size()
             + 1
             + self.waitstate.as_ref().map_or(0, |w| w.encoded_size())
+            + 1
+            + self.metrics.as_ref().map_or(0, |m| m.encoded_size())
     }
 }
 
@@ -109,6 +119,13 @@ pub fn encode_partial_set(parts: &[ReducePartial]) -> Bytes {
             Some(w) => {
                 out.put_u8(1);
                 encode_waitstats(w, &mut out);
+            }
+            None => out.put_u8(0),
+        }
+        match &p.metrics {
+            Some(m) => {
+                out.put_u8(1);
+                m.encode_into(&mut out);
             }
             None => out.put_u8(0),
         }
@@ -161,6 +178,14 @@ pub fn decode_partial_set(mut buf: &[u8]) -> Result<Vec<ReducePartial>, WireErro
             1 => Some(decode_waitstats(&mut buf)?),
             t => return Err(WireError::BadTag(t)),
         };
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        let metrics = match buf.get_u8() {
+            0 => None,
+            1 => Some(MetricsSeries::decode(&mut buf).map_err(WireError::from)?),
+            t => return Err(WireError::BadTag(t)),
+        };
         out.push(ReducePartial {
             app_id,
             packs,
@@ -170,6 +195,7 @@ pub fn decode_partial_set(mut buf: &[u8]) -> Result<Vec<ReducePartial>, WireErro
             topology,
             density,
             waitstate,
+            metrics,
         });
     }
     Ok(out)
@@ -186,8 +212,9 @@ mod tests {
 
     fn sample_partial(app_id: u16) -> ReducePartial {
         let mut p = ReducePartial::new(app_id);
+        let mut metrics = MetricsSeries::new(100);
         for r in 0..4u32 {
-            p.profile.add(&Event {
+            let e = Event {
                 time_ns: r as u64 * 50,
                 duration_ns: 7,
                 kind: EventKind::Send,
@@ -196,10 +223,13 @@ mod tests {
                 tag: 3,
                 comm: 0,
                 bytes: 256,
-            });
+            };
+            p.profile.add(&e);
+            metrics.add(&e);
             p.topology.add_weighted(r, (r + 1) % 4, 1, 256, 7);
             p.density.add_event(r);
         }
+        p.metrics = Some(metrics);
         p.packs = 2;
         p.wire_bytes = 999;
         p
@@ -218,6 +248,7 @@ mod tests {
         assert_eq!(dec[0].density.total(), 4);
         assert_eq!(dec[0].packs, 2);
         assert_eq!(dec[0].wire_bytes, 999);
+        assert_eq!(dec[0].metrics, parts[0].metrics);
     }
 
     #[test]

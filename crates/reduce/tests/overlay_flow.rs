@@ -73,6 +73,7 @@ fn run_overlay(
                 op,
                 window_blocks: 4,
                 waitstate: false,
+                metrics: None,
             };
             let rb = Arc::clone(&rb2);
             let outcome = run_node(&v, &tree, map.peers(), cfg, STREAM_ID, &node_cfg, |b| {

@@ -274,6 +274,29 @@ impl ServeClient {
         }
     }
 
+    /// The rank-filtered time-resolved metrics series, when the analyzer
+    /// ran the metrics KS.
+    pub fn query_metrics(
+        &mut self,
+        app_id: u16,
+        version: u64,
+        rank_lo: u32,
+        rank_hi: u32,
+    ) -> crate::Result<(u64, Option<opmr_metrics::MetricsSeries>)> {
+        let (v, payload) = self.query_raw(QueryKind::Metrics, app_id, version, rank_lo, rank_hi)?;
+        let mut view: &[u8] = &payload;
+        if view.remaining() < 1 {
+            return Err(WireError::Truncated.into());
+        }
+        match view.get_u8() {
+            0 => Ok((v, None)),
+            _ => Ok((
+                v,
+                Some(opmr_metrics::MetricsSeries::decode(&mut view).map_err(WireError::from)?),
+            )),
+        }
+    }
+
     /// Per-rank event counts over the rank range: `(version, first rank,
     /// counts)`.
     pub fn query_density(

@@ -22,6 +22,7 @@ use opmr_analysis::wire::{
     encode_waitstats, AppPartial, WireError,
 };
 use opmr_events::EventKind;
+use opmr_metrics::MetricsSeries;
 use std::collections::BTreeMap;
 
 /// Magic prefix of an encoded snapshot delta ("OPSD").
@@ -96,7 +97,19 @@ fn sparse_applicable(from: &AppPartial, to: &AppPartial) -> bool {
         return false;
     }
     // A wait-state block that vanished cannot be patched sparsely.
-    !(from.waitstate.is_some() && to.waitstate.is_none())
+    if from.waitstate.is_some() && to.waitstate.is_none() {
+        return false;
+    }
+    // Likewise the metrics series. A window-width change invalidates every
+    // cell, and a vanished window would survive a changed-window patch
+    // (the encoder only walks the target's windows) — both travel full.
+    match (&from.metrics, &to.metrics) {
+        (Some(_), None) => false,
+        (Some(a), Some(b)) => {
+            a.window_ns() == b.window_ns() && a.window_indices().all(|w| b.window(w).is_some())
+        }
+        _ => true,
+    }
 }
 
 fn encode_app_full(a: &AppPartial, out: &mut BytesMut) {
@@ -109,6 +122,13 @@ fn encode_app_full(a: &AppPartial, out: &mut BytesMut) {
         Some(w) => {
             out.put_u8(1);
             encode_waitstats(w, out);
+        }
+        None => out.put_u8(0),
+    }
+    match &a.metrics {
+        Some(m) => {
+            out.put_u8(1);
+            m.encode_into(out);
         }
         None => out.put_u8(0),
     }
@@ -161,6 +181,29 @@ fn encode_app_sparse(from: &AppPartial, to: &AppPartial, out: &mut BytesMut) {
             encode_waitstats(w, out);
         }
         _ => out.put_u8(0),
+    }
+
+    // Metrics windows only accumulate, so changed (or new) windows travel
+    // as per-window replacement values — the "delta chain over windows".
+    match &to.metrics {
+        None => out.put_u8(0),
+        Some(to_m) => {
+            let prev = from.metrics.as_ref();
+            let changed: Vec<u64> = to_m
+                .window_indices()
+                .filter(|&w| prev.and_then(|p| p.window(w)) != to_m.window(w))
+                .collect();
+            if changed.is_empty() && prev.is_some() {
+                out.put_u8(0);
+            } else {
+                out.put_u8(1);
+                out.put_u64_le(to_m.window_ns());
+                out.put_u32_le(changed.len() as u32);
+                for w in changed {
+                    to_m.encode_window_into(w, out);
+                }
+            }
+        }
     }
 }
 
@@ -242,6 +285,12 @@ fn decode_app_full(app_id: u16, buf: &mut &[u8]) -> Result<AppPartial, WireError
         1 => Some(decode_waitstats(buf)?),
         t => return Err(WireError::BadTag(t)),
     };
+    need(buf, 1)?;
+    let metrics = match buf.get_u8() {
+        0 => None,
+        1 => Some(MetricsSeries::decode(buf).map_err(WireError::from)?),
+        t => return Err(WireError::BadTag(t)),
+    };
     Ok(AppPartial {
         app_id,
         packs,
@@ -250,6 +299,7 @@ fn decode_app_full(app_id: u16, buf: &mut &[u8]) -> Result<AppPartial, WireError
         profile,
         topology,
         waitstate,
+        metrics,
     })
 }
 
@@ -301,6 +351,26 @@ fn apply_app_sparse(base: &mut AppPartial, buf: &mut &[u8]) -> Result<(), WireEr
         1 => base.waitstate = Some(decode_waitstats(buf)?),
         t => return Err(WireError::BadTag(t)),
     }
+
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => {}
+        1 => {
+            need(buf, 12)?;
+            let window_ns = buf.get_u64_le();
+            let n_windows = buf.get_u32_le() as usize;
+            let mut m = match base.metrics.take() {
+                Some(m) if m.window_ns() == window_ns => m,
+                _ => MetricsSeries::new(window_ns),
+            };
+            for _ in 0..n_windows {
+                let (w, cells) = MetricsSeries::decode_window(buf).map_err(WireError::from)?;
+                m.replace_window(w, cells);
+            }
+            base.metrics = Some(m);
+        }
+        t => return Err(WireError::BadTag(t)),
+    }
     Ok(())
 }
 
@@ -341,11 +411,11 @@ mod tests {
     use opmr_analysis::wire::encode_partials;
     use opmr_events::Event;
 
-    fn profile_at(rounds: u32) -> MpiProfile {
-        let mut p = MpiProfile::new();
+    fn events_at(rounds: u32) -> Vec<Event> {
+        let mut v = Vec::new();
         for i in 0..rounds {
             for rank in 0..4u32 {
-                p.add(&Event {
+                v.push(Event {
                     time_ns: i as u64 * 1000 + rank as u64,
                     duration_ns: 10 + (i % 7) as u64,
                     kind: if i % 3 == 0 {
@@ -361,7 +431,23 @@ mod tests {
                 });
             }
         }
+        v
+    }
+
+    fn profile_at(rounds: u32) -> MpiProfile {
+        let mut p = MpiProfile::new();
+        for e in events_at(rounds) {
+            p.add(&e);
+        }
         p
+    }
+
+    fn metrics_at(rounds: u32) -> MetricsSeries {
+        let mut m = MetricsSeries::new(500);
+        for e in events_at(rounds) {
+            m.add(&e);
+        }
+        m
     }
 
     fn partial_at(app_id: u16, rounds: u32) -> AppPartial {
@@ -380,6 +466,7 @@ mod tests {
                 matched: rounds as u64,
                 ..WaitStats::default()
             }),
+            metrics: Some(metrics_at(rounds)),
         }
     }
 
@@ -441,6 +528,33 @@ mod tests {
         let mut live = big.clone();
         apply_delta(&mut live, &d).unwrap();
         assert_eq!(encode_partials(&live), encode_partials(&small));
+    }
+
+    #[test]
+    fn metrics_window_width_change_falls_back_to_full() {
+        let v1 = vec![partial_at(0, 5)];
+        let mut v2 = vec![partial_at(0, 6)];
+        let mut m = MetricsSeries::new(123);
+        for e in events_at(6) {
+            m.add(&e);
+        }
+        v2[0].metrics = Some(m);
+        let d = encode_delta(1, &v1, 2, &v2);
+        let mut live = v1.clone();
+        apply_delta(&mut live, &d).unwrap();
+        assert_eq!(encode_partials(&live), encode_partials(&v2));
+        assert_eq!(live[0].metrics.as_ref().map(|m| m.window_ns()), Some(123));
+    }
+
+    #[test]
+    fn appearing_metrics_patch_sparsely() {
+        let mut v1 = vec![partial_at(0, 5)];
+        v1[0].metrics = None;
+        let v2 = vec![partial_at(0, 6)];
+        let d = encode_delta(1, &v1, 2, &v2);
+        let mut live = v1.clone();
+        apply_delta(&mut live, &d).unwrap();
+        assert_eq!(encode_partials(&live), encode_partials(&v2));
     }
 
     #[test]

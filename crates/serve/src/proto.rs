@@ -42,6 +42,9 @@ pub enum QueryKind {
     Waitstate = 3,
     /// Per-rank event counts over the rank range: `u32 lo, u32 n, n×u64`.
     Density = 4,
+    /// Optional rank-filtered time-resolved metrics series (one presence
+    /// byte, then `MetricsSeries::encode_into` bytes).
+    Metrics = 5,
 }
 
 impl QueryKind {
@@ -51,6 +54,7 @@ impl QueryKind {
             2 => Some(QueryKind::Topology),
             3 => Some(QueryKind::Waitstate),
             4 => Some(QueryKind::Density),
+            5 => Some(QueryKind::Metrics),
             _ => None,
         }
     }
@@ -433,6 +437,14 @@ mod tests {
                 kind: QueryKind::Density,
                 app_id: 0,
                 version: 0,
+                rank_lo: 0,
+                rank_hi: ALL_RANKS,
+            },
+            Request::Query {
+                req_id: 10,
+                kind: QueryKind::Metrics,
+                app_id: 1,
+                version: 3,
                 rank_lo: 0,
                 rank_hi: ALL_RANKS,
             },

@@ -483,6 +483,13 @@ fn answer_query(
             }
             None => payload.put_u8(0),
         },
+        QueryKind::Metrics => match app.metrics.as_ref() {
+            Some(m) => {
+                payload.put_u8(1);
+                m.filter_ranks(in_range).encode_into(&mut payload);
+            }
+            None => payload.put_u8(0),
+        },
         QueryKind::Density => {
             let lo = rank_lo.min(app.profile.ranks());
             let hi = rank_hi.min(app.profile.ranks());
@@ -601,6 +608,18 @@ mod tests {
             profile,
             topology,
             waitstate: None,
+            metrics: Some({
+                let mut m = opmr_metrics::MetricsSeries::new(1000);
+                for rank in 0..hits_per_rank.len() as u32 {
+                    m.add(&opmr_events::Event::basic(
+                        EventKind::Send,
+                        rank,
+                        rank as u64 * 100,
+                        50,
+                    ));
+                }
+                m
+            }),
         }]);
         store
     }
@@ -633,6 +652,22 @@ mod tests {
         };
         let p = opmr_analysis::wire::decode_profile(&mut &payload[..]).unwrap();
         assert_eq!(p.events(), 70);
+    }
+
+    #[test]
+    fn metrics_query_filters_by_rank_range() {
+        let store = store_with(&[10, 20, 30, 40]);
+        let rsp = answer_query(&store, 3, QueryKind::Metrics, 2, 0, 1, 3);
+        let Response::QueryResult { payload, .. } = rsp else {
+            panic!("expected result");
+        };
+        let mut view: &[u8] = &payload;
+        use bytes::Buf;
+        assert_eq!(view.get_u8(), 1, "series present");
+        let m = opmr_metrics::MetricsSeries::decode(&mut view).unwrap();
+        assert_eq!(m.window_ns(), 1000);
+        let ranks: Vec<u32> = m.cells().map(|(_, r, _)| r).collect();
+        assert_eq!(ranks, vec![1, 2], "only ranks in [1, 3) survive");
     }
 
     #[test]

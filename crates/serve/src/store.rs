@@ -217,6 +217,7 @@ mod tests {
             profile,
             topology: Topology::new(),
             waitstate: None,
+            metrics: None,
         }]
     }
 

@@ -28,6 +28,7 @@ fn parts(hits: u64) -> Vec<AppPartial> {
         profile,
         topology: Topology::new(),
         waitstate: None,
+        metrics: None,
     }]
 }
 

@@ -1,0 +1,196 @@
+//! Bursty-communication generator: long quiet phases of compute with tiny
+//! reductions, punctuated by dense communication bursts (all-to-all plus a
+//! seeded ring-shift exchange). The event rate swings by orders of
+//! magnitude between phases, which is exactly the stress case for windowed
+//! metrics and online reduction — quiet windows must stay cheap while
+//! burst windows spike in transfer fraction and bytes.
+
+use crate::util::{lexicographic_peers, SplitMix64};
+use crate::{Result, WlError};
+use opmr_netsim::{CollKind, Machine, Op, Program, Workload};
+use std::collections::BTreeSet;
+
+/// Bursty-pattern problem description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstyParams {
+    /// Quiet steps per cycle (compute + 8-byte allreduce).
+    pub quiet_steps: u32,
+    /// Burst rounds per cycle.
+    pub burst_rounds: u32,
+    /// Payload of each burst all-to-all, per rank pair.
+    pub burst_bytes: u64,
+    /// Flops per quiet step.
+    pub flops: f64,
+    /// Seed for the per-round ring-shift distances.
+    pub seed: u64,
+    /// Cycles (the program body is one full cycle).
+    pub cycles: u32,
+}
+
+impl Default for BurstyParams {
+    fn default() -> Self {
+        BurstyParams {
+            quiet_steps: 8,
+            burst_rounds: 3,
+            burst_bytes: 256 * 1024,
+            flops: 30.0e6,
+            seed: 0xB0B5_7EED,
+            cycles: 60,
+        }
+    }
+}
+
+impl BurstyParams {
+    /// A small instance for live in-process runs and tests.
+    pub fn small() -> BurstyParams {
+        BurstyParams {
+            quiet_steps: 4,
+            burst_rounds: 2,
+            burst_bytes: 16 * 1024,
+            flops: 1.5e6,
+            seed: 0xB0B5_7EED,
+            cycles: 6,
+        }
+    }
+}
+
+/// The seeded shift distances, one per burst round (each in `1..ranks`).
+pub fn shift_distances(params: &BurstyParams, ranks: usize) -> Vec<u32> {
+    if ranks < 2 {
+        return Vec::new();
+    }
+    let mut rng = SplitMix64::new(params.seed);
+    (0..params.burst_rounds)
+        .map(|_| 1 + rng.below(ranks as u64 - 1) as u32)
+        .collect()
+}
+
+/// Builds the bursty workload on any non-zero rank count.
+pub fn workload(
+    params: BurstyParams,
+    ranks: usize,
+    machine: &Machine,
+    iters_override: Option<u32>,
+) -> Result<Workload> {
+    if ranks == 0 {
+        return Err(WlError::InvalidRanks {
+            bench: "Bursty",
+            ranks,
+            need: "at least one rank",
+        });
+    }
+    let iters = iters_override.unwrap_or(params.cycles);
+    let shifts = shift_distances(&params, ranks);
+    let compute_ns = machine.compute_ns(params.flops);
+    let n = ranks as u32;
+
+    // Each burst round d becomes the symmetric ring-distance-d graph,
+    // scheduled in global lexicographic edge order (deadlock-free).
+    let round_edges: Vec<BTreeSet<(u32, u32)>> = shifts
+        .iter()
+        .map(|&d| {
+            let mut edges = BTreeSet::new();
+            for r in 0..n {
+                let p = (r + d) % n;
+                if p != r {
+                    edges.insert((r.min(p), r.max(p)));
+                }
+            }
+            edges
+        })
+        .collect();
+
+    let mut w = Workload {
+        programs: vec![Program::default(); ranks],
+        ..Workload::default()
+    };
+    let world = w.add_group((0..ranks as u32).collect());
+
+    for r in 0..ranks {
+        let mut body = Vec::new();
+        for _ in 0..params.quiet_steps {
+            body.push(Op::Compute { ns: compute_ns });
+            body.push(Op::Coll {
+                group: world,
+                kind: CollKind::Allreduce,
+                bytes: 8,
+            });
+        }
+        for edges in &round_edges {
+            if ranks > 1 {
+                body.push(Op::Coll {
+                    group: world,
+                    kind: CollKind::Alltoall,
+                    bytes: params.burst_bytes,
+                });
+            }
+            for peer in lexicographic_peers(edges, r as u32) {
+                body.push(Op::Exchange {
+                    peer,
+                    bytes: params.burst_bytes,
+                });
+            }
+        }
+        w.programs[r] = Program {
+            prologue: vec![Op::Coll {
+                group: world,
+                kind: CollKind::Barrier,
+                bytes: 0,
+            }],
+            body,
+            iters,
+            epilogue: vec![Op::Coll {
+                group: world,
+                kind: CollKind::Barrier,
+                bytes: 0,
+            }],
+        };
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opmr_netsim::{simulate, tera100, ToolModel};
+
+    #[test]
+    fn shifts_are_seeded_and_in_range() {
+        let p = BurstyParams::small();
+        let s = shift_distances(&p, 9);
+        assert_eq!(s, shift_distances(&p, 9));
+        assert_eq!(s.len(), p.burst_rounds as usize);
+        assert!(s.iter().all(|&d| (1..9).contains(&d)));
+        assert!(shift_distances(&p, 1).is_empty());
+    }
+
+    #[test]
+    fn bursty_pattern_is_deadlock_free() {
+        let m = tera100();
+        for ranks in [1usize, 2, 3, 7, 8, 16] {
+            let w = workload(BurstyParams::small(), ranks, &m, Some(2)).unwrap();
+            let r = simulate(&w, &m, &ToolModel::None).unwrap();
+            assert!(r.elapsed_s > 0.0, "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn bursts_dominate_the_byte_budget() {
+        let m = tera100();
+        let w = workload(BurstyParams::small(), 8, &m, Some(1)).unwrap();
+        let (quiet, burst): (u64, u64) =
+            w.programs[0]
+                .body
+                .iter()
+                .fold((0, 0), |(q, b), op| match op {
+                    Op::Coll { bytes: 8, .. } => (q + 8, b),
+                    Op::Coll { bytes, .. } => (q, b + bytes),
+                    Op::Exchange { bytes, .. } => (q, b + bytes),
+                    _ => (q, b),
+                });
+        assert!(
+            burst > quiet * 100,
+            "burst bytes ({burst}) must dwarf quiet bytes ({quiet})"
+        );
+    }
+}

@@ -1,11 +1,15 @@
 //! Benchmark registry used by the figure harnesses.
 
+use crate::bursty::BurstyParams;
 use crate::class::Class;
 use crate::euler::EulerParams;
-use crate::{cg, euler, ft, lu, sweep, Result, WlError};
+use crate::irregular::IrregularParams;
+use crate::straggler::StragglerParams;
+use crate::{bursty, cg, euler, ft, irregular, lu, straggler, sweep, Result, WlError};
 use opmr_netsim::{Machine, Workload};
 
-/// A named benchmark of the paper's evaluation.
+/// A named benchmark of the paper's evaluation, plus the irregular
+/// generators used by the time-resolved metrics plane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Benchmark {
     Bt,
@@ -14,16 +18,22 @@ pub enum Benchmark {
     Cg,
     Ft,
     EulerMhd,
+    Irregular,
+    Straggler,
+    Bursty,
 }
 
-/// All benchmarks, in the order the paper lists them.
-pub const BENCHMARKS: [Benchmark; 6] = [
+/// All benchmarks: the paper's six first, then the irregular generators.
+pub const BENCHMARKS: [Benchmark; 9] = [
     Benchmark::Bt,
     Benchmark::Cg,
     Benchmark::Ft,
     Benchmark::Lu,
     Benchmark::Sp,
     Benchmark::EulerMhd,
+    Benchmark::Irregular,
+    Benchmark::Straggler,
+    Benchmark::Bursty,
 ];
 
 impl Benchmark {
@@ -36,6 +46,9 @@ impl Benchmark {
             Benchmark::Cg => "CG",
             Benchmark::Ft => "FT",
             Benchmark::EulerMhd => "EulerMHD",
+            Benchmark::Irregular => "Irregular",
+            Benchmark::Straggler => "Straggler",
+            Benchmark::Bursty => "Bursty",
         }
     }
 
@@ -48,6 +61,9 @@ impl Benchmark {
             Benchmark::Cg => class.cg_iters(),
             Benchmark::Ft => class.ft_iters(),
             Benchmark::EulerMhd => EulerParams::default().steps,
+            Benchmark::Irregular => irregular_params(class).steps,
+            Benchmark::Straggler => straggler_params(class).steps,
+            Benchmark::Bursty => bursty_params(class).cycles,
         }
     }
 
@@ -95,7 +111,59 @@ impl Benchmark {
                     iters_override,
                 )
             }
+            Benchmark::Irregular => {
+                irregular::workload(irregular_params(class), ranks, machine, iters_override)
+            }
+            Benchmark::Straggler => {
+                straggler::workload(straggler_params(class), ranks, machine, iters_override)
+            }
+            Benchmark::Bursty => {
+                bursty::workload(bursty_params(class), ranks, machine, iters_override)
+            }
         }
+    }
+}
+
+/// Class-scaled irregular parameters: S/W stay at the small instance, the
+/// larger classes grow the vertex count (and with it compute per rank).
+fn irregular_params(class: Class) -> IrregularParams {
+    let small = IrregularParams::small();
+    match class {
+        Class::S | Class::W => small,
+        Class::A | Class::B => IrregularParams {
+            vertices: 1 << 18,
+            steps: 60,
+            ..IrregularParams::default()
+        },
+        Class::C | Class::D => IrregularParams::default(),
+    }
+}
+
+/// Class-scaled straggler parameters: bigger classes compute more per step.
+fn straggler_params(class: Class) -> StragglerParams {
+    let small = StragglerParams::small();
+    match class {
+        Class::S | Class::W => small,
+        Class::A | Class::B => StragglerParams {
+            flops: 10.0e6,
+            steps: 60,
+            ..StragglerParams::default()
+        },
+        Class::C | Class::D => StragglerParams::default(),
+    }
+}
+
+/// Class-scaled bursty parameters: bigger classes burst harder.
+fn bursty_params(class: Class) -> BurstyParams {
+    let small = BurstyParams::small();
+    match class {
+        Class::S | Class::W => small,
+        Class::A | Class::B => BurstyParams {
+            burst_bytes: 64 * 1024,
+            cycles: 20,
+            ..BurstyParams::default()
+        },
+        Class::C | Class::D => BurstyParams::default(),
     }
 }
 
@@ -118,6 +186,9 @@ mod tests {
     fn lookup_by_name() {
         assert_eq!(by_name("sp").unwrap(), Benchmark::Sp);
         assert_eq!(by_name("EULERMHD").unwrap(), Benchmark::EulerMhd);
+        assert_eq!(by_name("irregular").unwrap(), Benchmark::Irregular);
+        assert_eq!(by_name("STRAGGLER").unwrap(), Benchmark::Straggler);
+        assert_eq!(by_name("bursty").unwrap(), Benchmark::Bursty);
         assert!(by_name("mg").is_err());
     }
 
@@ -131,6 +202,9 @@ mod tests {
             (Benchmark::Cg, 16),
             (Benchmark::Ft, 16),
             (Benchmark::EulerMhd, 12),
+            (Benchmark::Irregular, 10),
+            (Benchmark::Straggler, 10),
+            (Benchmark::Bursty, 10),
         ];
         for (b, ranks) in counts {
             let w = b.build(Class::S, ranks, &m, Some(2)).unwrap();

@@ -27,13 +27,29 @@
 //! * **FT** — transpose-based 3-D FFT: one all-to-all per iteration.
 //! * **EulerMHD** — 2-D Cartesian 4-neighbour halo exchange with a global
 //!   `dt` reduction per step (Figure 17c).
+//!
+//! Beyond the paper's regular kernels, three *irregular* generators stress
+//! the time-resolved metrics plane:
+//!
+//! * **Irregular** — seeded sparse rank graph (ring + random chords) with
+//!   uneven vertex partitions, exchanged in deadlock-free global
+//!   lexicographic edge order.
+//! * **Straggler** — bulk-synchronous chain where a seeded rank subset
+//!   computes a multiple of everyone else's work, so fast ranks pile up
+//!   wait time at the step reduction.
+//! * **Bursty** — quiet compute phases punctuated by all-to-all plus
+//!   seeded ring-shift exchange bursts, swinging the event rate by orders
+//!   of magnitude between metric windows.
 
+pub mod bursty;
 pub mod catalog;
 pub mod cg;
 pub mod class;
 pub mod euler;
 pub mod ft;
+pub mod irregular;
 pub mod lu;
+pub mod straggler;
 pub mod sweep;
 pub mod util;
 

@@ -1,0 +1,171 @@
+//! Seeded straggler generator: a bulk-synchronous chain where a seeded
+//! subset of ranks computes a multiple of everyone else's work. Each step
+//! ends in a global reduction, so the imbalance surfaces as wait time on
+//! the fast ranks — the canonical low-LB / high-serialization signature the
+//! time-resolved metrics plane is built to expose.
+
+use crate::util::{parity_exchange_order, Grid2, SplitMix64};
+use crate::{Result, WlError};
+use opmr_netsim::{CollKind, Machine, Op, Program, Workload};
+
+/// Straggler-chain problem description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerParams {
+    /// Flops per non-straggler rank per step.
+    pub flops: f64,
+    /// Straggler compute multiplier (> 1 slows the stragglers down).
+    pub factor: f64,
+    /// Fraction of ranks that straggle (at least one once `ranks > 1`).
+    pub share: f64,
+    /// Seed selecting which ranks straggle.
+    pub seed: u64,
+    /// Steps.
+    pub steps: u32,
+    /// Neighbour-halo bytes per step.
+    pub halo_bytes: u64,
+}
+
+impl Default for StragglerParams {
+    fn default() -> Self {
+        StragglerParams {
+            flops: 40.0e6,
+            factor: 3.0,
+            share: 0.125,
+            seed: 0x57A6_617E,
+            steps: 200,
+            halo_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl StragglerParams {
+    /// A small instance for live in-process runs and tests.
+    pub fn small() -> StragglerParams {
+        StragglerParams {
+            flops: 2.0e6,
+            factor: 3.0,
+            share: 0.25,
+            seed: 0x57A6_617E,
+            steps: 12,
+            halo_bytes: 8 * 1024,
+        }
+    }
+}
+
+/// The seeded straggler set for a rank count (sorted, deterministic).
+pub fn straggler_ranks(params: &StragglerParams, ranks: usize) -> Vec<u32> {
+    if ranks < 2 {
+        return Vec::new();
+    }
+    let want = ((ranks as f64 * params.share).ceil() as usize).clamp(1, ranks - 1);
+    let mut rng = SplitMix64::new(params.seed);
+    // Partial Fisher-Yates over the rank ids.
+    let mut ids: Vec<u32> = (0..ranks as u32).collect();
+    for i in 0..want {
+        let j = i + rng.below((ranks - i) as u64) as usize;
+        ids.swap(i, j);
+    }
+    let mut picked = ids[..want].to_vec();
+    picked.sort_unstable();
+    picked
+}
+
+/// Builds the straggler workload on any non-zero rank count.
+pub fn workload(
+    params: StragglerParams,
+    ranks: usize,
+    machine: &Machine,
+    iters_override: Option<u32>,
+) -> Result<Workload> {
+    if ranks == 0 {
+        return Err(WlError::InvalidRanks {
+            bench: "Straggler",
+            ranks,
+            need: "at least one rank",
+        });
+    }
+    let iters = iters_override.unwrap_or(params.steps);
+    let slow = straggler_ranks(&params, ranks);
+    let chain = Grid2::new(1, ranks); // open 1-D chain, parity-ordered halos
+    let base_ns = machine.compute_ns(params.flops);
+
+    let mut w = Workload {
+        programs: vec![Program::default(); ranks],
+        ..Workload::default()
+    };
+    let world = w.add_group((0..ranks as u32).collect());
+
+    for r in 0..ranks {
+        let mut body = Vec::new();
+        for peer in parity_exchange_order(r, chain.neighbor(r, 0, 1), chain.neighbor(r, 0, -1)) {
+            body.push(Op::Exchange {
+                peer,
+                bytes: params.halo_bytes,
+            });
+        }
+        let ns = if slow.binary_search(&(r as u32)).is_ok() {
+            base_ns * params.factor
+        } else {
+            base_ns
+        };
+        body.push(Op::Compute { ns });
+        body.push(Op::Coll {
+            group: world,
+            kind: CollKind::Allreduce,
+            bytes: 8,
+        });
+        w.programs[r] = Program {
+            prologue: vec![Op::Coll {
+                group: world,
+                kind: CollKind::Barrier,
+                bytes: 0,
+            }],
+            body,
+            iters,
+            epilogue: vec![Op::Coll {
+                group: world,
+                kind: CollKind::Barrier,
+                bytes: 0,
+            }],
+        };
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opmr_netsim::{simulate, tera100, ToolModel};
+
+    #[test]
+    fn straggler_set_is_seeded_and_bounded() {
+        let p = StragglerParams::small();
+        let s = straggler_ranks(&p, 16);
+        assert_eq!(s, straggler_ranks(&p, 16));
+        assert_eq!(s.len(), 4, "share 0.25 of 16");
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+        let other = straggler_ranks(&StragglerParams { seed: 1, ..p }, 16);
+        assert!(s != other || s.len() == 1, "seed moves the set");
+        assert!(
+            straggler_ranks(&p, 1).is_empty(),
+            "solo rank never straggles"
+        );
+    }
+
+    #[test]
+    fn chain_is_deadlock_free_and_slower_with_stragglers() {
+        let m = tera100();
+        for ranks in [1usize, 2, 5, 8, 16] {
+            let w = workload(StragglerParams::small(), ranks, &m, Some(3)).unwrap();
+            let r = simulate(&w, &m, &ToolModel::None).unwrap();
+            assert!(r.elapsed_s > 0.0, "ranks={ranks}");
+        }
+        // The straggler pins each step at factor × base compute.
+        let p = StragglerParams::small();
+        let fast = workload(StragglerParams { factor: 1.0, ..p }, 8, &m, Some(4)).unwrap();
+        let slow = workload(p, 8, &m, Some(4)).unwrap();
+        let tf = simulate(&fast, &m, &ToolModel::None).unwrap().elapsed_s;
+        let ts = simulate(&slow, &m, &ToolModel::None).unwrap().elapsed_s;
+        assert!(ts > tf * 1.5, "stragglers must dominate the critical path");
+    }
+}

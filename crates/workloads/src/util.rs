@@ -1,5 +1,56 @@
 //! Process-grid helpers shared by the generators.
 
+use std::collections::BTreeSet;
+
+/// Tiny deterministic PRNG (splitmix64) for seeded workload generators.
+/// Every draw depends only on the seed and draw count, so a workload built
+/// twice from the same parameters is identical op for op.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Peers of `rank` over a symmetric edge set, in *global lexicographic edge
+/// order*. Scheduling pairwise exchanges this way is deadlock-free for any
+/// graph: the globally smallest pending edge is always the next op on both
+/// of its endpoints, so some matched pair can always proceed.
+pub fn lexicographic_peers(edges: &BTreeSet<(u32, u32)>, rank: u32) -> Vec<u32> {
+    edges
+        .iter()
+        .filter_map(|&(a, b)| {
+            if a == rank {
+                Some(b)
+            } else if b == rank {
+                Some(a)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
 /// Integer square root; `Some(k)` iff `n == k*k`.
 pub fn exact_sqrt(n: usize) -> Option<usize> {
     if n == 0 {
@@ -101,6 +152,28 @@ pub fn parity_exchange_order(coord: usize, plus: Option<u32>, minus: Option<u32>
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn splitmix_streams_are_reproducible() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let u = SplitMix64::new(7).unit();
+        assert!((0.0..1.0).contains(&u));
+        assert!(SplitMix64::new(9).below(5) < 5);
+    }
+
+    #[test]
+    fn lexicographic_peers_follow_global_edge_order() {
+        let edges: BTreeSet<(u32, u32)> = [(0, 3), (1, 2), (0, 1), (2, 3)].into_iter().collect();
+        // Rank 0's incident edges in global order: (0,1) then (0,3).
+        assert_eq!(lexicographic_peers(&edges, 0), vec![1, 3]);
+        // Rank 2: (1,2) then (2,3).
+        assert_eq!(lexicographic_peers(&edges, 2), vec![1, 3]);
+        assert_eq!(lexicographic_peers(&edges, 3), vec![0, 2]);
+    }
 
     #[test]
     fn exact_sqrt_detects_squares() {

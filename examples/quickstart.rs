@@ -33,6 +33,7 @@ use std::time::Duration;
 fn ring_session() -> opmr::core::SessionBuilder {
     Session::builder()
         .analyzer_ranks(2)
+        .metrics(500_000) // 0.5 ms windows: the time-resolved metrics plane
         .app("ring_demo", 8, |imp| {
             let world = imp.comm_world();
             let (r, n) = (imp.rank(), imp.size());
@@ -63,13 +64,14 @@ fn apps_json(outcome: &SessionOutcome) -> String {
         }
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"ranks\": {}, \"events\": {}, \"packs\": {}, \
-             \"wire_bytes\": {}, \"edges\": {}}}",
+             \"wire_bytes\": {}, \"edges\": {}, \"metric_windows\": {}}}",
             app.name,
             app.ranks,
             app.events,
             app.packs,
             app.wire_bytes,
-            app.topology.edge_count()
+            app.topology.edge_count(),
+            app.metrics.as_ref().map_or(0, |m| m.len())
         ));
     }
     out

@@ -10,6 +10,9 @@
 //! * [`instrument`] — PMPI-equivalent interception and event recording.
 //! * [`blackboard`] — the parallel multi-level blackboard engine.
 //! * [`analysis`] — profiling knowledge sources and report generation.
+//! * [`metrics`] — time-resolved standard metrics: windowed per-rank
+//!   series (load balance, communication efficiency, serialization /
+//!   transfer, waitstate fraction) folded online from the event stream.
 //! * [`netsim`] — discrete-event simulator for paper-scale experiments.
 //! * [`workloads`] — NAS-MPI and EulerMHD communication-kernel generators.
 //! * [`reduce`] — TBON reduction overlay (tree topology, windowed
@@ -23,6 +26,7 @@ pub use opmr_blackboard as blackboard;
 pub use opmr_core as core;
 pub use opmr_events as events;
 pub use opmr_instrument as instrument;
+pub use opmr_metrics as metrics;
 pub use opmr_netsim as netsim;
 pub use opmr_obs as obs;
 pub use opmr_reduce as reduce;

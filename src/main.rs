@@ -25,7 +25,8 @@ USAGE:
         splits the job across N OS processes (default 2) over a
         Unix-domain socket mesh; the report is identical either way.
 
-    opmr simulate [--bench BT|CG|FT|LU|SP|EulerMHD] [--class S..D]
+    opmr simulate [--bench BT|CG|FT|LU|SP|EulerMHD|Irregular|Straggler|Bursty]
+                  [--class S..D]
                   [--ranks N] [--iters N] [--machine tera100|curie]
                   [--tool none|online|profile|trace|scalasca]
         Run one workload on the discrete-event simulator and print timing,
@@ -80,13 +81,32 @@ fn demo_session() -> Result<opmr::core::SessionBuilder, Box<dyn std::error::Erro
     Ok(Session::builder()
         .analyzer_ranks(3)
         .waitstate()
+        .metrics(1_000_000) // 1 ms windows for the time-resolved series
         .app_workload("cg", cg, LiveOptions::default())
         .app_workload("euler_mhd", euler, LiveOptions::default()))
+}
+
+/// The workload catalog, one line per entry (printed by `opmr demo` and
+/// pinned by the catalog round-trip test).
+fn catalog_listing() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("workload catalog (opmr simulate --bench <name>):\n");
+    for b in opmr::workloads::BENCHMARKS {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>4} nominal iterations at class S",
+            b.name(),
+            b.nominal_iters(Class::S)
+        );
+    }
+    out
 }
 
 fn try_demo() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = demo_session()?.run()?;
     println!("{}", outcome.markdown());
+    println!("---");
+    print!("{}", catalog_listing());
     Ok(())
 }
 

@@ -1,0 +1,63 @@
+//! Catalog round-trip: every benchmark in the catalog constructs, runs on
+//! the discrete-event simulator, and is advertised by `opmr demo`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
+use opmr::netsim::{simulate, tera100, ToolModel};
+use opmr::workloads::{by_name, Benchmark, Class, BENCHMARKS};
+
+/// The smallest rank count >= 2 the benchmark accepts at class S (BT/SP
+/// need perfect squares, CG powers of two, FT is capped by the grid).
+fn smallest_ranks(bench: Benchmark, class: Class) -> usize {
+    let m = tera100();
+    (2..=16)
+        .find(|&n| bench.build(class, n, &m, Some(1)).is_ok())
+        .unwrap_or_else(|| panic!("{} accepts no rank count in 2..=16", bench.name()))
+}
+
+/// Every catalog entry constructs at class S on a small rank count and
+/// simulates one iteration producing events — including the three
+/// irregular generators added for the metrics plane.
+#[test]
+fn every_catalog_entry_builds_and_simulates_one_step() {
+    let m = tera100();
+    for bench in BENCHMARKS {
+        let ranks = smallest_ranks(bench, Class::S);
+        let w = bench
+            .build(Class::S, ranks, &m, Some(1))
+            .unwrap_or_else(|e| panic!("{} failed to build: {e}", bench.name()));
+        let r = simulate(&w, &m, &ToolModel::online_coupling(1.0))
+            .unwrap_or_else(|e| panic!("{} failed to simulate: {e}", bench.name()));
+        assert!(
+            r.stats.events > 0,
+            "{} produced no events on {ranks} ranks",
+            bench.name()
+        );
+        // Name lookup round-trips (case-insensitive, as the CLI uses it).
+        assert_eq!(by_name(bench.name()).unwrap(), bench);
+        assert_eq!(by_name(&bench.name().to_lowercase()).unwrap(), bench);
+    }
+}
+
+/// `opmr demo` prints the workload catalog: one listing line per entry,
+/// so new generators cannot be added without surfacing in the CLI.
+#[test]
+fn demo_listing_advertises_every_catalog_entry() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_opmr"))
+        .arg("demo")
+        .output()
+        .expect("opmr demo runs");
+    assert!(out.status.success(), "demo exited with {}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let listing = stdout
+        .split("workload catalog")
+        .nth(1)
+        .expect("demo prints the catalog listing");
+    for bench in BENCHMARKS {
+        assert!(
+            listing.contains(bench.name()),
+            "{} missing from the demo listing",
+            bench.name()
+        );
+    }
+}

@@ -282,6 +282,101 @@ fn point_queries_answer_mid_run() {
 }
 
 #[test]
+fn metric_time_series_ride_the_delta_chain_byte_identically() {
+    use opmr::analysis::wire::decode_partials;
+
+    let serve = ServeConfig {
+        publish_every_packs: 2,
+        ring: 4096, // retain everything: this test audits every version
+        ..ServeConfig::default()
+    };
+    // Every observed (version, folded snapshot bytes, finished flag).
+    type SeenLog = Vec<(u64, Vec<u8>, bool)>;
+    let seen: Arc<Mutex<SeenLog>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    let gate = Arc::new(std::sync::Barrier::new(5));
+    let observer_gate = Arc::clone(&gate);
+    let outcome = Session::builder()
+        .analyzer_ranks(2)
+        .coupling(Coupling::Serving)
+        .serve_config(serve)
+        .metrics(100_000) // 0.1 ms windows: many windows over the run
+        .stream_config(StreamConfig::new(1024, 4, Balance::None))
+        .app("ring", 4, ring_app(600, Some(gate)))
+        .client("observer", 1, move |c| {
+            c.subscribe().unwrap();
+            c.version_info().unwrap();
+            observer_gate.wait();
+            loop {
+                let u = c.next_update().unwrap().expect("stream ended early");
+                let held = c.report().expect("subscribed client holds a report");
+                sink.lock()
+                    .push((u.version, held.encoded.to_vec(), u.finished));
+                if u.finished {
+                    // Point query against the final version: the metrics
+                    // plane answers rank-filtered, like the other planes.
+                    let (_, m) = c.query_metrics(0, 0, 0, ALL_RANKS).unwrap();
+                    let m = m.expect("metrics KS is enabled in this session");
+                    assert!(!m.is_empty(), "query returned an empty series");
+                    break;
+                }
+            }
+        })
+        .run()
+        .unwrap();
+
+    let store = outcome.snapshot_store.expect("serving retains the store");
+    let seen = seen.lock();
+    assert!(seen.len() >= 3, "expected several versions");
+
+    // The client reconstructs the full window history from the delta
+    // chain: at every version its folded bytes equal the server snapshot
+    // and carry the metric series. Window counts are *not* asserted
+    // monotone — snapshot hooks fire concurrently from dispatcher
+    // threads, so an older snapshot can be published after a newer one —
+    // but the series must evolve across the chain and end non-empty.
+    let mut last_windows = 0usize;
+    let mut metric_deltas = 0usize;
+    for (version, bytes, _) in seen.iter() {
+        let entry = store.get(*version).expect("ring retained everything");
+        assert_eq!(
+            bytes.as_slice(),
+            entry.encoded.as_ref(),
+            "version {version} diverged from the server snapshot"
+        );
+        let parts = decode_partials(bytes).unwrap();
+        let m = parts[0]
+            .metrics
+            .as_ref()
+            .expect("every published snapshot carries the series");
+        if m.len() != last_windows {
+            metric_deltas += 1;
+        }
+        last_windows = m.len();
+    }
+    assert!(last_windows > 0, "final snapshot has no metric windows");
+    assert!(
+        metric_deltas >= 2,
+        "the series must actually evolve across the delta chain"
+    );
+
+    // The engine's final report and the served snapshot agree on the
+    // series bytes.
+    let (_, final_bytes, finished) = seen.last().unwrap();
+    assert!(finished);
+    let served = decode_partials(final_bytes).unwrap();
+    let report_m = outcome.report.apps[0]
+        .metrics
+        .as_ref()
+        .expect("session report carries the series");
+    assert_eq!(
+        served[0].metrics.as_ref().unwrap().encode(),
+        report_m.encode(),
+        "served series must equal the engine's final fold"
+    );
+}
+
+#[test]
 fn clients_require_serving_coupling() {
     let res = Session::builder()
         .app("ring", 2, ring_app(4, None))
