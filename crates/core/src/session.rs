@@ -78,6 +78,10 @@ enum LaunchPlan {
         socket: opmr_runtime::SocketConfig,
         proc_index: usize,
         num_procs: usize,
+        /// Launcher-driven partition placement: `placement[i]` is the
+        /// process hosting application partition `i` (add order).
+        /// `None` derives the default round-robin spread.
+        placement: Option<Vec<usize>>,
     },
 }
 
@@ -414,6 +418,48 @@ impl SessionBuilder {
             socket,
             proc_index,
             num_procs,
+            placement: None,
+        })
+    }
+
+    /// Like [`run_multiproc`](Self::run_multiproc), but with the
+    /// application→process placement chosen by the caller (typically the
+    /// `opmr launch` control plane) instead of the derived round-robin:
+    /// `placement[i]` names the process hosting application partition
+    /// `i`, in the order the applications were added. The analyzer,
+    /// client partitions and the self-monitor still live on process 0.
+    /// Every process of the job must pass the identical placement.
+    pub fn run_multiproc_placed(
+        self,
+        socket: opmr_runtime::SocketConfig,
+        proc_index: usize,
+        num_procs: usize,
+        placement: Vec<usize>,
+    ) -> Result<SessionOutcome, SessionError> {
+        if self.distributed {
+            return Err(SessionError::Config(
+                "distributed analysis gathers partials inside one process; \
+                 multi-process sessions use the shared engine on process 0"
+                    .into(),
+            ));
+        }
+        if placement.len() != self.apps.len() {
+            return Err(SessionError::Config(format!(
+                "placement names {} partitions but the session has {} applications",
+                placement.len(),
+                self.apps.len()
+            )));
+        }
+        if let Some(bad) = placement.iter().find(|p| **p >= num_procs) {
+            return Err(SessionError::Config(format!(
+                "placement targets process {bad} but the job has only {num_procs} processes"
+            )));
+        }
+        self.run_inner(LaunchPlan::Socket {
+            socket,
+            proc_index,
+            num_procs,
+            placement: Some(placement),
         })
     }
 
@@ -424,11 +470,19 @@ impl SessionBuilder {
         // Process placement (socket plan only): application partition `i`
         // lands on worker process `1 + (i % workers)`; everything stateful
         // (analyzer, clients, self-monitor) stays on process 0.
-        let workers = match &plan {
-            LaunchPlan::InProc => 0,
-            LaunchPlan::Socket { num_procs, .. } => num_procs.saturating_sub(1),
+        let (workers, placement) = match &plan {
+            LaunchPlan::InProc => (0, None),
+            LaunchPlan::Socket {
+                num_procs,
+                placement,
+                ..
+            } => (num_procs.saturating_sub(1), placement.clone()),
         };
-        let app_proc = move |i: usize| if workers == 0 { 0 } else { 1 + (i % workers) };
+        let app_proc = move |i: usize| match &placement {
+            Some(p) => p.get(i).copied().unwrap_or(0),
+            None if workers == 0 => 0,
+            None => 1 + (i % workers),
+        };
         let coupling = self.coupling;
         if self.distributed && matches!(coupling, Coupling::Serving) {
             return Err(SessionError::Config(
@@ -690,6 +744,7 @@ impl SessionBuilder {
                 socket,
                 proc_index,
                 num_procs,
+                placement: _,
             } => {
                 let topo = opmr_runtime::MultiprocTopology::new(socket, proc_index, num_procs)
                     .assign(opmr_runtime::PartitionAssign::Explicit(assign));

@@ -1,0 +1,248 @@
+//! The launcher→worker environment contract.
+//!
+//! `opmr launch` distributes the job topology to its workers through
+//! `OPMR_LAUNCH_*` environment variables (they survive the ssh hop —
+//! the [`crate::SshSpawner`] carries them in the remote `env`
+//! invocation). [`WorkerEnv`] is the typed view of that contract:
+//! the launcher builds one per worker and turns it into
+//! [`WorkerCommand`](crate::WorkerCommand) env pairs via
+//! [`WorkerEnv::vars`]; the worker recovers it with
+//! [`WorkerEnv::from_env`] and a ready-to-run socket configuration with
+//! [`WorkerEnv::socket_config`].
+
+use crate::LaunchPlaneError;
+use opmr_runtime::{Endpoint, LinkFault, SocketConfig};
+use std::time::Duration;
+
+/// Worker's own process index.
+pub const ENV_PROC: &str = "OPMR_LAUNCH_PROC";
+/// Total processes in the job.
+pub const ENV_PROCS: &str = "OPMR_LAUNCH_PROCS";
+/// Mesh coordinator endpoint, `unix:<path>` or `tcp:<addr>`.
+pub const ENV_ENDPOINT: &str = "OPMR_LAUNCH_ENDPOINT";
+/// Optional explicit application→process placement, comma-separated
+/// process indices in application add order.
+pub const ENV_PLACEMENT: &str = "OPMR_LAUNCH_PLACEMENT";
+/// Optional link-chaos injection: sever every link once after this many
+/// data frames (reconnect-path smoke testing).
+pub const ENV_SEVER_AFTER: &str = "OPMR_LAUNCH_SEVER_AFTER";
+/// Optional connect/accept budget override, milliseconds.
+pub const ENV_CONNECT_TIMEOUT_MS: &str = "OPMR_LAUNCH_CONNECT_TIMEOUT_MS";
+
+/// Typed view of the `OPMR_LAUNCH_*` contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerEnv {
+    pub proc_index: usize,
+    pub num_procs: usize,
+    /// `unix:<path>` or `tcp:<host:port>`.
+    pub endpoint: String,
+    /// Explicit application→process placement, if the launcher chose one.
+    pub placement: Option<Vec<usize>>,
+    /// Chaos: sever each link once after N data frames.
+    pub sever_after: Option<u64>,
+    /// Connect/accept budget override.
+    pub connect_timeout: Option<Duration>,
+}
+
+impl WorkerEnv {
+    pub fn new(proc_index: usize, num_procs: usize, endpoint: impl Into<String>) -> WorkerEnv {
+        WorkerEnv {
+            proc_index,
+            num_procs,
+            endpoint: endpoint.into(),
+            placement: None,
+            sever_after: None,
+            connect_timeout: None,
+        }
+    }
+
+    /// The env pairs a [`WorkerCommand`](crate::WorkerCommand) needs to
+    /// carry for [`from_env`](Self::from_env) to reconstruct `self`.
+    pub fn vars(&self) -> Vec<(String, String)> {
+        let mut v = vec![
+            (ENV_PROC.to_string(), self.proc_index.to_string()),
+            (ENV_PROCS.to_string(), self.num_procs.to_string()),
+            (ENV_ENDPOINT.to_string(), self.endpoint.clone()),
+        ];
+        if let Some(p) = &self.placement {
+            let joined = p.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
+            v.push((ENV_PLACEMENT.to_string(), joined));
+        }
+        if let Some(n) = self.sever_after {
+            v.push((ENV_SEVER_AFTER.to_string(), n.to_string()));
+        }
+        if let Some(d) = self.connect_timeout {
+            v.push((
+                ENV_CONNECT_TIMEOUT_MS.to_string(),
+                d.as_millis().to_string(),
+            ));
+        }
+        v
+    }
+
+    /// Reads the contract from the process environment. `Ok(None)` when
+    /// this process was not started by the launcher (no [`ENV_PROC`]).
+    pub fn from_env() -> Result<Option<WorkerEnv>, LaunchPlaneError> {
+        WorkerEnv::from_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// [`from_env`](Self::from_env) against an arbitrary lookup
+    /// (testable without mutating the process environment).
+    pub fn from_lookup(
+        lookup: impl Fn(&str) -> Option<String>,
+    ) -> Result<Option<WorkerEnv>, LaunchPlaneError> {
+        let Some(proc_raw) = lookup(ENV_PROC) else {
+            return Ok(None);
+        };
+        let field = |name: &'static str, raw: &str| LaunchPlaneError::Config {
+            what: format!("bad {name} in worker environment: {raw:?}"),
+        };
+        let proc_index: usize = proc_raw.parse().map_err(|_| field(ENV_PROC, &proc_raw))?;
+        let procs_raw = lookup(ENV_PROCS).ok_or_else(|| LaunchPlaneError::Config {
+            what: format!("{ENV_PROC} set but {ENV_PROCS} missing"),
+        })?;
+        let num_procs: usize = procs_raw
+            .parse()
+            .map_err(|_| field(ENV_PROCS, &procs_raw))?;
+        let endpoint = lookup(ENV_ENDPOINT).ok_or_else(|| LaunchPlaneError::Config {
+            what: format!("{ENV_PROC} set but {ENV_ENDPOINT} missing"),
+        })?;
+        let placement = match lookup(ENV_PLACEMENT) {
+            None => None,
+            Some(raw) => Some(
+                raw.split(',')
+                    .map(|t| t.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| field(ENV_PLACEMENT, &raw))?,
+            ),
+        };
+        let sever_after = match lookup(ENV_SEVER_AFTER) {
+            None => None,
+            Some(raw) => Some(raw.parse().map_err(|_| field(ENV_SEVER_AFTER, &raw))?),
+        };
+        let connect_timeout = match lookup(ENV_CONNECT_TIMEOUT_MS) {
+            None => None,
+            Some(raw) => Some(Duration::from_millis(
+                raw.parse()
+                    .map_err(|_| field(ENV_CONNECT_TIMEOUT_MS, &raw))?,
+            )),
+        };
+        Ok(Some(WorkerEnv {
+            proc_index,
+            num_procs,
+            endpoint,
+            placement,
+            sever_after,
+            connect_timeout,
+        }))
+    }
+
+    /// Parses the endpoint and assembles the worker's [`SocketConfig`]
+    /// (chaos injection and timeout overrides applied).
+    pub fn socket_config(&self) -> Result<SocketConfig, LaunchPlaneError> {
+        let endpoint = parse_endpoint(&self.endpoint)?;
+        let mut cfg = SocketConfig::new(endpoint);
+        if let Some(d) = self.connect_timeout {
+            cfg = cfg.connect_timeout(d);
+        }
+        if let Some(n) = self.sever_after {
+            cfg = cfg.link_fault(LinkFault {
+                sever_after_frames: n,
+            });
+        }
+        Ok(cfg)
+    }
+}
+
+/// Parses `unix:<path>` / `tcp:<host:port>` endpoint notation.
+pub fn parse_endpoint(s: &str) -> Result<Endpoint, LaunchPlaneError> {
+    if let Some(path) = s.strip_prefix("unix:") {
+        if path.is_empty() {
+            return Err(LaunchPlaneError::Config {
+                what: "empty unix endpoint path".to_string(),
+            });
+        }
+        return Ok(Endpoint::Unix(path.into()));
+    }
+    if let Some(addr) = s.strip_prefix("tcp:") {
+        if addr.is_empty() {
+            return Err(LaunchPlaneError::Config {
+                what: "empty tcp endpoint address".to_string(),
+            });
+        }
+        return Ok(Endpoint::Tcp(addr.to_string()));
+    }
+    Err(LaunchPlaneError::Config {
+        what: format!("endpoint {s:?} is neither unix:<path> nor tcp:<addr>"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+    use super::*;
+
+    fn lookup_of(pairs: &[(String, String)]) -> impl Fn(&str) -> Option<String> + '_ {
+        move |k| pairs.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone())
+    }
+
+    #[test]
+    fn contract_roundtrips_through_vars() {
+        let mut env = WorkerEnv::new(2, 3, "unix:/tmp/opmr/mesh.sock");
+        env.placement = Some(vec![1, 2, 1]);
+        env.sever_after = Some(40);
+        env.connect_timeout = Some(Duration::from_millis(2500));
+        let vars = env.vars();
+        let back = WorkerEnv::from_lookup(lookup_of(&vars)).unwrap().unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn absent_contract_is_none_and_partial_is_typed() {
+        assert_eq!(WorkerEnv::from_lookup(|_| None).unwrap(), None);
+        // PROC present but PROCS missing: typed config error, not a panic.
+        let partial = vec![(ENV_PROC.to_string(), "1".to_string())];
+        let err = WorkerEnv::from_lookup(lookup_of(&partial)).unwrap_err();
+        assert!(matches!(err, LaunchPlaneError::Config { .. }), "{err}");
+        // Unparseable placement is typed too.
+        let bad = vec![
+            (ENV_PROC.to_string(), "0".to_string()),
+            (ENV_PROCS.to_string(), "2".to_string()),
+            (ENV_ENDPOINT.to_string(), "unix:/tmp/x".to_string()),
+            (ENV_PLACEMENT.to_string(), "1,zebra".to_string()),
+        ];
+        let err = WorkerEnv::from_lookup(lookup_of(&bad)).unwrap_err();
+        assert!(matches!(err, LaunchPlaneError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn endpoint_notation_parses_typed() {
+        assert_eq!(
+            parse_endpoint("unix:/tmp/mesh.sock").unwrap(),
+            Endpoint::Unix("/tmp/mesh.sock".into())
+        );
+        assert_eq!(
+            parse_endpoint("tcp:127.0.0.1:39000").unwrap(),
+            Endpoint::Tcp("127.0.0.1:39000".to_string())
+        );
+        assert!(parse_endpoint("udp:somewhere").is_err());
+        assert!(parse_endpoint("unix:").is_err());
+        assert!(parse_endpoint("tcp:").is_err());
+    }
+
+    #[test]
+    fn socket_config_applies_chaos_and_timeouts() {
+        let mut env = WorkerEnv::new(1, 3, "unix:/tmp/mesh.sock");
+        env.sever_after = Some(25);
+        env.connect_timeout = Some(Duration::from_secs(30));
+        let cfg = env.socket_config().unwrap();
+        assert_eq!(cfg.connect_timeout, Duration::from_secs(30));
+        assert_eq!(
+            cfg.link_fault,
+            Some(LinkFault {
+                sever_after_frames: 25
+            })
+        );
+        assert!(cfg.validate().is_ok());
+    }
+}

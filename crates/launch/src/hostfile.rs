@@ -1,0 +1,143 @@
+//! mpirun-style hostfile parsing.
+//!
+//! One host per line, optionally with a slot count:
+//!
+//! ```text
+//! # comment
+//! localhost slots=2
+//! node-a
+//! node-b slots=4
+//! ```
+//!
+//! `slots` defaults to 1. Workers are placed slot-aware round-robin
+//! (see [`crate::place_procs`]): hosts are filled to their slot counts
+//! in order, then the whole cycle repeats for oversubscription.
+
+use crate::LaunchPlaneError;
+
+/// One hostfile entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Host {
+    /// Hostname as written (e.g. `localhost`, `node-a`, `10.0.0.7`).
+    pub name: String,
+    /// Worker slots on this host.
+    pub slots: usize,
+}
+
+impl Host {
+    /// A single-slot host.
+    pub fn new(name: impl Into<String>) -> Host {
+        Host {
+            name: name.into(),
+            slots: 1,
+        }
+    }
+
+    /// Whether workers land on this machine without a remote shell.
+    pub fn is_local(&self) -> bool {
+        matches!(self.name.as_str(), "localhost" | "127.0.0.1" | "::1")
+    }
+}
+
+/// Parses hostfile text. Empty lines and `#` comments are skipped;
+/// every remaining line is `<name> [slots=N]`.
+pub fn parse_hostfile(text: &str) -> Result<Vec<Host>, LaunchPlaneError> {
+    let mut hosts = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let mut parts = line.split_ascii_whitespace();
+        let name = match parts.next() {
+            Some(n) => n.to_string(),
+            None => continue,
+        };
+        let mut slots = 1usize;
+        for tok in parts {
+            let Some(v) = tok.strip_prefix("slots=") else {
+                return Err(LaunchPlaneError::Hostfile {
+                    line: lineno,
+                    what: format!("unknown attribute {tok:?} (expected slots=N)"),
+                });
+            };
+            slots = v.parse().map_err(|_| LaunchPlaneError::Hostfile {
+                line: lineno,
+                what: format!("unparseable slot count {v:?}"),
+            })?;
+            if slots == 0 {
+                return Err(LaunchPlaneError::Hostfile {
+                    line: lineno,
+                    what: "slots=0 makes the host unusable".to_string(),
+                });
+            }
+        }
+        hosts.push(Host { name, slots });
+    }
+    if hosts.is_empty() {
+        return Err(LaunchPlaneError::Hostfile {
+            line: 0,
+            what: "no hosts (every line empty or a comment)".to_string(),
+        });
+    }
+    Ok(hosts)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+    use super::*;
+
+    #[test]
+    fn parses_hosts_comments_and_slots() {
+        let text = "\
+# cluster head
+localhost slots=2
+
+node-a
+node-b slots=4   # fat node
+";
+        let hosts = parse_hostfile(text).unwrap();
+        assert_eq!(
+            hosts,
+            vec![
+                Host {
+                    name: "localhost".to_string(),
+                    slots: 2
+                },
+                Host {
+                    name: "node-a".to_string(),
+                    slots: 1
+                },
+                Host {
+                    name: "node-b".to_string(),
+                    slots: 4
+                },
+            ]
+        );
+        assert!(hosts[0].is_local());
+        assert!(!hosts[1].is_local());
+    }
+
+    #[test]
+    fn rejects_bad_lines_with_line_numbers() {
+        let err = parse_hostfile("node-a\nnode-b slots=abc\n").unwrap_err();
+        assert!(
+            matches!(err, LaunchPlaneError::Hostfile { line: 2, .. }),
+            "{err}"
+        );
+        let err = parse_hostfile("node-a cores=4\n").unwrap_err();
+        assert!(
+            matches!(err, LaunchPlaneError::Hostfile { line: 1, .. }),
+            "{err}"
+        );
+        let err = parse_hostfile("node-a slots=0\n").unwrap_err();
+        assert!(
+            matches!(err, LaunchPlaneError::Hostfile { line: 1, .. }),
+            "{err}"
+        );
+        let err = parse_hostfile("# nothing here\n\n").unwrap_err();
+        assert!(matches!(err, LaunchPlaneError::Hostfile { line: 0, .. }));
+    }
+}

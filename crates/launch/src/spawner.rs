@@ -1,0 +1,226 @@
+//! Pluggable worker-process spawners.
+//!
+//! The supervisor is backend-agnostic: it hands a [`WorkerCommand`] and
+//! a [`Host`] to a [`Spawner`] and gets a `std::process::Child` back.
+//! [`LocalSpawner`] runs the command directly; [`SshSpawner`] wraps it
+//! in an `ssh <host> env K=V… prog args…` invocation so the same
+//! supervision (stdout heartbeats, exit classification, kill-on-
+//! teardown of the ssh client) spans machines.
+
+use crate::hostfile::Host;
+use crate::LaunchPlaneError;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// What to run on each worker slot: program, arguments and environment
+/// (the socket roster/config travels in `env`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerCommand {
+    pub program: PathBuf,
+    pub args: Vec<String>,
+    pub env: Vec<(String, String)>,
+}
+
+impl WorkerCommand {
+    pub fn new(program: impl Into<PathBuf>) -> WorkerCommand {
+        WorkerCommand {
+            program: program.into(),
+            args: Vec::new(),
+            env: Vec::new(),
+        }
+    }
+
+    pub fn arg(mut self, a: impl Into<String>) -> Self {
+        self.args.push(a.into());
+        self
+    }
+
+    pub fn env(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.env.push((k.into(), v.into()));
+        self
+    }
+}
+
+/// Starts one worker process for a host. Implementations must pipe the
+/// child's stdout (the supervisor reads the control-line protocol from
+/// it) and leave stderr inherited so worker diagnostics reach the
+/// launcher's terminal directly.
+pub trait Spawner: Send + Sync {
+    /// Spawns `cmd` for `host`, stdout piped.
+    fn spawn(&self, host: &Host, cmd: &WorkerCommand) -> Result<Child, LaunchPlaneError>;
+
+    /// Human-readable backend name for logs and errors.
+    fn describe(&self) -> &'static str;
+}
+
+/// Runs workers on this machine via `std::process::Command`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalSpawner;
+
+impl Spawner for LocalSpawner {
+    fn spawn(&self, host: &Host, cmd: &WorkerCommand) -> Result<Child, LaunchPlaneError> {
+        let mut c = Command::new(&cmd.program);
+        c.args(&cmd.args)
+            .envs(cmd.env.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .stdin(Stdio::null());
+        c.spawn().map_err(|e| LaunchPlaneError::Spawn {
+            host: host.name.clone(),
+            detail: e.to_string(),
+        })
+    }
+
+    fn describe(&self) -> &'static str {
+        "local"
+    }
+}
+
+/// Runs workers on remote hosts through an `ssh`-compatible client.
+/// The remote command is `env K=V… <program> <args…>`, each word
+/// shell-quoted, so the environment distribution works without any
+/// agent on the far side. Killing the local ssh client tears the remote
+/// worker's stdin/stdout down, which is how teardown propagates.
+#[derive(Debug, Clone)]
+pub struct SshSpawner {
+    /// The client binary (default `ssh`).
+    pub ssh_program: String,
+    /// Extra client flags inserted before the host (e.g. `-o
+    /// BatchMode=yes`, `-p 2222`).
+    pub extra_args: Vec<String>,
+}
+
+impl Default for SshSpawner {
+    fn default() -> Self {
+        SshSpawner {
+            ssh_program: "ssh".to_string(),
+            extra_args: vec!["-o".to_string(), "BatchMode=yes".to_string()],
+        }
+    }
+}
+
+/// Quotes one word for a POSIX shell (ssh concatenates the remote argv
+/// into a shell command line).
+fn shell_quote(s: &str) -> String {
+    if !s.is_empty()
+        && s.bytes().all(|b| {
+            b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b'/' | b'=' | b':' | b',')
+        })
+    {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('\'');
+    for ch in s.chars() {
+        if ch == '\'' {
+            out.push_str("'\\''");
+        } else {
+            out.push(ch);
+        }
+    }
+    out.push('\'');
+    out
+}
+
+/// The full argv an [`SshSpawner`] launches (exposed for tests and
+/// dry-runs): `[ssh, extra…, host, env, K=V…, program, args…]`.
+pub fn ssh_argv(spawner: &SshSpawner, host: &Host, cmd: &WorkerCommand) -> Vec<String> {
+    let mut argv =
+        Vec::with_capacity(4 + spawner.extra_args.len() + cmd.env.len() + cmd.args.len());
+    argv.push(spawner.ssh_program.clone());
+    argv.extend(spawner.extra_args.iter().cloned());
+    argv.push(host.name.clone());
+    argv.push("env".to_string());
+    for (k, v) in &cmd.env {
+        argv.push(shell_quote(&format!("{k}={v}")));
+    }
+    argv.push(shell_quote(&cmd.program.to_string_lossy()));
+    for a in &cmd.args {
+        argv.push(shell_quote(a));
+    }
+    argv
+}
+
+impl Spawner for SshSpawner {
+    fn spawn(&self, host: &Host, cmd: &WorkerCommand) -> Result<Child, LaunchPlaneError> {
+        let argv = ssh_argv(self, host, cmd);
+        let (program, rest) = argv.split_first().ok_or_else(|| LaunchPlaneError::Spawn {
+            host: host.name.clone(),
+            detail: "empty ssh argv".to_string(),
+        })?;
+        let mut c = Command::new(program);
+        c.args(rest)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .stdin(Stdio::null());
+        c.spawn().map_err(|e| LaunchPlaneError::Spawn {
+            host: host.name.clone(),
+            detail: format!("{} ({})", e, self.ssh_program),
+        })
+    }
+
+    fn describe(&self) -> &'static str {
+        "ssh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+    use super::*;
+
+    #[test]
+    fn ssh_argv_carries_env_program_and_quoting() {
+        let sp = SshSpawner::default();
+        let host = Host::new("node-a");
+        let cmd = WorkerCommand::new("/opt/opmr/bin/opmr")
+            .arg("__launch-worker")
+            .arg("weird arg'with quotes")
+            .env("OPMR_LAUNCH_PROC", "2")
+            .env("OPMR_LAUNCH_ENDPOINT", "tcp:10.0.0.1:39000");
+        let argv = ssh_argv(&sp, &host, &cmd);
+        assert_eq!(argv[0], "ssh");
+        assert_eq!(
+            &argv[1..3],
+            &["-o".to_string(), "BatchMode=yes".to_string()]
+        );
+        assert_eq!(argv[3], "node-a");
+        assert_eq!(argv[4], "env");
+        assert_eq!(argv[5], "OPMR_LAUNCH_PROC=2");
+        assert_eq!(argv[6], "OPMR_LAUNCH_ENDPOINT=tcp:10.0.0.1:39000");
+        assert_eq!(argv[7], "/opt/opmr/bin/opmr");
+        assert_eq!(argv[8], "__launch-worker");
+        // The hostile word is single-quoted with the embedded quote
+        // escaped, so the remote shell sees exactly one argument.
+        assert_eq!(argv[9], "'weird arg'\\''with quotes'");
+    }
+
+    #[test]
+    fn shell_quote_passes_safe_words_through() {
+        assert_eq!(shell_quote("plain-word_1.0/x=y:z"), "plain-word_1.0/x=y:z");
+        assert_eq!(shell_quote(""), "''");
+        assert_eq!(shell_quote("a b"), "'a b'");
+        assert_eq!(shell_quote("$(rm -rf)"), "'$(rm -rf)'");
+    }
+
+    #[test]
+    fn local_spawner_pipes_stdout_and_reports_spawn_errors_typed() {
+        let sp = LocalSpawner;
+        let host = Host::new("localhost");
+        // A real process: /bin/echo prints and exits 0.
+        let cmd = WorkerCommand::new("/bin/echo").arg("hello-from-child");
+        let mut child = sp.spawn(&host, &cmd).unwrap();
+        let out = {
+            use std::io::Read;
+            let mut s = String::new();
+            child.stdout.take().unwrap().read_to_string(&mut s).unwrap();
+            s
+        };
+        assert!(child.wait().unwrap().success());
+        assert_eq!(out.trim(), "hello-from-child");
+        // A missing binary is a typed Spawn error, not a panic.
+        let missing = WorkerCommand::new("/nonexistent/opmr-no-such-binary");
+        let err = sp.spawn(&host, &missing).unwrap_err();
+        assert!(matches!(err, LaunchPlaneError::Spawn { .. }), "{err}");
+    }
+}

@@ -60,7 +60,8 @@ pub use mpi::Mpi;
 pub use pod::Pod;
 pub use request::Request;
 pub use socket::{
-    Endpoint, MultiprocError, MultiprocTopology, PartitionAssign, SocketConfig, SocketError,
+    Endpoint, LinkFault, MultiprocError, MultiprocTopology, PartitionAssign, SocketConfig,
+    SocketError,
 };
 pub use transport::{InProc, Transport};
 

@@ -19,9 +19,29 @@
 //! derives from the same job description). The coordinator validates each
 //! `Hello` — garbage or mismatched peers are rejected with a typed error
 //! and an obs counter, without aborting the handshake — then answers with
-//! a `Roster` of every process's listen address. Process *i* then dials
-//! every process *j < i* and accepts connections from every *k > i*,
-//! producing a full mesh.
+//! a `Roster` of every process's listen address plus a fresh session
+//! epoch. Process *i* then dials every process *j < i* and accepts
+//! connections from every *k > i*, producing a full mesh. The handshake
+//! runs concurrently with partition startup: locally hosted ranks begin
+//! executing immediately and block on a mesh gate only at their first
+//! remote operation.
+//!
+//! # Link recovery
+//!
+//! Each process retains its listener after the handshake. Data frames
+//! (envelopes and the `RankDone`/`Shutdown`/`ProcDone` control frames)
+//! are sequenced per link and buffered until acknowledged (`Ack` frames
+//! every few received frames prune the buffer). When a connection drops
+//! *before* the peer's `ProcDone`, the higher-indexed side redials the
+//! lower-indexed side's retained listener with bounded exponential
+//! backoff, presenting the session epoch and its received-frame count;
+//! the acceptor answers with its own count and both sides retransmit
+//! exactly the suffix the other never saw — the stream above observes an
+//! uninterrupted exactly-once frame sequence. Only when the retry budget
+//! (dialer) or the reconnect grace window (acceptor) is exhausted does
+//! the link degrade to the same typed `PeerLost` a crashed in-process
+//! writer produces. Attempts, successes, exhaustions and stale-epoch
+//! rejections are all counted in `obs`.
 //!
 //! # Liveness and teardown
 //!
@@ -33,8 +53,8 @@
 //! After a process has joined all its local ranks it broadcasts
 //! `ProcDone`, waits for every peer's `ProcDone` (or disconnect), and
 //! only then closes its sockets — so a normal close is never mistaken for
-//! a crash. A connection that drops *without* `ProcDone` marks every rank
-//! of that process dead (ticking
+//! a crash. A connection that drops *without* `ProcDone` and exhausts the
+//! reconnect policy marks every rank of that process dead (ticking
 //! `transport_socket_peer_disconnects_total`), which blocked stream
 //! readers surface as the same typed `PeerLost` error a crashed in-process
 //! writer produces.
@@ -47,13 +67,14 @@ use crate::{CommId, Result, RtError};
 use bytes::Bytes;
 use opmr_events::{try_frame, FrameBuf};
 use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 // Socket transport metrics (the obs "transport" family): registered once,
 // cached handles, relaxed atomics on the hot path.
@@ -69,6 +90,12 @@ mod obs {
         pub connect_timeouts: Arc<Counter>,
         pub handshake_rejected: Arc<Counter>,
         pub peer_disconnects: Arc<Counter>,
+        pub reconnect_attempts: Arc<Counter>,
+        pub reconnects: Arc<Counter>,
+        pub reconnect_exhausted: Arc<Counter>,
+        pub reconnect_stale_epoch: Arc<Counter>,
+        pub frames_retransmitted: Arc<Counter>,
+        pub chaos_severs: Arc<Counter>,
     }
 
     pub(super) fn m() -> &'static SocketMetrics {
@@ -83,6 +110,12 @@ mod obs {
                 connect_timeouts: r.counter("transport_socket_connect_timeouts_total"),
                 handshake_rejected: r.counter("transport_socket_handshake_rejected_total"),
                 peer_disconnects: r.counter("transport_socket_peer_disconnects_total"),
+                reconnect_attempts: r.counter("transport_socket_reconnect_attempts_total"),
+                reconnects: r.counter("transport_socket_reconnects_total"),
+                reconnect_exhausted: r.counter("transport_socket_reconnect_exhausted_total"),
+                reconnect_stale_epoch: r.counter("transport_socket_reconnect_stale_epoch_total"),
+                frames_retransmitted: r.counter("transport_socket_frames_retransmitted_total"),
+                chaos_severs: r.counter("transport_socket_chaos_severs_total"),
             }
         })
     }
@@ -108,29 +141,138 @@ impl Endpoint {
     }
 }
 
+/// Deterministic link-chaos injection: the lower-indexed side of every
+/// link severs it once after `sever_after_frames` data frames have been
+/// sent *or received* on that link (whichever threshold is crossed
+/// first), exercising the reconnect path end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Sever each link once after this many data frames were sent on it.
+    pub sever_after_frames: u64,
+}
+
 /// Socket-level configuration shared by every process of the job.
 #[derive(Debug, Clone)]
 pub struct SocketConfig {
     /// Coordinator endpoint.
     pub endpoint: Endpoint,
-    /// Budget for dialing a peer and for the whole handshake's accept
-    /// phase. Also bounds the post-join teardown drain.
+    /// Budget for dialing a peer during the handshake. Also bounds the
+    /// post-join teardown drain.
     pub connect_timeout: Duration,
+    /// Budget for the handshake's accept phase. `None` (the default)
+    /// reuses `connect_timeout`.
+    pub accept_timeout: Option<Duration>,
+    /// Per-connection budget for reading a single handshake frame
+    /// (`Hello` or a reconnect presentation), bounded separately so a
+    /// stalled rogue connection cannot eat the whole handshake budget.
+    pub hello_timeout: Duration,
+    /// How many redial attempts the higher-indexed side of a dropped
+    /// link makes before degrading to a typed `PeerLost`.
+    pub retry_budget: u32,
+    /// Backoff before redial attempt `k` is `backoff_base * 2^(k-1)`
+    /// (the first attempt is immediate).
+    pub backoff_base: Duration,
+    /// How long the lower-indexed (accepting) side of a dropped link
+    /// waits for the peer to redial before degrading to `PeerLost`.
+    pub reconnect_grace: Duration,
+    /// Optional deterministic link-chaos injection.
+    pub link_fault: Option<LinkFault>,
 }
 
 impl SocketConfig {
-    /// Configuration with the default 10 s connect/handshake budget.
+    /// Configuration with the default timeouts and retry policy.
     pub fn new(endpoint: Endpoint) -> Self {
         SocketConfig {
             endpoint,
             connect_timeout: Duration::from_secs(10),
+            accept_timeout: None,
+            hello_timeout: Duration::from_secs(2),
+            retry_budget: 5,
+            backoff_base: Duration::from_millis(100),
+            reconnect_grace: Duration::from_secs(3),
+            link_fault: None,
         }
     }
 
-    /// Overrides the connect/handshake budget.
+    /// Overrides the connect/drain budget.
     pub fn connect_timeout(mut self, d: Duration) -> Self {
         self.connect_timeout = d;
         self
+    }
+
+    /// Overrides the handshake accept budget (defaults to the connect
+    /// budget).
+    pub fn accept_timeout(mut self, d: Duration) -> Self {
+        self.accept_timeout = Some(d);
+        self
+    }
+
+    /// Overrides the per-connection handshake-frame read budget.
+    pub fn hello_timeout(mut self, d: Duration) -> Self {
+        self.hello_timeout = d;
+        self
+    }
+
+    /// Overrides the redial retry budget.
+    pub fn retry_budget(mut self, n: u32) -> Self {
+        self.retry_budget = n;
+        self
+    }
+
+    /// Overrides the redial backoff base.
+    pub fn backoff_base(mut self, d: Duration) -> Self {
+        self.backoff_base = d;
+        self
+    }
+
+    /// Overrides the acceptor-side reconnect grace window.
+    pub fn reconnect_grace(mut self, d: Duration) -> Self {
+        self.reconnect_grace = d;
+        self
+    }
+
+    /// Enables deterministic link-chaos injection.
+    pub fn link_fault(mut self, f: LinkFault) -> Self {
+        self.link_fault = Some(f);
+        self
+    }
+
+    fn effective_accept_timeout(&self) -> Duration {
+        self.accept_timeout.unwrap_or(self.connect_timeout)
+    }
+
+    /// Rejects zero or absurd values with a typed error before any
+    /// socket is opened. An hour-plus timeout or a 64+ redial budget is
+    /// a config bug, not a deployment choice.
+    pub fn validate(&self) -> std::result::Result<(), SocketError> {
+        const HOUR: Duration = Duration::from_secs(3600);
+        let bad = |what: String| Err(SocketError::InvalidConfig { what });
+        if self.connect_timeout.is_zero() || self.connect_timeout > HOUR {
+            return bad(format!("connect_timeout {:?}", self.connect_timeout));
+        }
+        if let Some(a) = self.accept_timeout {
+            if a.is_zero() || a > HOUR {
+                return bad(format!("accept_timeout {a:?}"));
+            }
+        }
+        if self.hello_timeout.is_zero() || self.hello_timeout > HOUR {
+            return bad(format!("hello_timeout {:?}", self.hello_timeout));
+        }
+        if self.retry_budget == 0 || self.retry_budget > 64 {
+            return bad(format!("retry_budget {}", self.retry_budget));
+        }
+        if self.backoff_base.is_zero() || self.backoff_base > Duration::from_secs(60) {
+            return bad(format!("backoff_base {:?}", self.backoff_base));
+        }
+        if self.reconnect_grace.is_zero() || self.reconnect_grace > HOUR {
+            return bad(format!("reconnect_grace {:?}", self.reconnect_grace));
+        }
+        if let Some(f) = self.link_fault {
+            if f.sever_after_frames == 0 {
+                return bad("link_fault.sever_after_frames 0".to_string());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -228,6 +370,8 @@ pub enum SocketError {
     },
     /// The topology description itself is invalid.
     BadTopology { what: String },
+    /// A `SocketConfig` field is zero or absurd.
+    InvalidConfig { what: String },
 }
 
 impl std::fmt::Display for SocketError {
@@ -246,6 +390,9 @@ impl std::fmt::Display for SocketError {
             }
             SocketError::Io { during, detail } => write!(f, "socket i/o during {during}: {detail}"),
             SocketError::BadTopology { what } => write!(f, "bad multiproc topology: {what}"),
+            SocketError::InvalidConfig { what } => {
+                write!(f, "invalid socket config: {what}")
+            }
         }
     }
 }
@@ -301,7 +448,7 @@ impl From<LaunchError> for MultiprocError {
 // ---------------------------------------------------------------------
 
 const MAGIC: u32 = 0x4F50_4D52; // "OPMR"
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 const K_HELLO: u8 = 1;
 const K_ENVELOPE: u8 = 2;
@@ -309,6 +456,16 @@ const K_RANK_DONE: u8 = 3;
 const K_SHUTDOWN: u8 = 4;
 const K_PROC_DONE: u8 = 5;
 const K_ROSTER: u8 = 6;
+const K_ACK: u8 = 7;
+const K_RECONN: u8 = 8;
+const K_RECONN_OK: u8 = 9;
+const K_RECONN_NAK: u8 = 10;
+
+/// `K_RECONN_NAK` reason codes.
+const NAK_STALE_EPOCH: u8 = 1;
+const NAK_UNKNOWN_LINK: u8 = 2;
+const NAK_LINK_LOST: u8 = 3;
+const NAK_BUSY: u8 = 4;
 
 fn ctx_to_u8(c: Context) -> u8 {
     match c {
@@ -330,7 +487,7 @@ fn ctx_from_u8(b: u8) -> Option<Context> {
 /// `[kind][ctx u8][tag i32][comm u64][src_local u32][src_world u32][dst u32][payload]`
 fn encode_envelope(dst_world: usize, env: &Envelope) -> Vec<u8> {
     let h = &env.header;
-    let mut out = Vec::with_capacity(22 + env.payload.len());
+    let mut out = Vec::with_capacity(26 + env.payload.len());
     out.push(K_ENVELOPE);
     out.push(ctx_to_u8(h.ctx));
     out.extend_from_slice(&h.tag.to_le_bytes());
@@ -415,8 +572,10 @@ fn decode_hello(p: &Bytes, expect_hash: u64) -> std::result::Result<(usize, Stri
     Ok((proc, addr))
 }
 
-fn encode_roster(addrs: &[String]) -> Vec<u8> {
+/// `[kind][epoch u64][n u16]([len u16][addr bytes])*`
+fn encode_roster(epoch: u64, addrs: &[String]) -> Vec<u8> {
     let mut out = vec![K_ROSTER];
+    out.extend_from_slice(&epoch.to_le_bytes());
     out.extend_from_slice(&(addrs.len() as u16).to_le_bytes());
     for a in addrs {
         out.extend_from_slice(&(a.len() as u16).to_le_bytes());
@@ -425,20 +584,95 @@ fn encode_roster(addrs: &[String]) -> Vec<u8> {
     out
 }
 
-fn decode_roster(p: &Bytes) -> Option<Vec<String>> {
+fn decode_roster(p: &Bytes) -> Option<(u64, Vec<String>)> {
     if p.first() != Some(&K_ROSTER) {
         return None;
     }
-    let n = u16::from_le_bytes(p.get(1..3)?.try_into().ok()?) as usize;
+    let epoch = u64::from_le_bytes(p.get(1..9)?.try_into().ok()?);
+    let n = u16::from_le_bytes(p.get(9..11)?.try_into().ok()?) as usize;
     let mut addrs = Vec::with_capacity(n);
-    let mut off = 3usize;
+    let mut off = 11usize;
     for _ in 0..n {
         let len = u16::from_le_bytes(p.get(off..off + 2)?.try_into().ok()?) as usize;
         off += 2;
         addrs.push(String::from_utf8_lossy(p.get(off..off + len)?).into_owned());
         off += len;
     }
-    Some(addrs)
+    Some((epoch, addrs))
+}
+
+/// `[kind][magic u32][version u16][proc u16][epoch u64][rx_seq u64]`:
+/// a redialing peer presents the session epoch and how many data frames
+/// it has received on the link so far.
+fn encode_reconn(proc_index: usize, epoch: u64, rx_seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(25);
+    out.push(K_RECONN);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(proc_index as u16).to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&rx_seq.to_le_bytes());
+    out
+}
+
+/// Returns `(proc_index, epoch, rx_seq)` or a description of the defect.
+fn decode_reconn(p: &Bytes) -> std::result::Result<(usize, u64, u64), String> {
+    if p.first() != Some(&K_RECONN) {
+        return Err(format!("not a reconnect frame (kind {:?})", p.first()));
+    }
+    let magic = p
+        .get(1..5)
+        .and_then(|b| b.try_into().ok())
+        .map(u32::from_le_bytes);
+    if magic != Some(MAGIC) {
+        return Err("bad protocol magic".to_string());
+    }
+    let version = p
+        .get(5..7)
+        .and_then(|b| b.try_into().ok())
+        .map(u16::from_le_bytes);
+    if version != Some(VERSION) {
+        return Err(format!("unsupported protocol version {version:?}"));
+    }
+    let proc = p
+        .get(7..9)
+        .and_then(|b| b.try_into().ok())
+        .map(u16::from_le_bytes)
+        .ok_or("truncated reconnect frame")? as usize;
+    let epoch = p
+        .get(9..17)
+        .and_then(|b| b.try_into().ok())
+        .map(u64::from_le_bytes)
+        .ok_or("truncated reconnect frame")?;
+    let rx = p
+        .get(17..25)
+        .and_then(|b| b.try_into().ok())
+        .map(u64::from_le_bytes)
+        .ok_or("truncated reconnect frame")?;
+    Ok((proc, epoch, rx))
+}
+
+/// `[kind][rx_seq u64]`: the acceptor's received-frame count.
+fn encode_reconn_ok(rx_seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(K_RECONN_OK);
+    out.extend_from_slice(&rx_seq.to_le_bytes());
+    out
+}
+
+fn decode_reconn_ok(p: &Bytes) -> Option<u64> {
+    if p.first() != Some(&K_RECONN_OK) {
+        return None;
+    }
+    Some(u64::from_le_bytes(p.get(1..9)?.try_into().ok()?))
+}
+
+/// `[kind][rx_seq u64]`: cumulative data frames received on this link.
+fn encode_ack(rx_seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(K_ACK);
+    out.extend_from_slice(&rx_seq.to_le_bytes());
+    out
 }
 
 /// Deterministic hash of the topology every process must agree on.
@@ -454,6 +688,26 @@ fn topology_hash(num_procs: usize, rank_owner: &[usize]) -> u64 {
         mix(o as u64);
     }
     h
+}
+
+/// A fresh session epoch, unique enough to reject a redial from a stale
+/// job that found the same endpoint: wall-clock nanoseconds mixed with
+/// the coordinator's pid.
+fn session_epoch() -> u64 {
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED_5EED);
+    let mut h = nanos ^ ((std::process::id() as u64) << 32);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    // Epoch 0 is reserved as "no session" so a zeroed frame never matches.
+    if h == 0 {
+        1
+    } else {
+        h
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -581,27 +835,36 @@ fn bind(endpoint: &Endpoint) -> std::result::Result<(SockListener, String), Sock
     }
 }
 
+/// One connect attempt, no retry loop (redials supply their own backoff).
+fn dial_once(addr: &str) -> std::result::Result<SockStream, SocketError> {
+    let attempt = if let Some(a) = addr.strip_prefix("tcp:") {
+        TcpStream::connect(a).map(|s| {
+            let _ = s.set_nodelay(true);
+            SockStream::Tcp(s)
+        })
+    } else if let Some(p) = addr.strip_prefix("unix:") {
+        UnixStream::connect(p).map(SockStream::Unix)
+    } else {
+        return Err(SocketError::Handshake {
+            addr: addr.to_string(),
+            what: "unparseable peer address in roster".to_string(),
+        });
+    };
+    attempt.map_err(|e| SocketError::Io {
+        during: "dial",
+        detail: e.to_string(),
+    })
+}
+
 fn dial(
     addr: &str,
     deadline: Instant,
     waited: Duration,
 ) -> std::result::Result<SockStream, SocketError> {
     loop {
-        let attempt = if let Some(a) = addr.strip_prefix("tcp:") {
-            TcpStream::connect(a).map(|s| {
-                let _ = s.set_nodelay(true);
-                SockStream::Tcp(s)
-            })
-        } else if let Some(p) = addr.strip_prefix("unix:") {
-            UnixStream::connect(p).map(SockStream::Unix)
-        } else {
-            return Err(SocketError::Handshake {
-                addr: addr.to_string(),
-                what: "unparseable peer address in roster".to_string(),
-            });
-        };
-        match attempt {
+        match dial_once(addr) {
             Ok(s) => return Ok(s),
+            Err(e @ SocketError::Handshake { .. }) => return Err(e),
             Err(_) if Instant::now() < deadline => {
                 std::thread::sleep(Duration::from_millis(5));
             }
@@ -681,10 +944,6 @@ fn write_frame(stream: &mut SockStream, payload: &[u8]) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Per-connection budget for reading one peer's Hello: bounded separately
-/// so a stalled rogue connection cannot eat the whole handshake budget.
-const HELLO_BUDGET: Duration = Duration::from_secs(2);
-
 /// One fully-handshaken connection plus bytes over-read past the
 /// handshake frames (they belong to the data plane).
 struct PeerConn {
@@ -693,21 +952,33 @@ struct PeerConn {
     residual: FrameBuf,
 }
 
-/// Establishes the full mesh for this process. Returns one connection per
-/// remote process.
+/// Everything `connect_mesh` produces: the per-peer connections, the
+/// retained listener (redials land on it for the rest of the session),
+/// the advertised address of every process and the session epoch.
+struct Mesh {
+    conns: Vec<PeerConn>,
+    listener: SockListener,
+    roster: Vec<String>,
+    epoch: u64,
+}
+
+/// Establishes the full mesh for this process.
 fn connect_mesh(
     topo: &MultiprocTopology,
     topo_hash: u64,
-) -> std::result::Result<Vec<PeerConn>, SocketError> {
+) -> std::result::Result<Mesh, SocketError> {
     let n = topo.num_procs;
     let me = topo.proc_index;
-    let deadline = Instant::now() + topo.socket.connect_timeout;
+    let hello_budget = topo.socket.hello_timeout;
+    let accept_deadline = Instant::now() + topo.socket.effective_accept_timeout();
+    let dial_deadline = Instant::now() + topo.socket.connect_timeout;
     let mut conns: Vec<PeerConn> = Vec::with_capacity(n.saturating_sub(1));
 
     let (listener, my_addr) = bind(&listen_endpoint(&topo.socket.endpoint, me))?;
 
     if me == 0 {
         // Coordinator: collect n-1 Hellos, then broadcast the roster.
+        let epoch = session_epoch();
         let mut addrs: Vec<Option<String>> = vec![None; n];
         addrs[0] = Some(my_addr);
         listener
@@ -719,9 +990,9 @@ fn connect_mesh(
         while conns.len() < n - 1 {
             match listener.accept() {
                 Ok(mut s) => {
-                    let _ = s.set_read_timeout(Some(HELLO_BUDGET));
+                    let _ = s.set_read_timeout(Some(hello_budget));
                     let mut fb = FrameBuf::new();
-                    let hello_deadline = deadline.min(Instant::now() + HELLO_BUDGET);
+                    let hello_deadline = accept_deadline.min(Instant::now() + hello_budget);
                     let hello = read_one_frame(&mut s, &mut fb, hello_deadline, "incoming")
                         .map_err(|e| e.to_string())
                         .and_then(|p| decode_hello(&p, topo_hash));
@@ -752,10 +1023,10 @@ fn connect_mesh(
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if Instant::now() >= deadline {
+                    if Instant::now() >= accept_deadline {
                         obs::m().connect_timeouts.inc();
                         return Err(SocketError::AcceptTimeout {
-                            waited_ms: topo.socket.connect_timeout.as_millis() as u64,
+                            waited_ms: topo.socket.effective_accept_timeout().as_millis() as u64,
                             missing: (n - 1) - conns.len(),
                         });
                     }
@@ -771,14 +1042,19 @@ fn connect_mesh(
             }
         }
         let roster: Vec<String> = addrs.into_iter().map(Option::unwrap_or_default).collect();
-        let payload = encode_roster(&roster);
+        let payload = encode_roster(epoch, &roster);
         for c in &mut conns {
             write_frame(&mut c.stream, &payload).map_err(|e| SocketError::Io {
                 during: "roster broadcast",
                 detail: e.to_string(),
             })?;
         }
-        return Ok(conns);
+        return Ok(Mesh {
+            conns,
+            listener,
+            roster,
+            epoch,
+        });
     }
 
     // Non-coordinator: dial the coordinator, learn the roster, dial every
@@ -787,7 +1063,7 @@ fn connect_mesh(
         Endpoint::Tcp(a) => format!("tcp:{a}"),
         Endpoint::Unix(p) => format!("unix:{}", p.display()),
     };
-    let mut coord = dial(&coord_addr, deadline, topo.socket.connect_timeout)?;
+    let mut coord = dial(&coord_addr, dial_deadline, topo.socket.connect_timeout)?;
     write_frame(&mut coord, &encode_hello(me, topo_hash, &my_addr)).map_err(|e| {
         SocketError::Io {
             during: "hello send",
@@ -795,8 +1071,8 @@ fn connect_mesh(
         }
     })?;
     let mut coord_fb = FrameBuf::new();
-    let roster_frame = read_one_frame(&mut coord, &mut coord_fb, deadline, &coord_addr)?;
-    let roster = decode_roster(&roster_frame).ok_or_else(|| SocketError::Handshake {
+    let roster_frame = read_one_frame(&mut coord, &mut coord_fb, dial_deadline, &coord_addr)?;
+    let (epoch, roster) = decode_roster(&roster_frame).ok_or_else(|| SocketError::Handshake {
         addr: coord_addr.clone(),
         what: "coordinator sent an invalid roster".to_string(),
     })?;
@@ -813,7 +1089,7 @@ fn connect_mesh(
     });
 
     for (j, addr) in roster.iter().enumerate().take(me).skip(1) {
-        let mut s = dial(addr, deadline, topo.socket.connect_timeout)?;
+        let mut s = dial(addr, dial_deadline, topo.socket.connect_timeout)?;
         write_frame(&mut s, &encode_hello(me, topo_hash, "")).map_err(|e| SocketError::Io {
             during: "hello send",
             detail: e.to_string(),
@@ -837,9 +1113,9 @@ fn connect_mesh(
         while accepted < expected_accepts {
             match listener.accept() {
                 Ok(mut s) => {
-                    let _ = s.set_read_timeout(Some(HELLO_BUDGET));
+                    let _ = s.set_read_timeout(Some(hello_budget));
                     let mut fb = FrameBuf::new();
-                    let hello_deadline = deadline.min(Instant::now() + HELLO_BUDGET);
+                    let hello_deadline = accept_deadline.min(Instant::now() + hello_budget);
                     let hello = read_one_frame(&mut s, &mut fb, hello_deadline, "incoming")
                         .map_err(|e| e.to_string())
                         .and_then(|p| decode_hello(&p, topo_hash));
@@ -859,10 +1135,10 @@ fn connect_mesh(
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if Instant::now() >= deadline {
+                    if Instant::now() >= accept_deadline {
                         obs::m().connect_timeouts.inc();
                         return Err(SocketError::AcceptTimeout {
-                            waited_ms: topo.socket.connect_timeout.as_millis() as u64,
+                            waited_ms: topo.socket.effective_accept_timeout().as_millis() as u64,
                             missing: expected_accepts - accepted,
                         });
                     }
@@ -879,20 +1155,144 @@ fn connect_mesh(
         }
     }
 
-    Ok(conns)
+    Ok(Mesh {
+        conns,
+        listener,
+        roster,
+        epoch,
+    })
 }
 
 // ---------------------------------------------------------------------
 // The transport itself.
 // ---------------------------------------------------------------------
 
-struct Peer {
-    /// Write half; `None` once the peer is lost or torn down.
-    writer: Mutex<Option<SockStream>>,
+/// How many received data frames between acknowledgements. Bounds the
+/// sender's retransmit buffer to roughly this many frames plus whatever
+/// is in flight.
+const ACK_INTERVAL: u64 = 32;
+
+/// Per-link state guarded by one mutex: the write half, the retransmit
+/// buffer and the stream-generation bookkeeping the reconnect protocol
+/// needs.
+struct LinkState {
+    /// Write half; `None` while the link is down or after loss.
+    writer: Option<SockStream>,
+    /// Data frames appended to this link (sent or buffered).
+    tx_seq: u64,
+    /// Sequence number of the front of `tx_buf` (last acked frame count).
+    tx_base: u64,
+    /// Unacknowledged data-frame payloads, sequences `tx_base..tx_seq`.
+    tx_buf: VecDeque<Vec<u8>>,
+    /// Stream generation: bumped every time a new stream is installed.
+    /// A reader thread carries the generation it was spawned for, so a
+    /// stale reader's exit cannot tear down its successor.
+    generation: u64,
+    /// Highest generation whose reader thread has fully drained and
+    /// exited. A redial is answered only once the current generation's
+    /// reader settled, so `rx_seq` is final.
+    settled_gen: u64,
+    /// A recovery (redial or grace watchdog) is in flight.
+    recovering: bool,
+    /// Chaos: this side already severed the link once.
+    severed: bool,
+}
+
+struct Link {
+    proc: usize,
+    state: Mutex<LinkState>,
+    /// Signalled on every state transition (stream installed, reader
+    /// settled, link lost).
+    cv: Condvar,
+    /// Data frames received on this link, written by the reader thread.
+    rx_seq: AtomicU64,
     /// The peer announced clean completion (`ProcDone`).
     done: AtomicBool,
-    /// The connection dropped without `ProcDone`.
+    /// The link degraded permanently (retry budget / grace exhausted).
     lost: AtomicBool,
+}
+
+impl Link {
+    fn new(proc: usize) -> Self {
+        Link {
+            proc,
+            state: Mutex::new(LinkState {
+                writer: None,
+                tx_seq: 0,
+                tx_base: 0,
+                tx_buf: VecDeque::new(),
+                generation: 0,
+                settled_gen: 0,
+                recovering: false,
+                severed: false,
+            }),
+            cv: Condvar::new(),
+            rx_seq: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            lost: AtomicBool::new(false),
+        }
+    }
+}
+
+/// The mesh handshake runs concurrently with partition startup; remote
+/// operations block on this gate until the mesh is up (or failed).
+enum MeshState {
+    Pending,
+    Ready,
+    Failed(SocketError),
+}
+
+struct MeshGate {
+    state: Mutex<MeshState>,
+    cv: Condvar,
+}
+
+impl MeshGate {
+    fn new() -> Self {
+        MeshGate {
+            state: Mutex::new(MeshState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the mesh resolved; `true` iff it came up.
+    fn wait_ready(&self) -> bool {
+        let mut g = self.state.lock();
+        while matches!(*g, MeshState::Pending) {
+            self.cv.wait(&mut g);
+        }
+        matches!(*g, MeshState::Ready)
+    }
+
+    fn set_ready(&self) {
+        *self.state.lock() = MeshState::Ready;
+        self.cv.notify_all();
+    }
+
+    fn set_failed(&self, e: SocketError) {
+        let mut g = self.state.lock();
+        if matches!(*g, MeshState::Pending) {
+            *g = MeshState::Failed(e);
+        }
+        self.cv.notify_all();
+    }
+
+    fn take_error(&self) -> Option<SocketError> {
+        match &*self.state.lock() {
+            MeshState::Failed(e) => Some(e.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// Reconnect policy snapshot taken from [`SocketConfig`] at launch.
+#[derive(Clone)]
+struct LinkPolicy {
+    retry_budget: u32,
+    backoff_base: Duration,
+    reconnect_grace: Duration,
+    hello_timeout: Duration,
+    link_fault: Option<LinkFault>,
 }
 
 struct Teardown {
@@ -901,21 +1301,33 @@ struct Teardown {
 }
 
 /// Socket-backed [`Transport`]: local ranks use in-process mailboxes,
-/// remote ranks are reached over framed byte streams.
+/// remote ranks are reached over framed byte streams with per-link
+/// reconnect/retransmit recovery.
 pub struct SocketTransport {
     /// `Some(mailbox)` for ranks hosted in this process.
     mailboxes: Vec<Option<Arc<Mailbox>>>,
     /// Liveness of *every* rank; remote flags flip on `RankDone` frames
-    /// or on peer disconnect.
+    /// or on permanent peer loss.
     alive: Vec<AtomicBool>,
     /// Owning process of every world rank.
     rank_owner: Vec<usize>,
-    /// Slot per process; set once during `start`, before any rank runs.
-    peers: Vec<OnceLock<Arc<Peer>>>,
-    reader_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// This process's index.
+    proc_index: usize,
+    /// Slot per process; set once during `start`, before the gate opens.
+    links: Vec<OnceLock<Arc<Link>>>,
+    /// Reader + recovery + acceptor thread handles, joined at finalize.
+    thread_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     shutdown_sent: AtomicBool,
     teardown: Teardown,
     drain_budget: Duration,
+    policy: LinkPolicy,
+    gate: MeshGate,
+    /// Session epoch + advertised address of every process; set by
+    /// `start` together with the links.
+    session: OnceLock<(u64, Vec<String>)>,
+    /// Finalize has begun: recovery threads stand down, the acceptor
+    /// loop exits.
+    closing: AtomicBool,
 }
 
 impl SocketTransport {
@@ -924,6 +1336,7 @@ impl SocketTransport {
         rank_owner: Vec<usize>,
         num_procs: usize,
         drain_budget: Duration,
+        policy: LinkPolicy,
     ) -> Arc<Self> {
         let mailboxes = rank_owner
             .iter()
@@ -934,83 +1347,211 @@ impl SocketTransport {
             mailboxes,
             alive,
             rank_owner,
-            peers: (0..num_procs).map(|_| OnceLock::new()).collect(),
-            reader_handles: Mutex::new(Vec::new()),
+            proc_index,
+            links: (0..num_procs).map(|_| OnceLock::new()).collect(),
+            thread_handles: Mutex::new(Vec::new()),
             shutdown_sent: AtomicBool::new(false),
             teardown: Teardown {
                 state: Mutex::new(()),
                 cv: Condvar::new(),
             },
             drain_budget,
+            policy,
+            gate: MeshGate::new(),
+            session: OnceLock::new(),
+            closing: AtomicBool::new(false),
         })
     }
 
-    /// Installs the handshaken connections and spawns one reader thread
-    /// per peer. Called exactly once, before any rank starts.
-    fn start(self: &Arc<Self>, conns: Vec<PeerConn>) {
-        let mut handles = Vec::new();
-        for conn in conns {
-            let writer = match conn.stream.try_clone() {
-                Ok(w) => w,
-                Err(_) => {
-                    // Cloning the descriptor failed: the peer is
-                    // unreachable for writes from the start.
-                    self.note_peer_lost(conn.proc);
-                    continue;
-                }
-            };
-            let peer = Arc::new(Peer {
-                writer: Mutex::new(Some(writer)),
-                done: AtomicBool::new(false),
-                lost: AtomicBool::new(false),
-            });
-            if let Some(slot) = self.peers.get(conn.proc) {
-                let _ = slot.set(peer);
+    /// Installs the handshaken connections, spawns one reader thread per
+    /// peer plus the redial acceptor, and opens the mesh gate. Called
+    /// exactly once, from the mesh thread.
+    fn start(self: &Arc<Self>, mesh: Mesh) {
+        let _ = self.session.set((mesh.epoch, mesh.roster));
+        for conn in mesh.conns {
+            let link = Arc::new(Link::new(conn.proc));
+            if let Some(slot) = self.links.get(conn.proc) {
+                let _ = slot.set(Arc::clone(&link));
             }
-            let proc = conn.proc;
-            let (stream, residual) = (conn.stream, conn.residual);
-            let reader_this = Arc::clone(self);
-            let h = std::thread::Builder::new()
-                .name(format!("sock-rx-p{proc}"))
-                .spawn(move || reader_this.reader_loop(proc, stream, residual));
-            if let Ok(h) = h {
-                handles.push(h);
-            } else {
-                self.note_peer_lost(proc);
+            let gen = {
+                let mut st = link.state.lock();
+                st.generation += 1;
+                match conn.stream.try_clone() {
+                    Ok(w) => st.writer = Some(w),
+                    Err(_) => {
+                        // Cloning the descriptor failed: the peer is
+                        // unreachable for writes from the start.
+                        drop(st);
+                        self.finish_lost(&link);
+                        continue;
+                    }
+                }
+                st.generation
+            };
+            self.spawn_reader(conn.proc, conn.stream, conn.residual, gen);
+        }
+        self.spawn_acceptor(mesh.listener);
+        self.gate.set_ready();
+    }
+
+    /// The mesh never came up: fail the gate, release local ranks and
+    /// mark every remote rank dead so nothing blocks forever.
+    fn mesh_failed(&self, e: SocketError) {
+        self.gate.set_failed(e);
+        for (r, &o) in self.rank_owner.iter().enumerate() {
+            if o != self.proc_index {
+                self.alive[r].store(false, Ordering::Release);
             }
         }
-        self.reader_handles.lock().extend(handles);
+        self.shutdown_local();
+        let _g = self.teardown.state.lock();
+        self.teardown.cv.notify_all();
     }
 
-    fn peer(&self, proc: usize) -> Option<&Arc<Peer>> {
-        self.peers.get(proc).and_then(|slot| slot.get())
+    fn link(&self, proc: usize) -> Option<&Arc<Link>> {
+        self.links.get(proc).and_then(|slot| slot.get())
     }
 
-    fn all_peers(&self) -> impl Iterator<Item = &Arc<Peer>> {
-        self.peers.iter().filter_map(|slot| slot.get())
+    fn all_links(&self) -> impl Iterator<Item = &Arc<Link>> {
+        self.links.iter().filter_map(|slot| slot.get())
+    }
+
+    fn spawn_reader(self: &Arc<Self>, proc: usize, stream: SockStream, fb: FrameBuf, gen: u64) {
+        let this = Arc::clone(self);
+        let h = std::thread::Builder::new()
+            .name(format!("sock-rx-p{proc}"))
+            .spawn(move || this.reader_loop(proc, stream, fb, gen));
+        match h {
+            Ok(h) => self.thread_handles.lock().push(h),
+            Err(_) => {
+                if let Some(link) = self.link(proc) {
+                    let link = Arc::clone(link);
+                    {
+                        let mut st = link.state.lock();
+                        st.settled_gen = st.settled_gen.max(gen);
+                    }
+                    self.finish_lost(&link);
+                }
+            }
+        }
+    }
+
+    /// Sends one *data* frame on a link: sequenced, buffered for
+    /// retransmission, written through if the stream is up — silently
+    /// queued while a reconnect is in flight.
+    fn send_data(&self, link: &Arc<Link>, payload: &[u8]) -> std::result::Result<(), ()> {
+        if link.lost.load(Ordering::Acquire) {
+            return Err(());
+        }
+        let mut st = link.state.lock();
+        st.tx_seq += 1;
+        st.tx_buf.push_back(payload.to_vec());
+        if st.writer.is_some() {
+            let severed_now = self.chaos_should_sever(link.proc, &mut st);
+            let write_failed = match st.writer.as_mut() {
+                Some(w) => write_frame(w, payload).is_err(),
+                None => false,
+            };
+            if write_failed || severed_now {
+                // Shut the stream down and let the reader thread drive
+                // recovery once it has drained everything in flight.
+                if let Some(w) = st.writer.take() {
+                    w.shutdown_both();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Chaos hook, send side: the lower-indexed side of each link severs
+    /// it once after the configured number of sent data frames.
+    fn chaos_should_sever(&self, peer_proc: usize, st: &mut LinkState) -> bool {
+        let Some(fault) = self.policy.link_fault else {
+            return false;
+        };
+        if self.proc_index > peer_proc || st.severed || st.tx_seq < fault.sever_after_frames {
+            return false;
+        }
+        st.severed = true;
+        obs::m().chaos_severs.inc();
+        true
+    }
+
+    /// Chaos hook, receive side: a link's heavy direction may be inbound
+    /// (the analyzer process mostly receives), so the lower-indexed side
+    /// also severs once after *receiving* the configured number of data
+    /// frames. Shares the once-per-link `severed` flag with the send
+    /// hook.
+    fn chaos_maybe_sever_rx(&self, link: &Arc<Link>) {
+        let Some(fault) = self.policy.link_fault else {
+            return;
+        };
+        if self.proc_index > link.proc
+            || link.rx_seq.load(Ordering::Acquire) < fault.sever_after_frames
+        {
+            return;
+        }
+        let mut st = link.state.lock();
+        if st.severed {
+            return;
+        }
+        st.severed = true;
+        obs::m().chaos_severs.inc();
+        // Shutting the socket down makes both readers see EOF; the
+        // normal recovery path (grace watchdog here, redial on the
+        // peer) takes it from there.
+        if let Some(w) = st.writer.take() {
+            w.shutdown_both();
+        }
+    }
+
+    /// Sends one *link* frame (ack / reconnect control): unsequenced,
+    /// never buffered, errors ignored (the reader notices real loss).
+    fn send_link_frame(&self, link: &Arc<Link>, payload: &[u8]) {
+        let mut st = link.state.lock();
+        if let Some(w) = st.writer.as_mut() {
+            if write_frame(w, payload).is_err() {
+                if let Some(w) = st.writer.take() {
+                    w.shutdown_both();
+                }
+            }
+        }
     }
 
     fn broadcast(&self, payload: &[u8]) {
-        for peer in self.all_peers() {
-            let mut g = peer.writer.lock();
-            if let Some(w) = g.as_mut() {
-                if write_frame(w, payload).is_err() {
-                    *g = None;
-                }
-            }
+        for link in self.all_links() {
+            let _ = self.send_data(link, payload);
         }
     }
 
-    fn note_peer_lost(&self, proc: usize) {
-        if let Some(peer) = self.peer(proc) {
-            if peer.lost.swap(true, Ordering::AcqRel) {
-                return;
+    /// Prunes the retransmit buffer up to the peer's acknowledged count.
+    fn prune_acked(&self, link: &Arc<Link>, acked: u64) {
+        let mut st = link.state.lock();
+        while st.tx_base < acked {
+            if st.tx_buf.pop_front().is_none() {
+                break;
             }
-            obs::m().peer_disconnects.inc();
-            *peer.writer.lock() = None;
+            st.tx_base += 1;
         }
+    }
+
+    /// Permanent link loss: flips rank liveness, ticks the disconnect
+    /// counter exactly once, wakes everything waiting on the link.
+    fn finish_lost(&self, link: &Arc<Link>) {
+        if link.lost.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        obs::m().peer_disconnects.inc();
+        {
+            let mut st = link.state.lock();
+            if let Some(w) = st.writer.take() {
+                w.shutdown_both();
+            }
+            st.recovering = false;
+        }
+        link.cv.notify_all();
         for (r, &o) in self.rank_owner.iter().enumerate() {
-            if o == proc {
+            if o == link.proc {
                 self.alive[r].store(false, Ordering::Release);
             }
         }
@@ -1056,8 +1597,8 @@ impl SocketTransport {
                 true
             }
             Some(K_PROC_DONE) => {
-                if let Some(peer) = self.peer(proc) {
-                    peer.done.store(true, Ordering::Release);
+                if let Some(link) = self.link(proc) {
+                    link.done.store(true, Ordering::Release);
                 }
                 let _g = self.teardown.state.lock();
                 self.teardown.cv.notify_all();
@@ -1069,16 +1610,50 @@ impl SocketTransport {
         }
     }
 
-    fn reader_loop(self: Arc<Self>, proc: usize, mut stream: SockStream, mut fb: FrameBuf) {
+    fn reader_loop(
+        self: Arc<Self>,
+        proc: usize,
+        mut stream: SockStream,
+        mut fb: FrameBuf,
+        gen: u64,
+    ) {
         let _ = stream.set_read_timeout(None);
         let mut buf = vec![0u8; 64 * 1024];
+        let link = self.link(proc).map(Arc::clone);
+        let mut unacked: u64 = 0;
         let clean = 'conn: loop {
             loop {
                 match fb.next_frame() {
                     Ok(Some(p)) => {
                         obs::m().frames_received.inc();
-                        if !self.handle_frame(proc, &p) {
-                            break 'conn false;
+                        match p.first().copied() {
+                            Some(K_ACK) => {
+                                if let (Some(link), Some(acked)) = (
+                                    link.as_ref(),
+                                    p.get(1..9)
+                                        .and_then(|b| b.try_into().ok())
+                                        .map(u64::from_le_bytes),
+                                ) {
+                                    self.prune_acked(link, acked);
+                                }
+                            }
+                            Some(K_ENVELOPE) | Some(K_RANK_DONE) | Some(K_SHUTDOWN)
+                            | Some(K_PROC_DONE) => {
+                                if let Some(link) = link.as_ref() {
+                                    link.rx_seq.fetch_add(1, Ordering::AcqRel);
+                                    unacked += 1;
+                                    if unacked >= ACK_INTERVAL {
+                                        unacked = 0;
+                                        let rx = link.rx_seq.load(Ordering::Acquire);
+                                        self.send_link_frame(link, &encode_ack(rx));
+                                    }
+                                    self.chaos_maybe_sever_rx(link);
+                                }
+                                if !self.handle_frame(proc, &p) {
+                                    break 'conn false;
+                                }
+                            }
+                            _ => break 'conn false,
                         }
                     }
                     Ok(None) => break,
@@ -1097,21 +1672,313 @@ impl SocketTransport {
                 Err(_) => break 'conn true,
             }
         };
-        let peer_done = self
-            .peer(proc)
-            .is_some_and(|p| p.done.load(Ordering::Acquire));
-        if !(clean && peer_done) {
-            // EOF/garbage without ProcDone: the peer crashed or went
-            // off-protocol mid-stream.
-            self.note_peer_lost(proc);
+        self.reader_exited(proc, gen, clean);
+    }
+
+    /// Classifies a reader thread's exit: clean completion, stale
+    /// generation, teardown — or a mid-session drop that starts the
+    /// reconnect protocol for the link.
+    fn reader_exited(self: &Arc<Self>, proc: usize, gen: u64, clean: bool) {
+        let Some(link) = self.link(proc).map(Arc::clone) else {
+            return;
+        };
+        let start_recovery = {
+            let mut st = link.state.lock();
+            st.settled_gen = st.settled_gen.max(gen);
+            link.cv.notify_all();
+            let peer_done = link.done.load(Ordering::Acquire);
+            let stale = gen != st.generation;
+            let off_protocol = !clean;
+            if stale || link.lost.load(Ordering::Acquire) || st.recovering {
+                false
+            } else if peer_done && !off_protocol {
+                // Normal close after ProcDone: nothing to recover.
+                false
+            } else if self.closing.load(Ordering::Acquire) {
+                // Our own finalize shut the streams down.
+                false
+            } else if peer_done && off_protocol {
+                // Garbage after a clean ProcDone: data is complete, the
+                // peer is settled either way.
+                false
+            } else {
+                // EOF/garbage without ProcDone: the stream dropped
+                // mid-session. Take the link down and recover.
+                if let Some(w) = st.writer.take() {
+                    w.shutdown_both();
+                }
+                st.recovering = true;
+                true
+            }
+        };
+        if !start_recovery {
+            let _g = self.teardown.state.lock();
+            self.teardown.cv.notify_all();
+            return;
         }
-        let _g = self.teardown.state.lock();
-        self.teardown.cv.notify_all();
+        let this = Arc::clone(self);
+        let l = Arc::clone(&link);
+        let name = format!("sock-rec-p{proc}");
+        let spawned = std::thread::Builder::new().name(name).spawn(move || {
+            if this.proc_index > l.proc {
+                this.redial_loop(&l);
+            } else {
+                this.grace_watchdog(&l);
+            }
+        });
+        match spawned {
+            Ok(h) => self.thread_handles.lock().push(h),
+            Err(_) => self.finish_lost(&link),
+        }
+    }
+
+    /// Dialer-side recovery: bounded exponential-backoff redials of the
+    /// peer's retained listener.
+    fn redial_loop(self: &Arc<Self>, link: &Arc<Link>) {
+        let mut backoff = self.policy.backoff_base;
+        for attempt in 0..self.policy.retry_budget {
+            if self.closing.load(Ordering::Acquire) || link.lost.load(Ordering::Acquire) {
+                return;
+            }
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            obs::m().reconnect_attempts.inc();
+            match self.redial_once(link) {
+                Ok(()) => {
+                    obs::m().reconnects.inc();
+                    return;
+                }
+                Err(fatal) if fatal => break,
+                Err(_) => {}
+            }
+        }
+        obs::m().reconnect_exhausted.inc();
+        self.finish_lost(link);
+    }
+
+    /// One redial attempt. `Err(true)` is fatal (stale epoch / lost),
+    /// `Err(false)` is retryable.
+    fn redial_once(self: &Arc<Self>, link: &Arc<Link>) -> std::result::Result<(), bool> {
+        let Some((epoch, roster)) = self.session.get() else {
+            return Err(true);
+        };
+        let Some(addr) = roster.get(link.proc) else {
+            return Err(true);
+        };
+        let mut s = dial_once(addr).map_err(|_| false)?;
+        let rx = link.rx_seq.load(Ordering::Acquire);
+        write_frame(&mut s, &encode_reconn(self.proc_index, *epoch, rx)).map_err(|_| false)?;
+        // The acceptor may hold the reply until its own reader drained,
+        // bounded by its grace window.
+        let deadline = Instant::now() + self.policy.reconnect_grace + self.policy.hello_timeout;
+        let mut fb = FrameBuf::new();
+        let reply = read_one_frame(&mut s, &mut fb, deadline, addr).map_err(|_| false)?;
+        match reply.first().copied() {
+            Some(K_RECONN_OK) => {
+                let Some(peer_rx) = decode_reconn_ok(&reply) else {
+                    return Err(false);
+                };
+                self.install_stream(link, s, fb, peer_rx)
+            }
+            Some(K_RECONN_NAK) => {
+                let reason = reply.get(1).copied().unwrap_or(0);
+                if reason == NAK_STALE_EPOCH {
+                    obs::m().reconnect_stale_epoch.inc();
+                }
+                // Stale epoch or lost link: no future attempt can
+                // succeed. Busy/unknown may be a race; retry.
+                Err(reason == NAK_STALE_EPOCH || reason == NAK_LINK_LOST)
+            }
+            _ => Err(false),
+        }
+    }
+
+    /// Installs a re-established stream on a link: retransmits the
+    /// suffix the peer never received, swaps the writer in and spawns
+    /// the next-generation reader. Shared by both sides.
+    fn install_stream(
+        self: &Arc<Self>,
+        link: &Arc<Link>,
+        stream: SockStream,
+        residual: FrameBuf,
+        peer_rx: u64,
+    ) -> std::result::Result<(), bool> {
+        let mut s = stream;
+        let gen = {
+            let mut st = link.state.lock();
+            if link.lost.load(Ordering::Acquire) {
+                return Err(true);
+            }
+            // The peer acknowledged everything up to `peer_rx`; drop it
+            // from the buffer, resend the rest in order.
+            while st.tx_base < peer_rx {
+                if st.tx_buf.pop_front().is_none() {
+                    break;
+                }
+                st.tx_base += 1;
+            }
+            for payload in st.tx_buf.iter() {
+                if write_frame(&mut s, payload).is_err() {
+                    return Err(false);
+                }
+                obs::m().frames_retransmitted.inc();
+            }
+            let writer = s.try_clone().map_err(|_| false)?;
+            st.writer = Some(writer);
+            st.generation += 1;
+            st.recovering = false;
+            st.generation
+        };
+        link.cv.notify_all();
+        self.spawn_reader(link.proc, s, residual, gen);
+        Ok(())
+    }
+
+    /// Acceptor-side recovery: wait for the peer to redial within the
+    /// grace window; degrade to `PeerLost` if it never does. A dead
+    /// peer's redials fail instantly, so the dialer's budget is usually
+    /// exhausted well inside this window.
+    fn grace_watchdog(self: &Arc<Self>, link: &Arc<Link>) {
+        let deadline = Instant::now() + self.policy.reconnect_grace;
+        let mut st = link.state.lock();
+        loop {
+            if !st.recovering || link.lost.load(Ordering::Acquire) {
+                return; // redial landed (or loss already recorded)
+            }
+            if self.closing.load(Ordering::Acquire) {
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            link.cv.wait_for(&mut st, deadline - now);
+        }
+        drop(st);
+        obs::m().reconnect_exhausted.inc();
+        self.finish_lost(link);
+    }
+
+    /// The redial acceptor: owns the retained listener for the rest of
+    /// the session and splices re-established streams back into links.
+    fn spawn_acceptor(self: &Arc<Self>, listener: SockListener) {
+        if listener.set_nonblocking(true).is_err() {
+            return;
+        }
+        let this = Arc::clone(self);
+        let h = std::thread::Builder::new()
+            .name("sock-accept".to_string())
+            .spawn(move || loop {
+                if this.closing.load(Ordering::Acquire) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok(s) => this.handle_redial(s),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => return,
+                }
+            });
+        if let Ok(h) = h {
+            self.thread_handles.lock().push(h);
+        }
+    }
+
+    /// Validates one incoming redial: protocol magic, session epoch and
+    /// link identity, then answers with our received count and resumes
+    /// the stream.
+    fn handle_redial(self: &Arc<Self>, mut s: SockStream) {
+        let _ = s.set_read_timeout(Some(self.policy.hello_timeout));
+        let mut fb = FrameBuf::new();
+        let deadline = Instant::now() + self.policy.hello_timeout;
+        let frame = match read_one_frame(&mut s, &mut fb, deadline, "redial") {
+            Ok(f) => f,
+            Err(_) => {
+                obs::m().handshake_rejected.inc();
+                s.shutdown_both();
+                return;
+            }
+        };
+        let (proc, peer_epoch, peer_rx) = match decode_reconn(&frame) {
+            Ok(t) => t,
+            Err(_) => {
+                obs::m().handshake_rejected.inc();
+                s.shutdown_both();
+                return;
+            }
+        };
+        let nak = |mut s: SockStream, reason: u8| {
+            let _ = write_frame(&mut s, &[K_RECONN_NAK, reason]);
+            s.shutdown_both();
+        };
+        let Some((epoch, _)) = self.session.get() else {
+            nak(s, NAK_BUSY);
+            return;
+        };
+        if peer_epoch != *epoch {
+            obs::m().reconnect_stale_epoch.inc();
+            nak(s, NAK_STALE_EPOCH);
+            return;
+        }
+        if proc <= self.proc_index {
+            obs::m().handshake_rejected.inc();
+            nak(s, NAK_UNKNOWN_LINK);
+            return;
+        }
+        let Some(link) = self.link(proc).map(Arc::clone) else {
+            obs::m().handshake_rejected.inc();
+            nak(s, NAK_UNKNOWN_LINK);
+            return;
+        };
+        if link.lost.load(Ordering::Acquire) {
+            nak(s, NAK_LINK_LOST);
+            return;
+        }
+        // Wait until our reader for the dying stream has fully drained,
+        // so `rx_seq` is final and the retransmit suffix is exact. The
+        // redial itself proves the old stream is gone, so force it shut
+        // to unblock that reader.
+        {
+            let grace_deadline = Instant::now() + self.policy.reconnect_grace;
+            let mut st = link.state.lock();
+            if let Some(w) = st.writer.take() {
+                w.shutdown_both();
+            }
+            while st.settled_gen < st.generation {
+                if link.lost.load(Ordering::Acquire) {
+                    drop(st);
+                    nak(s, NAK_LINK_LOST);
+                    return;
+                }
+                let now = Instant::now();
+                if now >= grace_deadline {
+                    drop(st);
+                    nak(s, NAK_BUSY);
+                    return;
+                }
+                link.cv.wait_for(&mut st, grace_deadline - now);
+            }
+            // Claim the recovery so a late grace watchdog stands down.
+            st.recovering = false;
+        }
+        link.cv.notify_all();
+        let rx = link.rx_seq.load(Ordering::Acquire);
+        if write_frame(&mut s, &encode_reconn_ok(rx)).is_err() {
+            s.shutdown_both();
+            return;
+        }
+        if self.install_stream(&link, s, fb, peer_rx).is_ok() {
+            obs::m().reconnects.inc();
+        }
     }
 
     fn peers_settled(&self) -> bool {
-        self.all_peers()
-            .all(|p| p.done.load(Ordering::Acquire) || p.lost.load(Ordering::Acquire))
+        self.all_links()
+            .all(|l| l.done.load(Ordering::Acquire) || l.lost.load(Ordering::Acquire))
     }
 }
 
@@ -1128,25 +1995,20 @@ impl Transport for SocketTransport {
         if let Some(Some(mb)) = self.mailboxes.get(dst_world) {
             return mb.deliver(env, eager_limit);
         }
+        // First remote operation blocks here until the overlapped mesh
+        // handshake resolves.
+        if !self.gate.wait_ready() {
+            return Err(RtError::Dropped { dst: dst_world });
+        }
         let proc = *self
             .rank_owner
             .get(dst_world)
             .ok_or(RtError::Protocol("destination rank outside the world"))?;
-        let peer = self
-            .peer(proc)
+        let link = self
+            .link(proc)
             .ok_or(RtError::Protocol("no connection to destination process"))?;
-        if peer.lost.load(Ordering::Acquire) {
-            return Err(RtError::Dropped { dst: dst_world });
-        }
         let payload = encode_envelope(dst_world, &env);
-        let mut g = peer.writer.lock();
-        let Some(w) = g.as_mut() else {
-            return Err(RtError::Dropped { dst: dst_world });
-        };
-        if write_frame(w, &payload).is_err() {
-            *g = None;
-            drop(g);
-            self.note_peer_lost(proc);
+        if self.send_data(link, &payload).is_err() {
             return Err(RtError::Dropped { dst: dst_world });
         }
         Ok(Delivery::Complete)
@@ -1164,22 +2026,29 @@ impl Transport for SocketTransport {
 
     fn mark_rank_done(&self, world_rank: usize) {
         self.alive[world_rank].store(false, Ordering::Release);
-        // Ordered after every envelope the rank wrote (same per-peer
-        // write mutex, same connection): peers observing the flag flip
+        // Ordered after every envelope the rank wrote (same per-link
+        // sequence, same connection): peers observing the flag flip
         // already have all of the rank's data in their mailboxes.
-        let mut payload = vec![K_RANK_DONE];
-        payload.extend_from_slice(&(world_rank as u32).to_le_bytes());
-        self.broadcast(&payload);
+        if self.gate.wait_ready() {
+            let mut payload = vec![K_RANK_DONE];
+            payload.extend_from_slice(&(world_rank as u32).to_le_bytes());
+            self.broadcast(&payload);
+        }
     }
 
     fn shutdown_all(&self) {
         self.shutdown_local();
-        if !self.shutdown_sent.swap(true, Ordering::AcqRel) {
+        if !self.shutdown_sent.swap(true, Ordering::AcqRel) && self.gate.wait_ready() {
             self.broadcast(&[K_SHUTDOWN]);
         }
     }
 
     fn finalize_local(&self) {
+        // 0. If the mesh never came up there is nothing to drain.
+        if !self.gate.wait_ready() {
+            self.closing.store(true, Ordering::Release);
+            return;
+        }
         // 1. Announce clean completion of this process…
         self.broadcast(&[K_PROC_DONE]);
         // 2. …wait until every peer has done the same (or vanished)…
@@ -1194,17 +2063,28 @@ impl Transport for SocketTransport {
                 self.teardown.cv.wait_for(&mut g, deadline - now);
             }
         }
-        // 3. …then close. Readers (ours and the peers') wake with EOF
-        // *after* ProcDone, so nobody classifies this as a crash.
-        for peer in self.all_peers() {
-            let g = peer.writer.lock();
-            if let Some(w) = g.as_ref() {
+        // 3. …then close. Recovery threads and the acceptor stand down;
+        // readers (ours and the peers') wake with EOF *after* ProcDone,
+        // so nobody classifies this as a crash.
+        self.closing.store(true, Ordering::Release);
+        for link in self.all_links() {
+            let st = link.state.lock();
+            if let Some(w) = st.writer.as_ref() {
                 w.shutdown_both();
             }
+            drop(st);
+            link.cv.notify_all();
         }
-        let handles: Vec<_> = self.reader_handles.lock().drain(..).collect();
-        for h in handles {
-            let _ = h.join();
+        // Threads can push handles (a recovery spawning its reader)
+        // while we drain, so sweep until the list stays empty.
+        loop {
+            let handles: Vec<_> = self.thread_handles.lock().drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -1222,10 +2102,14 @@ impl Launcher {
     /// cross-checks a topology hash and rejects mismatches with a typed
     /// [`SocketError`]. Ranks of partitions assigned to `proc_index` run
     /// here as threads; all other ranks are reached through the socket
-    /// mesh. Returns when all locally hosted ranks have finished and the
-    /// mesh has drained.
+    /// mesh. The mesh handshake overlaps partition startup: local ranks
+    /// begin executing immediately and block only at their first remote
+    /// operation. Returns when all locally hosted ranks have finished and
+    /// the mesh has drained; a handshake failure takes precedence over
+    /// the rank failures it induced.
     pub fn run_multiproc(self, topo: MultiprocTopology) -> std::result::Result<(), MultiprocError> {
         assert!(!self.specs.is_empty(), "no partitions configured");
+        topo.socket.validate()?;
         if topo.num_procs == 0 || topo.proc_index >= topo.num_procs {
             return Err(SocketError::BadTopology {
                 what: format!(
@@ -1247,19 +2131,43 @@ impl Launcher {
         }
         let topo_hash = topology_hash(topo.num_procs, &rank_owner);
 
-        let conns = if topo.num_procs == 1 {
-            Vec::new()
-        } else {
-            connect_mesh(&topo, topo_hash).map_err(MultiprocError::Socket)?
+        let policy = LinkPolicy {
+            retry_budget: topo.socket.retry_budget,
+            backoff_base: topo.socket.backoff_base,
+            reconnect_grace: topo.socket.reconnect_grace,
+            hello_timeout: topo.socket.hello_timeout,
+            link_fault: topo.socket.link_fault,
         };
-
         let transport = SocketTransport::new(
             topo.proc_index,
             rank_owner.clone(),
             topo.num_procs,
             topo.socket.connect_timeout,
+            policy,
         );
-        transport.start(conns);
+
+        // Overlap the coordinator handshake with partition startup: the
+        // mesh assembles on its own thread while local ranks construct
+        // and run; the transport's gate serializes only the first remote
+        // operation against handshake completion.
+        let mesh_thread = if topo.num_procs == 1 {
+            transport.gate.set_ready();
+            None
+        } else {
+            let t = Arc::clone(&transport);
+            let topo2 = topo.clone();
+            let h = std::thread::Builder::new()
+                .name("sock-mesh".to_string())
+                .spawn(move || match connect_mesh(&topo2, topo_hash) {
+                    Ok(mesh) => t.start(mesh),
+                    Err(e) => t.mesh_failed(e),
+                })
+                .map_err(|e| SocketError::Io {
+                    during: "mesh thread spawn",
+                    detail: e.to_string(),
+                })?;
+            Some(h)
+        };
 
         let universe = Universe::with_transport(
             infos,
@@ -1272,6 +2180,14 @@ impl Launcher {
             rank_owner[world_rank] == me
         });
         universe.transport().finalize_local();
+        if let Some(h) = mesh_thread {
+            let _ = h.join();
+        }
+        // A mesh failure explains any rank failures it induced: surface
+        // the root cause, not the symptoms.
+        if let Some(e) = transport.gate.take_error() {
+            return Err(MultiprocError::Socket(e));
+        }
         if failures.is_empty() {
             Ok(())
         } else {
@@ -1325,15 +2241,52 @@ mod tests {
     }
 
     #[test]
-    fn roster_roundtrips() {
+    fn roster_roundtrips_with_epoch() {
         let addrs = vec![
             "tcp:127.0.0.1:9000".to_string(),
             String::new(),
             "unix:/tmp/a.sock".to_string(),
         ];
-        let wire = Bytes::from(encode_roster(&addrs));
-        assert_eq!(decode_roster(&wire).unwrap(), addrs);
+        let wire = Bytes::from(encode_roster(0xFEED_F00D, &addrs));
+        assert_eq!(decode_roster(&wire).unwrap(), (0xFEED_F00D, addrs));
         assert_eq!(decode_roster(&Bytes::from_static(b"\x07junk")), None);
+    }
+
+    #[test]
+    fn reconn_frames_roundtrip_and_validate() {
+        let wire = Bytes::from(encode_reconn(5, 0xE90C4, 1234));
+        assert_eq!(decode_reconn(&wire).unwrap(), (5, 0xE90C4, 1234));
+        // Garbage magic is rejected with a description.
+        let mut bad = encode_reconn(5, 1, 2);
+        bad[1] ^= 0xFF;
+        let err = decode_reconn(&Bytes::from(bad)).unwrap_err();
+        assert!(err.contains("magic"), "{err}");
+        // Truncation never mis-decodes.
+        let trunc = Bytes::from(encode_reconn(5, 1, 2)[..10].to_vec());
+        assert!(decode_reconn(&trunc).is_err());
+
+        let ok = Bytes::from(encode_reconn_ok(987));
+        assert_eq!(decode_reconn_ok(&ok), Some(987));
+        assert_eq!(decode_reconn_ok(&Bytes::from_static(b"\x09abc")), None);
+
+        let ack = encode_ack(42);
+        assert_eq!(ack[0], K_ACK);
+        assert_eq!(u64::from_le_bytes(ack[1..9].try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn session_epochs_are_nonzero_and_distinct_across_time() {
+        let a = session_epoch();
+        assert_ne!(a, 0);
+        // Two calls in a row *may* collide within clock resolution, but
+        // a sample of many must produce at least two distinct values.
+        let distinct: std::collections::HashSet<u64> = (0..64)
+            .map(|_| {
+                std::thread::sleep(Duration::from_micros(50));
+                session_epoch()
+            })
+            .collect();
+        assert!(distinct.len() > 1);
     }
 
     #[test]
@@ -1371,5 +2324,40 @@ mod tests {
             PartitionAssign::Explicit(vec![]).proc_of(0, 1, 2),
             Err(SocketError::BadTopology { .. })
         ));
+    }
+
+    #[test]
+    fn socket_config_validation_rejects_zero_and_absurd_values() {
+        let ep = || Endpoint::Tcp("127.0.0.1:0".to_string());
+        assert!(SocketConfig::new(ep()).validate().is_ok());
+        let cases: Vec<SocketConfig> = vec![
+            SocketConfig::new(ep()).connect_timeout(Duration::ZERO),
+            SocketConfig::new(ep()).connect_timeout(Duration::from_secs(7200)),
+            SocketConfig::new(ep()).accept_timeout(Duration::ZERO),
+            SocketConfig::new(ep()).hello_timeout(Duration::ZERO),
+            SocketConfig::new(ep()).retry_budget(0),
+            SocketConfig::new(ep()).retry_budget(65),
+            SocketConfig::new(ep()).backoff_base(Duration::ZERO),
+            SocketConfig::new(ep()).backoff_base(Duration::from_secs(90)),
+            SocketConfig::new(ep()).reconnect_grace(Duration::ZERO),
+            SocketConfig::new(ep()).link_fault(LinkFault {
+                sever_after_frames: 0,
+            }),
+        ];
+        for cfg in cases {
+            assert!(
+                matches!(cfg.validate(), Err(SocketError::InvalidConfig { .. })),
+                "accepted invalid config: {cfg:?}"
+            );
+        }
+        // Defaults fall back: accept budget inherits connect budget.
+        let cfg = SocketConfig::new(ep()).connect_timeout(Duration::from_millis(250));
+        assert_eq!(cfg.effective_accept_timeout(), Duration::from_millis(250));
+        assert_eq!(
+            SocketConfig::new(ep())
+                .accept_timeout(Duration::from_secs(1))
+                .effective_accept_timeout(),
+            Duration::from_secs(1)
+        );
     }
 }

@@ -138,6 +138,10 @@ fn socket_json(outcome: &SessionOutcome, procs: usize) -> String {
         "transport_socket_connect_timeouts_total",
         "transport_socket_handshake_rejected_total",
         "transport_socket_peer_disconnects_total",
+        "transport_socket_reconnect_attempts_total",
+        "transport_socket_reconnects_total",
+        "transport_socket_reconnect_exhausted_total",
+        "transport_socket_frames_retransmitted_total",
     ];
     for (i, name) in counters.iter().enumerate() {
         if i > 0 {

@@ -26,6 +26,7 @@ pub use opmr_blackboard as blackboard;
 pub use opmr_core as core;
 pub use opmr_events as events;
 pub use opmr_instrument as instrument;
+pub use opmr_launch as launch;
 pub use opmr_metrics as metrics;
 pub use opmr_netsim as netsim;
 pub use opmr_obs as obs;

@@ -10,9 +10,14 @@
 
 use opmr::analysis::report;
 use opmr::core::{analyze_sion_dir, analyze_trace_dir, LiveOptions, Session};
+use opmr::launch::{
+    classify_exit, emit_stats, parse_hostfile, run_job, HeartbeatEmitter, Host, JobSpec,
+    LocalSpawner, Spawner, SshSpawner, WorkerCommand, WorkerEnv,
+};
 use opmr::netsim::{curie, simulate, stream_model, tera100, Machine, ToolModel};
 use opmr::workloads::{by_name, Class};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -36,6 +41,17 @@ USAGE:
         Post-mortem analysis of a directory of .opmr / .sion traces
         (the classical workflow, same engine as the online path).
 
+    opmr launch [--hostfile FILE] [--procs N] [--endpoint unix:PATH|tcp:ADDR]
+                [--placement i,j,...] [--sever-after N] [--restart-once]
+                [-- demo]
+        mpirun-style multi-process launch of the demo session: spawn one
+        worker per process (locally, or via ssh for non-local hostfile
+        entries), supervise them over stdout heartbeats, classify exits,
+        tear the job down on the first failure, and print a JSON summary
+        with the aggregated obs counters. `--sever-after N` severs every
+        socket link once after N data frames to exercise the reconnect
+        path; `--placement` pins application partitions to processes.
+
     opmr stream-table
         Print the Figure-14 stream-throughput table on the Tera 100 model."
     );
@@ -46,6 +62,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("demo") => demo(&args[1..]),
+        Some("launch") => launch_cmd(&args[1..]),
+        Some("__launch-worker") => launch_worker(&args[1..]),
         Some("simulate") => simulate_cmd(&args[1..]),
         Some("report") => report_cmd(&args[1..]),
         Some("stream-table") => stream_table(),
@@ -107,6 +125,206 @@ fn try_demo() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", outcome.markdown());
     println!("---");
     print!("{}", catalog_listing());
+    eprintln!(
+        "(in-process; stable digest {:016x})",
+        report::stable_digest(&outcome.report)
+    );
+    Ok(())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// `opmr launch`: run the demo session as a supervised multi-process
+/// job through the `crates/launch` control plane.
+fn launch_cmd(args: &[String]) -> ExitCode {
+    match try_launch(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_launch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    // Trailing `-- <session>` selects what the workers run (only the
+    // demo session exists today).
+    if let Some(sep) = args.iter().position(|a| a == "--") {
+        let session: Vec<&str> = args[sep + 1..].iter().map(String::as_str).collect();
+        if !(session.is_empty() || session == ["demo"]) {
+            return Err(format!("unknown launch session {session:?} (only: demo)").into());
+        }
+    }
+    let hosts = match flag(args, "--hostfile") {
+        Some(path) => parse_hostfile(&std::fs::read_to_string(path)?)?,
+        None => vec![Host::new("localhost")],
+    };
+    let procs: usize = flag(args, "--procs")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(3);
+    if procs < 2 {
+        return Err("a multi-process launch needs --procs >= 2".into());
+    }
+    let placement = flag(args, "--placement")
+        .map(|raw| {
+            raw.split(',')
+                .map(|t| t.trim().parse::<usize>())
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .transpose()
+        .map_err(|_| "bad --placement (expected comma-separated process indices)")?;
+    let sever_after: Option<u64> = flag(args, "--sever-after").map(str::parse).transpose()?;
+
+    // Default endpoint: a per-job Unix socket under the temp dir.
+    let scratch;
+    let endpoint = match flag(args, "--endpoint") {
+        Some(e) => {
+            opmr::launch::parse_endpoint(e)?; // validate notation up front
+            e.to_string()
+        }
+        None => {
+            scratch = std::env::temp_dir().join(format!("opmr-launch-{}", std::process::id()));
+            std::fs::create_dir_all(&scratch)?;
+            format!("unix:{}", scratch.join("mesh.sock").display())
+        }
+    };
+
+    let mut spec = JobSpec::new(procs);
+    spec.hosts = hosts;
+    spec.restart_once = has_flag(args, "--restart-once");
+    let all_local = spec.hosts.iter().all(Host::is_local);
+    let local = LocalSpawner;
+    let ssh = SshSpawner::default();
+    let spawner: &dyn Spawner = if all_local { &local } else { &ssh };
+
+    let exe = std::env::current_exe()?;
+    let make_cmd = {
+        let endpoint = endpoint.clone();
+        let placement = placement.clone();
+        move |proc: usize, _host: &Host| {
+            let mut env = WorkerEnv::new(proc, procs, endpoint.clone());
+            env.placement = placement.clone();
+            env.sever_after = sever_after;
+            env.connect_timeout = Some(Duration::from_secs(30));
+            let mut cmd = WorkerCommand::new(&exe).arg("__launch-worker").arg("demo");
+            for (k, v) in env.vars() {
+                cmd = cmd.env(k, v);
+            }
+            cmd
+        }
+    };
+
+    let report = run_job(&spec, spawner, &make_cmd)?;
+    let snap = opmr::obs::registry().snapshot();
+    println!("{}", launch_summary_json(&report, procs, &snap));
+    if report.success() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for f in report.failures() {
+            eprintln!("worker p{} on {} failed: {}", f.proc, f.host, f.message);
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Hand-rolled JSON (the workspace carries no serde): job outcome plus
+/// the launcher-side `launch_*` counters and the workers' summed
+/// `transport_*`/`launch_*` counters.
+fn launch_summary_json(
+    report: &opmr::launch::JobReport,
+    procs: usize,
+    snap: &opmr::obs::MetricsSnapshot,
+) -> String {
+    use std::fmt::Write as _;
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"procs\":{procs},\"attempts\":{},\"success\":{}",
+        report.attempts,
+        report.success()
+    );
+    out.push_str(",\"outcomes\":[");
+    for (i, o) in report.outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"proc\":{},\"host\":\"{}\",\"clean\":{},\"torn_down\":{},\"message\":\"{}\"}}",
+            o.proc,
+            esc(&o.host),
+            o.kind.is_none(),
+            o.torn_down,
+            esc(&o.message)
+        );
+    }
+    out.push_str("],\"launch\":{");
+    let mut first = true;
+    for c in &snap.counters {
+        if c.name.starts_with("launch_") {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", esc(&c.name), c.value);
+        }
+    }
+    out.push_str("},\"workers\":{");
+    let mut first = true;
+    for (name, value) in &report.stats {
+        if name.starts_with("transport_") || name.starts_with("launch_") {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", esc(name), value);
+        }
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Hidden worker half of `opmr launch`: runs one process of the demo
+/// session, heartbeating on stdout and dumping obs counters at the end.
+fn launch_worker(args: &[String]) -> ExitCode {
+    match try_launch_worker(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("worker error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_launch_worker(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(session) = args.first() {
+        if session != "demo" {
+            return Err(format!("unknown worker session {session:?}").into());
+        }
+    }
+    let env = WorkerEnv::from_env()?
+        .ok_or("not launched: the OPMR_LAUNCH_* environment contract is missing")?;
+    let hb = HeartbeatEmitter::start(env.proc_index, Duration::from_millis(250));
+    let cfg = env.socket_config()?;
+    let builder = demo_session()?;
+    let outcome = match env.placement.clone() {
+        Some(p) => builder.run_multiproc_placed(cfg, env.proc_index, env.num_procs, p)?,
+        None => builder.run_multiproc(cfg, env.proc_index, env.num_procs)?,
+    };
+    if env.proc_index == 0 {
+        // Forwarded by the supervisor as `[p0] stable-digest …`; the CI
+        // smoke compares it against the in-process demo's digest.
+        println!(
+            "stable-digest {:016x}",
+            report::stable_digest(&outcome.report)
+        );
+    }
+    drop(hb);
+    emit_stats(&mut std::io::stdout().lock())?;
     Ok(())
 }
 
@@ -135,7 +353,7 @@ fn try_demo_socket(procs: usize) -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all(&dir)?;
     let path = dir.join("mesh.sock");
     let exe = std::env::current_exe()?;
-    let children: Vec<_> = (1..procs)
+    let mut children: Vec<(usize, std::process::Child)> = (1..procs)
         .map(|p| {
             std::process::Command::new(&exe)
                 .args(["demo", "--transport", "socket"])
@@ -143,14 +361,43 @@ fn try_demo_socket(procs: usize) -> Result<(), Box<dyn std::error::Error>> {
                 .env("OPMR_DEMO_PROC", p.to_string())
                 .env("OPMR_DEMO_PROCS", procs.to_string())
                 .spawn()
+                .map(|c| (p, c))
         })
         .collect::<Result<_, _>>()?;
 
-    let outcome = demo_session()?.run_multiproc(cfg(path), 0, procs)?;
-    for mut c in children {
+    // Run the coordinator's half on a thread so a worker that dies
+    // during startup surfaces as a typed failure immediately, instead of
+    // leaving the parent blocked until the mesh accept budget expires.
+    let builder = demo_session()?;
+    let coordinator = std::thread::spawn(move || builder.run_multiproc(cfg(path), 0, procs));
+    while !coordinator.is_finished() {
+        let mut first_failure = None;
+        for (p, c) in children.iter_mut() {
+            let Some(status) = c.try_wait()? else {
+                continue;
+            };
+            if let Some((kind, what)) = classify_exit(status) {
+                first_failure = Some((*p, kind, what));
+                break;
+            }
+        }
+        if let Some((p, kind, what)) = first_failure {
+            for (_, other) in children.iter_mut() {
+                let _ = other.kill();
+                let _ = other.wait();
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            return Err(format!("demo worker p{p} {what} ({kind:?})").into());
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let outcome = coordinator
+        .join()
+        .map_err(|_| "demo coordinator thread panicked")??;
+    for (p, mut c) in children {
         let status = c.wait()?;
-        if !status.success() {
-            return Err(format!("demo worker failed: {status}").into());
+        if let Some((kind, what)) = classify_exit(status) {
+            return Err(format!("demo worker p{p} {what} ({kind:?})").into());
         }
     }
     let _ = std::fs::remove_dir_all(&dir);

@@ -618,6 +618,111 @@ fn read_timeout_is_typed_not_a_hang() {
         .unwrap();
 }
 
+// ---------------------------------------------------------------------
+// Socket link chaos: every busy mesh link is severed once mid-stream;
+// the reconnect layer (epoch handshake + ack/retransmit resume) must
+// make the loss invisible to the session — the report digest stays
+// byte-identical to the in-process run — while the obs counters prove
+// the faults actually fired and were recovered.
+// ---------------------------------------------------------------------
+
+/// A session with two ring apps so that, under the derived 3-process
+/// placement (analyzer on p0, apps round-robin on p1/p2), both
+/// coordinator links carry enough event traffic to cross the sever
+/// threshold mid-stream.
+fn link_chaos_session() -> opmr::core::SessionBuilder {
+    let ring = |imp: &opmr::instrument::InstrumentedMpi| {
+        let world = imp.comm_world();
+        let (r, n) = (imp.rank(), imp.size());
+        for round in 0..40 {
+            let req = imp
+                .isend(&world, (r + 1) % n, round, vec![r as u8; 512])
+                .expect("isend");
+            imp.recv(&world, Src::Rank((r + n - 1) % n), TagSel::Tag(round))
+                .expect("recv");
+            imp.wait(req).expect("wait");
+        }
+        imp.barrier(&world).expect("barrier");
+    };
+    Session::builder()
+        .analyzer_ranks(2)
+        .app("ring_a", 4, ring)
+        .app("ring_b", 4, ring)
+}
+
+fn obs_counter(name: &str) -> u64 {
+    opmr::obs::registry().snapshot().counter(name).unwrap_or(0)
+}
+
+#[test]
+fn socket_link_chaos_severs_every_busy_link_and_the_report_is_identical() {
+    use opmr::analysis::report::stable_digest;
+    use opmr::runtime::{LinkFault, SocketConfig};
+
+    let direct = link_chaos_session().run().expect("in-process session");
+    let want = stable_digest(&direct.report);
+
+    let severs0 = obs_counter("transport_socket_chaos_severs_total");
+    let reconnects0 = obs_counter("transport_socket_reconnects_total");
+    let retrans0 = obs_counter("transport_socket_frames_retransmitted_total");
+    let lost0 = obs_counter("transport_socket_peer_disconnects_total");
+
+    const PROCS: usize = 3;
+    let endpoint = common::fresh_unix_endpoint("link-chaos");
+    let cfg = |ep| {
+        SocketConfig::new(ep)
+            .connect_timeout(Duration::from_secs(20))
+            .link_fault(LinkFault {
+                sever_after_frames: 5,
+            })
+    };
+    let workers: Vec<_> = (1..PROCS)
+        .map(|p| {
+            let ep = endpoint.clone();
+            std::thread::spawn(move || link_chaos_session().run_multiproc(cfg(ep), p, PROCS))
+        })
+        .collect();
+    let sock = link_chaos_session()
+        .run_multiproc(cfg(endpoint), 0, PROCS)
+        .expect("chaos session, process 0");
+    for w in workers {
+        w.join().unwrap().expect("chaos session, worker");
+    }
+
+    // Transparency: the session layer never saw the link drops.
+    assert_eq!(
+        stable_digest(&sock.report),
+        want,
+        "reconnect must be exactly-once: the report digest cannot move"
+    );
+    // Evidence: both busy coordinator links were severed once and both
+    // sides of each re-established (the three "processes" are threads
+    // sharing this registry, so the deltas cover the whole mesh).
+    let severs = obs_counter("transport_socket_chaos_severs_total") - severs0;
+    let reconnects = obs_counter("transport_socket_reconnects_total") - reconnects0;
+    assert!(severs >= 2, "both app links must sever, saw {severs}");
+    assert!(
+        reconnects >= severs,
+        "every severed link must reconnect (severs {severs}, reconnects {reconnects})"
+    );
+    assert!(
+        obs_counter("transport_socket_frames_retransmitted_total") > retrans0,
+        "resuming mid-stream must retransmit the unacked suffix"
+    );
+    // A recovered link is not a lost peer: no run above returned
+    // `PeerLost` (every `run_multiproc` came back `Ok` with the data
+    // accounted for in the digest). The disconnect *counter* is allowed
+    // a small delta — under scheduler starvation a link severed on its
+    // final frames can race mesh teardown, where the redial finds the
+    // listener already gone; that post-delivery loss is benign and
+    // bounded by the number of severs.
+    let lost = obs_counter("transport_socket_peer_disconnects_total") - lost0;
+    assert!(
+        lost <= severs,
+        "independent peer losses beyond teardown races (severs {severs}, lost {lost})"
+    );
+}
+
 /// What one serving chaos run observed.
 struct ServingRun {
     facts: (u64, Vec<ProfileRow>, Vec<EdgeRow>),

@@ -1,0 +1,204 @@
+//! Launch & supervision plane acceptance: `run_job` drives real OS
+//! worker processes (re-executions of this test binary) through the
+//! full control-line protocol — spawn, heartbeat liveness, stat
+//! aggregation, typed exit classification, kill-all teardown, the
+//! restart-once policy — and every outcome is observable in the
+//! `launch_*` counter family.
+//!
+//! Counters are process-global and tests run concurrently, so all
+//! counter assertions are before/after deltas.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
+use opmr::launch::{run_job, stat_line, HeartbeatEmitter, JobSpec, LocalSpawner, WorkerCommand};
+use opmr::runtime::FailureKind;
+use std::time::Duration;
+
+fn counter(name: &str) -> u64 {
+    opmr::obs::registry().snapshot().counter(name).unwrap_or(0)
+}
+
+/// Builds the worker command: this test binary, re-executed into the
+/// env-gated `launch_plane_worker` test below with a behavior mode.
+fn worker_cmd(mode: &str, proc: usize, extra: &[(&str, String)]) -> WorkerCommand {
+    let exe = std::env::current_exe().unwrap();
+    let mut cmd = WorkerCommand::new(exe)
+        .arg("--exact")
+        .arg("launch_plane_worker")
+        .arg("--test-threads=1")
+        .arg("--nocapture")
+        .env("OPMR_LP_MODE", mode)
+        .env("OPMR_LP_PROC", proc.to_string());
+    for (k, v) in extra {
+        cmd = cmd.env(*k, v.clone());
+    }
+    cmd
+}
+
+/// The worker half. Inert unless `OPMR_LP_MODE` is set.
+#[test]
+fn launch_plane_worker() {
+    let Ok(mode) = std::env::var("OPMR_LP_MODE") else {
+        return; // not a worker invocation
+    };
+    let proc: usize = std::env::var("OPMR_LP_PROC").unwrap().parse().unwrap();
+    match mode.as_str() {
+        // Heartbeats, a little work, one stat line, clean exit.
+        "ok" => {
+            let hb = HeartbeatEmitter::start(proc, Duration::from_millis(20));
+            println!("ordinary worker chatter");
+            std::thread::sleep(Duration::from_millis(150));
+            println!("{}", stat_line("lp_test_work_done_total", 7));
+            drop(hb);
+        }
+        // Still heartbeating when a sibling fails: teardown casualty.
+        "ok-slow" => {
+            let hb = HeartbeatEmitter::start(proc, Duration::from_millis(20));
+            std::thread::sleep(Duration::from_secs(30));
+            drop(hb);
+        }
+        // Typed failure: non-zero exit code.
+        "fail" => {
+            eprintln!("worker {proc} failing on purpose");
+            std::process::exit(3);
+        }
+        // Alive but mute: must be killed by the liveness watchdog.
+        "silent" => std::thread::sleep(Duration::from_secs(30)),
+        // Fails on the first job attempt, succeeds on the restart.
+        "fail-first" => {
+            let marker = std::path::PathBuf::from(std::env::var("OPMR_LP_MARKER").unwrap());
+            let hb = HeartbeatEmitter::start(proc, Duration::from_millis(20));
+            if !marker.exists() {
+                std::fs::write(&marker, b"attempt 1").unwrap();
+                drop(hb);
+                std::process::exit(3);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+            drop(hb);
+        }
+        other => panic!("unknown worker mode {other:?}"),
+    }
+}
+
+#[test]
+fn three_local_workers_run_to_clean_exit_with_aggregated_stats() {
+    let spawned0 = counter("launch_children_spawned_total");
+    let clean0 = counter("launch_clean_exits_total");
+    let beats0 = counter("launch_heartbeats_total");
+
+    let mut spec = JobSpec::new(3);
+    spec.heartbeat_timeout = Duration::from_secs(5);
+    let report = run_job(&spec, &LocalSpawner, &|proc, _host| {
+        worker_cmd("ok", proc, &[])
+    })
+    .expect("job launches");
+
+    assert!(report.success(), "all workers clean: {:?}", report.outcomes);
+    assert_eq!(report.attempts, 1);
+    assert_eq!(report.outcomes.len(), 3);
+    assert!(report.outcomes.iter().all(|o| !o.torn_down));
+    // The `@opmr-stat` lines of all three workers are summed.
+    assert_eq!(
+        report.stats.get("lp_test_work_done_total").copied(),
+        Some(21),
+        "3 workers x 7 units each"
+    );
+    assert_eq!(counter("launch_children_spawned_total") - spawned0, 3);
+    assert_eq!(counter("launch_clean_exits_total") - clean0, 3);
+    assert!(
+        counter("launch_heartbeats_total") > beats0,
+        "heartbeats must flow through the control-line protocol"
+    );
+}
+
+#[test]
+fn child_failure_is_classified_and_tears_down_the_survivors() {
+    let failures0 = counter("launch_child_failures_total");
+    let mut spec = JobSpec::new(3);
+    spec.heartbeat_timeout = Duration::from_secs(5);
+    let report = run_job(&spec, &LocalSpawner, &|proc, _host| {
+        // Process 1 exits 3 immediately; its siblings would happily run
+        // for 30 s — the supervisor must not wait for them.
+        worker_cmd(if proc == 1 { "fail" } else { "ok-slow" }, proc, &[])
+    })
+    .expect("job launches");
+
+    assert!(!report.success());
+    assert_eq!(report.attempts, 1, "no restart without the policy");
+    // Exactly one root cause, typed as an error exit…
+    let roots: Vec<_> = report.failures().collect();
+    assert_eq!(roots.len(), 1, "one root cause: {:?}", report.outcomes);
+    assert_eq!(roots[0].proc, 1);
+    assert_eq!(roots[0].kind, Some(FailureKind::Errored));
+    assert!(roots[0].message.contains("code 3"), "{}", roots[0].message);
+    // …and the survivors were killed as teardown casualties, not
+    // counted as independent failures.
+    for o in &report.outcomes {
+        if o.proc != 1 {
+            assert!(o.torn_down, "p{} must be a teardown casualty", o.proc);
+        }
+    }
+    assert!(counter("launch_child_failures_total") > failures0);
+}
+
+#[test]
+fn stale_heartbeat_is_a_liveness_kill_classified_as_a_crash() {
+    let timeouts0 = counter("launch_heartbeat_timeouts_total");
+    let mut spec = JobSpec::new(2);
+    spec.heartbeat_timeout = Duration::from_millis(400);
+    let report = run_job(&spec, &LocalSpawner, &|proc, _host| {
+        worker_cmd(if proc == 1 { "silent" } else { "ok-slow" }, proc, &[])
+    })
+    .expect("job launches");
+
+    assert!(!report.success());
+    let roots: Vec<_> = report.failures().collect();
+    assert_eq!(roots.len(), 1, "one root cause: {:?}", report.outcomes);
+    assert_eq!(roots[0].proc, 1);
+    assert_eq!(roots[0].kind, Some(FailureKind::Panicked));
+    assert!(
+        roots[0].message.contains("heartbeat"),
+        "{}",
+        roots[0].message
+    );
+    assert!(counter("launch_heartbeat_timeouts_total") > timeouts0);
+}
+
+#[test]
+fn restart_once_relaunches_the_whole_job_exactly_once() {
+    let restarts0 = counter("launch_restarts_total");
+    let marker =
+        std::env::temp_dir().join(format!("opmr-lp-marker-{}-{}", std::process::id(), line!()));
+    let _ = std::fs::remove_file(&marker);
+
+    let mut spec = JobSpec::new(2);
+    spec.heartbeat_timeout = Duration::from_secs(5);
+    spec.restart_once = true;
+    let extra = [("OPMR_LP_MARKER", marker.display().to_string())];
+    let report = run_job(&spec, &LocalSpawner, &|proc, _host| {
+        worker_cmd("fail-first", proc, &extra)
+    })
+    .expect("job launches");
+    let _ = std::fs::remove_file(&marker);
+
+    assert_eq!(report.attempts, 2, "first attempt fails, restart succeeds");
+    assert!(
+        report.success(),
+        "the restarted job must run clean: {:?}",
+        report.outcomes
+    );
+    assert!(counter("launch_restarts_total") > restarts0);
+}
+
+#[test]
+fn spawn_failure_is_a_typed_error_not_a_leaked_job() {
+    let spec = JobSpec::new(2);
+    let err = run_job(&spec, &LocalSpawner, &|_proc, _host| {
+        WorkerCommand::new("/nonexistent/opmr-launch-no-such-binary")
+    })
+    .expect_err("spawning a missing binary cannot succeed");
+    assert!(
+        matches!(err, opmr::launch::LaunchPlaneError::Spawn { .. }),
+        "{err}"
+    );
+}

@@ -114,6 +114,63 @@ fn distributed_mode_is_rejected_with_a_typed_config_error() {
 }
 
 // ---------------------------------------------------------------------
+// Launcher-driven placement: an explicit placement vector (app partition
+// i → process placement[i]) must not change a byte of the analysis, and
+// invalid placements are typed configuration errors, not hangs.
+// ---------------------------------------------------------------------
+#[test]
+fn explicit_placement_keeps_the_report_byte_identical() {
+    let direct = demo_session().run().expect("in-process session");
+    let want = stable_digest(&direct.report);
+
+    // Three processes, but the single app partition is pinned to p2 —
+    // the derived policy would have used p1, so this exercises a
+    // genuinely different mesh shape.
+    let endpoint = fresh_unix_endpoint("placed");
+    let run_placed = |proc_index: usize| {
+        let endpoint = endpoint.clone();
+        move || demo_session().run_multiproc_placed(socket_cfg(endpoint), proc_index, 3, vec![2])
+    };
+    let w1 = std::thread::spawn(run_placed(1));
+    let w2 = std::thread::spawn(run_placed(2));
+    let sock = run_placed(0)().expect("placed session, process 0");
+    w1.join().unwrap().expect("placed session, process 1");
+    w2.join().unwrap().expect("placed session, process 2");
+
+    assert_eq!(
+        stable_digest(&sock.report),
+        want,
+        "explicit placement must not change the analysis output"
+    );
+}
+
+#[test]
+fn invalid_placements_are_typed_config_errors() {
+    // Wrong arity: one app, two placement entries.
+    let endpoint = fresh_unix_endpoint("placed-arity");
+    match demo_session().run_multiproc_placed(socket_cfg(endpoint), 0, 3, vec![1, 2]) {
+        Err(SessionError::Config(msg)) => {
+            assert!(msg.contains("placement"), "names the field: {msg}")
+        }
+        other => {
+            let _ = other.map(|_| ());
+            panic!("expected a Config error")
+        }
+    }
+    // Out-of-range target: process 7 in a 3-process job.
+    let endpoint = fresh_unix_endpoint("placed-range");
+    match demo_session().run_multiproc_placed(socket_cfg(endpoint), 0, 3, vec![7]) {
+        Err(SessionError::Config(msg)) => {
+            assert!(msg.contains('7'), "names the bad target: {msg}")
+        }
+        other => {
+            let _ = other.map(|_| ());
+            panic!("expected a Config error")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Shape 3: two genuine OS processes. The worker half below re-executes
 // this binary (inert unless the env var is set), exactly like a real
 // multi-process deployment would launch one session per host.

@@ -289,3 +289,220 @@ fn midstream_peer_death_is_one_typed_peer_lost_and_counted() {
         "the disconnect must be counted"
     );
 }
+
+// ---------------------------------------------------------------------
+// An invalid socket configuration is rejected with a typed error before
+// any I/O happens — no bind, no dial, no partial mesh.
+// ---------------------------------------------------------------------
+#[test]
+fn invalid_socket_config_is_a_typed_error_before_any_io() {
+    let bad_cases = vec![
+        SocketConfig::new(fresh_unix_endpoint("badcfg")).retry_budget(0),
+        SocketConfig::new(fresh_unix_endpoint("badcfg")).connect_timeout(Duration::ZERO),
+        SocketConfig::new(fresh_unix_endpoint("badcfg")).backoff_base(Duration::from_secs(600)),
+    ];
+    for cfg in bad_cases {
+        let topo = MultiprocTopology::new(cfg, 0, 2).assign(PartitionAssign::RoundRobin);
+        match tiny_job().run_multiproc(topo) {
+            Err(MultiprocError::Socket(SocketError::InvalidConfig { what })) => {
+                assert!(!what.is_empty(), "the defect is named");
+            }
+            other => panic!("expected a typed InvalidConfig, got: {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Retry-budget exhaustion: the *coordinator* process dies mid-stream, so
+// the surviving higher-indexed process redials it — every attempt is
+// refused, the budget runs out, and the survivor sees exactly one typed
+// PeerLost. The reconnect counters prove the dialer actually tried.
+// ---------------------------------------------------------------------
+
+/// Reader survives in process 1; the writer (process 0, the coordinator)
+/// aborts after three blocks. Mirrors `disconnect_job` with the roles
+/// swapped across the process boundary so the *dialer* side of the
+/// reconnect protocol is the survivor.
+fn coordinator_death_job(observed: Arc<Mutex<(usize, Vec<usize>)>>) -> Launcher {
+    let cfg = || {
+        StreamConfig::new(DISCONNECT_BLOCK, 3, Balance::None)
+            .with_read_timeout(Duration::from_secs(20))
+    };
+    Launcher::new()
+        .partition("w", 1, move |mpi| {
+            let v = Vmpi::new(mpi).unwrap();
+            let mut st = WriteStream::open_to(&v, vec![1], cfg(), 5).unwrap();
+            for _ in 0..DISCONNECT_BLOCKS_SENT {
+                st.write(&[0x5A; DISCONNECT_BLOCK]).unwrap();
+            }
+            std::process::abort();
+        })
+        .partition("r", 1, move |mpi| {
+            let v = Vmpi::new(mpi).unwrap();
+            let mut st = ReadStream::open_from(&v, vec![0], cfg(), 5).unwrap();
+            let mut blocks = 0usize;
+            let mut lost = Vec::new();
+            loop {
+                match st.read(ReadMode::Blocking) {
+                    Ok(Some(b)) => {
+                        assert!(b.data.iter().all(|&x| x == 0x5A));
+                        blocks += 1;
+                    }
+                    Ok(None) => break,
+                    Err(VmpiError::PeerLost { rank }) => {
+                        lost.push(rank);
+                        break;
+                    }
+                    Err(e) => panic!("survivor must fail typed, got: {e}"),
+                }
+            }
+            *observed.lock().unwrap() = (blocks, lost);
+        })
+}
+
+fn exhaustion_cfg(endpoint: Endpoint) -> SocketConfig {
+    SocketConfig::new(endpoint)
+        .connect_timeout(Duration::from_secs(20))
+        .retry_budget(3)
+        .backoff_base(Duration::from_millis(10))
+}
+
+/// Spawned copy of this binary: hosts the aborting coordinator.
+#[test]
+fn budget_exhaustion_worker() {
+    let Ok(path) = std::env::var("OPMR_NEG_COORD_SOCK") else {
+        return; // not a worker invocation
+    };
+    let cfg = exhaustion_cfg(Endpoint::Unix(path.into()));
+    let topo = MultiprocTopology::new(cfg, 0, 2).assign(PartitionAssign::RoundRobin);
+    let sink = Arc::new(Mutex::new((0, Vec::new())));
+    // The writer aborts the whole process, so this never returns.
+    let _ = coordinator_death_job(sink).run_multiproc(topo);
+    unreachable!("the worker process must have aborted");
+}
+
+#[test]
+fn retry_budget_exhaustion_is_one_typed_peer_lost_and_counted() {
+    let attempts0 = counter("transport_socket_reconnect_attempts_total");
+    let exhausted0 = counter("transport_socket_reconnect_exhausted_total");
+    let endpoint = fresh_unix_endpoint("exhaust");
+    let Endpoint::Unix(path) = &endpoint else {
+        unreachable!()
+    };
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .args(["--exact", "budget_exhaustion_worker", "--test-threads=1"])
+        .env("OPMR_NEG_COORD_SOCK", path)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    let observed = Arc::new(Mutex::new((0usize, Vec::new())));
+    let topo = MultiprocTopology::new(exhaustion_cfg(endpoint.clone()), 1, 2)
+        .assign(PartitionAssign::RoundRobin);
+    let local = coordinator_death_job(Arc::clone(&observed)).run_multiproc(topo);
+    let status = child.wait().unwrap();
+
+    assert!(!status.success(), "the coordinator must have died by abort");
+    local.expect("the surviving process finishes its job cleanly");
+    let (blocks, lost) = std::mem::take(&mut *observed.lock().unwrap());
+    assert_eq!(
+        blocks, DISCONNECT_BLOCKS_SENT,
+        "bytes already on the wire are delivered before the loss"
+    );
+    assert_eq!(lost, vec![0], "exactly one typed loss, naming the writer");
+    let attempts = counter("transport_socket_reconnect_attempts_total") - attempts0;
+    assert!(
+        attempts >= 3,
+        "the dialer must spend its whole retry budget, attempted {attempts}"
+    );
+    assert!(
+        counter("transport_socket_reconnect_exhausted_total") > exhausted0,
+        "running out of budget must be counted"
+    );
+}
+
+// ---------------------------------------------------------------------
+// A stale-epoch redial — a connection presenting a reconnect frame from
+// some other (or long-dead) session — is answered with a typed NAK and
+// counted, and the real job is unaffected.
+// ---------------------------------------------------------------------
+#[test]
+fn stale_epoch_redial_is_nakked_typed_and_counted() {
+    use std::io::Read as _;
+    let before = counter("transport_socket_reconnect_stale_epoch_total");
+    let endpoint = fresh_unix_endpoint("stale");
+    let Endpoint::Unix(path) = endpoint.clone() else {
+        unreachable!()
+    };
+    // Partition bodies idle long enough for the rogue to hit the
+    // coordinator's retained (post-handshake) listener mid-job.
+    let launcher = Launcher::new()
+        .partition("a", 1, |mpi| {
+            std::thread::sleep(Duration::from_millis(700));
+            let w = mpi.world();
+            mpi.send(&w, 1, 7, vec![1, 2, 3]).unwrap();
+        })
+        .partition("b", 1, |mpi| {
+            let w = mpi.world();
+            let (_, d) = mpi.recv(&w, Src::Rank(0), TagSel::Tag(7)).unwrap();
+            assert_eq!(d, vec![1, 2, 3]);
+        });
+    let spawn_proc = |p: usize| {
+        let l = launcher.clone();
+        let cfg = SocketConfig::new(endpoint.clone()).connect_timeout(Duration::from_secs(20));
+        let topo = MultiprocTopology::new(cfg, p, 2).assign(PartitionAssign::RoundRobin);
+        std::thread::spawn(move || l.run_multiproc(topo))
+    };
+    let coord = spawn_proc(0);
+    let peer = spawn_proc(1);
+
+    // Give the handshake time to finish so the acceptor (not the mesh
+    // assembly) owns the listener, then present a reconnect frame wired
+    // for a bogus session epoch: kind, magic, version, proc=1, epoch,
+    // rx_seq — exactly the layout a genuine redial uses.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut rogue = UnixStream::connect(&path).expect("coordinator listener is retained");
+    let mut reconn = Vec::with_capacity(23);
+    reconn.push(8u8); // K_RECONN
+    reconn.extend_from_slice(&0x4F50_4D52u32.to_le_bytes()); // MAGIC "OPMR"
+    reconn.extend_from_slice(&2u16.to_le_bytes()); // VERSION
+    reconn.extend_from_slice(&1u16.to_le_bytes()); // claims to be process 1
+    reconn.extend_from_slice(&0xDEAD_BEEF_DEAD_BEEFu64.to_le_bytes()); // stale epoch
+    reconn.extend_from_slice(&0u64.to_le_bytes()); // rx_seq
+    rogue
+        .write_all(&opmr::events::frame(&reconn))
+        .expect("send stale reconn");
+    rogue.flush().unwrap();
+
+    // The reply is a framed `[K_RECONN_NAK, NAK_STALE_EPOCH]`.
+    rogue
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reply = Vec::new();
+    let mut buf = [0u8; 64];
+    loop {
+        match rogue.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => reply.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    assert!(
+        reply.len() >= 10,
+        "expected a framed NAK reply, got {} bytes",
+        reply.len()
+    );
+    let payload = &reply[8..]; // [len u32][crc u32] framing header
+    assert_eq!(payload[0], 10, "reply kind must be K_RECONN_NAK");
+    assert_eq!(payload[1], 1, "reason must be NAK_STALE_EPOCH");
+
+    // The real job is untouched by the rogue.
+    coord.join().unwrap().expect("coordinator finishes its job");
+    peer.join().unwrap().expect("peer finishes its job");
+    assert!(
+        counter("transport_socket_reconnect_stale_epoch_total") > before,
+        "the stale-epoch rejection must be counted"
+    );
+}
