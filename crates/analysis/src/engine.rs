@@ -346,7 +346,9 @@ impl AnalysisEngine {
                     return;
                 };
                 let mut view: &[u8] = bytes;
-                let Ok(header) = codec::decode_header(&mut view) else {
+                // Any known wire version routes — the dispatcher only
+                // needs the app id; the unpacker picks the event codec.
+                let Ok((header, _version)) = codec::decode_header_any(&mut view) else {
                     // Unparseable block: account it to app 0's error count.
                     engine.slot(0).data.lock().decode_errors += 1;
                     return;

@@ -1,0 +1,251 @@
+//! Encode-path golden numbers: events/second and bytes-per-event for the
+//! three wire encodings — fixed 48-byte layout, delta/varint, and
+//! delta/varint + LZ4-class block compression — over event streams
+//! synthesized from catalog workloads.
+//!
+//! The event streams are deterministic (monotone per-rank clocks, op
+//! parameters straight from the workload programs), so `bytes_per_event`
+//! is a stable number the nightly CI step asserts within a tolerance
+//! band, while `events_per_sec` tracks the allocation-free steady-state
+//! encode path. `--quick` shrinks ranks/iterations for CI.
+
+use opmr_bench::{out_dir, row, CODEC_BENCH_CSV_HEADER};
+use opmr_events::{Event, EventKind, EventPack, Lz4Encoder, PackEncoding};
+use opmr_netsim::{tera100, CollKind, Op, Workload};
+use opmr_workloads::{Benchmark, Class};
+use std::io::Write as _;
+use std::time::Instant;
+
+/// One stream block per pack, sized like the session default.
+const BLOCK_SIZE: usize = 64 * 1024;
+
+/// The encodings the table compares. `lz4` is the delta layout with the
+/// stream layer's per-block compressor on top.
+#[derive(Clone, Copy, PartialEq)]
+enum Encoding {
+    Fixed,
+    Delta,
+    DeltaLz4,
+}
+
+impl Encoding {
+    const ALL: [Encoding; 3] = [Encoding::Fixed, Encoding::Delta, Encoding::DeltaLz4];
+
+    fn name(self) -> &'static str {
+        match self {
+            Encoding::Fixed => "fixed",
+            Encoding::Delta => "delta",
+            Encoding::DeltaLz4 => "delta+lz4",
+        }
+    }
+
+    fn pack_encoding(self) -> PackEncoding {
+        match self {
+            Encoding::Fixed => PackEncoding::Fixed,
+            Encoding::Delta | Encoding::DeltaLz4 => PackEncoding::Delta,
+        }
+    }
+}
+
+/// Walks one rank's program with a monotone virtual clock and emits the
+/// event sequence its wrapper would record. Durations are deterministic
+/// functions of the op parameters, so every run of the bench encodes the
+/// same bytes.
+fn rank_events(w: &Workload, rank: usize, cap: usize) -> Vec<Event> {
+    let prog = &w.programs[rank];
+    let mut clock: u64 = 1_000 * rank as u64;
+    let mut tag: i32 = 0;
+    let mut out = Vec::new();
+    let emit = |out: &mut Vec<Event>,
+                clock: &mut u64,
+                kind: EventKind,
+                peer: i32,
+                tag: i32,
+                comm: u32,
+                bytes: u64| {
+        let duration_ns = 400 + bytes / 8;
+        out.push(Event {
+            time_ns: *clock,
+            duration_ns,
+            kind,
+            rank: rank as u32,
+            peer,
+            tag,
+            comm,
+            bytes,
+        });
+        *clock += duration_ns + 50;
+    };
+    let run_op = |out: &mut Vec<Event>, clock: &mut u64, tag: &mut i32, op: &Op| match *op {
+        Op::Compute { ns } => *clock += ns as u64,
+        Op::Send { to, bytes } => emit(out, clock, EventKind::Send, to as i32, *tag, 0, bytes),
+        Op::Recv { from } => emit(out, clock, EventKind::Recv, from as i32, *tag, 0, 0),
+        Op::Exchange { peer, bytes } => {
+            emit(out, clock, EventKind::Isend, peer as i32, *tag, 0, bytes);
+            emit(out, clock, EventKind::Recv, peer as i32, *tag, 0, bytes);
+            emit(out, clock, EventKind::Wait, peer as i32, *tag, 0, 0);
+        }
+        Op::Coll { group, kind, bytes } => {
+            let ek = match kind {
+                CollKind::Barrier => EventKind::Barrier,
+                CollKind::Bcast => EventKind::Bcast,
+                CollKind::Reduce => EventKind::Reduce,
+                CollKind::Allreduce => EventKind::Allreduce,
+                CollKind::Gather => EventKind::Gather,
+                CollKind::Allgather => EventKind::Allgather,
+                CollKind::Alltoall => EventKind::Alltoall,
+            };
+            emit(out, clock, ek, -1, 0, group, bytes);
+        }
+        Op::FsWrite { bytes } => emit(out, clock, EventKind::PosixWrite, -1, 0, 0, bytes),
+        Op::FsMeta => emit(out, clock, EventKind::PosixOpen, -1, 0, 0, 0),
+    };
+    emit(&mut out, &mut clock, EventKind::Init, -1, 0, 0, 0);
+    for op in &prog.prologue {
+        run_op(&mut out, &mut clock, &mut tag, op);
+    }
+    'body: for _ in 0..prog.iters {
+        for op in &prog.body {
+            if out.len() >= cap {
+                break 'body;
+            }
+            run_op(&mut out, &mut clock, &mut tag, op);
+        }
+        tag += 1;
+    }
+    for op in &prog.epilogue {
+        run_op(&mut out, &mut clock, &mut tag, op);
+    }
+    emit(&mut out, &mut clock, EventKind::Finalize, -1, 0, 0, 0);
+    out
+}
+
+/// Splits per-rank event streams into block-budgeted packs for `encoding`.
+fn build_packs(streams: &[Vec<Event>], encoding: PackEncoding) -> Vec<EventPack> {
+    let cap = EventPack::capacity_for_block_with(BLOCK_SIZE, encoding).max(1);
+    let mut packs = Vec::new();
+    for (rank, events) in streams.iter().enumerate() {
+        for (seq, chunk) in events.chunks(cap).enumerate() {
+            packs.push(EventPack::new(0, rank as u32, seq as u32, chunk.to_vec()));
+        }
+    }
+    packs
+}
+
+struct Measured {
+    events_per_sec: f64,
+    bytes_per_event: f64,
+}
+
+/// Encodes every pack `reps` times through the pooled steady-state path
+/// (reused scratch + compressor) and reports throughput and wire density.
+fn measure(streams: &[Vec<Event>], enc: Encoding, reps: usize) -> Measured {
+    let packs = build_packs(streams, enc.pack_encoding());
+    let total_events: u64 = packs.iter().map(|p| p.events.len() as u64).sum();
+    let mut scratch = bytes::BytesMut::with_capacity(BLOCK_SIZE);
+    let mut zbuf: Vec<u8> = Vec::with_capacity(BLOCK_SIZE * 2);
+    let mut lz4 = Lz4Encoder::new();
+    let mut wire_bytes: u64 = 0;
+    let t0 = Instant::now();
+    for rep in 0..reps.max(1) {
+        for pack in &packs {
+            scratch.clear();
+            let n = pack.encode_into(enc.pack_encoding(), &mut scratch);
+            let shipped = if enc == Encoding::DeltaLz4 {
+                zbuf.clear();
+                lz4.compress(&scratch, &mut zbuf);
+                zbuf.len().min(n)
+            } else {
+                n
+            };
+            if rep == 0 {
+                wire_bytes += shipped as u64;
+            }
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    Measured {
+        events_per_sec: (total_events * reps.max(1) as u64) as f64 / secs,
+        bytes_per_event: wire_bytes as f64 / total_events.max(1) as f64,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (ranks, iters, cap_per_rank, reps) = if quick {
+        (16usize, 3u32, 4_000usize, 3usize)
+    } else {
+        (64, 8, 20_000, 10)
+    };
+    let m = tera100();
+    // Two NAS kernels plus the paper's coupled application and the
+    // irregular generator: distinct op mixes, all from the catalog.
+    let series: [(Benchmark, Class); 4] = [
+        (Benchmark::Lu, Class::C),
+        (Benchmark::Sp, Class::C),
+        (Benchmark::EulerMhd, Class::C),
+        (Benchmark::Irregular, Class::C),
+    ];
+
+    let dir = out_dir("codec")?;
+    let mut csv = format!("{CODEC_BENCH_CSV_HEADER}\n");
+
+    println!("codec_bench — encode-path throughput and wire density per encoding\n");
+    let widths = [14usize, 10, 10, 12, 14, 10];
+    row(
+        &[
+            "workload".into(),
+            "encoding".into(),
+            "events".into(),
+            "Mev/s".into(),
+            "B/event".into(),
+            "vs fixed".into(),
+        ],
+        &widths,
+    );
+
+    for (bench, class) in series {
+        // SP needs a perfect square of ranks.
+        let n = if bench == Benchmark::Sp {
+            let k = (ranks as f64).sqrt().round() as usize;
+            k * k
+        } else {
+            ranks
+        };
+        let w = bench.build(class, n, &m, Some(iters))?;
+        let streams: Vec<Vec<Event>> = (0..n).map(|r| rank_events(&w, r, cap_per_rank)).collect();
+        let events: u64 = streams.iter().map(|s| s.len() as u64).sum();
+        let fixed_density = measure(&streams, Encoding::Fixed, 1).bytes_per_event;
+        for enc in Encoding::ALL {
+            let got = measure(&streams, enc, reps);
+            let reduction = fixed_density / got.bytes_per_event.max(1e-9);
+            row(
+                &[
+                    format!("{}.{}", bench.name(), class),
+                    enc.name().into(),
+                    events.to_string(),
+                    format!("{:.1}", got.events_per_sec / 1e6),
+                    format!("{:.2}", got.bytes_per_event),
+                    format!("{reduction:.2}x"),
+                ],
+                &widths,
+            );
+            csv.push_str(&format!(
+                "{},{},{n},{events},{},{:.0},{:.3},{:.3}\n",
+                bench.name(),
+                class,
+                enc.name(),
+                got.events_per_sec,
+                got.bytes_per_event,
+                reduction,
+            ));
+        }
+        println!();
+    }
+
+    let path = dir.join("codec_bench.csv");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(csv.as_bytes())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

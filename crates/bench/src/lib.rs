@@ -32,6 +32,12 @@ pub const SERVE_BENCH_CSV_HEADER: &str =
 pub const TBON_COMPARE_CSV_HEADER: &str =
     "source,leaves,reduction,tbon_gbs,direct_gbs,internal_nodes";
 
+/// CSV header written by the `codec_bench` binary (same contract as
+/// [`SERVE_BENCH_CSV_HEADER`]). The nightly golden-number CI step scrapes
+/// `bytes_per_event` and `events_per_sec` by column name.
+pub const CODEC_BENCH_CSV_HEADER: &str =
+    "workload,class,ranks,events,encoding,events_per_sec,bytes_per_event,reduction_vs_fixed";
+
 /// Output directory for figure artifacts (`out/<sub>` under the workspace).
 pub fn out_dir(sub: &str) -> std::io::Result<PathBuf> {
     let base = std::env::var("OPMR_OUT").unwrap_or_else(|_| "out".to_string());

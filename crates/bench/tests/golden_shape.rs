@@ -9,7 +9,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 
-use opmr_bench::{SERVE_BENCH_CSV_HEADER, TBON_COMPARE_CSV_HEADER};
+use opmr_bench::{CODEC_BENCH_CSV_HEADER, SERVE_BENCH_CSV_HEADER, TBON_COMPARE_CSV_HEADER};
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -29,6 +29,16 @@ fn tbon_compare_csv_header_is_pinned() {
     assert_eq!(
         TBON_COMPARE_CSV_HEADER,
         "source,leaves,reduction,tbon_gbs,direct_gbs,internal_nodes"
+    );
+}
+
+#[test]
+fn codec_bench_csv_header_is_pinned() {
+    // The nightly golden-number CI step scrapes bytes_per_event and
+    // events_per_sec by column name; change them only together.
+    assert_eq!(
+        CODEC_BENCH_CSV_HEADER,
+        "workload,class,ranks,events,encoding,events_per_sec,bytes_per_event,reduction_vs_fixed"
     );
 }
 
@@ -111,6 +121,28 @@ fn metrics_bench_quick_emits_the_pinned_shape() {
     );
     // Every column of the window series is numeric.
     check_shape(&csv, opmr_metrics::WINDOW_CSV_HEADER, &[], 2);
+}
+
+#[test]
+#[ignore = "executes the codec_bench binary; run via --include-ignored"]
+fn codec_bench_quick_emits_the_pinned_shape() {
+    let csv = run_quick(env!("CARGO_BIN_EXE_codec_bench"), "codec/codec_bench.csv");
+    // Columns 0/1/4 (workload, class, encoding) are text; the rest numeric.
+    check_shape(&csv, CODEC_BENCH_CSV_HEADER, &[0, 1, 4], 12);
+    // The acceptance bar: the delta layout alone moves >= 3x fewer bytes
+    // per event than fixed on every catalog workload in the table.
+    for line in csv.lines().skip(1) {
+        let f: Vec<&str> = line.split(',').collect();
+        if f[4] != "fixed" {
+            let reduction: f64 = f[7].parse().unwrap();
+            assert!(
+                reduction >= 3.0,
+                "{} {} reduced only {reduction:.2}x vs fixed",
+                f[0],
+                f[4]
+            );
+        }
+    }
 }
 
 #[test]

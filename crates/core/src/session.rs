@@ -210,6 +210,24 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects the compact delta/varint event-pack layout (wire version 2)
+    /// for every recorder in the session. Decoders dispatch on the pack
+    /// header, so mixed sessions and replayed legacy traces keep working;
+    /// the default stays the fixed layout for bitwise compatibility.
+    pub fn pack_encoding(mut self, encoding: opmr_vmpi::PackEncoding) -> Self {
+        self.stream.pack_encoding = encoding;
+        self
+    }
+
+    /// Enables per-block stream compression for every writer in the
+    /// session (instrumented apps, TBON partial forwarding, serve deltas —
+    /// they all ride the same stream layer). Each frame carries its own
+    /// compression flag, so readers need no out-of-band agreement.
+    pub fn compression(mut self, compression: opmr_vmpi::Compression) -> Self {
+        self.stream.compression = compression;
+        self
+    }
+
     /// Analysis-engine configuration.
     pub fn engine_config(mut self, cfg: EngineConfig) -> Self {
         self.engine = cfg;
@@ -589,7 +607,13 @@ impl SessionBuilder {
         let stream_cfg = self.stream;
         let analyzer_ranks = self.analyzer_ranks;
         let n_apps = self.apps.len();
-        let serve_cfg = self.serve;
+        let mut serve_cfg = self.serve;
+        // Serve deltas ride the same compressed hot path as event packs:
+        // unless the serve plane was given its own codec, it inherits the
+        // session's. Frames self-describe, so clients need no agreement.
+        if serve_cfg.stream.compression == opmr_vmpi::Compression::None {
+            serve_cfg.stream.compression = stream_cfg.compression;
+        }
 
         // Serving: the engine publishes a versioned snapshot into the store
         // at every window boundary; the serving loops read it from there.

@@ -24,20 +24,30 @@
 
 use crate::event::{Event, EventKind};
 use crate::pack::{PackHeader, EVENT_WIRE_SIZE, PACK_HEADER_SIZE};
+use crate::vint;
 use bytes::{Buf, BufMut};
 
 /// `"OPMR"` little-endian.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"OPMR");
-/// Current wire version.
+/// Fixed-layout wire version (the legacy format old peers understand).
 pub const VERSION: u16 = 1;
+/// Delta/varint wire version (PR 9's batched compact encoding).
+pub const VERSION_DELTA: u16 = 2;
 
 /// Decoding failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CodecError {
-    Truncated { need: usize, have: usize },
+    Truncated {
+        need: usize,
+        have: usize,
+    },
     BadMagic(u32),
     BadVersion(u16),
     BadKind(u16),
+    /// A varint ran past 64 bits.
+    VarintOverflow,
+    /// A decoded value does not fit its event field.
+    FieldOverflow(&'static str),
 }
 
 impl std::fmt::Display for CodecError {
@@ -49,6 +59,10 @@ impl std::fmt::Display for CodecError {
             CodecError::BadMagic(m) => write!(f, "bad pack magic {m:#x}"),
             CodecError::BadVersion(v) => write!(f, "unsupported pack version {v}"),
             CodecError::BadKind(k) => write!(f, "unknown event kind {k}"),
+            CodecError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            CodecError::FieldOverflow(field) => {
+                write!(f, "decoded value does not fit event field `{field}`")
+            }
         }
     }
 }
@@ -100,10 +114,99 @@ pub fn decode_event(buf: &mut impl Buf) -> Result<Event, CodecError> {
     })
 }
 
-/// Appends a pack header to `out`.
+// ---------------------------------------------------------------------
+// Delta/varint event codec (pack wire version 2).
+//
+// Per event, in field order, each a LEB128 varint (signed fields zigzag):
+//   time_ns   zigzag(wrapping delta from the previous event's time_ns;
+//             the first event deltas from 0)
+//   duration  raw
+//   bytes     raw
+//   kind      raw (u16)
+//   rank      zigzag(delta from the previous event's rank; the first
+//             event deltas from the pack header's rank)
+//   peer      zigzag
+//   tag       zigzag
+//   comm      raw (u32)
+//
+// Timestamps are monotone and ranks near-constant within a pack, so the
+// two delta fields collapse to one or two bytes each in practice.
+// ---------------------------------------------------------------------
+
+/// Running per-pack state the delta codec threads between events.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaState {
+    prev_time_ns: u64,
+    prev_rank: u32,
+}
+
+impl DeltaState {
+    /// Starts a pack: the first event's rank deltas against the header's.
+    pub fn new(header_rank: u32) -> DeltaState {
+        DeltaState {
+            prev_time_ns: 0,
+            prev_rank: header_rank,
+        }
+    }
+}
+
+/// Appends one delta/varint-coded event to `out`.
+pub fn encode_event_delta(e: &Event, st: &mut DeltaState, out: &mut impl BufMut) {
+    let dt = e.time_ns.wrapping_sub(st.prev_time_ns) as i64;
+    st.prev_time_ns = e.time_ns;
+    vint::put_uvarint(out, vint::zigzag(dt));
+    vint::put_uvarint(out, e.duration_ns);
+    vint::put_uvarint(out, e.bytes);
+    vint::put_uvarint(out, e.kind as u16 as u64);
+    let dr = e.rank as i64 - st.prev_rank as i64;
+    st.prev_rank = e.rank;
+    vint::put_uvarint(out, vint::zigzag(dr));
+    vint::put_uvarint(out, vint::zigzag(e.peer as i64));
+    vint::put_uvarint(out, vint::zigzag(e.tag as i64));
+    vint::put_uvarint(out, e.comm as u64);
+}
+
+/// Decodes one delta/varint-coded event from the front of `*buf`.
+pub fn decode_event_delta(buf: &mut &[u8], st: &mut DeltaState) -> Result<Event, CodecError> {
+    let dt = vint::unzigzag(vint::get_uvarint(buf)?);
+    let time_ns = st.prev_time_ns.wrapping_add(dt as u64);
+    st.prev_time_ns = time_ns;
+    let duration_ns = vint::get_uvarint(buf)?;
+    let bytes = vint::get_uvarint(buf)?;
+    let kind_raw = vint::get_uvarint(buf)?;
+    let kind_raw = u16::try_from(kind_raw).map_err(|_| CodecError::FieldOverflow("kind"))?;
+    let kind = EventKind::from_u16(kind_raw).ok_or(CodecError::BadKind(kind_raw))?;
+    let dr = vint::unzigzag(vint::get_uvarint(buf)?);
+    let rank_wide = st.prev_rank as i64 + dr;
+    let rank = u32::try_from(rank_wide).map_err(|_| CodecError::FieldOverflow("rank"))?;
+    st.prev_rank = rank;
+    let peer = i32::try_from(vint::unzigzag(vint::get_uvarint(buf)?))
+        .map_err(|_| CodecError::FieldOverflow("peer"))?;
+    let tag = i32::try_from(vint::unzigzag(vint::get_uvarint(buf)?))
+        .map_err(|_| CodecError::FieldOverflow("tag"))?;
+    let comm =
+        u32::try_from(vint::get_uvarint(buf)?).map_err(|_| CodecError::FieldOverflow("comm"))?;
+    Ok(Event {
+        time_ns,
+        duration_ns,
+        kind,
+        rank,
+        peer,
+        tag,
+        comm,
+        bytes,
+    })
+}
+
+/// Appends a pack header to `out` (fixed-layout wire version 1).
 pub fn encode_header(h: &PackHeader, out: &mut impl BufMut) {
+    encode_header_versioned(h, VERSION, out);
+}
+
+/// Appends a pack header carrying an explicit wire version.
+pub fn encode_header_versioned(h: &PackHeader, version: u16, out: &mut impl BufMut) {
     out.put_u32_le(MAGIC);
-    out.put_u16_le(VERSION);
+    out.put_u16_le(version);
     out.put_u16_le(h.app_id);
     out.put_u32_le(h.rank);
     out.put_u32_le(h.seq);
@@ -111,8 +214,18 @@ pub fn encode_header(h: &PackHeader, out: &mut impl BufMut) {
     out.put_u32_le(0);
 }
 
-/// Decodes a pack header from the front of `buf`.
+/// Decodes a fixed-layout (version 1) pack header from the front of `buf`.
 pub fn decode_header(buf: &mut impl Buf) -> Result<PackHeader, CodecError> {
+    let (h, version) = decode_header_any(buf)?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    Ok(h)
+}
+
+/// Decodes a pack header of any supported wire version, returning the
+/// version so the caller can pick the matching event codec.
+pub fn decode_header_any(buf: &mut impl Buf) -> Result<(PackHeader, u16), CodecError> {
     if buf.remaining() < PACK_HEADER_SIZE {
         return Err(CodecError::Truncated {
             need: PACK_HEADER_SIZE,
@@ -124,7 +237,7 @@ pub fn decode_header(buf: &mut impl Buf) -> Result<PackHeader, CodecError> {
         return Err(CodecError::BadMagic(magic));
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
+    if version != VERSION && version != VERSION_DELTA {
         return Err(CodecError::BadVersion(version));
     }
     let app_id = buf.get_u16_le();
@@ -132,12 +245,15 @@ pub fn decode_header(buf: &mut impl Buf) -> Result<PackHeader, CodecError> {
     let seq = buf.get_u32_le();
     let count = buf.get_u32_le();
     let _pad = buf.get_u32_le();
-    Ok(PackHeader {
-        app_id,
-        rank,
-        seq,
-        count,
-    })
+    Ok((
+        PackHeader {
+            app_id,
+            rank,
+            seq,
+            count,
+        },
+        version,
+    ))
 }
 
 #[cfg(test)]
@@ -205,6 +321,136 @@ mod tests {
             decode_header(&mut buf.freeze()),
             Err(CodecError::BadMagic(_))
         ));
+    }
+
+    #[test]
+    fn delta_event_roundtrip_extremes() {
+        let events = [
+            Event {
+                time_ns: u64::MAX,
+                duration_ns: u64::MAX,
+                kind: EventKind::Alltoall,
+                rank: u32::MAX,
+                peer: i32::MIN,
+                tag: i32::MIN,
+                comm: u32::MAX,
+                bytes: u64::MAX,
+            },
+            Event {
+                time_ns: 0,
+                duration_ns: 0,
+                kind: EventKind::Send,
+                rank: 0,
+                peer: i32::MAX,
+                tag: i32::MAX,
+                comm: 0,
+                bytes: 0,
+            },
+            Event::basic(EventKind::Recv, 7, 1000, 9),
+        ];
+        let mut buf = BytesMut::new();
+        let mut enc = DeltaState::new(42);
+        for e in &events {
+            let before = buf.len();
+            encode_event_delta(e, &mut enc, &mut buf);
+            assert!(buf.len() - before <= crate::pack::DELTA_EVENT_MAX_WIRE_SIZE);
+        }
+        let mut dec = DeltaState::new(42);
+        let mut s: &[u8] = &buf;
+        for e in &events {
+            assert_eq!(decode_event_delta(&mut s, &mut dec).unwrap(), *e);
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn delta_event_small_deltas_are_tiny() {
+        let mut buf = BytesMut::new();
+        let mut enc = DeltaState::new(3);
+        let e = Event {
+            time_ns: 1_000_000,
+            duration_ns: 40,
+            kind: EventKind::Send,
+            rank: 3,
+            peer: 4,
+            tag: 1,
+            comm: 0,
+            bytes: 64,
+        };
+        encode_event_delta(&e, &mut enc, &mut buf);
+        let first = buf.len();
+        let e2 = Event {
+            time_ns: 1_000_120,
+            ..e
+        };
+        encode_event_delta(&e2, &mut enc, &mut buf);
+        // Steady state: only the time delta costs more than one byte.
+        assert!(
+            buf.len() - first <= 10,
+            "steady event took {} bytes",
+            buf.len() - first
+        );
+    }
+
+    #[test]
+    fn delta_field_overflows_typed() {
+        // rank delta pushing past u32::MAX.
+        let mut buf = BytesMut::new();
+        vint::put_uvarint(&mut buf, vint::zigzag(0)); // time
+        vint::put_uvarint(&mut buf, 0); // duration
+        vint::put_uvarint(&mut buf, 0); // bytes
+        vint::put_uvarint(&mut buf, 0); // kind = Send
+        vint::put_uvarint(&mut buf, vint::zigzag(u32::MAX as i64 + 1)); // rank delta
+        let mut st = DeltaState::new(0);
+        let mut s: &[u8] = &buf;
+        assert_eq!(
+            decode_event_delta(&mut s, &mut st),
+            Err(CodecError::FieldOverflow("rank"))
+        );
+
+        // peer outside i32.
+        let mut buf = BytesMut::new();
+        for _ in 0..4 {
+            vint::put_uvarint(&mut buf, 0);
+        }
+        vint::put_uvarint(&mut buf, vint::zigzag(0)); // rank delta
+        vint::put_uvarint(&mut buf, vint::zigzag(i32::MAX as i64 + 1)); // peer
+        let mut st = DeltaState::new(0);
+        let mut s: &[u8] = &buf;
+        assert_eq!(
+            decode_event_delta(&mut s, &mut st),
+            Err(CodecError::FieldOverflow("peer"))
+        );
+    }
+
+    #[test]
+    fn versioned_header_roundtrips_and_rejects() {
+        let h = PackHeader {
+            app_id: 1,
+            rank: 2,
+            seq: 3,
+            count: 4,
+        };
+        let mut buf = BytesMut::new();
+        encode_header_versioned(&h, VERSION_DELTA, &mut buf);
+        let frozen = buf.freeze();
+        // The strict v1 decoder refuses v2...
+        assert_eq!(
+            decode_header(&mut frozen.clone()),
+            Err(CodecError::BadVersion(VERSION_DELTA))
+        );
+        // ...the version-dispatching one returns it.
+        assert_eq!(
+            decode_header_any(&mut frozen.clone()).unwrap(),
+            (h, VERSION_DELTA)
+        );
+        // Unknown versions stay typed rejections.
+        let mut buf = BytesMut::new();
+        encode_header_versioned(&h, 9, &mut buf);
+        assert_eq!(
+            decode_header_any(&mut buf.freeze()),
+            Err(CodecError::BadVersion(9))
+        );
     }
 
     #[test]

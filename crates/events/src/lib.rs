@@ -18,10 +18,20 @@
 //! are valid across any producer/consumer pair and truncation is detected.
 
 pub mod codec;
+pub mod compress;
 pub mod event;
 pub mod frame;
 pub mod pack;
+pub mod pool;
+pub mod vint;
 
+pub use compress::{
+    decompress, decompress_into, max_compressed_len, CompressError, Compression, Lz4Encoder,
+};
 pub use event::{Event, EventKind};
 pub use frame::{frame, try_frame, FrameBuf, FrameError, MAX_FRAME_LEN};
-pub use pack::{EventPack, PackHeader, EVENT_WIRE_SIZE, PACK_HEADER_SIZE};
+pub use pack::{
+    EventPack, PackEncoding, PackHeader, DELTA_EVENT_MAX_WIRE_SIZE, EVENT_WIRE_SIZE,
+    PACK_HEADER_SIZE,
+};
+pub use pool::{global_pool, BufferPool, PoolStats};

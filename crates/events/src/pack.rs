@@ -4,10 +4,67 @@ use crate::codec::{self, CodecError};
 use crate::event::Event;
 use bytes::{Bytes, BytesMut};
 
-/// Wire size of one encoded [`Event`].
+/// Wire size of one encoded [`Event`] in the fixed layout.
 pub const EVENT_WIRE_SIZE: usize = 48;
 /// Wire size of an encoded [`PackHeader`].
 pub const PACK_HEADER_SIZE: usize = 24;
+/// Worst-case wire size of one delta/varint-coded event: 10 bytes for
+/// each of the three u64 fields (time delta, duration, bytes), 3 for the
+/// kind, 5 each for rank delta, peer, tag and comm. Real workloads sit
+/// near 10 bytes; packing budgets must assume this bound so a full pack
+/// can never overflow its stream block.
+pub const DELTA_EVENT_MAX_WIRE_SIZE: usize = 53;
+
+/// How a pack's event section is laid out on the wire.
+///
+/// `Fixed` is the legacy 48-byte-per-event layout (wire version 1) that
+/// old peers decode; `Delta` is the batched delta/varint layout (wire
+/// version 2). Decoding always dispatches on the header's version, so any
+/// reader understands both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PackEncoding {
+    /// Fixed 48-byte events — bitwise-identical to the pre-delta format.
+    #[default]
+    Fixed,
+    /// Per-pack delta/varint events.
+    Delta,
+}
+
+impl PackEncoding {
+    /// The pack header version this encoding stamps.
+    pub const fn version(self) -> u16 {
+        match self {
+            PackEncoding::Fixed => codec::VERSION,
+            PackEncoding::Delta => codec::VERSION_DELTA,
+        }
+    }
+
+    /// Inverse of [`PackEncoding::version`].
+    pub const fn from_version(version: u16) -> Option<PackEncoding> {
+        match version {
+            codec::VERSION => Some(PackEncoding::Fixed),
+            codec::VERSION_DELTA => Some(PackEncoding::Delta),
+            _ => None,
+        }
+    }
+
+    /// Worst-case bytes one event can take in this encoding.
+    pub const fn max_event_wire_size(self) -> usize {
+        match self {
+            PackEncoding::Fixed => EVENT_WIRE_SIZE,
+            PackEncoding::Delta => DELTA_EVENT_MAX_WIRE_SIZE,
+        }
+    }
+}
+
+impl std::fmt::Display for PackEncoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackEncoding::Fixed => write!(f, "fixed"),
+            PackEncoding::Delta => write!(f, "delta"),
+        }
+    }
+}
 
 /// Pack metadata: which application/rank produced it and its sequence number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,33 +100,88 @@ impl EventPack {
         }
     }
 
-    /// Encoded size in bytes.
+    /// Encoded size in bytes in the fixed layout (exact).
     pub fn wire_size(&self) -> usize {
         PACK_HEADER_SIZE + self.events.len() * EVENT_WIRE_SIZE
     }
 
-    /// How many events fit in a block of `block_size` bytes.
-    pub fn capacity_for_block(block_size: usize) -> usize {
-        block_size.saturating_sub(PACK_HEADER_SIZE) / EVENT_WIRE_SIZE
+    /// Upper bound on the encoded size under `encoding`. Exact for
+    /// [`PackEncoding::Fixed`]; for [`PackEncoding::Delta`] the actual
+    /// size is data-dependent and at most this.
+    pub fn max_wire_size_for(&self, encoding: PackEncoding) -> usize {
+        PACK_HEADER_SIZE + self.events.len() * encoding.max_event_wire_size()
     }
 
-    /// Serializes the pack to a standalone buffer.
+    /// How many events are *guaranteed* to fit a block of `block_size`
+    /// bytes in the fixed layout.
+    pub fn capacity_for_block(block_size: usize) -> usize {
+        Self::capacity_for_block_with(block_size, PackEncoding::Fixed)
+    }
+
+    /// How many events are guaranteed to fit a block of `block_size`
+    /// bytes under `encoding`, using the encoding's worst-case per-event
+    /// size — a full pack can never overflow the block/frame budget.
+    pub fn capacity_for_block_with(block_size: usize, encoding: PackEncoding) -> usize {
+        block_size.saturating_sub(PACK_HEADER_SIZE) / encoding.max_event_wire_size()
+    }
+
+    /// Serializes the pack to a standalone buffer in the fixed layout —
+    /// byte-identical to the pre-delta format.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.wire_size());
-        codec::encode_header(&self.header, &mut buf);
-        for e in &self.events {
-            codec::encode_event(e, &mut buf);
-        }
+        self.encode_with(PackEncoding::Fixed)
+    }
+
+    /// Serializes the pack to a standalone buffer under `encoding`.
+    pub fn encode_with(&self, encoding: PackEncoding) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.max_wire_size_for(encoding));
+        self.encode_into(encoding, &mut buf);
         buf.freeze()
     }
 
-    /// Parses a pack from a buffer produced by [`EventPack::encode`].
+    /// Appends the encoded pack to `out` (the pooled-buffer hot path:
+    /// callers reuse `out` across packs and allocate nothing in steady
+    /// state). Returns the number of bytes appended.
+    pub fn encode_into(&self, encoding: PackEncoding, out: &mut BytesMut) -> usize {
+        let before = out.len();
+        out.reserve(self.max_wire_size_for(encoding));
+        codec::encode_header_versioned(&self.header, encoding.version(), out);
+        match encoding {
+            PackEncoding::Fixed => {
+                for e in &self.events {
+                    codec::encode_event(e, out);
+                }
+            }
+            PackEncoding::Delta => {
+                let mut st = codec::DeltaState::new(self.header.rank);
+                for e in &self.events {
+                    codec::encode_event_delta(e, &mut st, out);
+                }
+            }
+        }
+        out.len() - before
+    }
+
+    /// Parses a pack from a buffer produced by any [`EventPack::encode_with`]
+    /// encoding — the header's version selects the event codec.
     pub fn decode(data: &[u8]) -> Result<EventPack, CodecError> {
         let mut buf = data;
-        let header = codec::decode_header(&mut buf)?;
-        let mut events = Vec::with_capacity(header.count as usize);
-        for _ in 0..header.count {
-            events.push(codec::decode_event(&mut buf)?);
+        let (header, version) = codec::decode_header_any(&mut buf)?;
+        // `decode_header_any` only admits known versions, so the fallback
+        // arm is unreachable in practice; Fixed keeps it total.
+        let encoding = PackEncoding::from_version(version).unwrap_or(PackEncoding::Fixed);
+        let mut events = Vec::with_capacity((header.count as usize).min(1 << 20));
+        match encoding {
+            PackEncoding::Fixed => {
+                for _ in 0..header.count {
+                    events.push(codec::decode_event(&mut buf)?);
+                }
+            }
+            PackEncoding::Delta => {
+                let mut st = codec::DeltaState::new(header.rank);
+                for _ in 0..header.count {
+                    events.push(codec::decode_event_delta(&mut buf, &mut st)?);
+                }
+            }
         }
         Ok(EventPack { header, events })
     }
@@ -82,6 +194,8 @@ impl EventPack {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::event::EventKind;
 
@@ -101,10 +215,33 @@ mod tests {
         EventPack::new(2, 3, 99, events)
     }
 
+    /// Events that hit the delta codec's worst case on every field.
+    fn worst_case(n: usize) -> EventPack {
+        let events = (0..n)
+            .map(|i| Event {
+                // Alternate across half the u64 range so every time delta
+                // is i64::MIN — the widest possible zigzag varint.
+                time_ns: if i % 2 == 0 { 1u64 << 63 } else { 0 },
+                duration_ns: u64::MAX,
+                kind: EventKind::ALL[EventKind::ALL.len() - 1],
+                rank: if i % 2 == 0 { u32::MAX } else { 0 },
+                peer: i32::MIN,
+                tag: i32::MIN,
+                comm: u32::MAX,
+                bytes: u64::MAX,
+            })
+            .collect();
+        EventPack::new(1, 0, 0, events)
+    }
+
     #[test]
     fn roundtrip_empty_pack() {
         let p = EventPack::new(0, 0, 0, vec![]);
         assert_eq!(EventPack::decode(&p.encode()).unwrap(), p);
+        assert_eq!(
+            EventPack::decode(&p.encode_with(PackEncoding::Delta)).unwrap(),
+            p
+        );
     }
 
     #[test]
@@ -113,6 +250,34 @@ mod tests {
         let enc = p.encode();
         assert_eq!(enc.len(), p.wire_size());
         assert_eq!(EventPack::decode(&enc).unwrap(), p);
+    }
+
+    #[test]
+    fn roundtrip_delta_pack_and_it_is_smaller() {
+        let p = sample(257);
+        let fixed = p.encode();
+        let delta = p.encode_with(PackEncoding::Delta);
+        assert_eq!(EventPack::decode(&delta).unwrap(), p);
+        assert!(
+            delta.len() * 3 <= fixed.len(),
+            "delta {} vs fixed {}",
+            delta.len(),
+            fixed.len()
+        );
+    }
+
+    #[test]
+    fn fixed_encode_is_bitwise_legacy() {
+        // encode() must stay byte-identical to the historical layout so
+        // old peers keep decoding it.
+        let p = sample(3);
+        let enc = p.encode();
+        assert_eq!(enc.len(), PACK_HEADER_SIZE + 3 * EVENT_WIRE_SIZE);
+        assert_eq!(&enc[0..4], b"OPMR");
+        assert_eq!(u16::from_le_bytes([enc[4], enc[5]]), codec::VERSION);
+        // First event's time_ns at the fixed offset.
+        let t = u64::from_le_bytes(enc[24..32].try_into().unwrap());
+        assert_eq!(t, p.events[0].time_ns);
     }
 
     #[test]
@@ -125,11 +290,65 @@ mod tests {
     }
 
     #[test]
+    fn delta_capacity_never_overflows_block_exact_boundary() {
+        // The regression the encoding-aware capacity exists for: a pack
+        // of worst-case events must fit the block it was sized for, at
+        // the exact boundary.
+        for block in [
+            PACK_HEADER_SIZE + DELTA_EVENT_MAX_WIRE_SIZE,
+            PACK_HEADER_SIZE + DELTA_EVENT_MAX_WIRE_SIZE + DELTA_EVENT_MAX_WIRE_SIZE - 1,
+            4096,
+            1 << 16,
+        ] {
+            let cap = EventPack::capacity_for_block_with(block, PackEncoding::Delta);
+            let p = worst_case(cap);
+            let enc = p.encode_with(PackEncoding::Delta);
+            assert!(
+                enc.len() <= block,
+                "block {block}: cap {cap} encoded to {} bytes",
+                enc.len()
+            );
+            assert!(enc.len() <= p.max_wire_size_for(PackEncoding::Delta));
+            // One more worst-case event must be able to overflow — i.e.
+            // the capacity is tight, not merely safe.
+            let p1 = worst_case(cap + 1);
+            assert!(p1.max_wire_size_for(PackEncoding::Delta) > block);
+            assert_eq!(EventPack::decode(&enc).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn worst_case_event_bound_is_tight() {
+        // Real worst-case events reach the bound minus exactly the two
+        // bytes of headroom the bound reserves for the kind field (the
+        // bound budgets a full 3-byte u16 varint; today's largest
+        // discriminant, 91, encodes in one byte).
+        let p = worst_case(2);
+        let enc = p.encode_with(PackEncoding::Delta);
+        let body = enc.len() - PACK_HEADER_SIZE;
+        assert_eq!(body, 2 * (DELTA_EVENT_MAX_WIRE_SIZE - 2));
+    }
+
+    #[test]
+    fn encode_into_appends_and_reports_len() {
+        let p = sample(10);
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"prefix");
+        let n = p.encode_into(PackEncoding::Delta, &mut buf);
+        assert_eq!(buf.len(), 6 + n);
+        assert_eq!(EventPack::decode(&buf[6..]).unwrap(), p);
+    }
+
+    #[test]
     fn truncated_pack_rejected() {
         let p = sample(4);
         let enc = p.encode();
         assert!(EventPack::decode(&enc[..enc.len() - 1]).is_err());
         assert!(EventPack::decode(&enc[..PACK_HEADER_SIZE]).is_err());
+        let delta = p.encode_with(PackEncoding::Delta);
+        for cut in 0..delta.len() {
+            assert!(EventPack::decode(&delta[..cut]).is_err());
+        }
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! LEB128 variable-length integers and zigzag signed mapping.
+//!
+//! The delta event codec (pack wire version 2) stores almost-constant
+//! fields — timestamps, ranks, tags — as varints of their per-pack deltas.
+//! Encoding is the usual base-128 little-endian scheme: seven payload bits
+//! per byte, high bit set on every byte but the last; a `u64` therefore
+//! takes at most [`MAX_UVARINT_LEN`] bytes. Signed values go through
+//! [`zigzag`] first so small negative deltas stay short.
+
+use crate::codec::CodecError;
+use bytes::BufMut;
+
+/// Longest encoding of a `u64` (10 × 7 bits ≥ 64 bits).
+pub const MAX_UVARINT_LEN: usize = 10;
+
+/// Appends `v` as a LEB128 varint.
+#[inline]
+pub fn put_uvarint(out: &mut impl BufMut, mut v: u64) {
+    while v >= 0x80 {
+        out.put_u8((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.put_u8(v as u8);
+}
+
+/// Reads a LEB128 varint from the front of `*buf`, advancing it.
+///
+/// Fails with [`CodecError::Truncated`] when the slice ends inside a
+/// varint and [`CodecError::VarintOverflow`] when the encoding spills past
+/// 64 bits (more than 10 bytes, or set bits beyond bit 63).
+#[inline]
+pub fn get_uvarint(buf: &mut &[u8]) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift: u32 = 0;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i >= MAX_UVARINT_LEN {
+            return Err(CodecError::VarintOverflow);
+        }
+        let payload = (byte & 0x7F) as u64;
+        // The 10th byte may only carry the single remaining bit of a u64.
+        if shift == 63 && payload > 1 {
+            return Err(CodecError::VarintOverflow);
+        }
+        v |= payload << shift;
+        if byte & 0x80 == 0 {
+            *buf = &buf[i + 1..];
+            return Ok(v);
+        }
+        shift += 7;
+    }
+    Err(CodecError::Truncated {
+        need: buf.len() + 1,
+        have: buf.len(),
+    })
+}
+
+/// Maps a signed value to an unsigned one with small absolute values
+/// staying small: 0, -1, 1, -2 → 0, 1, 2, 3.
+#[inline]
+pub const fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub const fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use bytes::BytesMut;
+
+    fn roundtrip(v: u64) -> (u64, usize) {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, v);
+        let len = buf.len();
+        let mut s: &[u8] = &buf;
+        let got = get_uvarint(&mut s).unwrap();
+        assert!(s.is_empty());
+        (got, len)
+    }
+
+    #[test]
+    fn uvarint_roundtrip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let (got, len) = roundtrip(v);
+            assert_eq!(got, v);
+            assert!(len <= MAX_UVARINT_LEN);
+        }
+        assert_eq!(roundtrip(u64::MAX).1, MAX_UVARINT_LEN);
+        assert_eq!(roundtrip(0).1, 1);
+    }
+
+    #[test]
+    fn truncated_uvarint_detected() {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut s: &[u8] = &buf[..cut];
+            assert!(matches!(
+                get_uvarint(&mut s),
+                Err(CodecError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn overlong_uvarint_rejected() {
+        // 11 continuation bytes can never be a u64.
+        let mut s: &[u8] = &[0x80u8; 11][..];
+        assert_eq!(get_uvarint(&mut s), Err(CodecError::VarintOverflow));
+        // 10 bytes whose last byte carries more than one bit overflows too.
+        let mut over = vec![0xFFu8; 9];
+        over.push(0x02);
+        let mut s: &[u8] = &over;
+        assert_eq!(get_uvarint(&mut s), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, -123_456_789] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

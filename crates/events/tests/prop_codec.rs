@@ -1,8 +1,11 @@
-//! Property tests: the wire codec is a lossless bijection on valid packs.
+//! Property tests: the wire codec is a lossless bijection on valid packs,
+//! and every hostile derivative of a valid encoding — truncated, mutated,
+//! mis-flagged, mis-sized — decodes to a *typed* error, never a panic.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 
-use opmr_events::{Event, EventKind, EventPack};
+use opmr_events::vint::put_uvarint;
+use opmr_events::{decompress, Event, EventKind, EventPack, Lz4Encoder, PackEncoding};
 use proptest::prelude::*;
 
 fn arb_kind() -> impl Strategy<Value = EventKind> {
@@ -66,5 +69,157 @@ proptest! {
             (0..n).map(|i| Event::basic(EventKind::Send, 0, i as u64, 1)).collect());
         prop_assert_eq!(pack.encode().len(),
             opmr_events::PACK_HEADER_SIZE + n * opmr_events::EVENT_WIRE_SIZE);
+    }
+
+    // -- delta/varint path ---------------------------------------------
+
+    #[test]
+    fn delta_pack_roundtrip(
+        app_id in any::<u16>(),
+        rank in any::<u32>(),
+        seq in any::<u32>(),
+        events in proptest::collection::vec(arb_event(), 0..200),
+    ) {
+        let pack = EventPack::new(app_id, rank, seq, events);
+        let decoded = EventPack::decode(&pack.encode_with(PackEncoding::Delta)).unwrap();
+        prop_assert_eq!(decoded, pack);
+    }
+
+    #[test]
+    fn every_delta_truncation_is_detected(
+        events in proptest::collection::vec(arb_event(), 1..20),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let pack = EventPack::new(1, 2, 3, events);
+        let enc = pack.encode_with(PackEncoding::Delta);
+        let cut_at = cut.index(enc.len().max(2) - 1); // strictly shorter
+        prop_assert!(EventPack::decode(&enc[..cut_at]).is_err());
+    }
+
+    /// Any single byte mutation of a delta pack either still decodes (to
+    /// *some* pack — the mutation hit payload bits) or fails typed.
+    /// Either way: no panic, no unbounded allocation.
+    #[test]
+    fn delta_mutation_never_panics(
+        events in proptest::collection::vec(arb_event(), 1..20),
+        pos in any::<proptest::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let pack = EventPack::new(1, 2, 3, events);
+        let mut enc = pack.encode_with(PackEncoding::Delta).to_vec();
+        let at = pos.index(enc.len());
+        enc[at] ^= 1 << bit;
+        if let Ok(p) = EventPack::decode(&enc) {
+            prop_assert!(p.events.len() <= enc.len(), "decoded more events than bytes");
+        }
+    }
+
+    // -- compressed path -----------------------------------------------
+
+    #[test]
+    fn compress_roundtrip_is_identity(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let mut enc = Lz4Encoder::new();
+        let mut z = Vec::new();
+        enc.compress(&data, &mut z);
+        let back = decompress(&z, data.len().max(1)).unwrap();
+        prop_assert_eq!(&back[..], &data[..]);
+    }
+
+    /// `decode(decompress(compress(enc))) == decode(enc)`: the compressed
+    /// and uncompressed representations of one pack agree byte-for-byte
+    /// after inflate, so the two wire paths cannot diverge.
+    #[test]
+    fn compressed_and_plain_decodes_agree(
+        events in proptest::collection::vec(arb_event(), 0..50),
+        delta in any::<bool>(),
+    ) {
+        let encoding = if delta { PackEncoding::Delta } else { PackEncoding::Fixed };
+        let pack = EventPack::new(7, 1, 0, events);
+        let plain = pack.encode_with(encoding);
+        let mut z = Vec::new();
+        Lz4Encoder::new().compress(&plain, &mut z);
+        let inflated = decompress(&z, plain.len()).unwrap();
+        prop_assert_eq!(&inflated[..], &plain[..], "inflate must be bit-exact");
+        prop_assert_eq!(
+            EventPack::decode(&inflated).unwrap(),
+            EventPack::decode(&plain).unwrap()
+        );
+    }
+
+    /// Any single byte mutation of a compressed block decompresses to a
+    /// typed `CompressError` or to bounded output — never a panic, never
+    /// more bytes than the block declared.
+    #[test]
+    fn compressed_mutation_never_panics(
+        events in proptest::collection::vec(arb_event(), 1..30),
+        pos in any::<proptest::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let plain = EventPack::new(7, 1, 0, events).encode_with(PackEncoding::Delta);
+        let mut z = Vec::new();
+        Lz4Encoder::new().compress(&plain, &mut z);
+        let at = pos.index(z.len());
+        z[at] ^= 1 << bit;
+        if let Ok(out) = decompress(&z, plain.len()) {
+            prop_assert!(out.len() <= plain.len(), "inflate exceeded the declared cap");
+        }
+    }
+
+    /// Tampering with the declared raw length (keeping the sequence bytes
+    /// intact) is always a typed error: `SizeMismatch` when the declared
+    /// and produced lengths diverge, `DeclaredTooLarge` when it blows the
+    /// cap, `Truncated`/`BadOffset` when the shifted declared length makes
+    /// the stream inconsistent.
+    #[test]
+    fn declared_size_mismatch_is_typed(
+        events in proptest::collection::vec(arb_event(), 1..30),
+        skew in prop_oneof![1u64..1000, 1_000_000u64..u64::MAX / 2],
+        grow in any::<bool>(),
+    ) {
+        let plain = EventPack::new(7, 1, 0, events).encode_with(PackEncoding::Delta);
+        let mut z = Vec::new();
+        Lz4Encoder::new().compress(&plain, &mut z);
+        // Split the block into [raw_len uvarint][sequences] and re-head
+        // it with a lying declared length.
+        let mut tail: &[u8] = &z;
+        let declared = opmr_events::vint::get_uvarint(&mut tail).unwrap();
+        let lied = if grow { declared.saturating_add(skew) } else { declared.saturating_sub(skew.min(declared)) };
+        // skew >= 1 and declared >= PACK_HEADER_SIZE, so the lie is real.
+        prop_assert!(lied != declared);
+        let mut forged = Vec::with_capacity(z.len());
+        put_uvarint(&mut forged, lied);
+        forged.extend_from_slice(tail);
+        prop_assert!(decompress(&forged, plain.len()).is_err(),
+            "a lying declared size must never decode cleanly");
+    }
+
+    /// "Flag flipped off": compressed bytes handed to the plain pack
+    /// decoder. The pack magic makes this a typed error (or, in the
+    /// astronomically unlikely case the compressed stream forms a valid
+    /// pack, a bounded decode) — never a panic.
+    #[test]
+    fn compressed_bytes_as_plain_pack_never_panic(
+        events in proptest::collection::vec(arb_event(), 1..30),
+    ) {
+        let plain = EventPack::new(7, 1, 0, events).encode_with(PackEncoding::Delta);
+        let mut z = Vec::new();
+        Lz4Encoder::new().compress(&plain, &mut z);
+        let _ = EventPack::decode(&z); // typed result either way
+    }
+
+    /// "Flag flipped on": plain bytes handed to the decompressor must be
+    /// a typed error or bounded output, never a panic. (The stream layer
+    /// counts this as a protocol violation; this pins the codec's own
+    /// safety.)
+    #[test]
+    fn plain_bytes_as_compressed_never_panic(
+        events in proptest::collection::vec(arb_event(), 1..30),
+        delta in any::<bool>(),
+    ) {
+        let encoding = if delta { PackEncoding::Delta } else { PackEncoding::Fixed };
+        let plain = EventPack::new(7, 1, 0, events).encode_with(encoding);
+        if let Ok(out) = decompress(&plain, 1 << 20) {
+            prop_assert!(out.len() <= 1 << 20);
+        }
     }
 }

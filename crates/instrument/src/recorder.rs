@@ -1,8 +1,35 @@
 //! Event recorder: batches events into packs and streams them out.
+//!
+//! The hot path is allocation-free in steady state: the event batch and
+//! the encode scratch buffer are both reused across packs (`clear()`, not
+//! reallocation), with the scratch checked out of the process-wide
+//! [`opmr_events::global_pool`] so successive recorders in one process
+//! recycle each other's buffers.
 
 use crate::sink::PackSink;
-use opmr_events::{Event, EventPack};
+use opmr_events::{Event, EventPack, PackEncoding};
 use opmr_vmpi::Result;
+
+mod obs {
+    use opmr_obs::{registry, Counter, Histogram};
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) struct RecorderMetrics {
+        pub encode_ns: Arc<Histogram>,
+        pub packs: Arc<Counter>,
+    }
+
+    pub(super) fn m() -> &'static RecorderMetrics {
+        static M: OnceLock<RecorderMetrics> = OnceLock::new();
+        M.get_or_init(|| {
+            let r = registry();
+            RecorderMetrics {
+                encode_ns: r.histogram("instrument_encode_ns"),
+                packs: r.counter("instrument_packs_encoded_total"),
+            }
+        })
+    }
+}
 
 /// Recorder sizing.
 #[derive(Debug, Clone, Copy)]
@@ -12,18 +39,33 @@ pub struct RecorderConfig {
     /// Partition-local rank of the producer.
     pub rank: u32,
     /// Maximum events per pack. Must keep the encoded pack within the
-    /// stream's block size so one pack maps to one block.
+    /// stream's block size so one pack maps to one block — computed from
+    /// the encoding's *worst-case* per-event size, so a full pack can
+    /// never overflow the block.
     pub events_per_pack: usize,
+    /// Wire layout for encoded packs.
+    pub encoding: PackEncoding,
 }
 
 impl RecorderConfig {
-    /// Largest pack that fits one stream block.
+    /// Largest fixed-layout pack that fits one stream block.
     pub fn for_block_size(app_id: u16, rank: u32, block_size: usize) -> RecorderConfig {
-        let cap = EventPack::capacity_for_block(block_size).max(1);
+        Self::for_block(app_id, rank, block_size, PackEncoding::Fixed)
+    }
+
+    /// Largest pack under `encoding` guaranteed to fit one stream block.
+    pub fn for_block(
+        app_id: u16,
+        rank: u32,
+        block_size: usize,
+        encoding: PackEncoding,
+    ) -> RecorderConfig {
+        let cap = EventPack::capacity_for_block_with(block_size, encoding).max(1);
         RecorderConfig {
             app_id,
             rank,
             events_per_pack: cap,
+            encoding,
         }
     }
 }
@@ -44,6 +86,7 @@ pub struct Recorder {
     cfg: RecorderConfig,
     sink: PackSink,
     buf: Vec<Event>,
+    scratch: bytes::BytesMut,
     seq: u32,
     stats: RecorderStats,
 }
@@ -53,8 +96,11 @@ impl Recorder {
     /// classical trace baseline).
     pub fn new(cfg: RecorderConfig, sink: PackSink) -> Recorder {
         assert!(cfg.events_per_pack > 0);
+        let scratch_cap = opmr_events::PACK_HEADER_SIZE
+            + cfg.events_per_pack * cfg.encoding.max_event_wire_size();
         Recorder {
             buf: Vec::with_capacity(cfg.events_per_pack),
+            scratch: opmr_events::global_pool().get(scratch_cap),
             cfg,
             sink,
             seq: 0,
@@ -73,6 +119,8 @@ impl Recorder {
     }
 
     /// Flushes the current partial pack, if any, as one stream block.
+    /// Steady state reuses both the event batch and the encode scratch —
+    /// no allocation per pack.
     pub fn flush_pack(&mut self) -> Result<()> {
         if self.buf.is_empty() {
             return Ok(());
@@ -80,18 +128,26 @@ impl Recorder {
         let events = std::mem::take(&mut self.buf);
         let pack = EventPack::new(self.cfg.app_id, self.cfg.rank, self.seq, events);
         self.seq += 1;
-        let encoded = pack.encode();
+        let t0 = std::time::Instant::now();
+        self.scratch.clear();
+        let n = pack.encode_into(self.cfg.encoding, &mut self.scratch);
+        let m = obs::m();
+        m.encode_ns.record(t0.elapsed().as_nanos() as u64);
+        m.packs.inc();
         self.stats.packs += 1;
-        self.stats.wire_bytes += encoded.len() as u64;
-        self.sink.put(&encoded)?;
-        self.buf = Vec::with_capacity(self.cfg.events_per_pack);
-        Ok(())
+        self.stats.wire_bytes += n as u64;
+        let res = self.sink.put(&self.scratch);
+        // Hand the event Vec back to the batch so its allocation lives on.
+        self.buf = pack.events;
+        self.buf.clear();
+        res
     }
 
     /// Flushes and closes the sink, returning the final counters.
     pub fn finish(mut self) -> Result<RecorderStats> {
         self.flush_pack()?;
         let stats = self.stats;
+        opmr_events::global_pool().put(std::mem::take(&mut self.scratch));
         self.sink.close()?;
         Ok(stats)
     }

@@ -43,7 +43,7 @@ impl PackSink {
     }
 
     /// Writes one encoded pack.
-    pub fn put(&mut self, pack: &Bytes) -> Result<()> {
+    pub fn put(&mut self, pack: &[u8]) -> Result<()> {
         match self {
             PackSink::Stream(stream) => {
                 stream.write(pack)?;

@@ -9,7 +9,7 @@
 use crate::recorder::{Recorder, RecorderConfig, RecorderStats};
 use crate::sink::PackSink;
 use bytes::Bytes;
-use opmr_events::{Event, EventKind};
+use opmr_events::{Event, EventKind, PackEncoding};
 use opmr_runtime::collectives::ops as reduce_ops;
 use opmr_runtime::{Comm, CommId, Mpi, Pod, Src, Status, TagSel};
 use opmr_vmpi::map::{map_partitions, map_partitions_directed};
@@ -65,6 +65,7 @@ impl InstrumentedMpi {
             PackSink::Stream(stream),
             app_id,
             stream_cfg.block_size,
+            stream_cfg.pack_encoding,
             t_start,
         )
     }
@@ -96,6 +97,7 @@ impl InstrumentedMpi {
             PackSink::Stream(stream),
             app_id,
             stream_cfg.block_size,
+            stream_cfg.pack_encoding,
             t_start,
         )
     }
@@ -113,7 +115,9 @@ impl InstrumentedMpi {
         let vmpi = Vmpi::new(mpi)?;
         let path = dir.join(format!("app{app_id}_rank{}.opmr", vmpi.rank()));
         let sink = PackSink::file(path).map_err(|_| VmpiError::StreamClosed)?;
-        Self::build(vmpi, sink, app_id, block_size, t_start)
+        // Trace baselines keep the fixed layout: they model the classical
+        // workflow the paper compares against.
+        Self::build(vmpi, sink, app_id, block_size, PackEncoding::Fixed, t_start)
     }
 
     /// Instruments a rank writing into a shared SIONlib-style container
@@ -132,7 +136,7 @@ impl InstrumentedMpi {
             file: container,
             rank,
         };
-        Self::build(vmpi, sink, app_id, block_size, t_start)
+        Self::build(vmpi, sink, app_id, block_size, PackEncoding::Fixed, t_start)
     }
 
     fn build(
@@ -140,11 +144,12 @@ impl InstrumentedMpi {
         sink: PackSink,
         app_id: u16,
         block_size: usize,
+        encoding: PackEncoding,
         t_start: u64,
     ) -> Result<Self> {
         let rank = vmpi.rank() as u32;
         let rec = Recorder::new(
-            RecorderConfig::for_block_size(app_id, rank, block_size),
+            RecorderConfig::for_block(app_id, rank, block_size, encoding),
             sink,
         );
         let world = vmpi.comm_world();

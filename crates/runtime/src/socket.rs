@@ -65,7 +65,10 @@ use crate::mailbox::{Delivery, Mailbox};
 use crate::transport::Transport;
 use crate::{CommId, Result, RtError};
 use bytes::Bytes;
-use opmr_events::{try_frame, FrameBuf};
+use opmr_events::{
+    decompress_into, max_compressed_len, try_frame, Compression, FrameBuf, Lz4Encoder,
+    MAX_FRAME_LEN,
+};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -96,6 +99,8 @@ mod obs {
         pub reconnect_stale_epoch: Arc<Counter>,
         pub frames_retransmitted: Arc<Counter>,
         pub chaos_severs: Arc<Counter>,
+        pub codec_rejected: Arc<Counter>,
+        pub envelopes_compressed: Arc<Counter>,
     }
 
     pub(super) fn m() -> &'static SocketMetrics {
@@ -116,6 +121,8 @@ mod obs {
                 reconnect_stale_epoch: r.counter("transport_socket_reconnect_stale_epoch_total"),
                 frames_retransmitted: r.counter("transport_socket_frames_retransmitted_total"),
                 chaos_severs: r.counter("transport_socket_chaos_severs_total"),
+                codec_rejected: r.counter("transport_socket_codec_rejected_total"),
+                envelopes_compressed: r.counter("transport_socket_envelopes_compressed_total"),
             }
         })
     }
@@ -177,6 +184,11 @@ pub struct SocketConfig {
     pub reconnect_grace: Duration,
     /// Optional deterministic link-chaos injection.
     pub link_fault: Option<LinkFault>,
+    /// Envelope codec this process is willing to speak. The coordinator
+    /// negotiates the *session* codec down to the weakest codec any peer
+    /// advertised, so processes may legitimately differ here (a legacy
+    /// peer advertising nothing pins the whole session to plain frames).
+    pub compression: Compression,
 }
 
 impl SocketConfig {
@@ -191,6 +203,7 @@ impl SocketConfig {
             backoff_base: Duration::from_millis(100),
             reconnect_grace: Duration::from_secs(3),
             link_fault: None,
+            compression: Compression::None,
         }
     }
 
@@ -234,6 +247,13 @@ impl SocketConfig {
     /// Enables deterministic link-chaos injection.
     pub fn link_fault(mut self, f: LinkFault) -> Self {
         self.link_fault = Some(f);
+        self
+    }
+
+    /// Advertises an envelope codec for this process (see
+    /// [`SocketConfig::compression`]).
+    pub fn compression(mut self, c: Compression) -> Self {
+        self.compression = c;
         self
     }
 
@@ -448,7 +468,12 @@ impl From<LaunchError> for MultiprocError {
 // ---------------------------------------------------------------------
 
 const MAGIC: u32 = 0x4F50_4D52; // "OPMR"
-const VERSION: u16 = 2;
+/// Protocol version 3 adds the codec byte to `Hello` and `Roster`.
+const VERSION: u16 = 3;
+/// Version 2 peers (no codec negotiation) are still accepted; they pin
+/// the session codec to [`Compression::None`] and see only the frame
+/// kinds version 2 defined.
+const VERSION_LEGACY: u16 = 2;
 
 const K_HELLO: u8 = 1;
 const K_ENVELOPE: u8 = 2;
@@ -460,6 +485,14 @@ const K_ACK: u8 = 7;
 const K_RECONN: u8 = 8;
 const K_RECONN_OK: u8 = 9;
 const K_RECONN_NAK: u8 = 10;
+/// A compressed envelope: `[kind][lz4 block]` where the block inflates
+/// to a complete `K_ENVELOPE` payload. Only sent on sessions that
+/// negotiated [`Compression::Lz4`].
+const K_ENVELOPE_Z: u8 = 11;
+
+/// Envelopes below this size are sent plain even on a compressed
+/// session: the token overhead would beat any win.
+const MIN_ENVELOPE_COMPRESS: usize = 128;
 
 /// `K_RECONN_NAK` reason codes.
 const NAK_STALE_EPOCH: u8 = 1;
@@ -523,57 +556,107 @@ fn decode_envelope(p: &Bytes) -> Option<(usize, Envelope)> {
     ))
 }
 
-fn encode_hello(proc_index: usize, topo_hash: u64, listen_addr: &str) -> Vec<u8> {
-    let mut out = Vec::with_capacity(17 + listen_addr.len());
+/// Why a `Hello` was turned away. `UnknownCodec` is split out so the
+/// mesh can count hostile/garbled codec advertisements separately from
+/// generic handshake noise.
+#[derive(Debug)]
+enum HelloReject {
+    /// The peer advertised a codec id this build does not know.
+    UnknownCodec(u8),
+    /// Anything else: bad magic, wrong topology, truncation, ...
+    Other(String),
+}
+
+impl std::fmt::Display for HelloReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HelloReject::UnknownCodec(id) => write!(f, "peer advertised unknown codec id {id}"),
+            HelloReject::Other(what) => write!(f, "{what}"),
+        }
+    }
+}
+
+/// v3: `[kind][magic u32][version u16][proc u16][topo_hash u64][codec u8][addr]`
+/// (v2 had no codec byte; the address started at offset 17).
+fn encode_hello(
+    proc_index: usize,
+    topo_hash: u64,
+    codec: Compression,
+    listen_addr: &str,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(18 + listen_addr.len());
     out.push(K_HELLO);
     out.extend_from_slice(&MAGIC.to_le_bytes());
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&(proc_index as u16).to_le_bytes());
     out.extend_from_slice(&topo_hash.to_le_bytes());
+    out.push(codec.id());
     out.extend_from_slice(listen_addr.as_bytes());
     out
 }
 
-/// Returns `(proc_index, listen_addr)` or a description of what was wrong.
-fn decode_hello(p: &Bytes, expect_hash: u64) -> std::result::Result<(usize, String), String> {
+/// Returns `(proc_index, advertised_codec, listen_addr)` or why not.
+fn decode_hello(
+    p: &Bytes,
+    expect_hash: u64,
+) -> std::result::Result<(usize, Compression, String), HelloReject> {
+    let other = |what: String| Err(HelloReject::Other(what));
     if p.first() != Some(&K_HELLO) {
-        return Err(format!("first frame is not a hello (kind {:?})", p.first()));
+        return other(format!("first frame is not a hello (kind {:?})", p.first()));
     }
     let magic = p
         .get(1..5)
         .and_then(|b| b.try_into().ok())
         .map(u32::from_le_bytes);
     if magic != Some(MAGIC) {
-        return Err("bad protocol magic".to_string());
+        return other("bad protocol magic".to_string());
     }
     let version = p
         .get(5..7)
         .and_then(|b| b.try_into().ok())
         .map(u16::from_le_bytes);
-    if version != Some(VERSION) {
-        return Err(format!("unsupported protocol version {version:?}"));
+    if version != Some(VERSION) && version != Some(VERSION_LEGACY) {
+        return other(format!("unsupported protocol version {version:?}"));
     }
     let proc = p
         .get(7..9)
         .and_then(|b| b.try_into().ok())
         .map(u16::from_le_bytes)
-        .ok_or("truncated hello")? as usize;
+        .ok_or(HelloReject::Other("truncated hello".to_string()))? as usize;
     let hash = p
         .get(9..17)
         .and_then(|b| b.try_into().ok())
         .map(u64::from_le_bytes)
-        .ok_or("truncated hello")?;
+        .ok_or(HelloReject::Other("truncated hello".to_string()))?;
+    // A legacy (v2) hello has no codec byte: the peer can only speak
+    // plain frames, which is exactly Compression::None.
+    let (codec, addr_from) = if version == Some(VERSION_LEGACY) {
+        (Compression::None, 17)
+    } else {
+        let codec_id = *p
+            .get(17)
+            .ok_or(HelloReject::Other("truncated hello".to_string()))?;
+        let codec = Compression::from_id(codec_id).ok_or(HelloReject::UnknownCodec(codec_id))?;
+        (codec, 18)
+    };
+    // Codec skew is diagnosed before the topology check: a peer that
+    // speaks an unknown codec is off-protocol no matter what job it
+    // thinks it joined.
     if hash != expect_hash {
-        return Err(format!(
+        return other(format!(
             "topology mismatch (peer {hash:#018x}, local {expect_hash:#018x})"
         ));
     }
-    let addr = String::from_utf8_lossy(p.get(17..).unwrap_or(&[])).into_owned();
-    Ok((proc, addr))
+    let addr = String::from_utf8_lossy(p.get(addr_from..).unwrap_or(&[])).into_owned();
+    Ok((proc, codec, addr))
 }
 
-/// `[kind][epoch u64][n u16]([len u16][addr bytes])*`
-fn encode_roster(epoch: u64, addrs: &[String]) -> Vec<u8> {
+/// `[kind][epoch u64][n u16]([len u16][addr bytes])*[codec u8]`
+///
+/// The session codec rides at the *tail* so a v2 roster (no codec byte)
+/// still decodes — as a plain session — and a v2 peer reading a v3
+/// roster parses its entries unchanged.
+fn encode_roster(epoch: u64, codec: Compression, addrs: &[String]) -> Vec<u8> {
     let mut out = vec![K_ROSTER];
     out.extend_from_slice(&epoch.to_le_bytes());
     out.extend_from_slice(&(addrs.len() as u16).to_le_bytes());
@@ -581,10 +664,11 @@ fn encode_roster(epoch: u64, addrs: &[String]) -> Vec<u8> {
         out.extend_from_slice(&(a.len() as u16).to_le_bytes());
         out.extend_from_slice(a.as_bytes());
     }
+    out.push(codec.id());
     out
 }
 
-fn decode_roster(p: &Bytes) -> Option<(u64, Vec<String>)> {
+fn decode_roster(p: &Bytes) -> Option<(u64, Compression, Vec<String>)> {
     if p.first() != Some(&K_ROSTER) {
         return None;
     }
@@ -598,7 +682,12 @@ fn decode_roster(p: &Bytes) -> Option<(u64, Vec<String>)> {
         addrs.push(String::from_utf8_lossy(p.get(off..off + len)?).into_owned());
         off += len;
     }
-    Some((epoch, addrs))
+    let codec = match p.get(off) {
+        // Legacy roster without a codec tail: plain session.
+        None => Compression::None,
+        Some(&id) => Compression::from_id(id)?,
+    };
+    Some((epoch, codec, addrs))
 }
 
 /// `[kind][magic u32][version u16][proc u16][epoch u64][rx_seq u64]`:
@@ -631,7 +720,7 @@ fn decode_reconn(p: &Bytes) -> std::result::Result<(usize, u64, u64), String> {
         .get(5..7)
         .and_then(|b| b.try_into().ok())
         .map(u16::from_le_bytes);
-    if version != Some(VERSION) {
+    if version != Some(VERSION) && version != Some(VERSION_LEGACY) {
         return Err(format!("unsupported protocol version {version:?}"));
     }
     let proc = p
@@ -960,6 +1049,8 @@ struct Mesh {
     listener: SockListener,
     roster: Vec<String>,
     epoch: u64,
+    /// Session envelope codec: the weakest codec any process advertised.
+    codec: Compression,
 }
 
 /// Establishes the full mesh for this process.
@@ -977,8 +1068,11 @@ fn connect_mesh(
     let (listener, my_addr) = bind(&listen_endpoint(&topo.socket.endpoint, me))?;
 
     if me == 0 {
-        // Coordinator: collect n-1 Hellos, then broadcast the roster.
+        // Coordinator: collect n-1 Hellos, negotiate the session codec
+        // down to the weakest any peer advertised, then broadcast the
+        // roster carrying it.
         let epoch = session_epoch();
+        let mut codec = topo.socket.compression;
         let mut addrs: Vec<Option<String>> = vec![None; n];
         addrs[0] = Some(my_addr);
         listener
@@ -994,10 +1088,13 @@ fn connect_mesh(
                     let mut fb = FrameBuf::new();
                     let hello_deadline = accept_deadline.min(Instant::now() + hello_budget);
                     let hello = read_one_frame(&mut s, &mut fb, hello_deadline, "incoming")
-                        .map_err(|e| e.to_string())
+                        .map_err(|e| HelloReject::Other(e.to_string()))
                         .and_then(|p| decode_hello(&p, topo_hash));
                     match hello {
-                        Ok((proc, addr)) if proc > 0 && proc < n && addrs[proc].is_none() => {
+                        Ok((proc, peer_codec, addr))
+                            if proc > 0 && proc < n && addrs[proc].is_none() =>
+                        {
+                            codec = codec.weakest(peer_codec);
                             addrs[proc] = Some(addr);
                             conns.push(PeerConn {
                                 proc,
@@ -1005,7 +1102,7 @@ fn connect_mesh(
                                 residual: fb,
                             });
                         }
-                        Ok((proc, _)) => {
+                        Ok((proc, _, _)) => {
                             obs::m().handshake_rejected.inc();
                             s.shutdown_both();
                             return Err(SocketError::Handshake {
@@ -1016,6 +1113,14 @@ fn connect_mesh(
                         Err(what) => {
                             // A rogue or garbled connection: reject it,
                             // count it, keep waiting for the real peers.
+                            // An unknown codec id gets its own counter —
+                            // a legitimate *older* peer never trips this
+                            // (it advertises a known id or none at all),
+                            // so it is either hostile or a skew bug worth
+                            // alerting on.
+                            if let HelloReject::UnknownCodec(_) = what {
+                                obs::m().codec_rejected.inc();
+                            }
                             obs::m().handshake_rejected.inc();
                             s.shutdown_both();
                             let _ = what;
@@ -1042,7 +1147,7 @@ fn connect_mesh(
             }
         }
         let roster: Vec<String> = addrs.into_iter().map(Option::unwrap_or_default).collect();
-        let payload = encode_roster(epoch, &roster);
+        let payload = encode_roster(epoch, codec, &roster);
         for c in &mut conns {
             write_frame(&mut c.stream, &payload).map_err(|e| SocketError::Io {
                 during: "roster broadcast",
@@ -1054,6 +1159,7 @@ fn connect_mesh(
             listener,
             roster,
             epoch,
+            codec,
         });
     }
 
@@ -1064,18 +1170,25 @@ fn connect_mesh(
         Endpoint::Unix(p) => format!("unix:{}", p.display()),
     };
     let mut coord = dial(&coord_addr, dial_deadline, topo.socket.connect_timeout)?;
-    write_frame(&mut coord, &encode_hello(me, topo_hash, &my_addr)).map_err(|e| {
-        SocketError::Io {
-            during: "hello send",
-            detail: e.to_string(),
-        }
+    write_frame(
+        &mut coord,
+        &encode_hello(me, topo_hash, topo.socket.compression, &my_addr),
+    )
+    .map_err(|e| SocketError::Io {
+        during: "hello send",
+        detail: e.to_string(),
     })?;
     let mut coord_fb = FrameBuf::new();
     let roster_frame = read_one_frame(&mut coord, &mut coord_fb, dial_deadline, &coord_addr)?;
-    let (epoch, roster) = decode_roster(&roster_frame).ok_or_else(|| SocketError::Handshake {
-        addr: coord_addr.clone(),
-        what: "coordinator sent an invalid roster".to_string(),
-    })?;
+    let (epoch, roster_codec, roster) =
+        decode_roster(&roster_frame).ok_or_else(|| SocketError::Handshake {
+            addr: coord_addr.clone(),
+            what: "coordinator sent an invalid roster".to_string(),
+        })?;
+    // The coordinator already folded our advertisement into the session
+    // codec; clamping again costs nothing and protects against a rogue
+    // coordinator upgrading us past what we can speak.
+    let codec = topo.socket.compression.weakest(roster_codec);
     if roster.len() != n {
         return Err(SocketError::Handshake {
             addr: coord_addr.clone(),
@@ -1090,9 +1203,11 @@ fn connect_mesh(
 
     for (j, addr) in roster.iter().enumerate().take(me).skip(1) {
         let mut s = dial(addr, dial_deadline, topo.socket.connect_timeout)?;
-        write_frame(&mut s, &encode_hello(me, topo_hash, "")).map_err(|e| SocketError::Io {
-            during: "hello send",
-            detail: e.to_string(),
+        write_frame(&mut s, &encode_hello(me, topo_hash, codec, "")).map_err(|e| {
+            SocketError::Io {
+                during: "hello send",
+                detail: e.to_string(),
+            }
         })?;
         conns.push(PeerConn {
             proc: j,
@@ -1117,10 +1232,13 @@ fn connect_mesh(
                     let mut fb = FrameBuf::new();
                     let hello_deadline = accept_deadline.min(Instant::now() + hello_budget);
                     let hello = read_one_frame(&mut s, &mut fb, hello_deadline, "incoming")
-                        .map_err(|e| e.to_string())
+                        .map_err(|e| HelloReject::Other(e.to_string()))
                         .and_then(|p| decode_hello(&p, topo_hash));
                     match hello {
-                        Ok((proc, _)) if proc > me && proc < n => {
+                        // Peer-to-peer hellos still carry a codec byte,
+                        // but the roster's session codec is authoritative
+                        // for every link — the advertisement is ignored.
+                        Ok((proc, _, _)) if proc > me && proc < n => {
                             conns.push(PeerConn {
                                 proc,
                                 stream: s,
@@ -1128,7 +1246,10 @@ fn connect_mesh(
                             });
                             accepted += 1;
                         }
-                        _ => {
+                        hello => {
+                            if let Err(HelloReject::UnknownCodec(_)) = hello {
+                                obs::m().codec_rejected.inc();
+                            }
                             obs::m().handshake_rejected.inc();
                             s.shutdown_both();
                         }
@@ -1160,6 +1281,7 @@ fn connect_mesh(
         listener,
         roster,
         epoch,
+        codec,
     })
 }
 
@@ -1325,6 +1447,10 @@ pub struct SocketTransport {
     /// Session epoch + advertised address of every process; set by
     /// `start` together with the links.
     session: OnceLock<(u64, Vec<String>)>,
+    /// Negotiated session envelope codec (weakest across all peers);
+    /// `None` until the mesh is up, which is fine — `deliver` cannot
+    /// run before the gate opens.
+    codec: OnceLock<Compression>,
     /// Finalize has begun: recovery threads stand down, the acceptor
     /// loop exits.
     closing: AtomicBool,
@@ -1359,6 +1485,7 @@ impl SocketTransport {
             policy,
             gate: MeshGate::new(),
             session: OnceLock::new(),
+            codec: OnceLock::new(),
             closing: AtomicBool::new(false),
         })
     }
@@ -1368,6 +1495,7 @@ impl SocketTransport {
     /// exactly once, from the mesh thread.
     fn start(self: &Arc<Self>, mesh: Mesh) {
         let _ = self.session.set((mesh.epoch, mesh.roster));
+        let _ = self.codec.set(mesh.codec);
         for conn in mesh.conns {
             let link = Arc::new(Link::new(conn.proc));
             if let Some(slot) = self.links.get(conn.proc) {
@@ -1505,6 +1633,29 @@ impl SocketTransport {
         }
     }
 
+    /// Wraps an encoded envelope in a `K_ENVELOPE_Z` frame when the
+    /// session codec is LZ4 and compression actually wins. Runs *before*
+    /// `send_data` so the retransmit buffer holds the exact wire bytes —
+    /// a retransmitted frame is bit-identical to the original send.
+    fn maybe_compress_envelope(&self, payload: Vec<u8>) -> Vec<u8> {
+        if self.codec.get() != Some(&Compression::Lz4) || payload.len() < MIN_ENVELOPE_COMPRESS {
+            return payload;
+        }
+        thread_local! {
+            static ENC: std::cell::RefCell<Lz4Encoder> =
+                std::cell::RefCell::new(Lz4Encoder::new());
+        }
+        let mut out = Vec::with_capacity(1 + max_compressed_len(payload.len()));
+        out.push(K_ENVELOPE_Z);
+        ENC.with(|enc| enc.borrow_mut().compress(&payload, &mut out));
+        if out.len() < payload.len() {
+            obs::m().envelopes_compressed.inc();
+            out
+        } else {
+            payload
+        }
+    }
+
     /// Sends one *link* frame (ack / reconnect control): unsequenced,
     /// never buffered, errors ignored (the reader notices real loss).
     fn send_link_frame(&self, link: &Arc<Link>, payload: &[u8]) {
@@ -1578,6 +1729,30 @@ impl SocketTransport {
                 }
                 true
             }
+            Some(K_ENVELOPE_Z) => {
+                // Inflate, then reuse the plain envelope path. Any
+                // defect — truncated block, bad offset, declared-size
+                // mismatch, wrong inner kind — makes the connection
+                // off-protocol (`false` → link loss), exactly like an
+                // unknown frame kind.
+                let Some(z) = payload.get(1..) else {
+                    return false;
+                };
+                let mut raw = bytes::BytesMut::new();
+                if decompress_into(z, MAX_FRAME_LEN, &mut raw).is_err() {
+                    return false;
+                }
+                let raw = raw.freeze();
+                if raw.first() != Some(&K_ENVELOPE) {
+                    return false;
+                }
+                if let Some((dst, env)) = decode_envelope(&raw) {
+                    if let Some(Some(mb)) = self.mailboxes.get(dst) {
+                        let _ = mb.deliver(env, usize::MAX);
+                    }
+                }
+                true
+            }
             Some(K_RANK_DONE) => {
                 if let Some(r) = payload
                     .get(1..5)
@@ -1637,8 +1812,8 @@ impl SocketTransport {
                                     self.prune_acked(link, acked);
                                 }
                             }
-                            Some(K_ENVELOPE) | Some(K_RANK_DONE) | Some(K_SHUTDOWN)
-                            | Some(K_PROC_DONE) => {
+                            Some(K_ENVELOPE) | Some(K_ENVELOPE_Z) | Some(K_RANK_DONE)
+                            | Some(K_SHUTDOWN) | Some(K_PROC_DONE) => {
                                 if let Some(link) = link.as_ref() {
                                     link.rx_seq.fetch_add(1, Ordering::AcqRel);
                                     unacked += 1;
@@ -2007,7 +2182,7 @@ impl Transport for SocketTransport {
         let link = self
             .link(proc)
             .ok_or(RtError::Protocol("no connection to destination process"))?;
-        let payload = encode_envelope(dst_world, &env);
+        let payload = self.maybe_compress_envelope(encode_envelope(dst_world, &env));
         if self.send_data(link, &payload).is_err() {
             return Err(RtError::Dropped { dst: dst_world });
         }
@@ -2229,27 +2404,82 @@ mod tests {
 
     #[test]
     fn hello_roundtrip_and_validation() {
-        let wire = Bytes::from(encode_hello(3, 0xABCD, "unix:/tmp/x"));
-        let (proc, addr) = decode_hello(&wire, 0xABCD).unwrap();
-        assert_eq!((proc, addr.as_str()), (3, "unix:/tmp/x"));
+        let wire = Bytes::from(encode_hello(3, 0xABCD, Compression::Lz4, "unix:/tmp/x"));
+        let (proc, codec, addr) = decode_hello(&wire, 0xABCD).unwrap();
+        assert_eq!(
+            (proc, codec, addr.as_str()),
+            (3, Compression::Lz4, "unix:/tmp/x")
+        );
         // Wrong topology hash is rejected with a description.
-        let err = decode_hello(&wire, 0x1234).unwrap_err();
+        let err = decode_hello(&wire, 0x1234).unwrap_err().to_string();
         assert!(err.contains("topology mismatch"), "{err}");
         // Garbage is rejected, not mis-decoded.
         let garbage = Bytes::from_static(b"\x01nonsense....................");
         assert!(decode_hello(&garbage, 0xABCD).is_err());
     }
 
+    /// A version-2 hello (no codec byte, address at offset 17) still
+    /// decodes — as a plain-codec peer — so old builds can join.
     #[test]
-    fn roster_roundtrips_with_epoch() {
+    fn legacy_v2_hello_decodes_as_plain_codec() {
+        let mut wire = Vec::new();
+        wire.push(K_HELLO);
+        wire.extend_from_slice(&MAGIC.to_le_bytes());
+        wire.extend_from_slice(&VERSION_LEGACY.to_le_bytes());
+        wire.extend_from_slice(&2u16.to_le_bytes());
+        wire.extend_from_slice(&0xABCDu64.to_le_bytes());
+        wire.extend_from_slice(b"unix:/tmp/legacy");
+        let (proc, codec, addr) = decode_hello(&Bytes::from(wire), 0xABCD).unwrap();
+        assert_eq!(
+            (proc, codec, addr.as_str()),
+            (2, Compression::None, "unix:/tmp/legacy")
+        );
+    }
+
+    /// An unknown codec id is a *typed* rejection, distinguishable from
+    /// generic handshake garbage.
+    #[test]
+    fn unknown_codec_id_is_a_typed_rejection() {
+        let mut wire = encode_hello(1, 0xABCD, Compression::None, "unix:/tmp/x");
+        wire[17] = 0x7F; // codec byte: no such codec
+        let err = decode_hello(&Bytes::from(wire), 0xABCD).unwrap_err();
+        assert!(
+            matches!(err, HelloReject::UnknownCodec(0x7F)),
+            "want UnknownCodec(0x7F), got {err}"
+        );
+    }
+
+    #[test]
+    fn roster_roundtrips_with_epoch_and_codec() {
         let addrs = vec![
             "tcp:127.0.0.1:9000".to_string(),
             String::new(),
             "unix:/tmp/a.sock".to_string(),
         ];
-        let wire = Bytes::from(encode_roster(0xFEED_F00D, &addrs));
-        assert_eq!(decode_roster(&wire).unwrap(), (0xFEED_F00D, addrs));
+        for codec in [Compression::None, Compression::Lz4] {
+            let wire = Bytes::from(encode_roster(0xFEED_F00D, codec, &addrs));
+            assert_eq!(
+                decode_roster(&wire).unwrap(),
+                (0xFEED_F00D, codec, addrs.clone())
+            );
+        }
         assert_eq!(decode_roster(&Bytes::from_static(b"\x07junk")), None);
+        // A legacy roster without the codec tail is a plain session.
+        let legacy = {
+            let mut w = encode_roster(7, Compression::Lz4, &addrs);
+            w.pop();
+            Bytes::from(w)
+        };
+        assert_eq!(
+            decode_roster(&legacy).unwrap(),
+            (7, Compression::None, addrs.clone())
+        );
+        // An unknown codec tail fails the parse instead of guessing.
+        let mut bad = encode_roster(7, Compression::Lz4, &addrs);
+        if let Some(last) = bad.last_mut() {
+            *last = 0x7F;
+        }
+        assert_eq!(decode_roster(&Bytes::from(bad)), None);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod stream;
 pub mod virt;
 
 pub use map::{Map, MapPolicy};
+pub use opmr_events::{Compression, PackEncoding};
 pub use stream::{Balance, Block, DuplexStream, ReadMode, ReadStream, StreamConfig, WriteStream};
 pub use virt::Vmpi;
 

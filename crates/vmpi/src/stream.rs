@@ -37,6 +37,7 @@ use crate::map::Map;
 use crate::virt::Vmpi;
 use crate::{Result, VmpiError};
 use bytes::{Bytes, BytesMut};
+use opmr_events::{compress, Compression, Lz4Encoder, PackEncoding};
 use opmr_runtime::{Comm, Context, Mpi, Request, RtError, Src, TagSel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,6 +73,19 @@ pub struct StreamConfig {
     /// Base of the linear backoff between resend attempts (attempt `k`
     /// sleeps `k * retry_backoff`).
     pub retry_backoff: Duration,
+    /// Per-block compression applied before framing. Each data frame
+    /// carries its own compression flag, so readers decode compressed and
+    /// plain blocks alike regardless of their local setting — the config
+    /// only decides what this end *sends* (legacy peers therefore keep
+    /// working: `None` emits bitwise-identical frames to before).
+    pub compression: Compression,
+    /// Event-pack layout recorders feeding this stream use. Carried here —
+    /// not a stream concern per se — so every layer that opens a stream
+    /// (instrumented apps, TBON nodes, the serve plane) agrees on the
+    /// encoding through the one config that already reaches all of them.
+    /// Packs are self-describing (the header carries the version), so any
+    /// reader decodes either layout regardless of this setting.
+    pub pack_encoding: PackEncoding,
 }
 
 impl Default for StreamConfig {
@@ -83,6 +97,8 @@ impl Default for StreamConfig {
             read_timeout: None,
             max_retries: 8,
             retry_backoff: Duration::from_micros(200),
+            compression: Compression::None,
+            pack_encoding: PackEncoding::Fixed,
         }
     }
 }
@@ -110,6 +126,18 @@ impl StreamConfig {
     pub fn with_retries(mut self, max_retries: u32, backoff: Duration) -> Self {
         self.max_retries = max_retries;
         self.retry_backoff = backoff;
+        self
+    }
+
+    /// Selects the per-block compression codec for this end's writes.
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
+    }
+
+    /// Selects the event-pack layout recorders feeding this stream use.
+    pub fn with_pack_encoding(mut self, encoding: PackEncoding) -> Self {
+        self.pack_encoding = encoding;
         self
     }
 }
@@ -170,9 +198,16 @@ mod obs {
         pub peers_lost: Arc<Counter>,
         pub rng_fallbacks: Arc<Counter>,
         pub protocol_violations: Arc<Counter>,
+        pub bytes_logical: Arc<Counter>,
+        pub bytes_on_wire: Arc<Counter>,
+        pub blocks_compressed: Arc<Counter>,
+        pub compress_skipped: Arc<Counter>,
+        pub decompress_failures: Arc<Counter>,
         pub open_writers: Arc<Gauge>,
         pub blocks_in_flight: Arc<Gauge>,
         pub occupancy: Arc<Histogram>,
+        pub compress_ns: Arc<Histogram>,
+        pub decompress_ns: Arc<Histogram>,
     }
 
     pub(super) fn m() -> &'static StreamMetrics {
@@ -196,9 +231,16 @@ mod obs {
                 peers_lost: r.counter("vmpi_stream_peers_lost_total"),
                 rng_fallbacks: r.counter("vmpi_stream_rng_fallbacks_total"),
                 protocol_violations: r.counter("vmpi_stream_protocol_violations_total"),
+                bytes_logical: r.counter("vmpi_stream_bytes_logical_total"),
+                bytes_on_wire: r.counter("vmpi_stream_bytes_on_wire_total"),
+                blocks_compressed: r.counter("vmpi_stream_blocks_compressed_total"),
+                compress_skipped: r.counter("vmpi_stream_compress_skipped_total"),
+                decompress_failures: r.counter("vmpi_stream_decompress_failures_total"),
                 open_writers: r.gauge("vmpi_stream_open_writers"),
                 blocks_in_flight: r.gauge("vmpi_stream_blocks_in_flight"),
                 occupancy: r.histogram("vmpi_stream_buffer_occupancy"),
+                compress_ns: r.histogram("vmpi_stream_compress_ns"),
+                decompress_ns: r.histogram("vmpi_stream_decompress_ns"),
             }
         })
     }
@@ -211,6 +253,12 @@ mod obs {
 const FRAME_HDR: usize = 9;
 const FLAG_DATA: u8 = 0;
 const FLAG_FIN: u8 = 1;
+/// Flag bit: the frame body is an LZ4-class compressed block. Carried
+/// per frame, so a reader needs no out-of-band negotiation to decode.
+const FLAG_LZ4: u8 = 2;
+/// Blocks below this size skip compression outright (header overhead
+/// would eat the savings).
+const MIN_COMPRESS_LEN: usize = 64;
 
 fn frame(seq: u64, flags: u8, body: &[u8]) -> Bytes {
     let mut b = BytesMut::with_capacity(FRAME_HDR + body.len());
@@ -297,7 +345,12 @@ pub struct WriteStream {
     cfg: StreamConfig,
     tag: i32,
     chooser: EndpointChooser,
+    /// The block being filled. Cleared (not reallocated) after each send,
+    /// so steady-state writes reuse one buffer; returned to the global
+    /// pool on close.
     current: BytesMut,
+    /// Reusable compressor state (present when `cfg.compression` says so).
+    enc: Option<Lz4Encoder>,
     /// Next frame sequence number, per endpoint index.
     next_seq: Vec<u64>,
     /// Blocks in flight; bounded by `cfg.n_async` (the shared output
@@ -305,6 +358,7 @@ pub struct WriteStream {
     in_flight: VecDeque<Request>,
     closed: bool,
     bytes_written: u64,
+    bytes_on_wire: u64,
     blocks_sent: u64,
     retransmits: u64,
 }
@@ -333,12 +387,17 @@ impl WriteStream {
             chooser: EndpointChooser::new(endpoints.len(), cfg.balance),
             next_seq: vec![0; endpoints.len()],
             endpoints,
-            cfg,
             tag: stream_tag(stream_id),
-            current: BytesMut::new(),
+            current: opmr_events::global_pool().get(cfg.block_size),
+            enc: match cfg.compression {
+                Compression::Lz4 => Some(Lz4Encoder::new()),
+                Compression::None => None,
+            },
+            cfg,
             in_flight: VecDeque::new(),
             closed: false,
             bytes_written: 0,
+            bytes_on_wire: 0,
             blocks_sent: 0,
             retransmits: 0,
         })
@@ -376,8 +435,33 @@ impl WriteStream {
     }
 
     fn send_current(&mut self) -> Result<()> {
-        let block = std::mem::take(&mut self.current).freeze();
-        self.push_block(block)
+        let logical = self.current.len();
+        let m = obs::m();
+        m.bytes_logical.add(logical as u64);
+        // Compress into the frame body when the codec says so and it
+        // actually helps; the per-frame flag tells the reader which
+        // shape arrived, so an incompressible block falls back to the
+        // plain layout with zero coordination.
+        let (body, flags) = match self.enc.as_mut() {
+            Some(enc) if logical >= MIN_COMPRESS_LEN => {
+                let t0 = Instant::now();
+                let mut out = BytesMut::with_capacity(compress::max_compressed_len(logical));
+                enc.compress(&self.current, &mut out);
+                m.compress_ns.record(t0.elapsed().as_nanos() as u64);
+                if out.len() < logical {
+                    m.blocks_compressed.inc();
+                    (out.freeze(), FLAG_DATA | FLAG_LZ4)
+                } else {
+                    m.compress_skipped.inc();
+                    (Bytes::copy_from_slice(&self.current), FLAG_DATA)
+                }
+            }
+            _ => (Bytes::copy_from_slice(&self.current), FLAG_DATA),
+        };
+        self.current.clear();
+        self.bytes_on_wire += body.len() as u64;
+        m.bytes_on_wire.add(body.len() as u64);
+        self.push_block(body, flags)
     }
 
     /// Resends on injected drops with linear backoff, up to the configured
@@ -405,7 +489,7 @@ impl WriteStream {
         }
     }
 
-    fn push_block(&mut self, block: Bytes) -> Result<()> {
+    fn push_block(&mut self, block: Bytes, flags: u8) -> Result<()> {
         // Occupancy of the async buffer window as the producer sees it at
         // each block boundary (0..=n_async).
         obs::m().occupancy.record(self.in_flight.len() as u64);
@@ -434,7 +518,7 @@ impl WriteStream {
         }
         let epi = self.chooser.pick();
         let seq = self.next_seq[epi];
-        let payload = frame(seq, FLAG_DATA, &block);
+        let payload = frame(seq, flags, &block);
         let req = self.isend_retrying(self.endpoints[epi], payload)?;
         self.next_seq[epi] = seq + 1;
         self.in_flight.push_back(req);
@@ -495,6 +579,7 @@ impl WriteStream {
             obs::m().blocks_in_flight.dec();
             req.wait()?;
         }
+        opmr_events::global_pool().put(std::mem::take(&mut self.current));
         Ok(())
     }
 
@@ -504,7 +589,7 @@ impl WriteStream {
     /// [`VmpiError::PeerLost`] instead of hanging.
     pub fn abort(mut self) {
         self.closed = true;
-        self.current.clear();
+        opmr_events::global_pool().put(std::mem::take(&mut self.current));
         let m = obs::m();
         m.aborts.inc();
         m.open_writers.dec();
@@ -523,6 +608,12 @@ impl WriteStream {
     /// Full/partial blocks sent so far.
     pub fn blocks_sent(&self) -> u64 {
         self.blocks_sent
+    }
+
+    /// Block payload bytes actually shipped (after compression); compare
+    /// with [`WriteStream::bytes_written`] for the on-wire ratio.
+    pub fn bytes_on_wire(&self) -> u64 {
+        self.bytes_on_wire
     }
 
     /// Resend attempts caused by injected transport drops.
@@ -714,26 +805,71 @@ impl ReadStream {
         Ok(())
     }
 
+    /// Validates a frame's flag bits and inflates a compressed body.
+    /// `Ok(None)` is a FIN (the source flips to EOF). Unknown flag bits
+    /// and corrupt compressed payloads are typed, counted protocol
+    /// violations that kill this source while the surviving writers stay
+    /// readable.
+    fn decode_body(&mut self, idx: usize, flags: u8, body: Bytes) -> Result<Option<Bytes>> {
+        if flags == FLAG_FIN {
+            self.sources[idx].eof = true;
+            obs::m().sources_eof.inc();
+            return Ok(None);
+        }
+        if flags & !FLAG_LZ4 != FLAG_DATA {
+            obs::m().protocol_violations.inc();
+            self.sources[idx].eof = true;
+            return Err(VmpiError::ProtocolViolation {
+                expected: "stream frame flags data, data|lz4 or fin",
+                got: format!("{flags:#04x}"),
+            });
+        }
+        if flags & FLAG_LZ4 == 0 {
+            return Ok(Some(body));
+        }
+        let t0 = Instant::now();
+        let mut out = BytesMut::new();
+        match compress::decompress_into(&body, self.cfg.block_size, &mut out) {
+            Ok(_) => {
+                obs::m()
+                    .decompress_ns
+                    .record(t0.elapsed().as_nanos() as u64);
+                Ok(Some(out.freeze()))
+            }
+            Err(e) => {
+                let m = obs::m();
+                m.decompress_failures.inc();
+                m.protocol_violations.inc();
+                self.sources[idx].eof = true;
+                Err(VmpiError::ProtocolViolation {
+                    expected: "valid lz4-compressed stream block",
+                    got: e.to_string(),
+                })
+            }
+        }
+    }
+
     /// Pops the next in-sequence frame from a source's reorder stash.
     /// Returns a block for data frames; FIN frames flip the source to EOF.
-    fn take_stashed(&mut self, idx: usize) -> Option<Block> {
+    fn take_stashed(&mut self, idx: usize) -> Result<Option<Block>> {
         let src = &mut self.sources[idx];
-        let (flags, body) = src.stash.remove(&src.next_seq)?;
+        let Some((flags, body)) = src.stash.remove(&src.next_seq) else {
+            return Ok(None);
+        };
         src.next_seq += 1;
-        if flags == FLAG_FIN {
-            src.eof = true;
-            obs::m().sources_eof.inc();
-            return None;
-        }
-        self.bytes_read += body.len() as u64;
+        let world = src.world;
+        let Some(data) = self.decode_body(idx, flags, body)? else {
+            return Ok(None);
+        };
+        self.bytes_read += data.len() as u64;
         self.blocks_read += 1;
         let m = obs::m();
-        m.read_bytes.add(body.len() as u64);
+        m.read_bytes.add(data.len() as u64);
         m.blocks_read.inc();
-        Some(Block {
-            source: src.world,
-            data: body,
-        })
+        Ok(Some(Block {
+            source: world,
+            data,
+        }))
     }
 
     /// One sweep over the sources from a policy-chosen start.
@@ -751,7 +887,7 @@ impl ReadStream {
                 continue;
             }
             // Frames already received whose turn has come.
-            if let Some(block) = self.take_stashed(idx) {
+            if let Some(block) = self.take_stashed(idx)? {
                 return Ok(Some(block));
             }
             if self.sources[idx].eof {
@@ -812,23 +948,23 @@ impl ReadStream {
                     continue;
                 }
                 src.next_seq += 1;
-                if flags == FLAG_FIN {
+                let world = src.world;
+                if flags != FLAG_FIN {
+                    self.repost(idx)?;
+                }
+                let Some(data) = self.decode_body(idx, flags, body)? else {
                     // EOF marker in sequence: every data frame before it
                     // has been delivered. Stop reposting for this source.
-                    self.sources[idx].eof = true;
-                    obs::m().sources_eof.inc();
                     break;
-                }
-                let world = src.world;
-                self.repost(idx)?;
-                self.bytes_read += body.len() as u64;
+                };
+                self.bytes_read += data.len() as u64;
                 self.blocks_read += 1;
                 let m = obs::m();
-                m.read_bytes.add(body.len() as u64);
+                m.read_bytes.add(data.len() as u64);
                 m.blocks_read.inc();
                 return Ok(Some(Block {
                     source: world,
-                    data: body,
+                    data,
                 }));
             }
         }

@@ -39,11 +39,26 @@ pub fn fresh_unix_endpoint(tag: &str) -> Endpoint {
 /// to assemble: conformance scenarios assert rank-level outcomes, and a
 /// handshake failure would silently vacuate them.
 pub fn run_socket_threads(launcher: Launcher, procs: usize) -> Vec<RankFailure> {
+    run_socket_threads_with(launcher, procs, |_, cfg| cfg)
+}
+
+/// [`run_socket_threads`] with a per-process [`SocketConfig`] customizer
+/// (`(proc_index, base_config) -> config`) — the hook the codec
+/// negotiation scenarios use to give different processes different
+/// compression advertisements.
+pub fn run_socket_threads_with(
+    launcher: Launcher,
+    procs: usize,
+    customize: impl Fn(usize, SocketConfig) -> SocketConfig,
+) -> Vec<RankFailure> {
     let endpoint = fresh_unix_endpoint("job");
     let mut handles = Vec::new();
     for p in 0..procs {
         let l = launcher.clone();
-        let cfg = SocketConfig::new(endpoint.clone()).connect_timeout(Duration::from_secs(20));
+        let cfg = customize(
+            p,
+            SocketConfig::new(endpoint.clone()).connect_timeout(Duration::from_secs(20)),
+        );
         let topo = MultiprocTopology::new(cfg, p, procs).assign(PartitionAssign::RoundRobin);
         handles.push(
             std::thread::Builder::new()
