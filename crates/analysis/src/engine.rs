@@ -211,6 +211,12 @@ pub struct AnalysisEngine {
     extras: Arc<Mutex<EngineExtras>>,
     /// Packs unpacked across every level; drives the publication cadence.
     pack_ticker: Arc<std::sync::atomic::AtomicU64>,
+    /// Serializes snapshot-taking with hook delivery. Two dispatcher
+    /// workers can hit a publication boundary concurrently; without the
+    /// gate the later worker can snapshot *newer* aggregates yet deliver
+    /// them to the store *before* the earlier worker's older snapshot,
+    /// making per-version series (metrics window counts) non-monotone.
+    publish_gate: Arc<Mutex<()>>,
 }
 
 fn level_name(app_id: u16) -> String {
@@ -235,6 +241,7 @@ impl AnalysisEngine {
             cfg,
             extras: Arc::new(Mutex::new(EngineExtras::default())),
             pack_ticker: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            publish_gate: Arc::new(Mutex::new(())),
         };
         engine.register_dispatcher();
         engine
@@ -402,6 +409,13 @@ impl AnalysisEngine {
                         if let Some((every, hook)) = &publisher {
                             let t = ticker.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
                             if t.is_multiple_of(*every) {
+                                // Snapshot and publish under the gate:
+                                // aggregates only grow, so serializing
+                                // take-then-deliver makes successive store
+                                // versions monotone (in particular the
+                                // metrics window counts) even when two
+                                // workers hit the boundary at once.
+                                let _publish = uengine.publish_gate.lock();
                                 hook(uengine.snapshot_partials());
                             }
                         }

@@ -1,31 +1,49 @@
 //! Live-serving benchmark: query throughput and subscription lag of the
 //! serve plane (`Coupling::Serving`) under concurrent clients.
 //!
-//! One instrumented application streams into a 2-rank serving analyzer
-//! while two client partitions hammer it simultaneously: *queriers* issue
-//! point queries (profile + per-rank density) in a closed loop and
-//! *subscribers* consume the snapshot-then-deltas stream, measuring the
+//! Instrumented applications stream into a serving analyzer while client
+//! partitions hammer it simultaneously: *queriers* issue point queries
+//! (profile + per-rank density) in a closed loop and *subscribers*
+//! consume the per-shard snapshot-then-deltas stream, measuring the
 //! publication-to-consumption lag of every update on the shared
-//! in-process clock. A second scenario throttles the subscribers against
-//! a tiny snapshot ring to exercise the slow-consumer resync path.
+//! in-process clock. Scenarios cover the slow-consumer resync path
+//! (`laggy`), wide fan-out at ≥256 subscribers delivered either as
+//! per-subscriber unicast chains (`unicast256`) or down the TBON
+//! replication tree (`tree256`), and a greedy tenant pinned by a
+//! subscription quota while compliant tenants ride along undisturbed.
+//!
+//! Every subscriber folds its update stream and digests the resulting
+//! bytes per `(shard, version)`; the run asserts zero divergences across
+//! subscribers *and* against the server's stored snapshots — the delta
+//! chains must be byte-identical everywhere.
 //!
 //! Reports queries/sec plus p50/p99 subscription lag per scenario; CSV
-//! lands in `out/serve_bench/`. Pass `--quick` for a CI-sized smoke run.
+//! lands in `out/serve_bench/`. Pass `--quick` for a CI-sized smoke run
+//! (64-subscriber tree + quota scenario included).
 
 use opmr_bench::{out_dir, row};
 use opmr_core::session::{Coupling, Session};
-use opmr_serve::{ServeConfig, ServeStats};
+use opmr_serve::proto::QuotaKind;
+use opmr_serve::{ServeConfig, ServeError, ServeStats, TenantQuota};
 use opmr_vmpi::{Balance, StreamConfig};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 struct Scenario {
     name: &'static str,
     rounds: i32,
+    /// Instrumented ring applications (2 ranks each); >1 populates
+    /// multiple store shards.
+    apps: usize,
+    serving: usize,
     subscribers: usize,
     queriers: usize,
+    /// Subscriber ranks under the quota-pinned "greedy" tenant.
+    greedy: usize,
     serve: ServeConfig,
     /// Artificial per-update consumer delay (the slow-consumer knob).
     subscriber_delay: Duration,
@@ -40,6 +58,24 @@ struct Run {
     deltas: u64,
     stats: ServeStats,
     versions: u64,
+    /// `(shard, version)` digest mismatches across subscribers or against
+    /// the server's stored snapshots. The acceptance bar is zero.
+    divergences: u64,
+    /// Greedy-tenant subscriptions refused with the typed quota signal.
+    rejected: u64,
+    /// `reduce_fanout_records_total` movement across this scenario.
+    fanout_records: u64,
+}
+
+/// FNV-1a over the folded snapshot bytes: cheap, deterministic, and
+/// collision-resistant enough to catch any real chain divergence.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 fn aggregate(per_rank: &[(usize, ServeStats)]) -> ServeStats {
@@ -54,6 +90,9 @@ fn aggregate(per_rank: &[(usize, ServeStats)]) -> ServeStats {
         total.acks += s.acks;
         total.bad_requests += s.bad_requests;
         total.clients_lost += s.clients_lost;
+        total.quota_rejections += s.quota_rejections;
+        total.quota_throttles += s.quota_throttles;
+        total.fanout_records += s.fanout_records;
     }
     total
 }
@@ -63,17 +102,67 @@ fn run_scenario(sc: &Scenario) -> Result<Run, Box<dyn std::error::Error>> {
     let queries = Arc::new(Mutex::new(0u64));
     let lags = Arc::new(Mutex::new(Vec::<u64>::new()));
     let update_counts = Arc::new(Mutex::new((0u64, 0u64))); // (updates, deltas)
+    let digests = Arc::new(Mutex::new(HashMap::<(u16, u64), u64>::new()));
+    let divergences = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+
+    let fanout_before = opmr_obs::registry()
+        .snapshot()
+        .counter_family("reduce_fanout_records_total");
+
+    let subscriber = |delay: Duration| {
+        let l_sink = Arc::clone(&lags);
+        let u_sink = Arc::clone(&update_counts);
+        let d_sink = Arc::clone(&digests);
+        let div = Arc::clone(&divergences);
+        let rej = Arc::clone(&rejected);
+        move |c: &mut opmr_serve::ServeClient| -> Result<(), opmr_runtime::RankError> {
+            c.subscribe()?;
+            loop {
+                let u = match c.next_update() {
+                    Err(ServeError::QuotaExceeded(QuotaKind::Subscriptions)) => {
+                        rej.fetch_add(1, Ordering::Relaxed);
+                        return Ok(());
+                    }
+                    other => other?.ok_or("stream ended before final")?,
+                };
+                l_sink.lock().push(u.lag_ns);
+                let mut counts = u_sink.lock();
+                counts.0 += 1;
+                counts.1 += u.delta as u64;
+                drop(counts);
+                // Chain audit: every subscriber must fold the exact same
+                // bytes at every (shard, version) it observes.
+                let held = c
+                    .shard_report(u.shard)
+                    .ok_or("update landed no shard report")?;
+                let digest = fnv1a64(&held.encoded);
+                let stale = d_sink
+                    .lock()
+                    .insert((u.shard, u.version), digest)
+                    .is_some_and(|prev| prev != digest);
+                if stale {
+                    div.fetch_add(1, Ordering::Relaxed);
+                }
+                if u.finished {
+                    break;
+                }
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+            Ok(())
+        }
+    };
 
     let q_sink = Arc::clone(&queries);
-    let l_sink = Arc::clone(&lags);
-    let u_sink = Arc::clone(&update_counts);
-    let delay = sc.subscriber_delay;
-    let outcome = Session::builder()
-        .analyzer_ranks(2)
+    let mut builder = Session::builder()
+        .analyzer_ranks(sc.serving)
         .coupling(Coupling::Serving)
-        .serve_config(sc.serve)
-        .stream_config(StreamConfig::new(2048, 4, Balance::None))
-        .app_try("workload", 4, move |imp| {
+        .serve_config(sc.serve.clone())
+        .stream_config(StreamConfig::new(2048, 4, Balance::None));
+    for app in 0..sc.apps.max(1) {
+        builder = builder.app_try(&format!("workload-{app}"), 2, move |imp| {
             let w = imp.comm_world();
             let n = imp.size();
             let r = imp.rank();
@@ -90,45 +179,47 @@ fn run_scenario(sc: &Scenario) -> Result<Run, Box<dyn std::error::Error>> {
             }
             imp.barrier(&w)?;
             Ok(())
-        })
-        .client_try("queriers", sc.queriers, move |c| {
-            c.wait_version(1)?;
-            let mut n = 0u64;
-            loop {
-                let info = c.version_info()?;
-                let _ = c.query_profile(0, 0, 0, u32::MAX)?;
-                let (_, _, _density) = c.query_density(0, 0, 0, u32::MAX)?;
-                n += 3;
-                if info.finished {
-                    break;
-                }
+        });
+    }
+    builder = builder.client_try("queriers", sc.queriers, move |c| {
+        c.wait_version(1)?;
+        let mut n = 0u64;
+        loop {
+            let info = c.version_info()?;
+            let _ = c.query_profile(0, 0, 0, u32::MAX)?;
+            let (_, _, _density) = c.query_density(0, 0, 0, u32::MAX)?;
+            n += 3;
+            if info.finished {
+                break;
             }
-            *q_sink.lock() += n;
-            Ok(())
-        })
-        .client_try("subscribers", sc.subscribers, move |c| {
-            c.subscribe()?;
-            loop {
-                let u = c.next_update()?.ok_or("stream ended before final")?;
-                l_sink.lock().push(u.lag_ns);
-                let mut counts = u_sink.lock();
-                counts.0 += 1;
-                counts.1 += u.delta as u64;
-                drop(counts);
-                if u.finished {
-                    break;
-                }
-                if !delay.is_zero() {
-                    std::thread::sleep(delay);
-                }
-            }
-            Ok(())
-        })
-        .run()?;
+        }
+        *q_sink.lock() += n;
+        Ok(())
+    });
+    let polite = subscriber(sc.subscriber_delay);
+    builder = builder.client_try("subscribers", sc.subscribers, polite);
+    if sc.greedy > 0 {
+        builder = builder.client_try("greedy", sc.greedy, subscriber(Duration::ZERO));
+    }
+    let outcome = builder.run()?;
 
     let store = outcome
         .snapshot_store
         .ok_or("serving session lost its snapshot store")?;
+    // Second half of the audit: the digests the subscribers agreed on
+    // must match the server's stored bytes wherever the ring kept them.
+    let mut divergences = divergences.load(Ordering::Relaxed);
+    for (&(shard, version), &digest) in digests.lock().iter() {
+        if let Some(entry) = store.shard(shard as usize).get(version) {
+            if fnv1a64(&entry.encoded) != digest {
+                divergences += 1;
+            }
+        }
+    }
+
+    let fanout_after = opmr_obs::registry()
+        .snapshot()
+        .counter_family("reduce_fanout_records_total");
     let (updates, deltas) = *update_counts.lock();
     let queries = *queries.lock();
     let lags = lags.lock().clone();
@@ -140,6 +231,9 @@ fn run_scenario(sc: &Scenario) -> Result<Run, Box<dyn std::error::Error>> {
         deltas,
         stats: aggregate(&outcome.serve_stats),
         versions: store.stats().published,
+        divergences,
+        rejected: rejected.load(Ordering::Relaxed),
+        fanout_records: fanout_after.saturating_sub(fanout_before),
     })
 }
 
@@ -155,14 +249,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
     let rounds = if quick { 60 } else { 300 };
     let wide = if quick { 2 } else { 4 };
+    // A tenant allowed one subscription per serving rank: with more
+    // greedy ranks than serving ranks, the surplus must be refused with
+    // the typed signal while everyone else rides along.
+    let pinned = |sub_limit: u32| TenantQuota {
+        max_subscriptions: sub_limit,
+        max_queries_per_sec: 0,
+        max_delta_bytes_per_sec: 0,
+    };
 
-    let scenarios = [
+    let mut scenarios = vec![
         // ≥4 concurrent clients, consumers keeping pace.
         Scenario {
             name: "smooth",
             rounds,
+            apps: 1,
+            serving: 2,
             subscribers: wide,
             queriers: wide,
+            greedy: 0,
             serve: ServeConfig {
                 publish_every_packs: 2,
                 ring: 256,
@@ -175,8 +280,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Scenario {
             name: "laggy",
             rounds,
+            apps: 1,
+            serving: 2,
             subscribers: wide,
             queriers: wide,
+            greedy: 0,
             serve: ServeConfig {
                 publish_every_packs: 1,
                 ring: 2,
@@ -186,8 +294,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             subscriber_delay: Duration::from_millis(3),
         },
     ];
+    if quick {
+        // CI smoke: 64 subscribers on a fanout-2 tree over 3 serving
+        // ranks, two store shards, plus a quota-pinned greedy tenant.
+        scenarios.push(Scenario {
+            name: "tree64",
+            rounds,
+            apps: 2,
+            serving: 3,
+            subscribers: 64,
+            queriers: 4,
+            greedy: 8,
+            serve: ServeConfig {
+                publish_every_packs: 4,
+                ring: 4096,
+                shards: 2,
+                fan_out: Some(2),
+                tenant_quotas: vec![("greedy".to_string(), pinned(1))],
+                ..ServeConfig::default()
+            },
+            subscriber_delay: Duration::ZERO,
+        });
+    } else {
+        // The tentpole comparison: the same 256-subscriber load served
+        // as per-subscriber unicast chains vs. TBON tree replication
+        // (root frames each delta once, the frontier fans it out).
+        for (name, fan_out) in [("unicast256", None), ("tree256", Some(4))] {
+            scenarios.push(Scenario {
+                name,
+                rounds,
+                apps: 2,
+                serving: 5,
+                subscribers: 256,
+                queriers: 8,
+                greedy: 8,
+                serve: ServeConfig {
+                    publish_every_packs: 4,
+                    ring: 4096,
+                    shards: 2,
+                    fan_out,
+                    tenant_quotas: vec![("greedy".to_string(), pinned(1))],
+                    ..ServeConfig::default()
+                },
+                subscriber_delay: Duration::ZERO,
+            });
+        }
+    }
 
-    let widths = [8, 8, 9, 10, 9, 8, 8, 8, 11, 11];
+    let widths = [10, 8, 9, 10, 9, 8, 8, 8, 11, 11];
     row(
         &[
             "scenario".into(),
@@ -204,14 +358,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &widths,
     );
 
+    let mut p99_by_name: HashMap<&'static str, f64> = HashMap::new();
     let mut csv = format!("{}\n", opmr_bench::SERVE_BENCH_CSV_HEADER);
     for sc in &scenarios {
         let mut run = run_scenario(sc)?;
         run.lags.sort_unstable();
-        let clients = sc.subscribers + sc.queriers;
+        let clients = sc.subscribers + sc.queriers + sc.greedy;
         let qps = run.queries as f64 / run.wall_s.max(1e-9);
         let p50 = percentile_ms(&run.lags, 50.0);
         let p99 = percentile_ms(&run.lags, 99.0);
+        p99_by_name.insert(sc.name, p99);
         row(
             &[
                 sc.name.into(),
@@ -234,6 +390,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         assert!(run.queries > 0, "queriers issued no queries");
         assert!(run.updates > 0, "subscribers saw no updates");
+        assert_eq!(
+            run.divergences, 0,
+            "{}: delta chains diverged across subscribers or from the store",
+            sc.name
+        );
         assert_eq!(run.stats.clients as usize, clients);
         assert_eq!(run.stats.clients_lost, 0, "clients must part cleanly");
         if sc.name == "laggy" {
@@ -242,6 +403,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "slow consumers must trigger resyncs, not buffering"
             );
         }
+        if sc.serve.fan_out.is_some() {
+            assert!(
+                run.fanout_records > 0,
+                "{}: reduce_fanout_records_total never moved",
+                sc.name
+            );
+            assert!(
+                run.stats.fanout_records > 0,
+                "{}: the root never published onto the tree",
+                sc.name
+            );
+        }
+        if sc.greedy > 0 {
+            assert!(
+                run.rejected > 0,
+                "{}: the greedy tenant was never refused",
+                sc.name
+            );
+            assert!(
+                run.stats.quota_rejections >= run.rejected,
+                "{}: wire rejections outnumber the counted ones",
+                sc.name
+            );
+        }
+    }
+
+    if !quick {
+        let unicast = p99_by_name["unicast256"];
+        let tree = p99_by_name["tree256"];
+        println!("\ntree p99 {tree:.3} ms vs unicast p99 {unicast:.3} ms at 256 subscribers");
+        assert!(
+            tree < unicast,
+            "tree fan-out must beat unicast p99 lag at 256 subscribers \
+             ({tree:.3} ms >= {unicast:.3} ms)"
+        );
     }
 
     let path = out_dir("serve_bench")?.join("serve_bench.csv");

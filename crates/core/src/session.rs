@@ -14,7 +14,7 @@ use opmr_instrument::{InstrumentedMpi, RecorderStats};
 use opmr_netsim::Workload;
 use opmr_reduce::{run_node, NodeConfig, ReduceOp, ReduceStats, Tree};
 use opmr_runtime::{Launcher, Mpi, RankError};
-use opmr_serve::{run_server, ServeClient, ServeConfig, ServeStats, SnapshotStore};
+use opmr_serve::{run_server, ServeClient, ServeConfig, ServeStats, ShardedStore};
 use opmr_vmpi::map::{map_partitions, map_partitions_directed};
 use opmr_vmpi::{Map, MapPolicy, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError};
 use parking_lot::Mutex;
@@ -117,9 +117,10 @@ pub struct SessionOutcome {
     /// Per-serving-rank counters `(analyzer rank, stats)`, ascending; empty
     /// unless the session ran under [`Coupling::Serving`].
     pub serve_stats: Vec<(usize, ServeStats)>,
-    /// The snapshot store of a [`Coupling::Serving`] session, retained so
-    /// callers can audit the published version history post-run.
-    pub snapshot_store: Option<Arc<SnapshotStore>>,
+    /// The sharded snapshot store of a [`Coupling::Serving`] session,
+    /// retained so callers can audit the published per-shard version
+    /// history post-run.
+    pub snapshot_store: Option<Arc<ShardedStore>>,
     /// Point-in-time copy of the process-wide observability registry
     /// ([`opmr_obs`]) taken when the job ends. The registry is cumulative
     /// across sessions in one process — compare deltas, not absolutes,
@@ -618,7 +619,11 @@ impl SessionBuilder {
         // Serving: the engine publishes a versioned snapshot into the store
         // at every window boundary; the serving loops read it from there.
         let store = if matches!(coupling, Coupling::Serving) {
-            let store = Arc::new(SnapshotStore::new(serve_cfg.ring, analyzer_ranks));
+            let store = Arc::new(ShardedStore::new(
+                serve_cfg.shards,
+                serve_cfg.ring,
+                analyzer_ranks,
+            ));
             let Some(engine) = engine.as_ref() else {
                 return Err(SessionError::Config(
                     "serving requires the shared engine".into(),
@@ -628,7 +633,10 @@ impl SessionBuilder {
             engine.attach_snapshot_publisher(
                 serve_cfg.publish_every_packs,
                 Arc::new(move |parts| {
-                    publish_to.publish(parts);
+                    // An encode-overflow here is already typed and counted
+                    // at the failure site; the publication window is simply
+                    // skipped rather than crashing the engine worker.
+                    let _ = publish_to.publish(parts);
                 }),
             );
             Some(store)
@@ -695,6 +703,7 @@ impl SessionBuilder {
         let stats_for_analyzer = Arc::clone(&reduce_stats);
         let store_for_analyzer = store.clone();
         let serve_stats_sink = Arc::clone(&serve_stats);
+        let serve_for_analyzer = serve_cfg.clone();
         launcher =
             launcher.partition_try("Analyzer", analyzer_ranks, move |mpi: Mpi| match coupling {
                 Coupling::Direct => match &engine_for_analyzer {
@@ -728,7 +737,7 @@ impl SessionBuilder {
                         .as_ref()
                         .ok_or("serving builds the store before launch")?,
                     stream_cfg,
-                    &serve_cfg,
+                    &serve_for_analyzer,
                     n_apps,
                     &serve_stats_sink,
                 ),
@@ -739,22 +748,26 @@ impl SessionBuilder {
         let analyzer_pid = n_apps;
         for spec in std::mem::take(&mut self.clients) {
             let body = spec.body;
+            let tenant = spec.name.clone();
+            let serve_for_client = serve_cfg.clone();
             launcher = launcher.partition_try(&spec.name, spec.ranks, move |mpi: Mpi| {
                 let v = Vmpi::new(mpi)?;
                 let mut map = Map::new();
-                map_partitions_directed(
-                    &v,
-                    analyzer_pid,
-                    analyzer_pid,
-                    MapPolicy::RoundRobin,
-                    &mut map,
-                )?;
+                // With tree fan-out the clients attach to the frontier of
+                // the same tree the serving ranks derive from (fanout,
+                // analyzer size); otherwise they spread round-robin. Both
+                // sides of the pivot must evaluate the same policy.
+                let policy = match serve_for_client.fan_out {
+                    Some(f) => Tree::new(f, analyzer_ranks).leaf_policy(),
+                    None => MapPolicy::RoundRobin,
+                };
+                map_partitions_directed(&v, analyzer_pid, analyzer_pid, policy, &mut map)?;
                 let server = map
                     .peers()
                     .first()
                     .copied()
                     .ok_or("client mapping produced no serving peer")?;
-                let mut client = ServeClient::connect(&v, server, &serve_cfg)?;
+                let mut client = ServeClient::connect_as(&v, server, &tenant, &serve_for_client)?;
                 body(&mut client)?;
                 client.close()?;
                 Ok(())
@@ -940,7 +953,7 @@ fn distributed_analyzer_rank(
 fn serving_analyzer_rank(
     mpi: Mpi,
     engine: &AnalysisEngine,
-    store: &Arc<SnapshotStore>,
+    store: &Arc<ShardedStore>,
     stream_cfg: StreamConfig,
     serve_cfg: &ServeConfig,
     n_apps: usize,
@@ -952,14 +965,20 @@ fn serving_analyzer_rank(
         map_partitions(&v, pid, MapPolicy::RoundRobin, &mut app_map)?;
     }
     // The analyzer masters the client mappings so every client rank gets
-    // assigned exactly one serving rank, spread round-robin.
+    // assigned exactly one serving rank: the fan-out tree's frontier under
+    // tree delivery, spread round-robin otherwise (must mirror the client
+    // side of the pivot).
+    let client_policy = match serve_cfg.fan_out {
+        Some(f) => Tree::new(f, v.my_partition().size).leaf_policy(),
+        None => MapPolicy::RoundRobin,
+    };
     let mut client_map = Map::new();
     for pid in (n_apps + 1)..v.partition_count() {
         map_partitions_directed(
             &v,
             pid,
             v.partition_id(),
-            MapPolicy::RoundRobin,
+            client_policy.clone(),
             &mut client_map,
         )?;
     }

@@ -1,0 +1,170 @@
+//! The reverse-path TBON overlay: tree *replication* instead of tree
+//! reduction.
+//!
+//! [`run_node`](crate::node::run_node) folds many leaf streams up the tree
+//! into one root; [`FanoutNode`] runs the same tree in the opposite
+//! direction for the serve plane. The root writes each record once per
+//! child; interior nodes re-forward incoming blocks **verbatim** (no
+//! parse, no re-frame, no checksum — the frame laid down at the root
+//! survives every hop); frontier nodes reassemble frames and hand the
+//! record payloads to the caller (the serving loop, which owns
+//! per-subscriber credits and resyncs). One publish thus reaches N
+//! subscribers over `O(log N)` per-link copies instead of N unicast
+//! encodes.
+//!
+//! Stream opening is ordered so the handshakes resolve top-down no matter
+//! whether opens block: a non-root opens its parent read side first (the
+//! root's child writes pair immediately), then its own child writes.
+
+use crate::tree::Tree;
+use bytes::Bytes;
+use opmr_events::frame::FrameBuf;
+use opmr_vmpi::{ReadMode, ReadStream, Result, StreamConfig, Vmpi, VmpiError, WriteStream};
+use std::sync::Arc;
+
+struct FanoutMetrics {
+    records: Arc<opmr_obs::Counter>,
+    bytes_down: Arc<opmr_obs::Counter>,
+}
+
+fn fanout_metrics(level: usize) -> FanoutMetrics {
+    let r = opmr_obs::registry();
+    FanoutMetrics {
+        records: r.counter(&format!("reduce_fanout_records_total{{level=\"{level}\"}}")),
+        bytes_down: r.counter(&format!(
+            "reduce_fanout_bytes_down_total{{level=\"{level}\"}}"
+        )),
+    }
+}
+
+/// One rank's role in the replication tree (see module docs).
+pub struct FanoutNode {
+    children_tx: Vec<WriteStream>,
+    parent_rx: Option<ReadStream>,
+    fb: FrameBuf,
+    is_root: bool,
+    is_frontier: bool,
+    parent_eof: bool,
+    m: FanoutMetrics,
+}
+
+impl FanoutNode {
+    /// Opens this rank's tree streams: a read side from the parent (none
+    /// at the root) and a write side per internal child (none at the
+    /// frontier). A single-node tree opens nothing — the root *is* the
+    /// frontier and records never leave the rank.
+    pub fn open(v: &Vmpi, tree: &Tree, cfg: StreamConfig, stream_id: u16) -> Result<FanoutNode> {
+        let me = v.rank();
+        let part = v.my_partition().clone();
+        let parent_rx = match tree.parent(me) {
+            Some(p) => Some(ReadStream::open_from(
+                v,
+                vec![part.world_rank_of(p)],
+                cfg,
+                stream_id,
+            )?),
+            None => None,
+        };
+        let children_tx = tree
+            .internal_children(me)
+            .map(|c| WriteStream::open_to(v, vec![part.world_rank_of(c)], cfg, stream_id))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(FanoutNode {
+            is_root: parent_rx.is_none(),
+            is_frontier: tree.is_frontier(me),
+            children_tx,
+            parent_rx,
+            fb: FrameBuf::new(),
+            parent_eof: false,
+            m: fanout_metrics(tree.level_of(me)),
+        })
+    }
+
+    /// True at the tree root (the publishing serving rank).
+    pub fn is_root(&self) -> bool {
+        self.is_root
+    }
+
+    /// True at a frontier node (subscribers map here).
+    pub fn is_frontier(&self) -> bool {
+        self.is_frontier
+    }
+
+    /// True once the parent closed its stream (all records delivered).
+    pub fn parent_eof(&self) -> bool {
+        self.parent_eof
+    }
+
+    /// Root only: replicates one already-framed record to every child.
+    /// Frame once at the publish site, not once per subscriber — that is
+    /// the whole point of the reverse path.
+    pub fn publish(&mut self, framed: &[u8]) -> Result<()> {
+        self.m.records.inc();
+        for tx in &mut self.children_tx {
+            tx.write(framed)?;
+            // Flush per record: replication latency beats batching here,
+            // and one record per block keeps interior forwarding exact.
+            tx.flush()?;
+            self.m.bytes_down.add(framed.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Non-root: drains whatever the parent has ready, re-forwarding each
+    /// block verbatim to the children and (at the frontier) parsing
+    /// completed frames into `records`. Returns true if any block moved.
+    /// A lost parent is treated as EOF — the serving loop falls back to
+    /// the shared store, subscribers resync.
+    pub fn pump(&mut self, records: &mut Vec<Bytes>) -> Result<bool> {
+        let Some(rx) = &mut self.parent_rx else {
+            return Ok(false);
+        };
+        let mut progressed = false;
+        loop {
+            match rx.read(ReadMode::NonBlocking) {
+                Ok(Some(block)) => {
+                    progressed = true;
+                    for tx in &mut self.children_tx {
+                        tx.write(&block.data)?;
+                        tx.flush()?;
+                        self.m.bytes_down.add(block.data.len() as u64);
+                    }
+                    if self.is_frontier {
+                        self.fb.push(&block.data);
+                        while let Some(frame) =
+                            self.fb
+                                .next_frame()
+                                .map_err(|e| VmpiError::ProtocolViolation {
+                                    expected: "a framed fan-out record",
+                                    got: format!("{e}"),
+                                })?
+                        {
+                            self.m.records.inc();
+                            records.push(frame);
+                        }
+                    }
+                }
+                Ok(None) => {
+                    self.parent_eof = true;
+                    return Ok(progressed);
+                }
+                Err(VmpiError::Again) => return Ok(progressed),
+                Err(VmpiError::PeerLost { rank: _ }) => {
+                    self.parent_eof = true;
+                    return Ok(progressed);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Closes the down-tree write sides (EOF cascades to the children).
+    /// Idempotent; the root calls it once every record is published, the
+    /// others once the parent reached EOF.
+    pub fn close(&mut self) -> Result<()> {
+        for tx in self.children_tx.drain(..) {
+            tx.close()?;
+        }
+        Ok(())
+    }
+}

@@ -1,12 +1,20 @@
 //! The client-partition side of the serve plane.
 //!
-//! A [`ServeClient`] holds one duplex VMPI stream to the analyzer rank it
-//! was mapped onto, issues framed point queries and — once subscribed —
-//! folds the snapshot-then-deltas stream into a locally held
-//! [`ClientReport`]. Because deltas carry replacement values and the wire
-//! codecs encode deterministically, re-encoding the folded report yields
-//! bytes identical to the server's stored snapshot at every version; the
-//! acceptance tests assert exactly that.
+//! A [`ServeClient`] holds one duplex VMPI stream to the serving rank it
+//! was mapped onto (a fan-out frontier rank under tree delivery), issues
+//! framed point queries and — once subscribed — folds the
+//! snapshot-then-deltas stream into locally held per-shard
+//! [`ClientReport`]s. Because deltas carry replacement values and the wire
+//! codecs encode deterministically, re-encoding a folded shard report
+//! yields bytes identical to the server's stored shard snapshot at every
+//! version; the acceptance tests assert exactly that.
+//!
+//! Each update names its store shard; the `finished` flag on the wire is
+//! *per shard*, and the client aggregates the per-shard finals (using the
+//! `shards` count every update carries) into whole-subscription
+//! completion ([`Update::finished`]). A tenant announces itself with
+//! [`ServeClient::connect_as`]; quota refusals surface as
+//! [`ServeError::QuotaExceeded`].
 
 use crate::delta::{apply_delta, delta_versions};
 use crate::proto::{NotFoundReason, QueryKind, Request, Response, VersionInfo, SERVE_STREAM_ID};
@@ -21,27 +29,29 @@ use opmr_analysis::wire::{
 };
 use opmr_events::frame::{try_frame, FrameBuf};
 use opmr_vmpi::{DuplexStream, ReadMode, Vmpi, VmpiError};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Empty `EAGAIN` polls between client keepalives (see
 /// [`ServeClient::fill`]).
 const KEEPALIVE_SPINS: u32 = 8192;
 
-/// The report a subscribed client currently holds.
+/// The report a subscribed client currently holds for one store shard.
 pub struct ClientReport {
-    /// Server version this report corresponds to.
+    /// Shard version this report corresponds to.
     pub version: u64,
     /// Decoded per-application reports.
     pub parts: Vec<AppPartial>,
     /// `encode_partials` bytes of the held report — byte-identical to the
-    /// server's stored snapshot of the same version.
+    /// server's stored shard snapshot of the same version.
     pub encoded: Bytes,
 }
 
 /// One consumed subscription update.
 #[derive(Debug, Clone, Copy)]
 pub struct Update {
-    /// Version the client now holds.
+    /// Store shard this update advanced.
+    pub shard: u16,
+    /// Version the client now holds for that shard.
     pub version: u64,
     /// Server publication timestamp ([`crate::mono_ns`] clock).
     pub publish_ns: u64,
@@ -52,7 +62,10 @@ pub struct Update {
     pub resync: bool,
     /// This update arrived as an incremental delta.
     pub delta: bool,
-    /// This is the final version of the run.
+    /// This update carried its shard's final version.
+    pub shard_final: bool,
+    /// Every shard has delivered its final version: the subscription is
+    /// complete (aggregated client-side from the per-shard finals).
     pub finished: bool,
 }
 
@@ -63,22 +76,48 @@ pub struct ServeClient {
     next_req_id: u32,
     /// Subscription updates that arrived interleaved with query answers.
     pending: VecDeque<Response>,
-    report: Option<ClientReport>,
+    /// Held report per shard (shard 0 only before the first sharded run).
+    reports: BTreeMap<u16, ClientReport>,
+    /// Shard count announced by the first update; None until then.
+    shards_total: Option<u16>,
+    /// Shards whose final version has been folded.
+    final_shards: BTreeSet<u16>,
     eof: bool,
 }
 
 impl ServeClient {
     /// Connects to the serving analyzer at world rank `server` (obtained
-    /// from the Map pivot: `map.peers()[0]` on the client side).
+    /// from the Map pivot: `map.peers()[0]` on the client side) as the
+    /// anonymous tenant.
     pub fn connect(v: &Vmpi, server: usize, cfg: &ServeConfig) -> crate::Result<ServeClient> {
-        Ok(ServeClient {
+        Self::connect_as(v, server, "", cfg)
+    }
+
+    /// Connects and announces a tenant name (normally the client
+    /// partition's name); the server applies that tenant's quota to every
+    /// later request on this connection.
+    pub fn connect_as(
+        v: &Vmpi,
+        server: usize,
+        tenant: &str,
+        cfg: &ServeConfig,
+    ) -> crate::Result<ServeClient> {
+        let mut client = ServeClient {
             stream: DuplexStream::open(v, vec![server], cfg.stream, SERVE_STREAM_ID)?,
             fb: FrameBuf::new(),
             next_req_id: 1,
             pending: VecDeque::new(),
-            report: None,
+            reports: BTreeMap::new(),
+            shards_total: None,
+            final_shards: BTreeSet::new(),
             eof: false,
-        })
+        };
+        if !tenant.is_empty() {
+            client.send(&Request::Hello {
+                tenant: tenant.to_string(),
+            })?;
+        }
+        Ok(client)
     }
 
     fn send(&mut self, req: &Request) -> crate::Result<()> {
@@ -132,7 +171,9 @@ impl ServeClient {
     }
 
     /// Waits for the answer to `req_id`, queueing any subscription updates
-    /// that arrive in between.
+    /// that arrive in between. A quota refusal of *this* request returns
+    /// the typed error; a subscription rejection (req id 0) is queued for
+    /// [`ServeClient::next_update`] to surface.
     fn recv_matching(&mut self, req_id: u32) -> crate::Result<Response> {
         loop {
             let Some(rsp) = self.next_response()? else {
@@ -144,6 +185,15 @@ impl ServeClient {
             match rsp {
                 Response::Snapshot { .. } | Response::Delta { .. } => self.pending.push_back(rsp),
                 Response::Ping => {}
+                Response::QuotaExceeded { req_id: id, kind } => {
+                    if id == req_id {
+                        return Err(ServeError::QuotaExceeded(kind));
+                    }
+                    if id == 0 {
+                        self.pending
+                            .push_back(Response::QuotaExceeded { req_id: 0, kind });
+                    }
+                }
                 Response::QueryResult { req_id: id, .. }
                 | Response::NotFound { req_id: id, .. }
                 | Response::VersionInfo { req_id: id, .. } => {
@@ -161,7 +211,9 @@ impl ServeClient {
         id
     }
 
-    /// What versions does the server currently hold?
+    /// What versions does the server currently hold? With a sharded store
+    /// the answer aggregates: max current, min non-empty oldest, total
+    /// apps, all-shards finished.
     pub fn version_info(&mut self) -> crate::Result<VersionInfo> {
         let req_id = self.fresh_id();
         self.send(&Request::VersionInfo { req_id })?;
@@ -319,15 +371,16 @@ impl ServeClient {
         Ok((v, lo, (0..n).map(|_| view.get_u64_le()).collect()))
     }
 
-    /// Starts the snapshot-then-deltas subscription; consume it with
-    /// [`ServeClient::next_update`].
+    /// Starts the snapshot-then-deltas subscription (one chain per
+    /// shard); consume it with [`ServeClient::next_update`].
     pub fn subscribe(&mut self) -> crate::Result<()> {
         self.send(&Request::Subscribe)
     }
 
     /// Blocks until the next subscription update, folds it into the held
-    /// report and acknowledges it (returning a flow-control credit).
-    /// `None` once the server closed the stream.
+    /// per-shard report and acknowledges it (returning a flow-control
+    /// credit). `None` once the server closed the stream; a typed
+    /// [`ServeError::QuotaExceeded`] if the subscription was refused.
     pub fn next_update(&mut self) -> crate::Result<Option<Update>> {
         let rsp = match self.pending.pop_front() {
             Some(r) => r,
@@ -335,20 +388,32 @@ impl ServeClient {
                 match self.next_response()? {
                     None => return Ok(None),
                     Some(r @ (Response::Snapshot { .. } | Response::Delta { .. })) => break r,
+                    Some(Response::QuotaExceeded { req_id: 0, kind }) => {
+                        return Err(ServeError::QuotaExceeded(kind));
+                    }
                     Some(_) => {} // stale answer to an abandoned query
                 }
             },
         };
         let update = self.fold(rsp)?;
         self.send(&Request::Ack {
+            shard: update.shard,
             version: update.version,
         })?;
         Ok(Some(update))
     }
 
+    /// True once every announced shard folded its final version.
+    fn all_final(&self) -> bool {
+        self.shards_total
+            .is_some_and(|n| self.final_shards.len() >= n as usize)
+    }
+
     fn fold(&mut self, rsp: Response) -> crate::Result<Update> {
         match rsp {
             Response::Snapshot {
+                shard,
+                shards,
                 version,
                 publish_ns,
                 resync,
@@ -356,52 +421,73 @@ impl ServeClient {
                 payload,
             } => {
                 let parts = decode_partials(&payload)?;
-                self.report = Some(ClientReport {
-                    version,
-                    parts,
-                    encoded: payload,
-                });
+                self.shards_total.get_or_insert(shards.max(1));
+                self.reports.insert(
+                    shard,
+                    ClientReport {
+                        version,
+                        parts,
+                        encoded: payload,
+                    },
+                );
+                if finished {
+                    self.final_shards.insert(shard);
+                }
                 Ok(Update {
+                    shard,
                     version,
                     publish_ns,
                     lag_ns: mono_ns().saturating_sub(publish_ns),
                     resync,
                     delta: false,
-                    finished,
+                    shard_final: finished,
+                    finished: self.all_final(),
                 })
             }
             Response::Delta {
+                shard,
+                shards,
                 version,
                 publish_ns,
                 finished,
                 payload,
             } => {
-                let report = self
-                    .report
-                    .as_mut()
-                    .ok_or_else(|| ServeError::ProtocolViolation {
-                        expected: "a snapshot before the first delta",
-                        got: "delta with no held report".into(),
-                    })?;
+                self.shards_total.get_or_insert(shards.max(1));
+                let report =
+                    self.reports
+                        .get_mut(&shard)
+                        .ok_or_else(|| ServeError::ProtocolViolation {
+                            expected: "a shard snapshot before its first delta",
+                            got: format!("delta for shard {shard} with no held report"),
+                        })?;
                 let (from, to) = delta_versions(&payload)?;
                 if from != report.version || to != version {
                     return Err(ServeError::ProtocolViolation {
-                        expected: "a delta extending the held version",
-                        got: format!("delta {from}->{to} against held version {}", report.version),
+                        expected: "a delta extending the held shard version",
+                        got: format!(
+                            "shard {shard} delta {from}->{to} against held version {}",
+                            report.version
+                        ),
                     });
                 }
                 apply_delta(&mut report.parts, &payload)?;
                 report.version = version;
                 report.encoded = encode_partials(&report.parts);
+                if finished {
+                    self.final_shards.insert(shard);
+                }
                 Ok(Update {
+                    shard,
                     version,
                     publish_ns,
                     lag_ns: mono_ns().saturating_sub(publish_ns),
                     resync: false,
                     delta: true,
-                    finished,
+                    shard_final: finished,
+                    finished: self.all_final(),
                 })
             }
+            Response::QuotaExceeded { kind, .. } => Err(ServeError::QuotaExceeded(kind)),
             rsp => Err(ServeError::ProtocolViolation {
                 expected: "a subscription update",
                 got: rsp.kind_name().into(),
@@ -409,9 +495,20 @@ impl ServeClient {
         }
     }
 
-    /// The report the subscription currently holds.
+    /// Shard 0's held report — the whole report under a single-shard
+    /// store (the pre-sharding callers' view).
     pub fn report(&self) -> Option<&ClientReport> {
-        self.report.as_ref()
+        self.reports.get(&0)
+    }
+
+    /// The held report of one shard.
+    pub fn shard_report(&self, shard: u16) -> Option<&ClientReport> {
+        self.reports.get(&shard)
+    }
+
+    /// All held per-shard reports, in shard order.
+    pub fn reports(&self) -> impl Iterator<Item = (u16, &ClientReport)> {
+        self.reports.iter().map(|(&s, r)| (s, r))
     }
 
     /// Orderly goodbye: tells the server, then closes our direction and

@@ -33,6 +33,83 @@ pub const DELTA_VERSION: u16 = 1;
 const APP_FULL: u8 = 1;
 const APP_SPARSE: u8 = 2;
 
+/// Typed overflow error from the snapshot/delta encoders. The wire format
+/// caps entry counts (`u16` app counts, `u32` cell/edge/window counts);
+/// a snapshot past those caps must fail loudly instead of truncating the
+/// count and silently corrupting the frame for every subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// More apps in one snapshot than a `u16` count can carry.
+    TooManyApps(usize),
+    /// More changed profile cells than a `u32` count can carry.
+    TooManyCells(usize),
+    /// More changed topology edges than a `u32` count can carry.
+    TooManyEdges(usize),
+    /// More changed metrics windows than a `u32` count can carry.
+    TooManyWindows(usize),
+    /// An app present in `from` is missing from `to`. The delta format has
+    /// no tombstones (apps never leave a live report), so a shrinking app
+    /// set cannot be expressed as a delta and must resync instead.
+    AppRemoved(u16),
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::TooManyApps(n) => write!(f, "{n} apps exceed the u16 wire count"),
+            EncodeError::TooManyCells(n) => {
+                write!(f, "{n} profile cells exceed the u32 wire count")
+            }
+            EncodeError::TooManyEdges(n) => {
+                write!(f, "{n} topology edges exceed the u32 wire count")
+            }
+            EncodeError::TooManyWindows(n) => {
+                write!(f, "{n} metrics windows exceed the u32 wire count")
+            }
+            EncodeError::AppRemoved(id) => {
+                write!(
+                    f,
+                    "app {id} left the snapshot; deltas cannot express removal"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Ticks the overflow counter at the point an [`EncodeError`] is made, so
+/// every rejected encode is visible even where the caller degrades
+/// gracefully (e.g. the store falling back from delta to resync).
+fn overflow(e: EncodeError) -> EncodeError {
+    obs::obs().encode_overflows.inc();
+    e
+}
+
+pub(crate) fn checked_u16(n: usize, e: EncodeError) -> Result<u16, EncodeError> {
+    u16::try_from(n).map_err(|_| overflow(e))
+}
+
+fn checked_u32(n: usize, e: EncodeError) -> Result<u32, EncodeError> {
+    u32::try_from(n).map_err(|_| overflow(e))
+}
+
+mod obs {
+    use opmr_obs::{registry, Counter};
+    use std::sync::{Arc, OnceLock};
+
+    pub struct Obs {
+        pub encode_overflows: Arc<Counter>,
+    }
+
+    pub fn obs() -> &'static Obs {
+        static OBS: OnceLock<Obs> = OnceLock::new();
+        OBS.get_or_init(|| Obs {
+            encode_overflows: registry().counter("serve_encode_overflows_total"),
+        })
+    }
+}
+
 fn profile_cells(p: &MpiProfile) -> BTreeMap<(u32, u16), CallStats> {
     let mut cells = BTreeMap::new();
     for kind in p.kinds() {
@@ -134,7 +211,11 @@ fn encode_app_full(a: &AppPartial, out: &mut BytesMut) {
     }
 }
 
-fn encode_app_sparse(from: &AppPartial, to: &AppPartial, out: &mut BytesMut) {
+fn encode_app_sparse(
+    from: &AppPartial,
+    to: &AppPartial,
+    out: &mut BytesMut,
+) -> Result<(), EncodeError> {
     out.put_u64_le(to.packs);
     out.put_u64_le(to.wire_bytes);
     out.put_u64_le(to.decode_errors);
@@ -146,7 +227,10 @@ fn encode_app_sparse(from: &AppPartial, to: &AppPartial, out: &mut BytesMut) {
         .iter()
         .filter(|(k, s)| from_cells.get(*k) != Some(*s))
         .collect();
-    out.put_u32_le(changed.len() as u32);
+    out.put_u32_le(checked_u32(
+        changed.len(),
+        EncodeError::TooManyCells(changed.len()),
+    )?);
     for (&(rank, kind_raw), s) in changed {
         out.put_u32_le(rank);
         out.put_u16_le(kind_raw);
@@ -163,7 +247,10 @@ fn encode_app_sparse(from: &AppPartial, to: &AppPartial, out: &mut BytesMut) {
         .iter()
         .filter(|(k, w)| from_edges.get(*k) != Some(*w))
         .collect();
-    out.put_u32_le(changed.len() as u32);
+    out.put_u32_le(checked_u32(
+        changed.len(),
+        EncodeError::TooManyEdges(changed.len()),
+    )?);
     for (&(s, d), &(hits, bytes, time_ns)) in changed {
         out.put_u32_le(s);
         out.put_u32_le(d);
@@ -198,13 +285,17 @@ fn encode_app_sparse(from: &AppPartial, to: &AppPartial, out: &mut BytesMut) {
             } else {
                 out.put_u8(1);
                 out.put_u64_le(to_m.window_ns());
-                out.put_u32_le(changed.len() as u32);
+                out.put_u32_le(checked_u32(
+                    changed.len(),
+                    EncodeError::TooManyWindows(changed.len()),
+                )?);
                 for w in changed {
                     to_m.encode_window_into(w, out);
                 }
             }
         }
     }
+    Ok(())
 }
 
 /// Encodes the delta turning snapshot `from` (version `from_version`) into
@@ -215,22 +306,30 @@ pub fn encode_delta(
     from: &[AppPartial],
     to_version: u64,
     to: &[AppPartial],
-) -> Bytes {
+) -> Result<Bytes, EncodeError> {
     let mut out = BytesMut::new();
     out.put_u32_le(DELTA_MAGIC);
     out.put_u16_le(DELTA_VERSION);
     out.put_u64_le(from_version);
     out.put_u64_le(to_version);
     let base: BTreeMap<u16, &AppPartial> = from.iter().map(|a| (a.app_id, a)).collect();
-    // Every `to` app is included (counters move every window); apps cannot
-    // leave a report, so no tombstones exist.
-    out.put_u16_le(to.len() as u16);
+    // Every `to` app is included (counters move every window). The format
+    // has no tombstones, so an app that vanished from `to` is unencodable:
+    // applying such a delta would silently retain the stale app. Refuse,
+    // and let the caller fall back to a full-snapshot resync.
+    if let Some(gone) = base
+        .keys()
+        .find(|id| to.binary_search_by_key(*id, |a| a.app_id).is_err())
+    {
+        return Err(overflow(EncodeError::AppRemoved(*gone)));
+    }
+    out.put_u16_le(checked_u16(to.len(), EncodeError::TooManyApps(to.len()))?);
     for a in to {
         out.put_u16_le(a.app_id);
         match base.get(&a.app_id) {
             Some(prev) if sparse_applicable(prev, a) => {
                 out.put_u8(APP_SPARSE);
-                encode_app_sparse(prev, a, &mut out);
+                encode_app_sparse(prev, a, &mut out)?;
             }
             _ => {
                 out.put_u8(APP_FULL);
@@ -238,7 +337,7 @@ pub fn encode_delta(
             }
         }
     }
-    out.freeze()
+    Ok(out.freeze())
 }
 
 fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
@@ -479,7 +578,7 @@ mod tests {
         }
         let mut live = versions[0].clone();
         for w in versions.windows(2) {
-            let d = encode_delta(1, &w[0], 2, &w[1]);
+            let d = encode_delta(1, &w[0], 2, &w[1]).unwrap();
             let (f, t) = apply_delta(&mut live, &d).unwrap();
             assert_eq!((f, t), (1, 2));
             assert_eq!(
@@ -491,10 +590,23 @@ mod tests {
     }
 
     #[test]
+    fn removed_app_refuses_to_encode() {
+        // No tombstones on the wire: applying a delta can never drop an
+        // app, so encoding one from a shrunken snapshot must fail loudly
+        // (the store then degrades that version to a snapshot resync).
+        let v1 = vec![partial_at(0, 5), partial_at(4, 3)];
+        let v2 = vec![partial_at(0, 6)];
+        assert_eq!(
+            encode_delta(1, &v1, 2, &v2),
+            Err(EncodeError::AppRemoved(4))
+        );
+    }
+
+    #[test]
     fn new_app_travels_full() {
         let v1 = vec![partial_at(0, 5)];
         let v2 = vec![partial_at(0, 6), partial_at(9, 2)];
-        let d = encode_delta(1, &v1, 2, &v2);
+        let d = encode_delta(1, &v1, 2, &v2).unwrap();
         let mut live = v1.clone();
         apply_delta(&mut live, &d).unwrap();
         assert_eq!(encode_partials(&live), encode_partials(&v2));
@@ -505,7 +617,7 @@ mod tests {
     #[test]
     fn unchanged_apps_cost_little() {
         let v = vec![partial_at(0, 50)];
-        let d = encode_delta(1, &v, 2, &v);
+        let d = encode_delta(1, &v, 2, &v).unwrap();
         let full = encode_partials(&v);
         assert!(
             d.len() < full.len() / 2,
@@ -524,7 +636,7 @@ mod tests {
         // silently corrupt if it ever happens.
         let big = vec![partial_at(0, 20)];
         let small = vec![partial_at(0, 4)];
-        let d = encode_delta(1, &big, 2, &small);
+        let d = encode_delta(1, &big, 2, &small).unwrap();
         let mut live = big.clone();
         apply_delta(&mut live, &d).unwrap();
         assert_eq!(encode_partials(&live), encode_partials(&small));
@@ -539,7 +651,7 @@ mod tests {
             m.add(&e);
         }
         v2[0].metrics = Some(m);
-        let d = encode_delta(1, &v1, 2, &v2);
+        let d = encode_delta(1, &v1, 2, &v2).unwrap();
         let mut live = v1.clone();
         apply_delta(&mut live, &d).unwrap();
         assert_eq!(encode_partials(&live), encode_partials(&v2));
@@ -551,16 +663,71 @@ mod tests {
         let mut v1 = vec![partial_at(0, 5)];
         v1[0].metrics = None;
         let v2 = vec![partial_at(0, 6)];
-        let d = encode_delta(1, &v1, 2, &v2);
+        let d = encode_delta(1, &v1, 2, &v2).unwrap();
         let mut live = v1.clone();
         apply_delta(&mut live, &d).unwrap();
         assert_eq!(encode_partials(&live), encode_partials(&v2));
     }
 
     #[test]
+    fn app_count_overflow_is_typed_and_counted() {
+        // 65536 apps cannot be counted in the u16 wire field; the encoder
+        // must refuse (and tick the overflow counter) rather than truncate
+        // to 0 and corrupt the frame.
+        let minimal = |app_id: u16| AppPartial {
+            app_id,
+            packs: 0,
+            wire_bytes: 0,
+            decode_errors: 0,
+            profile: MpiProfile::new(),
+            topology: Topology::new(),
+            waitstate: None,
+            metrics: None,
+        };
+        let before = opmr_obs::registry()
+            .snapshot()
+            .counter("serve_encode_overflows_total")
+            .unwrap_or(0);
+        let at_cap: Vec<AppPartial> = (0..u16::MAX).map(minimal).collect();
+        assert!(encode_delta(1, &[], 2, &at_cap).is_ok());
+        let mut past_cap = at_cap;
+        past_cap.push(minimal(u16::MAX));
+        // 65536 distinct app ids don't exist; the count check fires first.
+        assert_eq!(
+            encode_delta(1, &[], 2, &past_cap),
+            Err(EncodeError::TooManyApps(65536))
+        );
+        let after = opmr_obs::registry()
+            .snapshot()
+            .counter("serve_encode_overflows_total")
+            .unwrap_or(0);
+        assert!(after > before, "overflow counter did not move");
+    }
+
+    #[test]
+    fn checked_counts_hold_exactly_at_the_type_boundary() {
+        assert_eq!(
+            checked_u16(u16::MAX as usize, EncodeError::TooManyApps(0)),
+            Ok(u16::MAX)
+        );
+        assert_eq!(
+            checked_u16(u16::MAX as usize + 1, EncodeError::TooManyApps(65536)),
+            Err(EncodeError::TooManyApps(65536))
+        );
+        assert_eq!(
+            checked_u32(u32::MAX as usize, EncodeError::TooManyCells(0)),
+            Ok(u32::MAX)
+        );
+        assert_eq!(
+            checked_u32(u32::MAX as usize + 1, EncodeError::TooManyEdges(1)),
+            Err(EncodeError::TooManyEdges(1))
+        );
+    }
+
+    #[test]
     fn delta_versions_peeks_without_applying() {
         let v = vec![partial_at(0, 2)];
-        let d = encode_delta(41, &v, 42, &v);
+        let d = encode_delta(41, &v, 42, &v).unwrap();
         assert_eq!(delta_versions(&d).unwrap(), (41, 42));
         assert!(delta_versions(&d[..10]).is_err());
         assert!(delta_versions(b"OPMRxxxxxxxxxxxxxxxxxxxxxx").is_err());

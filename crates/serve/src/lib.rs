@@ -5,10 +5,13 @@
 //! makes them observable mid-run. The analyzer becomes a queryable
 //! service:
 //!
-//! * [`store::SnapshotStore`] — the engine publishes **versioned report
-//!   snapshots** at window boundaries (every N unpacked packs) into a
-//!   lock-light store: a swap-on-publish current pointer plus a bounded
-//!   ring of recent versions;
+//! * [`store::SnapshotStore`] / [`store::ShardedStore`] — the engine
+//!   publishes **versioned report snapshots** at window boundaries (every
+//!   N unpacked packs) into a lock-light store: a swap-on-publish current
+//!   pointer plus a bounded ring of recent versions, sharded by
+//!   `app_id % shards` so publishes and point queries scale across
+//!   threads (per-shard version vectors, cross-shard snapshot assembled
+//!   on read);
 //! * [`delta`] — **delta encoding** between consecutive versions reusing
 //!   the `analysis::wire` codecs: changed `(rank, kind)` profile cells,
 //!   changed topology edges and changed wait-state blocks travel as full
@@ -28,7 +31,16 @@
 //!   [`server::ServeStats::resyncs`]) instead of an unbounded backlog;
 //! * [`client`] — the client-partition side: maps onto the analyzer via
 //!   the VMPI Map pivot protocol, opens a duplex stream and exposes
-//!   queries plus a subscription iterator.
+//!   queries plus a subscription iterator (folding one delta chain per
+//!   shard);
+//! * [`quota`] — **per-tenant admission control** on client partitions:
+//!   subscription caps, query-rate and delta-byte token buckets with
+//!   typed, counted rejections;
+//! * with `ServeConfig::fan_out` set, subscription delivery reverses the
+//!   TBON overlay: the root serving rank frames each published delta
+//!   once and replicates it down a fanout tree, interior ranks re-forward
+//!   blocks verbatim, and frontier ranks own per-subscriber
+//!   credits/resyncs.
 //!
 //! `opmr-core` wires this into sessions as `Coupling::Serving` with
 //! `SessionBuilder::client(...)` partitions; `serve_bench` measures query
@@ -37,6 +49,7 @@
 pub mod client;
 pub mod delta;
 pub mod proto;
+pub mod quota;
 pub mod server;
 pub mod store;
 
@@ -44,10 +57,14 @@ use opmr_vmpi::{StreamConfig, VmpiError};
 use std::time::Instant;
 
 pub use client::{ClientReport, ServeClient, Update};
-pub use delta::{apply_delta, delta_versions, encode_delta};
-pub use proto::{QueryKind, Request, Response, VersionInfo, SERVE_STREAM_ID};
+pub use delta::{apply_delta, delta_versions, encode_delta, EncodeError};
+pub use proto::{
+    FanoutRecord, QueryKind, QuotaKind, Request, Response, VersionInfo, SERVE_FANOUT_STREAM_ID,
+    SERVE_STREAM_ID,
+};
+pub use quota::{TenantBook, TenantQuota, TenantState};
 pub use server::{run_server, ServeStats};
-pub use store::{SnapshotEntry, SnapshotStore, StoreStats};
+pub use store::{ShardedStore, SnapshotEntry, SnapshotStore, StoreStats};
 
 /// Serve-plane failures.
 #[derive(Debug)]
@@ -62,6 +79,10 @@ pub enum ServeError {
     ProtocolViolation { expected: &'static str, got: String },
     /// A query could not be answered; see [`proto::NotFoundReason`].
     NotFound(proto::NotFoundReason),
+    /// A snapshot exceeded the wire format's entry-count caps.
+    Encode(EncodeError),
+    /// The server refused the request under a tenant quota.
+    QuotaExceeded(QuotaKind),
 }
 
 impl std::fmt::Display for ServeError {
@@ -77,11 +98,19 @@ impl std::fmt::Display for ServeError {
                 )
             }
             ServeError::NotFound(r) => write!(f, "query not answerable: {r:?}"),
+            ServeError::Encode(e) => write!(f, "snapshot not encodable: {e}"),
+            ServeError::QuotaExceeded(k) => write!(f, "tenant quota exceeded: {k:?}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<EncodeError> for ServeError {
+    fn from(e: EncodeError) -> Self {
+        ServeError::Encode(e)
+    }
+}
 
 impl From<VmpiError> for ServeError {
     fn from(e: VmpiError) -> Self {
@@ -105,18 +134,30 @@ impl From<opmr_events::frame::FrameError> for ServeError {
 pub type Result<T> = std::result::Result<T, ServeError>;
 
 /// Serve-plane configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Publish a snapshot version every N unpacked event packs (the
     /// serve-plane window boundary).
     pub publish_every_packs: u64,
-    /// Recent versions (and their deltas) kept in the snapshot ring; a
-    /// subscriber lagging further than this is resynced with a full
-    /// snapshot.
+    /// Recent versions (and their deltas) kept in each shard's snapshot
+    /// ring; a subscriber lagging further than this is resynced with a
+    /// full snapshot.
     pub ring: usize,
     /// Flow-control credits per subscriber: the server sends at most this
     /// many unacknowledged updates before going quiet on that client.
     pub subscriber_credits: u32,
+    /// Snapshot store shards; apps are routed `app_id % shards`. 1 (the
+    /// default) reproduces the single-store serve plane exactly.
+    pub shards: usize,
+    /// Tree fan-out for subscription delivery: `Some(f)` replicates each
+    /// published delta down a fanout-`f` tree over the serving ranks and
+    /// maps clients onto the tree's frontier; `None` (the default) keeps
+    /// one unicast delta chain per subscriber.
+    pub fan_out: Option<usize>,
+    /// Default per-tenant quota (zero fields = unlimited).
+    pub quota: TenantQuota,
+    /// Per-tenant quota overrides by client partition name.
+    pub tenant_quotas: Vec<(String, TenantQuota)>,
     /// Stream configuration of the serve plane (small blocks: the traffic
     /// is request/response, not bulk instrumentation).
     pub stream: StreamConfig,
@@ -128,6 +169,10 @@ impl Default for ServeConfig {
             publish_every_packs: 16,
             ring: 32,
             subscriber_credits: 2,
+            shards: 1,
+            fan_out: None,
+            quota: TenantQuota::default(),
+            tenant_quotas: Vec::new(),
             stream: StreamConfig::new(16 * 1024, 4, opmr_vmpi::Balance::None),
         }
     }

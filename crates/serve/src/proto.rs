@@ -14,6 +14,11 @@ use opmr_analysis::wire::WireError;
 /// of the instrumentation stream (id 0) and the reduction overlay.
 pub const SERVE_STREAM_ID: u16 = 0x0100;
 
+/// Stream id of the serve fan-out tree (plain down-tree streams between
+/// serving ranks). Chosen clear of the duplex-derived ids of
+/// [`SERVE_STREAM_ID`] (`0x200`/`0x201`) and the instrumentation id 0.
+pub const SERVE_FANOUT_STREAM_ID: u16 = 0x0180;
+
 /// `rank_hi` value meaning "no upper bound".
 pub const ALL_RANKS: u32 = u32::MAX;
 
@@ -23,6 +28,7 @@ const REQ_SUBSCRIBE: u8 = 0x03;
 const REQ_ACK: u8 = 0x04;
 const REQ_BYE: u8 = 0x05;
 const REQ_PING: u8 = 0x06;
+const REQ_HELLO: u8 = 0x07;
 
 const RSP_QUERY_RESULT: u8 = 0x81;
 const RSP_NOT_FOUND: u8 = 0x82;
@@ -30,6 +36,7 @@ const RSP_VERSION_INFO: u8 = 0x83;
 const RSP_SNAPSHOT: u8 = 0x84;
 const RSP_DELTA: u8 = 0x85;
 const RSP_PING: u8 = 0x86;
+const RSP_QUOTA_EXCEEDED: u8 = 0x87;
 
 /// What a point query asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +92,29 @@ impl NotFoundReason {
     }
 }
 
+/// Which tenant quota refused a request (see [`crate::quota`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaKind {
+    /// Concurrent-subscription cap.
+    Subscriptions = 1,
+    /// Point-query rate limit.
+    QueryRate = 2,
+    /// Subscription delta-bytes/s limit (throttles delivery; reported on
+    /// the wire only for diagnostics, never as a rejection).
+    DeltaRate = 3,
+}
+
+impl QuotaKind {
+    fn from_u8(v: u8) -> Option<QuotaKind> {
+        match v {
+            1 => Some(QuotaKind::Subscriptions),
+            2 => Some(QuotaKind::QueryRate),
+            3 => Some(QuotaKind::DeltaRate),
+            _ => None,
+        }
+    }
+}
+
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -100,11 +130,15 @@ pub enum Request {
     },
     /// What versions does the server hold?
     VersionInfo { req_id: u32 },
-    /// Start the snapshot-then-deltas subscription.
+    /// Tenant announcement, sent once on connect before any other
+    /// request. The tenant name is the client partition's name; clients
+    /// that never send one are the anonymous tenant `""`.
+    Hello { tenant: String },
+    /// Start the snapshot-then-deltas subscription (one chain per shard).
     Subscribe,
-    /// Flow control: the subscriber consumed the update for `version`,
-    /// returning one credit.
-    Ack { version: u64 },
+    /// Flow control: the subscriber consumed the update for `version` of
+    /// `shard`, returning one credit.
+    Ack { shard: u16, version: u64 },
     /// Orderly goodbye; the server closes its direction in response.
     Bye,
     /// Liveness keepalive: no semantic effect, but the frame is small
@@ -141,9 +175,14 @@ pub enum Response {
         /// The final version has been published.
         finished: bool,
     },
-    /// Full snapshot (`encode_partials` payload): the subscription opener,
-    /// or a slow-consumer resync when `resync` is set.
+    /// Full snapshot of one shard (`encode_partials` payload): the
+    /// subscription opener, or a slow-consumer resync when `resync` is
+    /// set. `finished` marks the shard's *final* version; the client
+    /// aggregates per-shard finals into subscription completion using
+    /// `shards` (the store's shard count).
     Snapshot {
+        shard: u16,
+        shards: u16,
         version: u64,
         publish_ns: u64,
         resync: bool,
@@ -151,12 +190,21 @@ pub enum Response {
         payload: Bytes,
     },
     /// Incremental update (`delta` payload) advancing the subscriber by
-    /// exactly one version.
+    /// exactly one version of `shard` (`finished`/`shards` as in
+    /// [`Response::Snapshot`]).
     Delta {
+        shard: u16,
+        shards: u16,
         version: u64,
         publish_ns: u64,
         finished: bool,
         payload: Bytes,
+    },
+    /// The request was refused under a tenant quota (`req_id` 0 for
+    /// subscription rejections, which have no request id).
+    QuotaExceeded {
+        req_id: u32,
+        kind: QuotaKind,
     },
     /// Server-side keepalive, mirror of [`Request::Ping`]: flushes a
     /// reorder-held envelope on the server→client edge while the server
@@ -174,6 +222,7 @@ impl Response {
             Response::VersionInfo { .. } => "version info",
             Response::Snapshot { .. } => "snapshot update",
             Response::Delta { .. } => "delta update",
+            Response::QuotaExceeded { .. } => "quota rejection",
             Response::Ping => "ping",
         }
     }
@@ -203,9 +252,19 @@ impl Request {
                 out.put_u8(REQ_VERSION);
                 out.put_u32_le(*req_id);
             }
+            Request::Hello { tenant } => {
+                out.put_u8(REQ_HELLO);
+                // Tenant names are partition names; clip, don't fail, in
+                // the (absurd) >64KiB case.
+                let bytes = tenant.as_bytes();
+                let n = bytes.len().min(u16::MAX as usize);
+                out.put_u16_le(n as u16);
+                out.put_slice(&bytes[..n]);
+            }
             Request::Subscribe => out.put_u8(REQ_SUBSCRIBE),
-            Request::Ack { version } => {
+            Request::Ack { shard, version } => {
                 out.put_u8(REQ_ACK);
+                out.put_u16_le(*shard);
                 out.put_u64_le(*version);
             }
             Request::Bye => out.put_u8(REQ_BYE),
@@ -244,12 +303,25 @@ impl Request {
                     req_id: buf.get_u32_le(),
                 })
             }
+            REQ_HELLO => {
+                if buf.remaining() < 2 {
+                    return Err(WireError::Truncated);
+                }
+                let n = buf.get_u16_le() as usize;
+                if buf.remaining() < n {
+                    return Err(WireError::Truncated);
+                }
+                let tenant = String::from_utf8_lossy(&buf[..n]).into_owned();
+                buf.advance(n);
+                Ok(Request::Hello { tenant })
+            }
             REQ_SUBSCRIBE => Ok(Request::Subscribe),
             REQ_ACK => {
-                if buf.remaining() < 8 {
+                if buf.remaining() < 2 + 8 {
                     return Err(WireError::Truncated);
                 }
                 Ok(Request::Ack {
+                    shard: buf.get_u16_le(),
                     version: buf.get_u64_le(),
                 })
             }
@@ -296,6 +368,8 @@ impl Response {
                 out.put_u8(*finished as u8);
             }
             Response::Snapshot {
+                shard,
+                shards,
                 version,
                 publish_ns,
                 resync,
@@ -303,6 +377,8 @@ impl Response {
                 payload,
             } => {
                 out.put_u8(RSP_SNAPSHOT);
+                out.put_u16_le(*shard);
+                out.put_u16_le(*shards);
                 out.put_u64_le(*version);
                 out.put_u64_le(*publish_ns);
                 out.put_u8(*resync as u8);
@@ -310,16 +386,25 @@ impl Response {
                 out.put_slice(payload);
             }
             Response::Delta {
+                shard,
+                shards,
                 version,
                 publish_ns,
                 finished,
                 payload,
             } => {
                 out.put_u8(RSP_DELTA);
+                out.put_u16_le(*shard);
+                out.put_u16_le(*shards);
                 out.put_u64_le(*version);
                 out.put_u64_le(*publish_ns);
                 out.put_u8(*finished as u8);
                 out.put_slice(payload);
+            }
+            Response::QuotaExceeded { req_id, kind } => {
+                out.put_u8(RSP_QUOTA_EXCEEDED);
+                out.put_u32_le(*req_id);
+                out.put_u8(*kind as u8);
             }
             Response::Ping => out.put_u8(RSP_PING),
         }
@@ -373,14 +458,18 @@ impl Response {
                 })
             }
             RSP_SNAPSHOT => {
-                if view.remaining() < 8 + 8 + 2 {
+                if view.remaining() < 2 + 2 + 8 + 8 + 2 {
                     return Err(WireError::Truncated);
                 }
+                let shard = view.get_u16_le();
+                let shards = view.get_u16_le();
                 let version = view.get_u64_le();
                 let publish_ns = view.get_u64_le();
                 let resync = view.get_u8() != 0;
                 let finished = view.get_u8() != 0;
                 Ok(Response::Snapshot {
+                    shard,
+                    shards,
                     version,
                     publish_ns,
                     resync,
@@ -389,17 +478,32 @@ impl Response {
                 })
             }
             RSP_DELTA => {
-                if view.remaining() < 8 + 8 + 1 {
+                if view.remaining() < 2 + 2 + 8 + 8 + 1 {
                     return Err(WireError::Truncated);
                 }
+                let shard = view.get_u16_le();
+                let shards = view.get_u16_le();
                 let version = view.get_u64_le();
                 let publish_ns = view.get_u64_le();
                 let finished = view.get_u8() != 0;
                 Ok(Response::Delta {
+                    shard,
+                    shards,
                     version,
                     publish_ns,
                     finished,
                     payload: buf.slice(buf.len() - view.len()..),
+                })
+            }
+            RSP_QUOTA_EXCEEDED => {
+                if view.remaining() < 5 {
+                    return Err(WireError::Truncated);
+                }
+                let req_id = view.get_u32_le();
+                let kind_raw = view.get_u8();
+                Ok(Response::QuotaExceeded {
+                    req_id,
+                    kind: QuotaKind::from_u8(kind_raw).ok_or(WireError::BadTag(kind_raw))?,
                 })
             }
             RSP_PING => Ok(Response::Ping),
@@ -409,12 +513,66 @@ impl Response {
 }
 
 /// A server's answer to [`Request::VersionInfo`], decoded for callers.
+/// With a sharded store the fields aggregate: `current` is the max over
+/// shards, `oldest` the min over non-empty shards, `apps` the total.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VersionInfo {
     pub current: u64,
     pub oldest: u64,
     pub apps: u16,
     pub finished: bool,
+}
+
+/// One record replicated down the serve fan-out tree: the root frames a
+/// [`Response::Delta`] once (`framed_rsp` — frame header, checksum and
+/// all) and prefixes the routing header frontier ranks need, so interior
+/// ranks forward blocks verbatim and a frontier rank delivers the inner
+/// bytes to each subscriber without re-encoding or re-checksumming.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FanoutRecord {
+    /// Store shard this delta advances.
+    pub shard: u16,
+    /// Version the delta produces.
+    pub version: u64,
+    /// Publication timestamp on the serve clock.
+    pub publish_ns: u64,
+    /// The shard's final version.
+    pub is_final: bool,
+    /// The framed [`Response::Delta`] ready to write to a subscriber.
+    pub framed_rsp: Bytes,
+}
+
+impl FanoutRecord {
+    /// Encodes the record payload (the caller frames it for the tree
+    /// transport).
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(2 + 8 + 8 + 1 + self.framed_rsp.len());
+        out.put_u16_le(self.shard);
+        out.put_u64_le(self.version);
+        out.put_u64_le(self.publish_ns);
+        out.put_u8(self.is_final as u8);
+        out.put_slice(&self.framed_rsp);
+        out.freeze()
+    }
+
+    /// Decodes a record payload; `framed_rsp` is a zero-copy slice.
+    pub fn decode(buf: &Bytes) -> Result<FanoutRecord, WireError> {
+        let mut view: &[u8] = buf;
+        if view.remaining() < 2 + 8 + 8 + 1 {
+            return Err(WireError::Truncated);
+        }
+        let shard = view.get_u16_le();
+        let version = view.get_u64_le();
+        let publish_ns = view.get_u64_le();
+        let is_final = view.get_u8() != 0;
+        Ok(FanoutRecord {
+            shard,
+            version,
+            publish_ns,
+            is_final,
+            framed_rsp: buf.slice(buf.len() - view.len()..),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -449,8 +607,17 @@ mod tests {
                 rank_hi: ALL_RANKS,
             },
             Request::VersionInfo { req_id: 9 },
+            Request::Hello {
+                tenant: "dash-a".to_string(),
+            },
+            Request::Hello {
+                tenant: String::new(),
+            },
             Request::Subscribe,
-            Request::Ack { version: 17 },
+            Request::Ack {
+                shard: 3,
+                version: 17,
+            },
             Request::Bye,
             Request::Ping,
         ] {
@@ -479,6 +646,8 @@ mod tests {
                 finished: true,
             },
             Response::Snapshot {
+                shard: 1,
+                shards: 4,
                 version: 3,
                 publish_ns: 999,
                 resync: true,
@@ -486,10 +655,20 @@ mod tests {
                 payload: Bytes::from_static(b"full"),
             },
             Response::Delta {
+                shard: 0,
+                shards: 1,
                 version: 4,
                 publish_ns: 1000,
                 finished: true,
                 payload: Bytes::from_static(b"sparse"),
+            },
+            Response::QuotaExceeded {
+                req_id: 11,
+                kind: QuotaKind::QueryRate,
+            },
+            Response::QuotaExceeded {
+                req_id: 0,
+                kind: QuotaKind::Subscriptions,
             },
             Response::Ping,
         ] {
@@ -498,11 +677,38 @@ mod tests {
     }
 
     #[test]
+    fn fanout_records_roundtrip_with_zero_copy_payload() {
+        let inner = Response::Delta {
+            shard: 2,
+            shards: 3,
+            version: 9,
+            publish_ns: 777,
+            finished: false,
+            payload: Bytes::from_static(b"sparse"),
+        };
+        let framed = opmr_events::frame::try_frame(&inner.encode()).unwrap();
+        let rec = FanoutRecord {
+            shard: 2,
+            version: 9,
+            publish_ns: 777,
+            is_final: false,
+            framed_rsp: framed.clone(),
+        };
+        let wire = rec.encode();
+        let back = FanoutRecord::decode(&wire).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.framed_rsp, framed);
+        assert!(FanoutRecord::decode(&wire.slice(..10)).is_err());
+    }
+
+    #[test]
     fn junk_is_rejected() {
         assert!(Request::decode(&[]).is_err());
         assert!(Request::decode(&[0xee]).is_err());
         assert!(Request::decode(&[REQ_QUERY, 1, 2]).is_err());
+        assert!(Request::decode(&[REQ_HELLO, 9, 0, b'x']).is_err());
         assert!(Response::decode(&Bytes::from_static(b"\x7f")).is_err());
         assert!(Response::decode(&Bytes::from_static(b"\x84\x01")).is_err());
+        assert!(Response::decode(&Bytes::from_static(b"\x87\x01\x02\x03\x04\x09")).is_err());
     }
 }

@@ -6,7 +6,14 @@
 //! * the instrumentation streams mapped onto this rank, drained into the
 //!   shared blackboard engine exactly as under direct coupling;
 //! * one duplex serve stream per mapped client, carrying framed
-//!   [`Request`]s in and [`Response`]s out.
+//!   [`Request`]s in and [`Response`]s out, with per-tenant admission
+//!   control ([`crate::quota`]) at the request boundary;
+//! * with `ServeConfig::fan_out` set, the serve fan-out tree: the rank
+//!   whose tree role is *root* frames each published shard delta once and
+//!   replicates it down the tree ([`FanoutNode`]), interior ranks forward
+//!   blocks verbatim, and *frontier* ranks keep a bounded per-shard ring
+//!   of the pre-framed records from which their subscribers are served
+//!   without re-encoding.
 //!
 //! Subscriptions use credit-based flow control: each subscriber starts
 //! with `ServeConfig::subscriber_credits` credits, every update costs
@@ -14,10 +21,17 @@
 //! server *nothing* — no queue grows on its behalf; the store's ring
 //! advances and when the consumer acks again it either continues down
 //! the retained delta chain or, having fallen off the ring, receives a
-//! typed snapshot resync (counted in [`ServeStats::resyncs`]).
+//! typed snapshot **resync** (counted in [`ServeStats::resyncs`]). With a
+//! sharded store every subscription runs one such chain *per shard*;
+//! openers and resyncs are always full per-shard snapshots served from
+//! the shared store, so the tree only ever carries deltas.
 
-use crate::proto::{NotFoundReason, QueryKind, Request, Response, SERVE_STREAM_ID};
-use crate::store::SnapshotStore;
+use crate::proto::{
+    FanoutRecord, NotFoundReason, QueryKind, Request, Response, SERVE_FANOUT_STREAM_ID,
+    SERVE_STREAM_ID,
+};
+use crate::quota::TenantBook;
+use crate::store::ShardedStore;
 use crate::{ServeConfig, ServeError};
 use bytes::{BufMut, BytesMut};
 use opmr_analysis::profiler::MpiProfile;
@@ -26,7 +40,9 @@ use opmr_analysis::waitstate::WaitStats;
 use opmr_analysis::wire::{decode_partials, encode_profile, encode_topology, encode_waitstats};
 use opmr_analysis::AnalysisEngine;
 use opmr_events::frame::{try_frame, FrameBuf};
+use opmr_reduce::{FanoutNode, Tree};
 use opmr_vmpi::{DuplexStream, ReadMode, ReadStream, StreamConfig, Vmpi, VmpiError};
+use std::collections::VecDeque;
 
 // Serving-loop metrics: per-subscriber credit level at each scheduling
 // slice, publish-to-deliver lag of every update, and the counters mirrored
@@ -40,6 +56,9 @@ mod obs {
         pub deltas_sent: Arc<Counter>,
         pub snapshots_sent: Arc<Counter>,
         pub resyncs: Arc<Counter>,
+        pub quota_rejections: Arc<Counter>,
+        pub quota_throttles: Arc<Counter>,
+        pub fanout_deliveries: Arc<Counter>,
         pub credits: Arc<Histogram>,
         pub deliver_lag: Arc<Histogram>,
     }
@@ -53,6 +72,9 @@ mod obs {
                 deltas_sent: r.counter("serve_deltas_sent_total"),
                 snapshots_sent: r.counter("serve_snapshots_sent_total"),
                 resyncs: r.counter("serve_resyncs_total"),
+                quota_rejections: r.counter("serve_quota_rejections_total"),
+                quota_throttles: r.counter("serve_quota_throttles_total"),
+                fanout_deliveries: r.counter("serve_fanout_deliveries_total"),
                 credits: r.histogram("serve_subscriber_credits"),
                 deliver_lag: r.histogram("serve_publish_to_deliver_lag_ns"),
             }
@@ -82,17 +104,25 @@ pub struct ServeStats {
     pub bad_requests: u64,
     /// Clients whose stream died without a goodbye.
     pub clients_lost: u64,
+    /// Requests refused under a tenant quota (typed on the wire).
+    pub quota_rejections: u64,
+    /// Subscription updates delayed by a tenant's delta-byte budget.
+    pub quota_throttles: u64,
+    /// Fan-out records this rank published into the tree (root only).
+    pub fanout_records: u64,
 }
 
 struct Subscription {
-    /// Last version this subscriber holds (0 = nothing sent yet).
-    synced_to: u64,
+    /// Last version this subscriber holds per shard (0 = nothing sent).
+    synced_to: Vec<u64>,
     credits: u32,
 }
 
 struct ClientConn {
     stream: Option<DuplexStream>,
     fb: FrameBuf,
+    /// Tenant name from the client's `Hello` ("" until/unless one arrives).
+    tenant: String,
     sub: Option<Subscription>,
     /// Consecutive scheduling slices with no traffic either way; drives
     /// the server-side keepalive (see [`pump_client`]).
@@ -102,8 +132,12 @@ struct ClientConn {
 
 impl ClientConn {
     /// Closes our direction and drains the client's (it closes right
-    /// after its goodbye, so this does not block meaningfully).
-    fn finish(&mut self, stats: &mut ServeStats, lost: bool) {
+    /// after its goodbye, so this does not block meaningfully). Releases
+    /// the tenant's subscription slot.
+    fn finish(&mut self, book: &mut TenantBook, stats: &mut ServeStats, lost: bool) {
+        if self.sub.take().is_some() {
+            book.state(&self.tenant).release_subscription();
+        }
         if let Some(stream) = self.stream.take() {
             if stream.close().is_err() || lost {
                 stats.clients_lost += 1;
@@ -111,6 +145,14 @@ impl ClientConn {
         }
         self.done = true;
     }
+}
+
+/// The frontier's view of the fan-out tree inside [`pump_client`]: the
+/// per-shard rings of pre-framed delta records, plus whether the tree is
+/// already drained (a missing record then resyncs instead of waiting).
+struct TreeView<'a> {
+    rings: &'a [VecDeque<FanoutRecord>],
+    drained: bool,
 }
 
 /// Bounds how many blocks each source is drained per loop iteration, so
@@ -127,26 +169,42 @@ const DRAIN_BURST: usize = 64;
 const KEEPALIVE_IDLE: u32 = 8192;
 
 /// Runs one analyzer rank's serving loop until every instrumentation
-/// stream closed, the final snapshot is published and every client said
-/// goodbye.
+/// stream closed, the final snapshot is published, the fan-out tree (if
+/// any) drained and every client said goodbye.
 pub fn run_server(
     v: &Vmpi,
     engine: &AnalysisEngine,
-    store: &SnapshotStore,
+    store: &ShardedStore,
     app_peers: &[usize],
     client_peers: &[usize],
     app_stream: StreamConfig,
     cfg: &ServeConfig,
 ) -> Result<ServeStats, ServeError> {
+    let n_shards = store.shards();
     let mut stats = ServeStats {
         clients: client_peers.len() as u64,
         ..ServeStats::default()
     };
+    let mut book = TenantBook::new(cfg.quota, cfg.tenant_quotas.clone());
     let mut app_rx = if app_peers.is_empty() {
         None
     } else {
         Some(ReadStream::open_from(v, app_peers.to_vec(), app_stream, 0)?)
     };
+    // The fan-out tree spans the whole serving partition; a single-rank
+    // partition degenerates to root == frontier with no streams.
+    let mut fan = match cfg.fan_out {
+        Some(f) => Some(FanoutNode::open(
+            v,
+            &Tree::new(f, v.my_partition().size),
+            cfg.stream,
+            SERVE_FANOUT_STREAM_ID,
+        )?),
+        None => None,
+    };
+    let mut fan_closed = false;
+    let mut fanned: Vec<u64> = vec![0; n_shards];
+    let mut rings: Vec<VecDeque<FanoutRecord>> = (0..n_shards).map(|_| VecDeque::new()).collect();
     let mut clients: Vec<ClientConn> = client_peers
         .iter()
         .map(|&world| {
@@ -158,6 +216,7 @@ pub fn run_server(
                     SERVE_STREAM_ID,
                 )?),
                 fb: FrameBuf::new(),
+                tenant: String::new(),
                 sub: None,
                 idle: 0,
                 done: false,
@@ -195,24 +254,56 @@ pub fn run_server(
                 // publish the final version (always a fresh version, so
                 // caught-up subscribers still learn the run is over).
                 engine.blackboard().drain();
-                store.publish_final(engine.snapshot_partials());
+                store.publish_final(engine.snapshot_partials())?;
             }
             progressed = true;
         }
 
-        // 2. Serve plane: requests in, responses + subscription pumps out.
+        // 2. Fan-out tree: the root turns fresh shard versions into
+        // records, everyone else pumps the parent; frontiers fill their
+        // per-shard rings.
+        if let Some(f) = fan.as_mut() {
+            if f.is_root() {
+                progressed |=
+                    pump_fanout_root(f, store, &mut fanned, &mut rings, cfg.ring, &mut stats)?;
+                if !fan_closed && store.finished() && root_caught_up(store, &fanned) {
+                    f.close()?;
+                    fan_closed = true;
+                    progressed = true;
+                }
+            } else {
+                let mut raw = Vec::new();
+                progressed |= f.pump(&mut raw)?;
+                for payload in &raw {
+                    push_ring(&mut rings, FanoutRecord::decode(payload)?, cfg.ring);
+                }
+                if f.parent_eof() && !fan_closed {
+                    f.close()?;
+                    fan_closed = true;
+                    progressed = true;
+                }
+            }
+        }
+
+        // 3. Serve plane: requests in, responses + subscription pumps out.
+        let tree_mode = fan.is_some();
         for client in clients.iter_mut().filter(|c| !c.done) {
-            match pump_client(client, store, cfg, &mut stats) {
+            let view = tree_mode.then_some(TreeView {
+                rings: &rings,
+                drained: fan_closed,
+            });
+            match pump_client(client, store, view, &mut book, cfg, &mut stats) {
                 Ok(p) => progressed |= p,
                 Err(ServeError::Vmpi(VmpiError::PeerLost { .. })) => {
-                    client.finish(&mut stats, true);
+                    client.finish(&mut book, &mut stats, true);
                     progressed = true;
                 }
                 Err(e) => return Err(e),
             }
         }
 
-        if app_rx.is_none() && writer_done_reported && clients.iter().all(|c| c.done) {
+        let fan_done = fan.is_none() || fan_closed;
+        if app_rx.is_none() && writer_done_reported && fan_done && clients.iter().all(|c| c.done) {
             break;
         }
         if !progressed {
@@ -222,15 +313,160 @@ pub fn run_server(
     Ok(stats)
 }
 
-/// One scheduling slice for one client: read requests, answer them, pump
-/// the subscription within its credit budget. Returns whether anything
-/// happened.
+/// Root role of the fan-out tree: walks each shard's ring from the last
+/// version fanned to the shard's current one, frames each retained delta
+/// **once** and replicates the record down the tree. Versions without a
+/// delta (the first, or an encode-overflow degrade) publish no record —
+/// frontier subscribers cross them via a store resync. In a single-rank
+/// tree the root is also the frontier and feeds its own rings directly.
+fn pump_fanout_root(
+    fan: &mut FanoutNode,
+    store: &ShardedStore,
+    fanned: &mut [u64],
+    rings: &mut [VecDeque<FanoutRecord>],
+    ring_cap: usize,
+    stats: &mut ServeStats,
+) -> Result<bool, ServeError> {
+    let n_shards = store.shards();
+    let mut progressed = false;
+    for (s, fanned_to) in fanned.iter_mut().enumerate() {
+        let shard = store.shard(s);
+        let current = shard.current().map_or(0, |e| e.version);
+        while *fanned_to < current {
+            let next = *fanned_to + 1;
+            let Some(entry) = shard.get(next) else {
+                // The version aged out of the shard ring before this loop
+                // got to it; skip to the ring front — subscribers that
+                // needed it resync from the shared store.
+                let (front, _) = shard.version_span();
+                if front == 0 {
+                    break;
+                }
+                *fanned_to = front - 1;
+                continue;
+            };
+            if let Some(payload) = entry.delta.clone() {
+                let rsp = Response::Delta {
+                    shard: s as u16,
+                    shards: n_shards as u16,
+                    version: entry.version,
+                    publish_ns: entry.publish_ns,
+                    finished: entry.is_final,
+                    payload,
+                };
+                let record = FanoutRecord {
+                    shard: s as u16,
+                    version: entry.version,
+                    publish_ns: entry.publish_ns,
+                    is_final: entry.is_final,
+                    framed_rsp: try_frame(&rsp.encode())?,
+                };
+                fan.publish(&try_frame(&record.encode())?)?;
+                stats.fanout_records += 1;
+                if fan.is_frontier() {
+                    push_ring(rings, record, ring_cap);
+                }
+            }
+            *fanned_to = entry.version;
+            progressed = true;
+        }
+    }
+    Ok(progressed)
+}
+
+/// True once the root has fanned every shard up to its current version.
+fn root_caught_up(store: &ShardedStore, fanned: &[u64]) -> bool {
+    fanned
+        .iter()
+        .enumerate()
+        .all(|(s, &v)| v >= store.shard(s).current().map_or(0, |e| e.version))
+}
+
+/// Appends a record to its shard's bounded frontier ring. A subscriber
+/// slower than the ring is resynced from the store, exactly like one that
+/// fell off the store's own delta ring.
+fn push_ring(rings: &mut [VecDeque<FanoutRecord>], record: FanoutRecord, cap: usize) {
+    let Some(ring) = rings.get_mut(record.shard as usize) else {
+        return; // Wire data: an out-of-range shard id is dropped, not indexed.
+    };
+    ring.push_back(record);
+    while ring.len() > cap.max(1) {
+        ring.pop_front();
+    }
+}
+
+/// What the subscription pump decided to send for one shard step.
+enum ShardUpdate {
+    /// A pre-framed fan-out record: written to the subscriber verbatim.
+    TreeDelta(FanoutRecord),
+    /// A store-retained delta (unicast mode).
+    StoreDelta(std::sync::Arc<crate::store::SnapshotEntry>),
+    /// A full per-shard snapshot: the opener, or a resync when `bool`.
+    Snapshot(std::sync::Arc<crate::store::SnapshotEntry>, bool),
+    /// Nothing deliverable yet (record still in flight down the tree).
+    Wait,
+}
+
+/// Picks the next update for shard `s` of one subscriber, preferring the
+/// frontier ring's pre-framed record in tree mode and the store's delta
+/// chain in unicast mode, degrading to a snapshot resync when the needed
+/// version is out of reach either way.
+fn next_shard_update(
+    store: &ShardedStore,
+    tree: Option<&TreeView<'_>>,
+    s: usize,
+    synced_to: u64,
+) -> ShardUpdate {
+    let shard = store.shard(s);
+    let Some(cur) = shard.current() else {
+        return ShardUpdate::Wait;
+    };
+    if synced_to >= cur.version {
+        return ShardUpdate::Wait;
+    }
+    if synced_to == 0 {
+        return ShardUpdate::Snapshot(cur, false);
+    }
+    let next = synced_to + 1;
+    match tree {
+        Some(view) => {
+            let ring = &view.rings[s];
+            if let Some(record) = ring.iter().find(|r| r.version == next) {
+                return ShardUpdate::TreeDelta(record.clone());
+            }
+            // Not in the ring. If the store still holds the version *with*
+            // a delta, the record exists and is in flight down the tree —
+            // unless the ring already moved past it (bounded eviction) or
+            // the tree drained; then it is never coming and we resync.
+            let evicted_from_ring = ring.front().is_some_and(|r| r.version > next);
+            match shard.get(next) {
+                Some(e) if e.delta.is_some() && !evicted_from_ring && !view.drained => {
+                    ShardUpdate::Wait
+                }
+                _ => ShardUpdate::Snapshot(cur, true),
+            }
+        }
+        None => match shard.get(next).filter(|e| e.delta.is_some()) {
+            Some(e) => ShardUpdate::StoreDelta(e),
+            // First update, or the chain left the ring: full snapshot (a
+            // *resync* because the subscriber had state).
+            None => ShardUpdate::Snapshot(cur, true),
+        },
+    }
+}
+
+/// One scheduling slice for one client: read requests, answer them under
+/// the tenant's quota, pump the subscription's per-shard chains within
+/// its credit budget. Returns whether anything happened.
 fn pump_client(
     client: &mut ClientConn,
-    store: &SnapshotStore,
+    store: &ShardedStore,
+    tree: Option<TreeView<'_>>,
+    book: &mut TenantBook,
     cfg: &ServeConfig,
     stats: &mut ServeStats,
 ) -> Result<bool, ServeError> {
+    let n_shards = store.shards();
     let mut progressed = false;
     let mut bye = false;
     let mut lost = false;
@@ -274,14 +510,32 @@ fn pump_client(
                     bye = true;
                     break;
                 }
-                Ok(Request::Subscribe) => {
-                    stats.subscribes += 1;
-                    client.sub = Some(Subscription {
-                        synced_to: 0,
-                        credits: cfg.subscriber_credits.max(1),
-                    });
+                Ok(Request::Hello { tenant }) => {
+                    client.tenant = tenant;
                 }
-                Ok(Request::Ack { version: _ }) => {
+                Ok(Request::Subscribe) => {
+                    if client.sub.take().is_some() {
+                        // Re-subscribe replaces the old chain (and slot).
+                        book.state(&client.tenant).release_subscription();
+                    }
+                    match book.state(&client.tenant).try_subscribe() {
+                        Ok(()) => {
+                            stats.subscribes += 1;
+                            client.sub = Some(Subscription {
+                                synced_to: vec![0; n_shards],
+                                credits: cfg.subscriber_credits.max(1),
+                            });
+                        }
+                        Err(kind) => {
+                            // Subscriptions have no request id: req_id 0.
+                            stats.quota_rejections += 1;
+                            obs::m().quota_rejections.inc();
+                            send(stream, &Response::QuotaExceeded { req_id: 0, kind })?;
+                            wrote = true;
+                        }
+                    }
+                }
+                Ok(Request::Ack { .. }) => {
                     stats.acks += 1;
                     if let Some(sub) = client.sub.as_mut() {
                         sub.credits = (sub.credits + 1).min(cfg.subscriber_credits.max(1));
@@ -298,20 +552,16 @@ fn pump_client(
                     wrote = true;
                 }
                 Ok(Request::VersionInfo { req_id }) => {
+                    if let Err(kind) = book.state(&client.tenant).try_query(crate::mono_ns()) {
+                        stats.quota_rejections += 1;
+                        obs::m().quota_rejections.inc();
+                        send(stream, &Response::QuotaExceeded { req_id, kind })?;
+                        wrote = true;
+                        continue;
+                    }
                     stats.queries += 1;
                     obs::m().queries.inc();
-                    let (oldest, current) = store.version_span();
-                    let apps = store.current().map_or(0, |e| e.apps);
-                    send(
-                        stream,
-                        &Response::VersionInfo {
-                            req_id,
-                            current,
-                            oldest,
-                            apps,
-                            finished: store.finished(),
-                        },
-                    )?;
+                    send(stream, &version_info(store, req_id))?;
                     wrote = true;
                 }
                 Ok(Request::Query {
@@ -322,6 +572,13 @@ fn pump_client(
                     rank_lo,
                     rank_hi,
                 }) => {
+                    if let Err(kind) = book.state(&client.tenant).try_query(crate::mono_ns()) {
+                        stats.quota_rejections += 1;
+                        obs::m().quota_rejections.inc();
+                        send(stream, &Response::QuotaExceeded { req_id, kind })?;
+                        wrote = true;
+                        continue;
+                    }
                     stats.queries += 1;
                     obs::m().queries.inc();
                     send(
@@ -350,66 +607,91 @@ fn pump_client(
             bye = true;
         }
 
-        // Subscription pump, gated on credits (slow-consumer policy).
+        // Subscription pump, gated on credits (slow-consumer policy) and
+        // the tenant's delta-byte budget (throttle, never a rejection).
         if let Some(sub) = client.sub.as_mut() {
             obs::m().credits.record(sub.credits as u64);
-            while sub.credits > 0 && !bye {
-                let Some(cur) = store.current() else { break };
-                if sub.synced_to >= cur.version {
-                    break;
+            'shards: for s in 0..n_shards {
+                while sub.credits > 0 && !bye {
+                    let update = next_shard_update(store, tree.as_ref(), s, sub.synced_to[s]);
+                    let cost = match &update {
+                        ShardUpdate::TreeDelta(r) => r.framed_rsp.len(),
+                        ShardUpdate::StoreDelta(e) => e.delta.as_ref().map_or(0, |d| d.len()),
+                        ShardUpdate::Snapshot(e, _) => e.encoded.len(),
+                        ShardUpdate::Wait => break,
+                    };
+                    if book
+                        .state(&client.tenant)
+                        .try_delta_bytes(cost as u64, crate::mono_ns())
+                        .is_err()
+                    {
+                        stats.quota_throttles += 1;
+                        obs::m().quota_throttles.inc();
+                        break 'shards;
+                    }
+                    let now = crate::mono_ns();
+                    match update {
+                        ShardUpdate::TreeDelta(record) => {
+                            stats.deltas_sent += 1;
+                            obs::m().deltas_sent.inc();
+                            obs::m().fanout_deliveries.inc();
+                            obs::m()
+                                .deliver_lag
+                                .record(now.saturating_sub(record.publish_ns));
+                            sub.synced_to[s] = record.version;
+                            // Framed once at the tree root: write verbatim.
+                            stream.write(&record.framed_rsp)?;
+                        }
+                        ShardUpdate::StoreDelta(entry) => {
+                            stats.deltas_sent += 1;
+                            obs::m().deltas_sent.inc();
+                            obs::m()
+                                .deliver_lag
+                                .record(now.saturating_sub(entry.publish_ns));
+                            sub.synced_to[s] = entry.version;
+                            let payload = entry.delta.clone().unwrap_or_default();
+                            send(
+                                stream,
+                                &Response::Delta {
+                                    shard: s as u16,
+                                    shards: n_shards as u16,
+                                    version: entry.version,
+                                    publish_ns: entry.publish_ns,
+                                    finished: entry.is_final,
+                                    payload,
+                                },
+                            )?;
+                        }
+                        ShardUpdate::Snapshot(entry, resync) => {
+                            stats.snapshots_sent += 1;
+                            obs::m().snapshots_sent.inc();
+                            if resync {
+                                stats.resyncs += 1;
+                                obs::m().resyncs.inc();
+                            }
+                            obs::m()
+                                .deliver_lag
+                                .record(now.saturating_sub(entry.publish_ns));
+                            sub.synced_to[s] = entry.version;
+                            send(
+                                stream,
+                                &Response::Snapshot {
+                                    shard: s as u16,
+                                    shards: n_shards as u16,
+                                    version: entry.version,
+                                    publish_ns: entry.publish_ns,
+                                    resync,
+                                    finished: entry.is_final,
+                                    payload: entry.encoded.clone(),
+                                },
+                            )?;
+                        }
+                        ShardUpdate::Wait => break,
+                    }
+                    sub.credits -= 1;
+                    wrote = true;
+                    progressed = true;
                 }
-                // The retained delta advancing this subscriber by one
-                // version, when the chain is intact and the subscriber has
-                // state to extend.
-                let next_delta = store
-                    .get(sub.synced_to + 1)
-                    .filter(|_| sub.synced_to > 0)
-                    .and_then(|e| {
-                        let payload = e.delta.clone()?;
-                        Some((e.version, e.publish_ns, e.is_final, payload))
-                    });
-                let rsp = match next_delta {
-                    Some((version, publish_ns, is_final, payload)) => {
-                        stats.deltas_sent += 1;
-                        obs::m().deltas_sent.inc();
-                        obs::m()
-                            .deliver_lag
-                            .record(crate::mono_ns().saturating_sub(publish_ns));
-                        sub.synced_to = version;
-                        Response::Delta {
-                            version,
-                            publish_ns,
-                            finished: is_final,
-                            payload,
-                        }
-                    }
-                    // First update, or the chain left the ring: full
-                    // snapshot (a *resync* when the subscriber had state).
-                    None => {
-                        stats.snapshots_sent += 1;
-                        obs::m().snapshots_sent.inc();
-                        let resync = sub.synced_to > 0;
-                        if resync {
-                            stats.resyncs += 1;
-                            obs::m().resyncs.inc();
-                        }
-                        obs::m()
-                            .deliver_lag
-                            .record(crate::mono_ns().saturating_sub(cur.publish_ns));
-                        sub.synced_to = cur.version;
-                        Response::Snapshot {
-                            version: cur.version,
-                            publish_ns: cur.publish_ns,
-                            resync,
-                            finished: cur.is_final,
-                            payload: cur.encoded.clone(),
-                        }
-                    }
-                };
-                sub.credits -= 1;
-                send(stream, &rsp)?;
-                wrote = true;
-                progressed = true;
             }
         }
 
@@ -428,7 +710,7 @@ fn pump_client(
         }
     }
     if bye {
-        client.finish(stats, lost);
+        client.finish(book, stats, lost);
         progressed = true;
     }
     Ok(progressed)
@@ -439,8 +721,33 @@ fn send(stream: &mut DuplexStream, rsp: &Response) -> Result<(), ServeError> {
     Ok(())
 }
 
+/// Aggregates the store's per-shard version vector into one answer:
+/// `current` is the max over shards, `oldest` the min over non-empty
+/// shards, `apps` the total, `finished` only when every shard finished.
+fn version_info(store: &ShardedStore, req_id: u32) -> Response {
+    let mut current = 0u64;
+    let mut oldest = 0u64;
+    let mut apps = 0u16;
+    for s in 0..store.shards() {
+        let shard = store.shard(s);
+        let (o, c) = shard.version_span();
+        current = current.max(c);
+        if o > 0 {
+            oldest = if oldest == 0 { o } else { oldest.min(o) };
+        }
+        apps = apps.saturating_add(shard.current().map_or(0, |e| e.apps));
+    }
+    Response::VersionInfo {
+        req_id,
+        current,
+        oldest,
+        apps,
+        finished: store.finished(),
+    }
+}
+
 fn answer_query(
-    store: &SnapshotStore,
+    store: &ShardedStore,
     req_id: u32,
     kind: QueryKind,
     app_id: u16,
@@ -448,14 +755,16 @@ fn answer_query(
     rank_lo: u32,
     rank_hi: u32,
 ) -> Response {
+    // Versions are per shard; the app id names the shard to look in.
+    let shard = store.shard(store.shard_of_app(app_id));
     let not_found = |reason| Response::NotFound { req_id, reason };
     let entry = if version == 0 {
-        match store.current() {
+        match shard.current() {
             Some(e) => e,
             None => return not_found(NotFoundReason::NoSnapshot),
         }
     } else {
-        match store.get(version) {
+        match shard.get(version) {
             Some(e) => e,
             None => return not_found(NotFoundReason::VersionGone),
         }
@@ -575,10 +884,11 @@ fn filter_waitstats(w: &WaitStats, in_range: impl Fn(u32) -> bool) -> WaitStats 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use opmr_analysis::wire::AppPartial;
     use opmr_events::EventKind;
 
-    fn store_with(hits_per_rank: &[u64]) -> SnapshotStore {
+    fn partials_with(app_id: u16, hits_per_rank: &[u64]) -> AppPartial {
         let mut profile = MpiProfile::new();
         let mut topology = Topology::new();
         for (rank, &hits) in hits_per_rank.iter().enumerate() {
@@ -599,9 +909,8 @@ mod tests {
                 0,
             );
         }
-        let store = SnapshotStore::new(4, 1);
-        store.publish(vec![AppPartial {
-            app_id: 2,
+        AppPartial {
+            app_id,
             packs: 1,
             wire_bytes: 10,
             decode_errors: 0,
@@ -620,7 +929,14 @@ mod tests {
                 }
                 m
             }),
-        }]);
+        }
+    }
+
+    fn store_with(hits_per_rank: &[u64]) -> ShardedStore {
+        let store = ShardedStore::new(1, 4, 1);
+        store
+            .publish(vec![partials_with(2, hits_per_rank)])
+            .unwrap();
         store
     }
 
@@ -672,7 +988,7 @@ mod tests {
 
     #[test]
     fn missing_things_are_typed() {
-        let empty = SnapshotStore::new(2, 1);
+        let empty = ShardedStore::new(1, 2, 1);
         assert_eq!(
             answer_query(&empty, 1, QueryKind::Profile, 0, 0, 0, u32::MAX),
             Response::NotFound {
@@ -695,5 +1011,129 @@ mod tests {
                 reason: NotFoundReason::VersionGone
             }
         );
+    }
+
+    #[test]
+    fn queries_route_to_the_apps_shard() {
+        // Apps 0 and 1 land in different shards with independent version
+        // sequences; a query for app 1 must read shard 1's ring.
+        let store = ShardedStore::new(2, 4, 1);
+        store
+            .publish(vec![
+                partials_with(0, &[1, 1]),
+                partials_with(1, &[10, 20, 30]),
+            ])
+            .unwrap();
+        let rsp = answer_query(&store, 7, QueryKind::Density, 1, 0, 0, ALL_RANKS_TEST);
+        let Response::QueryResult {
+            version, payload, ..
+        } = rsp
+        else {
+            panic!("expected result");
+        };
+        assert_eq!(version, 1);
+        let mut view: &[u8] = &payload;
+        use bytes::Buf;
+        assert_eq!(view.get_u32_le(), 0);
+        assert_eq!(view.get_u32_le(), 3);
+        // An app the shard never held is typed as unknown, not a shard
+        // routing error.
+        assert_eq!(
+            answer_query(&store, 8, QueryKind::Profile, 3, 0, 0, ALL_RANKS_TEST),
+            Response::NotFound {
+                req_id: 8,
+                reason: NotFoundReason::UnknownApp
+            }
+        );
+    }
+
+    const ALL_RANKS_TEST: u32 = crate::proto::ALL_RANKS;
+
+    #[test]
+    fn version_info_aggregates_the_shard_vector() {
+        let store = ShardedStore::new(2, 4, 1);
+        store
+            .publish(vec![partials_with(0, &[1]), partials_with(1, &[2])])
+            .unwrap();
+        // Advance only shard 1 (app 1 changes, app 0 is byte-identical).
+        store
+            .publish(vec![partials_with(0, &[1]), partials_with(1, &[3])])
+            .unwrap();
+        let Response::VersionInfo {
+            current,
+            oldest,
+            apps,
+            finished,
+            ..
+        } = version_info(&store, 9)
+        else {
+            panic!("expected version info");
+        };
+        assert_eq!(current, 2, "max over shards");
+        assert_eq!(oldest, 1, "min over non-empty shards");
+        assert_eq!(apps, 2, "total across shards");
+        assert!(!finished);
+    }
+
+    #[test]
+    fn frontier_ring_is_bounded_and_gaps_resync() {
+        let store = ShardedStore::new(1, 8, 1);
+        for i in 1..=6u64 {
+            store.publish(vec![partials_with(0, &[i])]).unwrap();
+        }
+        let mut rings: Vec<VecDeque<FanoutRecord>> = vec![VecDeque::new()];
+        for v in 2..=6u64 {
+            let e = store.get(v).unwrap();
+            push_ring(
+                &mut rings,
+                FanoutRecord {
+                    shard: 0,
+                    version: v,
+                    publish_ns: e.publish_ns,
+                    is_final: false,
+                    framed_rsp: Bytes::from_static(b"framed"),
+                },
+                2,
+            );
+        }
+        assert_eq!(rings[0].len(), 2, "ring bounded to cap");
+        let view = TreeView {
+            rings: &rings,
+            drained: false,
+        };
+        // Synced to 4: version 5 is still in the ring → tree delta.
+        assert!(matches!(
+            next_shard_update(&store, Some(&view), 0, 4),
+            ShardUpdate::TreeDelta(r) if r.version == 5
+        ));
+        // Synced to 1: version 2 fell off the frontier ring → resync.
+        assert!(matches!(
+            next_shard_update(&store, Some(&view), 0, 1),
+            ShardUpdate::Snapshot(e, true) if e.version == 6
+        ));
+        // Synced to current: nothing to send.
+        assert!(matches!(
+            next_shard_update(&store, Some(&view), 0, 6),
+            ShardUpdate::Wait
+        ));
+        // A record the root has not delivered yet (store has the delta,
+        // ring does not) waits — unless the tree already drained.
+        let empty_rings: Vec<VecDeque<FanoutRecord>> = vec![VecDeque::new()];
+        let waiting = TreeView {
+            rings: &empty_rings,
+            drained: false,
+        };
+        assert!(matches!(
+            next_shard_update(&store, Some(&waiting), 0, 4),
+            ShardUpdate::Wait
+        ));
+        let drained = TreeView {
+            rings: &empty_rings,
+            drained: true,
+        };
+        assert!(matches!(
+            next_shard_update(&store, Some(&drained), 0, 4),
+            ShardUpdate::Snapshot(_, true)
+        ));
     }
 }

@@ -9,10 +9,10 @@
 //! from its predecessor, so a subscriber inside the ring advances by
 //! deltas and one outside it resyncs from `current` in O(1).
 
-use crate::delta::encode_delta;
+use crate::delta::{checked_u16, encode_delta, EncodeError};
 use crate::mono_ns;
 use bytes::Bytes;
-use opmr_analysis::wire::{encode_partials, AppPartial};
+use opmr_analysis::wire::{decode_partials, encode_partials, AppPartial, WireError};
 use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -25,6 +25,7 @@ mod obs {
     pub(super) struct StoreMetrics {
         pub publishes: Arc<Counter>,
         pub evictions: Arc<Counter>,
+        pub shard_skips: Arc<Counter>,
     }
 
     pub(super) fn m() -> &'static StoreMetrics {
@@ -34,6 +35,7 @@ mod obs {
             StoreMetrics {
                 publishes: r.counter("serve_publishes_total"),
                 evictions: r.counter("serve_evictions_total"),
+                shard_skips: r.counter("serve_shard_publish_skips_total"),
             }
         })
     }
@@ -104,22 +106,42 @@ impl SnapshotStore {
         }
     }
 
-    fn publish_inner(&self, parts: Vec<AppPartial>, is_final: bool) -> u64 {
+    fn publish_inner(
+        &self,
+        parts: Vec<AppPartial>,
+        is_final: bool,
+        skip_unchanged: bool,
+    ) -> Result<Option<u64>, EncodeError> {
         let mut inner = self.inner.lock();
         if inner.finished {
             // The final version is by definition the last one.
-            return inner.next_version - 1;
+            return Ok(Some(inner.next_version - 1));
+        }
+        let apps = checked_u16(parts.len(), EncodeError::TooManyApps(parts.len()))?;
+        let encoded = encode_partials(&parts);
+        if skip_unchanged && !is_final {
+            if let Some(back) = inner.ring.back() {
+                if back.encoded == encoded {
+                    obs::m().shard_skips.inc();
+                    return Ok(None);
+                }
+            }
         }
         let version = inner.next_version;
         inner.next_version += 1;
-        let encoded = encode_partials(&parts);
-        let delta =
-            (version > 1).then(|| encode_delta(version - 1, &inner.last_parts, version, &parts));
+        let delta = if version > 1 {
+            // A delta that cannot be encoded (count overflow, already
+            // counted at the failure site) degrades to a counted resync
+            // for subscribers instead of poisoning the whole version.
+            encode_delta(version - 1, &inner.last_parts, version, &parts).ok()
+        } else {
+            None
+        };
         let entry = Arc::new(SnapshotEntry {
             version,
             publish_ns: mono_ns(),
             is_final,
-            apps: parts.len() as u16,
+            apps,
             encoded,
             delta,
         });
@@ -135,18 +157,33 @@ impl SnapshotStore {
         // Swap `current` before releasing the writer lock so a reader can
         // never observe a ring newer than the current pointer.
         *self.current.write() = Some(entry);
-        version
+        Ok(Some(version))
     }
 
-    /// Publishes a new version; returns its number.
-    pub fn publish(&self, parts: Vec<AppPartial>) -> u64 {
-        self.publish_inner(parts, false)
+    fn force_publish(&self, parts: Vec<AppPartial>, is_final: bool) -> Result<u64, EncodeError> {
+        // `skip_unchanged: false` always yields a version number.
+        Ok(self.publish_inner(parts, is_final, false)?.unwrap_or(0))
+    }
+
+    /// Publishes a new version; returns its number. Fails (typed, counted)
+    /// when the snapshot exceeds the wire format's `u16` app count.
+    pub fn publish(&self, parts: Vec<AppPartial>) -> Result<u64, EncodeError> {
+        self.force_publish(parts, false)
+    }
+
+    /// Like [`SnapshotStore::publish`] but skips the version bump when the
+    /// encoded snapshot is byte-identical to the current one, returning
+    /// `None`. Sharded publishes route every engine snapshot at every
+    /// shard; a shard whose apps saw no new packs would otherwise spam
+    /// each subscriber with an empty delta per engine publication.
+    pub fn publish_if_changed(&self, parts: Vec<AppPartial>) -> Result<Option<u64>, EncodeError> {
+        self.publish_inner(parts, false, true)
     }
 
     /// Publishes the final version (after the engine drained). Later
     /// publish calls become no-ops.
-    pub fn publish_final(&self, parts: Vec<AppPartial>) -> u64 {
-        self.publish_inner(parts, true)
+    pub fn publish_final(&self, parts: Vec<AppPartial>) -> Result<u64, EncodeError> {
+        self.force_publish(parts, true)
     }
 
     /// Records that one serving rank's instrumentation streams all closed;
@@ -197,6 +234,164 @@ impl SnapshotStore {
     }
 }
 
+/// The sharded serve store: one [`SnapshotStore`] per shard, apps routed
+/// by `app_id % shards`. Each shard carries its own version sequence,
+/// ring and swap-on-publish current pointer, so publishes to one shard
+/// and point queries against another never contend on the same mutex.
+/// A cross-shard snapshot is assembled on read ([`ShardedStore::assemble_current`]);
+/// subscription delivery runs one delta chain per shard.
+///
+/// With `shards == 1` every accessor reduces exactly to the single-store
+/// behavior, which is why the shard-0 delegates ([`ShardedStore::current`],
+/// [`ShardedStore::get`], [`ShardedStore::version_span`]) exist: the
+/// single-shard callers that predate sharding keep reading the same view.
+pub struct ShardedStore {
+    shards: Vec<SnapshotStore>,
+    writers: usize,
+    writers_done: Mutex<usize>,
+    shard_publishes: Vec<Arc<opmr_obs::Counter>>,
+}
+
+impl ShardedStore {
+    /// A store of `shards` shards, each retaining `ring` recent versions,
+    /// fed by `writers` serving ranks (each must call
+    /// [`ShardedStore::mark_writer_done`] once).
+    pub fn new(shards: usize, ring: usize, writers: usize) -> ShardedStore {
+        let n = shards.max(1);
+        let r = opmr_obs::registry();
+        ShardedStore {
+            shards: (0..n).map(|_| SnapshotStore::new(ring, 1)).collect(),
+            writers: writers.max(1),
+            writers_done: Mutex::new(0),
+            shard_publishes: (0..n)
+                .map(|s| r.counter(&format!("serve_shard_publishes_total{{shard=\"{s}\"}}")))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's store.
+    pub fn shard(&self, shard: usize) -> &SnapshotStore {
+        &self.shards[shard]
+    }
+
+    /// The shard an application's report lives in.
+    pub fn shard_of_app(&self, app_id: u16) -> usize {
+        app_id as usize % self.shards.len()
+    }
+
+    fn split(&self, parts: Vec<AppPartial>) -> Vec<Vec<AppPartial>> {
+        let mut by_shard: Vec<Vec<AppPartial>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for p in parts {
+            let s = self.shard_of_app(p.app_id);
+            by_shard[s].push(p);
+        }
+        by_shard
+    }
+
+    /// Publishes one engine snapshot across the shards. A shard whose
+    /// slice is byte-identical to its current version is skipped (counted)
+    /// rather than version-bumped; a shard with no apps at all is left
+    /// untouched until [`ShardedStore::publish_final`].
+    pub fn publish(&self, parts: Vec<AppPartial>) -> Result<(), EncodeError> {
+        for (s, shard_parts) in self.split(parts).into_iter().enumerate() {
+            if shard_parts.is_empty() {
+                continue;
+            }
+            if self.shards[s].publish_if_changed(shard_parts)?.is_some() {
+                self.shard_publishes[s].inc();
+            }
+        }
+        Ok(())
+    }
+
+    /// Publishes the final version on *every* shard — including empty
+    /// ones, so [`ShardedStore::finished`] means all shards finished and a
+    /// subscriber's per-shard chains all terminate.
+    pub fn publish_final(&self, parts: Vec<AppPartial>) -> Result<(), EncodeError> {
+        for (s, shard_parts) in self.split(parts).into_iter().enumerate() {
+            self.shards[s].publish_final(shard_parts)?;
+            self.shard_publishes[s].inc();
+        }
+        Ok(())
+    }
+
+    /// Records that one serving rank's instrumentation streams all closed;
+    /// returns true for the last rank (which then drains the engine and
+    /// calls [`ShardedStore::publish_final`]).
+    pub fn mark_writer_done(&self) -> bool {
+        let mut done = self.writers_done.lock();
+        *done += 1;
+        *done == self.writers
+    }
+
+    /// True once every shard published its final version.
+    pub fn finished(&self) -> bool {
+        self.shards.iter().all(|s| s.finished())
+    }
+
+    /// Per-shard current version numbers (0 before a shard's first
+    /// publish) — the store's version vector.
+    pub fn versions(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.current().map_or(0, |e| e.version))
+            .collect()
+    }
+
+    /// Assembles the cross-shard current snapshot on read: decodes each
+    /// shard's current version and merges the app partials back into one
+    /// `app_id`-sorted report. Returns the partials plus the per-shard
+    /// version vector they were assembled from.
+    pub fn assemble_current(&self) -> Result<(Vec<AppPartial>, Vec<u64>), WireError> {
+        let mut parts = Vec::new();
+        let mut versions = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            match s.current() {
+                Some(e) => {
+                    versions.push(e.version);
+                    parts.extend(decode_partials(&e.encoded)?);
+                }
+                None => versions.push(0),
+            }
+        }
+        parts.sort_by_key(|p| p.app_id);
+        Ok((parts, versions))
+    }
+
+    /// Aggregated publication counters across shards.
+    pub fn stats(&self) -> StoreStats {
+        let mut agg = StoreStats::default();
+        for s in &self.shards {
+            let st = s.stats();
+            agg.published += st.published;
+            agg.evicted += st.evicted;
+        }
+        agg
+    }
+
+    /// Shard 0's latest version — the whole store's latest when
+    /// `shards == 1` (the pre-sharding callers' view).
+    pub fn current(&self) -> Option<Arc<SnapshotEntry>> {
+        self.shards[0].current()
+    }
+
+    /// Shard 0's view of a specific version (see [`ShardedStore::current`]).
+    pub fn get(&self, version: u64) -> Option<Arc<SnapshotEntry>> {
+        self.shards[0].get(version)
+    }
+
+    /// Shard 0's `(oldest, newest)` span (see [`ShardedStore::current`]).
+    pub fn version_span(&self) -> (u64, u64) {
+        self.shards[0].version_span()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,12 +417,33 @@ mod tests {
     }
 
     #[test]
+    fn shrinking_app_set_degrades_delta_to_resync() {
+        // A publish that drops an app cannot ride the delta chain (no
+        // tombstones on the wire); the version still lands, but carries
+        // no delta so subscribers resync from the full snapshot.
+        let store = SnapshotStore::new(4, 1);
+        let mut two = parts(3);
+        let mut extra = parts(5);
+        extra[0].app_id = 7;
+        two.append(&mut extra);
+        store.publish(two).unwrap();
+        let v = store.publish(parts(4)).unwrap();
+        let entry = store.get(v).unwrap();
+        assert!(entry.delta.is_none(), "removal must not encode as a delta");
+        let v3 = store.publish(parts(6)).unwrap();
+        assert!(
+            store.get(v3).unwrap().delta.is_some(),
+            "chain resumes once the app set is stable again"
+        );
+    }
+
+    #[test]
     fn versions_are_monotone_and_ring_bounded() {
         let store = SnapshotStore::new(3, 1);
         assert!(store.current().is_none());
         assert_eq!(store.version_span(), (0, 0));
         for i in 1..=10u64 {
-            assert_eq!(store.publish(parts(i)), i);
+            assert_eq!(store.publish(parts(i)).unwrap(), i);
         }
         assert_eq!(store.current().unwrap().version, 10);
         assert_eq!(store.version_span(), (8, 10));
@@ -242,7 +458,7 @@ mod tests {
     fn ring_deltas_chain_to_every_retained_version() {
         let store = SnapshotStore::new(8, 1);
         for i in 1..=6u64 {
-            store.publish(parts(i * 3));
+            store.publish(parts(i * 3)).unwrap();
         }
         let base = store.get(1).unwrap();
         let mut live = decode_partials(&base.encoded).unwrap();
@@ -257,14 +473,104 @@ mod tests {
     #[test]
     fn final_publish_wins_and_sticks() {
         let store = SnapshotStore::new(4, 2);
-        store.publish(parts(1));
+        store.publish(parts(1)).unwrap();
         assert!(!store.mark_writer_done());
         assert!(store.mark_writer_done());
-        let v = store.publish_final(parts(2));
+        let v = store.publish_final(parts(2)).unwrap();
         assert!(store.finished());
         assert!(store.current().unwrap().is_final);
         // Publishes after the final one are ignored.
-        assert_eq!(store.publish(parts(9)), v);
+        assert_eq!(store.publish(parts(9)).unwrap(), v);
         assert_eq!(store.current().unwrap().version, v);
+    }
+
+    #[test]
+    fn unchanged_publish_is_skipped_only_on_the_if_changed_path() {
+        let store = SnapshotStore::new(4, 1);
+        assert_eq!(store.publish_if_changed(parts(1)).unwrap(), Some(1));
+        assert_eq!(store.publish_if_changed(parts(1)).unwrap(), None);
+        assert_eq!(store.publish_if_changed(parts(2)).unwrap(), Some(2));
+        // The unconditional path still bumps on identical snapshots.
+        assert_eq!(store.publish(parts(2)).unwrap(), 3);
+        assert_eq!(store.stats().published, 3);
+    }
+
+    fn multi_parts(hits: u64, app_ids: &[u16]) -> Vec<AppPartial> {
+        app_ids
+            .iter()
+            .flat_map(|&id| {
+                let mut p = parts(hits + id as u64);
+                p[0].app_id = id;
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_store_routes_apps_and_skips_idle_shards() {
+        let store = ShardedStore::new(2, 4, 1);
+        assert_eq!(store.shards(), 2);
+        assert_eq!(store.shard_of_app(0), 0);
+        assert_eq!(store.shard_of_app(3), 1);
+        store.publish(multi_parts(1, &[0, 1])).unwrap();
+        assert_eq!(store.versions(), vec![1, 1]);
+        // Only app 1 (shard 1) changes: shard 0's slice is byte-identical
+        // and must not bump its version.
+        let mut next = multi_parts(1, &[0, 1]);
+        next[1].packs += 5;
+        store.publish(next).unwrap();
+        assert_eq!(store.versions(), vec![1, 2]);
+        // Per-shard rings hold per-shard slices.
+        assert_eq!(store.shard(0).current().unwrap().apps, 1);
+        assert_eq!(store.shard(1).current().unwrap().apps, 1);
+    }
+
+    #[test]
+    fn sharded_final_reaches_every_shard_even_empty_ones() {
+        // 3 shards but only apps 0 and 1: shard 2 sees nothing until the
+        // final publish, which must still terminate its chain.
+        let store = ShardedStore::new(3, 4, 2);
+        store.publish(multi_parts(1, &[0, 1])).unwrap();
+        assert!(!store.finished());
+        assert!(!store.mark_writer_done());
+        assert!(store.mark_writer_done());
+        store.publish_final(multi_parts(2, &[0, 1])).unwrap();
+        assert!(store.finished());
+        assert_eq!(store.versions(), vec![2, 2, 1]);
+        let empty_final = store.shard(2).current().unwrap();
+        assert!(empty_final.is_final);
+        assert_eq!(empty_final.apps, 0);
+        // Publishes after the final are no-ops on every shard.
+        store.publish(multi_parts(9, &[0, 1, 2])).unwrap();
+        assert_eq!(store.versions(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn cross_shard_snapshot_assembles_sorted_on_read() {
+        let store = ShardedStore::new(2, 4, 1);
+        store.publish(multi_parts(3, &[2, 0, 1, 3])).unwrap();
+        let (parts, versions) = store.assemble_current().unwrap();
+        assert_eq!(versions, vec![1, 1]);
+        assert_eq!(
+            parts.iter().map(|p| p.app_id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // Re-encoding the assembly matches encoding the sorted originals.
+        let mut sorted = multi_parts(3, &[2, 0, 1, 3]);
+        sorted.sort_by_key(|p| p.app_id);
+        assert_eq!(encode_partials(&parts), encode_partials(&sorted));
+    }
+
+    #[test]
+    fn single_shard_delegates_match_shard_zero() {
+        let store = ShardedStore::new(1, 3, 1);
+        for i in 1..=5u64 {
+            store.publish(multi_parts(i, &[0])).unwrap();
+        }
+        assert_eq!(store.current().unwrap().version, 5);
+        assert_eq!(store.version_span(), (3, 5));
+        assert_eq!(store.get(4).unwrap().version, 4);
+        assert_eq!(store.stats().published, 5);
+        assert_eq!(store.stats().evicted, 2);
     }
 }

@@ -10,7 +10,7 @@ use opmr_analysis::profiler::MpiProfile;
 use opmr_analysis::topology::Topology;
 use opmr_analysis::wire::{decode_partials, AppPartial};
 use opmr_events::EventKind;
-use opmr_serve::{apply_delta, SnapshotStore};
+use opmr_serve::{apply_delta, ShardedStore, SnapshotStore};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -70,7 +70,7 @@ fn concurrent_publish_read_evict() {
                 // The version is assigned under the store's writer mutex;
                 // the payload only needs to be self-consistent.
                 let hits = 1 + splitmix64(&mut rng) % 10_000;
-                let v = store.publish(parts(hits));
+                let v = store.publish(parts(hits)).unwrap();
                 assert!(v >= 1);
                 if hits.is_multiple_of(7) {
                     std::thread::yield_now();
@@ -153,9 +153,178 @@ fn concurrent_publish_read_evict() {
 
     // The final publish protocol still closes cleanly under the ring.
     assert!(store.mark_writer_done());
-    let v = store.publish_final(parts(1));
+    let v = store.publish_final(parts(1)).unwrap();
     assert_eq!(v, stats.published + 1);
     assert!(store.finished());
     assert!(store.current().unwrap().is_final);
-    assert_eq!(store.publish(parts(2)), v, "publish after final must no-op");
+    assert_eq!(
+        store.publish(parts(2)).unwrap(),
+        v,
+        "publish after final must no-op"
+    );
+}
+
+/// Self-consistent payload for `apps` applications, one per shard-routable
+/// id. Each app's derived fields are fixed functions of `hits + app_id`,
+/// so a decoded shard slice is checkable exactly like the single-app case.
+fn multi_parts(hits: u64, app_ids: &[u16]) -> Vec<AppPartial> {
+    app_ids
+        .iter()
+        .map(|&id| {
+            let h = hits + id as u64;
+            let mut profile = MpiProfile::new();
+            profile.absorb_stats(0, EventKind::Send, h, h * 10, h * 64, 10, 10);
+            AppPartial {
+                app_id: id,
+                packs: h,
+                wire_bytes: h * 48,
+                decode_errors: 0,
+                profile,
+                topology: Topology::new(),
+                waitstate: None,
+                metrics: None,
+            }
+        })
+        .collect()
+}
+
+/// Shard-boundary behavior under concurrent multi-shard publishes: every
+/// shard's ring evicts independently, every shard's retained delta chain
+/// stays byte-exact while other shards publish, and a reader that fell
+/// off a shard's ring observes exactly the slow-consumer resync contract
+/// (the version is gone; `current` is a consistent snapshot to restart
+/// from) — all from a reader's view of a store being mutated underneath.
+#[test]
+fn sharded_concurrent_publish_keeps_per_shard_chains_exact() {
+    const SHARDS: usize = 3;
+    const RING: usize = 4;
+    const PUBLISHERS: usize = 2;
+    const PUBLISHES_EACH: usize = 300;
+    const READERS: usize = 3;
+    // Apps 0..6 spread over 3 shards, two apps per shard.
+    const APPS: [u16; 6] = [0, 1, 2, 3, 4, 5];
+
+    let store = Arc::new(ShardedStore::new(SHARDS, RING, PUBLISHERS));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut workers = Vec::new();
+    for p in 0..PUBLISHERS {
+        let store = Arc::clone(&store);
+        workers.push(std::thread::spawn(move || {
+            let mut rng = 0x5A4D_E000 + p as u64;
+            for _ in 0..PUBLISHES_EACH {
+                let hits = 1 + splitmix64(&mut rng) % 10_000;
+                // Sometimes publish only a subset of apps, leaving the
+                // other shards' slices untouched that round.
+                let apps: &[u16] = if hits.is_multiple_of(3) {
+                    &APPS[..2]
+                } else {
+                    &APPS
+                };
+                store.publish(multi_parts(hits, apps)).unwrap();
+                if hits.is_multiple_of(7) {
+                    std::thread::yield_now();
+                }
+            }
+        }));
+    }
+
+    let mut readers = Vec::new();
+    for r in 0..READERS {
+        let store = Arc::clone(&store);
+        let done = Arc::clone(&done);
+        readers.push(std::thread::spawn(move || {
+            let mut rng = 0xFACE_0000 + r as u64;
+            let mut last_seen = [0u64; SHARDS];
+            let mut chain_checks = 0u64;
+            let mut resyncs = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let s = (splitmix64(&mut rng) % SHARDS as u64) as usize;
+                let shard = store.shard(s);
+                // Per-shard versions only move forward, and every app in a
+                // shard's snapshot actually routes to that shard.
+                if let Some(cur) = shard.current() {
+                    assert!(
+                        cur.version >= last_seen[s],
+                        "shard {s} went backwards: {} after {}",
+                        cur.version,
+                        last_seen[s]
+                    );
+                    last_seen[s] = cur.version;
+                    let decoded = decode_partials(&cur.encoded).unwrap();
+                    for app in &decoded {
+                        assert_eq!(store.shard_of_app(app.app_id), s, "misrouted app");
+                        assert_eq!(app.wire_bytes, app.packs * 48, "torn shard snapshot");
+                    }
+                }
+                // The shard ring is bounded and its retained delta chain
+                // applies byte-exactly, independent of the other shards'
+                // concurrent publishes.
+                let (front, back) = shard.version_span();
+                if back != 0 {
+                    assert!(
+                        back - front < RING as u64,
+                        "shard {s} span {front}..={back}"
+                    );
+                    let probe = front + splitmix64(&mut rng) % (back - front + 1);
+                    if let (Some(prev), Some(e)) =
+                        (shard.get(probe.wrapping_sub(1)), shard.get(probe))
+                    {
+                        if let Some(delta) = e.delta.as_ref() {
+                            let mut live = decode_partials(&prev.encoded).unwrap();
+                            let (f, t) = apply_delta(&mut live, delta).unwrap();
+                            assert_eq!((f, t), (probe - 1, probe));
+                            assert_eq!(
+                                opmr_analysis::wire::encode_partials(&live),
+                                e.encoded,
+                                "shard {s} delta chain broke at {probe}"
+                            );
+                            chain_checks += 1;
+                        }
+                    }
+                    // Slow-consumer contract: a version below the ring
+                    // front is gone (forcing a resync), and the resync
+                    // target is always available and consistent.
+                    if front > 1 {
+                        assert!(shard.get(front - 1).is_none(), "evicted version served");
+                        assert!(shard.current().is_some(), "no resync target");
+                        resyncs += 1;
+                    }
+                }
+                // Cross-shard assembly stays decodable and sorted even
+                // mid-publish (each shard is a consistent Arc'd entry).
+                let (parts, versions) = store.assemble_current().unwrap();
+                assert_eq!(versions.len(), SHARDS);
+                assert!(parts.windows(2).all(|w| w[0].app_id <= w[1].app_id));
+            }
+            (chain_checks, resyncs)
+        }));
+    }
+
+    for w in workers {
+        w.join().expect("publisher");
+    }
+    done.store(true, Ordering::Release);
+    let (mut total_chain_checks, mut total_resyncs) = (0u64, 0u64);
+    for r in readers {
+        let (c, s) = r.join().expect("reader");
+        total_chain_checks += c;
+        total_resyncs += s;
+    }
+    assert!(total_chain_checks > 0, "readers never walked a shard chain");
+    assert!(total_resyncs > 0, "eviction never forced the resync path");
+
+    // Both publishers report done; the final version terminates every
+    // shard's chain — including any shard the subset publishes starved.
+    assert!(!store.mark_writer_done());
+    assert!(store.mark_writer_done());
+    store.publish_final(multi_parts(1, &APPS)).unwrap();
+    assert!(store.finished());
+    for s in 0..SHARDS {
+        let cur = store.shard(s).current().expect("final on every shard");
+        assert!(cur.is_final, "shard {s} chain not terminated");
+    }
+    let versions = store.versions();
+    assert_eq!(versions.len(), SHARDS);
+    assert!(versions.iter().all(|&v| v >= 1));
 }

@@ -170,7 +170,9 @@ fn slow_subscriber_degrades_to_counted_resync() {
     let bytes_sink = Arc::clone(&last_bytes);
     let gate = Arc::new(std::sync::Barrier::new(5));
     let laggard_gate = Arc::clone(&gate);
-    let outcome = serving_session(120, serve, Some(gate))
+    // Long enough that the laggard provably falls off the two-deep ring
+    // even when the whole test binary is competing for cores.
+    let outcome = serving_session(400, serve, Some(gate))
         .client("laggard", 1, move |c| {
             c.subscribe().unwrap();
             c.version_info().unwrap();
@@ -331,10 +333,10 @@ fn metric_time_series_ride_the_delta_chain_byte_identically() {
 
     // The client reconstructs the full window history from the delta
     // chain: at every version its folded bytes equal the server snapshot
-    // and carry the metric series. Window counts are *not* asserted
-    // monotone — snapshot hooks fire concurrently from dispatcher
-    // threads, so an older snapshot can be published after a newer one —
-    // but the series must evolve across the chain and end non-empty.
+    // and carry the metric series. The engine serializes snapshot capture
+    // against its metrics fold (the publish gate), so the window count is
+    // monotone non-decreasing along the version chain — an older fold can
+    // never be published after a newer one.
     let mut last_windows = 0usize;
     let mut metric_deltas = 0usize;
     for (version, bytes, _) in seen.iter() {
@@ -349,6 +351,12 @@ fn metric_time_series_ride_the_delta_chain_byte_identically() {
             .metrics
             .as_ref()
             .expect("every published snapshot carries the series");
+        assert!(
+            m.len() >= last_windows,
+            "version {version}: window count went backwards ({} < {last_windows}); \
+             snapshot publication raced the metrics fold",
+            m.len()
+        );
         if m.len() != last_windows {
             metric_deltas += 1;
         }
@@ -374,6 +382,268 @@ fn metric_time_series_ride_the_delta_chain_byte_identically() {
         report_m.encode(),
         "served series must equal the engine's final fold"
     );
+}
+
+#[test]
+fn sharded_session_serves_per_shard_chains() {
+    use std::collections::BTreeMap;
+
+    let serve = ServeConfig {
+        publish_every_packs: 2,
+        ring: 4096,
+        shards: 2, // apps 0 and 2 land on shard 0, app 1 on shard 1
+        ..ServeConfig::default()
+    };
+    // (shard, version, delta?) per observed update, in arrival order.
+    type SeenLog = Vec<(u16, u64, bool)>;
+    let seen: Arc<Mutex<SeenLog>> = Arc::new(Mutex::new(Vec::new()));
+    let finals: Arc<Mutex<BTreeMap<u16, Vec<u8>>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let sink = Arc::clone(&seen);
+    let final_sink = Arc::clone(&finals);
+    // Three apps of 2 ranks each (6 workload ranks) plus the observer.
+    let gate = Arc::new(std::sync::Barrier::new(7));
+    let observer_gate = Arc::clone(&gate);
+    let outcome = Session::builder()
+        .analyzer_ranks(2)
+        .coupling(Coupling::Serving)
+        .serve_config(serve)
+        .stream_config(StreamConfig::new(1024, 4, Balance::None))
+        .app("ring-a", 2, ring_app(300, Some(Arc::clone(&gate))))
+        .app("ring-b", 2, ring_app(300, Some(Arc::clone(&gate))))
+        .app("ring-c", 2, ring_app(300, Some(gate)))
+        .client("observer", 1, move |c| {
+            c.subscribe().unwrap();
+            c.version_info().unwrap();
+            observer_gate.wait();
+            loop {
+                let u = c.next_update().unwrap().expect("stream ended early");
+                assert!(u.shard < 2, "update named an out-of-range shard");
+                let held = c.shard_report(u.shard).expect("update landed a report");
+                assert_eq!(held.version, u.version);
+                sink.lock().push((u.shard, u.version, u.delta));
+                if u.finished {
+                    let mut out = final_sink.lock();
+                    for (s, r) in c.reports() {
+                        out.insert(s, r.encoded.to_vec());
+                    }
+                    break;
+                }
+            }
+        })
+        .run()
+        .unwrap();
+
+    let store = outcome.snapshot_store.expect("serving retains the store");
+    assert_eq!(store.shards(), 2);
+    let seen = seen.lock();
+
+    // Each shard's chain is independently monotone and contiguous, and
+    // every shard actually published (apps were routed across both).
+    let mut last: BTreeMap<u16, u64> = BTreeMap::new();
+    for &(shard, version, delta) in seen.iter() {
+        match last.get(&shard) {
+            None => assert!(!delta, "shard {shard} must open with a snapshot"),
+            Some(&prev) => {
+                assert_eq!(version, prev + 1, "shard {shard} chain skipped");
+                assert!(delta, "shard {shard} steady state arrives as deltas");
+            }
+        }
+        last.insert(shard, version);
+    }
+    assert_eq!(last.len(), 2, "both shards must deliver updates");
+    assert!(seen.iter().filter(|(_, _, d)| *d).count() >= 2);
+
+    // The folded per-shard reports are byte-identical to each shard's
+    // final stored snapshot, and the app routing is stable.
+    let finals = finals.lock();
+    for shard in 0..2u16 {
+        let entry = store.shard(shard as usize).current().unwrap();
+        assert!(entry.is_final, "shard {shard} never finalized");
+        assert_eq!(
+            finals.get(&shard).map(Vec::as_slice),
+            Some(entry.encoded.as_ref()),
+            "shard {shard} diverged from the server"
+        );
+    }
+    let (parts, versions) = store.assemble_current().unwrap();
+    assert_eq!(versions.len(), 2);
+    assert_eq!(parts.len(), 3, "cross-shard assembly covers every app");
+    for app in &parts {
+        assert_eq!(store.shard_of_app(app.app_id), (app.app_id % 2) as usize);
+    }
+    assert_eq!(outcome.report.apps.len(), 3);
+}
+
+#[test]
+fn tree_fanout_replicates_identical_bytes_to_every_subscriber() {
+    let serve = ServeConfig {
+        publish_every_packs: 2,
+        ring: 4096,
+        fan_out: Some(2), // 3 serving ranks: root 0 feeds frontier {1, 2}
+        ..ServeConfig::default()
+    };
+    let fanout_before = opmr::obs::registry()
+        .snapshot()
+        .counter_family("reduce_fanout_records_total");
+    // Every subscriber's full (version -> bytes) log, one slot per rank.
+    type VersionLog = Vec<(u64, Vec<u8>)>;
+    let logs: Arc<Mutex<Vec<VersionLog>>> = Arc::new(Mutex::new(vec![Vec::new(); 4]));
+    let sink = Arc::clone(&logs);
+    let next_slot = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    // 4 ring ranks + 4 subscribers.
+    let gate = Arc::new(std::sync::Barrier::new(8));
+    let sub_gate = Arc::clone(&gate);
+    let outcome = Session::builder()
+        .analyzer_ranks(3)
+        .coupling(Coupling::Serving)
+        .serve_config(serve)
+        .stream_config(StreamConfig::new(1024, 4, Balance::None))
+        .app("ring", 4, ring_app(400, Some(gate)))
+        .client("subscribers", 4, move |c| {
+            let slot = next_slot.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            c.subscribe().unwrap();
+            c.version_info().unwrap();
+            sub_gate.wait();
+            let mut log = Vec::new();
+            loop {
+                let u = c.next_update().unwrap().expect("stream ended early");
+                let held = c.shard_report(u.shard).expect("update landed a report");
+                log.push((u.version, held.encoded.to_vec()));
+                if u.finished {
+                    break;
+                }
+            }
+            sink.lock()[slot] = log;
+        })
+        .run()
+        .unwrap();
+
+    let store = outcome.snapshot_store.expect("serving retains the store");
+    let logs = logs.lock();
+
+    // Every subscriber converged on the exact stored bytes at every
+    // version it observed — the tree forwarded root-framed deltas
+    // verbatim, so there is nothing rank-dependent to diverge on.
+    for (slot, log) in logs.iter().enumerate() {
+        assert!(
+            log.len() >= 2,
+            "subscriber {slot} saw too few updates ({})",
+            log.len()
+        );
+        for (version, bytes) in log {
+            let entry = store.get(*version).expect("ring retained everything");
+            assert_eq!(
+                bytes.as_slice(),
+                entry.encoded.as_ref(),
+                "subscriber {slot} diverged at version {version}"
+            );
+        }
+        let (last_v, _) = log.last().unwrap();
+        assert_eq!(*last_v, store.current().unwrap().version);
+    }
+
+    // The replication provably rode the overlay: the root framed each
+    // update once and the per-level fan-out counters moved.
+    let fanout_after = opmr::obs::registry()
+        .snapshot()
+        .counter_family("reduce_fanout_records_total");
+    assert!(
+        fanout_after > fanout_before,
+        "tree fan-out counters never moved"
+    );
+    let fanned: u64 = outcome
+        .serve_stats
+        .iter()
+        .map(|(_, s)| s.fanout_records)
+        .sum();
+    assert!(fanned > 0, "the root never published onto the tree");
+    let delivered: u64 = outcome.serve_stats.iter().map(|(_, s)| s.deltas_sent).sum();
+    assert!(delivered > 0, "frontier delivered no tree deltas");
+}
+
+#[test]
+fn tenant_quotas_reject_typed_and_counted_without_collateral() {
+    use opmr::serve::{QuotaKind, TenantQuota};
+
+    let serve = ServeConfig {
+        publish_every_packs: 2,
+        ring: 4096,
+        tenant_quotas: vec![(
+            "greedy".to_string(),
+            TenantQuota {
+                max_subscriptions: 1,
+                max_queries_per_sec: 0,
+                max_delta_bytes_per_sec: 0,
+            },
+        )],
+        ..ServeConfig::default()
+    };
+    let rejected = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let admitted = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let polite_done = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let rej = Arc::clone(&rejected);
+    let adm = Arc::clone(&admitted);
+    let pol = Arc::clone(&polite_done);
+    // A single serving rank so the subscription cap is a global fact,
+    // not a per-serving-rank one.
+    let outcome = Session::builder()
+        .analyzer_ranks(1)
+        .coupling(Coupling::Serving)
+        .serve_config(serve)
+        .stream_config(StreamConfig::new(1024, 4, Balance::None))
+        .app("ring", 4, ring_app(200, None))
+        .client_try("greedy", 3, move |c| {
+            c.subscribe()?;
+            // The refusal is typed and arrives on the update stream; an
+            // admitted subscription folds updates through to the final.
+            loop {
+                match c.next_update() {
+                    Err(ServeError::QuotaExceeded(QuotaKind::Subscriptions)) => {
+                        rej.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        return Ok(());
+                    }
+                    Ok(Some(u)) if u.finished => {
+                        adm.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        return Ok(());
+                    }
+                    Ok(Some(_)) => {}
+                    Ok(None) => return Err("stream ended before final".into()),
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        })
+        .client_try("polite", 2, move |c| {
+            c.subscribe()?;
+            loop {
+                match c.next_update()? {
+                    Some(u) if u.finished => break,
+                    Some(_) => {}
+                    None => return Err("stream ended before final".into()),
+                }
+            }
+            c.version_info()?;
+            pol.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Ok(())
+        })
+        .run()
+        .unwrap();
+
+    // Exactly one greedy rank held the sole subscription slot; the two
+    // others were refused with the typed subscription-quota signal.
+    assert_eq!(rejected.load(std::sync::atomic::Ordering::Relaxed), 2);
+    assert_eq!(admitted.load(std::sync::atomic::Ordering::Relaxed), 1);
+    // Compliant tenants were untouched: both polite ranks subscribed,
+    // folded to the final version and kept querying.
+    assert_eq!(polite_done.load(std::sync::atomic::Ordering::Relaxed), 2);
+
+    // The refusals are visible in the serving stats — typed on the wire
+    // AND counted server-side.
+    let stats_rejections: u64 = outcome
+        .serve_stats
+        .iter()
+        .map(|(_, s)| s.quota_rejections)
+        .sum();
+    assert_eq!(stats_rejections, 2);
 }
 
 #[test]
